@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 2 — IPC loss of the IssueFIFO organization w.r.t. the
+ * unbounded (256-entry) conventional issue queue, SPECint suite.
+ * Integer queues sweep {8,10,12} x {8,16}; FP queues fixed at 16x16.
+ * Expected shape: small losses (a few percent), shrinking with more
+ * queues; queue *depth* nearly irrelevant (8 -> 16 entries buys
+ * ~0.1% in the paper).
+ */
+
+#include "sweep_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 2: IPC loss of IssueFIFO vs unbounded baseline"
+                " (SPECint)",
+                harness.options());
+
+    std::vector<SweepConfig> configs;
+    for (int queues : {8, 10, 12}) {
+        for (int size : {8, 16}) {
+            SweepConfig c;
+            c.scheme = core::SchemeConfig::issueFifo(queues, size, 16, 16);
+            c.label = c.scheme.name();
+            configs.push_back(c);
+        }
+    }
+    runIpcLossSweep(harness, trace::specIntProfiles(), configs);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 3 — IPC loss of IssueFIFO w.r.t. the unbounded baseline,
+ * SPECfp suite. FP queues sweep {8,10,12} x {8,16}; integer queues
+ * fixed at 16x16. Expected shape: much larger losses than SPECint
+ * (paper: ~15-25%) — FP dependence graphs are too wide for FIFOs.
+ */
+
+#include "sweep_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 3: IPC loss of IssueFIFO vs unbounded baseline"
+                " (SPECfp)",
+                harness.options());
+
+    std::vector<SweepConfig> configs;
+    for (int queues : {8, 10, 12}) {
+        for (int size : {8, 16}) {
+            SweepConfig c;
+            c.scheme = core::SchemeConfig::issueFifo(16, 16, queues, size);
+            c.label = c.scheme.name();
+            configs.push_back(c);
+        }
+    }
+    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
+    return 0;
+}

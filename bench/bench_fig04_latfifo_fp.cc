@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 4 — IPC loss of LatFIFO w.r.t. the unbounded baseline,
+ * SPECfp suite, same sweep as Figure 3. Expected shape: clearly
+ * better than IssueFIFO (paper: ~10 points), still a significant
+ * loss; queue depth nearly irrelevant.
+ */
+
+#include "sweep_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 4: IPC loss of LatFIFO vs unbounded baseline"
+                " (SPECfp)",
+                harness.options());
+
+    std::vector<SweepConfig> configs;
+    for (int queues : {8, 10, 12}) {
+        for (int size : {8, 16}) {
+            SweepConfig c;
+            c.scheme = core::SchemeConfig::latFifo(16, 16, queues, size);
+            c.label = c.scheme.name();
+            configs.push_back(c);
+        }
+    }
+    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 6 — IPC loss of MixBUFF w.r.t. the unbounded baseline,
+ * SPECfp suite, same sweep as Figures 3/4 (unbounded chains per
+ * queue, as in the paper's sizing study). Expected shape: ~5% at
+ * 8x16; buffer *size* matters more than buffer *count*.
+ */
+
+#include "sweep_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 6: IPC loss of MixBUFF vs unbounded baseline"
+                " (SPECfp)",
+                harness.options());
+
+    std::vector<SweepConfig> configs;
+    for (int queues : {8, 10, 12}) {
+        for (int size : {8, 16}) {
+            SweepConfig c;
+            c.scheme = core::SchemeConfig::mixBuff(16, 16, queues, size,
+                                                   /*chains=*/0);
+            c.label = c.scheme.name();
+            configs.push_back(c);
+        }
+    }
+    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 9 — issue-queue energy breakdown of the IQ_64_64 baseline
+ * over both suites. Expected shape: wakeup dominates (even with
+ * unready-only gating and 8x8 banking); buff and select are the next
+ * contributors; MuxIntALU is the only significant FU-drive component.
+ */
+
+#include "energy_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 9: energy breakdown, IQ_64_64", harness.options());
+
+    auto scheme = core::SchemeConfig::iq6464();
+    SuiteEnergy ints = aggregateSuite(harness, scheme,
+                                      trace::specIntProfiles());
+    SuiteEnergy fps = aggregateSuite(harness, scheme,
+                                     trace::specFpProfiles());
+    printBreakdown("Energy breakdown IQ_64_64 (% of issue-queue energy)",
+                   ints, fps);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 10 — issue-queue energy breakdown of IF_distr. Expected
+ * shape (paper): Qrename ~25-30%, fifo ~35%, regs_ready ~35%, and
+ * negligible Mux* because each queue owns its functional units.
+ */
+
+#include "energy_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 10: energy breakdown, IF_distr",
+                harness.options());
+
+    auto scheme = core::SchemeConfig::ifDistr();
+    SuiteEnergy ints = aggregateSuite(harness, scheme,
+                                      trace::specIntProfiles());
+    SuiteEnergy fps = aggregateSuite(harness, scheme,
+                                     trace::specFpProfiles());
+    printBreakdown("Energy breakdown IF_distr (% of issue-queue energy)",
+                   ints, fps);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 11 — issue-queue energy breakdown of MB_distr. Expected
+ * shape (paper): integer codes look like IF_distr (Qrename / fifo /
+ * regs_ready); FP codes additionally spend energy in the buffers
+ * (buff), per-queue selection (select) and the chain latency tables
+ * (chains), while the selected-instruction latch (reg) and the Mux*
+ * components stay negligible.
+ */
+
+#include "energy_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+    using namespace diq::bench;
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader("Figure 11: energy breakdown, MB_distr",
+                harness.options());
+
+    auto scheme = core::SchemeConfig::mbDistr();
+    SuiteEnergy ints = aggregateSuite(harness, scheme,
+                                      trace::specIntProfiles());
+    SuiteEnergy fps = aggregateSuite(harness, scheme,
+                                     trace::specFpProfiles());
+    printBreakdown("Energy breakdown MB_distr (% of issue-queue energy)",
+                   ints, fps);
+    return 0;
+}

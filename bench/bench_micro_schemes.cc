@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the issue-scheme hot paths:
+ * dispatch+issue throughput of each organization, the MixBUFF chain
+ * table sweep, and end-to-end simulator speed. These quantify the
+ * *simulator's* cost per modeled instruction, complementing the
+ * figure-reproduction harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/issue_scheme.hh"
+#include "sim/pipeline.hh"
+#include "trace/spec2000.hh"
+
+namespace
+{
+
+using namespace diq;
+
+void
+runScheme(benchmark::State &state, const core::SchemeConfig &config,
+          const std::string &bench)
+{
+    auto workload = trace::makeSpecWorkload(bench);
+    sim::ProcessorConfig cfg;
+    cfg.scheme = config;
+    sim::Cpu cpu(cfg, *workload);
+    cpu.run(20000); // warm structures once
+
+    for (auto _ : state) {
+        cpu.run(2000);
+        benchmark::DoNotOptimize(cpu.stats().committed);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            2000);
+}
+
+void
+BM_SimulateCamBaseline(benchmark::State &state)
+{
+    runScheme(state, core::SchemeConfig::iq6464(), "swim");
+}
+
+void
+BM_SimulateIssueFifo(benchmark::State &state)
+{
+    runScheme(state, core::SchemeConfig::ifDistr(), "swim");
+}
+
+void
+BM_SimulateLatFifo(benchmark::State &state)
+{
+    runScheme(state, core::SchemeConfig::latFifo(8, 8, 8, 16), "swim");
+}
+
+void
+BM_SimulateMixBuff(benchmark::State &state)
+{
+    runScheme(state, core::SchemeConfig::mbDistr(), "swim");
+}
+
+void
+BM_SimulateIntWorkload(benchmark::State &state)
+{
+    runScheme(state, core::SchemeConfig::mbDistr(), "gcc");
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto workload = trace::makeSpecWorkload("mgrid");
+    trace::MicroOp op;
+    for (auto _ : state) {
+        workload->next(op);
+        benchmark::DoNotOptimize(op.pc);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_SimulateCamBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateIssueFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateLatFifo)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateMixBuff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateIntWorkload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

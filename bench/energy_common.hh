@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared driver for the energy figures (9-15): runs the three §4.2
+ * configurations over both suites and aggregates issue-queue energy.
+ */
+
+#ifndef DIQ_BENCH_ENERGY_COMMON_HH
+#define DIQ_BENCH_ENERGY_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "power/metrics.hh"
+#include "util/stats.hh"
+
+namespace diq::bench
+{
+
+/** Suite-aggregated outcome for one scheme. */
+struct SuiteEnergy
+{
+    power::RunEnergy total;                      ///< summed over suite
+    std::map<std::string, double> componentPj;   ///< summed breakdown
+    std::vector<std::string> componentOrder;     ///< stable legend order
+};
+
+/** Sum runs of `scheme` over `profiles`. */
+inline SuiteEnergy
+aggregateSuite(Harness &harness, const core::SchemeConfig &scheme,
+               const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    SuiteEnergy agg;
+    for (const auto &p : profiles) {
+        const RunResult &r = harness.run(scheme, p);
+        agg.total.iqEnergyPj += r.energy.total();
+        agg.total.cycles += r.stats.cycles;
+        agg.total.insts += r.stats.committed;
+        for (const auto &[name, pj] : r.energy.components) {
+            if (!agg.componentPj.count(name))
+                agg.componentOrder.push_back(name);
+            agg.componentPj[name] += pj;
+        }
+    }
+    return agg;
+}
+
+/** Print a Figure 9/10/11-style percentage breakdown. */
+inline void
+printBreakdown(const std::string &title, const SuiteEnergy &int_suite,
+               const SuiteEnergy &fp_suite)
+{
+    std::cout << title << "\n";
+    util::TablePrinter table({"component", "SPECINT", "SPECFP"});
+    for (const auto &name : int_suite.componentOrder) {
+        double i = int_suite.componentPj.at(name);
+        double f = fp_suite.componentPj.count(name)
+            ? fp_suite.componentPj.at(name)
+            : 0.0;
+        table.addRow({name,
+                      util::TablePrinter::pct(
+                          i / int_suite.total.iqEnergyPj),
+                      util::TablePrinter::pct(
+                          f / fp_suite.total.iqEnergyPj)});
+    }
+    table.addRow({"total (uJ)",
+                  util::TablePrinter::fmt(
+                      int_suite.total.iqEnergyPj / 1e6, 2),
+                  util::TablePrinter::fmt(
+                      fp_suite.total.iqEnergyPj / 1e6, 2)});
+    std::cout << table.render() << "\nCSV:\n" << table.renderCsv();
+}
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_ENERGY_COMMON_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment harness shared by every figure-reproduction binary.
+ *
+ * Runs (issue-scheme configuration x benchmark) pairs with warm-up,
+ * collects IPC and energy, and memoizes results within the process so
+ * a figure that shares a baseline across many configurations only
+ * simulates it once. Instruction budgets are overridable per binary
+ * (--insts/--warmup) or globally (DIQ_INSTS/DIQ_WARMUP environment
+ * variables).
+ */
+
+#ifndef DIQ_BENCH_HARNESS_HH
+#define DIQ_BENCH_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/issue_scheme.hh"
+#include "power/energy_model.hh"
+#include "power/metrics.hh"
+#include "sim/pipeline.hh"
+#include "trace/spec2000.hh"
+#include "util/flags.hh"
+#include "util/table_printer.hh"
+
+namespace diq::bench
+{
+
+/** Instruction budgets for one run. */
+struct HarnessOptions
+{
+    uint64_t warmupInsts = 30000;
+    uint64_t measureInsts = 120000;
+
+    /** Apply --warmup/--insts flags and DIQ_WARMUP/DIQ_INSTS env. */
+    static HarnessOptions fromFlags(const util::Flags &flags);
+};
+
+/** Outcome of one (scheme, benchmark) simulation. */
+struct RunResult
+{
+    std::string benchmark;
+    std::string scheme;
+    double ipc = 0.0;
+    sim::SimStats stats;
+    power::EnergyBreakdown energy;
+
+    power::RunEnergy
+    runEnergy() const
+    {
+        return {energy.total(), stats.cycles, stats.committed};
+    }
+};
+
+/** Memoizing runner. */
+class Harness
+{
+  public:
+    explicit Harness(HarnessOptions opts) : opts_(opts) {}
+
+    /** Simulate (or recall) one pair. */
+    const RunResult &run(const core::SchemeConfig &scheme,
+                         const trace::BenchmarkProfile &profile);
+
+    /** Run a whole suite, in order. */
+    std::vector<const RunResult *>
+    runSuite(const core::SchemeConfig &scheme,
+             const std::vector<trace::BenchmarkProfile> &profiles);
+
+    const HarnessOptions &options() const { return opts_; }
+
+  private:
+    HarnessOptions opts_;
+    std::map<std::string, RunResult> cache_;
+};
+
+/** Convert a run's event counters into the scheme's energy breakdown. */
+power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
+                                 const util::CounterSet &counters);
+
+/** Standard preamble each bench binary prints. */
+void printHeader(const std::string &title, const HarnessOptions &opts);
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_HARNESS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared driver for the Figure 2/3/4/6 IPC-loss sweeps: a family of
+ * FIFO-style configurations against the unbounded conventional issue
+ * queue, reported as "% IPC loss w.r.t. baseline" exactly like the
+ * paper's bar charts.
+ */
+
+#ifndef DIQ_BENCH_SWEEP_COMMON_HH
+#define DIQ_BENCH_SWEEP_COMMON_HH
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "util/stats.hh"
+
+namespace diq::bench
+{
+
+/** One bar group of a sweep figure. */
+struct SweepConfig
+{
+    std::string label;
+    core::SchemeConfig scheme;
+};
+
+/**
+ * Run every config over `profiles` and print per-benchmark and average
+ * IPC loss versus the unbounded baseline.
+ */
+inline void
+runIpcLossSweep(Harness &harness,
+                const std::vector<trace::BenchmarkProfile> &profiles,
+                const std::vector<SweepConfig> &configs)
+{
+    core::SchemeConfig baseline = core::SchemeConfig::unbounded();
+
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &c : configs)
+        headers.push_back(c.label);
+    util::TablePrinter table(headers);
+
+    std::vector<std::vector<double>> losses(configs.size());
+    for (const auto &p : profiles) {
+        double base_ipc = harness.run(baseline, p).ipc;
+        std::vector<std::string> row{p.name};
+        for (size_t i = 0; i < configs.size(); ++i) {
+            double ipc = harness.run(configs[i].scheme, p).ipc;
+            double loss = base_ipc > 0 ? 1.0 - ipc / base_ipc : 0.0;
+            losses[i].push_back(loss);
+            row.push_back(util::TablePrinter::pct(loss));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (auto &l : losses)
+        avg.push_back(util::TablePrinter::pct(util::mean(l)));
+    table.addRow(avg);
+
+    std::cout << table.render() << "\nCSV:\n" << table.renderCsv();
+}
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_SWEEP_COMMON_HH

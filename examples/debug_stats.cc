@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pipeline statistics explorer — runs one benchmark on one issue-queue
+ * organization and prints the full stall/occupancy breakdown. Useful
+ * for understanding *why* a scheme loses IPC (dispatch stalls vs
+ * front-end stalls vs window pressure).
+ *
+ * Usage: debug_stats [benchmark] [scheme]
+ *   scheme: iq64 | unbounded | ifdistr | mbdistr | latfifo | all
+ */
+
+#include <iostream>
+#include <string>
+
+#include "sim/pipeline.hh"
+#include "trace/spec2000.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace diq;
+
+    std::string bench = argc > 1 ? argv[1] : "swim";
+    std::string which = argc > 2 ? argv[2] : "all";
+
+    auto scheme_for = [](const std::string &name) {
+        if (name == "iq64")
+            return core::SchemeConfig::iq6464();
+        if (name == "unbounded")
+            return core::SchemeConfig::unbounded();
+        if (name == "ifdistr")
+            return core::SchemeConfig::ifDistr();
+        if (name == "latfifo")
+            return core::SchemeConfig::latFifo(16, 16, 8, 16);
+        return core::SchemeConfig::mbDistr();
+    };
+
+    std::vector<core::SchemeConfig> schemes;
+    if (which == "all") {
+        schemes = {core::SchemeConfig::iq6464(),
+                   core::SchemeConfig::ifDistr(),
+                   core::SchemeConfig::mbDistr()};
+    } else {
+        schemes = {scheme_for(which)};
+    }
+
+    for (const auto &scheme : schemes) {
+        auto w = trace::makeSpecWorkload(bench);
+        sim::ProcessorConfig cfg;
+        cfg.scheme = scheme;
+        sim::Cpu cpu(cfg, *w);
+        cpu.run(50000);
+        cpu.resetStats();
+        cpu.run(200000);
+        const auto &s = cpu.stats();
+
+        std::cout << bench << " on " << scheme.name() << "\n"
+                  << "  IPC                  " << s.ipc() << "\n"
+                  << "  cycles               " << s.cycles << "\n"
+                  << "  branch mispredicts   " << s.mispredicts << " ("
+                  << 100.0 * s.mispredictRate() << "% of branches)\n"
+                  << "  scheme-stall cycles  " << s.dispatchStallCycles
+                  << " (" << 100.0 * s.dispatchStallCycles / s.cycles
+                  << "%)\n"
+                  << "  window-stall cycles  " << s.windowStallCycles
+                  << " (" << 100.0 * s.windowStallCycles / s.cycles
+                  << "%)\n"
+                  << "  fetch-stall cycles   " << s.fetchStallCycles
+                  << " (" << 100.0 * s.fetchStallCycles / s.cycles
+                  << "%)\n"
+                  << "  avg IQ occupancy     " << s.avgSchemeOccupancy()
+                  << "\n"
+                  << "  avg ROB occupancy    "
+                  << (s.cycles ? static_cast<double>(s.robOccupancySum) /
+                             s.cycles
+                               : 0.0)
+                  << "\n"
+                  << "  L1D / L2 miss rate   "
+                  << 100.0 * cpu.memory().l1d().missRate() << "% / "
+                  << 100.0 * cpu.memory().l2().missRate() << "%\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Figure 5 walkthrough — drives one MixBUFF FP queue through the
+ * paper's selection example step by step, printing the chain latency
+ * table, the 2-bit codes and the winning (code ++ age) key each cycle.
+ *
+ * The scenario: two dependence chains share one queue; chain A starts
+ * with a long-latency divide, chain B with a 2-cycle add. Selection
+ * must pick, every cycle, the oldest instruction among those whose
+ * chain predecessor finishes next cycle (code 00) or has finished
+ * (code 01) — never one that is >= 2 cycles away (code 11).
+ */
+
+#include <iostream>
+
+#include "core/mixbuff_issue_scheme.hh"
+#include "core/scoreboard.hh"
+
+using namespace diq;
+using namespace diq::core;
+
+namespace
+{
+
+const char *
+codeName(ChainCode c)
+{
+    switch (c) {
+      case ChainCode::FinishesNextCycle:
+        return "00 (finishes next cycle)";
+      case ChainCode::Finished:
+        return "01 (finished / delayed)";
+      default:
+        return "11 (>= 2 cycles left)";
+    }
+}
+
+struct Walkthrough
+{
+    Scoreboard scoreboard{320};
+    FuPool fus{FuPoolConfig{}};
+    util::CounterSet counters;
+    uint64_t cycle = 0;
+    MixBuffIssueScheme scheme{SchemeConfig::mixBuff(2, 2, 1, 16, 8)};
+    std::vector<std::unique_ptr<DynInst>> insts;
+    std::vector<DynInst *> tracked;
+
+    IssueContext
+    ctx()
+    {
+        IssueContext c;
+        c.cycle = cycle;
+        c.scoreboard = &scoreboard;
+        c.fus = &fus;
+        c.counters = &counters;
+        return c;
+    }
+
+    DynInst *
+    add(const char *label, trace::OpClass op, int dest, int src)
+    {
+        auto inst = std::make_unique<DynInst>();
+        trace::MicroOp mop;
+        mop.op = op;
+        mop.dest = static_cast<int8_t>(dest);
+        mop.src1 = static_cast<int8_t>(src);
+        inst->reset(mop, insts.size() + 1);
+        inst->pdest = dest;
+        inst->psrc1 = src;
+        if (dest >= 0)
+            scoreboard.markPending(dest);
+        auto c = ctx();
+        scheme.dispatch(inst.get(), c);
+        std::cout << "  dispatch " << label << " (seq " << inst->seq
+                  << ", " << trace::opClassName(op) << ") -> queue "
+                  << inst->queueId << ", chain " << inst->chainId << "\n";
+        tracked.push_back(inst.get());
+        insts.push_back(std::move(inst));
+        return tracked.back();
+    }
+
+    void
+    step()
+    {
+        ++cycle;
+        auto c = ctx();
+        std::vector<DynInst *> out;
+        scheme.issue(c, out);
+        for (auto *inst : out) {
+            if (inst->hasDest()) {
+                scoreboard.setReadyAt(
+                    inst->pdest,
+                    cycle + static_cast<uint64_t>(
+                                trace::opLatency(inst->op.op)));
+            }
+        }
+        std::cout << "cycle " << cycle << ":";
+        if (out.empty())
+            std::cout << " (no issue)";
+        for (auto *inst : out)
+            std::cout << " ISSUE seq " << inst->seq << " ("
+                      << trace::opClassName(inst->op.op) << ")";
+        std::cout << "\n";
+        const auto &fp = scheme.fpCluster();
+        for (int chain = 0; chain < 8; ++chain) {
+            if (!fp.chainBusy(0, chain))
+                continue;
+            uint32_t v = fp.chainCounter(0, chain);
+            std::cout << "    chain " << chain << ": counter " << v
+                      << " -> code " << codeName(MixBuffCluster::codeFor(v))
+                      << "\n";
+        }
+        if (const DynInst *sel = fp.selectedInst(0)) {
+            std::cout << "    selected for next cycle: seq " << sel->seq
+                      << " (oldest among highest-priority codes)\n";
+        }
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout
+        << "MixBUFF selection walkthrough (paper Figure 5)\n"
+        << "==============================================\n"
+        << "One FP queue, two chains. Priority key = 2-bit chain code\n"
+        << "concatenated with the age identifier; minimum wins.\n\n";
+
+    Walkthrough w;
+    std::cout << "Dispatching two chains into queue 0:\n";
+    w.add("A0 = fdiv (12 cycles)", trace::OpClass::FpDiv, 33, -1);
+    w.add("A1 = fadd A0", trace::OpClass::FpAdd, 34, 33);
+    w.add("B0 = fadd (2 cycles)", trace::OpClass::FpAdd, 35, -1);
+    w.add("B1 = fadd B0", trace::OpClass::FpAdd, 36, 35);
+    std::cout << "\n";
+
+    for (int i = 0; i < 8; ++i)
+        w.step();
+
+    std::cout
+        << "\nNote how B1 issues exactly when B0's 2-cycle result\n"
+        << "arrives (its chain code hit 00 one cycle earlier), while\n"
+        << "A1 stays parked behind the divide (code 11) without any\n"
+        << "CAM wakeup ever being consulted.\n";
+    return 0;
+}

@@ -1,0 +1,210 @@
+#include "branch/predictors.hh"
+
+#include <bit>
+
+namespace diq::branch
+{
+
+namespace
+{
+
+/** Round down to a power of two (table sizes must index cleanly). */
+size_t
+floorPow2(size_t n)
+{
+    if (n == 0)
+        return 1;
+    return size_t{1} << (63 - std::countl_zero(static_cast<uint64_t>(n)));
+}
+
+} // namespace
+
+// --- BimodalPredictor ------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(size_t entries)
+    : table_(floorPow2(entries),
+             util::SaturatingCounter(2, /*initial=*/1))
+{
+}
+
+size_t
+BimodalPredictor::index(uint64_t pc) const
+{
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc) const
+{
+    return table_[index(pc)].isSet();
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+}
+
+// --- GsharePredictor ------------------------------------------------------
+
+GsharePredictor::GsharePredictor(size_t entries)
+    : table_(floorPow2(entries),
+             util::SaturatingCounter(2, /*initial=*/1))
+{
+    historyBits_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<uint64_t>(table_.size())));
+}
+
+size_t
+GsharePredictor::index(uint64_t pc, uint64_t history) const
+{
+    uint64_t mask = table_.size() - 1;
+    return ((pc >> 2) ^ history) & mask;
+}
+
+bool
+GsharePredictor::predict(uint64_t pc, uint64_t history) const
+{
+    return table_[index(pc, history)].isSet();
+}
+
+void
+GsharePredictor::update(uint64_t pc, uint64_t history, bool taken)
+{
+    table_[index(pc, history)].update(taken);
+}
+
+// --- Btb -------------------------------------------------------------------
+
+Btb::Btb(size_t entries, unsigned assoc)
+    : assoc_(assoc == 0 ? 1 : assoc)
+{
+    size_t num_sets = floorPow2(entries / assoc_);
+    sets_.assign(num_sets, std::vector<Entry>(assoc_));
+}
+
+bool
+Btb::lookup(uint64_t pc, uint64_t &target) const
+{
+    const auto &set = sets_[(pc >> 2) & (sets_.size() - 1)];
+    for (const auto &e : set) {
+        if (e.valid && e.tag == pc) {
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    auto &set = sets_[(pc >> 2) & (sets_.size() - 1)];
+    ++lruClock_;
+    Entry *victim = &set[0];
+    for (auto &e : set) {
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = lruClock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = pc;
+    victim->target = target;
+    victim->lru = lruClock_;
+}
+
+// --- ReturnAddressStack ----------------------------------------------------
+
+ReturnAddressStack::ReturnAddressStack(size_t entries)
+    : stack_(entries == 0 ? 1 : entries)
+{
+}
+
+void
+ReturnAddressStack::push(uint64_t ra)
+{
+    top_ = (top_ + 1) % stack_.size();
+    stack_[top_] = ra;
+    if (size_ < stack_.size())
+        ++size_;
+}
+
+uint64_t
+ReturnAddressStack::pop()
+{
+    if (size_ == 0)
+        return 0;
+    uint64_t ra = stack_[top_];
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    return ra;
+}
+
+// --- HybridPredictor -------------------------------------------------------
+
+HybridPredictor::HybridPredictor(size_t gshare_entries,
+                                 size_t bimodal_entries,
+                                 size_t selector_entries,
+                                 size_t btb_entries, unsigned btb_assoc)
+    : gshare_(gshare_entries), bimodal_(bimodal_entries),
+      selector_(floorPow2(selector_entries),
+                util::SaturatingCounter(2, /*initial=*/1)),
+      btb_(btb_entries, btb_assoc)
+{
+}
+
+size_t
+HybridPredictor::selIndex(uint64_t pc) const
+{
+    return (pc >> 2) & (selector_.size() - 1);
+}
+
+BranchPrediction
+HybridPredictor::predict(uint64_t pc) const
+{
+    BranchPrediction p;
+    bool use_gshare = selector_[selIndex(pc)].isSet();
+    p.taken = use_gshare ? gshare_.predict(pc, history_)
+                         : bimodal_.predict(pc);
+    p.btbHit = btb_.lookup(pc, p.target);
+    return p;
+}
+
+bool
+HybridPredictor::predictAndUpdate(uint64_t pc, bool taken, uint64_t target)
+{
+    BranchPrediction p = predict(pc);
+    bool g = gshare_.predict(pc, history_);
+    bool b = bimodal_.predict(pc);
+
+    bool correct = (p.taken == taken) &&
+        (!taken || (p.btbHit && p.target == target));
+
+    ++lookups_;
+    if (!correct)
+        ++mispredicts_;
+
+    // Selector trains toward the component that was right (only when
+    // they disagree, the classic tournament update rule).
+    if (g != b)
+        selector_[selIndex(pc)].update(g == taken);
+    gshare_.update(pc, history_, taken);
+    bimodal_.update(pc, taken);
+    if (taken)
+        btb_.update(pc, target);
+
+    uint64_t mask = (uint64_t{1} << gshare_.historyBits()) - 1;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+
+    return correct;
+}
+
+} // namespace diq::branch

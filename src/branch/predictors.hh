@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Branch direction predictors and target structures matching Table 1 of
+ * the paper: a hybrid of a 2K-entry gshare and a 2K-entry bimodal with
+ * a 1K-entry selector, a 2048-entry 4-way BTB, and a return address
+ * stack (unused by the synthetic traces but part of the front-end).
+ */
+
+#ifndef DIQ_BRANCH_PREDICTORS_HH
+#define DIQ_BRANCH_PREDICTORS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/saturating_counter.hh"
+
+namespace diq::branch
+{
+
+/** Result of a front-end branch lookup. */
+struct BranchPrediction
+{
+    bool taken = false;     ///< predicted direction
+    bool btbHit = false;    ///< BTB produced a target
+    uint64_t target = 0;    ///< predicted target (valid if btbHit)
+};
+
+/** Classic per-PC 2-bit bimodal predictor. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(size_t entries = 2048);
+
+    bool predict(uint64_t pc) const;
+    void update(uint64_t pc, bool taken);
+
+    size_t numEntries() const { return table_.size(); }
+
+  private:
+    size_t index(uint64_t pc) const;
+    std::vector<util::SaturatingCounter> table_;
+};
+
+/** Gshare: PC xor global-history indexed 2-bit counters. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(size_t entries = 2048);
+
+    bool predict(uint64_t pc, uint64_t history) const;
+    void update(uint64_t pc, uint64_t history, bool taken);
+
+    size_t numEntries() const { return table_.size(); }
+    unsigned historyBits() const { return historyBits_; }
+
+  private:
+    size_t index(uint64_t pc, uint64_t history) const;
+    std::vector<util::SaturatingCounter> table_;
+    unsigned historyBits_;
+};
+
+/**
+ * Branch target buffer, set-associative with LRU replacement
+ * (2048 entries, 4-way in the paper's configuration).
+ */
+class Btb
+{
+  public:
+    Btb(size_t entries = 2048, unsigned assoc = 4);
+
+    /** @retval true and fills target on hit. */
+    bool lookup(uint64_t pc, uint64_t &target) const;
+
+    /** Install/refresh the target of a taken branch. */
+    void update(uint64_t pc, uint64_t target);
+
+    size_t numSets() const { return sets_.size(); }
+    unsigned assoc() const { return assoc_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint64_t lru = 0;
+    };
+
+    std::vector<std::vector<Entry>> sets_;
+    unsigned assoc_;
+    uint64_t lruClock_ = 0;
+};
+
+/** Return address stack (wrap-around, no overflow recovery). */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(size_t entries = 16);
+
+    void push(uint64_t ra);
+    uint64_t pop();
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+  private:
+    std::vector<uint64_t> stack_;
+    size_t top_ = 0;
+    size_t size_ = 0;
+};
+
+/**
+ * The paper's hybrid predictor: a 1K-entry selector of 2-bit counters
+ * chooses between gshare and bimodal per branch PC; the BTB supplies
+ * targets. A single speculative global history register is maintained
+ * internally (updated with actual outcomes, the standard trace-driven
+ * idealization).
+ */
+class HybridPredictor
+{
+  public:
+    HybridPredictor(size_t gshare_entries = 2048,
+                    size_t bimodal_entries = 2048,
+                    size_t selector_entries = 1024,
+                    size_t btb_entries = 2048, unsigned btb_assoc = 4);
+
+    /** Look up direction and target for a branch at `pc`. */
+    BranchPrediction predict(uint64_t pc) const;
+
+    /**
+     * Train all components with the resolved outcome and advance the
+     * global history.
+     * @return true if the prediction made with the pre-update state
+     *         was correct (direction, and target when taken).
+     */
+    bool predictAndUpdate(uint64_t pc, bool taken, uint64_t target);
+
+    uint64_t history() const { return history_; }
+
+    /** Direction-only accuracy counters. */
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    GsharePredictor gshare_;
+    BimodalPredictor bimodal_;
+    std::vector<util::SaturatingCounter> selector_;
+    Btb btb_;
+    uint64_t history_ = 0;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+
+    size_t selIndex(uint64_t pc) const;
+};
+
+} // namespace diq::branch
+
+#endif // DIQ_BRANCH_PREDICTORS_HH

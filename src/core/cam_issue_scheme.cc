@@ -1,0 +1,164 @@
+#include "core/cam_issue_scheme.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+namespace
+{
+
+/** Count an issue toward the right Mux component. */
+void
+countMux(util::CounterSet &c, FuClass fc)
+{
+    using namespace diq::power;
+    switch (fc) {
+      case FuClass::IntAlu:
+        c.add(ev::MuxIntAlu, 1);
+        break;
+      case FuClass::IntMul:
+        c.add(ev::MuxIntMul, 1);
+        break;
+      case FuClass::FpAlu:
+        c.add(ev::MuxFpAlu, 1);
+        break;
+      case FuClass::FpMul:
+        c.add(ev::MuxFpMul, 1);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+CamIssueScheme::CamIssueScheme(int int_entries, int fp_entries)
+{
+    intQ_.capacity = static_cast<size_t>(int_entries);
+    fpQ_.capacity = static_cast<size_t>(fp_entries);
+    intQ_.entries.reserve(intQ_.capacity);
+    fpQ_.entries.reserve(fpQ_.capacity);
+}
+
+CamIssueScheme::Cluster &
+CamIssueScheme::clusterFor(const DynInst &inst)
+{
+    return inst.isFpPipe() ? fpQ_ : intQ_;
+}
+
+const CamIssueScheme::Cluster &
+CamIssueScheme::clusterFor(const DynInst &inst) const
+{
+    return inst.isFpPipe() ? fpQ_ : intQ_;
+}
+
+bool
+CamIssueScheme::canDispatch(const DynInst &inst,
+                            const IssueContext &ctx) const
+{
+    (void)ctx;
+    const Cluster &c = clusterFor(inst);
+    return c.entries.size() < c.capacity;
+}
+
+void
+CamIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+{
+    clusterFor(*inst).entries.push_back(inst);
+    ctx.counters->add(power::ev::IqBuffWrites, 1);
+}
+
+uint64_t
+CamIssueScheme::armedCells(const Cluster &cluster,
+                           const IssueContext &ctx) const
+{
+    uint64_t armed = 0;
+    for (const DynInst *e : cluster.entries) {
+        if (e->psrc1 != NoPhysReg &&
+            !ctx.scoreboard->isReady(e->psrc1, ctx.cycle)) {
+            ++armed;
+        }
+        if (e->psrc2 != NoPhysReg &&
+            !ctx.scoreboard->isReady(e->psrc2, ctx.cycle)) {
+            ++armed;
+        }
+    }
+    return armed;
+}
+
+void
+CamIssueScheme::issueCluster(Cluster &cluster, IssueContext &ctx,
+                             std::vector<DynInst *> &out)
+{
+    if (cluster.entries.empty())
+        return;
+
+    int issued = 0;
+    size_t write_pos = 0;
+    for (size_t i = 0; i < cluster.entries.size(); ++i) {
+        DynInst *inst = cluster.entries[i];
+        bool take = false;
+        if (issued < IssueWidthPerCluster &&
+            ctx.scoreboard->readyToIssue(*inst, ctx.cycle)) {
+            // A ready entry raises its request line whether or not it
+            // wins a grant this cycle.
+            ctx.counters->add(power::ev::IqSelectRequests, 1);
+            FuClass fc = fuClassFor(inst->op.op);
+            if (ctx.fus->canIssue(fc, -1, ctx.cycle)) {
+                ctx.fus->markIssued(fc, -1, ctx.cycle,
+                                    FuPool::occupancyFor(inst->op.op));
+                ctx.counters->add(power::ev::IqBuffReads, 1);
+                countMux(*ctx.counters, fc);
+                inst->issued = true;
+                inst->issueCycle = ctx.cycle;
+                out.push_back(inst);
+                ++issued;
+                take = true;
+            }
+        }
+        if (!take)
+            cluster.entries[write_pos++] = inst;
+    }
+    cluster.entries.resize(write_pos);
+}
+
+void
+CamIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    issueCluster(intQ_, ctx, out);
+    issueCluster(fpQ_, ctx, out);
+}
+
+void
+CamIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
+{
+    (void)phys_reg;
+    // The destination tag is broadcast into each non-empty cluster
+    // queue; every armed (unready) operand cell compares against it.
+    for (const Cluster *c : {&intQ_, &fpQ_}) {
+        if (c->entries.empty())
+            continue;
+        ctx.counters->add(power::ev::WakeupBroadcasts, 1);
+        ctx.counters->add(power::ev::WakeupCamMatches, armedCells(*c, ctx));
+    }
+}
+
+size_t
+CamIssueScheme::occupancy() const
+{
+    return intQ_.entries.size() + fpQ_.entries.size();
+}
+
+std::string
+CamIssueScheme::name() const
+{
+    std::ostringstream os;
+    os << "IQ_" << intQ_.capacity << "_" << fpQ_.capacity;
+    return os.str();
+}
+
+} // namespace diq::core

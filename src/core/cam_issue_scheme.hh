@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Conventional CAM/RAM issue queue (the paper's baseline).
+ *
+ * Two out-of-order queues (integer / FP) in the style of the P6 and
+ * Pentium 4 (paper §4.1): any entry whose operands are ready may issue,
+ * oldest first, up to the per-cluster issue width. Wakeup is modeled
+ * as destination-tag broadcasts that are compared only by entries with
+ * unready operands (the Folegnani/González power optimization the
+ * paper grants the baseline), and the payload RAM is banked 8x8.
+ */
+
+#ifndef DIQ_CORE_CAM_ISSUE_SCHEME_HH
+#define DIQ_CORE_CAM_ISSUE_SCHEME_HH
+
+#include <string>
+#include <vector>
+
+#include "core/issue_scheme.hh"
+
+namespace diq::core
+{
+
+/** Baseline CAM/RAM out-of-order issue queue pair. */
+class CamIssueScheme : public IssueScheme
+{
+  public:
+    /**
+     * @param int_entries integer-queue capacity
+     * @param fp_entries FP-queue capacity
+     */
+    CamIssueScheme(int int_entries, int fp_entries);
+
+    bool canDispatch(const DynInst &inst,
+                     const IssueContext &ctx) const override;
+    void dispatch(DynInst *inst, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void onWakeup(int phys_reg, IssueContext &ctx) override;
+    size_t occupancy() const override;
+    std::string name() const override;
+
+    size_t intOccupancy() const { return intQ_.entries.size(); }
+    size_t fpOccupancy() const { return fpQ_.entries.size(); }
+
+  private:
+    struct Cluster
+    {
+        std::vector<DynInst *> entries; ///< program order (oldest first)
+        size_t capacity = 64;
+    };
+
+    Cluster &clusterFor(const DynInst &inst);
+    const Cluster &clusterFor(const DynInst &inst) const;
+
+    void issueCluster(Cluster &cluster, IssueContext &ctx,
+                      std::vector<DynInst *> &out);
+
+    /** Armed (unready-operand) CAM cells currently in the cluster. */
+    uint64_t armedCells(const Cluster &cluster,
+                        const IssueContext &ctx) const;
+
+    Cluster intQ_;
+    Cluster fpQ_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_CAM_ISSUE_SCHEME_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dynamic (in-flight) instruction state shared between the pipeline
+ * and the issue schemes.
+ */
+
+#ifndef DIQ_CORE_DYN_INST_HH
+#define DIQ_CORE_DYN_INST_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "trace/isa.hh"
+
+namespace diq::core
+{
+
+/** Sentinel cycle meaning "not yet known / not scheduled". */
+constexpr uint64_t UnknownCycle = std::numeric_limits<uint64_t>::max();
+
+/** Sentinel for "no physical register". */
+constexpr int NoPhysReg = -1;
+
+/**
+ * An in-flight instruction: the static micro-op plus renamed operands
+ * and per-stage timing state. Owned by the ROB; issue schemes hold
+ * non-owning pointers for the dispatch-to-issue window of its life.
+ */
+struct DynInst
+{
+    trace::MicroOp op;    ///< static portion from the trace
+    uint64_t seq = 0;      ///< global program-order age (monotonic)
+
+    // Renamed operands (indices into the physical register file).
+    int psrc1 = NoPhysReg;
+    int psrc2 = NoPhysReg;
+    int pdest = NoPhysReg;
+    int poldDest = NoPhysReg; ///< previous mapping, freed at commit
+
+    // Pipeline timing.
+    uint64_t fetchCycle = UnknownCycle;
+    uint64_t dispatchCycle = UnknownCycle;
+    uint64_t issueCycle = UnknownCycle;
+    uint64_t completeCycle = UnknownCycle; ///< result/finish cycle
+
+    // Memory-op state (managed by the LSQ).
+    uint64_t addrReadyCycle = UnknownCycle; ///< effective address known
+    uint64_t memStartCycle = UnknownCycle;  ///< cache access began
+
+    // Issue-scheme bookkeeping.
+    int queueId = -1;
+    int chainId = -1;
+
+    // Status flags.
+    bool issued = false;
+    bool completed = false;
+    bool mispredicted = false; ///< branch resolved against prediction
+
+    bool isFpPipe() const { return op.isFpPipe(); }
+    bool isLoad() const { return op.isLoad(); }
+    bool isStore() const { return op.isStore(); }
+    bool isBranch() const { return op.isBranch(); }
+
+    /** Number of register sources actually present. */
+    int
+    numSrcs() const
+    {
+        return (op.src1 != trace::NoReg ? 1 : 0) +
+            (op.src2 != trace::NoReg ? 1 : 0);
+    }
+
+    bool hasDest() const { return op.dest != trace::NoReg; }
+
+    /** Reset scheme/timing state (object pooling support). */
+    void
+    reset(const trace::MicroOp &mop, uint64_t sequence)
+    {
+        *this = DynInst{};
+        op = mop;
+        seq = sequence;
+    }
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_DYN_INST_HH

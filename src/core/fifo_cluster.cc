@@ -1,0 +1,161 @@
+#include "core/fifo_cluster.hh"
+
+#include <algorithm>
+
+#include "core/mux_counting.hh"
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+FifoCluster::FifoCluster(bool fp, int num_queues, int queue_size,
+                         bool distributed_fus)
+    : fp_(fp), queueSize_(queue_size), distributedFus_(distributed_fus)
+{
+    queues_.reserve(static_cast<size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q)
+        queues_.emplace_back(static_cast<size_t>(queue_size));
+}
+
+bool
+FifoCluster::mappingValid(const QueueMapping &m) const
+{
+    if (!m.valid || m.fpCluster != fp_)
+        return false;
+    if (m.queue < 0 || m.queue >= numQueues())
+        return false;
+    const auto &q = queues_[static_cast<size_t>(m.queue)];
+    return !q.empty() && q.back()->seq == m.producerSeq;
+}
+
+int
+FifoCluster::pickQueue(const DynInst &inst, const QueueRenameTable &table,
+                       SteerOutcome *outcome) const
+{
+    auto report = [&](SteerOutcome o) {
+        if (outcome)
+            *outcome = o;
+    };
+    const QueueMapping &m1 = table.lookup(inst.op.src1);
+    const QueueMapping &m2 = table.lookup(inst.op.src2);
+    bool v1 = inst.op.src1 != trace::NoReg && mappingValid(m1);
+    bool v2 = inst.op.src2 != trace::NoReg && mappingValid(m2);
+
+    if (v1) {
+        if (!queues_[static_cast<size_t>(m1.queue)].full()) {
+            report(SteerOutcome::JoinSrc1);
+            return m1.queue;
+        }
+        if (!v2) { // "full and only one source operand": stall
+            report(SteerOutcome::StallFull);
+            return -1;
+        }
+    }
+    if (v2) {
+        if (!queues_[static_cast<size_t>(m2.queue)].full()) {
+            report(SteerOutcome::JoinSrc2);
+            return m2.queue;
+        }
+        report(SteerOutcome::StallFull);
+        return -1; // producer queue full: stall
+    }
+
+    for (int q = 0; q < numQueues(); ++q) {
+        if (queues_[static_cast<size_t>(q)].empty()) {
+            report(SteerOutcome::EmptyFifo);
+            return q;
+        }
+    }
+    report(SteerOutcome::StallNoEmpty);
+    return -1; // no empty FIFO: stall
+}
+
+void
+FifoCluster::dispatch(DynInst *inst, QueueRenameTable &table,
+                      IssueContext &ctx)
+{
+    SteerOutcome outcome{};
+    int q = pickQueue(*inst, table, &outcome);
+    static const char *names[] = {"steer.join1", "steer.join2",
+                                  "steer.empty", "steer.full",
+                                  "steer.noempty"};
+    ctx.counters->add(names[static_cast<int>(outcome)], 1);
+    if (q < 0)
+        return; // caller must gate on canDispatch
+    queues_[static_cast<size_t>(q)].pushBack(inst);
+    inst->queueId = q;
+    inst->dispatchCycle = ctx.cycle;
+    ctx.counters->add(power::ev::FifoWrites, 1);
+    if (inst->hasDest())
+        table.update(inst->op.dest, fp_, q, -1, inst->seq);
+}
+
+void
+FifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    // Heads check their operands every cycle (paper §2.2), so the
+    // ready-table probes are counted before any issue decision.
+    // Issue considers heads oldest-first, up to the cluster width.
+    struct Head
+    {
+        int queue;
+        DynInst *inst;
+    };
+    Head heads[64];
+    int num_heads = 0;
+    for (int q = 0; q < numQueues(); ++q) {
+        auto &fifo = queues_[static_cast<size_t>(q)];
+        if (fifo.empty())
+            continue;
+        DynInst *inst = fifo.front();
+        ctx.counters->add(power::ev::RegsReadyReads,
+                          static_cast<uint64_t>(inst->numSrcs()));
+        if (num_heads < 64)
+            heads[num_heads++] = {q, inst};
+    }
+    std::sort(heads, heads + num_heads,
+              [](const Head &a, const Head &b) {
+                  return a.inst->seq < b.inst->seq;
+              });
+
+    int issued = 0;
+    for (int i = 0; i < num_heads && issued < IssueWidthPerCluster; ++i) {
+        DynInst *inst = heads[i].inst;
+        if (!ctx.scoreboard->readyToIssue(*inst, ctx.cycle))
+            continue;
+        FuClass fc = fuClassFor(inst->op.op);
+        int fu_domain = distributedFus_ ? heads[i].queue : -1;
+        if (!ctx.fus->canIssue(fc, fu_domain, ctx.cycle))
+            continue;
+        ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
+                            FuPool::occupancyFor(inst->op.op));
+        queues_[static_cast<size_t>(heads[i].queue)].popFront();
+        ctx.counters->add(power::ev::FifoReads, 1);
+        countMuxIssue(*ctx.counters, fc);
+        inst->issued = true;
+        inst->issueCycle = ctx.cycle;
+        out.push_back(inst);
+        ++issued;
+    }
+}
+
+size_t
+FifoCluster::occupancy() const
+{
+    size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+std::vector<const DynInst *>
+FifoCluster::queueContents(int q) const
+{
+    std::vector<const DynInst *> v;
+    const auto &fifo = queues_[static_cast<size_t>(q)];
+    for (size_t i = 0; i < fifo.size(); ++i)
+        v.push_back(fifo.at(i));
+    return v;
+}
+
+} // namespace diq::core

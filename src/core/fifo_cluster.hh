@@ -1,0 +1,90 @@
+/**
+ * @file
+ * One cluster (integer or FP) of Palacharla-style issue FIFOs.
+ *
+ * Dispatch steering implements the paper's §2.2 heuristics verbatim:
+ *   1. a queue whose tail produces the first operand (stall if that
+ *      queue is full and the instruction has a single source);
+ *   2. else a queue whose tail produces the second operand (stall if
+ *      full);
+ *   3. else an empty FIFO (stall if none).
+ * Only FIFO heads are considered for issue; they probe the ready-bit
+ * table every cycle ("regs_ready" energy) instead of using wakeup.
+ *
+ * Reused by IssueFIFO (both clusters), LatFIFO (integer cluster) and
+ * MixBUFF (integer cluster).
+ */
+
+#ifndef DIQ_CORE_FIFO_CLUSTER_HH
+#define DIQ_CORE_FIFO_CLUSTER_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/issue_scheme.hh"
+#include "core/queue_rename_table.hh"
+#include "util/circular_buffer.hh"
+
+namespace diq::core
+{
+
+/** A set of issue FIFOs for one cluster. */
+class FifoCluster
+{
+  public:
+    /**
+     * @param fp this is the FP cluster
+     * @param num_queues number of FIFOs
+     * @param queue_size entries per FIFO
+     * @param distributed_fus restrict issue to the queue's own units
+     */
+    FifoCluster(bool fp, int num_queues, int queue_size,
+                bool distributed_fus);
+
+    /** Why/where the steering decision landed (diagnostics). */
+    enum class SteerOutcome : uint8_t {
+        JoinSrc1,     ///< behind the first operand's producer
+        JoinSrc2,     ///< behind the second operand's producer
+        EmptyFifo,    ///< no producer at a tail: fresh FIFO
+        StallFull,    ///< producer queue full
+        StallNoEmpty  ///< no mapping and no empty FIFO
+    };
+
+    /** Steering decision; -1 means dispatch must stall. */
+    int pickQueue(const DynInst &inst, const QueueRenameTable &table,
+                  SteerOutcome *outcome = nullptr) const;
+
+    bool
+    canDispatch(const DynInst &inst, const QueueRenameTable &table) const
+    {
+        return pickQueue(inst, table) >= 0;
+    }
+
+    /** Place the instruction and update the rename table. */
+    void dispatch(DynInst *inst, QueueRenameTable &table,
+                  IssueContext &ctx);
+
+    /** Heads probe regs_ready and issue when ready (oldest first). */
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+
+    size_t occupancy() const;
+    int numQueues() const { return static_cast<int>(queues_.size()); }
+    int queueSize() const { return queueSize_; }
+
+    /** Entries of queue q, oldest first (test introspection). */
+    std::vector<const DynInst *> queueContents(int q) const;
+
+  private:
+    /** True when `m` maps to a queue of this cluster whose tail is
+     *  still the mapped producer. */
+    bool mappingValid(const QueueMapping &m) const;
+
+    bool fp_;
+    int queueSize_;
+    bool distributedFus_;
+    std::vector<util::CircularBuffer<DynInst *>> queues_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_FIFO_CLUSTER_HH

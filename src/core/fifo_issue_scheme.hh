@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IssueFIFO_AxB_CxD: Palacharla-style FIFO issue queues for both
+ * clusters (paper §2.2/§3), with the shared queue rename table and
+ * ready-bit accounting. With distributed FUs this is the paper's
+ * IF_distr configuration.
+ */
+
+#ifndef DIQ_CORE_FIFO_ISSUE_SCHEME_HH
+#define DIQ_CORE_FIFO_ISSUE_SCHEME_HH
+
+#include <string>
+
+#include "core/fifo_cluster.hh"
+#include "core/issue_scheme.hh"
+#include "core/queue_rename_table.hh"
+
+namespace diq::core
+{
+
+/** The complete IssueFIFO organization. */
+class FifoIssueScheme : public IssueScheme
+{
+  public:
+    explicit FifoIssueScheme(const SchemeConfig &config);
+
+    bool canDispatch(const DynInst &inst,
+                     const IssueContext &ctx) const override;
+    void dispatch(DynInst *inst, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void onWakeup(int phys_reg, IssueContext &ctx) override;
+    void onBranchMispredict(IssueContext &ctx) override;
+    size_t occupancy() const override;
+    std::string name() const override;
+
+    const FifoCluster &intCluster() const { return int_; }
+    const FifoCluster &fpCluster() const { return fp_; }
+    const QueueRenameTable &table() const { return table_; }
+
+  private:
+    SchemeConfig config_;
+    FifoCluster int_;
+    FifoCluster fp_;
+    QueueRenameTable table_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_FIFO_ISSUE_SCHEME_HH

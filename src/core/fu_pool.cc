@@ -1,0 +1,132 @@
+#include "core/fu_pool.hh"
+
+#include <cassert>
+
+namespace diq::core
+{
+
+FuClass
+fuClassFor(trace::OpClass op)
+{
+    using trace::OpClass;
+    switch (op) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuClass::IntMul;
+      case OpClass::FpAdd:
+        return FuClass::FpAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuClass::FpMul;
+      default:
+        // IntAlu, Load, Store, Branch, Nop: integer ALU / AGU.
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+FuPool::occupancyFor(trace::OpClass op)
+{
+    using trace::OpClass;
+    switch (op) {
+      case OpClass::IntDiv:
+      case OpClass::FpDiv:
+        return static_cast<unsigned>(trace::opLatency(op));
+      default:
+        return 1; // fully pipelined
+    }
+}
+
+FuPool::FuPool(const FuPoolConfig &config)
+    : config_(config)
+{
+    nextFree_.resize(static_cast<size_t>(FuClass::NumClasses));
+    nextFree_[static_cast<size_t>(FuClass::IntAlu)]
+        .assign(static_cast<size_t>(config_.intAlu), 0);
+    nextFree_[static_cast<size_t>(FuClass::IntMul)]
+        .assign(static_cast<size_t>(config_.intMul), 0);
+    nextFree_[static_cast<size_t>(FuClass::FpAlu)]
+        .assign(static_cast<size_t>(config_.fpAlu), 0);
+    nextFree_[static_cast<size_t>(FuClass::FpMul)]
+        .assign(static_cast<size_t>(config_.fpMul), 0);
+}
+
+void
+FuPool::unitRange(FuClass fc, int queue_id, int &first, int &count) const
+{
+    int total = numUnits(fc);
+    if (!config_.distributed || queue_id < 0) {
+        first = 0;
+        count = total;
+        return;
+    }
+    // Distributed binding: queues share the units of their class
+    // evenly; with fewer units than queues, adjacent queues pair up on
+    // one unit (e.g. 1 mult/div per pair of queues).
+    bool is_int = fc == FuClass::IntAlu || fc == FuClass::IntMul;
+    int queues = is_int ? config_.numIntQueues : config_.numFpQueues;
+    assert(queues > 0);
+    if (queue_id >= queues)
+        queue_id = queue_id % queues;
+    if (total >= queues) {
+        // One or more units per queue.
+        int per = total / queues;
+        first = queue_id * per;
+        count = per;
+    } else {
+        // Several queues share one unit.
+        int share = queues / total;
+        first = queue_id / share;
+        if (first >= total)
+            first = total - 1;
+        count = 1;
+    }
+}
+
+bool
+FuPool::canIssue(FuClass fc, int queue_id, uint64_t cycle) const
+{
+    int first = 0;
+    int count = 0;
+    unitRange(fc, queue_id, first, count);
+    const auto &units = nextFree_[static_cast<size_t>(fc)];
+    for (int u = first; u < first + count; ++u)
+        if (units[static_cast<size_t>(u)] <= cycle)
+            return true;
+    return false;
+}
+
+int
+FuPool::markIssued(FuClass fc, int queue_id, uint64_t cycle,
+                   unsigned occupancy)
+{
+    int first = 0;
+    int count = 0;
+    unitRange(fc, queue_id, first, count);
+    auto &units = nextFree_[static_cast<size_t>(fc)];
+    for (int u = first; u < first + count; ++u) {
+        if (units[static_cast<size_t>(u)] <= cycle) {
+            units[static_cast<size_t>(u)] =
+                cycle + (occupancy == 0 ? 1 : occupancy);
+            return u;
+        }
+    }
+    assert(false && "markIssued without canIssue");
+    return -1;
+}
+
+void
+FuPool::reset()
+{
+    for (auto &cls : nextFree_)
+        for (auto &u : cls)
+            u = 0;
+}
+
+int
+FuPool::numUnits(FuClass fc) const
+{
+    return static_cast<int>(nextFree_[static_cast<size_t>(fc)].size());
+}
+
+} // namespace diq::core

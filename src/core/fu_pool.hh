@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Functional-unit pool with centralized or distributed binding.
+ *
+ * Table 1 configuration: 8 integer ALUs, 4 integer mult/div units,
+ * 4 FP ALUs, 4 FP mult/div units. ALUs and multipliers are fully
+ * pipelined (one issue per cycle per unit); dividers occupy their unit
+ * for the whole operation.
+ *
+ * In the distributed organizations (paper §3.3) each queue owns its
+ * units: one integer ALU per integer queue, one integer mult/div per
+ * pair of integer queues, and one FP add + one FP mult/div per pair of
+ * FP queues. An instruction issuing from queue q may then use only the
+ * units bound to q, which is what kills the issue crossbar.
+ */
+
+#ifndef DIQ_CORE_FU_POOL_HH
+#define DIQ_CORE_FU_POOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/isa.hh"
+
+namespace diq::core
+{
+
+/** Functional-unit classes (dividers share the multiply unit). */
+enum class FuClass : uint8_t { IntAlu = 0, IntMul, FpAlu, FpMul, NumClasses };
+
+/** Which unit class executes an op class. Loads/stores/branches use
+ *  the integer ALU (address computation / condition evaluation). */
+FuClass fuClassFor(trace::OpClass op);
+
+/** Configuration of the pool. */
+struct FuPoolConfig
+{
+    int intAlu = 8;
+    int intMul = 4;
+    int fpAlu = 4;
+    int fpMul = 4;
+
+    bool distributed = false; ///< bind units to issue queues
+    int numIntQueues = 8;     ///< binding domain (distributed only)
+    int numFpQueues = 8;
+};
+
+/** The pool; tracks per-unit busy state cycle by cycle. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuPoolConfig &config);
+
+    /**
+     * Can an instruction of class `fc`, issuing from queue `queue_id`
+     * (-1 for centralized callers), begin execution at `cycle`?
+     */
+    bool canIssue(FuClass fc, int queue_id, uint64_t cycle) const;
+
+    /**
+     * Reserve a unit. `occupancy` is 1 for pipelined ops and the full
+     * latency for unpipelined ones (use occupancyFor()).
+     * @return index of the unit used.
+     */
+    int markIssued(FuClass fc, int queue_id, uint64_t cycle,
+                   unsigned occupancy);
+
+    /** Unit-occupancy in cycles for an op class (divides block). */
+    static unsigned occupancyFor(trace::OpClass op);
+
+    /** All units idle again. */
+    void reset();
+
+    int numUnits(FuClass fc) const;
+    const FuPoolConfig &config() const { return config_; }
+
+  private:
+    /** Range [first, count) of units of `fc` usable by `queue_id`. */
+    void unitRange(FuClass fc, int queue_id, int &first, int &count) const;
+
+    FuPoolConfig config_;
+    // nextFree_[class][unit]: first cycle the unit can accept an op.
+    std::vector<std::vector<uint64_t>> nextFree_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_FU_POOL_HH

@@ -1,0 +1,120 @@
+#include "core/issue_scheme.hh"
+
+#include <sstream>
+
+#include "core/cam_issue_scheme.hh"
+#include "core/fifo_issue_scheme.hh"
+#include "core/lat_fifo_issue_scheme.hh"
+#include "core/mixbuff_issue_scheme.hh"
+
+namespace diq::core
+{
+
+SchemeConfig
+SchemeConfig::iq6464()
+{
+    SchemeConfig c;
+    c.kind = Kind::Cam;
+    c.camIntEntries = 64;
+    c.camFpEntries = 64;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::unbounded()
+{
+    SchemeConfig c;
+    c.kind = Kind::Cam;
+    c.camIntEntries = 256;
+    c.camFpEntries = 256;
+    return c;
+}
+
+SchemeConfig
+SchemeConfig::issueFifo(int a, int b, int c, int d)
+{
+    SchemeConfig cfg;
+    cfg.kind = Kind::IssueFifo;
+    cfg.numIntQueues = a;
+    cfg.intQueueSize = b;
+    cfg.numFpQueues = c;
+    cfg.fpQueueSize = d;
+    return cfg;
+}
+
+SchemeConfig
+SchemeConfig::latFifo(int a, int b, int c, int d)
+{
+    SchemeConfig cfg = issueFifo(a, b, c, d);
+    cfg.kind = Kind::LatFifo;
+    return cfg;
+}
+
+SchemeConfig
+SchemeConfig::mixBuff(int a, int b, int c, int d, int chains)
+{
+    SchemeConfig cfg = issueFifo(a, b, c, d);
+    cfg.kind = Kind::MixBuff;
+    cfg.chainsPerQueue = chains;
+    return cfg;
+}
+
+SchemeConfig
+SchemeConfig::ifDistr()
+{
+    SchemeConfig cfg = issueFifo(8, 8, 8, 16);
+    cfg.distributedFus = true;
+    return cfg;
+}
+
+SchemeConfig
+SchemeConfig::mbDistr()
+{
+    SchemeConfig cfg = mixBuff(8, 8, 8, 16, /*chains=*/8);
+    cfg.distributedFus = true;
+    return cfg;
+}
+
+std::string
+SchemeConfig::name() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Cam:
+        os << "IQ_" << camIntEntries << "_" << camFpEntries;
+        return os.str();
+      case Kind::IssueFifo:
+        os << "IssueFIFO";
+        break;
+      case Kind::LatFifo:
+        os << "LatFIFO";
+        break;
+      case Kind::MixBuff:
+        os << "MixBUFF";
+        break;
+    }
+    os << "_" << numIntQueues << "x" << intQueueSize << "_" << numFpQueues
+       << "x" << fpQueueSize;
+    if (distributedFus)
+        os << "_distr";
+    return os.str();
+}
+
+std::unique_ptr<IssueScheme>
+makeScheme(const SchemeConfig &config)
+{
+    switch (config.kind) {
+      case SchemeConfig::Kind::Cam:
+        return std::make_unique<CamIssueScheme>(config.camIntEntries,
+                                                config.camFpEntries);
+      case SchemeConfig::Kind::IssueFifo:
+        return std::make_unique<FifoIssueScheme>(config);
+      case SchemeConfig::Kind::LatFifo:
+        return std::make_unique<LatFifoIssueScheme>(config);
+      case SchemeConfig::Kind::MixBuff:
+        return std::make_unique<MixBuffIssueScheme>(config);
+    }
+    return nullptr;
+}
+
+} // namespace diq::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Abstract issue-logic organization.
+ *
+ * The pipeline drives one IssueScheme; concrete implementations are
+ * the paper's four organizations:
+ *   - CamIssueScheme   : conventional CAM/RAM queue (baseline)
+ *   - FifoIssueScheme  : Palacharla's IssueFIFO
+ *   - LatFifoIssueScheme : latency-based FIFO placement (paper §3.1)
+ *   - MixBuffIssueScheme : the proposed MixBUFF (paper §3.2)
+ *
+ * A scheme owns both the integer-cluster and FP-cluster structures;
+ * instructions route to a cluster by op class (memory ops and branches
+ * are integer-cluster work).
+ */
+
+#ifndef DIQ_CORE_ISSUE_SCHEME_HH
+#define DIQ_CORE_ISSUE_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/scoreboard.hh"
+#include "util/stats.hh"
+
+namespace diq::core
+{
+
+/** Everything a scheme needs from the surrounding machine per cycle. */
+struct IssueContext
+{
+    uint64_t cycle = 0;
+    Scoreboard *scoreboard = nullptr;
+    FuPool *fus = nullptr;
+    util::CounterSet *counters = nullptr;
+};
+
+/** Per-cluster issue width (Table 1: 8 integer + 8 FP). */
+constexpr int IssueWidthPerCluster = 8;
+
+/** Abstract issue-queue organization. */
+class IssueScheme
+{
+  public:
+    virtual ~IssueScheme() = default;
+
+    /**
+     * Would dispatching `inst` right now succeed? Dispatch is strictly
+     * in order: when this returns false the dispatch stage stalls.
+     */
+    virtual bool canDispatch(const DynInst &inst,
+                             const IssueContext &ctx) const = 0;
+
+    /** Insert the instruction (must follow a true canDispatch). */
+    virtual void dispatch(DynInst *inst, IssueContext &ctx) = 0;
+
+    /**
+     * One issue cycle: append every instruction that begins execution
+     * this cycle to `out`. The scheme checks operand readiness and
+     * reserves functional units itself.
+     */
+    virtual void issue(IssueContext &ctx, std::vector<DynInst *> &out) = 0;
+
+    /**
+     * A destination register's availability was announced (tag
+     * broadcast for CAM schemes, ready-bit write for the others).
+     */
+    virtual void onWakeup(int phys_reg, IssueContext &ctx) = 0;
+
+    /**
+     * A branch mispredict resolved; table-based schemes clear their
+     * queue rename tables here (paper §2.2: clearing "does not have
+     * significant impact in performance and simplifies the hardware").
+     */
+    virtual void onBranchMispredict(IssueContext &ctx) { (void)ctx; }
+
+    /** Instructions currently waiting in the scheme. */
+    virtual size_t occupancy() const = 0;
+
+    /** Organization name, e.g. "MixBUFF_8x8_8x16". */
+    virtual std::string name() const = 0;
+};
+
+/** Scheme selection + parameters for the factory. */
+struct SchemeConfig
+{
+    enum class Kind { Cam, IssueFifo, LatFifo, MixBuff };
+
+    Kind kind = Kind::Cam;
+
+    // CAM baseline capacities (per cluster).
+    int camIntEntries = 64;
+    int camFpEntries = 64;
+
+    // FIFO-family geometry: AxB integer queues, CxD FP queues.
+    int numIntQueues = 8;
+    int intQueueSize = 8;
+    int numFpQueues = 8;
+    int fpQueueSize = 16;
+
+    /** MixBUFF chains per FP queue; 0 = unbounded (paper §3.2 study). */
+    int chainsPerQueue = 8;
+
+    /** Distribute functional units across queues (paper §3.3). */
+    bool distributedFus = false;
+
+    /** Clear rename tables when a branch mispredict resolves. */
+    bool clearTableOnMispredict = true;
+
+    // --- Named configurations from the paper -------------------------
+
+    /** Baseline: two 64-entry CAM queues, centralized FUs (§4.2). */
+    static SchemeConfig iq6464();
+
+    /** Unbounded (256-entry) CAM baseline used in §3's IPC-loss study. */
+    static SchemeConfig unbounded();
+
+    /** IssueFIFO_AxB_CxD, centralized FUs. */
+    static SchemeConfig issueFifo(int a, int b, int c, int d);
+
+    /** LatFIFO_AxB_CxD, centralized FUs. */
+    static SchemeConfig latFifo(int a, int b, int c, int d);
+
+    /** MixBUFF_AxB_CxD, centralized FUs, `chains` per queue
+     *  (0 = unbounded as in the §3.2 evaluation). */
+    static SchemeConfig mixBuff(int a, int b, int c, int d,
+                                int chains = 0);
+
+    /** IF_distr = IssueFIFO_8x8_8x16 with distributed FUs (§4.2). */
+    static SchemeConfig ifDistr();
+
+    /** MB_distr = MixBUFF_8x8_8x16, 8 chains/queue, distributed FUs. */
+    static SchemeConfig mbDistr();
+
+    std::string name() const;
+};
+
+/** Instantiate a scheme from its configuration. */
+std::unique_ptr<IssueScheme> makeScheme(const SchemeConfig &config);
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_ISSUE_SCHEME_HH

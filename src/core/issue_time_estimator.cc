@@ -1,0 +1,63 @@
+#include "core/issue_time_estimator.hh"
+
+#include <algorithm>
+
+namespace diq::core
+{
+
+IssueTimeEstimator::IssueTimeEstimator(unsigned l1d_hit_latency)
+    : l1dHitLatency_(l1d_hit_latency)
+{
+    destCycle_.fill(0);
+}
+
+unsigned
+IssueTimeEstimator::estimatedLatency(trace::OpClass op) const
+{
+    if (op == trace::OpClass::Load)
+        return trace::AddressLatency + l1dHitLatency_;
+    return static_cast<unsigned>(trace::opLatency(op));
+}
+
+uint64_t
+IssueTimeEstimator::destCycle(int logical_reg) const
+{
+    if (logical_reg < 0 || logical_reg >= trace::NumLogicalRegs)
+        return 0;
+    return destCycle_[static_cast<size_t>(logical_reg)];
+}
+
+uint64_t
+IssueTimeEstimator::estimate(const DynInst &inst, uint64_t cycle) const
+{
+    uint64_t issue = cycle + 1;
+    issue = std::max(issue, destCycle(inst.op.src1));
+    issue = std::max(issue, destCycle(inst.op.src2));
+    if (inst.isLoad())
+        issue = std::max(issue, allStoreAddr_);
+    return issue;
+}
+
+uint64_t
+IssueTimeEstimator::onDispatch(const DynInst &inst, uint64_t cycle)
+{
+    uint64_t issue = estimate(inst, cycle);
+    if (inst.isStore()) {
+        allStoreAddr_ =
+            std::max(allStoreAddr_, issue + trace::AddressLatency);
+    }
+    if (inst.hasDest()) {
+        destCycle_[static_cast<size_t>(inst.op.dest)] =
+            issue + estimatedLatency(inst.op.op);
+    }
+    return issue;
+}
+
+void
+IssueTimeEstimator::clear()
+{
+    destCycle_.fill(0);
+    allStoreAddr_ = 0;
+}
+
+} // namespace diq::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dispatch-time issue-cycle estimation (paper §3.1).
+ *
+ * LatFIFO places FP instructions into FIFOs by the cycle they are
+ * expected to become issuable, computed at dispatch with the paper's
+ * recurrence:
+ *
+ *   IssueCycle = MAX(current_cycle + 1, OpLeftCycle, OpRightCycle)
+ *   if load:  IssueCycle   = MAX(IssueCycle, AllStoreAddr)
+ *   if store: AllStoreAddr = MAX(AllStoreAddr,
+ *                                IssueCycle + AddressLatency)
+ *   if dest:  DestCycle    = IssueCycle + InstructionLatency
+ *
+ * Loads assume the L1 D-cache hit latency ("We experimentally checked
+ * that knowing the exact number of cycles for each memory access has
+ * no significant effect"). The whole computation is assumed to fit in
+ * one cycle, as in the paper.
+ */
+
+#ifndef DIQ_CORE_ISSUE_TIME_ESTIMATOR_HH
+#define DIQ_CORE_ISSUE_TIME_ESTIMATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/dyn_inst.hh"
+
+namespace diq::core
+{
+
+/** Per-logical-register availability estimates + store-address bound. */
+class IssueTimeEstimator
+{
+  public:
+    explicit IssueTimeEstimator(unsigned l1d_hit_latency = 2);
+
+    /** Estimated issue cycle of `inst` dispatched at `cycle` (pure). */
+    uint64_t estimate(const DynInst &inst, uint64_t cycle) const;
+
+    /**
+     * Record the dispatch of `inst` (updates DestCycle/AllStoreAddr).
+     * @return the estimate used.
+     */
+    uint64_t onDispatch(const DynInst &inst, uint64_t cycle);
+
+    /** Forget all estimates (run reset). */
+    void clear();
+
+    uint64_t destCycle(int logical_reg) const;
+    uint64_t allStoreAddr() const { return allStoreAddr_; }
+
+    /** Estimated total latency of an op (loads: addr + L1 hit). */
+    unsigned estimatedLatency(trace::OpClass op) const;
+
+  private:
+    unsigned l1dHitLatency_;
+    std::array<uint64_t, trace::NumLogicalRegs> destCycle_{};
+    uint64_t allStoreAddr_ = 0;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_ISSUE_TIME_ESTIMATOR_HH

@@ -1,0 +1,118 @@
+#include "core/lat_fifo_cluster.hh"
+
+#include <algorithm>
+
+#include "core/mux_counting.hh"
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+LatFifoCluster::LatFifoCluster(int num_queues, int queue_size,
+                               bool distributed_fus)
+    : queueSize_(queue_size), distributedFus_(distributed_fus)
+{
+    queues_.reserve(static_cast<size_t>(num_queues));
+    for (int q = 0; q < num_queues; ++q)
+        queues_.emplace_back(static_cast<size_t>(queue_size));
+}
+
+int
+LatFifoCluster::pickQueue(uint64_t est_issue) const
+{
+    // Among non-full, non-empty queues whose tail issues at least one
+    // cycle earlier, prefer the latest tail; otherwise an empty queue.
+    int best = -1;
+    uint64_t best_tail = 0;
+    int empty = -1;
+    for (int q = 0; q < numQueues(); ++q) {
+        const LatQueue &lq = queues_[static_cast<size_t>(q)];
+        if (lq.fifo.empty()) {
+            if (empty < 0)
+                empty = q;
+            continue;
+        }
+        if (lq.fifo.full())
+            continue;
+        if (lq.tailEstIssue + 1 <= est_issue &&
+            (best < 0 || lq.tailEstIssue > best_tail)) {
+            best = q;
+            best_tail = lq.tailEstIssue;
+        }
+    }
+    if (best >= 0)
+        return best;
+    return empty;
+}
+
+void
+LatFifoCluster::dispatch(DynInst *inst, uint64_t est_issue,
+                         IssueContext &ctx)
+{
+    int q = pickQueue(est_issue);
+    if (q < 0)
+        return; // caller gates on canDispatch
+    LatQueue &lq = queues_[static_cast<size_t>(q)];
+    lq.fifo.pushBack(inst);
+    lq.tailEstIssue = est_issue;
+    inst->queueId = q;
+    inst->dispatchCycle = ctx.cycle;
+    ctx.counters->add(power::ev::FifoWrites, 1);
+}
+
+void
+LatFifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    struct Head
+    {
+        int queue;
+        DynInst *inst;
+    };
+    Head heads[64];
+    int num_heads = 0;
+    for (int q = 0; q < numQueues(); ++q) {
+        auto &fifo = queues_[static_cast<size_t>(q)].fifo;
+        if (fifo.empty())
+            continue;
+        DynInst *inst = fifo.front();
+        ctx.counters->add(power::ev::RegsReadyReads,
+                          static_cast<uint64_t>(inst->numSrcs()));
+        if (num_heads < 64)
+            heads[num_heads++] = {q, inst};
+    }
+    std::sort(heads, heads + num_heads,
+              [](const Head &a, const Head &b) {
+                  return a.inst->seq < b.inst->seq;
+              });
+
+    int issued = 0;
+    for (int i = 0; i < num_heads && issued < IssueWidthPerCluster; ++i) {
+        DynInst *inst = heads[i].inst;
+        if (!ctx.scoreboard->readyToIssue(*inst, ctx.cycle))
+            continue;
+        FuClass fc = fuClassFor(inst->op.op);
+        int fu_domain = distributedFus_ ? heads[i].queue : -1;
+        if (!ctx.fus->canIssue(fc, fu_domain, ctx.cycle))
+            continue;
+        ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
+                            FuPool::occupancyFor(inst->op.op));
+        queues_[static_cast<size_t>(heads[i].queue)].fifo.popFront();
+        ctx.counters->add(power::ev::FifoReads, 1);
+        countMuxIssue(*ctx.counters, fc);
+        inst->issued = true;
+        inst->issueCycle = ctx.cycle;
+        out.push_back(inst);
+        ++issued;
+    }
+}
+
+size_t
+LatFifoCluster::occupancy() const
+{
+    size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.fifo.size();
+    return n;
+}
+
+} // namespace diq::core

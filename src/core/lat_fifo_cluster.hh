@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LatFIFO FP cluster: FIFOs with latency-based placement (paper §3.1).
+ *
+ * Unlike IssueFIFO, a dispatched instruction may be appended behind an
+ * *independent* instruction, provided the queue's current tail is
+ * expected to issue at least one cycle earlier: "Each instruction is
+ * placed in that queue that is not full and whose last instruction has
+ * an estimated issue time at least one cycle earlier than the
+ * instruction being dispatched. If there is more than one queue that
+ * meets these conditions, the one whose last instruction is expected
+ * to be issued later is selected" — which leaves the most room for
+ * younger instructions. Issue still happens from FIFO heads with
+ * ready-bit checks.
+ */
+
+#ifndef DIQ_CORE_LAT_FIFO_CLUSTER_HH
+#define DIQ_CORE_LAT_FIFO_CLUSTER_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/issue_scheme.hh"
+#include "util/circular_buffer.hh"
+
+namespace diq::core
+{
+
+/** FP-side FIFOs placed by estimated issue time. */
+class LatFifoCluster
+{
+  public:
+    LatFifoCluster(int num_queues, int queue_size, bool distributed_fus);
+
+    /** Placement decision for an estimate; -1 means stall. */
+    int pickQueue(uint64_t est_issue) const;
+
+    bool canDispatch(uint64_t est_issue) const
+    {
+        return pickQueue(est_issue) >= 0;
+    }
+
+    void dispatch(DynInst *inst, uint64_t est_issue, IssueContext &ctx);
+
+    /** Heads probe regs_ready and issue when ready (oldest first). */
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+
+    size_t occupancy() const;
+    int numQueues() const { return static_cast<int>(queues_.size()); }
+
+  private:
+    struct LatQueue
+    {
+        util::CircularBuffer<DynInst *> fifo;
+        uint64_t tailEstIssue = 0;
+
+        explicit LatQueue(size_t cap) : fifo(cap) {}
+    };
+
+    int queueSize_;
+    bool distributedFus_;
+    std::vector<LatQueue> queues_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_LAT_FIFO_CLUSTER_HH

@@ -1,0 +1,83 @@
+#include "core/lat_fifo_issue_scheme.hh"
+
+#include <sstream>
+
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+LatFifoIssueScheme::LatFifoIssueScheme(const SchemeConfig &config)
+    : config_(config),
+      int_(false, config.numIntQueues, config.intQueueSize,
+           config.distributedFus),
+      fp_(config.numFpQueues, config.fpQueueSize, config.distributedFus)
+{
+}
+
+bool
+LatFifoIssueScheme::canDispatch(const DynInst &inst,
+                                const IssueContext &ctx) const
+{
+    if (!inst.isFpPipe())
+        return int_.canDispatch(inst, table_);
+    return fp_.canDispatch(estimator_.estimate(inst, ctx.cycle));
+}
+
+void
+LatFifoIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+{
+    ctx.counters->add(power::ev::QrenameReads,
+                      static_cast<uint64_t>(inst->numSrcs()));
+    if (inst->hasDest())
+        ctx.counters->add(power::ev::QrenameWrites, 1);
+
+    // Every instruction trains the estimator; only FP placement uses
+    // the resulting estimate directly.
+    uint64_t est = estimator_.onDispatch(*inst, ctx.cycle);
+    if (inst->isFpPipe())
+        fp_.dispatch(inst, est, ctx);
+    else
+        int_.dispatch(inst, table_, ctx);
+}
+
+void
+LatFifoIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    int_.issue(ctx, out);
+    fp_.issue(ctx, out);
+}
+
+void
+LatFifoIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
+{
+    (void)phys_reg;
+    ctx.counters->add(power::ev::RegsReadyWrites, 1);
+}
+
+void
+LatFifoIssueScheme::onBranchMispredict(IssueContext &ctx)
+{
+    (void)ctx;
+    if (config_.clearTableOnMispredict)
+        table_.clear();
+}
+
+size_t
+LatFifoIssueScheme::occupancy() const
+{
+    return int_.occupancy() + fp_.occupancy();
+}
+
+std::string
+LatFifoIssueScheme::name() const
+{
+    std::ostringstream os;
+    os << "LatFIFO_" << config_.numIntQueues << "x" << config_.intQueueSize
+       << "_" << config_.numFpQueues << "x" << config_.fpQueueSize;
+    if (config_.distributedFus)
+        os << "_distr";
+    return os.str();
+}
+
+} // namespace diq::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * LatFIFO_AxB_CxD (paper §3.1): IssueFIFO for the integer cluster,
+ * latency-based FIFO placement for the FP cluster. The issue-time
+ * estimator observes every dispatched instruction (integer producers
+ * and store-address progress feed the FP estimates).
+ */
+
+#ifndef DIQ_CORE_LAT_FIFO_ISSUE_SCHEME_HH
+#define DIQ_CORE_LAT_FIFO_ISSUE_SCHEME_HH
+
+#include <string>
+
+#include "core/fifo_cluster.hh"
+#include "core/issue_scheme.hh"
+#include "core/issue_time_estimator.hh"
+#include "core/lat_fifo_cluster.hh"
+#include "core/queue_rename_table.hh"
+
+namespace diq::core
+{
+
+/** The complete LatFIFO organization. */
+class LatFifoIssueScheme : public IssueScheme
+{
+  public:
+    explicit LatFifoIssueScheme(const SchemeConfig &config);
+
+    bool canDispatch(const DynInst &inst,
+                     const IssueContext &ctx) const override;
+    void dispatch(DynInst *inst, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void onWakeup(int phys_reg, IssueContext &ctx) override;
+    void onBranchMispredict(IssueContext &ctx) override;
+    size_t occupancy() const override;
+    std::string name() const override;
+
+    const IssueTimeEstimator &estimator() const { return estimator_; }
+    const LatFifoCluster &fpCluster() const { return fp_; }
+
+  private:
+    SchemeConfig config_;
+    FifoCluster int_;
+    LatFifoCluster fp_;
+    QueueRenameTable table_;
+    IssueTimeEstimator estimator_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_LAT_FIFO_ISSUE_SCHEME_HH

@@ -1,0 +1,262 @@
+#include "core/mixbuff_cluster.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/mux_counting.hh"
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+MixBuffCluster::MixBuffCluster(int num_queues, int queue_size,
+                               int chains_per_queue, bool distributed_fus,
+                               uint32_t counter_max)
+    : queueSize_(queue_size), chainsPerQueue_(chains_per_queue),
+      distributedFus_(distributed_fus), counterMax_(counter_max)
+{
+    queues_.resize(static_cast<size_t>(num_queues));
+    for (auto &q : queues_) {
+        q.entries.reserve(static_cast<size_t>(queue_size));
+        int init_chains = chainsPerQueue_ > 0 ? chainsPerQueue_ : 4;
+        for (int c = 0; c < init_chains; ++c)
+            q.chains.emplace_back(counterMax_);
+    }
+}
+
+ChainCode
+MixBuffCluster::codeFor(uint32_t counter_value)
+{
+    if (counter_value == 1)
+        return ChainCode::FinishesNextCycle;
+    if (counter_value == 0)
+        return ChainCode::Finished;
+    return ChainCode::Busy;
+}
+
+bool
+MixBuffCluster::chainMappingValid(const QueueMapping &m) const
+{
+    if (!m.valid || !m.fpCluster)
+        return false;
+    if (m.queue < 0 || m.queue >= numQueues() || m.chain < 0)
+        return false;
+    const Queue &q = queues_[static_cast<size_t>(m.queue)];
+    if (m.chain >= static_cast<int>(q.chains.size()))
+        return false;
+    const Chain &c = q.chains[static_cast<size_t>(m.chain)];
+    // The producer must still be the chain's *last* instruction
+    // (§3.2.1: "only if it is the last instruction of the chain").
+    return c.busy && c.lastSeq == m.producerSeq;
+}
+
+std::optional<ChainPlacement>
+MixBuffCluster::pickPlacement(const DynInst &inst,
+                              const QueueRenameTable &table) const
+{
+    // 1) Join a producer's chain, first operand first (IssueFIFO-like).
+    for (int8_t src : {inst.op.src1, inst.op.src2}) {
+        if (src == trace::NoReg)
+            continue;
+        const QueueMapping &m = table.lookup(src);
+        if (!chainMappingValid(m))
+            continue;
+        const Queue &q = queues_[static_cast<size_t>(m.queue)];
+        if (q.entries.size() <
+            static_cast<size_t>(queueSize_)) {
+            return ChainPlacement{m.queue, m.chain, false};
+        }
+    }
+
+    // 2) Allocate the lowest free chain id in the balanced priority
+    //    order chain c of queue q <=> index c*numQueues + q.
+    int max_chains = chainsPerQueue_ > 0
+        ? chainsPerQueue_
+        : queueSize_ * numQueues(); // unbounded: can't exceed occupancy
+    for (int c = 0; c < max_chains; ++c) {
+        for (int q = 0; q < numQueues(); ++q) {
+            const Queue &qu = queues_[static_cast<size_t>(q)];
+            if (qu.entries.size() >= static_cast<size_t>(queueSize_))
+                continue;
+            if (c < static_cast<int>(qu.chains.size()) &&
+                qu.chains[static_cast<size_t>(c)].busy) {
+                continue;
+            }
+            return ChainPlacement{q, c, true};
+        }
+    }
+    return std::nullopt; // stall dispatch
+}
+
+unsigned
+MixBuffCluster::chainLatencyFor(const DynInst &inst) const
+{
+    // FP-cluster occupants are arithmetic ops; keep the load rule for
+    // robustness (paper: L1 hit latency assumed for loads).
+    if (inst.isLoad())
+        return trace::AddressLatency + l1dHitLatency_;
+    return static_cast<unsigned>(trace::opLatency(inst.op.op));
+}
+
+void
+MixBuffCluster::dispatch(DynInst *inst, QueueRenameTable &table,
+                         IssueContext &ctx)
+{
+    auto placement = pickPlacement(*inst, table);
+    if (!placement)
+        return; // caller gates on canDispatch
+    Queue &q = queues_[static_cast<size_t>(placement->queue)];
+    while (placement->chain >= static_cast<int>(q.chains.size()))
+        q.chains.emplace_back(counterMax_); // unbounded growth
+    Chain &c = q.chains[static_cast<size_t>(placement->chain)];
+
+    if (placement->newChain) {
+        c.busy = true;
+        c.counter.load(0); // no issued predecessor: "finished" class
+    }
+    c.lastSeq = inst->seq;
+    c.lastIssued = false;
+
+    q.entries.push_back(inst);
+    inst->queueId = placement->queue;
+    inst->chainId = placement->chain;
+    inst->dispatchCycle = ctx.cycle;
+    ctx.counters->add(power::ev::BuffWrites, 1);
+    if (inst->hasDest()) {
+        table.update(inst->op.dest, /*fp_cluster=*/true, placement->queue,
+                     placement->chain, inst->seq);
+    }
+}
+
+void
+MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    namespace ev = diq::power::ev;
+    for (int qi = 0; qi < numQueues(); ++qi) {
+        Queue &q = queues_[static_cast<size_t>(qi)];
+        q.justLoadedChain = -1;
+
+        // --- Phase A: try to issue the instruction selected last cycle.
+        if (DynInst *inst = q.selected) {
+            q.selected = nullptr;
+            ctx.counters->add(ev::RegsReadyReads,
+                              static_cast<uint64_t>(inst->numSrcs()));
+            FuClass fc = fuClassFor(inst->op.op);
+            int fu_domain = distributedFus_ ? qi : -1;
+            if (ctx.scoreboard->readyToIssue(*inst, ctx.cycle) &&
+                ctx.fus->canIssue(fc, fu_domain, ctx.cycle)) {
+                ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
+                                    FuPool::occupancyFor(inst->op.op));
+                auto it = std::find(q.entries.begin(), q.entries.end(),
+                                    inst);
+                assert(it != q.entries.end());
+                q.entries.erase(it);
+                ctx.counters->add(ev::BuffReads, 1);
+                countMuxIssue(*ctx.counters, fc);
+                inst->issued = true;
+                inst->issueCycle = ctx.cycle;
+                out.push_back(inst);
+
+                Chain &c =
+                    q.chains[static_cast<size_t>(inst->chainId)];
+                c.counter.load(chainLatencyFor(*inst));
+                q.justLoadedChain = inst->chainId;
+                if (c.lastSeq == inst->seq)
+                    c.lastIssued = true;
+            }
+            // On failure the instruction simply stays buffered; its
+            // chain counter will have saturated at zero, demoting it
+            // to the 01 "delayed" class.
+        }
+
+        // --- Phase B: chain latency table sweep (decrement all but the
+        // just-loaded entry; free chains whose work is fully drained).
+        bool any_busy = false;
+        for (size_t ci = 0; ci < q.chains.size(); ++ci) {
+            Chain &c = q.chains[ci];
+            if (!c.busy)
+                continue;
+            if (static_cast<int>(ci) != q.justLoadedChain)
+                c.counter.tick();
+            if (c.lastIssued && c.counter.zero()) {
+                c.busy = false; // chain drained: identifier reusable
+            } else {
+                any_busy = true;
+            }
+        }
+        if (any_busy || !q.entries.empty())
+            ctx.counters->add(ev::ChainSweeps, 1);
+
+        // --- Phase C: select next cycle's candidate: the minimum of
+        // (2-bit chain code ++ age) over the occupants (Figure 5).
+        DynInst *best = nullptr;
+        ChainCode best_code = ChainCode::Busy;
+        uint64_t candidates = 0;
+        for (DynInst *e : q.entries) {
+            ChainCode code = codeFor(
+                q.chains[static_cast<size_t>(e->chainId)]
+                    .counter.value());
+            if (code == ChainCode::Busy)
+                continue; // >= 2 cycles away: not a request
+            ++candidates;
+            if (!best || static_cast<uint8_t>(code) <
+                    static_cast<uint8_t>(best_code) ||
+                (code == best_code && e->seq < best->seq)) {
+                best = e;
+                best_code = code;
+            }
+        }
+        // One selection-tree activation per queue with any candidate.
+        if (candidates > 0)
+            ctx.counters->add(ev::SelectRequests, 1);
+        if (best) {
+            q.selected = best;
+            ctx.counters->add(ev::RegLatches, 1);
+        }
+    }
+}
+
+size_t
+MixBuffCluster::occupancy() const
+{
+    size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.entries.size();
+    return n;
+}
+
+uint32_t
+MixBuffCluster::chainCounter(int queue, int chain) const
+{
+    const Queue &q = queues_[static_cast<size_t>(queue)];
+    if (chain < 0 || chain >= static_cast<int>(q.chains.size()))
+        return 0;
+    return q.chains[static_cast<size_t>(chain)].counter.value();
+}
+
+bool
+MixBuffCluster::chainBusy(int queue, int chain) const
+{
+    const Queue &q = queues_[static_cast<size_t>(queue)];
+    if (chain < 0 || chain >= static_cast<int>(q.chains.size()))
+        return false;
+    return q.chains[static_cast<size_t>(chain)].busy;
+}
+
+const DynInst *
+MixBuffCluster::selectedInst(int queue) const
+{
+    return queues_[static_cast<size_t>(queue)].selected;
+}
+
+int
+MixBuffCluster::busyChains(int queue) const
+{
+    const Queue &q = queues_[static_cast<size_t>(queue)];
+    int n = 0;
+    for (const auto &c : q.chains)
+        n += c.busy ? 1 : 0;
+    return n;
+}
+
+} // namespace diq::core

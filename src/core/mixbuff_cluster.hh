@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MixBUFF FP cluster (paper §3.2) — the paper's core contribution.
+ *
+ * Each queue is a small RAM buffer (not a FIFO) holding instructions
+ * from several dependence *chains*. Per queue:
+ *
+ *  - A chain latency table: one saturating down-counter per chain,
+ *    holding the remaining latency of the chain's last *issued*
+ *    instruction. Every cycle the whole table is read, decremented and
+ *    rewritten, except the entry of a chain that issued this cycle,
+ *    which is loaded with the issuing instruction's latency (loads
+ *    assume the L1 hit latency).
+ *
+ *  - Selection: each counter compresses to a 2-bit code
+ *      00 = finishes next cycle  (dependent is first-time ready)
+ *      01 = already finished     (dependent was "delayed")
+ *      11 = two or more cycles   (not a candidate)
+ *    Every occupant concatenates its chain's code with its age
+ *    identifier; the numerically smallest (code, age) wins — giving
+ *    first-time-ready instructions priority over delayed ones, and
+ *    older instructions priority within a class (Figure 5).
+ *
+ *  - The winner is latched ("reg" energy); the *next* cycle it probes
+ *    the ready-bit table and its functional unit. If its operands are
+ *    not actually ready (e.g. a load miss or a cross-queue
+ *    dependence), it stays in the buffer and, its chain counter having
+ *    saturated at zero, re-competes in the lower-priority 01 class —
+ *    exactly the paper's delayed-instruction heuristic. No CAM wakeup
+ *    anywhere.
+ *
+ * Chain allocation at dispatch follows §3.2.1: join the chain of a
+ * source operand's producer if that producer is still the chain's last
+ * instruction and the queue has room; otherwise take the lowest free
+ * chain identifier in the priority order chain0/queue0, chain0/queue1,
+ * ..., chain1/queue0, ... which balances busy chains across queues.
+ */
+
+#ifndef DIQ_CORE_MIXBUFF_CLUSTER_HH
+#define DIQ_CORE_MIXBUFF_CLUSTER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/issue_scheme.hh"
+#include "core/queue_rename_table.hh"
+#include "util/saturating_counter.hh"
+
+namespace diq::core
+{
+
+/** Two-bit chain-status codes (numeric order = selection priority). */
+enum class ChainCode : uint8_t {
+    FinishesNextCycle = 0b00, ///< dependent becomes ready next cycle
+    Finished = 0b01,          ///< dependent is late ("delayed")
+    Busy = 0b11               ///< >= 2 cycles left: not a candidate
+};
+
+/** Placement decision for a dispatching instruction. */
+struct ChainPlacement
+{
+    int queue = -1;
+    int chain = -1;
+    bool newChain = false;
+};
+
+/** The buffered, chain-scheduled FP cluster. */
+class MixBuffCluster
+{
+  public:
+    /**
+     * @param num_queues buffers in the cluster
+     * @param queue_size entries per buffer
+     * @param chains_per_queue chain-table entries per queue
+     *        (0 = unbounded, as in the paper's §3.2 sizing study)
+     * @param distributed_fus restrict issue to the queue's own units
+     * @param counter_max saturating-counter ceiling (encodes the
+     *        largest FU latency)
+     */
+    MixBuffCluster(int num_queues, int queue_size, int chains_per_queue,
+                   bool distributed_fus, uint32_t counter_max = 31);
+
+    /** §3.2.1 placement; nullopt means dispatch must stall. */
+    std::optional<ChainPlacement>
+    pickPlacement(const DynInst &inst, const QueueRenameTable &table) const;
+
+    bool
+    canDispatch(const DynInst &inst, const QueueRenameTable &table) const
+    {
+        return pickPlacement(inst, table).has_value();
+    }
+
+    void dispatch(DynInst *inst, QueueRenameTable &table,
+                  IssueContext &ctx);
+
+    /**
+     * One cycle: try to issue each queue's latched selection, advance
+     * the chain latency tables, then select next cycle's candidates.
+     */
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+
+    size_t occupancy() const;
+    int numQueues() const { return static_cast<int>(queues_.size()); }
+
+    /** Compress a counter value to its 2-bit code (paper §3.2.1). */
+    static ChainCode codeFor(uint32_t counter_value);
+
+    // --- Test introspection -------------------------------------------
+    uint32_t chainCounter(int queue, int chain) const;
+    bool chainBusy(int queue, int chain) const;
+    const DynInst *selectedInst(int queue) const;
+    int busyChains(int queue) const;
+
+  private:
+    struct Chain
+    {
+        bool busy = false;
+        bool lastIssued = false;  ///< last instruction has issued
+        uint64_t lastSeq = 0;     ///< seq of the chain's last instruction
+        util::SaturatingDownCounter counter;
+
+        explicit Chain(uint32_t max) : counter(max) {}
+    };
+
+    struct Queue
+    {
+        std::vector<DynInst *> entries;
+        std::vector<Chain> chains;
+        DynInst *selected = nullptr;
+        int justLoadedChain = -1;
+    };
+
+    bool chainMappingValid(const QueueMapping &m) const;
+    unsigned chainLatencyFor(const DynInst &inst) const;
+
+    int queueSize_;
+    int chainsPerQueue_; ///< 0 = unbounded
+    bool distributedFus_;
+    uint32_t counterMax_;
+    unsigned l1dHitLatency_ = 2;
+    std::vector<Queue> queues_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_MIXBUFF_CLUSTER_HH

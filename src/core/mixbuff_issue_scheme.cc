@@ -1,0 +1,80 @@
+#include "core/mixbuff_issue_scheme.hh"
+
+#include <sstream>
+
+#include "power/events.hh"
+
+namespace diq::core
+{
+
+MixBuffIssueScheme::MixBuffIssueScheme(const SchemeConfig &config)
+    : config_(config),
+      int_(false, config.numIntQueues, config.intQueueSize,
+           config.distributedFus),
+      fp_(config.numFpQueues, config.fpQueueSize, config.chainsPerQueue,
+          config.distributedFus)
+{
+}
+
+bool
+MixBuffIssueScheme::canDispatch(const DynInst &inst,
+                                const IssueContext &ctx) const
+{
+    (void)ctx;
+    return inst.isFpPipe() ? fp_.canDispatch(inst, table_)
+                           : int_.canDispatch(inst, table_);
+}
+
+void
+MixBuffIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+{
+    ctx.counters->add(power::ev::QrenameReads,
+                      static_cast<uint64_t>(inst->numSrcs()));
+    if (inst->hasDest())
+        ctx.counters->add(power::ev::QrenameWrites, 1);
+    if (inst->isFpPipe())
+        fp_.dispatch(inst, table_, ctx);
+    else
+        int_.dispatch(inst, table_, ctx);
+}
+
+void
+MixBuffIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+{
+    int_.issue(ctx, out);
+    fp_.issue(ctx, out);
+}
+
+void
+MixBuffIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
+{
+    (void)phys_reg;
+    ctx.counters->add(power::ev::RegsReadyWrites, 1);
+}
+
+void
+MixBuffIssueScheme::onBranchMispredict(IssueContext &ctx)
+{
+    (void)ctx;
+    if (config_.clearTableOnMispredict)
+        table_.clear();
+}
+
+size_t
+MixBuffIssueScheme::occupancy() const
+{
+    return int_.occupancy() + fp_.occupancy();
+}
+
+std::string
+MixBuffIssueScheme::name() const
+{
+    std::ostringstream os;
+    os << "MixBUFF_" << config_.numIntQueues << "x" << config_.intQueueSize
+       << "_" << config_.numFpQueues << "x" << config_.fpQueueSize;
+    if (config_.distributedFus)
+        os << "_distr";
+    return os.str();
+}
+
+} // namespace diq::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MixBUFF_AxB_CxD (paper §3.2): IssueFIFO for the integer cluster,
+ * chain-scheduled buffers for the FP cluster. With 8 chains per queue
+ * and distributed FUs this is the paper's MB_distr configuration.
+ */
+
+#ifndef DIQ_CORE_MIXBUFF_ISSUE_SCHEME_HH
+#define DIQ_CORE_MIXBUFF_ISSUE_SCHEME_HH
+
+#include <string>
+
+#include "core/fifo_cluster.hh"
+#include "core/issue_scheme.hh"
+#include "core/mixbuff_cluster.hh"
+#include "core/queue_rename_table.hh"
+
+namespace diq::core
+{
+
+/** The complete MixBUFF organization. */
+class MixBuffIssueScheme : public IssueScheme
+{
+  public:
+    explicit MixBuffIssueScheme(const SchemeConfig &config);
+
+    bool canDispatch(const DynInst &inst,
+                     const IssueContext &ctx) const override;
+    void dispatch(DynInst *inst, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void onWakeup(int phys_reg, IssueContext &ctx) override;
+    void onBranchMispredict(IssueContext &ctx) override;
+    size_t occupancy() const override;
+    std::string name() const override;
+
+    const FifoCluster &intCluster() const { return int_; }
+    const MixBuffCluster &fpCluster() const { return fp_; }
+    const QueueRenameTable &table() const { return table_; }
+
+  private:
+    SchemeConfig config_;
+    FifoCluster int_;
+    MixBuffCluster fp_;
+    QueueRenameTable table_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_MIXBUFF_ISSUE_SCHEME_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helper: attribute an issued instruction to its Mux energy
+ * component (Figures 9-11 legends split the issue-to-FU drive by
+ * functional-unit class).
+ */
+
+#ifndef DIQ_CORE_MUX_COUNTING_HH
+#define DIQ_CORE_MUX_COUNTING_HH
+
+#include "core/fu_pool.hh"
+#include "power/events.hh"
+#include "util/stats.hh"
+
+namespace diq::core
+{
+
+/** Count one instruction driven to a unit of class `fc`. */
+inline void
+countMuxIssue(util::CounterSet &c, FuClass fc)
+{
+    namespace ev = diq::power::ev;
+    switch (fc) {
+      case FuClass::IntAlu:
+        c.add(ev::MuxIntAlu, 1);
+        break;
+      case FuClass::IntMul:
+        c.add(ev::MuxIntMul, 1);
+        break;
+      case FuClass::FpAlu:
+        c.add(ev::MuxFpAlu, 1);
+        break;
+      case FuClass::FpMul:
+        c.add(ev::MuxFpMul, 1);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_MUX_COUNTING_HH

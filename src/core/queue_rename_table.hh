@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Queue rename table for the FIFO-family schemes.
+ *
+ * "This mechanism only requires a table to store for each register
+ * which queue (if any) has its producer at the tail of the queue"
+ * (paper §2.2); MixBUFF extends the entry with a chain identifier
+ * (§3.2.1). The table is indexed by *logical* register — the paper's
+ * architectural-register variant — and therefore must be cleared when
+ * a branch mispredict resolves.
+ *
+ * An entry is only meaningful while its producer is still the tail of
+ * its queue (IssueFIFO) or the last instruction of its chain
+ * (MixBUFF); validity is established by comparing the stored producer
+ * sequence number against the queue/chain state, which models the
+ * hardware's implicit invalidation-by-overwrite.
+ */
+
+#ifndef DIQ_CORE_QUEUE_RENAME_TABLE_HH
+#define DIQ_CORE_QUEUE_RENAME_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/isa.hh"
+
+namespace diq::core
+{
+
+/** One mapping: producing queue/chain of a logical register. */
+struct QueueMapping
+{
+    bool valid = false;
+    bool fpCluster = false; ///< cluster of the mapped queue
+    int queue = -1;
+    int chain = -1;        ///< MixBUFF only
+    uint64_t producerSeq = 0;
+};
+
+/** Logical-register -> (queue, chain, producer) map. */
+class QueueRenameTable
+{
+  public:
+    QueueRenameTable() : table_(trace::NumLogicalRegs) {}
+
+    /** Raw entry for a logical register (NoReg-safe: invalid). */
+    const QueueMapping &
+    lookup(int logical_reg) const
+    {
+        static const QueueMapping invalid{};
+        if (logical_reg < 0 || logical_reg >= trace::NumLogicalRegs)
+            return invalid;
+        return table_[static_cast<size_t>(logical_reg)];
+    }
+
+    /** Record `logical_reg`'s producer position. */
+    void
+    update(int logical_reg, bool fp_cluster, int queue, int chain,
+           uint64_t producer_seq)
+    {
+        if (logical_reg < 0 || logical_reg >= trace::NumLogicalRegs)
+            return;
+        auto &e = table_[static_cast<size_t>(logical_reg)];
+        e.valid = true;
+        e.fpCluster = fp_cluster;
+        e.queue = queue;
+        e.chain = chain;
+        e.producerSeq = producer_seq;
+    }
+
+    /** Drop every mapping (mispredict recovery, run reset). */
+    void
+    clear()
+    {
+        for (auto &e : table_)
+            e = QueueMapping{};
+    }
+
+  private:
+    std::vector<QueueMapping> table_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_QUEUE_RENAME_TABLE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical-register ready state ("regs_ready" table).
+ *
+ * The FIFO-family schemes replace CAM wakeup with "a small table [that]
+ * stores just one bit per physical register indicating whether it is
+ * available" (paper §2.2). This class is that table, extended with the
+ * cycle at which each register becomes available so that fixed-latency
+ * producers can announce their completion at issue time and dependents
+ * can issue back-to-back.
+ */
+
+#ifndef DIQ_CORE_SCOREBOARD_HH
+#define DIQ_CORE_SCOREBOARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+
+namespace diq::core
+{
+
+/** Ready-cycle tracking for the physical register file. */
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(int num_phys_regs);
+
+    /** Register becomes (or is) available at `cycle`. */
+    void setReadyAt(int phys_reg, uint64_t cycle);
+
+    /** Mark a freshly allocated register as pending (unknown cycle). */
+    void markPending(int phys_reg);
+
+    /** True if the register value is available at `cycle`. */
+    bool isReady(int phys_reg, uint64_t cycle) const;
+
+    /** Cycle the register becomes available (UnknownCycle if pending). */
+    uint64_t readyCycle(int phys_reg) const;
+
+    /** True when the availability cycle is already scheduled/known. */
+    bool isScheduled(int phys_reg) const;
+
+    /** All registers available at cycle 0 (fresh machine state). */
+    void reset();
+
+    int numRegs() const { return static_cast<int>(ready_.size()); }
+
+    /**
+     * Convenience: is `inst` ready to begin execution at `cycle`
+     * (both present sources available)?
+     */
+    bool
+    operandsReady(const DynInst &inst, uint64_t cycle) const
+    {
+        if (inst.psrc1 != NoPhysReg && !isReady(inst.psrc1, cycle))
+            return false;
+        if (inst.psrc2 != NoPhysReg && !isReady(inst.psrc2, cycle))
+            return false;
+        return true;
+    }
+
+    /**
+     * Issue-readiness: like operandsReady, except that a store only
+     * needs its *address* operand (src1) — the paper splits memory
+     * ops into address computation and access, and store data is
+     * consumed at commit (forwarding waits for it in the LSQ).
+     */
+    bool
+    readyToIssue(const DynInst &inst, uint64_t cycle) const
+    {
+        if (inst.psrc1 != NoPhysReg && !isReady(inst.psrc1, cycle))
+            return false;
+        if (inst.isStore())
+            return true;
+        if (inst.psrc2 != NoPhysReg && !isReady(inst.psrc2, cycle))
+            return false;
+        return true;
+    }
+
+  private:
+    std::vector<uint64_t> ready_;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_SCOREBOARD_HH

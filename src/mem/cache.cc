@@ -1,0 +1,173 @@
+#include "mem/cache.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace diq::mem
+{
+
+namespace
+{
+
+uint64_t
+floorPow2(uint64_t n)
+{
+    if (n == 0)
+        return 1;
+    return uint64_t{1} << (63 - std::countl_zero(n));
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    assert(config_.lineBytes > 0 && config_.assoc > 0);
+    uint64_t num_lines = config_.sizeBytes / config_.lineBytes;
+    numSets_ = floorPow2(num_lines / config_.assoc);
+    lineShift_ = static_cast<unsigned>(
+        std::countr_zero(floorPow2(config_.lineBytes)));
+    lines_.assign(numSets_ * config_.assoc, Line{});
+}
+
+uint64_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift_;
+}
+
+AccessResult
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++accesses_;
+    ++lruClock_;
+
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Line *base = &lines_[set * config_.assoc];
+
+    Line *victim = base;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lru = lruClock_;
+            l.dirty = l.dirty || is_write;
+            return {true, false};
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lru < victim->lru) {
+            victim = &l;
+        }
+    }
+
+    ++misses_;
+    AccessResult r{false, victim->valid && victim->dirty};
+    if (r.writebackVictim)
+        ++writebacks_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = lruClock_;
+    return r;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * config_.assoc];
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    lruClock_ = 0;
+    accesses_ = 0;
+    misses_ = 0;
+    writebacks_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const Config &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2)
+{
+}
+
+unsigned
+MemoryHierarchy::memoryLatency(unsigned bytes) const
+{
+    const auto &m = config_.memory;
+    unsigned chunks = (bytes + m.chunkBytes - 1) / m.chunkBytes;
+    if (chunks == 0)
+        chunks = 1;
+    return m.firstChunkLatency + (chunks - 1) * m.interChunkLatency;
+}
+
+unsigned
+MemoryHierarchy::dataAccess(uint64_t addr, bool is_write)
+{
+    unsigned latency = config_.l1d.hitLatency;
+    AccessResult l1 = l1d_.access(addr, is_write);
+    if (l1.hit)
+        return latency;
+
+    latency += config_.l2.hitLatency;
+    AccessResult l2r = l2_.access(addr, /*is_write=*/false);
+    if (l2r.hit)
+        return latency;
+
+    latency += memoryLatency(config_.l2.lineBytes);
+    return latency;
+}
+
+unsigned
+MemoryHierarchy::loadLatency(uint64_t addr)
+{
+    return dataAccess(addr, false);
+}
+
+unsigned
+MemoryHierarchy::storeLatency(uint64_t addr)
+{
+    return dataAccess(addr, true);
+}
+
+unsigned
+MemoryHierarchy::fetchLatency(uint64_t pc)
+{
+    unsigned latency = config_.l1i.hitLatency;
+    AccessResult l1 = l1i_.access(pc, false);
+    if (l1.hit)
+        return latency;
+
+    latency += config_.l2.hitLatency;
+    AccessResult l2r = l2_.access(pc, false);
+    if (l2r.hit)
+        return latency;
+
+    latency += memoryLatency(config_.l2.lineBytes);
+    return latency;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+}
+
+} // namespace diq::mem

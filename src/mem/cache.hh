@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Set-associative cache timing model.
+ *
+ * A Cache models tags only (no data): it answers "hit or miss, and how
+ * long" and maintains LRU state, dirty bits and fill/writeback counts.
+ * Misses are non-blocking — the pipeline tracks each access's own
+ * completion cycle, so independent misses overlap naturally (MSHR
+ * conflicts are not modeled; the paper's evaluation does not depend on
+ * them). Port contention for the L1 D-cache is enforced by the
+ * pipeline's issue stage, not here.
+ */
+
+#ifndef DIQ_MEM_CACHE_HH
+#define DIQ_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diq::mem
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 32;
+    unsigned hitLatency = 2;   ///< cycles
+    unsigned ports = 4;        ///< R/W ports (enforced by the pipeline)
+};
+
+/** Outcome of a cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool writebackVictim = false; ///< a dirty line was evicted
+};
+
+/** LRU set-associative tag array. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access a line; allocates on miss (write-allocate) and updates
+     * LRU/dirty state.
+     */
+    AccessResult access(uint64_t addr, bool is_write);
+
+    /** Probe without modifying any state. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate everything (used between harness runs). */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t numSets() const { return numSets_; }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+    double missRate() const
+    {
+        return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig config_;
+    uint64_t numSets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_; // numSets_ x assoc, flattened
+    uint64_t lruClock_ = 0;
+
+    uint64_t accesses_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+/** Main-memory timing: chunked transfer per Table 1. */
+struct MemoryConfig
+{
+    unsigned firstChunkLatency = 100; ///< cycles to the first chunk
+    unsigned interChunkLatency = 2;   ///< cycles per additional chunk
+    unsigned chunkBytes = 8;          ///< bus transfer granule
+};
+
+/**
+ * Two-level hierarchy (split L1I/L1D, unified L2) with Table 1
+ * defaults. Returns complete access latencies; fills all levels on the
+ * way (inclusive).
+ */
+class MemoryHierarchy
+{
+  public:
+    struct Config
+    {
+        CacheConfig l1i{"L1I", 64 * 1024, 2, 32, 1, 1};
+        CacheConfig l1d{"L1D", 32 * 1024, 4, 32, 2, 4};
+        CacheConfig l2{"L2", 512 * 1024, 4, 64, 10, 1};
+        MemoryConfig memory{};
+    };
+
+    MemoryHierarchy() : MemoryHierarchy(Config{}) {}
+    explicit MemoryHierarchy(const Config &config);
+
+    /** Latency in cycles of a data read, with fills. */
+    unsigned loadLatency(uint64_t addr);
+
+    /** Latency of a data write (write-allocate, write-back). */
+    unsigned storeLatency(uint64_t addr);
+
+    /** Latency of an instruction fetch at `pc`. */
+    unsigned fetchLatency(uint64_t pc);
+
+    /** Cycles for main memory to deliver `bytes` (chunked). */
+    unsigned memoryLatency(unsigned bytes) const;
+
+    void reset();
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Config &config() const { return config_; }
+
+  private:
+    unsigned dataAccess(uint64_t addr, bool is_write);
+
+    Config config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+};
+
+} // namespace diq::mem
+
+#endif // DIQ_MEM_CACHE_HH

@@ -1,0 +1,142 @@
+#include "power/cacti_model.hh"
+
+#include <cmath>
+
+namespace diq::power
+{
+
+double
+switchEnergyPj(double cap_fF, double v)
+{
+    // E = C * V^2, fF * V^2 -> fJ; divide by 1000 for pJ.
+    return cap_fF * v * v / 1000.0;
+}
+
+// --- RamArray ---------------------------------------------------------------
+
+RamArray::RamArray(unsigned entries, unsigned bits, unsigned ports,
+                   TechParams tech)
+    : entries_(entries ? entries : 1), bits_(bits ? bits : 1),
+      ports_(ports ? ports : 1), tech_(tech)
+{
+}
+
+double
+RamArray::decodeEnergy() const
+{
+    // Only the selected decode path and one wordline driver toggle;
+    // energy grows with decoder depth, not array height.
+    double levels = std::max(1.0, std::log2(static_cast<double>(entries_)));
+    return switchEnergyPj(levels * tech_.decoderCapPerGate * 8.0,
+                          tech_.vdd);
+}
+
+double
+RamArray::readEnergy() const
+{
+    // Wordline across the row, reduced-swing bitlines down the column,
+    // one sense amp per bit. Extra ports lengthen both lines.
+    double port_scale = 1.0 + 0.35 * (ports_ - 1);
+    double wl = bits_ * tech_.wordlineCapPerCell * port_scale;
+    double bl = bits_ * entries_ * tech_.bitlineCapPerCell * port_scale;
+    double sense = bits_ * tech_.senseAmpEnergy;
+    return decodeEnergy() +
+        switchEnergyPj(wl, tech_.vdd) +
+        switchEnergyPj(bl, tech_.vdd * tech_.bitlineSwing) +
+        switchEnergyPj(sense, tech_.vdd);
+}
+
+double
+RamArray::writeEnergy() const
+{
+    // Full-swing bitline drive on writes.
+    double port_scale = 1.0 + 0.35 * (ports_ - 1);
+    double wl = bits_ * tech_.wordlineCapPerCell * port_scale;
+    double bl = bits_ * entries_ * tech_.bitlineCapPerCell * port_scale;
+    return decodeEnergy() +
+        switchEnergyPj(wl, tech_.vdd) +
+        switchEnergyPj(bl * 0.35, tech_.vdd);
+}
+
+double
+RamArray::sweepEnergy() const
+{
+    // Whole-array read-modify-write. Arrays small enough to sweep
+    // every cycle (the MixBUFF chain latency table) are built from
+    // latches rather than a bit-line array, so the sweep charges each
+    // bit's latch plus a small update-logic overhead.
+    double cap = entries_ * bits_ * tech_.latchCapPerBit * 2.5;
+    return switchEnergyPj(cap, tech_.vdd);
+}
+
+// --- CamArray ---------------------------------------------------------------
+
+CamArray::CamArray(unsigned entries, unsigned tagBits, TechParams tech)
+    : entries_(entries ? entries : 1), tagBits_(tagBits ? tagBits : 1),
+      tech_(tech)
+{
+}
+
+double
+CamArray::broadcastEnergy() const
+{
+    // Differential tag lines run the full height of the array.
+    double cap = 2.0 * tagBits_ * entries_ * tech_.camTaglineCapPerCell;
+    return switchEnergyPj(cap, tech_.vdd);
+}
+
+double
+CamArray::matchEnergy() const
+{
+    // Precharged match line discharges across the compared bits.
+    double cap = tagBits_ * tech_.camMatchlineCapPerBit;
+    return switchEnergyPj(cap, tech_.vdd);
+}
+
+// --- SelectionTree -----------------------------------------------------------
+
+SelectionTree::SelectionTree(unsigned requests, unsigned grants,
+                             TechParams tech)
+    : requests_(requests ? requests : 1), grants_(grants ? grants : 1),
+      tech_(tech)
+{
+}
+
+double
+SelectionTree::selectEnergy(unsigned active) const
+{
+    if (active == 0)
+        return 0.0;
+    // Request lines ripple through log2(N) arbitration levels; each
+    // extra simultaneous grant adds a partial replication of the tree.
+    double levels = std::max(1.0, std::log2(static_cast<double>(requests_)));
+    double cap = active * levels * tech_.arbiterCapPerReq *
+        (1.0 + grants_ / 2.0);
+    return switchEnergyPj(cap, tech_.vdd);
+}
+
+// --- CrossbarModel ------------------------------------------------------------
+
+CrossbarModel::CrossbarModel(unsigned sources, unsigned sinks, unsigned bits,
+                             TechParams tech)
+    : sources_(sources ? sources : 1), sinks_(sinks ? sinks : 1),
+      bits_(bits ? bits : 1), tech_(tech)
+{
+}
+
+double
+CrossbarModel::transferEnergy() const
+{
+    // Wire length grows with the number of ports the track must span.
+    double tracks = static_cast<double>(sources_ + sinks_);
+    double cap = bits_ * tracks * tech_.wireCapPerTrack;
+    return switchEnergyPj(cap, tech_.vdd);
+}
+
+double
+latchEnergyPj(unsigned bits, const TechParams &tech)
+{
+    return switchEnergyPj(bits * tech.latchCapPerBit, tech.vdd);
+}
+
+} // namespace diq::power

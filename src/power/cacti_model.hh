@@ -1,0 +1,151 @@
+/**
+ * @file
+ * First-order CACTI-like energy model for the issue-logic structures.
+ *
+ * The paper derives per-access energies from CACTI 3.0 at 0.10 um.
+ * CACTI itself is not redistributable here, so this module implements
+ * the standard first-order array energy decomposition CACTI is built
+ * from (decoder + wordline + bitline + sense amps for RAM; tag-line
+ * drive + match lines for CAM; arbitration trees for select logic;
+ * wire capacitance for crossbars), parameterized at 0.10 um. The
+ * figures the paper reports are *relative* energies between array
+ * organizations, which this level of modeling preserves (DESIGN.md §5).
+ *
+ * All energies are returned in picojoules.
+ */
+
+#ifndef DIQ_POWER_CACTI_MODEL_HH
+#define DIQ_POWER_CACTI_MODEL_HH
+
+#include <cstdint>
+
+namespace diq::power
+{
+
+/** Technology parameters (0.10 um class defaults). */
+struct TechParams
+{
+    double vdd = 1.1;                 ///< supply voltage (V)
+    double bitlineCapPerCell = 1.8;   ///< fF per cell on a bitline
+    double wordlineCapPerCell = 1.1;  ///< fF per cell on a wordline
+    double senseAmpEnergy = 2.5;      ///< fJ-scale per sense amp fire (fF eq)
+    double decoderCapPerGate = 1.2;   ///< fF per decoder gate stage
+    double camTaglineCapPerCell = 6.0;///< fF per CAM cell on a tag line
+                                      ///< (long, heavily loaded wires)
+    double camMatchlineCapPerBit = 3.0;///< fF per compared CAM bit
+    double latchCapPerBit = 0.8;      ///< fF per latch bit
+    double wireCapPerTrack = 0.6;     ///< fF per crossbar track segment
+                                      ///< per bit-wire crossing
+    double arbiterCapPerReq = 20.0;    ///< fF per selection-tree request
+    double bitlineSwing = 0.35;       ///< read swing as a fraction of vdd
+};
+
+/** Energy (pJ) to switch `cap_fF` femtofarads across `v` volts. */
+double switchEnergyPj(double cap_fF, double v);
+
+/**
+ * A RAM array (register-file style, full-swing writes, reduced-swing
+ * reads), e.g. issue-queue payload, rename tables, ready-bit tables.
+ */
+class RamArray
+{
+  public:
+    RamArray(unsigned entries, unsigned bits, unsigned ports = 1,
+             TechParams tech = TechParams{});
+
+    /** Energy (pJ) of one read access. */
+    double readEnergy() const;
+
+    /** Energy (pJ) of one write access. */
+    double writeEnergy() const;
+
+    /** Energy (pJ) of reading + rewriting the whole array (sweeps). */
+    double sweepEnergy() const;
+
+    unsigned entries() const { return entries_; }
+    unsigned bits() const { return bits_; }
+
+  private:
+    double decodeEnergy() const;
+
+    unsigned entries_;
+    unsigned bits_;
+    unsigned ports_;
+    TechParams tech_;
+};
+
+/**
+ * A CAM tag array as used by conventional wakeup: broadcasting a tag
+ * drives the tag lines of the whole (bank of the) array; each *armed*
+ * entry (unready operand, after the Folegnani/Gonzalez gating the
+ * baseline uses) discharges its match line.
+ */
+class CamArray
+{
+  public:
+    CamArray(unsigned entries, unsigned tagBits,
+             TechParams tech = TechParams{});
+
+    /** Energy (pJ) to drive one tag broadcast across the array. */
+    double broadcastEnergy() const;
+
+    /** Energy (pJ) of one armed entry's match-line comparison. */
+    double matchEnergy() const;
+
+    unsigned entries() const { return entries_; }
+
+  private:
+    unsigned entries_;
+    unsigned tagBits_;
+    TechParams tech_;
+};
+
+/**
+ * Select/arbitration tree: picks up to `grants` of `requests` request
+ * lines (position-based priority). Energy scales with the number of
+ * request lines that toggle through the tree.
+ */
+class SelectionTree
+{
+  public:
+    SelectionTree(unsigned requests, unsigned grants = 1,
+                  TechParams tech = TechParams{});
+
+    /** Energy (pJ) of one selection cycle with `active` requesters. */
+    double selectEnergy(unsigned active) const;
+
+  private:
+    unsigned requests_;
+    unsigned grants_;
+    TechParams tech_;
+};
+
+/**
+ * Issue-to-FU crossbar/mux: driving one instruction from a queue port
+ * to a functional unit across a crossbar with `sources` input ports
+ * and `sinks` output ports of `bits` wires. A 1x1 "crossbar"
+ * degenerates to a short direct wire, which is how the distributed
+ * schemes get their near-zero Mux energy.
+ */
+class CrossbarModel
+{
+  public:
+    CrossbarModel(unsigned sources, unsigned sinks, unsigned bits,
+                  TechParams tech = TechParams{});
+
+    /** Energy (pJ) to transfer one instruction across the crossbar. */
+    double transferEnergy() const;
+
+  private:
+    unsigned sources_;
+    unsigned sinks_;
+    unsigned bits_;
+    TechParams tech_;
+};
+
+/** Energy (pJ) of latching `bits` into a pipeline register. */
+double latchEnergyPj(unsigned bits, const TechParams &tech = TechParams{});
+
+} // namespace diq::power
+
+#endif // DIQ_POWER_CACTI_MODEL_HH

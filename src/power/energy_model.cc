@@ -1,0 +1,205 @@
+#include "power/energy_model.hh"
+
+#include <sstream>
+
+#include "power/events.hh"
+
+namespace diq::power
+{
+
+double
+EnergyBreakdown::total() const
+{
+    double t = 0.0;
+    for (const auto &[name, pj] : components)
+        t += pj;
+    return t;
+}
+
+double
+EnergyBreakdown::get(const std::string &name) const
+{
+    for (const auto &[n, pj] : components)
+        if (n == name)
+            return pj;
+    return 0.0;
+}
+
+double
+EnergyBreakdown::share(const std::string &name) const
+{
+    double t = total();
+    return t > 0.0 ? get(name) / t : 0.0;
+}
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream os;
+    double t = total();
+    for (const auto &[n, pj] : components) {
+        os << n << "\t" << pj << " pJ";
+        if (t > 0.0)
+            os << "\t(" << 100.0 * pj / t << "%)";
+        os << "\n";
+    }
+    os << "total\t" << t << " pJ\n";
+    return os.str();
+}
+
+IssueEnergyModel::IssueEnergyModel(IssueGeometry geometry)
+    : geometry_(geometry)
+{
+}
+
+void
+IssueEnergyModel::addMux(EnergyBreakdown &b, const util::CounterSet &c,
+                         bool distributed) const
+{
+    const auto &g = geometry_;
+    // Centralized: any of the cluster's issue ports can reach any FU of
+    // the class, so the instruction crosses a full crossbar. Distributed:
+    // the queue owns its FU; the path degenerates to a direct drive.
+    auto make = [&](unsigned fus) {
+        unsigned sources = distributed ? 1 : g.issueWidth;
+        unsigned sinks = distributed ? 1 : fus;
+        return CrossbarModel(sources, sinks, g.payloadBits, g.tech);
+    };
+    b.components.emplace_back(
+        "MuxIntALU", c.get(ev::MuxIntAlu) * make(8).transferEnergy());
+    b.components.emplace_back(
+        "MuxIntMUL", c.get(ev::MuxIntMul) * make(4).transferEnergy());
+    b.components.emplace_back(
+        "MuxFPALU", c.get(ev::MuxFpAlu) * make(4).transferEnergy());
+    b.components.emplace_back(
+        "MuxFPMUL", c.get(ev::MuxFpMul) * make(4).transferEnergy());
+}
+
+EnergyBreakdown
+IssueEnergyModel::baseline(const util::CounterSet &c) const
+{
+    const auto &g = geometry_;
+    EnergyBreakdown b;
+
+    // Wakeup: the broadcast drives the tag lines of every bank of the
+    // cluster's queue; only armed (unready-operand) cells compare.
+    CamArray cam_full(g.iqEntries, g.tagBits, g.tech);
+    CamArray cam_cell(1, g.tagBits, g.tech);
+    double wakeup =
+        c.get(ev::WakeupBroadcasts) * cam_full.broadcastEnergy() +
+        c.get(ev::WakeupCamMatches) * cam_cell.matchEnergy();
+    b.components.emplace_back("wakeup", wakeup);
+
+    // Payload storage: banked, so an access sees a bank-sized array
+    // plus the bank decode of the full queue.
+    RamArray bank(g.iqBankEntries, g.payloadBits, 8, g.tech);
+    RamArray bank_select(g.iqEntries / std::max(1u, g.iqBankEntries), 4, 1,
+                         g.tech);
+    double buff =
+        c.get(ev::IqBuffWrites) * (bank.writeEnergy() +
+                                   bank_select.readEnergy()) +
+        c.get(ev::IqBuffReads) * (bank.readEnergy() +
+                                  bank_select.readEnergy());
+    b.components.emplace_back("buff", buff);
+
+    // Global select: N-of-64 arbitration tree; energy follows the
+    // number of requesting (ready) instructions.
+    SelectionTree tree(g.iqEntries, g.issueWidth, g.tech);
+    double select = c.get(ev::IqSelectRequests) * tree.selectEnergy(1);
+    b.components.emplace_back("select", select);
+
+    addMux(b, c, /*distributed=*/false);
+    return b;
+}
+
+EnergyBreakdown
+IssueEnergyModel::issueFifo(const util::CounterSet &c) const
+{
+    const auto &g = geometry_;
+    EnergyBreakdown b;
+
+    // Queue rename table: logical reg -> queue id (+valid).
+    unsigned qbits = 5;
+    RamArray qrename(g.numLogicalRegs, qbits, 6, g.tech);
+    double qr = c.get(ev::QrenameReads) * qrename.readEnergy() +
+        c.get(ev::QrenameWrites) * qrename.writeEnergy();
+    b.components.emplace_back("Qrename", qr);
+
+    // FIFO storage: dispatch writes at the tail, issue reads the head;
+    // FIFOs need no decoder (head/tail pointers), modeled as a small
+    // single-ported array.
+    RamArray fifo_int(g.intQueueSize, g.payloadBits, 1, g.tech);
+    RamArray fifo_fp(g.fpQueueSize, g.payloadBits, 1, g.tech);
+    double fifo_access_w =
+        (fifo_int.writeEnergy() + fifo_fp.writeEnergy()) / 2.0;
+    double fifo_access_r =
+        (fifo_int.readEnergy() + fifo_fp.readEnergy()) / 2.0;
+    double fifo = c.get(ev::FifoWrites) * fifo_access_w +
+        c.get(ev::FifoReads) * fifo_access_r;
+    b.components.emplace_back("fifo", fifo);
+
+    // Ready-bit table: FIFO heads probe their operands every cycle.
+    RamArray ready(g.numPhysRegs / 4, 1, 2, g.tech);
+    double rr = c.get(ev::RegsReadyReads) * ready.readEnergy() +
+        c.get(ev::RegsReadyWrites) * ready.writeEnergy();
+    b.components.emplace_back("regs_ready", rr);
+
+    addMux(b, c, /*distributed=*/true);
+    return b;
+}
+
+EnergyBreakdown
+IssueEnergyModel::mixBuff(const util::CounterSet &c) const
+{
+    const auto &g = geometry_;
+    EnergyBreakdown b;
+
+    // Queue rename table additionally stores the chain id.
+    unsigned qbits = 5 + 4;
+    RamArray qrename(g.numLogicalRegs, qbits, 6, g.tech);
+    double qr = c.get(ev::QrenameReads) * qrename.readEnergy() +
+        c.get(ev::QrenameWrites) * qrename.writeEnergy();
+    b.components.emplace_back("Qrename", qr);
+
+    // Integer side keeps IssueFIFO's queues.
+    RamArray fifo_int(g.intQueueSize, g.payloadBits, 1, g.tech);
+    double fifo = c.get(ev::FifoWrites) * fifo_int.writeEnergy() +
+        c.get(ev::FifoReads) * fifo_int.readEnergy();
+    b.components.emplace_back("fifo", fifo);
+
+    // FP buffers are random-access (register-file like) arrays with an
+    // age field per entry.
+    RamArray buff(g.fpQueueSize, g.payloadBits + 9, 1, g.tech);
+    double be = c.get(ev::BuffWrites) * buff.writeEnergy() +
+        c.get(ev::BuffReads) * buff.readEnergy();
+    b.components.emplace_back("buff", be);
+
+    RamArray ready(g.numPhysRegs / 4, 1, 2, g.tech);
+    double rr = c.get(ev::RegsReadyReads) * ready.readEnergy() +
+        c.get(ev::RegsReadyWrites) * ready.writeEnergy();
+    b.components.emplace_back("regs_ready", rr);
+
+    // Per-queue 1-of-16 selection over (2-bit code ++ age); one tree
+    // activation per non-empty queue per cycle, with a couple of hot
+    // request lines toggling on average.
+    SelectionTree tree(g.fpQueueSize, 1, g.tech);
+    double select = c.get(ev::SelectRequests) * tree.selectEnergy(2);
+    b.components.emplace_back("select", select);
+
+    // Chain latency table: whole-table read+write sweep per queue
+    // per active cycle (paper: "Every cycle the entire table is read
+    // and written").
+    RamArray chains(g.chainsPerQueue, g.chainCounterBits, 2, g.tech);
+    double ch = c.get(ev::ChainSweeps) * chains.sweepEnergy();
+    b.components.emplace_back("chains", ch);
+
+    // Latch holding each queue's selected instruction.
+    double reg = c.get(ev::RegLatches) *
+        latchEnergyPj(g.payloadBits, g.tech);
+    b.components.emplace_back("reg", reg);
+
+    addMux(b, c, /*distributed=*/true);
+    return b;
+}
+
+} // namespace diq::power

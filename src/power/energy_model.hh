@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Scheme-level issue-queue energy accounting.
+ *
+ * Converts the event counters collected during simulation into the
+ * per-component energy breakdowns the paper reports in Figures 9-11,
+ * using the CACTI-like structure models of cacti_model.hh sized from
+ * the scheme geometry.
+ */
+
+#ifndef DIQ_POWER_ENERGY_MODEL_HH
+#define DIQ_POWER_ENERGY_MODEL_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "power/cacti_model.hh"
+#include "util/stats.hh"
+
+namespace diq::power
+{
+
+/** Ordered component-name -> picojoule breakdown. */
+struct EnergyBreakdown
+{
+    std::vector<std::pair<std::string, double>> components;
+
+    double total() const;
+    double get(const std::string &name) const;
+
+    /** Fraction of the total contributed by `name` (0 when empty). */
+    double share(const std::string &name) const;
+
+    std::string toString() const;
+};
+
+/**
+ * Structure geometry of the issue logic. Defaults describe the paper's
+ * §4.2 configurations (IQ_64_64, IF_distr, MB_distr).
+ */
+struct IssueGeometry
+{
+    // Conventional baseline: two 64-entry queues, 8 banks x 8 entries.
+    unsigned iqEntries = 64;       ///< entries per cluster queue
+    unsigned iqBankEntries = 8;    ///< entries per bank
+    unsigned tagBits = 9;          ///< physical register tag width (320)
+    unsigned payloadBits = 80;     ///< instruction payload in the queue
+    unsigned issueWidth = 8;       ///< per cluster
+
+    // Distributed schemes.
+    unsigned numIntQueues = 8;
+    unsigned intQueueSize = 8;
+    unsigned numFpQueues = 8;
+    unsigned fpQueueSize = 16;
+    unsigned chainsPerQueue = 8;
+    unsigned chainCounterBits = 5; ///< encodes the largest FU latency
+
+    unsigned numLogicalRegs = 64;
+    unsigned numPhysRegs = 320;
+
+    TechParams tech{};
+};
+
+/**
+ * Energy model for the three evaluated organizations. Each method
+ * consumes the simulator's event counters and returns the paper's
+ * component breakdown for that scheme.
+ */
+class IssueEnergyModel
+{
+  public:
+    explicit IssueEnergyModel(IssueGeometry geometry = IssueGeometry{});
+
+    /** Baseline IQ_64_64: wakeup / buff / select / Mux*. */
+    EnergyBreakdown baseline(const util::CounterSet &c) const;
+
+    /** IF_distr: Qrename / fifo / regs_ready / Mux*. */
+    EnergyBreakdown issueFifo(const util::CounterSet &c) const;
+
+    /**
+     * MB_distr: Qrename / fifo / buff / regs_ready / select / chains /
+     * reg / Mux*.
+     */
+    EnergyBreakdown mixBuff(const util::CounterSet &c) const;
+
+    const IssueGeometry &geometry() const { return geometry_; }
+
+  private:
+    void addMux(EnergyBreakdown &b, const util::CounterSet &c,
+                bool distributed) const;
+
+    IssueGeometry geometry_;
+};
+
+} // namespace diq::power
+
+#endif // DIQ_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Canonical names of the micro-architectural energy events.
+ *
+ * Issue schemes and the pipeline increment util::CounterSet entries
+ * under these keys; the energy model converts counts to picojoules.
+ * Names mirror the component legends of Figures 9-11 in the paper.
+ */
+
+#ifndef DIQ_POWER_EVENTS_HH
+#define DIQ_POWER_EVENTS_HH
+
+namespace diq::power::ev
+{
+
+// Conventional CAM/RAM issue queue (baseline IQ_64_64).
+inline constexpr const char *WakeupBroadcasts = "iq.wakeup_broadcasts";
+inline constexpr const char *WakeupCamMatches = "iq.wakeup_cam_matches";
+inline constexpr const char *IqBuffWrites = "iq.buff_writes";
+inline constexpr const char *IqBuffReads = "iq.buff_reads";
+inline constexpr const char *IqSelectRequests = "iq.select_requests";
+
+// Queue rename table (IssueFIFO / LatFIFO / MixBUFF dispatch steering).
+inline constexpr const char *QrenameReads = "qrename.reads";
+inline constexpr const char *QrenameWrites = "qrename.writes";
+
+// FIFO queues (IssueFIFO and the integer side of MixBUFF).
+inline constexpr const char *FifoWrites = "fifo.writes";
+inline constexpr const char *FifoReads = "fifo.reads";
+
+// Ready-bit table (one bit per physical register).
+inline constexpr const char *RegsReadyReads = "regs_ready.reads";
+inline constexpr const char *RegsReadyWrites = "regs_ready.writes";
+
+// MixBUFF FP buffers.
+inline constexpr const char *BuffWrites = "buff.writes";
+inline constexpr const char *BuffReads = "buff.reads";
+inline constexpr const char *SelectRequests = "select.requests";
+inline constexpr const char *ChainSweeps = "chains.sweeps";
+inline constexpr const char *RegLatches = "reg.latches";
+
+// Issue-to-FU drive, by functional unit class.
+inline constexpr const char *MuxIntAlu = "mux.int_alu";
+inline constexpr const char *MuxIntMul = "mux.int_mul";
+inline constexpr const char *MuxFpAlu = "mux.fp_alu";
+inline constexpr const char *MuxFpMul = "mux.fp_mul";
+
+} // namespace diq::power::ev
+
+#endif // DIQ_POWER_EVENTS_HH

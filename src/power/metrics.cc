@@ -1,0 +1,50 @@
+#include "power/metrics.hh"
+
+namespace diq::power
+{
+
+double
+chipEnergyPj(const RunEnergy &run, const RunEnergy &baseline,
+             double iq_share)
+{
+    // Baseline chip energy is fixed by the share assumption; the
+    // non-issue-queue part scales with executed work (identical
+    // instruction streams), so it carries over by instruction count.
+    if (baseline.iqEnergyPj <= 0.0 || baseline.insts == 0)
+        return run.iqEnergyPj;
+    double chip_base = baseline.iqEnergyPj / iq_share;
+    double rest_base = chip_base - baseline.iqEnergyPj;
+    double rest_per_inst = rest_base / baseline.insts;
+    return rest_per_inst * run.insts + run.iqEnergyPj;
+}
+
+NormalizedEfficiency
+normalizedEfficiency(const RunEnergy &scheme, const RunEnergy &baseline,
+                     double iq_share)
+{
+    NormalizedEfficiency n;
+    if (baseline.cycles == 0 || scheme.cycles == 0 ||
+        baseline.iqEnergyPj <= 0.0) {
+        return n;
+    }
+
+    double base_power = baseline.iqEnergyPj / baseline.cycles;
+    double scheme_power = scheme.iqEnergyPj / scheme.cycles;
+    n.iqPower = scheme_power / base_power;
+    n.iqEnergy = scheme.iqEnergyPj / baseline.iqEnergyPj;
+
+    double chip_b = chipEnergyPj(baseline, baseline, iq_share);
+    double chip_s = chipEnergyPj(scheme, baseline, iq_share);
+
+    double d_b = static_cast<double>(baseline.cycles);
+    double d_s = static_cast<double>(scheme.cycles);
+    n.chipEd = (chip_s * d_s) / (chip_b * d_b);
+    n.chipEd2 = (chip_s * d_s * d_s) / (chip_b * d_b * d_b);
+
+    double ipc_b = baseline.insts / d_b;
+    double ipc_s = scheme.insts / d_s;
+    n.ipcRatio = ipc_b > 0.0 ? ipc_s / ipc_b : 0.0;
+    return n;
+}
+
+} // namespace diq::power

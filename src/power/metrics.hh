@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Power-efficiency metrics (paper §4.5).
+ *
+ * The paper compares schemes with power, energy, energy-delay and
+ * energy-delay^2. Power and energy are reported for the issue queue
+ * alone (Figures 12/13); ED and ED^2 are reported for the whole
+ * processor under the assumption that the issue queue contributes 23%
+ * of total chip power in the baseline (Figures 14/15). Rest-of-chip
+ * energy is modeled as activity-driven, i.e. proportional to the
+ * (identical) committed instruction count, so a slower scheme does not
+ * magically inflate the rest of the chip (see DESIGN.md §3).
+ */
+
+#ifndef DIQ_POWER_METRICS_HH
+#define DIQ_POWER_METRICS_HH
+
+#include <cstdint>
+
+namespace diq::power
+{
+
+/** Fraction of baseline chip power attributed to the issue queue. */
+inline constexpr double IqChipPowerShare = 0.23;
+
+/** Raw outcome of one simulation run for metric purposes. */
+struct RunEnergy
+{
+    double iqEnergyPj = 0.0; ///< issue-logic energy over the run
+    uint64_t cycles = 0;     ///< run length in cycles
+    uint64_t insts = 0;      ///< committed instructions
+};
+
+/** Scheme-vs-baseline results, normalized to the baseline (=1.0). */
+struct NormalizedEfficiency
+{
+    double iqPower = 0.0;   ///< Figure 12
+    double iqEnergy = 0.0;  ///< Figure 13
+    double chipEd = 0.0;    ///< Figure 14 (energy x delay)
+    double chipEd2 = 0.0;   ///< Figure 15 (energy x delay^2)
+    double ipcRatio = 0.0;  ///< scheme IPC / baseline IPC
+};
+
+/** Absolute chip energy (pJ) of a run under the 23% assumption,
+ *  calibrated against the given baseline run. */
+double chipEnergyPj(const RunEnergy &run, const RunEnergy &baseline,
+                    double iq_share = IqChipPowerShare);
+
+/** Compute all normalized metrics of `scheme` against `baseline`. */
+NormalizedEfficiency
+normalizedEfficiency(const RunEnergy &scheme, const RunEnergy &baseline,
+                     double iq_share = IqChipPowerShare);
+
+} // namespace diq::power
+
+#endif // DIQ_POWER_METRICS_HH

@@ -1,0 +1,47 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace diq::sim
+{
+
+std::string
+ProcessorConfig::table1String() const
+{
+    std::ostringstream os;
+    os << "Parameter                     Configuration\n"
+       << "----------------------------  ---------------------------------\n"
+       << "Fetch/decode/commit width     " << fetchWidth << " instructions\n"
+       << "Issue width                   8 integer + 8 FP instructions\n"
+       << "Branch predictor              Hybrid: " << gshareEntries
+       << "-entry gshare, " << bimodalEntries << "-entry bimodal, "
+       << selectorEntries << "-entry selector\n"
+       << "BTB                           " << btbEntries << " entries, "
+       << btbAssoc << "-way set associative\n"
+       << "L1 Icache                     " << memory.l1i.sizeBytes / 1024
+       << "K, " << memory.l1i.assoc << "-way, " << memory.l1i.lineBytes
+       << " byte/line, " << memory.l1i.hitLatency << " cycle\n"
+       << "L1 Dcache                     " << memory.l1d.sizeBytes / 1024
+       << "K, " << memory.l1d.assoc << "-way, " << memory.l1d.lineBytes
+       << " byte/line, " << memory.l1d.hitLatency << " cycle, "
+       << memory.l1d.ports << " R/W ports\n"
+       << "L2 unified cache              " << memory.l2.sizeBytes / 1024
+       << "K, " << memory.l2.assoc << "-way, " << memory.l2.lineBytes
+       << " byte/line, " << memory.l2.hitLatency << " cycle\n"
+       << "Main memory                   "
+       << memory.memory.firstChunkLatency << " cycles first chunk, "
+       << memory.memory.interChunkLatency << " cycles inter-chunk\n"
+       << "Fetch queue                   " << fetchQueueSize << " entries\n"
+       << "Reorder buffer                " << robSize << " entries\n"
+       << "Registers                     " << numIntPhysRegs << " INT + "
+       << numFpPhysRegs << " FP\n"
+       << "INT functional units          8 ALU (1 cycle), 4 mult/div"
+       << " (3-cycle mult, 20-cycle div)\n"
+       << "FP functional units           4 ALU (2 cycles), 4 mult/div"
+       << " (4-cycle mult, 12-cycle div)\n"
+       << "Technology                    0.10 um\n"
+       << "Issue queue organization      " << scheme.name() << "\n";
+    return os.str();
+}
+
+} // namespace diq::sim

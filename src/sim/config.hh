@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Processor configuration (Table 1 of the paper).
+ */
+
+#ifndef DIQ_SIM_CONFIG_HH
+#define DIQ_SIM_CONFIG_HH
+
+#include <string>
+
+#include "core/issue_scheme.hh"
+#include "mem/cache.hh"
+
+namespace diq::sim
+{
+
+/** Full machine configuration; defaults reproduce Table 1. */
+struct ProcessorConfig
+{
+    // Widths.
+    int fetchWidth = 8;
+    int dispatchWidth = 8; ///< decode/rename/dispatch per cycle
+    int commitWidth = 8;
+
+    // Window structures.
+    int fetchQueueSize = 64;
+    int robSize = 256;
+    int numIntPhysRegs = 160;
+    int numFpPhysRegs = 160;
+
+    /**
+     * Cycles between fetching an instruction and its earliest
+     * rename/dispatch (decode depth). Together with branch resolution
+     * this sets the mispredict penalty.
+     */
+    int frontendDelay = 3;
+
+    // Branch predictor (Table 1: hybrid 2K gshare + 2K bimodal + 1K
+    // selector; BTB 2048 entries 4-way).
+    int gshareEntries = 2048;
+    int bimodalEntries = 2048;
+    int selectorEntries = 1024;
+    int btbEntries = 2048;
+    int btbAssoc = 4;
+
+    // Memory hierarchy (Table 1 defaults inside).
+    mem::MemoryHierarchy::Config memory{};
+
+    // Issue logic under study.
+    core::SchemeConfig scheme = core::SchemeConfig::iq6464();
+
+    /** Hard cycle cap as a safety net against pathological stalls. */
+    uint64_t maxCyclesPerInst = 1000;
+
+    /** Render Table 1 plus the scheme, for bench_table1/README. */
+    std::string table1String() const;
+};
+
+} // namespace diq::sim
+
+#endif // DIQ_SIM_CONFIG_HH

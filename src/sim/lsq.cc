@@ -1,0 +1,129 @@
+#include "sim/lsq.hh"
+
+#include <cassert>
+
+namespace diq::sim
+{
+
+LoadStoreQueue::LoadStoreQueue(size_t capacity, unsigned forward_latency)
+    : queue_(capacity), forwardLatency_(forward_latency)
+{
+}
+
+void
+LoadStoreQueue::insert(core::DynInst *inst)
+{
+    assert(!queue_.full());
+    Entry e;
+    e.inst = inst;
+    queue_.pushBack(e);
+}
+
+void
+LoadStoreQueue::addressReady(core::DynInst *inst)
+{
+    // Entries are few and short-lived; a linear scan from the tail
+    // finds the op quickly (it issued recently).
+    for (size_t i = queue_.size(); i-- > 0;) {
+        Entry &e = queue_.at(i);
+        if (e.inst == inst) {
+            e.addrKnown = true;
+            return;
+        }
+    }
+    assert(false && "addressReady for op not in LSQ");
+}
+
+void
+LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
+                     const core::Scoreboard &sb, int &ports_free,
+                     std::vector<MemReturn> &out)
+{
+    // Walk from the head; all older stores up to the scan point have
+    // known addresses, which is exactly the disambiguation frontier.
+    for (size_t i = 0; i < queue_.size() && ports_free > 0; ++i) {
+        Entry &e = queue_.at(i);
+        if (e.inst->isStore()) {
+            if (!e.addrKnown)
+                break; // unknown store address: younger loads wait
+            continue;
+        }
+        if (!e.inst->isLoad() || e.memStarted || !e.addrKnown)
+            continue;
+
+        // Forward from the youngest older store to the same granule.
+        const Entry *fwd_store = nullptr;
+        for (size_t j = i; j-- > 0;) {
+            const Entry &s = queue_.at(j);
+            if (!s.inst->isStore())
+                continue;
+            if ((s.inst->op.memAddr >> 3) == (e.inst->op.memAddr >> 3)) {
+                fwd_store = &s;
+                break;
+            }
+        }
+
+        if (fwd_store) {
+            // Forwarding needs the store's data operand; until it is
+            // produced the load simply retries.
+            int data_reg = fwd_store->inst->psrc2;
+            if (data_reg != core::NoPhysReg &&
+                !sb.isReady(data_reg, cycle)) {
+                continue;
+            }
+            e.memStarted = true;
+            e.inst->memStartCycle = cycle;
+            ++forwards_;
+            out.push_back({e.inst, cycle + forwardLatency_, true});
+        } else {
+            e.memStarted = true;
+            e.inst->memStartCycle = cycle;
+            --ports_free;
+            unsigned latency = mem.loadLatency(e.inst->op.memAddr);
+            out.push_back({e.inst, cycle + latency, false});
+        }
+    }
+
+    // Count cycles where some known-address load is blocked only by
+    // disambiguation (for reporting).
+    bool frontier_hit = false;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        const Entry &e = queue_.at(i);
+        if (e.inst->isStore() && !e.addrKnown) {
+            frontier_hit = true;
+            continue;
+        }
+        if (frontier_hit && e.inst->isLoad() && e.addrKnown &&
+            !e.memStarted) {
+            ++disambStalls_;
+            break;
+        }
+    }
+}
+
+bool
+LoadStoreQueue::commit(core::DynInst *inst, mem::MemoryHierarchy &mem)
+{
+    assert(!queue_.empty());
+    Entry e = queue_.popFront();
+    assert(e.inst == inst);
+    (void)inst;
+    if (e.inst->isStore()) {
+        // Write-allocate, write-back; latency is absorbed by the
+        // write buffer, but the access perturbs cache state and uses
+        // a port.
+        mem.storeLatency(e.inst->op.memAddr);
+        return true;
+    }
+    return false;
+}
+
+void
+LoadStoreQueue::clear()
+{
+    queue_.clear();
+    disambStalls_ = 0;
+    forwards_ = 0;
+}
+
+} // namespace diq::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Load/store queue with conservative store-address disambiguation.
+ *
+ * The paper (§3.1) splits memory operations into address computation
+ * and memory access: a load's access may not begin until the addresses
+ * of *all* older stores are known; matching older stores forward their
+ * data. The LSQ tracks in-flight memory operations in program order,
+ * starts eligible loads subject to the L1D port budget, and performs
+ * store writes at commit.
+ */
+
+#ifndef DIQ_SIM_LSQ_HH
+#define DIQ_SIM_LSQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/scoreboard.hh"
+#include "mem/cache.hh"
+#include "util/circular_buffer.hh"
+
+namespace diq::sim
+{
+
+/** A load data return produced by LoadStoreQueue::tick. */
+struct MemReturn
+{
+    core::DynInst *inst;
+    uint64_t readyCycle;
+    bool forwarded; ///< satisfied by store-to-load forwarding
+};
+
+/** Program-ordered memory-operation tracking. */
+class LoadStoreQueue
+{
+  public:
+    /**
+     * @param capacity maximum in-flight memory ops (ROB-bounded)
+     * @param forward_latency cycles for a store-to-load forward
+     */
+    explicit LoadStoreQueue(size_t capacity, unsigned forward_latency = 1);
+
+    bool full() const { return queue_.full(); }
+    size_t size() const { return queue_.size(); }
+
+    /** Insert at dispatch (program order). */
+    void insert(core::DynInst *inst);
+
+    /** The op's effective address became known (issue + AddressLatency). */
+    void addressReady(core::DynInst *inst);
+
+    /**
+     * Start every eligible load this cycle, bounded by `ports_free`
+     * L1D ports. Appends data-return events to `out` and decrements
+     * `ports_free` for each cache access made. Forwarding from a store
+     * whose data operand is still pending (per `sb`) defers the load.
+     */
+    void tick(uint64_t cycle, mem::MemoryHierarchy &mem,
+              const core::Scoreboard &sb, int &ports_free,
+              std::vector<MemReturn> &out);
+
+    /**
+     * Remove the oldest entry (must be `inst`); a store performs its
+     * cache write here. @return true if a cache port was consumed.
+     */
+    bool commit(core::DynInst *inst, mem::MemoryHierarchy &mem);
+
+    /** Loads that had to wait on unknown older store addresses. */
+    uint64_t disambiguationStalls() const { return disambStalls_; }
+    uint64_t forwards() const { return forwards_; }
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        core::DynInst *inst = nullptr;
+        bool addrKnown = false;
+        bool memStarted = false;
+    };
+
+    util::CircularBuffer<Entry> queue_;
+    unsigned forwardLatency_;
+    uint64_t disambStalls_ = 0;
+    uint64_t forwards_ = 0;
+};
+
+} // namespace diq::sim
+
+#endif // DIQ_SIM_LSQ_HH

@@ -1,0 +1,333 @@
+#include "sim/pipeline.hh"
+
+#include <cassert>
+
+namespace diq::sim
+{
+
+Cpu::Cpu(const ProcessorConfig &config, trace::TraceSource &trace)
+    : config_(config), trace_(trace),
+      predictor_(static_cast<size_t>(config.gshareEntries),
+                 static_cast<size_t>(config.bimodalEntries),
+                 static_cast<size_t>(config.selectorEntries),
+                 static_cast<size_t>(config.btbEntries),
+                 static_cast<unsigned>(config.btbAssoc)),
+      mem_(config.memory),
+      fus_(core::FuPoolConfig{8, 4, 4, 4, config.scheme.distributedFus,
+                              config.scheme.numIntQueues,
+                              config.scheme.numFpQueues}),
+      scoreboard_(config.numIntPhysRegs + config.numFpPhysRegs),
+      renamer_(config.numIntPhysRegs, config.numFpPhysRegs),
+      lsq_(static_cast<size_t>(config.robSize)),
+      scheme_(core::makeScheme(config.scheme)),
+      fetchQueue_(static_cast<size_t>(config.fetchQueueSize)),
+      rob_(static_cast<size_t>(config.robSize)),
+      eventRing_(EventRingSlots)
+{
+    slab_.resize(static_cast<size_t>(config.robSize));
+    freeList_.reserve(slab_.size());
+    for (auto &inst : slab_)
+        freeList_.push_back(&inst);
+    issuedBuf_.reserve(32);
+    memReturns_.reserve(32);
+}
+
+Cpu::~Cpu() = default;
+
+core::IssueContext
+Cpu::makeContext()
+{
+    core::IssueContext ctx;
+    ctx.cycle = cycle_;
+    ctx.scoreboard = &scoreboard_;
+    ctx.fus = &fus_;
+    ctx.counters = &stats_.counters;
+    return ctx;
+}
+
+void
+Cpu::schedule(uint64_t cycle, EventKind kind, core::DynInst *inst)
+{
+    assert(cycle > cycle_ && cycle - cycle_ < EventRingSlots);
+    eventRing_[cycle % EventRingSlots].push_back({kind, inst});
+}
+
+core::DynInst *
+Cpu::allocInst(const FetchedOp &f)
+{
+    assert(!freeList_.empty());
+    core::DynInst *inst = freeList_.back();
+    freeList_.pop_back();
+    inst->reset(f.op, f.seq);
+    inst->mispredicted = f.mispredicted;
+    inst->fetchCycle = f.fetchCycle;
+    return inst;
+}
+
+void
+Cpu::freeInst(core::DynInst *inst)
+{
+    freeList_.push_back(inst);
+}
+
+uint64_t
+Cpu::run(uint64_t num_insts)
+{
+    uint64_t target = stats_.committed + num_insts;
+    uint64_t start_cycle = cycle_;
+    uint64_t cap = cycle_ + num_insts * config_.maxCyclesPerInst + 100000;
+    while (stats_.committed < target) {
+        if (cycle_ >= cap || (traceExhausted_ && rob_.empty() &&
+                              fetchQueue_.empty() && !pendingValid_)) {
+            stats_.deadlocked = cycle_ >= cap;
+            break;
+        }
+        stepCycle();
+    }
+    return cycle_ - start_cycle;
+}
+
+void
+Cpu::resetStats()
+{
+    uint64_t keep_committed = 0; // measurement region starts fresh
+    (void)keep_committed;
+    stats_ = SimStats{};
+}
+
+void
+Cpu::stepCycle()
+{
+    ++cycle_;
+    ++stats_.cycles;
+    portsFree_ = static_cast<int>(config_.memory.l1d.ports);
+
+    commitStage();
+    writebackStage();
+    issueStage();
+    lsqStage();
+    dispatchStage();
+    fetchStage();
+
+    stats_.schemeOccupancySum += scheme_->occupancy();
+    stats_.robOccupancySum += rob_.size();
+}
+
+void
+Cpu::commitStage()
+{
+    int n = 0;
+    while (n < config_.commitWidth && !rob_.empty()) {
+        core::DynInst *inst = rob_.front();
+        if (!inst->completed)
+            break;
+        if (inst->isStore() && portsFree_ <= 0)
+            break; // the store's cache write needs a port
+        if (inst->op.isMem()) {
+            if (lsq_.commit(inst, mem_))
+                --portsFree_;
+        }
+        renamer_.freeAtCommit(*inst);
+        rob_.popFront();
+        freeInst(inst);
+        ++stats_.committed;
+        ++n;
+    }
+}
+
+void
+Cpu::writebackStage()
+{
+    auto &events = eventRing_[cycle_ % EventRingSlots];
+    if (events.empty())
+        return;
+    core::IssueContext ctx = makeContext();
+    for (const Event &ev : events) {
+        core::DynInst *inst = ev.inst;
+        switch (ev.kind) {
+          case EventKind::ExecComplete:
+            inst->completed = true;
+            inst->completeCycle = cycle_;
+            if (inst->hasDest())
+                scheme_->onWakeup(inst->pdest, ctx);
+            if (inst->isBranch() && inst->mispredicted) {
+                // Redirect: the front-end may restart next cycle.
+                fetchBlockedOnBranch_ = false;
+                if (fetchResumeCycle_ < cycle_ + 1)
+                    fetchResumeCycle_ = cycle_ + 1;
+                scheme_->onBranchMispredict(ctx);
+                stats_.counters.add("diag.mispred_disp_wait",
+                                    cycle_ - inst->dispatchCycle);
+                stats_.counters.add("diag.mispred_fetch_wait",
+                                    cycle_ - inst->fetchCycle);
+                stats_.counters.add("diag.mispred_count", 1);
+            }
+            break;
+          case EventKind::AddrReady:
+            inst->addrReadyCycle = cycle_;
+            lsq_.addressReady(inst);
+            if (inst->isStore()) {
+                // Stores are architecturally done once their address
+                // (and data, required at issue) are known; the write
+                // happens at commit.
+                inst->completed = true;
+                inst->completeCycle = cycle_;
+            }
+            break;
+          case EventKind::DataReturn:
+            inst->completed = true;
+            inst->completeCycle = cycle_;
+            if (inst->hasDest()) {
+                scoreboard_.setReadyAt(inst->pdest, cycle_);
+                scheme_->onWakeup(inst->pdest, ctx);
+            }
+            break;
+        }
+    }
+    events.clear();
+}
+
+void
+Cpu::issueStage()
+{
+    core::IssueContext ctx = makeContext();
+    issuedBuf_.clear();
+    scheme_->issue(ctx, issuedBuf_);
+    stats_.counters.add("diag.issue_bucket_" +
+                        std::to_string(std::min<size_t>(issuedBuf_.size(), 9)), 1);
+    for (core::DynInst *inst : issuedBuf_) {
+        ++stats_.issuedOps;
+        if (inst->op.isMem()) {
+            schedule(cycle_ + trace::AddressLatency, EventKind::AddrReady,
+                     inst);
+            continue;
+        }
+        unsigned lat = static_cast<unsigned>(trace::opLatency(inst->op.op));
+        if (inst->hasDest())
+            scoreboard_.setReadyAt(inst->pdest, cycle_ + lat);
+        schedule(cycle_ + lat, EventKind::ExecComplete, inst);
+    }
+}
+
+void
+Cpu::lsqStage()
+{
+    memReturns_.clear();
+    lsq_.tick(cycle_, mem_, scoreboard_, portsFree_, memReturns_);
+    for (const MemReturn &r : memReturns_) {
+        uint64_t when = r.readyCycle > cycle_ ? r.readyCycle : cycle_ + 1;
+        schedule(when, EventKind::DataReturn, r.inst);
+    }
+}
+
+void
+Cpu::dispatchStage()
+{
+    int n = 0;
+    bool counted_scheme_stall = false;
+    core::IssueContext ctx = makeContext();
+    while (n < config_.dispatchWidth && !fetchQueue_.empty()) {
+        FetchedOp &f = fetchQueue_.front();
+        if (f.decodeReady > cycle_)
+            break;
+        if (rob_.full() || freeList_.empty() || !renamer_.canRename(f.op) ||
+            (f.op.isMem() && lsq_.full())) {
+            ++stats_.windowStallCycles;
+            break;
+        }
+
+        // Steering decisions use architectural registers, so the
+        // scheme is consulted before renaming.
+        core::DynInst probe;
+        probe.reset(f.op, f.seq);
+        if (!scheme_->canDispatch(probe, ctx)) {
+            if (!counted_scheme_stall) {
+                ++stats_.dispatchStallCycles;
+                counted_scheme_stall = true;
+            }
+            break;
+        }
+
+        core::DynInst *inst = allocInst(f);
+        fetchQueue_.popFront();
+        renamer_.rename(*inst);
+        if (inst->hasDest())
+            scoreboard_.markPending(inst->pdest);
+        inst->dispatchCycle = cycle_;
+        rob_.pushBack(inst);
+        if (inst->op.isMem()) {
+            lsq_.insert(inst);
+            if (inst->isLoad())
+                ++stats_.loads;
+            else
+                ++stats_.stores;
+        }
+        scheme_->dispatch(inst, ctx);
+        ++stats_.dispatched;
+        ++n;
+    }
+}
+
+void
+Cpu::fetchStage()
+{
+    if (fetchBlockedOnBranch_ || cycle_ < fetchResumeCycle_) {
+        ++stats_.fetchStallCycles;
+        return;
+    }
+
+    int n = 0;
+    while (n < config_.fetchWidth && !fetchQueue_.full()) {
+        if (!pendingValid_) {
+            if (!trace_.next(pendingOp_)) {
+                traceExhausted_ = true;
+                break;
+            }
+            pendingValid_ = true;
+        }
+
+        // Instruction cache: one probe per line transition.
+        uint64_t line =
+            pendingOp_.pc / config_.memory.l1i.lineBytes;
+        if (line != lastFetchLine_) {
+            unsigned lat = mem_.fetchLatency(pendingOp_.pc);
+            lastFetchLine_ = line;
+            if (lat > config_.memory.l1i.hitLatency) {
+                // Miss: refetch resumes after the fill.
+                fetchResumeCycle_ = cycle_ + lat;
+                break;
+            }
+        }
+
+        FetchedOp f;
+        f.op = pendingOp_;
+        f.seq = nextSeq_++;
+        f.fetchCycle = cycle_;
+        f.decodeReady = cycle_ +
+            static_cast<uint64_t>(config_.frontendDelay);
+        pendingValid_ = false;
+
+        bool stop = false;
+        if (f.op.isBranch()) {
+            ++stats_.branches;
+            bool correct = predictor_.predictAndUpdate(
+                f.op.pc, f.op.taken, f.op.target);
+            if (!correct) {
+                ++stats_.mispredicts;
+                f.mispredicted = true;
+                fetchBlockedOnBranch_ = true;
+                stop = true;
+            } else if (f.op.taken) {
+                stop = true; // cannot fetch past a taken branch
+            }
+        }
+
+        fetchQueue_.pushBack(f);
+        ++stats_.fetched;
+        ++n;
+        if (stop)
+            break;
+    }
+}
+
+} // namespace diq::sim

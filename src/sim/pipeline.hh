@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The out-of-order processor model (Wattch/SimpleScalar-class
+ * substrate, Table 1 configuration).
+ *
+ * Trace-driven, correct-path simulation: the workload supplies the
+ * committed instruction stream; branch mispredictions block the
+ * front-end until the branch resolves (plus redirect), rather than
+ * injecting wrong-path work (DESIGN.md §3).
+ *
+ * Stage order within a cycle is commit -> writeback events -> issue ->
+ * LSQ -> rename/dispatch -> fetch, so values written back in cycle c
+ * can feed issues in cycle c, and instructions dispatched in cycle c
+ * can issue at c+1 at the earliest.
+ */
+
+#ifndef DIQ_SIM_PIPELINE_HH
+#define DIQ_SIM_PIPELINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "branch/predictors.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/issue_scheme.hh"
+#include "core/scoreboard.hh"
+#include "mem/cache.hh"
+#include "sim/config.hh"
+#include "sim/lsq.hh"
+#include "sim/rename.hh"
+#include "sim/sim_stats.hh"
+#include "trace/trace_source.hh"
+#include "util/circular_buffer.hh"
+
+namespace diq::sim
+{
+
+/** The complete processor. */
+class Cpu
+{
+  public:
+    /** The trace must outlive the Cpu. */
+    Cpu(const ProcessorConfig &config, trace::TraceSource &trace);
+    ~Cpu();
+
+    Cpu(const Cpu &) = delete;
+    Cpu &operator=(const Cpu &) = delete;
+
+    /**
+     * Simulate until `num_insts` more instructions commit (or the
+     * safety cycle cap fires, flagging stats().deadlocked).
+     * @return cycles spent in this call.
+     */
+    uint64_t run(uint64_t num_insts);
+
+    /**
+     * Zero the measurement counters while keeping all warm
+     * micro-architectural state (caches, predictors, in-flight work) —
+     * the warm-up idiom: run(w); resetStats(); run(n).
+     */
+    void resetStats();
+
+    const SimStats &stats() const { return stats_; }
+    SimStats &stats() { return stats_; }
+    const ProcessorConfig &config() const { return config_; }
+    const mem::MemoryHierarchy &memory() const { return mem_; }
+    const branch::HybridPredictor &predictor() const { return predictor_; }
+    core::IssueScheme &scheme() { return *scheme_; }
+    uint64_t cycle() const { return cycle_; }
+
+  private:
+    struct FetchedOp
+    {
+        trace::MicroOp op;
+        uint64_t seq = 0;
+        uint64_t fetchCycle = 0;
+        uint64_t decodeReady = 0; ///< earliest rename/dispatch cycle
+        bool mispredicted = false;
+    };
+
+    enum class EventKind : uint8_t { ExecComplete, AddrReady, DataReturn };
+
+    struct Event
+    {
+        EventKind kind;
+        core::DynInst *inst;
+    };
+
+    static constexpr size_t EventRingSlots = 512;
+
+    void stepCycle();
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void lsqStage();
+    void dispatchStage();
+    void fetchStage();
+
+    void schedule(uint64_t cycle, EventKind kind, core::DynInst *inst);
+
+    core::DynInst *allocInst(const FetchedOp &f);
+    void freeInst(core::DynInst *inst);
+
+    core::IssueContext makeContext();
+
+    ProcessorConfig config_;
+    trace::TraceSource &trace_;
+
+    // Substrates.
+    branch::HybridPredictor predictor_;
+    mem::MemoryHierarchy mem_;
+    core::FuPool fus_;
+    core::Scoreboard scoreboard_;
+    RegisterRenamer renamer_;
+    LoadStoreQueue lsq_;
+    std::unique_ptr<core::IssueScheme> scheme_;
+
+    // Window structures.
+    util::CircularBuffer<FetchedOp> fetchQueue_;
+    util::CircularBuffer<core::DynInst *> rob_;
+    std::vector<core::DynInst> slab_;
+    std::vector<core::DynInst *> freeList_;
+
+    // Event wheel (bounded latencies).
+    std::vector<std::vector<Event>> eventRing_;
+
+    // Cycle-local scratch.
+    std::vector<core::DynInst *> issuedBuf_;
+    std::vector<MemReturn> memReturns_;
+    int portsFree_ = 0;
+
+    // Front-end state.
+    bool fetchBlockedOnBranch_ = false;
+    uint64_t fetchResumeCycle_ = 0;
+    uint64_t lastFetchLine_ = ~uint64_t{0};
+    bool pendingValid_ = false;
+    trace::MicroOp pendingOp_{};
+    bool traceExhausted_ = false;
+
+    uint64_t cycle_ = 0;
+    uint64_t nextSeq_ = 1;
+
+    SimStats stats_;
+};
+
+} // namespace diq::sim
+
+#endif // DIQ_SIM_PIPELINE_HH

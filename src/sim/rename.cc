@@ -1,0 +1,85 @@
+#include "sim/rename.hh"
+
+#include <cassert>
+
+namespace diq::sim
+{
+
+RegisterRenamer::RegisterRenamer(int num_int_phys, int num_fp_phys)
+    : numIntPhys_(num_int_phys), numFpPhys_(num_fp_phys)
+{
+    assert(numIntPhys_ >= trace::NumIntRegs);
+    assert(numFpPhys_ >= trace::NumFpRegs);
+    reset();
+}
+
+void
+RegisterRenamer::reset()
+{
+    map_.assign(trace::NumLogicalRegs, -1);
+    freeInt_.clear();
+    freeFp_.clear();
+
+    // Boot state: logical int reg r maps to physical r; logical FP reg
+    // f (id 32+i) maps to physical numIntPhys_+i.
+    for (int r = 0; r < trace::NumIntRegs; ++r)
+        map_[static_cast<size_t>(r)] = r;
+    for (int i = 0; i < trace::NumFpRegs; ++i)
+        map_[static_cast<size_t>(trace::FpRegBase + i)] = numIntPhys_ + i;
+
+    for (int p = numIntPhys_ - 1; p >= trace::NumIntRegs; --p)
+        freeInt_.push_back(p);
+    for (int p = numIntPhys_ + numFpPhys_ - 1;
+         p >= numIntPhys_ + trace::NumFpRegs; --p) {
+        freeFp_.push_back(p);
+    }
+}
+
+bool
+RegisterRenamer::canRename(const trace::MicroOp &op) const
+{
+    if (op.dest == trace::NoReg)
+        return true;
+    return trace::isFpReg(op.dest) ? !freeFp_.empty() : !freeInt_.empty();
+}
+
+void
+RegisterRenamer::rename(core::DynInst &inst)
+{
+    const trace::MicroOp &op = inst.op;
+    inst.psrc1 = mapping(op.src1);
+    inst.psrc2 = mapping(op.src2);
+    if (op.dest == trace::NoReg) {
+        inst.pdest = core::NoPhysReg;
+        inst.poldDest = core::NoPhysReg;
+        return;
+    }
+    auto &pool = trace::isFpReg(op.dest) ? freeFp_ : freeInt_;
+    assert(!pool.empty());
+    int pdest = pool.back();
+    pool.pop_back();
+    inst.pdest = pdest;
+    inst.poldDest = map_[static_cast<size_t>(op.dest)];
+    map_[static_cast<size_t>(op.dest)] = pdest;
+}
+
+void
+RegisterRenamer::freeAtCommit(const core::DynInst &inst)
+{
+    if (inst.poldDest == core::NoPhysReg)
+        return;
+    if (inst.poldDest < numIntPhys_)
+        freeInt_.push_back(inst.poldDest);
+    else
+        freeFp_.push_back(inst.poldDest);
+}
+
+int
+RegisterRenamer::mapping(int logical_reg) const
+{
+    if (logical_reg < 0 || logical_reg >= trace::NumLogicalRegs)
+        return core::NoPhysReg;
+    return map_[static_cast<size_t>(logical_reg)];
+}
+
+} // namespace diq::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register renaming: logical -> physical mapping with free lists.
+ *
+ * Table 1: 160 INT + 160 FP physical registers. Physical register ids
+ * are global (INT pool first, FP pool after) so one scoreboard covers
+ * both files. The previous mapping of an instruction's destination is
+ * freed when the instruction commits.
+ */
+
+#ifndef DIQ_SIM_RENAME_HH
+#define DIQ_SIM_RENAME_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "trace/isa.hh"
+
+namespace diq::sim
+{
+
+/** Map tables + free lists for both register files. */
+class RegisterRenamer
+{
+  public:
+    RegisterRenamer(int num_int_phys, int num_fp_phys);
+
+    /** Total physical registers (scoreboard size). */
+    int numPhysRegs() const { return numIntPhys_ + numFpPhys_; }
+
+    /** Can `inst`'s destination (if any) be renamed right now? */
+    bool canRename(const trace::MicroOp &op) const;
+
+    /**
+     * Fill psrc1/psrc2/pdest/poldDest of `inst` and update the map.
+     * Requires canRename().
+     */
+    void rename(core::DynInst &inst);
+
+    /** Commit-time release of the overwritten mapping. */
+    void freeAtCommit(const core::DynInst &inst);
+
+    /** Current physical mapping of a logical register (-1: none). */
+    int mapping(int logical_reg) const;
+
+    int freeIntRegs() const
+    {
+        return static_cast<int>(freeInt_.size());
+    }
+    int freeFpRegs() const { return static_cast<int>(freeFp_.size()); }
+
+    /** Restore the boot mapping and full free lists. */
+    void reset();
+
+  private:
+    int numIntPhys_;
+    int numFpPhys_;
+    std::vector<int> map_;     ///< logical -> physical
+    std::vector<int> freeInt_; ///< stack of free INT physical regs
+    std::vector<int> freeFp_;  ///< stack of free FP physical regs
+};
+
+} // namespace diq::sim
+
+#endif // DIQ_SIM_RENAME_HH

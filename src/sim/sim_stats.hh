@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aggregate statistics of one simulation run (measurement region).
+ */
+
+#ifndef DIQ_SIM_SIM_STATS_HH
+#define DIQ_SIM_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "util/stats.hh"
+
+namespace diq::sim
+{
+
+/** Counters over the measured region (reset by Cpu::resetStats). */
+struct SimStats
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t fetched = 0;
+    uint64_t dispatched = 0;
+    uint64_t issuedOps = 0;
+
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+
+    /** Cycles where a decode-ready instruction could not dispatch
+     *  because the issue scheme refused it. */
+    uint64_t dispatchStallCycles = 0;
+    /** Cycles where dispatch was blocked by ROB/registers/LSQ. */
+    uint64_t windowStallCycles = 0;
+    /** Cycles with the front-end blocked (mispredict or icache miss). */
+    uint64_t fetchStallCycles = 0;
+
+    /** Sum over cycles of scheme occupancy (avg = /cycles). */
+    uint64_t schemeOccupancySum = 0;
+    /** Sum over cycles of ROB occupancy. */
+    uint64_t robOccupancySum = 0;
+
+    /** True when the run aborted on the cycle cap (pipeline bug). */
+    bool deadlocked = false;
+
+    /** Micro-architectural energy events (see power/events.hh). */
+    util::CounterSet counters;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) / cycles : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return branches ? static_cast<double>(mispredicts) / branches : 0.0;
+    }
+
+    double
+    avgSchemeOccupancy() const
+    {
+        return cycles ? static_cast<double>(schemeOccupancySum) / cycles
+                      : 0.0;
+    }
+};
+
+} // namespace diq::sim
+
+#endif // DIQ_SIM_SIM_STATS_HH

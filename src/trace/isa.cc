@@ -1,0 +1,97 @@
+#include "trace/isa.hh"
+
+#include <sstream>
+
+namespace diq::trace
+{
+
+int
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop:
+        return 1;
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMult:
+        return 3;
+      case OpClass::IntDiv:
+        return 20;
+      case OpClass::FpAdd:
+        return 2;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 12;
+      case OpClass::Load:
+        return AddressLatency;
+      case OpClass::Store:
+        return AddressLatency;
+      case OpClass::Branch:
+        return 1;
+      default:
+        return 1;
+    }
+}
+
+bool
+isFpOp(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop:
+        return "Nop";
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMult:
+        return "IntMult";
+      case OpClass::IntDiv:
+        return "IntDiv";
+      case OpClass::FpAdd:
+        return "FpAdd";
+      case OpClass::FpMult:
+        return "FpMult";
+      case OpClass::FpDiv:
+        return "FpDiv";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+      default:
+        return "?";
+    }
+}
+
+std::string
+MicroOp::toString() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << " " << opClassName(op);
+    if (dest != NoReg)
+        os << " d=" << static_cast<int>(dest);
+    if (src1 != NoReg)
+        os << " s1=" << static_cast<int>(src1);
+    if (src2 != NoReg)
+        os << " s2=" << static_cast<int>(src2);
+    if (isMem())
+        os << std::hex << " @0x" << memAddr << std::dec;
+    if (isBranch())
+        os << (taken ? " T" : " NT");
+    return os.str();
+}
+
+} // namespace diq::trace

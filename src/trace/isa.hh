@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Instruction-set abstraction for the trace-driven processor model.
+ *
+ * The model is Alpha-flavoured, matching the paper's SimpleScalar
+ * substrate: 32 integer + 32 floating-point logical registers, loads
+ * and stores are integer-pipeline work (address computation on an
+ * integer adder), and operation latencies follow Table 1 of the paper:
+ *
+ *   INT: 8 ALU (1 cycle), 4 mult/div (3-cycle mult, 20-cycle div)
+ *   FP:  4 ALU (2 cycles), 4 mult/div (4-cycle mult, 12-cycle div)
+ */
+
+#ifndef DIQ_TRACE_ISA_HH
+#define DIQ_TRACE_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace diq::trace
+{
+
+/** Operation classes distinguished by the execution model. */
+enum class OpClass : uint8_t {
+    Nop = 0,
+    IntAlu,   ///< add/sub/logic/compare; also branch condition evaluation
+    IntMult,  ///< integer multiply
+    IntDiv,   ///< integer divide
+    FpAdd,    ///< FP add/sub/convert ("FP ALU" in Table 1)
+    FpMult,   ///< FP multiply
+    FpDiv,    ///< FP divide / sqrt
+    Load,     ///< memory read (address computation + access)
+    Store,    ///< memory write (address computation + commit-time write)
+    Branch,   ///< conditional or unconditional control transfer
+    NumOpClasses
+};
+
+/** Number of logical integer registers (r0..r31). */
+constexpr int NumIntRegs = 32;
+/** Number of logical FP registers (f0..f31, ids 32..63). */
+constexpr int NumFpRegs = 32;
+/** Total logical register ids; FP ids are offset by NumIntRegs. */
+constexpr int NumLogicalRegs = NumIntRegs + NumFpRegs;
+
+/** Sentinel for "no register". */
+constexpr int8_t NoReg = -1;
+
+/** First FP logical register id. */
+constexpr int FpRegBase = NumIntRegs;
+
+/** True if a logical register id names an FP register. */
+inline bool
+isFpReg(int reg)
+{
+    return reg >= FpRegBase && reg < NumLogicalRegs;
+}
+
+/**
+ * Execution latency of an op class in cycles (Table 1).
+ *
+ * For loads this is the address-computation latency only; the memory
+ * access latency is determined by the cache hierarchy. Branches and
+ * stores compute on the integer ALU.
+ */
+int opLatency(OpClass op);
+
+/** Cycles to compute a load/store address (paper's AddressLatency). */
+constexpr int AddressLatency = 1;
+
+/** True for classes executed by the FP cluster (FP queues). */
+bool isFpOp(OpClass op);
+
+/** True for memory operations (Load or Store). */
+inline bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** Human-readable op class name. */
+std::string opClassName(OpClass op);
+
+/**
+ * One dynamic micro-operation in program order, as produced by a
+ * workload generator and consumed by the pipeline front-end.
+ *
+ * Dependences are expressed through logical registers: a source register
+ * depends on the most recent earlier op that wrote it. Up to two sources
+ * and one destination, Alpha style. Memory ops carry their effective
+ * address; branches carry their resolved direction and target.
+ */
+struct MicroOp
+{
+    uint64_t pc = 0;           ///< instruction address (4-byte aligned)
+    OpClass op = OpClass::Nop; ///< operation class
+    int8_t src1 = NoReg;       ///< left source logical register
+    int8_t src2 = NoReg;       ///< right source logical register
+    int8_t dest = NoReg;       ///< destination logical register
+    uint64_t memAddr = 0;      ///< effective address for Load/Store
+    uint8_t memSize = 8;       ///< access size in bytes
+    bool taken = false;        ///< branch outcome (Branch only)
+    uint64_t target = 0;       ///< branch target (Branch only)
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isBranch() const { return op == OpClass::Branch; }
+    bool isMem() const { return isMemOp(op); }
+
+    /** True if this op is handled by the FP cluster / FP queues. */
+    bool isFpPipe() const { return isFpOp(op); }
+
+    std::string toString() const;
+};
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_ISA_HH

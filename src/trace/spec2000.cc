@@ -1,0 +1,609 @@
+#include "trace/spec2000.hh"
+
+#include <stdexcept>
+
+namespace diq::trace
+{
+
+namespace
+{
+
+constexpr uint64_t KB = 1024;
+constexpr uint64_t MB = 1024 * 1024;
+
+/**
+ * SPECint-like profiles. Integer codes have narrow dependence graphs
+ * (2-4 live chains), short 1-cycle chains, frequent and moderately
+ * predictable branches, and modest data footprints — which is why the
+ * paper finds a handful of FIFOs sufficient for them.
+ */
+std::vector<BenchmarkProfile>
+buildIntProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {
+        // bzip2: block-sorting compressor. Streaming byte work with a
+        // few MB of working set and fairly predictable branches.
+        BenchmarkProfile p;
+        p.name = "bzip2";
+        p.isFp = false;
+        p.innerIters = 96;
+        p.codeBlocks = 2;
+        p.parChains = 2;
+        p.chainLen = 5;
+        p.multFrac = 0.04;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 2;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.10;
+        p.extraBranches = 1;
+        p.branchBias = 0.90;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // crafty: chess. Branch-heavy search over cache-resident
+        // bitboards; lots of short logic chains.
+        BenchmarkProfile p;
+        p.name = "crafty";
+        p.isFp = false;
+        p.innerIters = 24;
+        p.codeBlocks = 6;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.05;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 32 * KB;
+        p.randomAccessFrac = 0.25;
+        p.extraBranches = 2;
+        p.branchBias = 0.92;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // eon: C++ ray tracer — the one SPECint program with a
+        // significant FP component (the paper calls this out in
+        // Figure 7), modeled with two FP chains.
+        BenchmarkProfile p;
+        p.name = "eon";
+        p.isFp = false;
+        p.innerIters = 32;
+        p.codeBlocks = 4;
+        p.parChains = 3;
+        p.fpChains = 1;
+        p.chainLen = 4;
+        p.multFrac = 0.35;
+        p.loadsPerIter = 3;
+        p.storesPerIter = 1;
+        p.footprint = 32 * KB;
+        p.randomAccessFrac = 0.10;
+        p.extraBranches = 1;
+        p.branchBias = 0.93;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // gap: group theory interpreter. Pointer-rich lists with
+        // moderate footprint.
+        BenchmarkProfile p;
+        p.name = "gap";
+        p.isFp = false;
+        p.innerIters = 48;
+        p.codeBlocks = 4;
+        p.parChains = 2;
+        p.chainLen = 5;
+        p.multFrac = 0.08;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.20;
+        p.extraBranches = 1;
+        p.branchBias = 0.91;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // gcc: compiler. Huge instruction footprint, short irregular
+        // loops, hard branches, scattered accesses.
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.isFp = false;
+        p.innerIters = 12;
+        p.codeBlocks = 16;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.03;
+        p.loadsPerIter = 3;
+        p.storesPerIter = 2;
+        p.footprint = 64 * KB;
+        p.randomAccessFrac = 0.30;
+        p.extraBranches = 2;
+        p.branchBias = 0.88;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // gzip: LZ77 compressor. Tight loops over a ~256KB window,
+        // data-dependent match branches.
+        BenchmarkProfile p;
+        p.name = "gzip";
+        p.isFp = false;
+        p.innerIters = 64;
+        p.codeBlocks = 2;
+        p.parChains = 2;
+        p.chainLen = 5;
+        p.multFrac = 0.02;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.20;
+        p.extraBranches = 1;
+        p.branchBias = 0.86;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // mcf: network simplex. The classic pointer-chasing,
+        // memory-bound SPECint program: tiny IPC, giant footprint.
+        BenchmarkProfile p;
+        p.name = "mcf";
+        p.isFp = false;
+        p.innerIters = 40;
+        p.codeBlocks = 2;
+        p.parChains = 2;
+        p.chainLen = 3;
+        p.loadsPerIter = 4;
+        p.storesPerIter = 1;
+        p.footprint = 8 * MB;
+        p.randomAccessFrac = 0.40;
+        p.pointerChase = true;
+        p.extraBranches = 2;
+        p.branchBias = 0.90;
+        p.intOverhead = 4;
+        v.push_back(p);
+    }
+    {
+        // parser: NL parser. Dictionary walks: irregular accesses and
+        // mispredicting branches.
+        BenchmarkProfile p;
+        p.name = "parser";
+        p.isFp = false;
+        p.innerIters = 20;
+        p.codeBlocks = 8;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.03;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.25;
+        p.extraBranches = 2;
+        p.branchBias = 0.87;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // perlbmk: interpreter dispatch — big code footprint, indirect
+        // control flow (modeled as harder branches).
+        BenchmarkProfile p;
+        p.name = "perlbmk";
+        p.isFp = false;
+        p.innerIters = 16;
+        p.codeBlocks = 12;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.04;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 2;
+        p.footprint = 32 * KB;
+        p.randomAccessFrac = 0.25;
+        p.extraBranches = 2;
+        p.branchBias = 0.90;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // twolf: place & route. Small working set but very irregular
+        // access and branch patterns.
+        BenchmarkProfile p;
+        p.name = "twolf";
+        p.isFp = false;
+        p.innerIters = 24;
+        p.codeBlocks = 6;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.06;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.35;
+        p.extraBranches = 2;
+        p.branchBias = 0.86;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // vortex: OO database. Well-predicted branches, pointer
+        // structures with decent locality: highest SPECint IPC.
+        BenchmarkProfile p;
+        p.name = "vortex";
+        p.isFp = false;
+        p.innerIters = 48;
+        p.codeBlocks = 8;
+        p.parChains = 2;
+        p.chainLen = 4;
+        p.multFrac = 0.03;
+        p.loadsPerIter = 3;
+        p.storesPerIter = 2;
+        p.footprint = 64 * KB;
+        p.randomAccessFrac = 0.15;
+        p.extraBranches = 1;
+        p.branchBias = 0.95;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    {
+        // vpr: FPGA place & route. Similar to twolf with longer
+        // arithmetic chains.
+        BenchmarkProfile p;
+        p.name = "vpr";
+        p.isFp = false;
+        p.innerIters = 32;
+        p.codeBlocks = 4;
+        p.parChains = 2;
+        p.chainLen = 5;
+        p.multFrac = 0.08;
+        p.loadsPerIter = 2;
+        p.storesPerIter = 1;
+        p.footprint = 48 * KB;
+        p.randomAccessFrac = 0.25;
+        p.extraBranches = 2;
+        p.branchBias = 0.88;
+        p.intOverhead = 3;
+        p.crossIterChains = true;
+        p.crossLinkFrac = 0.35;
+        v.push_back(p);
+    }
+    return v;
+}
+
+/**
+ * SPECfp-like profiles. FP codes have wide dependence graphs (6-12
+ * live chains), long-latency chain ops, long predictable loops and
+ * large streaming footprints — the regime where plain FIFO issue
+ * queues break down (paper §3).
+ */
+std::vector<BenchmarkProfile>
+buildFpProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {
+        // ammp: molecular dynamics on neighbor lists — pointer-driven
+        // gather with long FP chains; memory bound, low IPC.
+        BenchmarkProfile p;
+        p.name = "ammp";
+        p.isFp = true;
+        p.innerIters = 64;
+        p.parChains = 4;
+        p.chainLen = 4;
+        p.multFrac = 0.40;
+        p.divFrac = 0.04;
+        p.loadsPerIter = 4;
+        p.storesPerIter = 1;
+        p.footprint = 16 * MB;
+        p.randomAccessFrac = 0.35;
+        p.pointerChase = true;
+        p.intOverhead = 3;
+        v.push_back(p);
+    }
+    {
+        // applu: parabolic/elliptic PDE solver — wide independent
+        // recurrences over large arrays.
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.isFp = true;
+        p.innerIters = 128;
+        p.parChains = 10;
+        p.chainLen = 3;
+        p.multFrac = 0.45;
+        p.divFrac = 0.01;
+        p.loadsPerIter = 6;
+        p.storesPerIter = 3;
+        p.footprint = 1 * MB;
+        p.strideBytes = 8;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // apsi: meteorology kernel mix; moderate width and footprint.
+        BenchmarkProfile p;
+        p.name = "apsi";
+        p.isFp = true;
+        p.innerIters = 96;
+        p.parChains = 6;
+        p.chainLen = 3;
+        p.multFrac = 0.35;
+        p.divFrac = 0.02;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 2;
+        p.footprint = 1 * MB;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // art: neural-network image recognition — infamous cache
+        // behaviour: repeated sweeps of a >L2 array with poor reuse.
+        BenchmarkProfile p;
+        p.name = "art";
+        p.isFp = true;
+        p.innerIters = 64;
+        p.parChains = 4;
+        p.chainLen = 2;
+        p.multFrac = 0.30;
+        p.loadsPerIter = 4;
+        p.storesPerIter = 1;
+        p.footprint = 4 * MB;
+        p.randomAccessFrac = 0.50;
+        p.strideBytes = 32;
+        p.intOverhead = 3;
+        v.push_back(p);
+    }
+    {
+        // equake: sparse matrix-vector earthquake simulation —
+        // indirect accesses plus multiply-heavy chains.
+        BenchmarkProfile p;
+        p.name = "equake";
+        p.isFp = true;
+        p.innerIters = 80;
+        p.parChains = 4;
+        p.chainLen = 4;
+        p.multFrac = 0.50;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 1;
+        p.footprint = 4 * MB;
+        p.randomAccessFrac = 0.35;
+        p.intOverhead = 4;
+        v.push_back(p);
+    }
+    {
+        // facerec: image correlation — wide FFT-ish kernels with good
+        // locality.
+        BenchmarkProfile p;
+        p.name = "facerec";
+        p.isFp = true;
+        p.innerIters = 128;
+        p.parChains = 10;
+        p.chainLen = 3;
+        p.multFrac = 0.40;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 2;
+        p.footprint = 768 * KB;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // fma3d: crash simulation (finite elements) — medium width,
+        // longer chains, scattered element data.
+        BenchmarkProfile p;
+        p.name = "fma3d";
+        p.isFp = true;
+        p.innerIters = 64;
+        p.parChains = 6;
+        p.chainLen = 4;
+        p.multFrac = 0.40;
+        p.divFrac = 0.01;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 2;
+        p.footprint = 1 * MB;
+        p.randomAccessFrac = 0.15;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // galgel: fluid dynamics (Galerkin) — cache-resident dense
+        // algebra, very wide: high IPC.
+        BenchmarkProfile p;
+        p.name = "galgel";
+        p.isFp = true;
+        p.innerIters = 160;
+        p.parChains = 12;
+        p.chainLen = 3;
+        p.multFrac = 0.50;
+        p.loadsPerIter = 6;
+        p.storesPerIter = 2;
+        p.footprint = 512 * KB;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // lucas: Lucas-Lehmer primality FFT — long strides, wide
+        // butterflies.
+        BenchmarkProfile p;
+        p.name = "lucas";
+        p.isFp = true;
+        p.innerIters = 128;
+        p.parChains = 10;
+        p.chainLen = 3;
+        p.multFrac = 0.50;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 2;
+        p.footprint = 2 * MB;
+        p.strideBytes = 16;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // mesa: software 3D rendering — FP transform chains mixed with
+        // integer rasterization and branches.
+        BenchmarkProfile p;
+        p.name = "mesa";
+        p.isFp = true;
+        p.innerIters = 48;
+        p.codeBlocks = 4;
+        p.parChains = 5;
+        p.fpChains = 3;
+        p.chainLen = 3;
+        p.multFrac = 0.40;
+        p.loadsPerIter = 3;
+        p.storesPerIter = 1;
+        p.footprint = 384 * KB;
+        p.extraBranches = 2;
+        p.branchBias = 0.92;
+        p.intOverhead = 4;
+        p.crossIterIntChains = true;
+        v.push_back(p);
+    }
+    {
+        // mgrid: multigrid solver — extremely regular 27-point
+        // stencils: the widest, most parallel stream in the suite.
+        BenchmarkProfile p;
+        p.name = "mgrid";
+        p.isFp = true;
+        p.innerIters = 256;
+        p.parChains = 12;
+        p.chainLen = 2;
+        p.multFrac = 0.30;
+        p.loadsPerIter = 8;
+        p.storesPerIter = 2;
+        p.footprint = 1 * MB;
+        p.strideBytes = 8;
+        p.intOverhead = 5;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // sixtrack: particle tracking — long multiply/divide chains,
+        // small resident working set.
+        BenchmarkProfile p;
+        p.name = "sixtrack";
+        p.isFp = true;
+        p.innerIters = 96;
+        p.parChains = 6;
+        p.chainLen = 5;
+        p.multFrac = 0.50;
+        p.divFrac = 0.03;
+        p.loadsPerIter = 4;
+        p.storesPerIter = 1;
+        p.footprint = 384 * KB;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // swim: shallow-water stencil — wide, streaming, >L2
+        // footprint: bandwidth-sensitive but very parallel.
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.isFp = true;
+        p.innerIters = 256;
+        p.parChains = 12;
+        p.chainLen = 2;
+        p.multFrac = 0.40;
+        p.loadsPerIter = 8;
+        p.storesPerIter = 4;
+        p.footprint = 4 * MB;
+        p.strideBytes = 8;
+        p.intOverhead = 5;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    {
+        // wupwise: lattice QCD matrix-vector products — wide
+        // multiply-add chains, medium footprint.
+        BenchmarkProfile p;
+        p.name = "wupwise";
+        p.isFp = true;
+        p.innerIters = 128;
+        p.parChains = 10;
+        p.chainLen = 3;
+        p.multFrac = 0.50;
+        p.loadsPerIter = 5;
+        p.storesPerIter = 2;
+        p.footprint = 768 * KB;
+        p.intOverhead = 4;
+        p.crossLinkFrac = 0.45;
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+specIntProfiles()
+{
+    static const std::vector<BenchmarkProfile> v = buildIntProfiles();
+    return v;
+}
+
+const std::vector<BenchmarkProfile> &
+specFpProfiles()
+{
+    static const std::vector<BenchmarkProfile> v = buildFpProfiles();
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+allSpecProfiles()
+{
+    std::vector<BenchmarkProfile> v = specIntProfiles();
+    const auto &fp = specFpProfiles();
+    v.insert(v.end(), fp.begin(), fp.end());
+    return v;
+}
+
+const BenchmarkProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : specIntProfiles())
+        if (p.name == name)
+            return p;
+    for (const auto &p : specFpProfiles())
+        if (p.name == name)
+            return p;
+    throw std::out_of_range("unknown SPEC2000-like benchmark: " + name);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const BenchmarkProfile &profile)
+{
+    uint64_t seed = util::Rng::hashString(profile.name);
+    return std::make_unique<SyntheticWorkload>(profile, seed);
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const std::string &name)
+{
+    return makeSpecWorkload(specProfile(name));
+}
+
+} // namespace diq::trace

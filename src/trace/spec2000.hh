@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SPEC2000-like synthetic benchmark suite.
+ *
+ * One BenchmarkProfile per SPEC CPU2000 program (12 SPECint + 14
+ * SPECfp), each calibrated to mimic the stream-level character of its
+ * namesake: dependence-graph width, chain-op latencies, memory
+ * footprint/pattern and branch behaviour (DESIGN.md §5 documents the
+ * substitution). Profiles are data, not code — see spec2000.cc for the
+ * per-program rationale comments.
+ */
+
+#ifndef DIQ_TRACE_SPEC2000_HH
+#define DIQ_TRACE_SPEC2000_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace diq::trace
+{
+
+/** The 12 SPECint2000-like profiles, in the paper's figure order. */
+const std::vector<BenchmarkProfile> &specIntProfiles();
+
+/** The 14 SPECfp2000-like profiles, in the paper's figure order. */
+const std::vector<BenchmarkProfile> &specFpProfiles();
+
+/** Both suites: SPECint first, then SPECfp. */
+std::vector<BenchmarkProfile> allSpecProfiles();
+
+/**
+ * Look up a profile by name ("gcc", "swim", ...).
+ * @throws std::out_of_range for unknown names.
+ */
+const BenchmarkProfile &specProfile(const std::string &name);
+
+/**
+ * Instantiate the deterministic workload for a profile; the stream
+ * seed is derived from the benchmark name so runs are reproducible and
+ * independent of evaluation order.
+ */
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const BenchmarkProfile &profile);
+
+/** Convenience: by name. */
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const std::string &name);
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_SPEC2000_HH

@@ -1,0 +1,366 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace diq::trace
+{
+
+namespace
+{
+
+// Fixed-role integer registers. The rotating value pools deliberately
+// exclude them.
+constexpr int8_t regLoopCounter = 28;
+constexpr int8_t regBasePointer = 29; // never written: always ready
+constexpr int8_t regChasePtr = 30;
+
+constexpr int intPoolBase = 1;
+constexpr int intPoolSize = 27; // r1..r27
+constexpr int fpPoolBase = FpRegBase;
+constexpr int fpPoolSize = NumFpRegs;
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
+                                     uint64_t seed)
+    : profile_(profile), seed_(seed), rng_(seed)
+{
+    buildLayout();
+    validateLayout();
+    reset();
+}
+
+void
+SyntheticWorkload::buildLayout()
+{
+    util::Rng layout_rng(seed_, /*stream=*/1);
+
+    const auto &p = profile_;
+    int int_alloc = 0;
+    int fp_alloc = 0;
+    auto rot_int = [&]() -> int8_t {
+        return static_cast<int8_t>(intPoolBase + (int_alloc++ % intPoolSize));
+    };
+    auto rot_fp = [&]() -> int8_t {
+        return static_cast<int8_t>(fpPoolBase + (fp_alloc++ % fpPoolSize));
+    };
+
+    body_.clear();
+
+    // --- Induction variables and address arithmetic ---------------------
+    std::vector<int8_t> addr_regs;
+    {
+        Slot s{};
+        s.kind = SlotKind::Overhead;
+        s.op = OpClass::IntAlu;
+        s.dest = regLoopCounter;
+        s.src1 = regLoopCounter;
+        body_.push_back(s);
+    }
+    for (int i = 1; i < std::max(1, p.intOverhead); ++i) {
+        Slot s{};
+        s.kind = SlotKind::Overhead;
+        s.op = OpClass::IntAlu;
+        s.dest = rot_int();
+        // Address arithmetic forms one dependent chain off the loop
+        // counter (base + scaled index + offset...), as compiled
+        // addressing code does.
+        s.src1 = (i == 1) ? regLoopCounter : addr_regs.back();
+        body_.push_back(s);
+        addr_regs.push_back(s.dest);
+    }
+    if (addr_regs.empty())
+        addr_regs.push_back(regBasePointer);
+
+    // --- Chain typing ------------------------------------------------------
+    // Chain c is FP when c < fpChains (mixed codes like eon); with
+    // fpChains < 0 every chain follows the suite type.
+    int chains = std::max(1, p.parChains);
+    int clen = std::max(1, p.chainLen);
+    auto chain_is_fp = [&](int c) {
+        return p.fpChains >= 0 ? c < p.fpChains : p.isFp;
+    };
+    int num_fp_chains = 0;
+    for (int c = 0; c < chains; ++c)
+        num_fp_chains += chain_is_fp(c) ? 1 : 0;
+
+    // --- Loads and dependence chains ---------------------------------------
+    // Two emission orders, matching how compilers lay out the two code
+    // classes (and what the issue-FIFO steering sees):
+    //  - integer codes are *chain-major*: each load is immediately
+    //    followed by its dependent operations, so consecutive
+    //    instructions chain through the steering table;
+    //  - FP codes are *software-pipelined*: loads first, then the
+    //    chains interleaved round-robin (c0k0, c1k0, ..., c0k1, ...),
+    //    exposing the whole wide dependence graph at once.
+    bool chain_major = !p.isFp;
+    int num_loads = std::max(p.pointerChase ? 1 : 0, p.loadsPerIter);
+    int num_fp_loads = chains ?
+        (num_loads * num_fp_chains + chains - 1) / chains : 0;
+
+    std::vector<int8_t> fp_load_vals;
+    std::vector<int8_t> int_load_vals;
+    std::vector<Slot> load_slots;
+    for (int l = 0; l < num_loads; ++l) {
+        Slot s{};
+        s.kind = SlotKind::Load;
+        s.op = OpClass::Load;
+        s.arrayId = l;
+        if (p.pointerChase && l == 0) {
+            // Serialized pointer walk: address depends on prior load.
+            s.chase = true;
+            s.src1 = regChasePtr;
+            s.dest = regChasePtr;
+            s.randomAddr = true;
+            int_load_vals.push_back(s.dest);
+        } else {
+            s.src1 = addr_regs[static_cast<size_t>(l) % addr_regs.size()];
+            bool fp_dest = l < num_fp_loads;
+            s.dest = fp_dest ? rot_fp() : rot_int();
+            s.randomAddr = layout_rng.nextBool(p.randomAccessFrac);
+            (fp_dest ? fp_load_vals : int_load_vals).push_back(s.dest);
+        }
+        load_slots.push_back(s);
+    }
+    if (int_load_vals.empty())
+        int_load_vals.push_back(regBasePointer);
+    if (fp_load_vals.empty())
+        fp_load_vals = int_load_vals; // cross-type feed (cvt-like)
+
+    std::vector<std::vector<int8_t>> chain_dest(
+        static_cast<size_t>(chains),
+        std::vector<int8_t>(static_cast<size_t>(clen)));
+    std::vector<std::vector<OpClass>> chain_op(
+        static_cast<size_t>(chains),
+        std::vector<OpClass>(static_cast<size_t>(clen)));
+    for (int c = 0; c < chains; ++c) {
+        bool fp = chain_is_fp(c);
+        for (int k = 0; k < clen; ++k) {
+            chain_dest[c][k] = fp ? rot_fp() : rot_int();
+            double r = layout_rng.nextDouble();
+            OpClass op;
+            if (r < p.divFrac)
+                op = fp ? OpClass::FpDiv : OpClass::IntDiv;
+            else if (r < p.divFrac + p.multFrac)
+                op = fp ? OpClass::FpMult : OpClass::IntMult;
+            else
+                op = fp ? OpClass::FpAdd : OpClass::IntAlu;
+            chain_op[c][k] = op;
+        }
+    }
+
+    auto make_chain_op = [&](int c, int k) {
+        Slot s{};
+        s.kind = SlotKind::ChainOp;
+        s.op = chain_op[c][k];
+        s.dest = chain_dest[c][k];
+        const auto &feed = chain_is_fp(c) ? fp_load_vals : int_load_vals;
+        bool cross_iter = p.crossIterChains ||
+            (!chain_is_fp(c) && p.crossIterIntChains);
+        if (k == 0) {
+            s.src1 = cross_iter
+                ? chain_dest[c][clen - 1]
+                : feed[static_cast<size_t>(c) % feed.size()];
+        } else {
+            s.src1 = chain_dest[c][k - 1];
+        }
+        if (layout_rng.nextBool(p.crossLinkFrac))
+            s.src2 = feed[layout_rng.nextBounded(feed.size())];
+        return s;
+    };
+
+    if (chain_major) {
+        // Leftover loads not paired with a chain come first.
+        for (int l = chains; l < num_loads; ++l)
+            body_.push_back(load_slots[static_cast<size_t>(l)]);
+        for (int c = 0; c < chains; ++c) {
+            if (c < num_loads)
+                body_.push_back(load_slots[static_cast<size_t>(c)]);
+            for (int k = 0; k < clen; ++k)
+                body_.push_back(make_chain_op(c, k));
+        }
+    } else {
+        for (auto &s : load_slots)
+            body_.push_back(s);
+        for (int k = 0; k < clen; ++k)
+            for (int c = 0; c < chains; ++c)
+                body_.push_back(make_chain_op(c, k));
+    }
+
+    // --- Data-dependent conditional branches ------------------------------
+    // The compare consumes a freshly produced chain value (like a real
+    // test on computed data), so it steers into that chain's queue
+    // rather than demanding a fresh FIFO; compares come before the
+    // stores so both tap *distinct* chain tails.
+    std::vector<int> int_chain_ids;
+    for (int c = 0; c < chains; ++c)
+        if (!chain_is_fp(c))
+            int_chain_ids.push_back(c);
+    for (int b = 0; b < p.extraBranches; ++b) {
+        Slot cmp{};
+        cmp.kind = SlotKind::Overhead;
+        cmp.op = OpClass::IntAlu;
+        cmp.dest = rot_int();
+        if (!int_chain_ids.empty()) {
+            int feed_chain = int_chain_ids[
+                static_cast<size_t>(b) % int_chain_ids.size()];
+            cmp.src1 = chain_dest[static_cast<size_t>(feed_chain)]
+                                 [static_cast<size_t>(clen - 1)];
+        } else {
+            cmp.src1 = addr_regs[static_cast<size_t>(b) % addr_regs.size()];
+        }
+        body_.push_back(cmp);
+
+        Slot s{};
+        s.kind = SlotKind::CondBranch;
+        s.op = OpClass::Branch;
+        s.src1 = cmp.dest;
+        body_.push_back(s);
+    }
+
+    // --- Stores -----------------------------------------------------------
+    for (int st = 0; st < p.storesPerIter; ++st) {
+        Slot s{};
+        s.kind = SlotKind::Store;
+        s.op = OpClass::Store;
+        s.arrayId = num_loads + st;
+        s.src1 = addr_regs[static_cast<size_t>(st) % addr_regs.size()];
+        s.src2 = chain_dest[static_cast<size_t>(
+            (p.extraBranches + st) % chains)][clen - 1];
+        body_.push_back(s);
+    }
+
+    // --- Loop-closing branch ----------------------------------------------
+    {
+        Slot s{};
+        s.kind = SlotKind::LoopBranch;
+        s.op = OpClass::Branch;
+        s.src1 = regLoopCounter;
+        body_.push_back(s);
+    }
+
+    // --- Data layout --------------------------------------------------------
+    numArrays_ = std::max(1, num_loads + p.storesPerIter);
+    arrayBytes_ = std::max<uint64_t>(64, profile_.footprint /
+                                     static_cast<uint64_t>(numArrays_));
+}
+
+void
+SyntheticWorkload::validateLayout() const
+{
+    // Walk three iterations of the body tracking the last writer of
+    // each register; every source must resolve to the producer the
+    // layout intended (register-pool collisions would silently rewire
+    // the dependence graph).
+    std::map<int, size_t> last_writer;
+    auto writer_of = [&](int reg) -> long {
+        auto it = last_writer.find(reg);
+        return it == last_writer.end() ? -1 : static_cast<long>(it->second);
+    };
+
+    // Intended producer per slot: recompute by scanning backwards for
+    // the nearest earlier slot (cyclically) writing the same register.
+    auto intended = [&](size_t slot, int reg) -> long {
+        size_t n = body_.size();
+        for (size_t back = 1; back <= n; ++back) {
+            size_t i = (slot + n - back) % n;
+            if (body_[i].dest == reg)
+                return static_cast<long>(i);
+        }
+        return -1; // preset register, never written
+    };
+
+    for (int it = 0; it < 3; ++it) {
+        for (size_t i = 0; i < body_.size(); ++i) {
+            const Slot &s = body_[i];
+            for (int8_t src : {s.src1, s.src2}) {
+                if (src == NoReg)
+                    continue;
+                long want = intended(i, src);
+                long have = writer_of(src);
+                if (want >= 0 && have >= 0 && want != have) {
+                    throw std::logic_error(
+                        "register pool collision in profile " +
+                        profile_.name + " at slot " + std::to_string(i));
+                }
+            }
+            if (s.dest != NoReg)
+                last_writer[s.dest] = i;
+        }
+    }
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = util::Rng(seed_);
+    slotIdx_ = 0;
+    iter_ = 0;
+    block_ = 0;
+    globalIter_ = 0;
+    chasePtr_ = dataBase_;
+}
+
+uint64_t
+SyntheticWorkload::nextAddress(const Slot &slot)
+{
+    uint64_t base = dataBase_ +
+        static_cast<uint64_t>(slot.arrayId) * arrayBytes_;
+    if (slot.chase || slot.randomAddr) {
+        uint64_t words = std::max<uint64_t>(1, arrayBytes_ / 8);
+        return base + rng_.nextBounded(words) * 8;
+    }
+    uint64_t stride = static_cast<uint64_t>(
+        std::max(1, profile_.strideBytes));
+    return base + (globalIter_ * stride) % arrayBytes_;
+}
+
+bool
+SyntheticWorkload::next(MicroOp &out)
+{
+    const Slot &s = body_[slotIdx_];
+
+    uint64_t body_bytes = ((body_.size() * 4 + 63) / 64) * 64;
+    uint64_t block_base = codeBase_ +
+        static_cast<uint64_t>(block_) * body_bytes;
+
+    out = MicroOp{};
+    out.pc = block_base + slotIdx_ * 4;
+    out.op = s.op;
+    out.dest = s.dest;
+    out.src1 = s.src1;
+    out.src2 = s.src2;
+
+    switch (s.kind) {
+      case SlotKind::Load:
+      case SlotKind::Store:
+        out.memAddr = nextAddress(s);
+        break;
+      case SlotKind::CondBranch:
+        out.taken = rng_.nextBool(profile_.branchBias);
+        out.target = out.pc + 16;
+        break;
+      case SlotKind::LoopBranch:
+        out.taken = (iter_ + 1) < profile_.innerIters;
+        out.target = block_base;
+        break;
+      default:
+        break;
+    }
+
+    ++slotIdx_;
+    if (slotIdx_ >= body_.size()) {
+        slotIdx_ = 0;
+        ++globalIter_;
+        ++iter_;
+        if (iter_ >= profile_.innerIters) {
+            iter_ = 0;
+            block_ = (block_ + 1) % std::max(1, profile_.codeBlocks);
+        }
+    }
+    return true;
+}
+
+} // namespace diq::trace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Parameterized synthetic workload generator.
+ *
+ * SPEC2000 binaries and ref inputs are proprietary, so the suite is
+ * substituted by deterministic kernel generators that reproduce the
+ * stream-level properties the paper's results depend on (DESIGN.md §5):
+ *
+ *  - data-dependence-graph width (number of simultaneously live
+ *    dependence chains): narrow for SPECint-like codes, wide for
+ *    SPECfp-like codes;
+ *  - dependence-chain composition (op classes and therefore latencies);
+ *  - memory footprint and access patterns (strided streams, random
+ *    accesses, pointer chasing) which drive cache miss rates;
+ *  - branch frequency and predictability;
+ *  - loop structure (inner trip counts, code footprint).
+ *
+ * A workload is described by a BenchmarkProfile. At construction the
+ * generator lays out a static loop body (a fixed sequence of
+ * instruction "slots" with fixed PCs, register assignments and op
+ * classes — like the static code of a compiled loop); `next()` then
+ * walks the body emitting dynamic instances whose addresses and branch
+ * outcomes evolve deterministically from the seed.
+ */
+
+#ifndef DIQ_TRACE_SYNTHETIC_HH
+#define DIQ_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/isa.hh"
+#include "trace/trace_source.hh"
+#include "util/rng.hh"
+
+namespace diq::trace
+{
+
+/**
+ * Statistical description of one synthetic benchmark.
+ *
+ * See the member comments for the stream property each knob controls.
+ * The 26 concrete profiles live in spec2000.cc.
+ */
+struct BenchmarkProfile
+{
+    std::string name;      ///< reporting name (SPEC program it mimics)
+    bool isFp = false;      ///< member of the FP suite?
+
+    // --- Loop structure -------------------------------------------------
+    int innerIters = 64;    ///< inner-loop trip count (loop-branch bias)
+    int codeBlocks = 1;     ///< distinct static copies of the body
+                            ///< (instruction footprint / BTB pressure)
+
+    // --- Dependence-graph shape -----------------------------------------
+    int parChains = 2;      ///< independent chains per iteration (DDG width)
+    int chainLen = 3;       ///< dependent ops per chain
+    int fpChains = -1;      ///< chains that are FP regardless of isFp
+                            ///< (-1: all chains follow isFp); models
+                            ///< mixed codes like eon/mesa
+    double multFrac = 0.0;  ///< fraction of chain ops that are multiplies
+    double divFrac = 0.0;   ///< fraction of chain ops that are divides
+    bool crossIterChains = false; ///< chains are loop-carried (reductions)
+    bool crossIterIntChains = false; ///< only the integer chains are
+                                     ///< loop-carried (mixed codes)
+    double crossLinkFrac = 0.2;   ///< P(second source links another chain)
+
+    // --- Memory behaviour -------------------------------------------------
+    int loadsPerIter = 2;   ///< loads feeding the chains
+    int storesPerIter = 1;  ///< stores of chain results
+    uint64_t footprint = 1ull << 20; ///< bytes of data touched
+    double randomAccessFrac = 0.0;   ///< fraction of loads with random addr
+    bool pointerChase = false;       ///< serialize loads through a pointer
+    int strideBytes = 8;    ///< stride of the streaming arrays
+
+    // --- Control behaviour -----------------------------------------------
+    int extraBranches = 0;  ///< data-dependent branches per iteration
+    double branchBias = 0.9;///< P(taken) of those branches
+    int intOverhead = 2;    ///< induction/address integer ops per iteration
+};
+
+/**
+ * Infinite deterministic instruction stream synthesized from a
+ * BenchmarkProfile. Reset replays the identical stream.
+ */
+class SyntheticWorkload : public TraceSource
+{
+  public:
+    SyntheticWorkload(const BenchmarkProfile &profile, uint64_t seed);
+
+    bool next(MicroOp &out) override;
+    void reset() override;
+    const std::string &name() const override { return profile_.name; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+    /** Static instructions in one copy of the loop body. */
+    size_t bodySize() const { return body_.size(); }
+
+  private:
+    /** Kind of a static body slot. */
+    enum class SlotKind : uint8_t {
+        Overhead,   ///< induction variable / address arithmetic
+        Load,
+        ChainOp,
+        Store,
+        CondBranch, ///< data-dependent conditional branch
+        LoopBranch  ///< backward loop-closing branch
+    };
+
+    /** One static instruction of the loop body. */
+    struct Slot
+    {
+        SlotKind kind;
+        OpClass op;
+        int8_t dest = NoReg;
+        int8_t src1 = NoReg;
+        int8_t src2 = NoReg;
+        int arrayId = 0;      ///< which streaming array (mem slots)
+        bool randomAddr = false;
+        bool chase = false;   ///< pointer-chasing load
+    };
+
+    void buildLayout();
+    void validateLayout() const;
+    uint64_t nextAddress(const Slot &slot);
+
+    BenchmarkProfile profile_;
+    uint64_t seed_;
+    util::Rng rng_;
+
+    std::vector<Slot> body_;
+    int numArrays_ = 1;
+    uint64_t arrayBytes_ = 0;
+
+    // Dynamic walking state.
+    size_t slotIdx_ = 0;
+    int iter_ = 0;         ///< inner-loop iteration within current block
+    int block_ = 0;        ///< current code block
+    uint64_t globalIter_ = 0;
+    uint64_t chasePtr_ = 0;
+
+    static constexpr uint64_t codeBase_ = 0x400000;
+    static constexpr uint64_t dataBase_ = 0x10000000;
+};
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_SYNTHETIC_HH

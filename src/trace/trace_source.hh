@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstract dynamic-instruction stream.
+ *
+ * The pipeline front-end consumes MicroOps from a TraceSource. Sources
+ * are infinite (generators loop forever) or finite (fixed vectors used
+ * by unit tests); `next()` reports availability.
+ */
+
+#ifndef DIQ_TRACE_TRACE_SOURCE_HH
+#define DIQ_TRACE_TRACE_SOURCE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/isa.hh"
+
+namespace diq::trace
+{
+
+/** A stream of dynamic micro-ops in program order. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next micro-op in program order.
+     * @retval true an op was produced; false on end-of-stream.
+     */
+    virtual bool next(MicroOp &out) = 0;
+
+    /** Restart the stream from the beginning (same deterministic run). */
+    virtual void reset() = 0;
+
+    /** Workload name for reporting. */
+    virtual const std::string &name() const = 0;
+};
+
+/**
+ * A finite trace backed by a vector, optionally repeated. Used heavily
+ * by the unit tests to drive the pipeline with hand-built sequences.
+ */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<MicroOp> ops,
+                         std::string name = "vector",
+                         bool repeat = false)
+        : ops_(std::move(ops)), name_(std::move(name)), repeat_(repeat)
+    {
+    }
+
+    bool
+    next(MicroOp &out) override
+    {
+        if (pos_ >= ops_.size()) {
+            if (!repeat_ || ops_.empty())
+                return false;
+            pos_ = 0;
+        }
+        out = ops_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    const std::string &name() const override { return name_; }
+
+    size_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::string name_;
+    bool repeat_;
+    size_t pos_ = 0;
+};
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_TRACE_SOURCE_HH

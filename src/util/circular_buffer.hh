@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO buffer.
+ *
+ * Backs every in-order hardware queue in the model: the fetch queue,
+ * the reorder buffer, the load/store queue and the IssueFIFO/LatFIFO
+ * queues. Indexed access (0 = head/oldest) is provided because several
+ * structures scan their occupants (e.g. the LSQ disambiguation walk).
+ */
+
+#ifndef DIQ_UTIL_CIRCULAR_BUFFER_HH
+#define DIQ_UTIL_CIRCULAR_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace diq::util
+{
+
+/** Fixed-capacity FIFO with O(1) push/pop and O(1) random access. */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    explicit CircularBuffer(size_t capacity)
+        : data_(capacity), capacity_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+    size_t freeSlots() const { return capacity_ - size_; }
+
+    /** Append at the tail. Returns false when full. */
+    bool
+    pushBack(const T &v)
+    {
+        if (full())
+            return false;
+        data_[(head_ + size_) % capacity_] = v;
+        ++size_;
+        return true;
+    }
+
+    /** Remove and return the head (oldest) element. */
+    T
+    popFront()
+    {
+        assert(!empty());
+        T v = data_[head_];
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return v;
+    }
+
+    /** Remove the tail (youngest) element; used for squash-from-tail. */
+    T
+    popBack()
+    {
+        assert(!empty());
+        --size_;
+        return data_[(head_ + size_) % capacity_];
+    }
+
+    const T &front() const { assert(!empty()); return data_[head_]; }
+    T &front() { assert(!empty()); return data_[head_]; }
+
+    const T &
+    back() const
+    {
+        assert(!empty());
+        return data_[(head_ + size_ - 1) % capacity_];
+    }
+
+    T &
+    back()
+    {
+        assert(!empty());
+        return data_[(head_ + size_ - 1) % capacity_];
+    }
+
+    /** Index 0 is the oldest element. */
+    const T &
+    at(size_t i) const
+    {
+        assert(i < size_);
+        return data_[(head_ + i) % capacity_];
+    }
+
+    T &
+    at(size_t i)
+    {
+        assert(i < size_);
+        return data_[(head_ + i) % capacity_];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> data_;
+    size_t capacity_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_CIRCULAR_BUFFER_HH

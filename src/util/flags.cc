@@ -1,0 +1,87 @@
+#include "util/flags.hh"
+
+#include <cstdlib>
+
+namespace diq::util
+{
+
+Flags::Flags(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            values_[body] = argv[++i];
+        } else {
+            values_[body] = "1";
+        }
+    }
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Flags::getString(const std::string &name, const std::string &def,
+                 const std::string &env) const
+{
+    auto it = values_.find(name);
+    if (it != values_.end())
+        return it->second;
+    if (!env.empty()) {
+        if (const char *v = std::getenv(env.c_str()))
+            return v;
+    }
+    return def;
+}
+
+int64_t
+Flags::getInt(const std::string &name, int64_t def,
+              const std::string &env) const
+{
+    std::string s = getString(name, "", env);
+    if (s.empty())
+        return def;
+    try {
+        return std::stoll(s);
+    } catch (...) {
+        return def;
+    }
+}
+
+double
+Flags::getDouble(const std::string &name, double def,
+                 const std::string &env) const
+{
+    std::string s = getString(name, "", env);
+    if (s.empty())
+        return def;
+    try {
+        return std::stod(s);
+    } catch (...) {
+        return def;
+    }
+}
+
+bool
+Flags::getBool(const std::string &name, bool def,
+               const std::string &env) const
+{
+    std::string s = getString(name, "", env);
+    if (s.empty())
+        return def;
+    return s != "0" && s != "false" && s != "no";
+}
+
+} // namespace diq::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal command-line / environment flag parsing for the harness
+ * binaries. Supports `--name=value`, `--name value` and boolean
+ * `--name` forms, with environment-variable fallbacks (e.g. DIQ_INSTS)
+ * so the whole bench suite can be scaled globally.
+ */
+
+#ifndef DIQ_UTIL_FLAGS_HH
+#define DIQ_UTIL_FLAGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diq::util
+{
+
+/** Parsed command-line flags with typed accessors. */
+class Flags
+{
+  public:
+    Flags() = default;
+    Flags(int argc, const char *const *argv);
+
+    /** True if the flag was given on the command line. */
+    bool has(const std::string &name) const;
+
+    /**
+     * String lookup: command line wins, then environment variable
+     * `env` (if non-empty), then `def`.
+     */
+    std::string getString(const std::string &name, const std::string &def,
+                          const std::string &env = "") const;
+
+    int64_t getInt(const std::string &name, int64_t def,
+                   const std::string &env = "") const;
+
+    double getDouble(const std::string &name, double def,
+                     const std::string &env = "") const;
+
+    bool getBool(const std::string &name, bool def,
+                 const std::string &env = "") const;
+
+    /** Non-flag positional arguments in order. */
+    const std::vector<std::string> &positional() const { return pos_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> pos_;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_FLAGS_HH

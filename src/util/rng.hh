@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic choices in the simulator and the synthetic workload
+ * generators flow through Rng so that every experiment is reproducible
+ * bit-for-bit from a seed. The generator is xoshiro256**, which is fast,
+ * has a 2^256-1 period and passes BigCrush; quality matters because the
+ * workload generators draw millions of variates per run.
+ */
+
+#ifndef DIQ_UTIL_RNG_HH
+#define DIQ_UTIL_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace diq::util
+{
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Not thread-safe; each simulation component owns its own instance,
+ * seeded from a master seed plus a component-specific stream id so that
+ * adding draws in one component never perturbs another.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Construct from a seed and a stream id (independent stream). */
+    Rng(uint64_t seed, uint64_t stream);
+
+    /** Derive a deterministic seed from a string (e.g. benchmark name). */
+    static uint64_t hashString(std::string_view s);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish draw: number of failures before first success with
+     * success probability p; capped at `cap` to bound tail latency.
+     */
+    uint32_t nextGeometric(double p, uint32_t cap = 1024);
+
+  private:
+    uint64_t s_[4];
+
+    static uint64_t splitmix64(uint64_t &x);
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_RNG_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Saturating counters.
+ *
+ * Two flavours live here:
+ *  - SaturatingCounter: the classic n-bit up/down counter used by the
+ *    branch predictors (bimodal/gshare PHTs and the hybrid selector).
+ *  - SaturatingDownCounter: the chain-latency entry of the MixBUFF
+ *    scheme (paper §3.2.1): "all the entries [are decremented] by one
+ *    ... using saturated counters", saturating at zero, and reloaded
+ *    with an instruction latency when its chain issues.
+ */
+
+#ifndef DIQ_UTIL_SATURATING_COUNTER_HH
+#define DIQ_UTIL_SATURATING_COUNTER_HH
+
+#include <cstdint>
+
+namespace diq::util
+{
+
+/**
+ * An n-bit saturating up/down counter (1 <= bits <= 16).
+ *
+ * The counter value stays within [0, 2^bits - 1]. For 2-bit branch
+ * prediction counters, values >= 2 conventionally mean "taken".
+ */
+class SaturatingCounter
+{
+  public:
+    explicit SaturatingCounter(unsigned bits = 2, uint16_t initial = 0)
+        : max_(static_cast<uint16_t>((1u << (bits < 16 ? bits : 16)) - 1)),
+          value_(initial > max_ ? max_ : initial)
+    {
+    }
+
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    uint16_t value() const { return value_; }
+    uint16_t max() const { return max_; }
+
+    /** MSB set: predict taken / prefer second choice. */
+    bool isSet() const { return value_ > max_ / 2; }
+
+    void
+    reset(uint16_t v = 0)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+  private:
+    uint16_t max_;
+    uint16_t value_;
+};
+
+/**
+ * Saturating down-counter with load, as used by the MixBUFF chain
+ * latency table. Decrements toward zero once per cycle; `load()` sets
+ * the remaining-latency value (clamped to the encodable maximum, which
+ * the paper sizes to the largest functional-unit latency).
+ */
+class SaturatingDownCounter
+{
+  public:
+    explicit SaturatingDownCounter(uint32_t max_value = 31)
+        : max_(max_value), value_(0)
+    {
+    }
+
+    /** Load a new remaining-latency; values clamp to the counter max. */
+    void
+    load(uint32_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+    /** One-cycle decrement, saturating at zero. */
+    void
+    tick()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    uint32_t value() const { return value_; }
+    uint32_t max() const { return max_; }
+    bool zero() const { return value_ == 0; }
+
+  private:
+    uint32_t max_;
+    uint32_t value_;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_SATURATING_COUNTER_HH

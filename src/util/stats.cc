@@ -1,0 +1,156 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace diq::util
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / xs.size();
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        s += 1.0 / x;
+    }
+    return xs.size() / s;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
+        s += std::log(x);
+    }
+    return std::exp(s / xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / xs.size());
+}
+
+Histogram::Histogram(int64_t lo, int64_t hi)
+    : lo_(lo), hi_(hi)
+{
+    if (hi_ < lo_)
+        hi_ = lo_;
+    buckets_.assign(static_cast<size_t>(hi_ - lo_ + 1), 0);
+}
+
+void
+Histogram::add(int64_t x, uint64_t weight)
+{
+    int64_t clamped = std::clamp(x, lo_, hi_);
+    buckets_[static_cast<size_t>(clamped - lo_)] += weight;
+    total_ += weight;
+    weighted_sum_ += static_cast<double>(clamped) * weight;
+}
+
+uint64_t
+Histogram::bucket(int64_t x) const
+{
+    if (x < lo_ || x > hi_)
+        return 0;
+    return buckets_[static_cast<size_t>(x - lo_)];
+}
+
+double
+Histogram::sampleMean() const
+{
+    return total_ ? weighted_sum_ / total_ : 0.0;
+}
+
+int64_t
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t target = static_cast<uint64_t>(std::ceil(q * total_));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return lo_ + static_cast<int64_t>(i);
+    }
+    return hi_;
+}
+
+std::string
+Histogram::toString(int max_rows) const
+{
+    std::ostringstream os;
+    uint64_t peak = 0;
+    for (uint64_t b : buckets_)
+        peak = std::max(peak, b);
+    int rows = 0;
+    for (size_t i = 0; i < buckets_.size() && rows < max_rows; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        int bar = peak ? static_cast<int>(40 * buckets_[i] / peak) : 0;
+        os << (lo_ + static_cast<int64_t>(i)) << "\t" << buckets_[i] << "\t"
+           << std::string(static_cast<size_t>(bar), '#') << "\n";
+        ++rows;
+    }
+    return os.str();
+}
+
+uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+CounterSet::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+CounterSet::add(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::string
+CounterSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : counters_)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace diq::util

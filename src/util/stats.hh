@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight statistics helpers used across the simulator and the
+ * experiment harness: running means, harmonic means (the paper reports
+ * HARMEAN of per-benchmark IPC), histograms and simple counters.
+ */
+
+#ifndef DIQ_UTIL_STATS_HH
+#define DIQ_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diq::util
+{
+
+/** Arithmetic mean of a vector; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Harmonic mean of a vector. The paper summarizes per-benchmark IPC
+ * with the harmonic mean (HARMEAN columns of Figures 7 and 8).
+ * Non-positive entries are rejected with a value of 0.
+ */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for empty input or any non-positive entry. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Running scalar statistic: count / sum / min / max / mean without
+ * storing samples.
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        if (n_ == 0) {
+            min_ = max_ = x;
+        } else {
+            min_ = std::min(min_, x);
+            max_ = std::max(max_, x);
+        }
+        sum_ += x;
+        ++n_;
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        n_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Integer-bucketed histogram with bounded range; out-of-range samples
+ * clamp to the first/last bucket. Used by tests and the workload
+ * characterization example to validate generator properties.
+ */
+class Histogram
+{
+  public:
+    Histogram(int64_t lo, int64_t hi);
+
+    void add(int64_t x, uint64_t weight = 1);
+
+    uint64_t total() const { return total_; }
+    uint64_t bucket(int64_t x) const;
+    int64_t lo() const { return lo_; }
+    int64_t hi() const { return hi_; }
+
+    /** Mean of the recorded (clamped) samples. */
+    double sampleMean() const;
+
+    /** Smallest value v such that P(X <= v) >= q, q in [0,1]. */
+    int64_t percentile(double q) const;
+
+    std::string toString(int max_rows = 16) const;
+
+  private:
+    int64_t lo_;
+    int64_t hi_;
+    std::vector<uint64_t> buckets_;
+    uint64_t total_ = 0;
+    double weighted_sum_ = 0.0;
+};
+
+/**
+ * Named counter set: a tiny string->uint64 map with formatted dumping.
+ * The pipeline and the issue schemes expose their event counts through
+ * one of these so the power model and tests can read them uniformly.
+ */
+class CounterSet
+{
+  public:
+    uint64_t &operator[](const std::string &name) { return counters_[name]; }
+
+    uint64_t get(const std::string &name) const;
+    bool has(const std::string &name) const;
+    void add(const std::string &name, uint64_t delta);
+    void clear() { counters_.clear(); }
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_STATS_HH

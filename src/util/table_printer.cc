@@ -1,0 +1,90 @@
+#include "util/table_printer.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace diq::util
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+       << "%";
+    return os.str();
+}
+
+std::string
+TablePrinter::render() const
+{
+    size_t ncols = headers_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < ncols; ++c)
+        total += width[c] + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        emit_row(r);
+    return os.str();
+}
+
+std::string
+TablePrinter::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+} // namespace diq::util

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Console table formatting for the benchmark harness.
+ *
+ * Every figure-reproduction binary prints its series as an aligned
+ * text table plus a machine-readable CSV block, so results can be both
+ * eyeballed and scraped.
+ */
+
+#ifndef DIQ_UTIL_TABLE_PRINTER_HH
+#define DIQ_UTIL_TABLE_PRINTER_HH
+
+#include <string>
+#include <vector>
+
+namespace diq::util
+{
+
+/** Builds and renders a simple column-aligned table. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Add a full row; missing cells render empty, extras are kept. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with fixed precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with padding and a header underline. */
+    std::string render() const;
+
+    /** Render as CSV (comma-separated, no quoting of commas needed). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_TABLE_PRINTER_HH

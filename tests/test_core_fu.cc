@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the functional-unit pool: class mapping, pipelining,
+ * divider blocking, and distributed binding (paper §3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fu_pool.hh"
+
+namespace
+{
+
+using namespace diq;
+using namespace diq::core;
+using trace::OpClass;
+
+TEST(FuClass, OpMapping)
+{
+    EXPECT_EQ(fuClassFor(OpClass::IntAlu), FuClass::IntAlu);
+    EXPECT_EQ(fuClassFor(OpClass::IntMult), FuClass::IntMul);
+    EXPECT_EQ(fuClassFor(OpClass::IntDiv), FuClass::IntMul);
+    EXPECT_EQ(fuClassFor(OpClass::FpAdd), FuClass::FpAlu);
+    EXPECT_EQ(fuClassFor(OpClass::FpMult), FuClass::FpMul);
+    EXPECT_EQ(fuClassFor(OpClass::FpDiv), FuClass::FpMul);
+    EXPECT_EQ(fuClassFor(OpClass::Load), FuClass::IntAlu);
+    EXPECT_EQ(fuClassFor(OpClass::Store), FuClass::IntAlu);
+    EXPECT_EQ(fuClassFor(OpClass::Branch), FuClass::IntAlu);
+}
+
+TEST(FuClass, OnlyDividesBlockTheirUnit)
+{
+    EXPECT_EQ(FuPool::occupancyFor(OpClass::IntAlu), 1u);
+    EXPECT_EQ(FuPool::occupancyFor(OpClass::IntMult), 1u);
+    EXPECT_EQ(FuPool::occupancyFor(OpClass::FpMult), 1u);
+    EXPECT_EQ(FuPool::occupancyFor(OpClass::IntDiv), 20u);
+    EXPECT_EQ(FuPool::occupancyFor(OpClass::FpDiv), 12u);
+}
+
+TEST(FuPool, Table1UnitCounts)
+{
+    FuPool pool{FuPoolConfig{}};
+    EXPECT_EQ(pool.numUnits(FuClass::IntAlu), 8);
+    EXPECT_EQ(pool.numUnits(FuClass::IntMul), 4);
+    EXPECT_EQ(pool.numUnits(FuClass::FpAlu), 4);
+    EXPECT_EQ(pool.numUnits(FuClass::FpMul), 4);
+}
+
+TEST(FuPool, CentralizedWidthLimit)
+{
+    FuPool pool{FuPoolConfig{}};
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(pool.canIssue(FuClass::IntAlu, -1, 1));
+        pool.markIssued(FuClass::IntAlu, -1, 1, 1);
+    }
+    EXPECT_FALSE(pool.canIssue(FuClass::IntAlu, -1, 1));
+    EXPECT_TRUE(pool.canIssue(FuClass::IntAlu, -1, 2)); // pipelined
+}
+
+TEST(FuPool, DividerBlocksItsUnit)
+{
+    FuPoolConfig cfg;
+    cfg.intMul = 1;
+    FuPool pool(cfg);
+    ASSERT_TRUE(pool.canIssue(FuClass::IntMul, -1, 1));
+    pool.markIssued(FuClass::IntMul, -1, 1, 20); // IntDiv occupancy
+    EXPECT_FALSE(pool.canIssue(FuClass::IntMul, -1, 10));
+    EXPECT_FALSE(pool.canIssue(FuClass::IntMul, -1, 20));
+    EXPECT_TRUE(pool.canIssue(FuClass::IntMul, -1, 21));
+}
+
+TEST(FuPool, DistributedAluPerQueue)
+{
+    FuPoolConfig cfg;
+    cfg.distributed = true; // 8 ALUs over 8 int queues: one each
+    FuPool pool(cfg);
+    pool.markIssued(FuClass::IntAlu, 0, 1, 1);
+    EXPECT_FALSE(pool.canIssue(FuClass::IntAlu, 0, 1))
+        << "queue 0's ALU is busy";
+    EXPECT_TRUE(pool.canIssue(FuClass::IntAlu, 1, 1))
+        << "queue 1 owns a different ALU";
+}
+
+TEST(FuPool, DistributedMulSharedPerPair)
+{
+    FuPoolConfig cfg;
+    cfg.distributed = true; // 4 mult/div over 8 queues: one per pair
+    FuPool pool(cfg);
+    pool.markIssued(FuClass::IntMul, 0, 1, 1);
+    EXPECT_FALSE(pool.canIssue(FuClass::IntMul, 1, 1))
+        << "queues 0 and 1 share a multiplier";
+    EXPECT_TRUE(pool.canIssue(FuClass::IntMul, 2, 1));
+}
+
+TEST(FuPool, DistributedFpPairing)
+{
+    FuPoolConfig cfg;
+    cfg.distributed = true; // 4 FP ALU + 4 FP mul over 8 FP queues
+    FuPool pool(cfg);
+    pool.markIssued(FuClass::FpAlu, 6, 1, 1);
+    EXPECT_FALSE(pool.canIssue(FuClass::FpAlu, 7, 1));
+    EXPECT_TRUE(pool.canIssue(FuClass::FpAlu, 5, 1));
+    pool.markIssued(FuClass::FpMul, 0, 1, 1);
+    EXPECT_FALSE(pool.canIssue(FuClass::FpMul, 1, 1));
+}
+
+TEST(FuPool, CentralizedCallerOnDistributedPoolSeesEverything)
+{
+    FuPoolConfig cfg;
+    cfg.distributed = true;
+    FuPool pool(cfg);
+    for (int q = 0; q < 8; ++q)
+        pool.markIssued(FuClass::IntAlu, q, 1, 1);
+    EXPECT_FALSE(pool.canIssue(FuClass::IntAlu, -1, 1));
+}
+
+TEST(FuPool, ResetFreesUnits)
+{
+    FuPool pool{FuPoolConfig{}};
+    for (int i = 0; i < 8; ++i)
+        pool.markIssued(FuClass::IntAlu, -1, 1, 100);
+    pool.reset();
+    EXPECT_TRUE(pool.canIssue(FuClass::IntAlu, -1, 1));
+}
+
+} // namespace

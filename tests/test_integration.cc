@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cross-module integration and paper-shape property tests: the
+ * qualitative claims of the paper must hold on (reduced-size) runs —
+ * these are the invariants the figure benches then quantify.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hh"
+#include "power/metrics.hh"
+#include "sim/pipeline.hh"
+#include "trace/spec2000.hh"
+
+namespace
+{
+
+using namespace diq;
+
+struct SimRun
+{
+    double ipc;
+    sim::SimStats stats;
+};
+
+SimRun
+simulate(const core::SchemeConfig &scheme, const std::string &bench,
+         uint64_t insts = 40000)
+{
+    auto w = trace::makeSpecWorkload(bench);
+    sim::ProcessorConfig cfg;
+    cfg.scheme = scheme;
+    sim::Cpu cpu(cfg, *w);
+    cpu.run(insts / 4);
+    cpu.resetStats();
+    cpu.run(insts);
+    EXPECT_FALSE(cpu.stats().deadlocked);
+    return {cpu.stats().ipc(), cpu.stats()};
+}
+
+TEST(PaperShape, FifoMatchesMixBuffOnPureIntegerCode)
+{
+    // Identical integer clusters => identical behaviour (Figure 7).
+    for (const char *bench : {"gzip", "vpr"}) {
+        SimRun f = simulate(core::SchemeConfig::ifDistr(), bench);
+        SimRun m = simulate(core::SchemeConfig::mbDistr(), bench);
+        EXPECT_NEAR(f.ipc, m.ipc, 0.02 * f.ipc) << bench;
+    }
+}
+
+TEST(PaperShape, MixBuffBeatsIssueFifoOnFpCode)
+{
+    // The headline claim (Figure 8).
+    for (const char *bench : {"galgel", "mgrid", "swim", "lucas"}) {
+        SimRun f = simulate(core::SchemeConfig::ifDistr(), bench);
+        SimRun m = simulate(core::SchemeConfig::mbDistr(), bench);
+        EXPECT_GT(m.ipc, 1.05 * f.ipc) << bench;
+    }
+}
+
+TEST(PaperShape, BaselineUpperBoundsDistributedSchemes)
+{
+    for (const char *bench : {"galgel", "gcc"}) {
+        SimRun base = simulate(core::SchemeConfig::iq6464(), bench);
+        SimRun f = simulate(core::SchemeConfig::ifDistr(), bench);
+        SimRun m = simulate(core::SchemeConfig::mbDistr(), bench);
+        EXPECT_GE(base.ipc * 1.02, f.ipc) << bench;
+        EXPECT_GE(base.ipc * 1.02, m.ipc) << bench;
+    }
+}
+
+TEST(PaperShape, MixBuffStaysCloseToBaselineOnFp)
+{
+    SimRun base = simulate(core::SchemeConfig::iq6464(), "galgel");
+    SimRun m = simulate(core::SchemeConfig::mbDistr(), "galgel");
+    EXPECT_GT(m.ipc, 0.88 * base.ipc)
+        << "paper: MB_distr loses only ~7.6% on FP";
+}
+
+TEST(PaperShape, LatFifoBetweenIssueFifoAndMixBuff)
+{
+    // Section 3's progression on a wide FP workload.
+    SimRun fifo =
+        simulate(core::SchemeConfig::issueFifo(16, 16, 8, 16), "galgel");
+    SimRun lat =
+        simulate(core::SchemeConfig::latFifo(16, 16, 8, 16), "galgel");
+    SimRun mix =
+        simulate(core::SchemeConfig::mixBuff(16, 16, 8, 16, 0), "galgel");
+    EXPECT_GE(lat.ipc, fifo.ipc * 0.98)
+        << "LatFIFO should not be worse than IssueFIFO";
+    EXPECT_GT(mix.ipc, fifo.ipc);
+}
+
+TEST(PaperShape, UnboundedBaselineGainsLittleOverIq6464)
+{
+    // §4.2: a bigger baseline buys very little.
+    for (const char *bench : {"gcc", "apsi"}) {
+        SimRun small = simulate(core::SchemeConfig::iq6464(), bench);
+        SimRun big = simulate(core::SchemeConfig::unbounded(), bench);
+        EXPECT_GE(big.ipc * 1.001, small.ipc) << bench;
+        EXPECT_LT(big.ipc, 1.15 * small.ipc) << bench;
+    }
+}
+
+TEST(PaperShape, DistributedIssueQueueEnergyFarBelowBaseline)
+{
+    // Figures 12/13 in miniature.
+    for (const char *bench : {"gcc", "galgel"}) {
+        SimRun base = simulate(core::SchemeConfig::iq6464(), bench);
+        SimRun f = simulate(core::SchemeConfig::ifDistr(), bench);
+        SimRun m = simulate(core::SchemeConfig::mbDistr(), bench);
+
+        power::IssueEnergyModel model;
+        double e_base = model.baseline(base.stats.counters).total();
+        double e_f = model.issueFifo(f.stats.counters).total();
+        double e_m = model.mixBuff(m.stats.counters).total();
+        EXPECT_LT(e_f, 0.6 * e_base) << bench;
+        EXPECT_LT(e_m, 0.7 * e_base) << bench;
+    }
+}
+
+TEST(PaperShape, WakeupDominatesBaselineEnergy)
+{
+    SimRun base = simulate(core::SchemeConfig::iq6464(), "swim");
+    power::IssueEnergyModel model;
+    auto b = model.baseline(base.stats.counters);
+    EXPECT_GT(b.share("wakeup"), 0.4);
+    EXPECT_GT(b.share("buff"), 0.05);
+}
+
+TEST(PaperShape, DistributedMuxEnergyNegligible)
+{
+    SimRun f = simulate(core::SchemeConfig::ifDistr(), "swim");
+    power::IssueEnergyModel model;
+    auto b = model.issueFifo(f.stats.counters);
+    double mux = b.get("MuxIntALU") + b.get("MuxIntMUL") +
+        b.get("MuxFPALU") + b.get("MuxFPMUL");
+    EXPECT_LT(mux / b.total(), 0.08)
+        << "distributing the FUs kills the crossbar energy";
+}
+
+TEST(PaperShape, Ed2PrefersMixBuffOverIssueFifoOnFp)
+{
+    // Figure 15 in miniature on one wide FP benchmark.
+    SimRun base = simulate(core::SchemeConfig::iq6464(), "galgel");
+    SimRun f = simulate(core::SchemeConfig::ifDistr(), "galgel");
+    SimRun m = simulate(core::SchemeConfig::mbDistr(), "galgel");
+
+    power::IssueEnergyModel model;
+    power::RunEnergy rb{model.baseline(base.stats.counters).total(),
+                        base.stats.cycles, base.stats.committed};
+    power::RunEnergy rf{model.issueFifo(f.stats.counters).total(),
+                        f.stats.cycles, f.stats.committed};
+    power::RunEnergy rm{model.mixBuff(m.stats.counters).total(),
+                        m.stats.cycles, m.stats.committed};
+    auto nf = power::normalizedEfficiency(rf, rb);
+    auto nm = power::normalizedEfficiency(rm, rb);
+    EXPECT_LT(nm.chipEd2, nf.chipEd2)
+        << "MB_distr must win the ED^2 comparison on FP";
+}
+
+TEST(PaperShape, FifoLossMuchLargerOnFpThanInt)
+{
+    // The observation that motivates the whole paper (Figures 2 vs 3).
+    SimRun ib = simulate(core::SchemeConfig::unbounded(), "twolf");
+    SimRun if_int =
+        simulate(core::SchemeConfig::issueFifo(8, 8, 16, 16), "twolf");
+    double int_loss = 1.0 - if_int.ipc / ib.ipc;
+
+    SimRun fb = simulate(core::SchemeConfig::unbounded(), "galgel");
+    SimRun if_fp =
+        simulate(core::SchemeConfig::issueFifo(16, 16, 8, 8), "galgel");
+    double fp_loss = 1.0 - if_fp.ipc / fb.ipc;
+
+    EXPECT_GT(fp_loss, int_loss + 0.08)
+        << "FIFO queues fit integer DDGs but not FP ones";
+}
+
+TEST(PaperShape, MoreChainsPerQueueNeverHurts)
+{
+    for (int chains : {2, 4, 8}) {
+        SimRun a = simulate(core::SchemeConfig::mixBuff(8, 8, 8, 16, chains),
+                         "mgrid");
+        SimRun b = simulate(
+            core::SchemeConfig::mixBuff(8, 8, 8, 16, chains * 2),
+            "mgrid");
+        EXPECT_GE(b.ipc * 1.03, a.ipc) << chains;
+    }
+}
+
+TEST(PaperShape, EonHasFpComponent)
+{
+    // Figure 7: eon is the one SPECint program where IF_distr and
+    // MB_distr can differ (it has FP work).
+    SimRun f = simulate(core::SchemeConfig::ifDistr(), "eon");
+    SimRun m = simulate(core::SchemeConfig::mbDistr(), "eon");
+    EXPECT_GE(m.ipc * 1.05, f.ipc);
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for src/mem: set-associative cache behaviour (hits, LRU,
+ * write-back) and hierarchy latencies per Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace diq::mem;
+
+CacheConfig
+tinyCache()
+{
+    // 4 sets x 2 ways x 16B lines = 128 bytes.
+    CacheConfig c;
+    c.name = "tiny";
+    c.sizeBytes = 128;
+    c.assoc = 2;
+    c.lineBytes = 16;
+    c.hitLatency = 2;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tinyCache());
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x10f, false).hit); // same line
+    EXPECT_FALSE(c.access(0x110, false).hit); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache c(tinyCache());
+    EXPECT_EQ(c.numSets(), 4u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(tinyCache());
+    // Three lines mapping to set 0 (stride = sets*lineBytes = 64).
+    c.access(0x000, false);
+    c.access(0x040, false);
+    EXPECT_TRUE(c.access(0x000, false).hit); // 0x000 now MRU
+    c.access(0x080, false);                  // evicts LRU = 0x040
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x040));
+    EXPECT_TRUE(c.probe(0x080));
+}
+
+TEST(Cache, WritebackOnlyForDirtyVictims)
+{
+    Cache c(tinyCache());
+    c.access(0x000, true); // dirty
+    c.access(0x040, false);
+    AccessResult r = c.access(0x080, false); // evicts dirty 0x000
+    EXPECT_TRUE(r.writebackVictim);
+    EXPECT_EQ(c.writebacks(), 1u);
+
+    c.reset();
+    c.access(0x000, false); // clean
+    c.access(0x040, false);
+    r = c.access(0x080, false);
+    EXPECT_FALSE(r.writebackVictim);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c(tinyCache());
+    c.access(0x000, false);
+    uint64_t before = c.accesses();
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x040));
+    EXPECT_EQ(c.accesses(), before);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(tinyCache());
+    c.access(0x000, true);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x000));
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(tinyCache());
+    c.access(0x000, false);
+    c.access(0x000, false);
+    c.access(0x000, false);
+    c.access(0x000, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+// --- MemoryHierarchy ----------------------------------------------------------
+
+TEST(Hierarchy, Table1Latencies)
+{
+    MemoryHierarchy m;
+    // Cold: L1 miss (2) + L2 miss (10) + memory for a 64B line
+    // (100 + 7*2 = 114) = 126.
+    EXPECT_EQ(m.loadLatency(0x100000), 2u + 10u + 114u);
+    // Warm: L1 hit.
+    EXPECT_EQ(m.loadLatency(0x100000), 2u);
+}
+
+TEST(Hierarchy, L2HitCosts12)
+{
+    MemoryHierarchy m;
+    m.loadLatency(0x200000); // fill both levels
+    // Evict from L1 by filling its set (L1D: 32K/4w/32B -> 256 sets,
+    // set stride 8K); L2 is much bigger, so these stay resident there.
+    for (uint64_t i = 1; i <= 4; ++i)
+        m.loadLatency(0x200000 + i * 8192);
+    EXPECT_EQ(m.loadLatency(0x200000), 2u + 10u);
+}
+
+TEST(Hierarchy, ChunkedMemoryLatency)
+{
+    MemoryHierarchy m;
+    EXPECT_EQ(m.memoryLatency(8), 100u);
+    EXPECT_EQ(m.memoryLatency(64), 100u + 7 * 2u);
+    EXPECT_EQ(m.memoryLatency(1), 100u);
+}
+
+TEST(Hierarchy, FetchUsesICache)
+{
+    MemoryHierarchy m;
+    unsigned cold = m.fetchLatency(0x400000);
+    EXPECT_GT(cold, 100u);
+    EXPECT_EQ(m.fetchLatency(0x400000), 1u); // L1I hit latency
+    EXPECT_EQ(m.l1i().accesses(), 2u);
+    EXPECT_EQ(m.l1d().accesses(), 0u);
+}
+
+TEST(Hierarchy, StoresAllocateDirtyLines)
+{
+    MemoryHierarchy m;
+    m.storeLatency(0x300000);
+    EXPECT_TRUE(m.l1d().probe(0x300000));
+    EXPECT_EQ(m.storeLatency(0x300000), 2u); // write hit
+}
+
+TEST(Hierarchy, InstructionAndDataShareL2)
+{
+    MemoryHierarchy m;
+    m.loadLatency(0x500000);
+    // Same line fetched as instructions: L1I misses but L2 hits.
+    EXPECT_EQ(m.fetchLatency(0x500000), 1u + 10u);
+}
+
+TEST(Hierarchy, ResetRestoresColdState)
+{
+    MemoryHierarchy m;
+    m.loadLatency(0x600000);
+    m.reset();
+    EXPECT_EQ(m.loadLatency(0x600000), 126u);
+}
+
+} // namespace

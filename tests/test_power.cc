@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for src/power: array-model monotonicity, breakdown accounting
+ * and the normalized efficiency metrics (ED / ED^2 with the 23% chip
+ * share assumption).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_model.hh"
+#include "power/energy_model.hh"
+#include "power/events.hh"
+#include "power/metrics.hh"
+
+namespace
+{
+
+using namespace diq;
+using namespace diq::power;
+
+TEST(CactiModel, SwitchEnergyQuadraticInV)
+{
+    EXPECT_DOUBLE_EQ(switchEnergyPj(1000.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(switchEnergyPj(1000.0, 2.0), 4.0);
+    EXPECT_DOUBLE_EQ(switchEnergyPj(0.0, 1.0), 0.0);
+}
+
+TEST(CactiModel, RamEnergyGrowsWithEntries)
+{
+    RamArray small(8, 32);
+    RamArray big(64, 32);
+    EXPECT_LT(small.readEnergy(), big.readEnergy());
+    EXPECT_LT(small.writeEnergy(), big.writeEnergy());
+}
+
+TEST(CactiModel, RamEnergyGrowsWithWidthAndPorts)
+{
+    RamArray narrow(16, 8);
+    RamArray wide(16, 80);
+    EXPECT_LT(narrow.readEnergy(), wide.readEnergy());
+    RamArray one_port(16, 32, 1);
+    RamArray many_ports(16, 32, 8);
+    EXPECT_LT(one_port.readEnergy(), many_ports.readEnergy());
+}
+
+TEST(CactiModel, DegenerateArraysAreSafe)
+{
+    RamArray zero(0, 0, 0);
+    EXPECT_GT(zero.readEnergy(), 0.0);
+    EXPECT_EQ(zero.entries(), 1u);
+}
+
+TEST(CactiModel, CamBroadcastScalesWithHeight)
+{
+    CamArray small(8, 9);
+    CamArray big(64, 9);
+    EXPECT_LT(small.broadcastEnergy(), big.broadcastEnergy());
+    // Match energy is per armed cell, independent of array height.
+    EXPECT_DOUBLE_EQ(small.matchEnergy(), big.matchEnergy());
+}
+
+TEST(CactiModel, CamSearchCostsMoreThanSmallRamRead)
+{
+    // The whole point of the paper: a 64-entry CAM broadcast is far
+    // more expensive than a FIFO/RAM access of issue-queue scale.
+    CamArray cam(64, 9);
+    RamArray fifo(8, 80, 1);
+    EXPECT_GT(cam.broadcastEnergy(), fifo.readEnergy());
+}
+
+TEST(CactiModel, SelectionTreeZeroWhenIdle)
+{
+    SelectionTree tree(64, 8);
+    EXPECT_DOUBLE_EQ(tree.selectEnergy(0), 0.0);
+    EXPECT_GT(tree.selectEnergy(1), 0.0);
+    EXPECT_LT(tree.selectEnergy(1), tree.selectEnergy(8));
+}
+
+TEST(CactiModel, CrossbarShrinksWhenDistributed)
+{
+    CrossbarModel central(8, 8, 80);
+    CrossbarModel direct(1, 1, 80);
+    EXPECT_GT(central.transferEnergy(), 4.0 * direct.transferEnergy());
+}
+
+TEST(CactiModel, LatchEnergyLinearInBits)
+{
+    EXPECT_NEAR(latchEnergyPj(80), 2.0 * latchEnergyPj(40), 1e-12);
+}
+
+// --- EnergyBreakdown ------------------------------------------------------
+
+TEST(Breakdown, TotalAndShares)
+{
+    EnergyBreakdown b;
+    b.components.emplace_back("a", 30.0);
+    b.components.emplace_back("b", 70.0);
+    EXPECT_DOUBLE_EQ(b.total(), 100.0);
+    EXPECT_DOUBLE_EQ(b.get("a"), 30.0);
+    EXPECT_DOUBLE_EQ(b.get("missing"), 0.0);
+    EXPECT_DOUBLE_EQ(b.share("b"), 0.7);
+}
+
+TEST(Breakdown, EmptyIsSafe)
+{
+    EnergyBreakdown b;
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+    EXPECT_DOUBLE_EQ(b.share("x"), 0.0);
+}
+
+// --- IssueEnergyModel ------------------------------------------------------
+
+util::CounterSet
+syntheticCounters()
+{
+    using namespace diq::power::ev;
+    util::CounterSet c;
+    c.add(WakeupBroadcasts, 1000);
+    c.add(WakeupCamMatches, 20000);
+    c.add(IqBuffWrites, 1000);
+    c.add(IqBuffReads, 1000);
+    c.add(IqSelectRequests, 1500);
+    c.add(QrenameReads, 1800);
+    c.add(QrenameWrites, 900);
+    c.add(FifoWrites, 700);
+    c.add(FifoReads, 700);
+    c.add(BuffWrites, 300);
+    c.add(BuffReads, 300);
+    c.add(RegsReadyReads, 20000);
+    c.add(RegsReadyWrites, 900);
+    c.add(SelectRequests, 4000);
+    c.add(ChainSweeps, 5000);
+    c.add(RegLatches, 2500);
+    c.add(MuxIntAlu, 600);
+    c.add(MuxIntMul, 30);
+    c.add(MuxFpAlu, 200);
+    c.add(MuxFpMul, 170);
+    return c;
+}
+
+TEST(EnergyModel, BaselineComponentsMatchFigure9Legend)
+{
+    IssueEnergyModel m;
+    auto b = m.baseline(syntheticCounters());
+    EXPECT_GT(b.get("wakeup"), 0.0);
+    EXPECT_GT(b.get("buff"), 0.0);
+    EXPECT_GT(b.get("select"), 0.0);
+    EXPECT_GT(b.get("MuxIntALU"), 0.0);
+    EXPECT_DOUBLE_EQ(b.get("fifo"), 0.0);
+    // Wakeup dominates, as in Figure 9.
+    EXPECT_GT(b.share("wakeup"), 0.4);
+}
+
+TEST(EnergyModel, IssueFifoComponentsMatchFigure10Legend)
+{
+    IssueEnergyModel m;
+    auto b = m.issueFifo(syntheticCounters());
+    EXPECT_GT(b.get("Qrename"), 0.0);
+    EXPECT_GT(b.get("fifo"), 0.0);
+    EXPECT_GT(b.get("regs_ready"), 0.0);
+    EXPECT_DOUBLE_EQ(b.get("wakeup"), 0.0);
+    // Distributed FUs: Mux is negligible.
+    EXPECT_LT(b.get("MuxIntALU") / b.total(), 0.1);
+}
+
+TEST(EnergyModel, MixBuffAddsChainMachinery)
+{
+    IssueEnergyModel m;
+    auto b = m.mixBuff(syntheticCounters());
+    for (const char *name : {"Qrename", "fifo", "buff", "regs_ready",
+                             "select", "chains", "reg"}) {
+        EXPECT_GT(b.get(name), 0.0) << name;
+    }
+}
+
+TEST(EnergyModel, DistributedSchemesBeatBaselinePerEvent)
+{
+    IssueEnergyModel m;
+    auto c = syntheticCounters();
+    EXPECT_LT(m.issueFifo(c).total(), m.baseline(c).total());
+    EXPECT_LT(m.mixBuff(c).total(), m.baseline(c).total());
+}
+
+// --- Metrics ------------------------------------------------------------------
+
+TEST(Metrics, SelfComparisonIsUnity)
+{
+    RunEnergy r{1000.0, 500, 1000};
+    auto n = normalizedEfficiency(r, r);
+    EXPECT_DOUBLE_EQ(n.iqPower, 1.0);
+    EXPECT_DOUBLE_EQ(n.iqEnergy, 1.0);
+    EXPECT_DOUBLE_EQ(n.chipEd, 1.0);
+    EXPECT_DOUBLE_EQ(n.chipEd2, 1.0);
+    EXPECT_DOUBLE_EQ(n.ipcRatio, 1.0);
+}
+
+TEST(Metrics, SlowerSchemePaysInDelayTerms)
+{
+    RunEnergy base{1000.0, 500, 1000};
+    RunEnergy slow{250.0, 650, 1000}; // 1/4 IQ energy, 30% slower
+    auto n = normalizedEfficiency(slow, base);
+    EXPECT_LT(n.iqEnergy, 0.3);
+    EXPECT_LT(n.chipEd, 1.3);
+    EXPECT_GT(n.chipEd2, n.chipEd); // delay squared punishes more
+    EXPECT_NEAR(n.ipcRatio, 500.0 / 650.0, 1e-12);
+}
+
+TEST(Metrics, ChipEnergyUsesShareAssumption)
+{
+    RunEnergy base{230.0, 100, 100};
+    // Chip energy = IQ / 0.23 for the baseline itself.
+    EXPECT_NEAR(chipEnergyPj(base, base), 1000.0, 1e-9);
+    // A scheme with zero IQ energy still carries rest-of-chip energy.
+    RunEnergy zero{0.0, 100, 100};
+    EXPECT_NEAR(chipEnergyPj(zero, base), 770.0, 1e-9);
+}
+
+TEST(Metrics, EdMathHandCheck)
+{
+    RunEnergy base{230.0, 100, 100};
+    RunEnergy s{115.0, 120, 100}; // half IQ energy, 20% slower
+    auto n = normalizedEfficiency(s, base);
+    // chip_s = 770 + 115 = 885; ED_s = 885*120; ED_b = 1000*100.
+    EXPECT_NEAR(n.chipEd, 885.0 * 120 / (1000.0 * 100), 1e-12);
+    EXPECT_NEAR(n.chipEd2, 885.0 * 120 * 120 / (1000.0 * 100 * 100),
+                1e-12);
+}
+
+TEST(Metrics, DegenerateInputsReturnZeros)
+{
+    RunEnergy bad{0.0, 0, 0};
+    auto n = normalizedEfficiency(bad, bad);
+    EXPECT_DOUBLE_EQ(n.chipEd, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for src/sim: register renaming, the load/store queue and
+ * whole-pipeline behaviour on hand-built traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/lsq.hh"
+#include "sim/pipeline.hh"
+#include "sim/rename.hh"
+#include "trace/spec2000.hh"
+#include "trace/trace_source.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace diq;
+using namespace diq::sim;
+using trace::MicroOp;
+using trace::OpClass;
+
+// --- RegisterRenamer ---------------------------------------------------------
+
+TEST(Renamer, BootMappingIsIdentity)
+{
+    RegisterRenamer r(160, 160);
+    EXPECT_EQ(r.mapping(0), 0);
+    EXPECT_EQ(r.mapping(31), 31);
+    EXPECT_EQ(r.mapping(trace::FpRegBase), 160);
+    EXPECT_EQ(r.freeIntRegs(), 128);
+    EXPECT_EQ(r.freeFpRegs(), 128);
+}
+
+TEST(Renamer, RenameAllocatesAndRemembersOldMapping)
+{
+    RegisterRenamer r(160, 160);
+    core::DynInst inst;
+    MicroOp op;
+    op.op = OpClass::IntAlu;
+    op.dest = 5;
+    op.src1 = 5;
+    inst.reset(op, 1);
+    r.rename(inst);
+    EXPECT_EQ(inst.psrc1, 5) << "source read before overwrite";
+    EXPECT_NE(inst.pdest, 5);
+    EXPECT_EQ(inst.poldDest, 5);
+    EXPECT_EQ(r.mapping(5), inst.pdest);
+    EXPECT_EQ(r.freeIntRegs(), 127);
+    r.freeAtCommit(inst);
+    EXPECT_EQ(r.freeIntRegs(), 128);
+}
+
+TEST(Renamer, SeparatePools)
+{
+    RegisterRenamer r(160, 160);
+    core::DynInst inst;
+    MicroOp op;
+    op.op = OpClass::FpAdd;
+    op.dest = trace::FpRegBase + 3;
+    inst.reset(op, 1);
+    r.rename(inst);
+    EXPECT_GE(inst.pdest, 160) << "FP dest from the FP pool";
+    EXPECT_EQ(r.freeIntRegs(), 128);
+    EXPECT_EQ(r.freeFpRegs(), 127);
+}
+
+TEST(Renamer, ExhaustionBlocksRename)
+{
+    RegisterRenamer r(40, 40); // only 8 free per pool
+    MicroOp op;
+    op.op = OpClass::IntAlu;
+    op.dest = 1;
+    for (int i = 0; i < 8; ++i) {
+        core::DynInst inst;
+        inst.reset(op, static_cast<uint64_t>(i));
+        ASSERT_TRUE(r.canRename(op));
+        r.rename(inst);
+    }
+    EXPECT_FALSE(r.canRename(op));
+    op.dest = trace::NoReg;
+    EXPECT_TRUE(r.canRename(op)) << "destination-less ops always rename";
+}
+
+// --- LoadStoreQueue ------------------------------------------------------------
+
+struct LsqFixture : ::testing::Test
+{
+    mem::MemoryHierarchy mem;
+    core::Scoreboard sb{320};
+    LoadStoreQueue lsq{32};
+    std::vector<std::unique_ptr<core::DynInst>> insts;
+
+    core::DynInst *
+    makeMem(OpClass op_class, uint64_t addr, uint64_t seq,
+            int data_reg = core::NoPhysReg)
+    {
+        auto inst = std::make_unique<core::DynInst>();
+        MicroOp op;
+        op.op = op_class;
+        op.memAddr = addr;
+        op.src1 = 1;
+        op.src2 = static_cast<int8_t>(data_reg);
+        inst->reset(op, seq);
+        inst->psrc2 = data_reg;
+        insts.push_back(std::move(inst));
+        return insts.back().get();
+    }
+
+    std::vector<MemReturn>
+    tick(uint64_t cycle, int ports = 4)
+    {
+        std::vector<MemReturn> out;
+        lsq.tick(cycle, mem, sb, ports, out);
+        return out;
+    }
+};
+
+TEST_F(LsqFixture, LoadWaitsForOlderStoreAddress)
+{
+    auto *store = makeMem(OpClass::Store, 0x1000, 1);
+    auto *load = makeMem(OpClass::Load, 0x2000, 2);
+    lsq.insert(store);
+    lsq.insert(load);
+    lsq.addressReady(load);
+    EXPECT_TRUE(tick(10).empty())
+        << "conservative disambiguation: unknown store blocks";
+    lsq.addressReady(store);
+    auto out = tick(11);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, load);
+    EXPECT_FALSE(out[0].forwarded);
+}
+
+TEST_F(LsqFixture, ForwardingFromMatchingStore)
+{
+    auto *store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
+    auto *load = makeMem(OpClass::Load, 0x1004, 2); // same 8B granule
+    lsq.insert(store);
+    lsq.insert(load);
+    lsq.addressReady(store);
+    lsq.addressReady(load);
+    auto out = tick(10);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].forwarded);
+    EXPECT_EQ(out[0].readyCycle, 11u) << "forward latency is 1 cycle";
+}
+
+TEST_F(LsqFixture, ForwardDefersUntilStoreDataReady)
+{
+    auto *store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
+    auto *load = makeMem(OpClass::Load, 0x1000, 2);
+    sb.markPending(7);
+    lsq.insert(store);
+    lsq.insert(load);
+    lsq.addressReady(store);
+    lsq.addressReady(load);
+    EXPECT_TRUE(tick(10).empty()) << "store data still pending";
+    sb.setReadyAt(7, 11);
+    auto out = tick(11);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].forwarded);
+}
+
+TEST_F(LsqFixture, PortLimitThrottlesLoads)
+{
+    for (uint64_t i = 0; i < 6; ++i) {
+        auto *ld = makeMem(OpClass::Load, 0x10000 + i * 4096, i + 1);
+        lsq.insert(ld);
+        lsq.addressReady(ld);
+    }
+    EXPECT_EQ(tick(10, /*ports=*/4).size(), 4u);
+    EXPECT_EQ(tick(11, /*ports=*/4).size(), 2u);
+}
+
+TEST_F(LsqFixture, ForwardsDontConsumePorts)
+{
+    auto *store = makeMem(OpClass::Store, 0x1000, 1, 7);
+    lsq.insert(store);
+    lsq.addressReady(store);
+    for (uint64_t i = 0; i < 5; ++i) {
+        auto *ld = makeMem(OpClass::Load,
+                           i == 0 ? 0x1000 : 0x20000 + i * 4096, i + 2);
+        lsq.insert(ld);
+        lsq.addressReady(ld);
+    }
+    // 1 forward + 4 cache loads all start with only 4 ports.
+    EXPECT_EQ(tick(10, 4).size(), 5u);
+}
+
+TEST_F(LsqFixture, CommitStoreWritesCache)
+{
+    auto *store = makeMem(OpClass::Store, 0x3000, 1, 7);
+    lsq.insert(store);
+    lsq.addressReady(store);
+    EXPECT_TRUE(lsq.commit(store, mem));
+    EXPECT_TRUE(mem.l1d().probe(0x3000));
+
+    auto *load = makeMem(OpClass::Load, 0x4000, 2);
+    lsq.insert(load);
+    EXPECT_FALSE(lsq.commit(load, mem)) << "loads don't write at commit";
+}
+
+// --- Pipeline on hand-built traces ---------------------------------------------
+
+std::vector<MicroOp>
+serialChain(int n)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < n; ++i) {
+        MicroOp op;
+        op.pc = 0x400000 + static_cast<uint64_t>(i) * 4;
+        op.op = OpClass::IntAlu;
+        op.dest = 1;
+        op.src1 = 1;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TEST(Pipeline, SerialChainRunsAtIpcOne)
+{
+    trace::VectorTrace t(serialChain(4000), "serial", true);
+    ProcessorConfig cfg;
+    Cpu cpu(cfg, t);
+    cpu.run(6000); // cover a full pass so the loop code is I-cached
+    cpu.resetStats();
+    cpu.run(2000);
+    EXPECT_FALSE(cpu.stats().deadlocked);
+    EXPECT_NEAR(cpu.stats().ipc(), 1.0, 0.05)
+        << "a self-dependent 1-cycle chain commits one op per cycle";
+}
+
+TEST(Pipeline, IndependentOpsReachIssueWidth)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 4000; ++i) {
+        MicroOp op;
+        op.pc = 0x400000 + static_cast<uint64_t>(i % 512) * 4;
+        op.op = OpClass::IntAlu;
+        op.dest = static_cast<int8_t>(1 + (i % 24));
+        ops.push_back(op);
+    }
+    trace::VectorTrace t(std::move(ops), "wide", true);
+    ProcessorConfig cfg;
+    Cpu cpu(cfg, t);
+    cpu.run(2000);
+    cpu.resetStats();
+    cpu.run(8000);
+    EXPECT_GT(cpu.stats().ipc(), 6.0)
+        << "8 independent ALUs per cycle minus fetch effects";
+}
+
+TEST(Pipeline, MispredictsCostCycles)
+{
+    auto make = [](double bias) {
+        std::vector<MicroOp> ops;
+        util::Rng rng(1);
+        for (int i = 0; i < 8000; ++i) {
+            MicroOp op;
+            op.pc = 0x400000 + static_cast<uint64_t>(i % 64) * 4;
+            if (i % 8 == 7) {
+                op.op = OpClass::Branch;
+                op.taken = rng.nextBool(bias);
+                op.target = op.pc + 16;
+            } else {
+                op.op = OpClass::IntAlu;
+                op.dest = static_cast<int8_t>(1 + (i % 8));
+            }
+            ops.push_back(op);
+        }
+        return trace::VectorTrace(std::move(ops), "branchy", true);
+    };
+    ProcessorConfig cfg;
+    auto predictable = make(1.0);
+    Cpu cpu_p(cfg, predictable);
+    cpu_p.run(2000);
+    cpu_p.resetStats();
+    cpu_p.run(8000);
+
+    auto random = make(0.5);
+    Cpu cpu_r(cfg, random);
+    cpu_r.run(2000);
+    cpu_r.resetStats();
+    cpu_r.run(8000);
+
+    EXPECT_GT(cpu_p.stats().ipc(), 1.5 * cpu_r.stats().ipc());
+    EXPECT_GT(cpu_r.stats().mispredictRate(), 0.2);
+    EXPECT_LT(cpu_p.stats().mispredictRate(), 0.05);
+}
+
+TEST(Pipeline, LoadLatencyVisibleInIpc)
+{
+    // load -> dependent add, repeated over an L1-resident array vs a
+    // pointer-random large array.
+    auto make = [](uint64_t span) {
+        std::vector<MicroOp> ops;
+        util::Rng rng(2);
+        for (int i = 0; i < 4000; ++i) {
+            MicroOp op;
+            op.pc = 0x400000 + static_cast<uint64_t>(i % 8) * 4;
+            if (i % 2 == 0) {
+                op.op = OpClass::Load;
+                op.dest = 1;
+                op.src1 = 2;
+                op.memAddr = 0x10000000 + rng.nextBounded(span / 8) * 8;
+            } else {
+                op.op = OpClass::IntAlu;
+                op.dest = 3;
+                op.src1 = 1;
+            }
+            ops.push_back(op);
+        }
+        return trace::VectorTrace(std::move(ops), "loads", true);
+    };
+    ProcessorConfig cfg;
+    auto near = make(8 * 1024);
+    Cpu cpu_near(cfg, near);
+    cpu_near.run(1000);
+    cpu_near.resetStats();
+    cpu_near.run(4000);
+
+    auto far = make(64 * 1024 * 1024);
+    Cpu cpu_far(cfg, far);
+    cpu_far.run(1000);
+    cpu_far.resetStats();
+    cpu_far.run(4000);
+
+    EXPECT_GT(cpu_near.stats().ipc(), 2.0 * cpu_far.stats().ipc());
+}
+
+TEST(Pipeline, StatsResetKeepsWarmState)
+{
+    auto w = trace::makeSpecWorkload("gzip");
+    ProcessorConfig cfg;
+    Cpu cpu(cfg, *w);
+    cpu.run(20000);
+    uint64_t cycle_before = cpu.cycle();
+    cpu.resetStats();
+    EXPECT_EQ(cpu.stats().committed, 0u);
+    EXPECT_EQ(cpu.stats().cycles, 0u);
+    cpu.run(1000);
+    EXPECT_GT(cpu.cycle(), cycle_before);
+    // Commit is up to 8-wide, so the run may overshoot by a cycle's
+    // worth of commits.
+    EXPECT_GE(cpu.stats().committed, 1000u);
+    EXPECT_LT(cpu.stats().committed, 1008u);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    for (const char *bench : {"gcc", "swim"}) {
+        auto w1 = trace::makeSpecWorkload(bench);
+        auto w2 = trace::makeSpecWorkload(bench);
+        ProcessorConfig cfg;
+        cfg.scheme = core::SchemeConfig::mbDistr();
+        Cpu a(cfg, *w1), b(cfg, *w2);
+        a.run(30000);
+        b.run(30000);
+        EXPECT_EQ(a.cycle(), b.cycle()) << bench;
+        EXPECT_EQ(a.stats().mispredicts, b.stats().mispredicts);
+    }
+}
+
+TEST(Pipeline, TraceExhaustionDrainsCleanly)
+{
+    trace::VectorTrace t(serialChain(100), "short", false);
+    ProcessorConfig cfg;
+    Cpu cpu(cfg, t);
+    cpu.run(1000); // asks for more than exists
+    EXPECT_EQ(cpu.stats().committed, 100u);
+    EXPECT_FALSE(cpu.stats().deadlocked);
+}
+
+// --- Every scheme x a few benchmarks: progress and sanity ------------------------
+
+struct SchemeCase
+{
+    const char *label;
+    core::SchemeConfig config;
+};
+
+class EverySchemeTest : public ::testing::TestWithParam<SchemeCase>
+{
+};
+
+TEST_P(EverySchemeTest, MakesProgressOnIntAndFp)
+{
+    for (const char *bench : {"gzip", "swim"}) {
+        auto w = trace::makeSpecWorkload(bench);
+        ProcessorConfig cfg;
+        cfg.scheme = GetParam().config;
+        Cpu cpu(cfg, *w);
+        cpu.run(20000);
+        EXPECT_FALSE(cpu.stats().deadlocked) << bench;
+        EXPECT_GE(cpu.stats().committed, 20000u) << bench;
+        EXPECT_LT(cpu.stats().committed, 20008u) << bench;
+        EXPECT_GT(cpu.stats().ipc(), 0.05) << bench;
+        EXPECT_LT(cpu.stats().ipc(), 8.0) << bench;
+    }
+}
+
+TEST_P(EverySchemeTest, CommitsExactlyWhatWasAsked)
+{
+    auto w = trace::makeSpecWorkload("apsi");
+    ProcessorConfig cfg;
+    cfg.scheme = GetParam().config;
+    Cpu cpu(cfg, *w);
+    cpu.run(5000);
+    cpu.resetStats();
+    uint64_t cycles = cpu.run(7000);
+    EXPECT_GE(cpu.stats().committed, 7000u);
+    EXPECT_LT(cpu.stats().committed, 7008u);
+    EXPECT_EQ(cpu.stats().cycles, cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, EverySchemeTest,
+    ::testing::Values(
+        SchemeCase{"cam", core::SchemeConfig::iq6464()},
+        SchemeCase{"unbounded", core::SchemeConfig::unbounded()},
+        SchemeCase{"fifo", core::SchemeConfig::issueFifo(8, 8, 8, 16)},
+        SchemeCase{"latfifo", core::SchemeConfig::latFifo(16, 16, 8, 16)},
+        SchemeCase{"mixbuff", core::SchemeConfig::mixBuff(8, 8, 8, 16, 8)},
+        SchemeCase{"ifdistr", core::SchemeConfig::ifDistr()},
+        SchemeCase{"mbdistr", core::SchemeConfig::mbDistr()}),
+    [](const ::testing::TestParamInfo<SchemeCase> &info) {
+        return info.param.label;
+    });
+
+} // namespace

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for src/trace: ISA properties, trace sources, the synthetic
+ * workload generator's invariants and the SPEC2000-like suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/isa.hh"
+#include "trace/spec2000.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace diq;
+using namespace diq::trace;
+
+// --- ISA ---------------------------------------------------------------
+
+TEST(Isa, LatenciesMatchTable1)
+{
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1);
+    EXPECT_EQ(opLatency(OpClass::IntMult), 3);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 20);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 2);
+    EXPECT_EQ(opLatency(OpClass::FpMult), 4);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 12);
+}
+
+TEST(Isa, FpClassification)
+{
+    EXPECT_TRUE(isFpOp(OpClass::FpAdd));
+    EXPECT_TRUE(isFpOp(OpClass::FpMult));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::IntAlu));
+    EXPECT_FALSE(isFpOp(OpClass::Load));
+    EXPECT_FALSE(isFpOp(OpClass::Store));
+    EXPECT_FALSE(isFpOp(OpClass::Branch));
+}
+
+TEST(Isa, MemOpsGoToIntegerPipe)
+{
+    MicroOp load;
+    load.op = OpClass::Load;
+    load.dest = FpRegBase; // FP destination...
+    EXPECT_FALSE(load.isFpPipe()); // ...but integer-pipe work
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_TRUE(load.isMem());
+}
+
+TEST(Isa, RegisterSpaces)
+{
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(32));
+    EXPECT_TRUE(isFpReg(63));
+    EXPECT_FALSE(isFpReg(64));
+    EXPECT_FALSE(isFpReg(-1));
+}
+
+TEST(Isa, OpClassNamesDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < static_cast<int>(OpClass::NumOpClasses); ++i)
+        names.insert(opClassName(static_cast<OpClass>(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<size_t>(OpClass::NumOpClasses));
+}
+
+// --- VectorTrace ---------------------------------------------------------
+
+TEST(VectorTrace, FiniteAndRepeating)
+{
+    MicroOp a;
+    a.pc = 4;
+    MicroOp b;
+    b.pc = 8;
+    VectorTrace finite({a, b}, "t");
+    MicroOp out;
+    EXPECT_TRUE(finite.next(out));
+    EXPECT_EQ(out.pc, 4u);
+    EXPECT_TRUE(finite.next(out));
+    EXPECT_FALSE(finite.next(out));
+    finite.reset();
+    EXPECT_TRUE(finite.next(out));
+
+    VectorTrace loop({a, b}, "loop", /*repeat=*/true);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(loop.next(out));
+}
+
+// --- SyntheticWorkload: per-profile invariants ------------------------------
+
+class SuiteTest : public ::testing::TestWithParam<BenchmarkProfile>
+{
+};
+
+TEST_P(SuiteTest, ConstructsWithoutRegisterCollisions)
+{
+    // SyntheticWorkload's constructor validates that the rotating
+    // register pools never rewire the intended dependence graph.
+    EXPECT_NO_THROW(makeSpecWorkload(GetParam()));
+}
+
+TEST_P(SuiteTest, DeterministicReplay)
+{
+    auto w1 = makeSpecWorkload(GetParam());
+    auto w2 = makeSpecWorkload(GetParam());
+    MicroOp a, b;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(w1->next(a));
+        ASSERT_TRUE(w2->next(b));
+        ASSERT_EQ(a.pc, b.pc);
+        ASSERT_EQ(a.op, b.op);
+        ASSERT_EQ(a.memAddr, b.memAddr);
+        ASSERT_EQ(a.taken, b.taken);
+    }
+}
+
+TEST_P(SuiteTest, ResetReplaysIdentically)
+{
+    auto w = makeSpecWorkload(GetParam());
+    std::vector<uint64_t> first;
+    MicroOp op;
+    for (int i = 0; i < 500; ++i) {
+        w->next(op);
+        first.push_back(op.pc ^ op.memAddr ^ (op.taken ? 1 : 0));
+    }
+    w->reset();
+    for (int i = 0; i < 500; ++i) {
+        w->next(op);
+        EXPECT_EQ(first[static_cast<size_t>(i)],
+                  op.pc ^ op.memAddr ^ (op.taken ? 1 : 0));
+    }
+}
+
+TEST_P(SuiteTest, PcsAlignedAndInCodeSegment)
+{
+    auto w = makeSpecWorkload(GetParam());
+    MicroOp op;
+    for (int i = 0; i < 2000; ++i) {
+        w->next(op);
+        EXPECT_EQ(op.pc % 4, 0u);
+        EXPECT_GE(op.pc, 0x400000u);
+        EXPECT_LT(op.pc, 0x10000000u); // below the data segment
+    }
+}
+
+TEST_P(SuiteTest, MemoryAddressesWithinFootprint)
+{
+    const auto &p = GetParam();
+    auto w = makeSpecWorkload(p);
+    MicroOp op;
+    for (int i = 0; i < 5000; ++i) {
+        w->next(op);
+        if (op.isMem()) {
+            EXPECT_GE(op.memAddr, 0x10000000u);
+            // Arrays are padded up to at least 64 bytes each.
+            EXPECT_LT(op.memAddr,
+                      0x10000000u + std::max<uint64_t>(p.footprint, 1u << 13));
+        }
+    }
+}
+
+TEST_P(SuiteTest, OpMixMatchesProfileIntent)
+{
+    const auto &p = GetParam();
+    auto w = makeSpecWorkload(p);
+    MicroOp op;
+    std::map<OpClass, int> mix;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        w->next(op);
+        ++mix[op.op];
+    }
+    EXPECT_GT(mix[OpClass::Load], 0);
+    EXPECT_GT(mix[OpClass::Branch], 0);
+    int fp_ops = mix[OpClass::FpAdd] + mix[OpClass::FpMult] +
+        mix[OpClass::FpDiv];
+    if (p.isFp) {
+        EXPECT_GT(fp_ops, n / 10) << "FP suite must be FP-heavy";
+    } else if (p.fpChains <= 0) {
+        EXPECT_EQ(fp_ops, 0) << "pure integer code emits no FP ops";
+    }
+}
+
+TEST_P(SuiteTest, LoopBranchesAreBiasedTaken)
+{
+    auto w = makeSpecWorkload(GetParam());
+    MicroOp op;
+    int branches = 0;
+    int taken = 0;
+    for (int i = 0; i < 50000; ++i) {
+        w->next(op);
+        if (op.isBranch()) {
+            ++branches;
+            taken += op.taken ? 1 : 0;
+        }
+    }
+    ASSERT_GT(branches, 0);
+    // Loop-closing branches are mostly taken; overall taken rate must
+    // be comfortably above one half.
+    EXPECT_GT(static_cast<double>(taken) / branches, 0.55);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteTest, ::testing::ValuesIn(allSpecProfiles()),
+    [](const ::testing::TestParamInfo<BenchmarkProfile> &info) {
+        return info.param.name;
+    });
+
+// --- Suite registry ----------------------------------------------------------
+
+TEST(Spec2000, SuiteSizesMatchThePaper)
+{
+    EXPECT_EQ(specIntProfiles().size(), 12u);
+    EXPECT_EQ(specFpProfiles().size(), 14u);
+    EXPECT_EQ(allSpecProfiles().size(), 26u);
+}
+
+TEST(Spec2000, NamesAreUniqueAndLookupable)
+{
+    std::set<std::string> names;
+    for (const auto &p : allSpecProfiles()) {
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+        EXPECT_EQ(specProfile(p.name).name, p.name);
+    }
+}
+
+TEST(Spec2000, UnknownBenchmarkThrows)
+{
+    EXPECT_THROW(specProfile("doom3"), std::out_of_range);
+}
+
+TEST(Spec2000, SuiteTypesAreConsistent)
+{
+    for (const auto &p : specIntProfiles())
+        EXPECT_FALSE(p.isFp) << p.name;
+    for (const auto &p : specFpProfiles())
+        EXPECT_TRUE(p.isFp) << p.name;
+}
+
+TEST(Spec2000, McfIsTheMemoryOutlier)
+{
+    const auto &mcf = specProfile("mcf");
+    EXPECT_TRUE(mcf.pointerChase);
+    for (const auto &p : specIntProfiles())
+        if (p.name != "mcf")
+            EXPECT_LE(p.footprint, mcf.footprint) << p.name;
+}
+
+TEST(Spec2000, FpSuiteIsWiderThanIntSuite)
+{
+    // The paper's premise: FP dependence graphs are wider.
+    double int_w = 0;
+    double fp_w = 0;
+    for (const auto &p : specIntProfiles())
+        int_w += p.parChains;
+    for (const auto &p : specFpProfiles())
+        fp_w += p.parChains;
+    int_w /= specIntProfiles().size();
+    fp_w /= specFpProfiles().size();
+    EXPECT_GT(fp_w, 2.0 * int_w);
+}
+
+TEST(Spec2000, DistinctSeedsPerBenchmark)
+{
+    auto a = makeSpecWorkload("swim");
+    auto b = makeSpecWorkload("mgrid");
+    MicroOp oa, ob;
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        a->next(oa);
+        b->next(ob);
+        same += (oa.memAddr == ob.memAddr) ? 1 : 0;
+    }
+    EXPECT_LT(same, 100);
+}
+
+TEST(Synthetic, BodySizeIsStable)
+{
+    auto w = makeSpecWorkload("swim");
+    size_t body = w->bodySize();
+    EXPECT_GT(body, 10u);
+    MicroOp op;
+    // The loop branch recurs exactly every bodySize instructions.
+    std::vector<size_t> branch_positions;
+    for (size_t i = 0; i < body * 4; ++i) {
+        w->next(op);
+        if (op.isBranch() && op.target <= op.pc)
+            branch_positions.push_back(i);
+    }
+    ASSERT_GE(branch_positions.size(), 2u);
+    EXPECT_EQ(branch_positions[1] - branch_positions[0], body);
+}
+
+} // namespace

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG determinism and distributions,
+ * statistics helpers, saturating counters, circular buffer, table
+ * printing and flag parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/circular_buffer.hh"
+#include "util/flags.hh"
+#include "util/rng.hh"
+#include "util/saturating_counter.hh"
+#include "util/stats.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+using namespace diq::util;
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamsAreIndependent)
+{
+    Rng a(7, 0), b(7, 1);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng r(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+    EXPECT_EQ(r.nextRange(5, 5), 5);
+    EXPECT_EQ(r.nextRange(7, 3), 7); // degenerate: lo wins
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng r(15);
+    EXPECT_FALSE(r.nextBool(0.0));
+    EXPECT_TRUE(r.nextBool(1.0));
+    EXPECT_FALSE(r.nextBool(-1.0));
+    EXPECT_TRUE(r.nextBool(2.0));
+}
+
+TEST(Rng, HashStringStableAndDistinct)
+{
+    EXPECT_EQ(Rng::hashString("swim"), Rng::hashString("swim"));
+    EXPECT_NE(Rng::hashString("swim"), Rng::hashString("mgrid"));
+    EXPECT_NE(Rng::hashString(""), Rng::hashString("a"));
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextGeometric(0.5, 100);
+    EXPECT_NEAR(sum / n, 1.0, 0.05); // mean of Geo(0.5) failures = 1
+}
+
+// --- stats --------------------------------------------------------------
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+TEST(Stats, HarmonicMeanMatchesHand)
+{
+    // HM(1,2) = 2/(1+0.5) = 4/3.
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Stats, HarmonicLeArithmetic)
+{
+    std::vector<double> v{0.5, 1.7, 2.4, 3.3};
+    EXPECT_LE(harmonicMean(v), mean(v));
+    EXPECT_LE(geometricMean(v), mean(v));
+    EXPECT_LE(harmonicMean(v), geometricMean(v));
+}
+
+TEST(Stats, StddevKnownValue)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, RunningStat)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(1.0);
+    s.add(3.0);
+    s.add(-2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, HistogramBasics)
+{
+    Histogram h(0, 10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    h.add(100); // clamps to 10
+    h.add(-5);  // clamps to 0
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(999), 0u);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    Histogram h(0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_EQ(h.percentile(0.5), 50);
+    EXPECT_EQ(h.percentile(1.0), 100);
+    EXPECT_EQ(h.percentile(0.01), 1);
+}
+
+TEST(Stats, CounterSet)
+{
+    CounterSet c;
+    EXPECT_EQ(c.get("x"), 0u);
+    EXPECT_FALSE(c.has("x"));
+    c.add("x", 5);
+    c["x"] += 2;
+    EXPECT_EQ(c.get("x"), 7u);
+    EXPECT_TRUE(c.has("x"));
+    c.clear();
+    EXPECT_EQ(c.get("x"), 0u);
+}
+
+// --- saturating counters --------------------------------------------------
+
+TEST(SaturatingCounter, SaturatesBothEnds)
+{
+    SaturatingCounter c(2, 0);
+    EXPECT_EQ(c.max(), 3u);
+    c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SaturatingCounter, MsbThreshold)
+{
+    SaturatingCounter c(2, 1);
+    EXPECT_FALSE(c.isSet()); // 1 of 3
+    c.increment();
+    EXPECT_TRUE(c.isSet()); // 2 of 3
+}
+
+TEST(SaturatingCounter, UpdateDirection)
+{
+    SaturatingCounter c(2, 2);
+    c.update(false);
+    EXPECT_EQ(c.value(), 1u);
+    c.update(true);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(SaturatingDownCounter, LoadClampstoMax)
+{
+    SaturatingDownCounter c(31);
+    c.load(100);
+    EXPECT_EQ(c.value(), 31u);
+}
+
+TEST(SaturatingDownCounter, TicksToZeroAndStays)
+{
+    SaturatingDownCounter c(31);
+    c.load(3);
+    c.tick();
+    c.tick();
+    EXPECT_EQ(c.value(), 1u);
+    c.tick();
+    EXPECT_TRUE(c.zero());
+    c.tick();
+    EXPECT_TRUE(c.zero());
+}
+
+// --- circular buffer -------------------------------------------------------
+
+TEST(CircularBuffer, FifoOrder)
+{
+    CircularBuffer<int> b(4);
+    EXPECT_TRUE(b.empty());
+    EXPECT_TRUE(b.pushBack(1));
+    EXPECT_TRUE(b.pushBack(2));
+    EXPECT_TRUE(b.pushBack(3));
+    EXPECT_EQ(b.front(), 1);
+    EXPECT_EQ(b.back(), 3);
+    EXPECT_EQ(b.popFront(), 1);
+    EXPECT_EQ(b.popFront(), 2);
+    EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(CircularBuffer, FullRejectsPush)
+{
+    CircularBuffer<int> b(2);
+    EXPECT_TRUE(b.pushBack(1));
+    EXPECT_TRUE(b.pushBack(2));
+    EXPECT_TRUE(b.full());
+    EXPECT_FALSE(b.pushBack(3));
+}
+
+TEST(CircularBuffer, WrapsCorrectly)
+{
+    CircularBuffer<int> b(3);
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(b.pushBack(round));
+        EXPECT_EQ(b.popFront(), round);
+    }
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(CircularBuffer, IndexedAccessOldestFirst)
+{
+    CircularBuffer<int> b(4);
+    b.pushBack(10);
+    b.pushBack(20);
+    b.popFront();
+    b.pushBack(30);
+    b.pushBack(40);
+    b.pushBack(50);
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.at(0), 20);
+    EXPECT_EQ(b.at(3), 50);
+}
+
+TEST(CircularBuffer, PopBack)
+{
+    CircularBuffer<int> b(3);
+    b.pushBack(1);
+    b.pushBack(2);
+    EXPECT_EQ(b.popBack(), 2);
+    EXPECT_EQ(b.back(), 1);
+}
+
+// --- table printer ---------------------------------------------------------
+
+TEST(TablePrinter, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "ipc"});
+    t.addRow({"swim", "3.300"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("swim"), std::string::npos);
+    EXPECT_NE(s.find("3.300"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvRoundtrip)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.123, 1), "12.3%");
+}
+
+// --- flags ------------------------------------------------------------------
+
+TEST(Flags, ParsesAllForms)
+{
+    const char *argv[] = {"prog", "--a=1", "--b", "2", "pos", "--c"};
+    Flags f(6, argv);
+    EXPECT_EQ(f.getInt("a", 0), 1);
+    EXPECT_EQ(f.getInt("b", 0), 2);
+    EXPECT_TRUE(f.getBool("c", false));
+    ASSERT_EQ(f.positional().size(), 1u);
+    EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    Flags f(1, argv);
+    EXPECT_EQ(f.getInt("missing", 7), 7);
+    EXPECT_EQ(f.getString("missing", "d"), "d");
+    EXPECT_FALSE(f.getBool("missing", false));
+    EXPECT_DOUBLE_EQ(f.getDouble("missing", 2.5), 2.5);
+}
+
+TEST(Flags, EnvFallback)
+{
+    setenv("DIQ_TEST_FLAG", "99", 1);
+    const char *argv[] = {"prog"};
+    Flags f(1, argv);
+    EXPECT_EQ(f.getInt("x", 0, "DIQ_TEST_FLAG"), 99);
+    unsetenv("DIQ_TEST_FLAG");
+}
+
+TEST(Flags, CommandLineBeatsEnv)
+{
+    setenv("DIQ_TEST_FLAG2", "99", 1);
+    const char *argv[] = {"prog", "--x=5"};
+    Flags f(2, argv);
+    EXPECT_EQ(f.getInt("x", 0, "DIQ_TEST_FLAG2"), 5);
+    unsetenv("DIQ_TEST_FLAG2");
+}
+
+} // namespace

@@ -100,7 +100,7 @@ printHeader(const std::string &title, const HarnessOptions &opts)
               << title << "\n"
               << "  (synthetic SPEC2000-like suite; " << opts.measureInsts
               << " measured insts after " << opts.warmupInsts
-              << " warm-up; see DESIGN.md)\n"
+              << " warm-up; see docs/ARCHITECTURE.md)\n"
               << "==================================================\n";
 }
 

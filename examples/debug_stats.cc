@@ -5,53 +5,73 @@
  * for understanding *why* a scheme loses IPC (dispatch stalls vs
  * front-end stalls vs window pressure).
  *
- * Usage: debug_stats [benchmark] [scheme]
+ * Usage: debug_stats [benchmark] [scheme] [--insts N] [--warmup N]
  *   scheme: iq64 | unbounded | ifdistr | mbdistr | latfifo | all
+ *   (budgets also honor DIQ_INSTS / DIQ_WARMUP)
  */
 
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "sim/pipeline.hh"
 #include "trace/spec2000.hh"
+#include "util/flags.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace diq;
 
-    std::string bench = argc > 1 ? argv[1] : "swim";
-    std::string which = argc > 2 ? argv[2] : "all";
-
-    auto scheme_for = [](const std::string &name) {
-        if (name == "iq64")
-            return core::SchemeConfig::iq6464();
-        if (name == "unbounded")
-            return core::SchemeConfig::unbounded();
-        if (name == "ifdistr")
-            return core::SchemeConfig::ifDistr();
-        if (name == "latfifo")
-            return core::SchemeConfig::latFifo(16, 16, 8, 16);
-        return core::SchemeConfig::mbDistr();
-    };
+    util::Flags flags(argc, argv);
+    const auto &pos = flags.positional();
+    std::string bench = pos.size() > 0 ? pos[0] : "swim";
+    std::string which = pos.size() > 1 ? pos[1] : "all";
+    int64_t warmup = flags.getInt("warmup", 50000, "DIQ_WARMUP");
+    int64_t insts = flags.getInt("insts", 200000, "DIQ_INSTS");
+    if (warmup < 0 || insts <= 0) {
+        std::cerr << "error: --warmup must be >= 0 and --insts > 0\n";
+        return 1;
+    }
 
     std::vector<core::SchemeConfig> schemes;
     if (which == "all") {
         schemes = {core::SchemeConfig::iq6464(),
                    core::SchemeConfig::ifDistr(),
                    core::SchemeConfig::mbDistr()};
+    } else if (which == "iq64") {
+        schemes = {core::SchemeConfig::iq6464()};
+    } else if (which == "unbounded") {
+        schemes = {core::SchemeConfig::unbounded()};
+    } else if (which == "ifdistr") {
+        schemes = {core::SchemeConfig::ifDistr()};
+    } else if (which == "latfifo") {
+        schemes = {core::SchemeConfig::latFifo(16, 16, 8, 16)};
+    } else if (which == "mbdistr") {
+        schemes = {core::SchemeConfig::mbDistr()};
     } else {
-        schemes = {scheme_for(which)};
+        std::cerr << "error: unknown scheme '" << which
+                  << "' (expected iq64 | unbounded | ifdistr | mbdistr"
+                  << " | latfifo | all)\n";
+        return 1;
+    }
+
+    const trace::BenchmarkProfile *profile = nullptr;
+    try {
+        profile = &trace::specProfile(bench);
+    } catch (const std::out_of_range &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
     }
 
     for (const auto &scheme : schemes) {
-        auto w = trace::makeSpecWorkload(bench);
+        auto w = trace::makeSpecWorkload(*profile);
         sim::ProcessorConfig cfg;
         cfg.scheme = scheme;
         sim::Cpu cpu(cfg, *w);
-        cpu.run(50000);
+        cpu.run(static_cast<uint64_t>(warmup));
         cpu.resetStats();
-        cpu.run(200000);
+        cpu.run(static_cast<uint64_t>(insts));
         const auto &s = cpu.stats();
 
         std::cout << bench << " on " << scheme.name() << "\n"

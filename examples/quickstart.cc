@@ -3,15 +3,18 @@
  * Quickstart: simulate one benchmark on the paper's three issue-queue
  * organizations and print IPC plus the issue-logic energy breakdown.
  *
- * Usage: quickstart [benchmark] (default: swim)
+ * Usage: quickstart [benchmark] [--insts N] [--warmup N]
+ *   (default: swim; budgets also honor DIQ_INSTS / DIQ_WARMUP)
  */
 
 #include <iostream>
+#include <stdexcept>
 
 #include "power/energy_model.hh"
 #include "power/events.hh"
 #include "sim/pipeline.hh"
 #include "trace/spec2000.hh"
+#include "util/flags.hh"
 #include "util/table_printer.hh"
 
 int
@@ -19,8 +22,24 @@ main(int argc, char **argv)
 {
     using namespace diq;
 
-    std::string bench = argc > 1 ? argv[1] : "swim";
-    const trace::BenchmarkProfile &profile = trace::specProfile(bench);
+    util::Flags flags(argc, argv);
+    std::string bench =
+        flags.positional().empty() ? "swim" : flags.positional().front();
+    int64_t warmup = flags.getInt("warmup", 50000, "DIQ_WARMUP");
+    int64_t insts = flags.getInt("insts", 200000, "DIQ_INSTS");
+    if (warmup < 0 || insts <= 0) {
+        std::cerr << "error: --warmup must be >= 0 and --insts > 0\n";
+        return 1;
+    }
+
+    const trace::BenchmarkProfile *profile_ptr = nullptr;
+    try {
+        profile_ptr = &trace::specProfile(bench);
+    } catch (const std::out_of_range &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    const trace::BenchmarkProfile &profile = *profile_ptr;
 
     std::cout << "Benchmark: " << bench << " ("
               << (profile.isFp ? "SPECfp" : "SPECint")
@@ -37,9 +56,9 @@ main(int argc, char **argv)
         cfg.scheme = scheme;
         sim::Cpu cpu(cfg, *workload);
 
-        cpu.run(50000);   // warm caches and predictors
+        cpu.run(static_cast<uint64_t>(warmup));  // warm caches, predictors
         cpu.resetStats();
-        cpu.run(200000);  // measure
+        cpu.run(static_cast<uint64_t>(insts));   // measure
 
         power::IssueGeometry geom;
         power::IssueEnergyModel model(geom);

@@ -3,8 +3,8 @@
  * Workload explorer — characterizes the synthetic SPEC2000-like suite:
  * op mix, dependence-graph width, branch behaviour and cache miss
  * rates on the baseline machine. This is the evidence for the
- * substitution argument in DESIGN.md §5: integer codes are narrow and
- * branchy, FP codes are wide with long-latency chains.
+ * substitution argument in docs/ARCHITECTURE.md §5: integer codes are
+ * narrow and branchy, FP codes are wide with long-latency chains.
  *
  * Usage: workload_explorer [--insts N]
  */

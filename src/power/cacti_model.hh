@@ -9,7 +9,8 @@
  * drive + match lines for CAM; arbitration trees for select logic;
  * wire capacitance for crossbars), parameterized at 0.10 um. The
  * figures the paper reports are *relative* energies between array
- * organizations, which this level of modeling preserves (DESIGN.md §5).
+ * organizations, which this level of modeling preserves
+ * (docs/ARCHITECTURE.md §4).
  *
  * All energies are returned in picojoules.
  */

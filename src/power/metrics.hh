@@ -9,7 +9,7 @@
  * of total chip power in the baseline (Figures 14/15). Rest-of-chip
  * energy is modeled as activity-driven, i.e. proportional to the
  * (identical) committed instruction count, so a slower scheme does not
- * magically inflate the rest of the chip (see DESIGN.md §3).
+ * magically inflate the rest of the chip (docs/ARCHITECTURE.md §3).
  */
 
 #ifndef DIQ_POWER_METRICS_HH

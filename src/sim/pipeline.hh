@@ -6,7 +6,7 @@
  * Trace-driven, correct-path simulation: the workload supplies the
  * committed instruction stream; branch mispredictions block the
  * front-end until the branch resolves (plus redirect), rather than
- * injecting wrong-path work (DESIGN.md §3).
+ * injecting wrong-path work (docs/ARCHITECTURE.md §3).
  *
  * Stage order within a cycle is commit -> writeback events -> issue ->
  * LSQ -> rename/dispatch -> fetch, so values written back in cycle c

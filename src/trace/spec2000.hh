@@ -5,7 +5,7 @@
  * One BenchmarkProfile per SPEC CPU2000 program (12 SPECint + 14
  * SPECfp), each calibrated to mimic the stream-level character of its
  * namesake: dependence-graph width, chain-op latencies, memory
- * footprint/pattern and branch behaviour (DESIGN.md §5 documents the
+ * footprint/pattern and branch behaviour (docs/ARCHITECTURE.md §5 documents the
  * substitution). Profiles are data, not code — see spec2000.cc for the
  * per-program rationale comments.
  */

@@ -4,7 +4,8 @@
  *
  * SPEC2000 binaries and ref inputs are proprietary, so the suite is
  * substituted by deterministic kernel generators that reproduce the
- * stream-level properties the paper's results depend on (DESIGN.md §5):
+ * stream-level properties the paper's results depend on
+ * (docs/ARCHITECTURE.md §5):
  *
  *  - data-dependence-graph width (number of simultaneously live
  *    dependence chains): narrow for SPECint-like codes, wide for

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Smoke test: every figure/table bench and example binary must run to
+ * completion and exit 0 on a tiny instruction budget.
+ *
+ * The harness binaries honor DIQ_INSTS / DIQ_WARMUP environment
+ * variables, so the budget is shrunk here to keep the whole sweep fast
+ * while still exercising the full configure-run-report path of each
+ * figure reproduction. CMake injects DIQ_BIN_DIR (the directory the
+ * binaries are built into) and DIQ_BENCH_LIST / DIQ_EXAMPLE_LIST
+ * (comma-separated names taken from the same lists that declare the
+ * targets, so this sweep cannot drift out of sync with what is built).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Render a std::system wait status as something CI logs can act on. */
+std::string
+describeStatus(int rc)
+{
+    if (WIFEXITED(rc))
+        return "exit code " + std::to_string(WEXITSTATUS(rc));
+    if (WIFSIGNALED(rc))
+        return "killed by signal " + std::to_string(WTERMSIG(rc));
+    return "raw wait status " + std::to_string(rc);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= csv.size()) {
+        auto comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+class BenchSmoke : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        // Tiny budgets: enough to cover warm-up + measure + report.
+        setenv("DIQ_INSTS", "2000", /*overwrite=*/1);
+        setenv("DIQ_WARMUP", "200", /*overwrite=*/1);
+    }
+};
+
+TEST_P(BenchSmoke, RunsAndExitsZero)
+{
+    const std::string binary = std::string(DIQ_BIN_DIR) + "/" + GetParam();
+    // Quote against spaces in the build path; discard stdout (the
+    // figure tables are long and uninteresting here).
+    const std::string cmd = "'" + binary + "' > /dev/null";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1) << "failed to launch " << binary;
+    EXPECT_EQ(rc, 0) << GetParam() << " failed: " << describeStatus(rc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benches, BenchSmoke,
+    ::testing::ValuesIn(splitCsv(DIQ_BENCH_LIST)),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, BenchSmoke,
+    ::testing::ValuesIn(splitCsv(DIQ_EXAMPLE_LIST)),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+#ifdef DIQ_HAVE_BENCH_MICRO_SCHEMES
+// The Google Benchmark microbench suite has its own timing loop; a
+// listing run is enough to prove the binary links and starts cleanly.
+TEST(BenchSmokeMicro, ListsAndExitsZero)
+{
+    const std::string cmd = "'" + std::string(DIQ_BIN_DIR) +
+        "/bench_micro_schemes' --benchmark_list_tests=true > /dev/null";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1);
+    EXPECT_EQ(rc, 0);
+}
+#endif
+
+} // namespace

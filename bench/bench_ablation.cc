@@ -11,85 +11,10 @@
  *     impact on performance" in exchange for killing the crossbar).
  */
 
-#include <iostream>
-
-#include "harness.hh"
-#include "util/stats.hh"
-
-namespace
-{
-
-using namespace diq;
-using namespace diq::bench;
-
-double
-suiteHm(Harness &harness, const core::SchemeConfig &scheme,
-        const std::vector<trace::BenchmarkProfile> &profiles)
-{
-    std::vector<double> ipcs;
-    for (const auto &p : profiles)
-        ipcs.push_back(harness.run(scheme, p).ipc);
-    return util::harmonicMean(ipcs);
-}
-
-} // namespace
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Ablation studies of the MixBUFF design choices",
-                harness.options());
-
-    const auto &fp = trace::specFpProfiles();
-    const auto &ints = trace::specIntProfiles();
-
-    {
-        std::cout << "1) Chains per FP queue (MB_distr, SPECfp HM IPC):\n";
-        util::TablePrinter t({"chains/queue", "HM IPC"});
-        for (int chains : {1, 2, 4, 8, 16, 0}) {
-            auto cfg = core::SchemeConfig::mbDistr();
-            cfg.chainsPerQueue = chains;
-            t.addRow({chains == 0 ? "unbounded" : std::to_string(chains),
-                      util::TablePrinter::fmt(suiteHm(harness, cfg, fp),
-                                              3)});
-        }
-        std::cout << t.render()
-                  << "   (8 chains should be within noise of unbounded"
-                     " — the paper's §3.3 choice)\n\n";
-    }
-
-    {
-        std::cout << "2) Clear queue-rename table on mispredicts"
-                     " (IF_distr, SPECint HM IPC):\n";
-        util::TablePrinter t({"policy", "HM IPC"});
-        for (bool clear : {true, false}) {
-            auto cfg = core::SchemeConfig::ifDistr();
-            cfg.clearTableOnMispredict = clear;
-            t.addRow({clear ? "clear (paper)" : "keep stale entries",
-                      util::TablePrinter::fmt(
-                          suiteHm(harness, cfg, ints), 3)});
-        }
-        std::cout << t.render()
-                  << "   (paper §2.2: clearing costs nothing"
-                     " measurable)\n\n";
-    }
-
-    {
-        std::cout << "3) Distributed vs centralized functional units"
-                     " (MixBUFF_8x8_8x16, SPECfp HM IPC):\n";
-        util::TablePrinter t({"FU binding", "HM IPC"});
-        for (bool distr : {false, true}) {
-            auto cfg = core::SchemeConfig::mixBuff(8, 8, 8, 16, 8);
-            cfg.distributedFus = distr;
-            t.addRow({distr ? "distributed (MB_distr)" : "centralized",
-                      util::TablePrinter::fmt(suiteHm(harness, cfg, fp),
-                                              3)});
-        }
-        std::cout << t.render()
-                  << "   (paper §3.3: distribution costs little IPC and"
-                     " removes the issue crossbar)\n";
-    }
-    return 0;
+    return diq::bench::figureMain("ablation", argc, argv);
 }

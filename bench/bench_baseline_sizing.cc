@@ -7,44 +7,10 @@
  * by the §3 sweeps.
  */
 
-#include <iostream>
-
-#include "harness.hh"
-#include "util/stats.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Baseline sizing study (paper 4.2)", harness.options());
-
-    core::SchemeConfig iq6464 = core::SchemeConfig::iq6464();
-    core::SchemeConfig iq64128 = core::SchemeConfig::iq6464();
-    iq64128.camFpEntries = 128;
-    core::SchemeConfig unbounded = core::SchemeConfig::unbounded();
-
-    util::TablePrinter table({"suite", "IQ_64_64", "IQ_64_128",
-                              "IQ_unbounded(256)"});
-    for (bool fp : {false, true}) {
-        const auto &profiles =
-            fp ? trace::specFpProfiles() : trace::specIntProfiles();
-        std::vector<double> a, b, c;
-        for (const auto &p : profiles) {
-            a.push_back(harness.run(iq6464, p).ipc);
-            b.push_back(harness.run(iq64128, p).ipc);
-            c.push_back(harness.run(unbounded, p).ipc);
-        }
-        table.addRow({fp ? "SPECFP (HM)" : "SPECINT (HM)",
-                      util::TablePrinter::fmt(util::harmonicMean(a), 3),
-                      util::TablePrinter::fmt(util::harmonicMean(b), 3),
-                      util::TablePrinter::fmt(util::harmonicMean(c), 3)});
-    }
-    std::cout << table.render()
-              << "\nPaper: the larger baseline gains only ~1.0% IPC,"
-                 " which is why IQ_64_64 is the reference.\n";
-    return 0;
+    return diq::bench::figureMain("baseline_sizing", argc, argv);
 }

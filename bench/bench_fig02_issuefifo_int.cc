@@ -8,29 +8,10 @@
  * ~0.1% in the paper).
  */
 
-#include "sweep_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 2: IPC loss of IssueFIFO vs unbounded baseline"
-                " (SPECint)",
-                harness.options());
-
-    std::vector<SweepConfig> configs;
-    for (int queues : {8, 10, 12}) {
-        for (int size : {8, 16}) {
-            SweepConfig c;
-            c.scheme = core::SchemeConfig::issueFifo(queues, size, 16, 16);
-            c.label = c.scheme.name();
-            configs.push_back(c);
-        }
-    }
-    runIpcLossSweep(harness, trace::specIntProfiles(), configs);
-    return 0;
+    return diq::bench::figureMain("fig02", argc, argv);
 }

@@ -6,29 +6,10 @@
  * (paper: ~15-25%) — FP dependence graphs are too wide for FIFOs.
  */
 
-#include "sweep_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 3: IPC loss of IssueFIFO vs unbounded baseline"
-                " (SPECfp)",
-                harness.options());
-
-    std::vector<SweepConfig> configs;
-    for (int queues : {8, 10, 12}) {
-        for (int size : {8, 16}) {
-            SweepConfig c;
-            c.scheme = core::SchemeConfig::issueFifo(16, 16, queues, size);
-            c.label = c.scheme.name();
-            configs.push_back(c);
-        }
-    }
-    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
-    return 0;
+    return diq::bench::figureMain("fig03", argc, argv);
 }

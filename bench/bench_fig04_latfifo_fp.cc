@@ -6,29 +6,10 @@
  * loss; queue depth nearly irrelevant.
  */
 
-#include "sweep_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 4: IPC loss of LatFIFO vs unbounded baseline"
-                " (SPECfp)",
-                harness.options());
-
-    std::vector<SweepConfig> configs;
-    for (int queues : {8, 10, 12}) {
-        for (int size : {8, 16}) {
-            SweepConfig c;
-            c.scheme = core::SchemeConfig::latFifo(16, 16, queues, size);
-            c.label = c.scheme.name();
-            configs.push_back(c);
-        }
-    }
-    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
-    return 0;
+    return diq::bench::figureMain("fig04", argc, argv);
 }

@@ -6,30 +6,10 @@
  * 8x16; buffer *size* matters more than buffer *count*.
  */
 
-#include "sweep_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 6: IPC loss of MixBUFF vs unbounded baseline"
-                " (SPECfp)",
-                harness.options());
-
-    std::vector<SweepConfig> configs;
-    for (int queues : {8, 10, 12}) {
-        for (int size : {8, 16}) {
-            SweepConfig c;
-            c.scheme = core::SchemeConfig::mixBuff(16, 16, queues, size,
-                                                   /*chains=*/0);
-            c.label = c.scheme.name();
-            configs.push_back(c);
-        }
-    }
-    runIpcLossSweep(harness, trace::specFpProfiles(), configs);
-    return 0;
+    return diq::bench::figureMain("fig06", argc, argv);
 }

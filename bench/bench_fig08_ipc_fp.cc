@@ -6,65 +6,10 @@
  * IF_distr on every benchmark.
  */
 
-#include <iostream>
-
-#include "harness.hh"
-#include "util/stats.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using bench::Harness;
-    using bench::HarnessOptions;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    bench::printHeader("Figure 8: IPC, SPECfp2000-like suite",
-                       harness.options());
-
-    const auto schemes = {core::SchemeConfig::iq6464(),
-                          core::SchemeConfig::ifDistr(),
-                          core::SchemeConfig::mbDistr()};
-
-    util::TablePrinter table({"benchmark", "IQ_64_64", "IF_distr",
-                              "MB_distr"});
-    std::vector<double> ipc_base, ipc_if, ipc_mb;
-    int mb_wins = 0;
-
-    for (const auto &profile : trace::specFpProfiles()) {
-        std::vector<std::string> row{profile.name};
-        double vals[3] = {0, 0, 0};
-        int i = 0;
-        for (const auto &s : schemes) {
-            const auto &r = harness.run(s, profile);
-            row.push_back(util::TablePrinter::fmt(r.ipc, 3));
-            vals[i] = r.ipc;
-            (i == 0 ? ipc_base : i == 1 ? ipc_if : ipc_mb).push_back(r.ipc);
-            ++i;
-        }
-        if (vals[2] > vals[1])
-            ++mb_wins;
-        table.addRow(row);
-    }
-
-    double hm_base = util::harmonicMean(ipc_base);
-    double hm_if = util::harmonicMean(ipc_if);
-    double hm_mb = util::harmonicMean(ipc_mb);
-    table.addRow({"HARMEAN", util::TablePrinter::fmt(hm_base, 3),
-                  util::TablePrinter::fmt(hm_if, 3),
-                  util::TablePrinter::fmt(hm_mb, 3)});
-
-    std::cout << table.render() << "\n";
-    std::cout << "IPC loss vs baseline (paper: IF_distr 26.0%, MB_distr"
-              << " 7.6%):\n"
-              << "  IF_distr: "
-              << util::TablePrinter::pct(1.0 - hm_if / hm_base) << "\n"
-              << "  MB_distr: "
-              << util::TablePrinter::pct(1.0 - hm_mb / hm_base) << "\n"
-              << "MB_distr outperforms IF_distr on " << mb_wins << "/"
-              << trace::specFpProfiles().size() << " FP benchmarks"
-              << " (paper: all)\n\n";
-    std::cout << "CSV:\n" << table.renderCsv();
-    return 0;
+    return diq::bench::figureMain("fig08", argc, argv);
 }

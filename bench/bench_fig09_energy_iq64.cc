@@ -6,24 +6,10 @@
  * contributors; MuxIntALU is the only significant FU-drive component.
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 9: energy breakdown, IQ_64_64", harness.options());
-
-    auto scheme = core::SchemeConfig::iq6464();
-    SuiteEnergy ints = aggregateSuite(harness, scheme,
-                                      trace::specIntProfiles());
-    SuiteEnergy fps = aggregateSuite(harness, scheme,
-                                     trace::specFpProfiles());
-    printBreakdown("Energy breakdown IQ_64_64 (% of issue-queue energy)",
-                   ints, fps);
-    return 0;
+    return diq::bench::figureMain("fig09", argc, argv);
 }

@@ -5,25 +5,10 @@
  * negligible Mux* because each queue owns its functional units.
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 10: energy breakdown, IF_distr",
-                harness.options());
-
-    auto scheme = core::SchemeConfig::ifDistr();
-    SuiteEnergy ints = aggregateSuite(harness, scheme,
-                                      trace::specIntProfiles());
-    SuiteEnergy fps = aggregateSuite(harness, scheme,
-                                     trace::specFpProfiles());
-    printBreakdown("Energy breakdown IF_distr (% of issue-queue energy)",
-                   ints, fps);
-    return 0;
+    return diq::bench::figureMain("fig10", argc, argv);
 }

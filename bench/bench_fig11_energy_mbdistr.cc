@@ -8,25 +8,10 @@
  * components stay negligible.
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 11: energy breakdown, MB_distr",
-                harness.options());
-
-    auto scheme = core::SchemeConfig::mbDistr();
-    SuiteEnergy ints = aggregateSuite(harness, scheme,
-                                      trace::specIntProfiles());
-    SuiteEnergy fps = aggregateSuite(harness, scheme,
-                                     trace::specFpProfiles());
-    printBreakdown("Energy breakdown MB_distr (% of issue-queue energy)",
-                   ints, fps);
-    return 0;
+    return diq::bench::figureMain("fig11", argc, argv);
 }

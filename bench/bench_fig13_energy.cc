@@ -6,37 +6,10 @@
  * selection and chain tables cost a little more than plain FIFOs).
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 13: normalized issue-queue energy",
-                harness.options());
-
-    util::TablePrinter table({"scheme", "SPECINT", "SPECFP"});
-    auto base = core::SchemeConfig::iq6464();
-    SuiteEnergy base_int = aggregateSuite(harness, base,
-                                          trace::specIntProfiles());
-    SuiteEnergy base_fp = aggregateSuite(harness, base,
-                                         trace::specFpProfiles());
-    table.addRow({"IQ_64_64", "1.000", "1.000"});
-    for (const auto &s : {core::SchemeConfig::ifDistr(),
-                          core::SchemeConfig::mbDistr()}) {
-        SuiteEnergy si = aggregateSuite(harness, s,
-                                        trace::specIntProfiles());
-        SuiteEnergy sf = aggregateSuite(harness, s,
-                                        trace::specFpProfiles());
-        auto ni = power::normalizedEfficiency(si.total, base_int.total);
-        auto nf = power::normalizedEfficiency(sf.total, base_fp.total);
-        table.addRow({s.name(), util::TablePrinter::fmt(ni.iqEnergy, 3),
-                      util::TablePrinter::fmt(nf.iqEnergy, 3)});
-    }
-    std::cout << table.render() << "\nCSV:\n" << table.renderCsv();
-    return 0;
+    return diq::bench::figureMain("fig13", argc, argv);
 }

@@ -7,47 +7,10 @@
  * ~18% better) — IF_distr pays for its IPC loss.
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 14: normalized chip energy-delay (IQ = 23% of"
-                " chip power)",
-                harness.options());
-
-    util::TablePrinter table({"scheme", "SPECINT", "SPECFP"});
-    auto base = core::SchemeConfig::iq6464();
-    SuiteEnergy base_int = aggregateSuite(harness, base,
-                                          trace::specIntProfiles());
-    SuiteEnergy base_fp = aggregateSuite(harness, base,
-                                         trace::specFpProfiles());
-    table.addRow({"IQ_64_64", "1.000", "1.000"});
-    double ed_fp[2] = {0, 0};
-    int i = 0;
-    for (const auto &s : {core::SchemeConfig::ifDistr(),
-                          core::SchemeConfig::mbDistr()}) {
-        SuiteEnergy si = aggregateSuite(harness, s,
-                                        trace::specIntProfiles());
-        SuiteEnergy sf = aggregateSuite(harness, s,
-                                        trace::specFpProfiles());
-        auto ni = power::normalizedEfficiency(si.total, base_int.total);
-        auto nf = power::normalizedEfficiency(sf.total, base_fp.total);
-        ed_fp[i++] = nf.chipEd;
-        table.addRow({s.name(), util::TablePrinter::fmt(ni.chipEd, 3),
-                      util::TablePrinter::fmt(nf.chipEd, 3)});
-    }
-    std::cout << table.render() << "\n";
-    std::cout << "FP summary: MB_distr vs baseline: "
-              << util::TablePrinter::pct(1.0 - ed_fp[1])
-              << " (paper: ~5% better);  MB_distr vs IF_distr: "
-              << util::TablePrinter::pct(1.0 - ed_fp[1] / ed_fp[0])
-              << " (paper: ~18% better)\n\nCSV:\n"
-              << table.renderCsv();
-    return 0;
+    return diq::bench::figureMain("fig14", argc, argv);
 }

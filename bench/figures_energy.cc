@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Render functions for the §4.5 energy figures: per-scheme breakdowns
+ * (Figures 9/10/11) and the normalized power/energy/ED/ED^2
+ * comparisons (Figures 12-15).
+ */
+
+#include <sstream>
+
+#include "energy_common.hh"
+
+namespace diq::bench::fig
+{
+
+namespace
+{
+
+/** Shared driver for Figures 9/10/11: one scheme's breakdown. */
+void
+breakdownFigure(Harness &harness, FigureOutput &out,
+                const core::SchemeConfig &scheme,
+                const std::string &title)
+{
+    prefetchBothSuites(harness, {scheme});
+    SuiteEnergy ints = aggregateSuite(harness, scheme,
+                                      trace::specIntProfiles());
+    SuiteEnergy fps = aggregateSuite(harness, scheme,
+                                     trace::specFpProfiles());
+    printBreakdown(out, title, ints, fps);
+}
+
+/**
+ * Shared driver for Figures 12-15: the three §4.2 schemes, both
+ * suites, one normalized-efficiency metric.
+ */
+struct NormalizedRow
+{
+    std::string scheme;
+    power::NormalizedEfficiency intSuite;
+    power::NormalizedEfficiency fpSuite;
+};
+
+std::vector<NormalizedRow>
+normalizedRows(Harness &harness)
+{
+    auto base = core::SchemeConfig::iq6464();
+    const std::vector<core::SchemeConfig> others{
+        core::SchemeConfig::ifDistr(), core::SchemeConfig::mbDistr()};
+
+    std::vector<core::SchemeConfig> all{base};
+    all.insert(all.end(), others.begin(), others.end());
+    prefetchBothSuites(harness, all);
+
+    SuiteEnergy base_int = aggregateSuite(harness, base,
+                                          trace::specIntProfiles());
+    SuiteEnergy base_fp = aggregateSuite(harness, base,
+                                         trace::specFpProfiles());
+    std::vector<NormalizedRow> rows;
+    for (const auto &s : others) {
+        SuiteEnergy si = aggregateSuite(harness, s,
+                                        trace::specIntProfiles());
+        SuiteEnergy sf = aggregateSuite(harness, s,
+                                        trace::specFpProfiles());
+        rows.push_back(
+            {s.name(),
+             power::normalizedEfficiency(si.total, base_int.total),
+             power::normalizedEfficiency(sf.total, base_fp.total)});
+    }
+    return rows;
+}
+
+util::TablePrinter
+normalizedTable(const std::vector<NormalizedRow> &rows,
+                double power::NormalizedEfficiency::*metric)
+{
+    util::TablePrinter table({"scheme", "SPECINT", "SPECFP"});
+    table.addRow({"IQ_64_64", "1.000", "1.000"});
+    for (const auto &r : rows)
+        table.addRow({r.scheme,
+                      util::TablePrinter::fmt(r.intSuite.*metric, 3),
+                      util::TablePrinter::fmt(r.fpSuite.*metric, 3)});
+    return table;
+}
+
+} // namespace
+
+void
+fig09(Harness &harness, FigureOutput &out)
+{
+    breakdownFigure(harness, out, core::SchemeConfig::iq6464(),
+                    "Energy breakdown IQ_64_64 (% of issue-queue"
+                    " energy)");
+}
+
+void
+fig10(Harness &harness, FigureOutput &out)
+{
+    breakdownFigure(harness, out, core::SchemeConfig::ifDistr(),
+                    "Energy breakdown IF_distr (% of issue-queue"
+                    " energy)");
+}
+
+void
+fig11(Harness &harness, FigureOutput &out)
+{
+    breakdownFigure(harness, out, core::SchemeConfig::mbDistr(),
+                    "Energy breakdown MB_distr (% of issue-queue"
+                    " energy)");
+}
+
+void
+fig12(Harness &harness, FigureOutput &out)
+{
+    out.table("power", "",
+              normalizedTable(normalizedRows(harness),
+                              &power::NormalizedEfficiency::iqPower));
+}
+
+void
+fig13(Harness &harness, FigureOutput &out)
+{
+    out.table("energy", "",
+              normalizedTable(normalizedRows(harness),
+                              &power::NormalizedEfficiency::iqEnergy));
+}
+
+void
+fig14(Harness &harness, FigureOutput &out)
+{
+    auto rows = normalizedRows(harness);
+    out.table("ed", "",
+              normalizedTable(rows,
+                              &power::NormalizedEfficiency::chipEd));
+
+    double ed_if = rows[0].fpSuite.chipEd;
+    double ed_mb = rows[1].fpSuite.chipEd;
+    std::ostringstream note;
+    note << "\nFP summary: MB_distr vs baseline: "
+         << util::TablePrinter::pct(1.0 - ed_mb)
+         << " (paper: ~5% better);  MB_distr vs IF_distr: "
+         << util::TablePrinter::pct(1.0 - ed_mb / ed_if)
+         << " (paper: ~18% better)\n";
+    out.note(note.str());
+}
+
+void
+fig15(Harness &harness, FigureOutput &out)
+{
+    auto rows = normalizedRows(harness);
+    out.table("ed2", "",
+              normalizedTable(rows,
+                              &power::NormalizedEfficiency::chipEd2));
+
+    double ed2_if = rows[0].fpSuite.chipEd2;
+    double ed2_mb = rows[1].fpSuite.chipEd2;
+    std::ostringstream note;
+    note << "\nFP summary: MB_distr vs baseline: "
+         << util::TablePrinter::fmt(ed2_mb, 3)
+         << "x (paper: ~1.0x);  MB_distr vs IF_distr: "
+         << util::TablePrinter::pct(1.0 - ed2_mb / ed2_if)
+         << " better (paper: ~35%)\n";
+    out.note(note.str());
+}
+
+} // namespace diq::bench::fig

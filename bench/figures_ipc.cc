@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Render functions for the IPC figures: the §3 FIFO-family sweeps
+ * (Figures 2/3/4/6) and the §4.4 per-benchmark IPC tables
+ * (Figures 7/8). Each declares its grid as a runner::SweepSpec,
+ * prefetches in parallel, then formats serially from cache hits.
+ */
+
+#include <sstream>
+
+#include "sweep_common.hh"
+
+namespace diq::bench::fig
+{
+
+void
+fig02(Harness &harness, FigureOutput &out)
+{
+    // INT queues sweep {8,10,12}x{8,16}; FP queues fixed at 16x16.
+    auto configs = fifoFamilyGrid([](int queues, int size) {
+        return core::SchemeConfig::issueFifo(queues, size, 16, 16);
+    });
+    runIpcLossSweep(harness, out, trace::specIntProfiles(), configs);
+}
+
+void
+fig03(Harness &harness, FigureOutput &out)
+{
+    // FP queues sweep {8,10,12}x{8,16}; integer queues fixed at 16x16.
+    auto configs = fifoFamilyGrid([](int queues, int size) {
+        return core::SchemeConfig::issueFifo(16, 16, queues, size);
+    });
+    runIpcLossSweep(harness, out, trace::specFpProfiles(), configs);
+}
+
+void
+fig04(Harness &harness, FigureOutput &out)
+{
+    auto configs = fifoFamilyGrid([](int queues, int size) {
+        return core::SchemeConfig::latFifo(16, 16, queues, size);
+    });
+    runIpcLossSweep(harness, out, trace::specFpProfiles(), configs);
+}
+
+void
+fig06(Harness &harness, FigureOutput &out)
+{
+    // Unbounded chains per queue, as in the paper's sizing study.
+    auto configs = fifoFamilyGrid([](int queues, int size) {
+        return core::SchemeConfig::mixBuff(16, 16, queues, size,
+                                           /*chains=*/0);
+    });
+    runIpcLossSweep(harness, out, trace::specFpProfiles(), configs);
+}
+
+namespace
+{
+
+/** Shared driver for Figures 7/8: per-benchmark IPC + HARMEAN. */
+void
+ipcTable(Harness &harness, FigureOutput &out,
+         const std::vector<trace::BenchmarkProfile> &profiles,
+         bool fpSummary)
+{
+    const std::vector<core::SchemeConfig> schemes{
+        core::SchemeConfig::iq6464(), core::SchemeConfig::ifDistr(),
+        core::SchemeConfig::mbDistr()};
+
+    runner::SweepSpec spec;
+    spec.addGrid(schemes, profiles);
+    harness.prefetch(spec);
+
+    util::TablePrinter table({"benchmark", "IQ_64_64", "IF_distr",
+                              "MB_distr"});
+    std::vector<double> ipc_base, ipc_if, ipc_mb;
+    int mb_wins = 0;
+
+    for (const auto &profile : profiles) {
+        std::vector<std::string> row{profile.name};
+        double vals[3] = {0, 0, 0};
+        int i = 0;
+        for (const auto &s : schemes) {
+            const auto &r = harness.run(s, profile);
+            row.push_back(util::TablePrinter::fmt(r.ipc, 3));
+            vals[i] = r.ipc;
+            (i == 0 ? ipc_base : i == 1 ? ipc_if : ipc_mb).push_back(r.ipc);
+            ++i;
+        }
+        if (vals[2] > vals[1])
+            ++mb_wins;
+        table.addRow(row);
+    }
+
+    double hm_base = util::harmonicMean(ipc_base);
+    double hm_if = util::harmonicMean(ipc_if);
+    double hm_mb = util::harmonicMean(ipc_mb);
+    table.addRow({"HARMEAN", util::TablePrinter::fmt(hm_base, 3),
+                  util::TablePrinter::fmt(hm_if, 3),
+                  util::TablePrinter::fmt(hm_mb, 3)});
+    out.table("ipc", "", table);
+
+    std::ostringstream note;
+    note << "\nIPC loss vs baseline (paper: "
+         << (fpSummary ? "IF_distr 26.0%, MB_distr 7.6%"
+                       : "~7.7% for both")
+         << "):\n"
+         << "  IF_distr: "
+         << util::TablePrinter::pct(1.0 - hm_if / hm_base) << "\n"
+         << "  MB_distr: "
+         << util::TablePrinter::pct(1.0 - hm_mb / hm_base) << "\n";
+    if (fpSummary)
+        note << "MB_distr outperforms IF_distr on " << mb_wins << "/"
+             << profiles.size() << " FP benchmarks (paper: all)\n";
+    out.note(note.str());
+}
+
+} // namespace
+
+void
+fig07(Harness &harness, FigureOutput &out)
+{
+    ipcTable(harness, out, trace::specIntProfiles(),
+             /*fpSummary=*/false);
+}
+
+void
+fig08(Harness &harness, FigureOutput &out)
+{
+    ipcTable(harness, out, trace::specFpProfiles(), /*fpSummary=*/true);
+}
+
+} // namespace diq::bench::fig

@@ -1,97 +1,14 @@
+/**
+ * @file
+ * Implementation of bench/harness.hh (docs/ARCHITECTURE.md §7).
+ */
+
 #include "harness.hh"
 
 #include <iostream>
 
 namespace diq::bench
 {
-
-HarnessOptions
-HarnessOptions::fromFlags(const util::Flags &flags)
-{
-    HarnessOptions o;
-    o.warmupInsts = static_cast<uint64_t>(
-        flags.getInt("warmup", static_cast<int64_t>(o.warmupInsts),
-                     "DIQ_WARMUP"));
-    o.measureInsts = static_cast<uint64_t>(
-        flags.getInt("insts", static_cast<int64_t>(o.measureInsts),
-                     "DIQ_INSTS"));
-    return o;
-}
-
-power::EnergyBreakdown
-energyFor(const core::SchemeConfig &scheme,
-          const util::CounterSet &counters)
-{
-    power::IssueGeometry g;
-    g.iqEntries = static_cast<unsigned>(
-        std::max(scheme.camIntEntries, scheme.camFpEntries));
-    g.numIntQueues = static_cast<unsigned>(scheme.numIntQueues);
-    g.intQueueSize = static_cast<unsigned>(scheme.intQueueSize);
-    g.numFpQueues = static_cast<unsigned>(scheme.numFpQueues);
-    g.fpQueueSize = static_cast<unsigned>(scheme.fpQueueSize);
-    g.chainsPerQueue = scheme.chainsPerQueue > 0
-        ? static_cast<unsigned>(scheme.chainsPerQueue)
-        : 8;
-    power::IssueEnergyModel model(g);
-
-    switch (scheme.kind) {
-      case core::SchemeConfig::Kind::Cam:
-        return model.baseline(counters);
-      case core::SchemeConfig::Kind::IssueFifo:
-      case core::SchemeConfig::Kind::LatFifo:
-        return model.issueFifo(counters);
-      case core::SchemeConfig::Kind::MixBuff:
-        return model.mixBuff(counters);
-    }
-    return {};
-}
-
-const RunResult &
-Harness::run(const core::SchemeConfig &scheme,
-             const trace::BenchmarkProfile &profile)
-{
-    // The display name omits some knobs (chain bound, table-clearing
-    // policy), so the memoization key carries them explicitly.
-    std::string key = scheme.name() + "/chains=" +
-        std::to_string(scheme.chainsPerQueue) + "/clear=" +
-        (scheme.clearTableOnMispredict ? "1" : "0") + "/cam=" +
-        std::to_string(scheme.camIntEntries) + "x" +
-        std::to_string(scheme.camFpEntries) + "/" + profile.name;
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
-
-    auto workload = trace::makeSpecWorkload(profile);
-    sim::ProcessorConfig cfg;
-    cfg.scheme = scheme;
-    sim::Cpu cpu(cfg, *workload);
-
-    cpu.run(opts_.warmupInsts);
-    cpu.resetStats();
-    cpu.run(opts_.measureInsts);
-
-    RunResult r;
-    r.benchmark = profile.name;
-    r.scheme = scheme.name();
-    r.stats = cpu.stats();
-    r.ipc = cpu.stats().ipc();
-    r.energy = energyFor(scheme, cpu.stats().counters);
-
-    auto [pos, inserted] = cache_.emplace(key, std::move(r));
-    (void)inserted;
-    return pos->second;
-}
-
-std::vector<const RunResult *>
-Harness::runSuite(const core::SchemeConfig &scheme,
-                  const std::vector<trace::BenchmarkProfile> &profiles)
-{
-    std::vector<const RunResult *> out;
-    out.reserve(profiles.size());
-    for (const auto &p : profiles)
-        out.push_back(&run(scheme, p));
-    return out;
-}
 
 void
 printHeader(const std::string &title, const HarnessOptions &opts)

@@ -2,24 +2,27 @@
  * @file
  * Experiment harness shared by every figure-reproduction binary.
  *
- * Runs (issue-scheme configuration x benchmark) pairs with warm-up,
- * collects IPC and energy, and memoizes results within the process so
- * a figure that shares a baseline across many configurations only
- * simulates it once. Instruction budgets are overridable per binary
- * (--insts/--warmup) or globally (DIQ_INSTS/DIQ_WARMUP environment
- * variables).
+ * Since the src/runner subsystem landed (docs/ARCHITECTURE.md §7)
+ * this is a thin adapter: the harness owns a runner::SweepRunner,
+ * which executes (issue-scheme configuration x benchmark) jobs across
+ * worker threads and memoizes them in a thread-safe cache shared by
+ * all figures in the process. Budgets come from --insts/--warmup
+ * (DIQ_INSTS/DIQ_WARMUP), the worker count from --jobs (DIQ_JOBS).
+ * The figure idiom: declare the full grid as a runner::SweepSpec,
+ * prefetch() it in parallel, then render serially from cache hits —
+ * output is byte-identical for every worker count.
  */
 
 #ifndef DIQ_BENCH_HARNESS_HH
 #define DIQ_BENCH_HARNESS_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/issue_scheme.hh"
 #include "power/energy_model.hh"
 #include "power/metrics.hh"
+#include "runner/sweep_runner.hh"
 #include "sim/pipeline.hh"
 #include "trace/spec2000.hh"
 #include "util/flags.hh"
@@ -28,57 +31,56 @@
 namespace diq::bench
 {
 
-/** Instruction budgets for one run. */
-struct HarnessOptions
-{
-    uint64_t warmupInsts = 30000;
-    uint64_t measureInsts = 120000;
-
-    /** Apply --warmup/--insts flags and DIQ_WARMUP/DIQ_INSTS env. */
-    static HarnessOptions fromFlags(const util::Flags &flags);
-};
+/** Budgets + worker count for one bench invocation. */
+using HarnessOptions = runner::RunnerOptions;
 
 /** Outcome of one (scheme, benchmark) simulation. */
-struct RunResult
-{
-    std::string benchmark;
-    std::string scheme;
-    double ipc = 0.0;
-    sim::SimStats stats;
-    power::EnergyBreakdown energy;
+using RunResult = runner::SimResult;
 
-    power::RunEnergy
-    runEnergy() const
-    {
-        return {energy.total(), stats.cycles, stats.committed};
-    }
-};
-
-/** Memoizing runner. */
+/** Memoizing parallel runner, bench-facing. */
 class Harness
 {
   public:
-    explicit Harness(HarnessOptions opts) : opts_(opts) {}
+    explicit Harness(HarnessOptions opts) : runner_(opts) {}
 
     /** Simulate (or recall) one pair. */
-    const RunResult &run(const core::SchemeConfig &scheme,
-                         const trace::BenchmarkProfile &profile);
+    const RunResult &
+    run(const core::SchemeConfig &scheme,
+        const trace::BenchmarkProfile &profile)
+    {
+        return runner_.run(scheme, profile);
+    }
+
+    /** Fill the cache for a declared grid using the worker pool. */
+    void prefetch(const runner::SweepSpec &spec)
+    {
+        runner_.prefetch(spec);
+    }
 
     /** Run a whole suite, in order. */
     std::vector<const RunResult *>
     runSuite(const core::SchemeConfig &scheme,
-             const std::vector<trace::BenchmarkProfile> &profiles);
+             const std::vector<trace::BenchmarkProfile> &profiles)
+    {
+        runner::SweepSpec spec;
+        spec.addSuite(scheme, profiles);
+        return runner_.runAll(spec);
+    }
 
-    const HarnessOptions &options() const { return opts_; }
+    const HarnessOptions &options() const { return runner_.options(); }
+    runner::SweepRunner &runner() { return runner_; }
 
   private:
-    HarnessOptions opts_;
-    std::map<std::string, RunResult> cache_;
+    runner::SweepRunner runner_;
 };
 
 /** Convert a run's event counters into the scheme's energy breakdown. */
-power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
-                                 const util::CounterSet &counters);
+inline power::EnergyBreakdown
+energyFor(const core::SchemeConfig &scheme,
+          const util::CounterSet &counters)
+{
+    return runner::energyFor(scheme, counters);
+}
 
 /** Standard preamble each bench binary prints. */
 void printHeader(const std::string &title, const HarnessOptions &opts);

@@ -3,18 +3,18 @@
  * Shared driver for the Figure 2/3/4/6 IPC-loss sweeps: a family of
  * FIFO-style configurations against the unbounded conventional issue
  * queue, reported as "% IPC loss w.r.t. baseline" exactly like the
- * paper's bar charts.
+ * paper's bar charts. The whole grid (baseline included) is declared
+ * as a runner::SweepSpec and prefetched across the worker pool before
+ * any formatting happens (docs/ARCHITECTURE.md §7).
  */
 
 #ifndef DIQ_BENCH_SWEEP_COMMON_HH
 #define DIQ_BENCH_SWEEP_COMMON_HH
 
-#include <functional>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "harness.hh"
+#include "figures.hh"
 #include "util/stats.hh"
 
 namespace diq::bench
@@ -27,16 +27,40 @@ struct SweepConfig
     core::SchemeConfig scheme;
 };
 
+/** The {8,10,12}x{8,16} grid every §3 sweep figure uses. */
+template <typename MakeScheme>
+std::vector<SweepConfig>
+fifoFamilyGrid(MakeScheme make)
+{
+    std::vector<SweepConfig> configs;
+    for (int queues : {8, 10, 12}) {
+        for (int size : {8, 16}) {
+            SweepConfig c;
+            c.scheme = make(queues, size);
+            c.label = c.scheme.name();
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
 /**
- * Run every config over `profiles` and print per-benchmark and average
- * IPC loss versus the unbounded baseline.
+ * Declare, prefetch and render one IPC-loss sweep: every config (plus
+ * the unbounded baseline) over `profiles`, reported per benchmark and
+ * as the suite average.
  */
 inline void
-runIpcLossSweep(Harness &harness,
+runIpcLossSweep(Harness &harness, FigureOutput &out,
                 const std::vector<trace::BenchmarkProfile> &profiles,
                 const std::vector<SweepConfig> &configs)
 {
     core::SchemeConfig baseline = core::SchemeConfig::unbounded();
+
+    runner::SweepSpec spec;
+    spec.addSuite(baseline, profiles);
+    for (const auto &c : configs)
+        spec.addSuite(c.scheme, profiles);
+    harness.prefetch(spec);
 
     std::vector<std::string> headers{"benchmark"};
     for (const auto &c : configs)
@@ -61,7 +85,7 @@ runIpcLossSweep(Harness &harness,
         avg.push_back(util::TablePrinter::pct(util::mean(l)));
     table.addRow(avg);
 
-    std::cout << table.render() << "\nCSV:\n" << table.renderCsv();
+    out.table("ipc_loss", "", table);
 }
 
 } // namespace diq::bench

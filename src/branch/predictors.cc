@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of branch/predictors.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "branch/predictors.hh"
 
 #include <bit>

@@ -4,6 +4,8 @@
  * the paper: a hybrid of a 2K-entry gshare and a 2K-entry bimodal with
  * a 1K-entry selector, a 2048-entry 4-way BTB, and a return address
  * stack (unused by the synthetic traces but part of the front-end).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_BRANCH_PREDICTORS_HH

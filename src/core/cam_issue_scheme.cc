@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/cam_issue_scheme.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/cam_issue_scheme.hh"
 
 #include <algorithm>

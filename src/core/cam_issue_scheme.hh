@@ -8,6 +8,8 @@
  * as destination-tag broadcasts that are compared only by entries with
  * unready operands (the Folegnani/González power optimization the
  * paper grants the baseline), and the payload RAM is banked 8x8.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_CAM_ISSUE_SCHEME_HH

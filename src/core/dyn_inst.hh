@@ -2,6 +2,8 @@
  * @file
  * Dynamic (in-flight) instruction state shared between the pipeline
  * and the issue schemes.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_DYN_INST_HH

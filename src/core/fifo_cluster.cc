@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/fifo_cluster.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/fifo_cluster.hh"
 
 #include <algorithm>

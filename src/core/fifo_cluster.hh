@@ -13,6 +13,8 @@
  *
  * Reused by IssueFIFO (both clusters), LatFIFO (integer cluster) and
  * MixBUFF (integer cluster).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_FIFO_CLUSTER_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/fifo_issue_scheme.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/fifo_issue_scheme.hh"
 
 #include <sstream>

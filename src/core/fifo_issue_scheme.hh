@@ -4,6 +4,8 @@
  * clusters (paper §2.2/§3), with the shared queue rename table and
  * ready-bit accounting. With distributed FUs this is the paper's
  * IF_distr configuration.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_FIFO_ISSUE_SCHEME_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/fu_pool.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/fu_pool.hh"
 
 #include <cassert>

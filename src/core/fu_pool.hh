@@ -12,6 +12,8 @@
  * pair of integer queues, and one FP add + one FP mult/div per pair of
  * FP queues. An instruction issuing from queue q may then use only the
  * units bound to q, which is what kills the issue crossbar.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_FU_POOL_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/issue_scheme.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/issue_scheme.hh"
 
 #include <sstream>

@@ -12,6 +12,8 @@
  * A scheme owns both the integer-cluster and FP-cluster structures;
  * instructions route to a cluster by op class (memory ops and branches
  * are integer-cluster work).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_ISSUE_SCHEME_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/issue_time_estimator.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/issue_time_estimator.hh"
 
 #include <algorithm>

@@ -16,6 +16,8 @@
  * that knowing the exact number of cycles for each memory access has
  * no significant effect"). The whole computation is assumed to fit in
  * one cycle, as in the paper.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_ISSUE_TIME_ESTIMATOR_HH

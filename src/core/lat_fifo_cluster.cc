@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/lat_fifo_cluster.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/lat_fifo_cluster.hh"
 
 #include <algorithm>

@@ -12,6 +12,8 @@
  * to be issued later is selected" — which leaves the most room for
  * younger instructions. Issue still happens from FIFO heads with
  * ready-bit checks.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_LAT_FIFO_CLUSTER_HH

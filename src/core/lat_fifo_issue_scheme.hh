@@ -4,6 +4,8 @@
  * latency-based FIFO placement for the FP cluster. The issue-time
  * estimator observes every dispatched instruction (integer producers
  * and store-address progress feed the FP estimates).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_LAT_FIFO_ISSUE_SCHEME_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/mixbuff_cluster.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/mixbuff_cluster.hh"
 
 #include <algorithm>

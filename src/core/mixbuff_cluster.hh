@@ -34,6 +34,8 @@
  * instruction and the queue has room; otherwise take the lowest free
  * chain identifier in the priority order chain0/queue0, chain0/queue1,
  * ..., chain1/queue0, ... which balances busy chains across queues.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_MIXBUFF_CLUSTER_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/mixbuff_issue_scheme.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/mixbuff_issue_scheme.hh"
 
 #include <sstream>

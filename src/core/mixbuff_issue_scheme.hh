@@ -3,6 +3,8 @@
  * MixBUFF_AxB_CxD (paper §3.2): IssueFIFO for the integer cluster,
  * chain-scheduled buffers for the FP cluster. With 8 chains per queue
  * and distributed FUs this is the paper's MB_distr configuration.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_MIXBUFF_ISSUE_SCHEME_HH

@@ -3,6 +3,8 @@
  * Shared helper: attribute an issued instruction to its Mux energy
  * component (Figures 9-11 legends split the issue-to-FU drive by
  * functional-unit class).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_MUX_COUNTING_HH

@@ -14,6 +14,8 @@
  * (MixBUFF); validity is established by comparing the stored producer
  * sequence number against the queue/chain state, which models the
  * hardware's implicit invalidation-by-overwrite.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_QUEUE_RENAME_TABLE_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of core/scoreboard.hh (docs/ARCHITECTURE.md §1).
+ */
+
 #include "core/scoreboard.hh"
 
 #include <cassert>

@@ -8,6 +8,8 @@
  * cycle at which each register becomes available so that fixed-latency
  * producers can announce their completion at issue time and dependents
  * can issue back-to-back.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1.
  */
 
 #ifndef DIQ_CORE_SCOREBOARD_HH

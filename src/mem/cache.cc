@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of mem/cache.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "mem/cache.hh"
 
 #include <bit>

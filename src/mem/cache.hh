@@ -9,6 +9,8 @@
  * conflicts are not modeled; the paper's evaluation does not depend on
  * them). Port contention for the L1 D-cache is enforced by the
  * pipeline's issue stage, not here.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_MEM_CACHE_HH

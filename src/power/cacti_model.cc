@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of power/cacti_model.hh (docs/ARCHITECTURE.md §4).
+ */
+
 #include "power/cacti_model.hh"
 
 #include <cmath>

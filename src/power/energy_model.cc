@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of power/energy_model.hh (docs/ARCHITECTURE.md §4).
+ */
+
 #include "power/energy_model.hh"
 
 #include <sstream>

@@ -6,6 +6,8 @@
  * per-component energy breakdowns the paper reports in Figures 9-11,
  * using the CACTI-like structure models of cacti_model.hh sized from
  * the scheme geometry.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §4.
  */
 
 #ifndef DIQ_POWER_ENERGY_MODEL_HH

@@ -5,6 +5,8 @@
  * Issue schemes and the pipeline increment util::CounterSet entries
  * under these keys; the energy model converts counts to picojoules.
  * Names mirror the component legends of Figures 9-11 in the paper.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §4.
  */
 
 #ifndef DIQ_POWER_EVENTS_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of power/metrics.hh (docs/ARCHITECTURE.md §4).
+ */
+
 #include "power/metrics.hh"
 
 namespace diq::power

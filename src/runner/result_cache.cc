@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Implementation of runner/result_cache.hh (docs/ARCHITECTURE.md §7).
+ */
+
+#include "runner/result_cache.hh"
+
+#include <chrono>
+
+namespace diq::runner
+{
+
+const SimResult &
+ResultCache::getOrCompute(const std::string &key,
+                          const std::function<SimResult()> &compute)
+{
+    std::shared_ptr<Entry> entry;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            entry = std::make_shared<Entry>();
+            entries_.emplace(key, entry);
+            owner = true;
+            misses_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            entry = it->second;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    if (owner) {
+        try {
+            entry->result = compute();
+        } catch (...) {
+            entry->done.set_exception(std::current_exception());
+            entry->ready.get(); // rethrow to this caller too
+        }
+        entry->hasValue = true; // ordered before set_value()
+        entry->done.set_value();
+    } else {
+        entry->ready.get(); // waits; rethrows a failed computation
+    }
+    return entry->result;
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+const SimResult *
+ResultCache::peek(const std::string &key) const
+{
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return nullptr;
+        entry = it->second;
+    }
+    auto status = entry->ready.wait_for(std::chrono::seconds(0));
+    if (status != std::future_status::ready || !entry->hasValue)
+        return nullptr;
+    return &entry->result;
+}
+
+} // namespace diq::runner

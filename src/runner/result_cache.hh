@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Thread-safe memoization cache for simulation results
+ * (docs/ARCHITECTURE.md §7).
+ *
+ * Keyed by the full SimJob descriptor string. Concurrent requests for
+ * the same key collapse onto one execution: the first caller claims
+ * the slot and computes, later callers block on the slot's future and
+ * then read the shared result. Entries are heap-allocated and never
+ * evicted, so returned references stay valid for the cache's lifetime
+ * — the same contract the serial bench harness memoization offered.
+ */
+
+#ifndef DIQ_RUNNER_RESULT_CACHE_HH
+#define DIQ_RUNNER_RESULT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "runner/sim_job.hh"
+
+namespace diq::runner
+{
+
+/** Concurrent compute-once cache: key -> SimResult. */
+class ResultCache
+{
+  public:
+    /**
+     * Return the result for `key`, invoking `compute` (on the calling
+     * thread) only if no other caller has claimed the key yet. Blocks
+     * until the result is ready. If the computing caller throws, the
+     * exception propagates to every waiter and the entry stays failed.
+     */
+    const SimResult &getOrCompute(const std::string &key,
+                                  const std::function<SimResult()> &compute);
+
+    /** Lookup without computing; nullptr if absent or not ready. */
+    const SimResult *peek(const std::string &key) const;
+
+    /** Requests that found an existing entry (ready or in flight). */
+    uint64_t hits() const { return hits_.load(); }
+
+    /** Requests that had to execute the job. */
+    uint64_t misses() const { return misses_.load(); }
+
+    /** Number of distinct keys ever claimed. */
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::promise<void> done;
+        std::shared_future<void> ready;
+        SimResult result;
+        /** Set (before `done`) only on successful computation, so
+         *  peek() can tell a value apart from a stored exception. */
+        bool hasValue = false;
+
+        Entry() : ready(done.get_future().share()) {}
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_RESULT_CACHE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Job execution: the single-thread simulate-and-account path behind
+ * the sweep runner (docs/ARCHITECTURE.md §7).
+ */
+
+#include "runner/sim_job.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/pipeline.hh"
+#include "trace/spec2000.hh"
+
+namespace diq::runner
+{
+
+std::string
+SimJob::key() const
+{
+    std::ostringstream os;
+    os << scheme.name()
+       << "/chains=" << scheme.chainsPerQueue
+       << "/clear=" << (scheme.clearTableOnMispredict ? 1 : 0)
+       << "/cam=" << scheme.camIntEntries << "x" << scheme.camFpEntries
+       << "/distr=" << (scheme.distributedFus ? 1 : 0)
+       << "/w=" << warmupInsts << "/n=" << measureInsts
+       << "/" << profile.name;
+    return os.str();
+}
+
+power::EnergyBreakdown
+energyFor(const core::SchemeConfig &scheme,
+          const util::CounterSet &counters)
+{
+    power::IssueGeometry g;
+    g.iqEntries = static_cast<unsigned>(
+        std::max(scheme.camIntEntries, scheme.camFpEntries));
+    g.numIntQueues = static_cast<unsigned>(scheme.numIntQueues);
+    g.intQueueSize = static_cast<unsigned>(scheme.intQueueSize);
+    g.numFpQueues = static_cast<unsigned>(scheme.numFpQueues);
+    g.fpQueueSize = static_cast<unsigned>(scheme.fpQueueSize);
+    g.chainsPerQueue = scheme.chainsPerQueue > 0
+        ? static_cast<unsigned>(scheme.chainsPerQueue)
+        : 8;
+    power::IssueEnergyModel model(g);
+
+    switch (scheme.kind) {
+      case core::SchemeConfig::Kind::Cam:
+        return model.baseline(counters);
+      case core::SchemeConfig::Kind::IssueFifo:
+      case core::SchemeConfig::Kind::LatFifo:
+        return model.issueFifo(counters);
+      case core::SchemeConfig::Kind::MixBuff:
+        return model.mixBuff(counters);
+    }
+    return {};
+}
+
+SimResult
+executeJob(const SimJob &job)
+{
+    auto workload = trace::makeSpecWorkload(job.profile);
+    sim::ProcessorConfig cfg;
+    cfg.scheme = job.scheme;
+    sim::Cpu cpu(cfg, *workload);
+
+    cpu.run(job.warmupInsts);
+    cpu.resetStats();
+    cpu.run(job.measureInsts);
+
+    SimResult r;
+    r.benchmark = job.profile.name;
+    r.scheme = job.scheme.name();
+    r.stats = cpu.stats();
+    r.ipc = cpu.stats().ipc();
+    r.energy = energyFor(job.scheme, cpu.stats().counters);
+    return r;
+}
+
+} // namespace diq::runner

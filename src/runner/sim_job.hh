@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulation job descriptor and result (docs/ARCHITECTURE.md §7).
+ *
+ * A SimJob is the unit of work the sweep runner schedules: one
+ * (issue-scheme configuration, benchmark profile, instruction budget)
+ * triple. Jobs are self-contained and side-effect free — the workload
+ * seed derives from the benchmark name, every simulation component is
+ * job-local, and no global state is touched — so any set of jobs may
+ * execute in any order on any thread and still produce bit-identical
+ * results.
+ */
+
+#ifndef DIQ_RUNNER_SIM_JOB_HH
+#define DIQ_RUNNER_SIM_JOB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/issue_scheme.hh"
+#include "power/energy_model.hh"
+#include "power/metrics.hh"
+#include "sim/sim_stats.hh"
+#include "trace/synthetic.hh"
+
+namespace diq::runner
+{
+
+/** One schedulable simulation: scheme x benchmark x budget. */
+struct SimJob
+{
+    core::SchemeConfig scheme;
+    trace::BenchmarkProfile profile;
+    uint64_t warmupInsts = 30000;
+    uint64_t measureInsts = 120000;
+
+    /**
+     * Canonical memoization key. Covers every SchemeConfig knob that
+     * affects simulation (including those the display name omits:
+     * chain bound, table-clearing policy, CAM capacities, FU binding)
+     * plus the instruction budgets. Benchmark profiles are identified
+     * by name — the suite treats profiles as immutable named data.
+     */
+    std::string key() const;
+};
+
+/** Outcome of one executed job. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string scheme;
+    double ipc = 0.0;
+    sim::SimStats stats;
+    power::EnergyBreakdown energy;
+
+    power::RunEnergy
+    runEnergy() const
+    {
+        return {energy.total(), stats.cycles, stats.committed};
+    }
+};
+
+/** Map a run's event counters onto the scheme's energy breakdown. */
+power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
+                                 const util::CounterSet &counters);
+
+/**
+ * Execute one job to completion on the calling thread: instantiate the
+ * workload, warm up, measure, and convert counters to energy.
+ * Deterministic — depends only on the job descriptor.
+ */
+SimResult executeJob(const SimJob &job);
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_SIM_JOB_HH

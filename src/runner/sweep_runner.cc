@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of runner/sweep_runner.hh (docs/ARCHITECTURE.md §7).
+ */
+
+#include "runner/sweep_runner.hh"
+
+#include <thread>
+
+namespace diq::runner
+{
+
+RunnerOptions
+RunnerOptions::fromFlags(const util::Flags &flags)
+{
+    RunnerOptions o;
+    o.warmupInsts = static_cast<uint64_t>(
+        flags.getInt("warmup", static_cast<int64_t>(o.warmupInsts),
+                     "DIQ_WARMUP"));
+    o.measureInsts = static_cast<uint64_t>(
+        flags.getInt("insts", static_cast<int64_t>(o.measureInsts),
+                     "DIQ_INSTS"));
+    int64_t jobs = flags.getInt("jobs", 0, "DIQ_JOBS");
+    o.jobs = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
+    return o;
+}
+
+unsigned
+RunnerOptions::resolvedJobs() const
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(RunnerOptions opts)
+    : opts_(opts), jobsResolved_(opts.resolvedJobs())
+{
+}
+
+SweepRunner::~SweepRunner() = default;
+
+SimJob
+SweepRunner::makeJob(const core::SchemeConfig &scheme,
+                     const trace::BenchmarkProfile &profile) const
+{
+    SimJob j;
+    j.scheme = scheme;
+    j.profile = profile;
+    j.warmupInsts = opts_.warmupInsts;
+    j.measureInsts = opts_.measureInsts;
+    return j;
+}
+
+const SimResult &
+SweepRunner::run(const core::SchemeConfig &scheme,
+                 const trace::BenchmarkProfile &profile)
+{
+    SimJob job = makeJob(scheme, profile);
+    return cache_.getOrCompute(job.key(), [&job] {
+        return executeJob(job);
+    });
+}
+
+void
+SweepRunner::prefetch(const SweepSpec &spec)
+{
+    if (jobsResolved_ <= 1 || spec.size() <= 1) {
+        for (const auto &[scheme, profile] : spec.points())
+            run(scheme, profile);
+        return;
+    }
+
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(jobsResolved_);
+    for (const auto &[scheme, profile] : spec.points()) {
+        SimJob job = makeJob(scheme, profile);
+        pool_->submit([this, job = std::move(job)] {
+            cache_.getOrCompute(job.key(), [&job] {
+                return executeJob(job);
+            });
+        });
+    }
+    pool_->wait();
+}
+
+std::vector<const SimResult *>
+SweepRunner::runAll(const SweepSpec &spec)
+{
+    prefetch(spec);
+    std::vector<const SimResult *> out;
+    out.reserve(spec.size());
+    for (const auto &[scheme, profile] : spec.points())
+        out.push_back(&run(scheme, profile));
+    return out;
+}
+
+} // namespace diq::runner

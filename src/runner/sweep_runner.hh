@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel sweep runner (docs/ARCHITECTURE.md §7).
+ *
+ * Executes sets of independent simulation jobs across a worker pool
+ * and memoizes every result in a thread-safe cache, replacing the
+ * serial per-binary memoization the bench harness used to carry. The
+ * determinism contract: because each job is self-contained and
+ * seeded from its own descriptor, the results — and therefore any
+ * output rendered from them in spec order — are byte-identical for
+ * every worker count, including the serial --jobs=1 path.
+ */
+
+#ifndef DIQ_RUNNER_SWEEP_RUNNER_HH
+#define DIQ_RUNNER_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runner/result_cache.hh"
+#include "runner/sim_job.hh"
+#include "runner/sweep_spec.hh"
+#include "runner/thread_pool.hh"
+#include "util/flags.hh"
+
+namespace diq::runner
+{
+
+/** Budgets and worker count for a runner. */
+struct RunnerOptions
+{
+    uint64_t warmupInsts = 30000;
+    uint64_t measureInsts = 120000;
+
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned jobs = 0;
+
+    /**
+     * Apply --warmup/--insts/--jobs flags with DIQ_WARMUP/DIQ_INSTS/
+     * DIQ_JOBS environment fallbacks.
+     */
+    static RunnerOptions fromFlags(const util::Flags &flags);
+
+    /** `jobs` with the 0 default resolved to the hardware. */
+    unsigned resolvedJobs() const;
+};
+
+/**
+ * Memoizing parallel job scheduler. One instance may serve many
+ * figures in sequence (diq_report does); the cache is shared, so a
+ * baseline simulated for Figure 2 is a hit when Figure 3 asks again.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions opts);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /**
+     * Simulate (or recall) one point under this runner's budgets.
+     * Blocks until ready; executes on the calling thread on a miss.
+     * The reference stays valid for the runner's lifetime.
+     */
+    const SimResult &run(const core::SchemeConfig &scheme,
+                         const trace::BenchmarkProfile &profile);
+
+    /**
+     * Fill the cache for every point of `spec` using the worker pool
+     * (serially, in spec order, when resolvedJobs() == 1). After this
+     * returns, run() on any spec point is a cache hit — the idiom the
+     * figure benches use: declare, prefetch in parallel, then render
+     * serially in spec order.
+     */
+    void prefetch(const SweepSpec &spec);
+
+    /** prefetch() + collect results in spec order. */
+    std::vector<const SimResult *> runAll(const SweepSpec &spec);
+
+    const RunnerOptions &options() const { return opts_; }
+
+    /** Worker count actually used by prefetch (>= 1). */
+    unsigned jobCount() const { return jobsResolved_; }
+
+    uint64_t cacheHits() const { return cache_.hits(); }
+    uint64_t cacheMisses() const { return cache_.misses(); }
+    size_t cacheSize() const { return cache_.size(); }
+
+  private:
+    SimJob makeJob(const core::SchemeConfig &scheme,
+                   const trace::BenchmarkProfile &profile) const;
+
+    RunnerOptions opts_;
+    unsigned jobsResolved_;
+    ResultCache cache_;
+    std::unique_ptr<ThreadPool> pool_; ///< created lazily, only if > 1
+};
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_SWEEP_RUNNER_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementation of runner/sweep_spec.hh (docs/ARCHITECTURE.md §7).
+ */
+
+#include "runner/sweep_spec.hh"
+
+namespace diq::runner
+{
+
+void
+SweepSpec::add(const core::SchemeConfig &scheme,
+               const trace::BenchmarkProfile &profile)
+{
+    points_.emplace_back(scheme, profile);
+}
+
+void
+SweepSpec::addSuite(const core::SchemeConfig &scheme,
+                    const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    for (const auto &p : profiles)
+        add(scheme, p);
+}
+
+void
+SweepSpec::addGrid(const std::vector<core::SchemeConfig> &schemes,
+                   const std::vector<trace::BenchmarkProfile> &profiles)
+{
+    for (const auto &s : schemes)
+        addSuite(s, profiles);
+}
+
+void
+SweepSpec::append(const SweepSpec &other)
+{
+    points_.insert(points_.end(), other.points_.begin(),
+                   other.points_.end());
+}
+
+} // namespace diq::runner

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Declarative sweep grids (docs/ARCHITECTURE.md §7).
+ *
+ * A SweepSpec names every (scheme, benchmark) point a figure needs,
+ * up front and in presentation order. The runner materializes the
+ * points into SimJobs (attaching its instruction budgets), executes
+ * them in any order across the pool, and hands results back in spec
+ * order — so declaring the grid is what makes parallel output
+ * deterministic.
+ */
+
+#ifndef DIQ_RUNNER_SWEEP_SPEC_HH
+#define DIQ_RUNNER_SWEEP_SPEC_HH
+
+#include <utility>
+#include <vector>
+
+#include "core/issue_scheme.hh"
+#include "trace/synthetic.hh"
+
+namespace diq::runner
+{
+
+/** Ordered grid of (scheme, benchmark) simulation points. */
+class SweepSpec
+{
+  public:
+    using Point = std::pair<core::SchemeConfig, trace::BenchmarkProfile>;
+
+    /** Append one point. */
+    void add(const core::SchemeConfig &scheme,
+             const trace::BenchmarkProfile &profile);
+
+    /** Append `scheme` over every profile, in suite order. */
+    void addSuite(const core::SchemeConfig &scheme,
+                  const std::vector<trace::BenchmarkProfile> &profiles);
+
+    /** Append the full cross product, scheme-major. */
+    void addGrid(const std::vector<core::SchemeConfig> &schemes,
+                 const std::vector<trace::BenchmarkProfile> &profiles);
+
+    /** Merge another spec's points after this one's. */
+    void append(const SweepSpec &other);
+
+    const std::vector<Point> &points() const { return points_; }
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<Point> points_;
+};
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_SWEEP_SPEC_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Implementation of runner/thread_pool.hh (docs/ARCHITECTURE.md §7).
+ */
+
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace diq::runner
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    unsigned n = std::max(1u, threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            taskReady_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            // The predicate guarantees tasks_ is non-empty unless
+            // we are stopping and the queue has drained.
+            if (tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            // A throwing task must not escape the thread entry
+            // function (std::terminate) or skip the drain accounting
+            // below (wait() deadlock). Sweep tasks store their
+            // exception in the result cache, where it resurfaces on
+            // the thread that reads the result.
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace diq::runner

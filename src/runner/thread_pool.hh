@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-size worker pool for the sweep runner
+ * (docs/ARCHITECTURE.md §7).
+ *
+ * Workers pull tasks from one shared FIFO — the join-the-idle-queue
+ * shape: an idle worker takes the oldest pending job, so the pool
+ * load-balances automatically when job runtimes are skewed (a 256-entry
+ * CAM baseline simulates far slower than an 8x8 FIFO sweep point).
+ */
+
+#ifndef DIQ_RUNNER_THREAD_POOL_HH
+#define DIQ_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diq::runner
+{
+
+/** Fixed pool of worker threads draining a shared task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to >= 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task; runs on some worker in FIFO claim order. An
+     * exception escaping the task is swallowed (fire-and-forget
+     * pool) — tasks that can fail must capture errors themselves,
+     * as the sweep tasks do via the result cache.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable taskReady_;   ///< workers wait for tasks
+    std::condition_variable allDone_;     ///< wait() waits for drain
+    std::deque<std::function<void()>> tasks_;
+    size_t inFlight_ = 0;                 ///< queued + currently running
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_THREAD_POOL_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of sim/config.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "sim/config.hh"
 
 #include <sstream>

@@ -1,6 +1,8 @@
 /**
  * @file
  * Processor configuration (Table 1 of the paper).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_SIM_CONFIG_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of sim/lsq.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "sim/lsq.hh"
 
 #include <cassert>

@@ -8,6 +8,8 @@
  * data. The LSQ tracks in-flight memory operations in program order,
  * starts eligible loads subject to the L1D port budget, and performs
  * store writes at commit.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_SIM_LSQ_HH

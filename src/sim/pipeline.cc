@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of sim/pipeline.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "sim/pipeline.hh"
 
 #include <cassert>

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of sim/rename.hh (docs/ARCHITECTURE.md §3).
+ */
+
 #include "sim/rename.hh"
 
 #include <cassert>

@@ -6,6 +6,8 @@
  * are global (INT pool first, FP pool after) so one scoreboard covers
  * both files. The previous mapping of an instruction's destination is
  * freed when the instruction commits.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_SIM_RENAME_HH

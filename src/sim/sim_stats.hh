@@ -1,6 +1,8 @@
 /**
  * @file
  * Aggregate statistics of one simulation run (measurement region).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3.
  */
 
 #ifndef DIQ_SIM_SIM_STATS_HH

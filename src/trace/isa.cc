@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of trace/isa.hh (docs/ARCHITECTURE.md §5).
+ */
+
 #include "trace/isa.hh"
 
 #include <sstream>

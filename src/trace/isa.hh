@@ -9,6 +9,8 @@
  *
  *   INT: 8 ALU (1 cycle), 4 mult/div (3-cycle mult, 20-cycle div)
  *   FP:  4 ALU (2 cycles), 4 mult/div (4-cycle mult, 12-cycle div)
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §5.
  */
 
 #ifndef DIQ_TRACE_ISA_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of trace/spec2000.hh (docs/ARCHITECTURE.md §5).
+ */
+
 #include "trace/spec2000.hh"
 
 #include <stdexcept>

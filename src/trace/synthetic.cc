@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of trace/synthetic.hh (docs/ARCHITECTURE.md §5).
+ */
+
 #include "trace/synthetic.hh"
 
 #include <algorithm>

@@ -5,6 +5,8 @@
  * The pipeline front-end consumes MicroOps from a TraceSource. Sources
  * are infinite (generators loop forever) or finite (fixed vectors used
  * by unit tests); `next()` reports availability.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §5.
  */
 
 #ifndef DIQ_TRACE_TRACE_SOURCE_HH

@@ -6,6 +6,8 @@
  * the reorder buffer, the load/store queue and the IssueFIFO/LatFIFO
  * queues. Indexed access (0 = head/oldest) is provided because several
  * structures scan their occupants (e.g. the LSQ disambiguation walk).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_CIRCULAR_BUFFER_HH

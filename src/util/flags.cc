@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of util/flags.hh (docs/ARCHITECTURE.md §2).
+ */
+
 #include "util/flags.hh"
 
 #include <cstdlib>

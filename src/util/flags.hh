@@ -4,6 +4,8 @@
  * binaries. Supports `--name=value`, `--name value` and boolean
  * `--name` forms, with environment-variable fallbacks (e.g. DIQ_INSTS)
  * so the whole bench suite can be scaled globally.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_FLAGS_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of util/rng.hh (docs/ARCHITECTURE.md §2).
+ */
+
 #include "util/rng.hh"
 
 #include <cmath>

@@ -7,6 +7,8 @@
  * bit-for-bit from a seed. The generator is xoshiro256**, which is fast,
  * has a 2^256-1 period and passes BigCrush; quality matters because the
  * workload generators draw millions of variates per run.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_RNG_HH

@@ -9,6 +9,8 @@
  *    scheme (paper §3.2.1): "all the entries [are decremented] by one
  *    ... using saturated counters", saturating at zero, and reloaded
  *    with an instruction latency when its chain issues.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_SATURATING_COUNTER_HH

@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of util/stats.hh (docs/ARCHITECTURE.md §2).
+ */
+
 #include "util/stats.hh"
 
 #include <cmath>

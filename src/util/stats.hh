@@ -3,6 +3,8 @@
  * Lightweight statistics helpers used across the simulator and the
  * experiment harness: running means, harmonic means (the paper reports
  * HARMEAN of per-benchmark IPC), histograms and simple counters.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_STATS_HH

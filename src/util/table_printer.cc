@@ -1,3 +1,8 @@
+/**
+ * @file
+ * Implementation of util/table_printer.hh (docs/ARCHITECTURE.md §2).
+ */
+
 #include "util/table_printer.hh"
 
 #include <algorithm>
@@ -84,6 +89,29 @@ TablePrinter::renderCsv() const
     emit(headers_);
     for (const auto &r : rows_)
         emit(r);
+    return os.str();
+}
+
+std::string
+TablePrinter::renderMarkdown() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells, size_t ncols) {
+        os << "|";
+        for (size_t c = 0; c < ncols; ++c)
+            os << " " << (c < cells.size() ? cells[c] : "") << " |";
+        os << "\n";
+    };
+    size_t ncols = headers_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    emit(headers_, ncols);
+    os << "|";
+    for (size_t c = 0; c < ncols; ++c)
+        os << "---|";
+    os << "\n";
+    for (const auto &r : rows_)
+        emit(r, ncols);
     return os.str();
 }
 

@@ -5,6 +5,8 @@
  * Every figure-reproduction binary prints its series as an aligned
  * text table plus a machine-readable CSV block, so results can be both
  * eyeballed and scraped.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
 #ifndef DIQ_UTIL_TABLE_PRINTER_HH
@@ -36,6 +38,18 @@ class TablePrinter
 
     /** Render as CSV (comma-separated, no quoting of commas needed). */
     std::string renderCsv() const;
+
+    /** Render as a GitHub-flavored markdown table. */
+    std::string renderMarkdown() const;
+
+    /** Column headers, as constructed. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Rows, as added; cells may be fewer/more than headers. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::vector<std::string> headers_;

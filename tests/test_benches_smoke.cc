@@ -86,6 +86,62 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param;
     });
 
+// diq_report drives the whole figure registry through the parallel
+// sweep runner. Beyond exiting 0, its emitted files (per-figure
+// CSV/JSON + RESULTS.md) must be byte-identical between a serial
+// (--jobs=1) and a parallel (--jobs=4) run — the runner's determinism
+// contract, checked here at the whole-binary level.
+TEST(DiqReport, SerialAndParallelRunsEmitIdenticalFiles)
+{
+    const std::string binary = std::string(DIQ_BIN_DIR) + "/diq_report";
+    const std::string serial_dir =
+        std::string(DIQ_BIN_DIR) + "/report_smoke_serial";
+    const std::string parallel_dir =
+        std::string(DIQ_BIN_DIR) + "/report_smoke_parallel";
+
+    // Stale files from an earlier registry (or an interrupted run)
+    // must not leak into the diff below.
+    int rc_clean = std::system(("rm -rf '" + serial_dir + "' '" +
+                                parallel_dir + "'")
+                                   .c_str());
+    ASSERT_EQ(rc_clean, 0);
+
+    // Tiny budgets via flags: gtest_discover_tests runs this test in
+    // its own process, so BenchSmoke's env shrink does not apply.
+    const std::string budget = " --insts=2000 --warmup=200";
+    int rc = std::system(("'" + binary + "' --jobs=1" + budget +
+                          " --outdir '" + serial_dir + "' > /dev/null")
+                             .c_str());
+    ASSERT_NE(rc, -1);
+    ASSERT_EQ(rc, 0) << "serial diq_report failed: "
+                     << describeStatus(rc);
+
+    rc = std::system(("'" + binary + "' --jobs=4" + budget +
+                      " --outdir '" + parallel_dir + "' > /dev/null")
+                         .c_str());
+    ASSERT_NE(rc, -1);
+    ASSERT_EQ(rc, 0) << "parallel diq_report failed: "
+                     << describeStatus(rc);
+
+    rc = std::system(("diff -r '" + serial_dir + "' '" + parallel_dir +
+                      "' > /dev/null")
+                         .c_str());
+    ASSERT_NE(rc, -1);
+    EXPECT_EQ(rc, 0) << "diq_report output differs between --jobs=1"
+                        " and --jobs=4: "
+                     << describeStatus(rc);
+}
+
+TEST(DiqReport, RejectsUnknownFigureIds)
+{
+    const std::string cmd = "'" + std::string(DIQ_BIN_DIR) +
+        "/diq_report' no_such_figure > /dev/null 2>&1";
+    const int rc = std::system(cmd.c_str());
+    ASSERT_NE(rc, -1);
+    ASSERT_TRUE(WIFEXITED(rc));
+    EXPECT_EQ(WEXITSTATUS(rc), 1);
+}
+
 #ifdef DIQ_HAVE_BENCH_MICRO_SCHEMES
 // The Google Benchmark microbench suite has its own timing loop; a
 // listing run is enough to prove the binary links and starts cleanly.

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner subsystem
+ * (docs/ARCHITECTURE.md §7): thread-pool draining, compute-once cache
+ * semantics and hit/miss counters under concurrency, and the
+ * determinism contract — parallel (--jobs=4) and serial (--jobs=1)
+ * sweeps must produce bit-identical results and byte-identical CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/result_cache.hh"
+#include "runner/sweep_runner.hh"
+#include "runner/thread_pool.hh"
+#include "trace/spec2000.hh"
+#include "util/table_printer.hh"
+
+namespace
+{
+
+using namespace diq;
+
+// --- ThreadPool -----------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    runner::ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+
+    // The pool stays usable after a wait().
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 110);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    runner::ThreadPool pool(2);
+    pool.wait();
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker)
+{
+    runner::ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+// --- ResultCache ----------------------------------------------------
+
+runner::SimResult
+makeResult(double ipc)
+{
+    runner::SimResult r;
+    r.ipc = ipc;
+    return r;
+}
+
+TEST(ResultCache, ComputesOncePerKey)
+{
+    runner::ResultCache cache;
+    std::atomic<int> computed{0};
+    auto compute = [&computed] {
+        computed.fetch_add(1);
+        return makeResult(1.5);
+    };
+
+    const auto &a = cache.getOrCompute("k", compute);
+    const auto &b = cache.getOrCompute("k", compute);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(computed.load(), 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_DOUBLE_EQ(a.ipc, 1.5);
+}
+
+TEST(ResultCache, PeekSeesOnlyReadyEntries)
+{
+    runner::ResultCache cache;
+    EXPECT_EQ(cache.peek("missing"), nullptr);
+    cache.getOrCompute("k", [] { return makeResult(2.0); });
+    const runner::SimResult *r = cache.peek("k");
+    ASSERT_NE(r, nullptr);
+    EXPECT_DOUBLE_EQ(r->ipc, 2.0);
+}
+
+TEST(ResultCache, ConcurrentRequestsCollapseOntoOneExecution)
+{
+    runner::ResultCache cache;
+    std::atomic<int> computed{0};
+
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 5;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &computed] {
+            for (int k = 0; k < kKeys; ++k) {
+                const auto &r = cache.getOrCompute(
+                    "key" + std::to_string(k), [&computed, k] {
+                        computed.fetch_add(1);
+                        // Widen the in-flight window so other threads
+                        // actually hit the wait path.
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                        return makeResult(k + 1.0);
+                    });
+                EXPECT_DOUBLE_EQ(r.ipc, k + 1.0);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(computed.load(), kKeys);
+    EXPECT_EQ(cache.misses(), static_cast<uint64_t>(kKeys));
+    EXPECT_EQ(cache.hits(),
+              static_cast<uint64_t>(kThreads * kKeys - kKeys));
+    EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+}
+
+TEST(ResultCache, FailedComputationPropagatesAndIsNotPeekable)
+{
+    runner::ResultCache cache;
+    EXPECT_THROW(cache.getOrCompute(
+                     "bad",
+                     []() -> runner::SimResult {
+                         throw std::runtime_error("sim exploded");
+                     }),
+                 std::runtime_error);
+    // The failure is sticky: later requesters rethrow instead of
+    // silently reading a default-constructed result...
+    EXPECT_THROW(cache.getOrCompute("bad",
+                                    [] { return makeResult(1.0); }),
+                 std::runtime_error);
+    // ...and peek() reports no value rather than an all-zero one.
+    EXPECT_EQ(cache.peek("bad"), nullptr);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotAbortOrWedgeThePool)
+{
+    runner::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("boom"); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait(); // would deadlock if the throwing task skipped drain
+    EXPECT_EQ(ran.load(), 1);
+}
+
+// --- SimJob keys ----------------------------------------------------
+
+TEST(SimJob, KeyCoversEveryKnobTheDisplayNameOmits)
+{
+    runner::SimJob a;
+    a.scheme = core::SchemeConfig::mbDistr();
+    a.profile = trace::specProfile("swim");
+    runner::SimJob b = a;
+
+    EXPECT_EQ(a.key(), b.key());
+    b.scheme.chainsPerQueue = 2;
+    EXPECT_NE(a.key(), b.key());
+
+    b = a;
+    b.scheme.clearTableOnMispredict = false;
+    EXPECT_NE(a.key(), b.key());
+
+    b = a;
+    b.scheme.distributedFus = !a.scheme.distributedFus;
+    EXPECT_NE(a.key(), b.key());
+
+    b = a;
+    b.measureInsts += 1;
+    EXPECT_NE(a.key(), b.key());
+
+    b = a;
+    b.profile = trace::specProfile("gcc");
+    EXPECT_NE(a.key(), b.key());
+}
+
+// --- SweepRunner determinism ---------------------------------------
+
+runner::SweepSpec
+smallSpec()
+{
+    runner::SweepSpec spec;
+    std::vector<core::SchemeConfig> schemes{
+        core::SchemeConfig::iq6464(), core::SchemeConfig::mbDistr()};
+    std::vector<trace::BenchmarkProfile> profiles{
+        trace::specProfile("gcc"), trace::specProfile("swim"),
+        trace::specProfile("art")};
+    spec.addGrid(schemes, profiles);
+    return spec;
+}
+
+runner::RunnerOptions
+tinyOptions(unsigned jobs)
+{
+    runner::RunnerOptions opts;
+    opts.warmupInsts = 200;
+    opts.measureInsts = 2000;
+    opts.jobs = jobs;
+    return opts;
+}
+
+/** Render a spec's results the way the figure benches do. */
+std::string
+renderCsv(runner::SweepRunner &r, const runner::SweepSpec &spec)
+{
+    util::TablePrinter t({"scheme", "benchmark", "ipc", "cycles",
+                          "energy_pj"});
+    for (const auto *res : r.runAll(spec)) {
+        t.addRow({res->scheme, res->benchmark,
+                  util::TablePrinter::fmt(res->ipc, 6),
+                  std::to_string(res->stats.cycles),
+                  util::TablePrinter::fmt(res->energy.total(), 3)});
+    }
+    return t.renderCsv();
+}
+
+TEST(SweepRunner, ParallelAndSerialSweepsAreByteIdentical)
+{
+    auto spec = smallSpec();
+
+    runner::SweepRunner serial(tinyOptions(1));
+    runner::SweepRunner parallel(tinyOptions(4));
+    EXPECT_EQ(serial.jobCount(), 1u);
+    EXPECT_EQ(parallel.jobCount(), 4u);
+
+    std::string csv_serial = renderCsv(serial, spec);
+    std::string csv_parallel = renderCsv(parallel, spec);
+    EXPECT_EQ(csv_serial, csv_parallel);
+
+    // Beyond the CSV projection: the raw results agree bit for bit.
+    for (const auto &[scheme, profile] : spec.points()) {
+        const auto &a = serial.run(scheme, profile);
+        const auto &b = parallel.run(scheme, profile);
+        EXPECT_EQ(a.ipc, b.ipc);
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+        EXPECT_EQ(a.stats.committed, b.stats.committed);
+        EXPECT_EQ(a.stats.counters.all(), b.stats.counters.all());
+        EXPECT_EQ(a.energy.total(), b.energy.total());
+    }
+}
+
+TEST(SweepRunner, PrefetchMakesEveryPointACacheHit)
+{
+    auto spec = smallSpec();
+    runner::SweepRunner r(tinyOptions(4));
+    r.prefetch(spec);
+    EXPECT_EQ(r.cacheMisses(), spec.size());
+    uint64_t misses_before = r.cacheMisses();
+    for (const auto &[scheme, profile] : spec.points())
+        r.run(scheme, profile);
+    EXPECT_EQ(r.cacheMisses(), misses_before);
+    EXPECT_GE(r.cacheHits(), spec.size());
+}
+
+TEST(SweepRunner, DuplicateSpecPointsExecuteOnce)
+{
+    runner::SweepSpec spec;
+    auto scheme = core::SchemeConfig::iq6464();
+    auto profile = trace::specProfile("gcc");
+    for (int i = 0; i < 6; ++i)
+        spec.add(scheme, profile);
+
+    runner::SweepRunner r(tinyOptions(4));
+    auto results = r.runAll(spec);
+    ASSERT_EQ(results.size(), 6u);
+    EXPECT_EQ(r.cacheMisses(), 1u);
+    for (const auto *res : results)
+        EXPECT_EQ(res, results.front());
+}
+
+TEST(SweepRunner, RunAllPreservesSpecOrder)
+{
+    auto spec = smallSpec();
+    runner::SweepRunner r(tinyOptions(4));
+    auto results = r.runAll(spec);
+    ASSERT_EQ(results.size(), spec.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i]->scheme, spec.points()[i].first.name());
+        EXPECT_EQ(results[i]->benchmark, spec.points()[i].second.name);
+    }
+}
+
+} // namespace

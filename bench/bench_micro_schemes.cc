@@ -5,6 +5,11 @@
  * table sweep, and end-to-end simulator speed. These quantify the
  * *simulator's* cost per modeled instruction, complementing the
  * figure-reproduction harnesses.
+ *
+ * Machine-readable output: `cmake --build build --target
+ * bench_micro_json` (or `--benchmark_format=json` by hand) emits the
+ * items_per_second snapshot recorded in the repo-root BENCH_*.json
+ * perf trajectory (docs/ARCHITECTURE.md §4, "Simulator performance").
  */
 
 #include <benchmark/benchmark.h>

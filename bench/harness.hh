@@ -77,7 +77,7 @@ class Harness
 /** Convert a run's event counters into the scheme's energy breakdown. */
 inline power::EnergyBreakdown
 energyFor(const core::SchemeConfig &scheme,
-          const util::CounterSet &counters)
+          const power::EventCounters &counters)
 {
     return runner::energyFor(scheme, counters);
 }

@@ -39,7 +39,7 @@ struct Walkthrough
 {
     Scoreboard scoreboard{320};
     FuPool fus{FuPoolConfig{}};
-    util::CounterSet counters;
+    power::EventCounters counters;
     uint64_t cycle = 0;
     MixBuffIssueScheme scheme{SchemeConfig::mixBuff(2, 2, 1, 16, 8)};
     std::vector<std::unique_ptr<DynInst>> insts;

@@ -8,38 +8,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/mux_counting.hh"
 #include "power/events.hh"
 
 namespace diq::core
 {
-
-namespace
-{
-
-/** Count an issue toward the right Mux component. */
-void
-countMux(util::CounterSet &c, FuClass fc)
-{
-    using namespace diq::power;
-    switch (fc) {
-      case FuClass::IntAlu:
-        c.add(ev::MuxIntAlu, 1);
-        break;
-      case FuClass::IntMul:
-        c.add(ev::MuxIntMul, 1);
-        break;
-      case FuClass::FpAlu:
-        c.add(ev::MuxFpAlu, 1);
-        break;
-      case FuClass::FpMul:
-        c.add(ev::MuxFpMul, 1);
-        break;
-      default:
-        break;
-    }
-}
-
-} // namespace
 
 CamIssueScheme::CamIssueScheme(int int_entries, int fp_entries)
 {
@@ -74,7 +47,7 @@ void
 CamIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
 {
     clusterFor(*inst).entries.push_back(inst);
-    ctx.counters->add(power::ev::IqBuffWrites, 1);
+    ctx.counters->inc(power::ev::IqBuffWrites);
 }
 
 uint64_t
@@ -111,13 +84,13 @@ CamIssueScheme::issueCluster(Cluster &cluster, IssueContext &ctx,
             ctx.scoreboard->readyToIssue(*inst, ctx.cycle)) {
             // A ready entry raises its request line whether or not it
             // wins a grant this cycle.
-            ctx.counters->add(power::ev::IqSelectRequests, 1);
+            ctx.counters->inc(power::ev::IqSelectRequests);
             FuClass fc = fuClassFor(inst->op.op);
             if (ctx.fus->canIssue(fc, -1, ctx.cycle)) {
                 ctx.fus->markIssued(fc, -1, ctx.cycle,
                                     FuPool::occupancyFor(inst->op.op));
-                ctx.counters->add(power::ev::IqBuffReads, 1);
-                countMux(*ctx.counters, fc);
+                ctx.counters->inc(power::ev::IqBuffReads);
+                countMuxIssue(*ctx.counters, fc);
                 inst->issued = true;
                 inst->issueCycle = ctx.cycle;
                 out.push_back(inst);
@@ -144,11 +117,19 @@ CamIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
     (void)phys_reg;
     // The destination tag is broadcast into each non-empty cluster
     // queue; every armed (unready) operand cell compares against it.
+    // Accounting is batched: one derived per-cluster match count, two
+    // bank adds total, instead of per-entry counter traffic.
+    uint64_t broadcasts = 0;
+    uint64_t matches = 0;
     for (const Cluster *c : {&intQ_, &fpQ_}) {
         if (c->entries.empty())
             continue;
-        ctx.counters->add(power::ev::WakeupBroadcasts, 1);
-        ctx.counters->add(power::ev::WakeupCamMatches, armedCells(*c, ctx));
+        ++broadcasts;
+        matches += armedCells(*c, ctx);
+    }
+    if (broadcasts) {
+        ctx.counters->add(power::ev::WakeupBroadcasts, broadcasts);
+        ctx.counters->add(power::ev::WakeupCamMatches, matches);
     }
 }
 

@@ -81,16 +81,20 @@ FifoCluster::dispatch(DynInst *inst, QueueRenameTable &table,
 {
     SteerOutcome outcome{};
     int q = pickQueue(*inst, table, &outcome);
-    static const char *names[] = {"steer.join1", "steer.join2",
-                                  "steer.empty", "steer.full",
-                                  "steer.noempty"};
-    ctx.counters->add(names[static_cast<int>(outcome)], 1);
+    // SteerOutcome indexes the contiguous steer.* EventId block.
+    static_assert(static_cast<int>(power::EventId::SteerStallNoEmpty) -
+                      static_cast<int>(power::EventId::SteerJoinSrc1) ==
+                  static_cast<int>(SteerOutcome::StallNoEmpty) -
+                      static_cast<int>(SteerOutcome::JoinSrc1));
+    ctx.counters->inc(static_cast<power::EventId>(
+        static_cast<int>(power::EventId::SteerJoinSrc1) +
+        static_cast<int>(outcome)));
     if (q < 0)
         return; // caller must gate on canDispatch
     queues_[static_cast<size_t>(q)].pushBack(inst);
     inst->queueId = q;
     inst->dispatchCycle = ctx.cycle;
-    ctx.counters->add(power::ev::FifoWrites, 1);
+    ctx.counters->inc(power::ev::FifoWrites);
     if (inst->hasDest())
         table.update(inst->op.dest, fp_, q, -1, inst->seq);
 }
@@ -135,7 +139,7 @@ FifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
         ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
                             FuPool::occupancyFor(inst->op.op));
         queues_[static_cast<size_t>(heads[i].queue)].popFront();
-        ctx.counters->add(power::ev::FifoReads, 1);
+        ctx.counters->inc(power::ev::FifoReads);
         countMuxIssue(*ctx.counters, fc);
         inst->issued = true;
         inst->issueCycle = ctx.cycle;

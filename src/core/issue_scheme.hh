@@ -27,7 +27,7 @@
 #include "core/dyn_inst.hh"
 #include "core/fu_pool.hh"
 #include "core/scoreboard.hh"
-#include "util/stats.hh"
+#include "power/event_counters.hh"
 
 namespace diq::core
 {
@@ -38,7 +38,7 @@ struct IssueContext
     uint64_t cycle = 0;
     Scoreboard *scoreboard = nullptr;
     FuPool *fus = nullptr;
-    util::CounterSet *counters = nullptr;
+    power::EventCounters *counters = nullptr;
 };
 
 /** Per-cluster issue width (Table 1: 8 integer + 8 FP). */

@@ -62,7 +62,7 @@ LatFifoCluster::dispatch(DynInst *inst, uint64_t est_issue,
     lq.tailEstIssue = est_issue;
     inst->queueId = q;
     inst->dispatchCycle = ctx.cycle;
-    ctx.counters->add(power::ev::FifoWrites, 1);
+    ctx.counters->inc(power::ev::FifoWrites);
 }
 
 void
@@ -102,7 +102,7 @@ LatFifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
         ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
                             FuPool::occupancyFor(inst->op.op));
         queues_[static_cast<size_t>(heads[i].queue)].fifo.popFront();
-        ctx.counters->add(power::ev::FifoReads, 1);
+        ctx.counters->inc(power::ev::FifoReads);
         countMuxIssue(*ctx.counters, fc);
         inst->issued = true;
         inst->issueCycle = ctx.cycle;

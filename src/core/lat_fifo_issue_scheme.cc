@@ -35,7 +35,7 @@ LatFifoIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
     ctx.counters->add(power::ev::QrenameReads,
                       static_cast<uint64_t>(inst->numSrcs()));
     if (inst->hasDest())
-        ctx.counters->add(power::ev::QrenameWrites, 1);
+        ctx.counters->inc(power::ev::QrenameWrites);
 
     // Every instruction trains the estimator; only FP placement uses
     // the resulting estimate directly.
@@ -57,7 +57,7 @@ void
 LatFifoIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
 {
     (void)phys_reg;
-    ctx.counters->add(power::ev::RegsReadyWrites, 1);
+    ctx.counters->inc(power::ev::RegsReadyWrites);
 }
 
 void

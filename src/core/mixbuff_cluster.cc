@@ -126,7 +126,7 @@ MixBuffCluster::dispatch(DynInst *inst, QueueRenameTable &table,
     inst->queueId = placement->queue;
     inst->chainId = placement->chain;
     inst->dispatchCycle = ctx.cycle;
-    ctx.counters->add(power::ev::BuffWrites, 1);
+    ctx.counters->inc(power::ev::BuffWrites);
     if (inst->hasDest()) {
         table.update(inst->op.dest, /*fp_cluster=*/true, placement->queue,
                      placement->chain, inst->seq);
@@ -156,7 +156,7 @@ MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
                                     inst);
                 assert(it != q.entries.end());
                 q.entries.erase(it);
-                ctx.counters->add(ev::BuffReads, 1);
+                ctx.counters->inc(ev::BuffReads);
                 countMuxIssue(*ctx.counters, fc);
                 inst->issued = true;
                 inst->issueCycle = ctx.cycle;
@@ -190,7 +190,7 @@ MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
             }
         }
         if (any_busy || !q.entries.empty())
-            ctx.counters->add(ev::ChainSweeps, 1);
+            ctx.counters->inc(ev::ChainSweeps);
 
         // --- Phase C: select next cycle's candidate: the minimum of
         // (2-bit chain code ++ age) over the occupants (Figure 5).
@@ -213,10 +213,10 @@ MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
         }
         // One selection-tree activation per queue with any candidate.
         if (candidates > 0)
-            ctx.counters->add(ev::SelectRequests, 1);
+            ctx.counters->inc(ev::SelectRequests);
         if (best) {
             q.selected = best;
-            ctx.counters->add(ev::RegLatches, 1);
+            ctx.counters->inc(ev::RegLatches);
         }
     }
 }

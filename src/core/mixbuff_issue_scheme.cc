@@ -36,7 +36,7 @@ MixBuffIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
     ctx.counters->add(power::ev::QrenameReads,
                       static_cast<uint64_t>(inst->numSrcs()));
     if (inst->hasDest())
-        ctx.counters->add(power::ev::QrenameWrites, 1);
+        ctx.counters->inc(power::ev::QrenameWrites);
     if (inst->isFpPipe())
         fp_.dispatch(inst, table_, ctx);
     else
@@ -54,7 +54,7 @@ void
 MixBuffIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
 {
     (void)phys_reg;
-    ctx.counters->add(power::ev::RegsReadyWrites, 1);
+    ctx.counters->inc(power::ev::RegsReadyWrites);
 }
 
 void

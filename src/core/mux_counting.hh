@@ -11,29 +11,28 @@
 #define DIQ_CORE_MUX_COUNTING_HH
 
 #include "core/fu_pool.hh"
-#include "power/events.hh"
-#include "util/stats.hh"
+#include "power/event_counters.hh"
 
 namespace diq::core
 {
 
 /** Count one instruction driven to a unit of class `fc`. */
 inline void
-countMuxIssue(util::CounterSet &c, FuClass fc)
+countMuxIssue(power::EventCounters &c, FuClass fc)
 {
     namespace ev = diq::power::ev;
     switch (fc) {
       case FuClass::IntAlu:
-        c.add(ev::MuxIntAlu, 1);
+        c.inc(ev::MuxIntAlu);
         break;
       case FuClass::IntMul:
-        c.add(ev::MuxIntMul, 1);
+        c.inc(ev::MuxIntMul);
         break;
       case FuClass::FpAlu:
-        c.add(ev::MuxFpAlu, 1);
+        c.inc(ev::MuxFpAlu);
         break;
       case FuClass::FpMul:
-        c.add(ev::MuxFpMul, 1);
+        c.inc(ev::MuxFpMul);
         break;
       default:
         break;

@@ -1,11 +1,11 @@
 /**
  * @file
  * Implementation of core/scoreboard.hh (docs/ARCHITECTURE.md §1).
+ * The per-register accessors are header-inline (hot path); only
+ * construction and whole-table reset live here.
  */
 
 #include "core/scoreboard.hh"
-
-#include <cassert>
 
 namespace diq::core
 {
@@ -13,40 +13,6 @@ namespace diq::core
 Scoreboard::Scoreboard(int num_phys_regs)
     : ready_(static_cast<size_t>(num_phys_regs), 0)
 {
-}
-
-void
-Scoreboard::setReadyAt(int phys_reg, uint64_t cycle)
-{
-    assert(phys_reg >= 0 && phys_reg < numRegs());
-    ready_[static_cast<size_t>(phys_reg)] = cycle;
-}
-
-void
-Scoreboard::markPending(int phys_reg)
-{
-    assert(phys_reg >= 0 && phys_reg < numRegs());
-    ready_[static_cast<size_t>(phys_reg)] = UnknownCycle;
-}
-
-bool
-Scoreboard::isReady(int phys_reg, uint64_t cycle) const
-{
-    assert(phys_reg >= 0 && phys_reg < numRegs());
-    return ready_[static_cast<size_t>(phys_reg)] <= cycle;
-}
-
-uint64_t
-Scoreboard::readyCycle(int phys_reg) const
-{
-    assert(phys_reg >= 0 && phys_reg < numRegs());
-    return ready_[static_cast<size_t>(phys_reg)];
-}
-
-bool
-Scoreboard::isScheduled(int phys_reg) const
-{
-    return readyCycle(phys_reg) != UnknownCycle;
 }
 
 void

@@ -15,6 +15,7 @@
 #ifndef DIQ_CORE_SCOREBOARD_HH
 #define DIQ_CORE_SCOREBOARD_HH
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -23,26 +24,54 @@
 namespace diq::core
 {
 
-/** Ready-cycle tracking for the physical register file. */
+/**
+ * Ready-cycle tracking for the physical register file. The accessors
+ * are header-inline: every issue probe and every CAM armed-cell scan
+ * lands here, making these the most-executed functions of the whole
+ * simulator.
+ */
 class Scoreboard
 {
   public:
     explicit Scoreboard(int num_phys_regs);
 
     /** Register becomes (or is) available at `cycle`. */
-    void setReadyAt(int phys_reg, uint64_t cycle);
+    void
+    setReadyAt(int phys_reg, uint64_t cycle)
+    {
+        assert(phys_reg >= 0 && phys_reg < numRegs());
+        ready_[static_cast<size_t>(phys_reg)] = cycle;
+    }
 
     /** Mark a freshly allocated register as pending (unknown cycle). */
-    void markPending(int phys_reg);
+    void
+    markPending(int phys_reg)
+    {
+        assert(phys_reg >= 0 && phys_reg < numRegs());
+        ready_[static_cast<size_t>(phys_reg)] = UnknownCycle;
+    }
 
     /** True if the register value is available at `cycle`. */
-    bool isReady(int phys_reg, uint64_t cycle) const;
+    bool
+    isReady(int phys_reg, uint64_t cycle) const
+    {
+        assert(phys_reg >= 0 && phys_reg < numRegs());
+        return ready_[static_cast<size_t>(phys_reg)] <= cycle;
+    }
 
     /** Cycle the register becomes available (UnknownCycle if pending). */
-    uint64_t readyCycle(int phys_reg) const;
+    uint64_t
+    readyCycle(int phys_reg) const
+    {
+        assert(phys_reg >= 0 && phys_reg < numRegs());
+        return ready_[static_cast<size_t>(phys_reg)];
+    }
 
     /** True when the availability cycle is already scheduled/known. */
-    bool isScheduled(int phys_reg) const;
+    bool isScheduled(int phys_reg) const
+    {
+        return readyCycle(phys_reg) != UnknownCycle;
+    }
 
     /** All registers available at cycle 0 (fresh machine state). */
     void reset();

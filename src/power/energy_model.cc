@@ -58,7 +58,7 @@ IssueEnergyModel::IssueEnergyModel(IssueGeometry geometry)
 }
 
 void
-IssueEnergyModel::addMux(EnergyBreakdown &b, const util::CounterSet &c,
+IssueEnergyModel::addMux(EnergyBreakdown &b, const EventCounters &c,
                          bool distributed) const
 {
     const auto &g = geometry_;
@@ -81,7 +81,7 @@ IssueEnergyModel::addMux(EnergyBreakdown &b, const util::CounterSet &c,
 }
 
 EnergyBreakdown
-IssueEnergyModel::baseline(const util::CounterSet &c) const
+IssueEnergyModel::baseline(const EventCounters &c) const
 {
     const auto &g = geometry_;
     EnergyBreakdown b;
@@ -118,7 +118,7 @@ IssueEnergyModel::baseline(const util::CounterSet &c) const
 }
 
 EnergyBreakdown
-IssueEnergyModel::issueFifo(const util::CounterSet &c) const
+IssueEnergyModel::issueFifo(const EventCounters &c) const
 {
     const auto &g = geometry_;
     EnergyBreakdown b;
@@ -154,7 +154,7 @@ IssueEnergyModel::issueFifo(const util::CounterSet &c) const
 }
 
 EnergyBreakdown
-IssueEnergyModel::mixBuff(const util::CounterSet &c) const
+IssueEnergyModel::mixBuff(const EventCounters &c) const
 {
     const auto &g = geometry_;
     EnergyBreakdown b;

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "power/cacti_model.hh"
-#include "util/stats.hh"
+#include "power/event_counters.hh"
 
 namespace diq::power
 {
@@ -75,21 +75,21 @@ class IssueEnergyModel
     explicit IssueEnergyModel(IssueGeometry geometry = IssueGeometry{});
 
     /** Baseline IQ_64_64: wakeup / buff / select / Mux*. */
-    EnergyBreakdown baseline(const util::CounterSet &c) const;
+    EnergyBreakdown baseline(const EventCounters &c) const;
 
     /** IF_distr: Qrename / fifo / regs_ready / Mux*. */
-    EnergyBreakdown issueFifo(const util::CounterSet &c) const;
+    EnergyBreakdown issueFifo(const EventCounters &c) const;
 
     /**
      * MB_distr: Qrename / fifo / buff / regs_ready / select / chains /
      * reg / Mux*.
      */
-    EnergyBreakdown mixBuff(const util::CounterSet &c) const;
+    EnergyBreakdown mixBuff(const EventCounters &c) const;
 
     const IssueGeometry &geometry() const { return geometry_; }
 
   private:
-    void addMux(EnergyBreakdown &b, const util::CounterSet &c,
+    void addMux(EnergyBreakdown &b, const EventCounters &c,
                 bool distributed) const;
 
     IssueGeometry geometry_;

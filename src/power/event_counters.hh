@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-size, enum-indexed counter bank for the simulator hot path.
+ *
+ * Replaces the string-keyed util::CounterSet on the per-instruction
+ * accounting paths: an increment is one unchecked array add instead of
+ * a std::map tree walk over heap-allocated string keys. The names come
+ * back only at the reporting boundary via power::eventName() (same
+ * trade the paper makes: indexed tables instead of associative search).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §4.
+ */
+
+#ifndef DIQ_POWER_EVENT_COUNTERS_HH
+#define DIQ_POWER_EVENT_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "power/events.hh"
+
+namespace diq::power
+{
+
+/** Dense per-event counters; value-initialized to all zeros. */
+class EventCounters
+{
+  public:
+    void add(EventId id, uint64_t delta) { v_[index(id)] += delta; }
+    void inc(EventId id) { ++v_[index(id)]; }
+
+    uint64_t get(EventId id) const { return v_[index(id)]; }
+
+    void clear() { v_.fill(0); }
+
+    bool operator==(const EventCounters &) const = default;
+
+    /**
+     * Reporting view: canonical name -> value for every event with a
+     * non-zero count, sorted by name (the dump format tests snapshot).
+     */
+    std::map<std::string, uint64_t> named() const;
+
+    /** "name = value" lines of named(), one per event. */
+    std::string toString() const;
+
+  private:
+    static constexpr size_t
+    index(EventId id)
+    {
+        return static_cast<size_t>(id);
+    }
+
+    std::array<uint64_t, NumEvents> v_{};
+};
+
+} // namespace diq::power
+
+#endif // DIQ_POWER_EVENT_COUNTERS_HH

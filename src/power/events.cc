@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Implementation of power/events.hh and power/event_counters.hh: the
+ * EventId <-> name table used at the reporting boundary
+ * (docs/ARCHITECTURE.md §4).
+ */
+
+#include "power/events.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "power/event_counters.hh"
+
+namespace diq::power
+{
+
+namespace
+{
+
+/** Canonical names, indexed by EventId. Keep in enum order. */
+constexpr const char *EventNames[NumEvents] = {
+    "iq.wakeup_broadcasts",
+    "iq.wakeup_cam_matches",
+    "iq.buff_writes",
+    "iq.buff_reads",
+    "iq.select_requests",
+    "qrename.reads",
+    "qrename.writes",
+    "fifo.writes",
+    "fifo.reads",
+    "regs_ready.reads",
+    "regs_ready.writes",
+    "buff.writes",
+    "buff.reads",
+    "select.requests",
+    "chains.sweeps",
+    "reg.latches",
+    "mux.int_alu",
+    "mux.int_mul",
+    "mux.fp_alu",
+    "mux.fp_mul",
+    "steer.join1",
+    "steer.join2",
+    "steer.empty",
+    "steer.full",
+    "steer.noempty",
+    "diag.mispred_count",
+    "diag.mispred_disp_wait",
+    "diag.mispred_fetch_wait",
+    "diag.issue_bucket_0",
+    "diag.issue_bucket_1",
+    "diag.issue_bucket_2",
+    "diag.issue_bucket_3",
+    "diag.issue_bucket_4",
+    "diag.issue_bucket_5",
+    "diag.issue_bucket_6",
+    "diag.issue_bucket_7",
+    "diag.issue_bucket_8",
+    "diag.issue_bucket_9",
+};
+
+} // namespace
+
+const char *
+eventName(EventId id)
+{
+    size_t i = static_cast<size_t>(id);
+    return i < NumEvents ? EventNames[i] : "<invalid-event>";
+}
+
+EventId
+eventFromName(const char *name)
+{
+    for (size_t i = 0; i < NumEvents; ++i)
+        if (std::strcmp(EventNames[i], name) == 0)
+            return static_cast<EventId>(i);
+    return EventId::NumEvents_;
+}
+
+std::map<std::string, uint64_t>
+EventCounters::named() const
+{
+    std::map<std::string, uint64_t> out;
+    for (size_t i = 0; i < NumEvents; ++i) {
+        if (v_[i] != 0)
+            out.emplace(EventNames[i], v_[i]);
+    }
+    return out;
+}
+
+std::string
+EventCounters::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : named())
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace diq::power

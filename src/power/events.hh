@@ -1,10 +1,15 @@
 /**
  * @file
- * Canonical names of the micro-architectural energy events.
+ * Dense identifiers for the micro-architectural events the simulator
+ * counts on its hot path.
  *
- * Issue schemes and the pipeline increment util::CounterSet entries
- * under these keys; the energy model converts counts to picojoules.
- * Names mirror the component legends of Figures 9-11 in the paper.
+ * Issue schemes, clusters and the pipeline account events by EventId
+ * into a power::EventCounters bank (an O(1) indexed array — the same
+ * CAM-to-table argument the paper makes for issue logic, applied to
+ * the simulator itself). String names exist only at the reporting
+ * boundary: eventName() recovers the canonical dotted name that the
+ * energy model documentation, test goldens and dumps use. Names of
+ * the energy events mirror the component legends of Figures 9-11.
  *
  * Paper ↔ code map: docs/ARCHITECTURE.md §4.
  */
@@ -12,41 +17,132 @@
 #ifndef DIQ_POWER_EVENTS_HH
 #define DIQ_POWER_EVENTS_HH
 
-namespace diq::power::ev
+#include <cstddef>
+#include <cstdint>
+
+namespace diq::power
 {
 
-// Conventional CAM/RAM issue queue (baseline IQ_64_64).
-inline constexpr const char *WakeupBroadcasts = "iq.wakeup_broadcasts";
-inline constexpr const char *WakeupCamMatches = "iq.wakeup_cam_matches";
-inline constexpr const char *IqBuffWrites = "iq.buff_writes";
-inline constexpr const char *IqBuffReads = "iq.buff_reads";
-inline constexpr const char *IqSelectRequests = "iq.select_requests";
+/**
+ * One entry per counted event. Values are dense array indices; the
+ * blocks marked contiguous below are relied upon for arithmetic
+ * mapping (steering outcomes, issue-width histogram buckets).
+ */
+enum class EventId : uint8_t
+{
+    // Conventional CAM/RAM issue queue (baseline IQ_64_64).
+    WakeupBroadcasts, ///< "iq.wakeup_broadcasts"
+    WakeupCamMatches, ///< "iq.wakeup_cam_matches"
+    IqBuffWrites,     ///< "iq.buff_writes"
+    IqBuffReads,      ///< "iq.buff_reads"
+    IqSelectRequests, ///< "iq.select_requests"
 
-// Queue rename table (IssueFIFO / LatFIFO / MixBUFF dispatch steering).
-inline constexpr const char *QrenameReads = "qrename.reads";
-inline constexpr const char *QrenameWrites = "qrename.writes";
+    // Queue rename table (IssueFIFO / LatFIFO / MixBUFF steering).
+    QrenameReads,  ///< "qrename.reads"
+    QrenameWrites, ///< "qrename.writes"
 
-// FIFO queues (IssueFIFO and the integer side of MixBUFF).
-inline constexpr const char *FifoWrites = "fifo.writes";
-inline constexpr const char *FifoReads = "fifo.reads";
+    // FIFO queues (IssueFIFO and the integer side of MixBUFF).
+    FifoWrites, ///< "fifo.writes"
+    FifoReads,  ///< "fifo.reads"
 
-// Ready-bit table (one bit per physical register).
-inline constexpr const char *RegsReadyReads = "regs_ready.reads";
-inline constexpr const char *RegsReadyWrites = "regs_ready.writes";
+    // Ready-bit table (one bit per physical register).
+    RegsReadyReads,  ///< "regs_ready.reads"
+    RegsReadyWrites, ///< "regs_ready.writes"
 
-// MixBUFF FP buffers.
-inline constexpr const char *BuffWrites = "buff.writes";
-inline constexpr const char *BuffReads = "buff.reads";
-inline constexpr const char *SelectRequests = "select.requests";
-inline constexpr const char *ChainSweeps = "chains.sweeps";
-inline constexpr const char *RegLatches = "reg.latches";
+    // MixBUFF FP buffers.
+    BuffWrites,     ///< "buff.writes"
+    BuffReads,      ///< "buff.reads"
+    SelectRequests, ///< "select.requests"
+    ChainSweeps,    ///< "chains.sweeps"
+    RegLatches,     ///< "reg.latches"
 
-// Issue-to-FU drive, by functional unit class.
-inline constexpr const char *MuxIntAlu = "mux.int_alu";
-inline constexpr const char *MuxIntMul = "mux.int_mul";
-inline constexpr const char *MuxFpAlu = "mux.fp_alu";
-inline constexpr const char *MuxFpMul = "mux.fp_mul";
+    // Issue-to-FU drive, by functional unit class (contiguous).
+    MuxIntAlu, ///< "mux.int_alu"
+    MuxIntMul, ///< "mux.int_mul"
+    MuxFpAlu,  ///< "mux.fp_alu"
+    MuxFpMul,  ///< "mux.fp_mul"
 
-} // namespace diq::power::ev
+    // FIFO steering diagnostics, contiguous and in
+    // FifoCluster::SteerOutcome order.
+    SteerJoinSrc1,     ///< "steer.join1"
+    SteerJoinSrc2,     ///< "steer.join2"
+    SteerEmptyFifo,    ///< "steer.empty"
+    SteerStallFull,    ///< "steer.full"
+    SteerStallNoEmpty, ///< "steer.noempty"
+
+    // Branch-mispredict diagnostics.
+    MispredCount,     ///< "diag.mispred_count"
+    MispredDispWait,  ///< "diag.mispred_disp_wait"
+    MispredFetchWait, ///< "diag.mispred_fetch_wait"
+
+    // Issue-width histogram: instructions issued in one cycle,
+    // clamped to 9+ (contiguous block of 10 buckets).
+    IssueWidth0, ///< "diag.issue_bucket_0"
+    IssueWidth1,
+    IssueWidth2,
+    IssueWidth3,
+    IssueWidth4,
+    IssueWidth5,
+    IssueWidth6,
+    IssueWidth7,
+    IssueWidth8,
+    IssueWidth9Plus, ///< "diag.issue_bucket_9" (9 or more)
+
+    NumEvents_, ///< sentinel: bank size, not an event
+};
+
+/** Number of distinct events (size of a counter bank). */
+inline constexpr size_t NumEvents = static_cast<size_t>(EventId::NumEvents_);
+
+/** Canonical dotted name (reporting boundary only). */
+const char *eventName(EventId id);
+
+/**
+ * Reverse lookup for deserialization/tests: NumEvents_ when `name`
+ * is not a known event name.
+ */
+EventId eventFromName(const char *name);
+
+/** Histogram bucket for `width` instructions issued in one cycle. */
+inline constexpr EventId
+issueWidthEvent(size_t width)
+{
+    size_t b = width < 9 ? width : 9;
+    return static_cast<EventId>(static_cast<size_t>(EventId::IssueWidth0) +
+                                b);
+}
+
+/**
+ * Backward-compatible spelling of the energy-event identifiers:
+ * producers and the energy model refer to `ev::FifoWrites` etc., which
+ * used to be string keys and are now dense ids.
+ */
+namespace ev
+{
+
+inline constexpr EventId WakeupBroadcasts = EventId::WakeupBroadcasts;
+inline constexpr EventId WakeupCamMatches = EventId::WakeupCamMatches;
+inline constexpr EventId IqBuffWrites = EventId::IqBuffWrites;
+inline constexpr EventId IqBuffReads = EventId::IqBuffReads;
+inline constexpr EventId IqSelectRequests = EventId::IqSelectRequests;
+inline constexpr EventId QrenameReads = EventId::QrenameReads;
+inline constexpr EventId QrenameWrites = EventId::QrenameWrites;
+inline constexpr EventId FifoWrites = EventId::FifoWrites;
+inline constexpr EventId FifoReads = EventId::FifoReads;
+inline constexpr EventId RegsReadyReads = EventId::RegsReadyReads;
+inline constexpr EventId RegsReadyWrites = EventId::RegsReadyWrites;
+inline constexpr EventId BuffWrites = EventId::BuffWrites;
+inline constexpr EventId BuffReads = EventId::BuffReads;
+inline constexpr EventId SelectRequests = EventId::SelectRequests;
+inline constexpr EventId ChainSweeps = EventId::ChainSweeps;
+inline constexpr EventId RegLatches = EventId::RegLatches;
+inline constexpr EventId MuxIntAlu = EventId::MuxIntAlu;
+inline constexpr EventId MuxIntMul = EventId::MuxIntMul;
+inline constexpr EventId MuxFpAlu = EventId::MuxFpAlu;
+inline constexpr EventId MuxFpMul = EventId::MuxFpMul;
+
+} // namespace ev
+
+} // namespace diq::power
 
 #endif // DIQ_POWER_EVENTS_HH

@@ -31,7 +31,7 @@ SimJob::key() const
 
 power::EnergyBreakdown
 energyFor(const core::SchemeConfig &scheme,
-          const util::CounterSet &counters)
+          const power::EventCounters &counters)
 {
     power::IssueGeometry g;
     g.iqEntries = static_cast<unsigned>(

@@ -62,7 +62,7 @@ struct SimResult
 
 /** Map a run's event counters onto the scheme's energy breakdown. */
 power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
-                                 const util::CounterSet &counters);
+                                 const power::EventCounters &counters);
 
 /**
  * Execute one job to completion on the calling thread: instantiate the

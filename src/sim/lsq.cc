@@ -1,6 +1,12 @@
 /**
  * @file
  * Implementation of sim/lsq.hh (docs/ARCHITECTURE.md §3).
+ *
+ * tick() is on the per-cycle hot path; its program-order walks are
+ * gated on two occupancy counters (startable loads, unknown store
+ * addresses) so the common no-eligible-work cycle costs O(1) instead
+ * of O(queue). Entry caches the op class and access granule to avoid
+ * re-deriving them from the instruction on every walk.
  */
 
 #include "sim/lsq.hh"
@@ -21,7 +27,12 @@ LoadStoreQueue::insert(core::DynInst *inst)
     assert(!queue_.full());
     Entry e;
     e.inst = inst;
+    e.granule = inst->op.memAddr >> 3;
+    e.isStore = inst->isStore();
+    e.isLoad = inst->isLoad();
     queue_.pushBack(e);
+    if (e.isStore)
+        ++unknownStoreAddrs_;
 }
 
 void
@@ -32,7 +43,13 @@ LoadStoreQueue::addressReady(core::DynInst *inst)
     for (size_t i = queue_.size(); i-- > 0;) {
         Entry &e = queue_.at(i);
         if (e.inst == inst) {
-            e.addrKnown = true;
+            if (!e.addrKnown) {
+                e.addrKnown = true;
+                if (e.isStore)
+                    --unknownStoreAddrs_;
+                else if (e.isLoad && !e.memStarted)
+                    ++startableLoads_;
+            }
             return;
         }
     }
@@ -46,62 +63,70 @@ LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
 {
     // Walk from the head; all older stores up to the scan point have
     // known addresses, which is exactly the disambiguation frontier.
-    for (size_t i = 0; i < queue_.size() && ports_free > 0; ++i) {
-        Entry &e = queue_.at(i);
-        if (e.inst->isStore()) {
-            if (!e.addrKnown)
-                break; // unknown store address: younger loads wait
-            continue;
-        }
-        if (!e.inst->isLoad() || e.memStarted || !e.addrKnown)
-            continue;
-
-        // Forward from the youngest older store to the same granule.
-        const Entry *fwd_store = nullptr;
-        for (size_t j = i; j-- > 0;) {
-            const Entry &s = queue_.at(j);
-            if (!s.inst->isStore())
-                continue;
-            if ((s.inst->op.memAddr >> 3) == (e.inst->op.memAddr >> 3)) {
-                fwd_store = &s;
-                break;
-            }
-        }
-
-        if (fwd_store) {
-            // Forwarding needs the store's data operand; until it is
-            // produced the load simply retries.
-            int data_reg = fwd_store->inst->psrc2;
-            if (data_reg != core::NoPhysReg &&
-                !sb.isReady(data_reg, cycle)) {
+    // With no startable load the walk has no observable effect: skip.
+    if (startableLoads_ != 0) {
+        for (size_t i = 0; i < queue_.size() && ports_free > 0; ++i) {
+            Entry &e = queue_.at(i);
+            if (e.isStore) {
+                if (!e.addrKnown)
+                    break; // unknown store address: younger loads wait
                 continue;
             }
-            e.memStarted = true;
-            e.inst->memStartCycle = cycle;
-            ++forwards_;
-            out.push_back({e.inst, cycle + forwardLatency_, true});
-        } else {
-            e.memStarted = true;
-            e.inst->memStartCycle = cycle;
-            --ports_free;
-            unsigned latency = mem.loadLatency(e.inst->op.memAddr);
-            out.push_back({e.inst, cycle + latency, false});
+            if (!e.isLoad || e.memStarted || !e.addrKnown)
+                continue;
+
+            // Forward from the youngest older store to the same granule.
+            const Entry *fwd_store = nullptr;
+            for (size_t j = i; j-- > 0;) {
+                const Entry &s = queue_.at(j);
+                if (!s.isStore)
+                    continue;
+                if (s.granule == e.granule) {
+                    fwd_store = &s;
+                    break;
+                }
+            }
+
+            if (fwd_store) {
+                // Forwarding needs the store's data operand; until it is
+                // produced the load simply retries.
+                int data_reg = fwd_store->inst->psrc2;
+                if (data_reg != core::NoPhysReg &&
+                    !sb.isReady(data_reg, cycle)) {
+                    continue;
+                }
+                e.memStarted = true;
+                --startableLoads_;
+                e.inst->memStartCycle = cycle;
+                ++forwards_;
+                out.push_back({e.inst, cycle + forwardLatency_, true});
+            } else {
+                e.memStarted = true;
+                --startableLoads_;
+                e.inst->memStartCycle = cycle;
+                --ports_free;
+                unsigned latency = mem.loadLatency(e.inst->op.memAddr);
+                out.push_back({e.inst, cycle + latency, false});
+            }
         }
     }
 
     // Count cycles where some known-address load is blocked only by
-    // disambiguation (for reporting).
-    bool frontier_hit = false;
-    for (size_t i = 0; i < queue_.size(); ++i) {
-        const Entry &e = queue_.at(i);
-        if (e.inst->isStore() && !e.addrKnown) {
-            frontier_hit = true;
-            continue;
-        }
-        if (frontier_hit && e.inst->isLoad() && e.addrKnown &&
-            !e.memStarted) {
-            ++disambStalls_;
-            break;
+    // disambiguation (for reporting). Needs an unknown-address store
+    // with a startable load somewhere behind it; when either count is
+    // zero the walk cannot find one.
+    if (unknownStoreAddrs_ != 0 && startableLoads_ != 0) {
+        bool frontier_hit = false;
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            const Entry &e = queue_.at(i);
+            if (e.isStore && !e.addrKnown) {
+                frontier_hit = true;
+                continue;
+            }
+            if (frontier_hit && e.isLoad && e.addrKnown && !e.memStarted) {
+                ++disambStalls_;
+                break;
+            }
         }
     }
 }
@@ -113,7 +138,13 @@ LoadStoreQueue::commit(core::DynInst *inst, mem::MemoryHierarchy &mem)
     Entry e = queue_.popFront();
     assert(e.inst == inst);
     (void)inst;
-    if (e.inst->isStore()) {
+    // Committed memory ops have started (loads) / resolved their
+    // address (stores); keep the summaries right even if not.
+    if (e.isStore && !e.addrKnown)
+        --unknownStoreAddrs_;
+    if (e.isLoad && e.addrKnown && !e.memStarted)
+        --startableLoads_;
+    if (e.isStore) {
         // Write-allocate, write-back; latency is absorbed by the
         // write buffer, but the access perturbs cache state and uses
         // a port.
@@ -129,6 +160,8 @@ LoadStoreQueue::clear()
     queue_.clear();
     disambStalls_ = 0;
     forwards_ = 0;
+    startableLoads_ = 0;
+    unknownStoreAddrs_ = 0;
 }
 
 } // namespace diq::sim

@@ -79,6 +79,9 @@ class LoadStoreQueue
     struct Entry
     {
         core::DynInst *inst = nullptr;
+        uint64_t granule = 0; ///< memAddr >> 3, cached at insert
+        bool isStore = false; ///< cached inst->isStore()
+        bool isLoad = false;  ///< cached inst->isLoad()
         bool addrKnown = false;
         bool memStarted = false;
     };
@@ -87,6 +90,15 @@ class LoadStoreQueue
     unsigned forwardLatency_;
     uint64_t disambStalls_ = 0;
     uint64_t forwards_ = 0;
+
+    /**
+     * Occupancy summaries that let tick() skip its program-order walks
+     * on the (common) cycles where they could not do anything:
+     * startableLoads_ counts loads with addrKnown && !memStarted, and
+     * unknownStoreAddrs_ counts stores whose address is still unknown.
+     */
+    uint64_t startableLoads_ = 0;
+    uint64_t unknownStoreAddrs_ = 0;
 };
 
 } // namespace diq::sim

@@ -35,6 +35,10 @@ Cpu::Cpu(const ProcessorConfig &config, trace::TraceSource &trace)
         freeList_.push_back(&inst);
     issuedBuf_.reserve(32);
     memReturns_.reserve(32);
+    // Slot vectors are cleared, not destroyed, each cycle; reserving
+    // once removes the per-cycle growth reallocations of a cold ring.
+    for (auto &slot : eventRing_)
+        slot.reserve(16);
 }
 
 Cpu::~Cpu() = default;
@@ -161,11 +165,11 @@ Cpu::writebackStage()
                 if (fetchResumeCycle_ < cycle_ + 1)
                     fetchResumeCycle_ = cycle_ + 1;
                 scheme_->onBranchMispredict(ctx);
-                stats_.counters.add("diag.mispred_disp_wait",
+                stats_.counters.add(power::EventId::MispredDispWait,
                                     cycle_ - inst->dispatchCycle);
-                stats_.counters.add("diag.mispred_fetch_wait",
+                stats_.counters.add(power::EventId::MispredFetchWait,
                                     cycle_ - inst->fetchCycle);
-                stats_.counters.add("diag.mispred_count", 1);
+                stats_.counters.inc(power::EventId::MispredCount);
             }
             break;
           case EventKind::AddrReady:
@@ -198,8 +202,7 @@ Cpu::issueStage()
     core::IssueContext ctx = makeContext();
     issuedBuf_.clear();
     scheme_->issue(ctx, issuedBuf_);
-    stats_.counters.add("diag.issue_bucket_" +
-                        std::to_string(std::min<size_t>(issuedBuf_.size(), 9)), 1);
+    stats_.counters.inc(power::issueWidthEvent(issuedBuf_.size()));
     for (core::DynInst *inst : issuedBuf_) {
         ++stats_.issuedOps;
         if (inst->op.isMem()) {

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "util/stats.hh"
+#include "power/event_counters.hh"
 
 namespace diq::sim
 {
@@ -45,8 +45,9 @@ struct SimStats
     /** True when the run aborted on the cycle cap (pipeline bug). */
     bool deadlocked = false;
 
-    /** Micro-architectural energy events (see power/events.hh). */
-    util::CounterSet counters;
+    /** Micro-architectural energy events, densely indexed by
+     *  power::EventId (see power/events.hh). */
+    power::EventCounters counters;
 
     double
     ipc() const

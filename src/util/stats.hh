@@ -110,8 +110,11 @@ class Histogram
 
 /**
  * Named counter set: a tiny string->uint64 map with formatted dumping.
- * The pipeline and the issue schemes expose their event counts through
- * one of these so the power model and tests can read them uniformly.
+ * General-purpose utility for cold paths and ad-hoc tooling. The
+ * simulator's per-instruction event accounting does NOT use this any
+ * more: hot-path counters are the dense, enum-indexed
+ * power::EventCounters bank (power/event_counters.hh), which recovers
+ * names only at the reporting boundary.
  */
 class CounterSet
 {

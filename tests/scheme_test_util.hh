@@ -21,7 +21,7 @@ struct MiniMachine
 {
     core::Scoreboard scoreboard{320};
     core::FuPool fus{core::FuPoolConfig{}};
-    util::CounterSet counters;
+    power::EventCounters counters;
     uint64_t cycle = 0;
     std::vector<std::unique_ptr<core::DynInst>> insts;
 

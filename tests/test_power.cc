@@ -110,11 +110,11 @@ TEST(Breakdown, EmptyIsSafe)
 
 // --- IssueEnergyModel ------------------------------------------------------
 
-util::CounterSet
+power::EventCounters
 syntheticCounters()
 {
     using namespace diq::power::ev;
-    util::CounterSet c;
+    power::EventCounters c;
     c.add(WakeupBroadcasts, 1000);
     c.add(WakeupCamMatches, 20000);
     c.add(IqBuffWrites, 1000);

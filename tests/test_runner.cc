@@ -254,7 +254,7 @@ TEST(SweepRunner, ParallelAndSerialSweepsAreByteIdentical)
         EXPECT_EQ(a.ipc, b.ipc);
         EXPECT_EQ(a.stats.cycles, b.stats.cycles);
         EXPECT_EQ(a.stats.committed, b.stats.committed);
-        EXPECT_EQ(a.stats.counters.all(), b.stats.counters.all());
+        EXPECT_EQ(a.stats.counters, b.stats.counters);
         EXPECT_EQ(a.energy.total(), b.energy.total());
     }
 }

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Implementation of bench/cli.hh: the `diq` CLI
+ * (docs/ARCHITECTURE.md §8).
+ */
+
+#include "cli.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "figures.hh"
+#include "report.hh"
+#include "runner/sweep_runner.hh"
+#include "spec/presets.hh"
+#include "trace/spec2000.hh"
+#include "util/flags.hh"
+#include "util/table_printer.hh"
+
+namespace diq::bench
+{
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: diq <subcommand> [args]\n"
+          "\n"
+          "  run [--spec TEXT] [tokens...]   simulate one experiment\n"
+          "      A spec is presets and key=value overrides, e.g.\n"
+          "        diq run mb_distr chains_per_queue=4 bench=swim\n"
+          "        diq run --spec mb_distr --bench swim\n"
+          "      [--bench NAME] [--insts N] [--warmup N]\n"
+          "  sweep [--grid TEXT] [tokens...] run a grid, emit CSV\n"
+          "      Comma lists sweep, cross product in token order:\n"
+          "        diq sweep scheme=mb_distr,if_distr bench=swim,gcc\n"
+          "      [--jobs N] [--insts N] [--warmup N] [--out FILE]\n"
+          "  report [figure-ids...]          reproduce every paper\n"
+          "      figure (alias binary: diq_report)\n"
+          "      [--outdir DIR] [--jobs N] [--insts N] [--warmup N]\n"
+          "  list [schemes|benchmarks|keys|figures]\n"
+          "      show the named vocabulary with doc strings\n"
+          "  help                            this text\n"
+          "\n"
+          "Env fallbacks: DIQ_INSTS, DIQ_WARMUP, DIQ_JOBS, DIQ_OUTDIR\n";
+}
+
+/** Spaces to align a name column at `width`. */
+std::string
+pad(const std::string &s, size_t width)
+{
+    return s.size() < width ? std::string(width - s.size(), ' ')
+                            : std::string(" ");
+}
+
+/** DIQ_WARMUP/DIQ_INSTS through the validated spec setters. */
+void
+applyEnvBudgets(spec::ExperimentSpec &exp)
+{
+    if (const char *env = std::getenv("DIQ_WARMUP"))
+        exp.set("warmup", env);
+    if (const char *env = std::getenv("DIQ_INSTS"))
+        exp.set("insts", env);
+}
+
+/** --warmup/--insts through the validated spec setters. */
+void
+applyFlagBudgets(const util::Flags &flags, spec::ExperimentSpec &exp)
+{
+    if (flags.has("warmup"))
+        exp.set("warmup", flags.getString("warmup", ""));
+    if (flags.has("insts"))
+        exp.set("insts", flags.getString("insts", ""));
+}
+
+/** --spec/--grid value plus positional tokens, space-joined. */
+std::string
+gatherSpecText(const util::Flags &flags, const std::string &flag_name)
+{
+    std::string text = flags.getString(flag_name, "");
+    for (const auto &tok : flags.positional()) {
+        if (!text.empty())
+            text += ' ';
+        text += tok;
+    }
+    return text;
+}
+
+int
+runCmd(const util::Flags &flags)
+{
+    std::string text = gatherSpecText(flags, "spec");
+    if (text.empty() && !flags.has("bench")) {
+        std::cerr << "error: no spec given (try `diq run mb_distr "
+                     "bench=swim` or `diq list schemes`)\n";
+        return 1;
+    }
+
+    // Budget precedence: explicit flag > spec token > environment >
+    // default. The env fallbacks seed the spec's defaults *before*
+    // parsing so a `measure_insts=` token in the text beats them, and
+    // every source goes through the validated setters — --insts -3
+    // gets the same out-of-range error a measure_insts=-3 token does.
+    spec::ExperimentSpec exp;
+    applyEnvBudgets(exp);
+    exp.applyText(text);
+    if (flags.has("bench"))
+        exp.set("bench", flags.getString("bench", exp.benchmark));
+    applyFlagBudgets(flags, exp);
+
+    runner::SimResult result = runner::executeJob(runner::makeJob(exp));
+    std::cout << renderRunOutput(exp, result);
+    return 0;
+}
+
+int
+sweepCmd(const util::Flags &flags)
+{
+    std::string text = gatherSpecText(flags, "grid");
+    if (text.empty()) {
+        std::cerr << "error: no grid given (try `diq sweep "
+                     "scheme=iq6464,mb_distr bench=swim,gcc`)\n";
+        return 1;
+    }
+
+    runner::SweepSpec grid = runner::SweepSpec::fromText(text);
+    if (grid.empty()) {
+        std::cerr << "error: empty grid\n";
+        return 1;
+    }
+
+    // Budgets through the validated setters, like `diq run` (the
+    // grid itself rejects budget axes), so they have exactly one
+    // source; only the worker count comes from the flags directly.
+    runner::RunnerOptions opts;
+    int64_t jobs = flags.getInt("jobs", 0, "DIQ_JOBS");
+    opts.jobs = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
+    spec::ExperimentSpec budgets;
+    applyEnvBudgets(budgets);
+    applyFlagBudgets(flags, budgets);
+    opts.warmupInsts = budgets.warmupInsts;
+    opts.measureInsts = budgets.measureInsts;
+    runner::SweepRunner runner(opts);
+    std::cerr << "diq sweep: " << grid.size() << " points over "
+              << runner.jobCount() << " worker(s), budget "
+              << opts.measureInsts << " insts (+" << opts.warmupInsts
+              << " warm-up)\n";
+
+    std::string csv = renderSweepCsv(grid, opts, runner.runAll(grid));
+    std::cout << csv;
+    if (flags.has("out")) {
+        std::string path = flags.getString("out", "");
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        os << csv;
+        std::cerr << "wrote " << path << "\n";
+    }
+    return 0;
+}
+
+int
+listCmd(const util::Flags &flags)
+{
+    std::string topic =
+        flags.positional().empty() ? "all" : flags.positional().front();
+    bool known = false;
+
+    if (topic == "all" || topic == "schemes") {
+        known = true;
+        std::cout << "schemes (presets; `diq run <preset> "
+                     "key=value...` overrides per key):\n";
+        for (const auto &p : spec::presets())
+            std::cout << "  " << p.name << pad(p.name, 22) << p.doc
+                      << "\n";
+        std::cout << "\n";
+    }
+    if (topic == "all" || topic == "benchmarks") {
+        known = true;
+        std::cout << "benchmarks (SPECint-like):";
+        for (const auto &p : trace::specIntProfiles())
+            std::cout << " " << p.name;
+        std::cout << "\nbenchmarks (SPECfp-like): ";
+        for (const auto &p : trace::specFpProfiles())
+            std::cout << " " << p.name;
+        std::cout << "\n(suite aliases in grids: int, fp, all)\n\n";
+    }
+    if (topic == "all" || topic == "keys") {
+        known = true;
+        std::cout << "spec keys (defaults reproduce Table 1):\n";
+        spec::ExperimentSpec defaults;
+        util::TablePrinter t({"key", "default", "doc"});
+        for (const auto &k : spec::keyRegistry()) {
+            std::string name = k.name;
+            for (const auto &a : k.aliases)
+                name += " | " + a;
+            t.addRow({name, k.get(defaults), k.doc});
+        }
+        std::cout << t.render() << "\n";
+    }
+    if (topic == "all" || topic == "figures") {
+        known = true;
+        std::cout << "figures (`diq report [ids...]`):\n";
+        for (const auto &f : allFigures())
+            std::cout << "  " << f.id << pad(f.id, 18) << f.title
+                      << "\n";
+    }
+
+    if (!known) {
+        std::cerr << "error: unknown list topic '" << topic
+                  << "' (known: schemes benchmarks keys figures)\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::string
+renderRunOutput(const spec::ExperimentSpec &exp,
+                const runner::SimResult &result)
+{
+    std::ostringstream os;
+    os << "# experiment (canonical spec; `diq run --spec \"...\"` "
+          "accepts these lines)\n"
+       << exp.toText() << "\n";
+
+    util::TablePrinter t({"scheme", "benchmark", "IPC", "cycles",
+                          "committed", "mispred rate",
+                          "IQ energy (uJ)", "avg IQ occupancy"});
+    t.addRow({result.scheme, result.benchmark,
+              util::TablePrinter::fmt(result.ipc, 3),
+              std::to_string(result.stats.cycles),
+              std::to_string(result.stats.committed),
+              util::TablePrinter::pct(result.stats.mispredictRate(), 2),
+              util::TablePrinter::fmt(result.energy.total() / 1e6, 3),
+              util::TablePrinter::fmt(
+                  result.stats.avgSchemeOccupancy(), 1)});
+    os << t.render();
+    return os.str();
+}
+
+std::string
+renderSweepCsv(const runner::SweepSpec &grid,
+               const runner::RunnerOptions &opts,
+               const std::vector<const runner::SimResult *> &results)
+{
+    util::TablePrinter t({"scheme", "benchmark", "ipc", "cycles",
+                          "committed", "energy_pj", "spec"});
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto *r = results[i];
+        // The effective experiment: the grid point under the runner's
+        // budgets — exactly what executed, so the spec column alone
+        // reproduces the row.
+        spec::ExperimentSpec exp = grid.points()[i].first;
+        exp.benchmark = grid.points()[i].second.name;
+        exp.warmupInsts = opts.warmupInsts;
+        exp.measureInsts = opts.measureInsts;
+        t.addRow({r->scheme, r->benchmark,
+                  util::TablePrinter::fmt(r->ipc, 6),
+                  std::to_string(r->stats.cycles),
+                  std::to_string(r->stats.committed),
+                  util::TablePrinter::fmt(r->energy.total(), 3),
+                  exp.canonicalLine()});
+    }
+    return t.renderCsv();
+}
+
+int
+cliMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(std::cerr);
+        return 1;
+    }
+    std::string cmd = argv[1];
+    // Shift so the subcommand's own flags/positionals parse cleanly.
+    util::Flags flags(argc - 1, argv + 1);
+
+    try {
+        if (cmd == "run")
+            return runCmd(flags);
+        if (cmd == "sweep")
+            return sweepCmd(flags);
+        if (cmd == "report")
+            return reportMain(flags);
+        if (cmd == "list")
+            return listCmd(flags);
+        if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+            usage(std::cout);
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n\n";
+    usage(std::cerr);
+    return 1;
+}
+
+} // namespace diq::bench

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The `diq` command-line interface (docs/ARCHITECTURE.md §8).
+ *
+ * One binary subsumes the one-off entry points, founded on the
+ * declarative spec layer (spec/experiment_spec.hh):
+ *
+ *   diq run    — execute one experiment from a spec string
+ *   diq sweep  — execute a textual grid (SweepSpec::fromText) and
+ *                emit CSV
+ *   diq report — the full figure report (bench/report.hh; the
+ *                `diq_report` binary is a thin alias of this)
+ *   diq list   — schemes, benchmarks, spec keys and figures, with
+ *                doc strings
+ *
+ * The render helpers are exposed so the CLI golden tests can compute
+ * the expected output in-process and compare byte-for-byte.
+ */
+
+#ifndef DIQ_BENCH_CLI_HH
+#define DIQ_BENCH_CLI_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/sim_job.hh"
+#include "runner/sweep_runner.hh"
+#include "spec/experiment_spec.hh"
+
+namespace diq::bench
+{
+
+/** The exact stdout of `diq run` for a spec and its result. */
+std::string renderRunOutput(const spec::ExperimentSpec &exp,
+                            const runner::SimResult &result);
+
+/**
+ * The exact CSV of `diq sweep`: one row per grid point in sweep
+ * order, with a final `spec` column carrying the point's effective
+ * canonical spec (budgets included) — so any row reproduces alone
+ * via `diq run --spec "<spec column>"`.
+ */
+std::string
+renderSweepCsv(const runner::SweepSpec &grid,
+               const runner::RunnerOptions &opts,
+               const std::vector<const runner::SimResult *> &results);
+
+/** Entry point behind main(): argv[1] selects the subcommand. */
+int cliMain(int argc, char **argv);
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_CLI_HH

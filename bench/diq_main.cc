@@ -1,0 +1,13 @@
+/**
+ * @file
+ * The `diq` binary: single CLI over the declarative experiment API
+ * (bench/cli.hh, docs/ARCHITECTURE.md §8). Run `diq help` for usage.
+ */
+
+#include "cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return diq::bench::cliMain(argc, argv);
+}

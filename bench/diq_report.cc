@@ -1,14 +1,8 @@
 /**
  * @file
- * diq_report — reproduce every figure/table of the paper in one
- * invocation (docs/ARCHITECTURE.md §7).
- *
- * Runs the whole figure registry against one shared parallel harness
- * (so simulations common to several figures execute once), and emits
- * per-figure CSV and JSON files plus a rendered RESULTS.md under
- * --outdir. Output files carry no timestamps and are assembled in
- * registry order from memoized results, so they are byte-identical
- * for every --jobs value.
+ * diq_report — thin alias for `diq report` (bench/report.hh), kept so
+ * existing scripts and docs keep working. Both entry points call
+ * reportMain(), so their output is byte-identical by construction.
  *
  * Usage: diq_report [figure-ids...] [--outdir DIR] [--jobs N]
  *                   [--insts N] [--warmup N]
@@ -16,235 +10,11 @@
  *    default outdir: "report"; no ids = all figures)
  */
 
-#include <cctype>
-#include <chrono>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
-
-#include "figures.hh"
-
-namespace
-{
-
-using namespace diq;
-using namespace diq::bench;
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-void
-writeCsv(const std::filesystem::path &path, const Figure &figure,
-         const std::vector<NamedTable> &tables)
-{
-    std::ofstream os(path);
-    for (const auto &t : tables) {
-        os << "# " << figure.id << "." << t.id;
-        if (!t.caption.empty())
-            os << ": " << t.caption;
-        os << "\n" << t.table.renderCsv() << "\n";
-    }
-}
-
-void
-writeJson(const std::filesystem::path &path, const Figure &figure,
-          const std::vector<NamedTable> &tables)
-{
-    std::ofstream os(path);
-    os << "{\n  \"figure\": \"" << jsonEscape(figure.id) << "\",\n"
-       << "  \"title\": \"" << jsonEscape(figure.title) << "\",\n"
-       << "  \"paper_ref\": \"" << jsonEscape(figure.paperRef)
-       << "\",\n  \"tables\": [";
-    for (size_t ti = 0; ti < tables.size(); ++ti) {
-        const auto &t = tables[ti];
-        os << (ti ? ",\n    {" : "\n    {")
-           << "\n      \"id\": \"" << jsonEscape(t.id) << "\",\n"
-           << "      \"caption\": \"" << jsonEscape(t.caption)
-           << "\",\n      \"headers\": [";
-        const auto &headers = t.table.headers();
-        for (size_t c = 0; c < headers.size(); ++c)
-            os << (c ? ", " : "") << "\"" << jsonEscape(headers[c])
-               << "\"";
-        os << "],\n      \"rows\": [";
-        const auto &rows = t.table.rows();
-        for (size_t r = 0; r < rows.size(); ++r) {
-            os << (r ? ",\n        [" : "\n        [");
-            for (size_t c = 0; c < rows[r].size(); ++c)
-                os << (c ? ", " : "") << "\"" << jsonEscape(rows[r][c])
-                   << "\"";
-            os << "]";
-        }
-        os << "\n      ]\n    }";
-    }
-    os << "\n  ]\n}\n";
-}
-
-/** Trim trailing newlines for tidy fencing. */
-std::string
-trimmed(std::string s)
-{
-    while (!s.empty() && (s.back() == '\n' || s.back() == ' '))
-        s.pop_back();
-    return s;
-}
-
-void
-appendMarkdown(std::ostringstream &md, const Figure &figure,
-               const FigureOutput &out)
-{
-    md << "## " << figure.title << "\n\n"
-       << "*Paper target: " << figure.paperRef << " — standalone"
-       << " binary: `" << figure.binaryName << "`*\n\n";
-    for (const auto &t : out.tables()) {
-        if (!t.caption.empty())
-            md << "**" << t.caption << "**\n\n";
-        md << t.table.renderMarkdown() << "\n";
-    }
-    std::string notes = trimmed(out.notes());
-    if (!notes.empty())
-        md << "```\n" << notes << "\n```\n\n";
-    md << figure.commentary << "\n\n";
-}
-
-} // namespace
+#include "report.hh"
+#include "util/flags.hh"
 
 int
 main(int argc, char **argv)
 {
-    util::Flags flags(argc, argv);
-    HarnessOptions opts = HarnessOptions::fromFlags(flags);
-    std::filesystem::path outdir =
-        flags.getString("outdir", "report", "DIQ_OUTDIR");
-
-    std::vector<const Figure *> selected;
-    if (flags.positional().empty()) {
-        for (const auto &f : allFigures())
-            selected.push_back(&f);
-    } else {
-        for (const auto &id : flags.positional()) {
-            const Figure *f = findFigure(id);
-            if (!f) {
-                std::cerr << "error: unknown figure id '" << id
-                          << "' (known:";
-                for (const auto &k : allFigures())
-                    std::cerr << " " << k.id;
-                std::cerr << ")\n";
-                return 1;
-            }
-            selected.push_back(f);
-        }
-    }
-
-    std::error_code ec;
-    std::filesystem::create_directories(outdir, ec);
-    if (ec) {
-        std::cerr << "error: cannot create outdir " << outdir << ": "
-                  << ec.message() << "\n";
-        return 1;
-    }
-
-    Harness harness(opts);
-    std::cout << "diq_report: " << selected.size() << " figures, "
-              << harness.runner().jobCount() << " worker(s), budget "
-              << opts.measureInsts << " insts (+" << opts.warmupInsts
-              << " warm-up) -> " << outdir.string() << "\n";
-
-    std::ostringstream md;
-    md << "# Reproduced results\n\n"
-       << "Generated by `diq_report` (budget: " << opts.measureInsts
-       << " measured instructions after " << opts.warmupInsts
-       << " warm-up per scheme x benchmark job; synthetic"
-       << " SPEC2000-like suite, see docs/ARCHITECTURE.md §5)."
-       << " Every job is independently seeded, executed across a"
-       << " worker pool (docs/ARCHITECTURE.md §7) and assembled in"
-       << " registry order, so this file is byte-identical for every"
-       << " `--jobs` value.\n\n"
-       << "Regenerate with:\n\n"
-       << "```sh\n"
-       << "./build/diq_report --outdir report"
-       << " && cp report/RESULTS.md docs/RESULTS.md\n"
-       << "```\n\n";
-
-    md << "| Figure | Paper target | Standalone binary |\n|---|---|---|\n";
-    for (const Figure *f : selected)
-        md << "| [" << f->id << "](#"
-           << [](std::string t) {
-                  std::string a;
-                  // GitHub's anchor algorithm keeps word chars
-                  // (underscore included), drops other punctuation
-                  // and maps spaces/hyphens to '-'.
-                  for (char c : t) {
-                      if (std::isalnum(static_cast<unsigned char>(c)) ||
-                          c == '_')
-                          a += static_cast<char>(
-                              std::tolower(static_cast<unsigned char>(c)));
-                      else if (c == ' ' || c == '-')
-                          a += '-';
-                  }
-                  return a;
-              }(f->title)
-           << ") | " << f->paperRef << " | `" << f->binaryName
-           << "` |\n";
-    md << "\n";
-
-    auto t0 = std::chrono::steady_clock::now();
-    for (const Figure *figure : selected) {
-        auto f0 = std::chrono::steady_clock::now();
-        std::ostringstream text;
-        FigureOutput out(text);
-        figure->render(harness, out);
-
-        writeCsv(outdir / (std::string(figure->id) + ".csv"), *figure,
-                 out.tables());
-        writeJson(outdir / (std::string(figure->id) + ".json"), *figure,
-                  out.tables());
-        appendMarkdown(md, *figure, out);
-
-        auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      std::chrono::steady_clock::now() - f0)
-                      .count();
-        std::cout << "  " << figure->id << ": " << out.tables().size()
-                  << " table(s), " << ms << " ms\n";
-    }
-
-    {
-        std::ofstream os(outdir / "RESULTS.md");
-        os << md.str();
-    }
-
-    auto &r = harness.runner();
-    auto total_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    std::cout << "done: " << r.cacheMisses() << " unique simulations, "
-              << r.cacheHits() << " cache hits, " << total_ms
-              << " ms total\n"
-              << "wrote " << (outdir / "RESULTS.md").string()
-              << " + per-figure CSV/JSON\n";
-    return 0;
+    return diq::bench::reportMain(diq::util::Flags(argc, argv));
 }

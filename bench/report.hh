@@ -1,0 +1,35 @@
+/**
+ * @file
+ * One-shot figure report (docs/ARCHITECTURE.md §7).
+ *
+ * reportMain() reproduces every figure/table of the paper in one
+ * invocation: it runs the whole figure registry against one shared
+ * parallel harness (so simulations common to several figures execute
+ * once) and emits per-figure CSV and JSON files plus a rendered
+ * RESULTS.md under --outdir. Output files carry no timestamps and are
+ * assembled in registry order from memoized results, so they are
+ * byte-identical for every --jobs value.
+ *
+ * Both entry points are thin wrappers over this function: the
+ * `diq report` subcommand and the legacy `diq_report` alias binary —
+ * which is why their output is identical by construction.
+ */
+
+#ifndef DIQ_BENCH_REPORT_HH
+#define DIQ_BENCH_REPORT_HH
+
+#include "util/flags.hh"
+
+namespace diq::bench
+{
+
+/**
+ * Flags: positional figure ids (none = all), --outdir DIR, --jobs N,
+ * --insts N, --warmup N (env fallbacks DIQ_OUTDIR, DIQ_JOBS,
+ * DIQ_INSTS, DIQ_WARMUP). Returns a process exit code.
+ */
+int reportMain(const util::Flags &flags);
+
+} // namespace diq::bench
+
+#endif // DIQ_BENCH_REPORT_HH

@@ -72,13 +72,14 @@ main(int argc, char **argv)
     runner::RunnerOptions serial_opts = opts;
     serial_opts.jobs = 1;
     runner::SweepRunner serial(serial_opts);
-    for (const auto &[scheme, profile] : spec.points()) {
-        const auto &a = parallel.run(scheme, profile);
-        const auto &b = serial.run(scheme, profile);
+    for (const auto &[exp, profile] : spec.points()) {
+        const auto &a = parallel.run(exp, profile);
+        const auto &b = serial.run(exp, profile);
         if (a.ipc != b.ipc || a.stats.cycles != b.stats.cycles ||
             a.energy.total() != b.energy.total()) {
-            std::cerr << "determinism violation at " << scheme.name()
-                      << "/" << profile.name << "\n";
+            std::cerr << "determinism violation at "
+                      << exp.processor.scheme.name() << "/"
+                      << profile.name << "\n";
             return 1;
         }
     }

@@ -3,17 +3,19 @@
  * Quickstart: simulate one benchmark on the paper's three issue-queue
  * organizations and print IPC plus the issue-logic energy breakdown.
  *
+ * Experiments are built through the declarative spec API
+ * (spec/experiment_spec.hh): a spec string names a preset and
+ * overrides knobs per key, exactly like `diq run`. Try editing the
+ * spec strings below — any `key=value` from `diq list keys` works.
+ *
  * Usage: quickstart [benchmark] [--insts N] [--warmup N]
  *   (default: swim; budgets also honor DIQ_INSTS / DIQ_WARMUP)
  */
 
 #include <iostream>
-#include <stdexcept>
 
-#include "power/energy_model.hh"
-#include "power/events.hh"
-#include "sim/pipeline.hh"
-#include "trace/spec2000.hh"
+#include "runner/sim_job.hh"
+#include "spec/experiment_spec.hh"
 #include "util/flags.hh"
 #include "util/table_printer.hh"
 
@@ -27,66 +29,47 @@ main(int argc, char **argv)
         flags.positional().empty() ? "swim" : flags.positional().front();
     int64_t warmup = flags.getInt("warmup", 50000, "DIQ_WARMUP");
     int64_t insts = flags.getInt("insts", 200000, "DIQ_INSTS");
-    if (warmup < 0 || insts <= 0) {
-        std::cerr << "error: --warmup must be >= 0 and --insts > 0\n";
-        return 1;
-    }
-
-    const trace::BenchmarkProfile *profile_ptr = nullptr;
-    try {
-        profile_ptr = &trace::specProfile(bench);
-    } catch (const std::out_of_range &e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 1;
-    }
-    const trace::BenchmarkProfile &profile = *profile_ptr;
-
-    std::cout << "Benchmark: " << bench << " ("
-              << (profile.isFp ? "SPECfp" : "SPECint")
-              << "-like synthetic)\n\n";
 
     util::TablePrinter table({"scheme", "IPC", "IQ energy (uJ)",
                               "mispred rate", "avg IQ occupancy"});
 
-    for (const auto &scheme : {core::SchemeConfig::iq6464(),
-                               core::SchemeConfig::ifDistr(),
-                               core::SchemeConfig::mbDistr()}) {
-        auto workload = trace::makeSpecWorkload(profile);
-        sim::ProcessorConfig cfg;
-        cfg.scheme = scheme;
-        sim::Cpu cpu(cfg, *workload);
-
-        cpu.run(static_cast<uint64_t>(warmup));  // warm caches, predictors
-        cpu.resetStats();
-        cpu.run(static_cast<uint64_t>(insts));   // measure
-
-        power::IssueGeometry geom;
-        power::IssueEnergyModel model(geom);
-        power::EnergyBreakdown energy;
-        switch (scheme.kind) {
-          case core::SchemeConfig::Kind::Cam:
-            energy = model.baseline(cpu.stats().counters);
-            break;
-          case core::SchemeConfig::Kind::MixBuff:
-            energy = model.mixBuff(cpu.stats().counters);
-            break;
-          default:
-            energy = model.issueFifo(cpu.stats().counters);
-            break;
+    bool printed_header = false;
+    for (const char *preset : {"iq6464", "if_distr", "mb_distr"}) {
+        // One experiment = one parsed spec string; the same text
+        // works verbatim as `diq run <text>`.
+        spec::ExperimentSpec exp;
+        try {
+            exp = spec::ExperimentSpec::parse(
+                std::string(preset) + " bench=" + bench +
+                " warmup_insts=" + std::to_string(warmup) +
+                " measure_insts=" + std::to_string(insts));
+        } catch (const spec::ParseError &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
         }
 
-        table.addRow({scheme.name(),
-                      util::TablePrinter::fmt(cpu.stats().ipc(), 3),
-                      util::TablePrinter::fmt(energy.total() / 1e6, 3),
+        if (!printed_header) {
+            std::cout << "Benchmark: " << bench << " ("
+                      << (runner::makeJob(exp).profile.isFp ? "SPECfp"
+                                                            : "SPECint")
+                      << "-like synthetic)\n\n";
+            printed_header = true;
+        }
+
+        runner::SimResult r = runner::executeJob(runner::makeJob(exp));
+        table.addRow({r.scheme, util::TablePrinter::fmt(r.ipc, 3),
+                      util::TablePrinter::fmt(r.energy.total() / 1e6, 3),
                       util::TablePrinter::pct(
-                          cpu.stats().mispredictRate(), 2),
+                          r.stats.mispredictRate(), 2),
                       util::TablePrinter::fmt(
-                          cpu.stats().avgSchemeOccupancy(), 1)});
+                          r.stats.avgSchemeOccupancy(), 1)});
     }
 
     std::cout << table.render() << "\n";
     std::cout << "Try: quickstart mcf   (pointer-chasing, memory-bound)\n"
               << "     quickstart gcc   (branchy integer code)\n"
-              << "     quickstart mgrid (wide FP dependence graphs)\n";
+              << "     quickstart mgrid (wide FP dependence graphs)\n"
+              << "Same experiments via the CLI: "
+                 "diq run if_distr bench=" << bench << "\n";
     return 0;
 }

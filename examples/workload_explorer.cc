@@ -13,6 +13,7 @@
 #include <map>
 
 #include "sim/pipeline.hh"
+#include "spec/experiment_spec.hh"
 #include "trace/spec2000.hh"
 #include "util/flags.hh"
 #include "util/table_printer.hh"
@@ -45,10 +46,13 @@ main(int argc, char **argv)
         double fp_frac = frac(trace::OpClass::FpAdd) +
             frac(trace::OpClass::FpMult) + frac(trace::OpClass::FpDiv);
 
-        // Dynamic behaviour on the baseline machine.
+        // Dynamic behaviour on the baseline machine, configured
+        // through the declarative spec API (the `iq6464` preset is
+        // the paper's baseline; any `diq list keys` override works).
+        auto exp = spec::ExperimentSpec::parse(
+            "iq6464 bench=" + profile.name);
         auto w2 = trace::makeSpecWorkload(profile);
-        sim::ProcessorConfig cfg;
-        sim::Cpu cpu(cfg, *w2);
+        sim::Cpu cpu(exp.processor, *w2);
         cpu.run(insts / 4);
         cpu.resetStats();
         cpu.run(insts);

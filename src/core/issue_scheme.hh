@@ -139,6 +139,9 @@ struct SchemeConfig
     static SchemeConfig mbDistr();
 
     std::string name() const;
+
+    /** Knob-wise equality (the spec layer round-trips on this). */
+    bool operator==(const SchemeConfig &) const = default;
 };
 
 /** Instantiate a scheme from its configuration. */

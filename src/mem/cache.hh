@@ -32,6 +32,8 @@ struct CacheConfig
     unsigned lineBytes = 32;
     unsigned hitLatency = 2;   ///< cycles
     unsigned ports = 4;        ///< R/W ports (enforced by the pipeline)
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Outcome of a cache access. */
@@ -99,6 +101,8 @@ struct MemoryConfig
     unsigned firstChunkLatency = 100; ///< cycles to the first chunk
     unsigned interChunkLatency = 2;   ///< cycles per additional chunk
     unsigned chunkBytes = 8;          ///< bus transfer granule
+
+    bool operator==(const MemoryConfig &) const = default;
 };
 
 /**
@@ -115,6 +119,8 @@ class MemoryHierarchy
         CacheConfig l1d{"L1D", 32 * 1024, 4, 32, 2, 4};
         CacheConfig l2{"L2", 512 * 1024, 4, 64, 10, 1};
         MemoryConfig memory{};
+
+        bool operator==(const Config &) const = default;
     };
 
     MemoryHierarchy() : MemoryHierarchy(Config{}) {}

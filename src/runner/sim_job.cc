@@ -7,27 +7,12 @@
 #include "runner/sim_job.hh"
 
 #include <algorithm>
-#include <sstream>
 
 #include "sim/pipeline.hh"
 #include "trace/spec2000.hh"
 
 namespace diq::runner
 {
-
-std::string
-SimJob::key() const
-{
-    std::ostringstream os;
-    os << scheme.name()
-       << "/chains=" << scheme.chainsPerQueue
-       << "/clear=" << (scheme.clearTableOnMispredict ? 1 : 0)
-       << "/cam=" << scheme.camIntEntries << "x" << scheme.camFpEntries
-       << "/distr=" << (scheme.distributedFus ? 1 : 0)
-       << "/w=" << warmupInsts << "/n=" << measureInsts
-       << "/" << profile.name;
-    return os.str();
-}
 
 power::EnergyBreakdown
 energyFor(const core::SchemeConfig &scheme,
@@ -57,24 +42,32 @@ energyFor(const core::SchemeConfig &scheme,
     return {};
 }
 
+SimJob
+makeJob(const spec::ExperimentSpec &exp)
+{
+    SimJob j;
+    j.exp = exp;
+    j.profile = trace::specProfile(exp.benchmark);
+    return j;
+}
+
 SimResult
 executeJob(const SimJob &job)
 {
     auto workload = trace::makeSpecWorkload(job.profile);
-    sim::ProcessorConfig cfg;
-    cfg.scheme = job.scheme;
-    sim::Cpu cpu(cfg, *workload);
+    sim::Cpu cpu(job.exp.processor, *workload);
 
-    cpu.run(job.warmupInsts);
+    cpu.run(job.exp.warmupInsts);
     cpu.resetStats();
-    cpu.run(job.measureInsts);
+    cpu.run(job.exp.measureInsts);
 
     SimResult r;
     r.benchmark = job.profile.name;
-    r.scheme = job.scheme.name();
+    r.scheme = job.exp.processor.scheme.name();
     r.stats = cpu.stats();
     r.ipc = cpu.stats().ipc();
-    r.energy = energyFor(job.scheme, cpu.stats().counters);
+    r.energy = energyFor(job.exp.processor.scheme,
+                         cpu.stats().counters);
     return r;
 }
 

@@ -3,45 +3,45 @@
  * Simulation job descriptor and result (docs/ARCHITECTURE.md §7).
  *
  * A SimJob is the unit of work the sweep runner schedules: one
- * (issue-scheme configuration, benchmark profile, instruction budget)
- * triple. Jobs are self-contained and side-effect free — the workload
- * seed derives from the benchmark name, every simulation component is
- * job-local, and no global state is touched — so any set of jobs may
- * execute in any order on any thread and still produce bit-identical
- * results.
+ * spec::ExperimentSpec (machine x benchmark x budgets) plus the
+ * resolved benchmark profile. Jobs are self-contained and side-effect
+ * free — the workload seed derives from the benchmark name, every
+ * simulation component is job-local, and no global state is touched —
+ * so any set of jobs may execute in any order on any thread and still
+ * produce bit-identical results.
  */
 
 #ifndef DIQ_RUNNER_SIM_JOB_HH
 #define DIQ_RUNNER_SIM_JOB_HH
 
-#include <cstdint>
 #include <string>
 
-#include "core/issue_scheme.hh"
 #include "power/energy_model.hh"
 #include "power/metrics.hh"
 #include "sim/sim_stats.hh"
+#include "spec/experiment_spec.hh"
 #include "trace/synthetic.hh"
 
 namespace diq::runner
 {
 
-/** One schedulable simulation: scheme x benchmark x budget. */
+/** One schedulable simulation. */
 struct SimJob
 {
-    core::SchemeConfig scheme;
+    /** The experiment; `exp.benchmark` names `profile`. */
+    spec::ExperimentSpec exp;
+
+    /** Resolved profile data (profiles are immutable named data). */
     trace::BenchmarkProfile profile;
-    uint64_t warmupInsts = 30000;
-    uint64_t measureInsts = 120000;
 
     /**
-     * Canonical memoization key. Covers every SchemeConfig knob that
-     * affects simulation (including those the display name omits:
-     * chain bound, table-clearing policy, CAM capacities, FU binding)
-     * plus the instruction budgets. Benchmark profiles are identified
-     * by name — the suite treats profiles as immutable named data.
+     * Canonical memoization key: the spec's own serialization
+     * (spec::ExperimentSpec::canonicalLine), so the key covers every
+     * ProcessorConfig/SchemeConfig knob plus benchmark and budgets by
+     * construction — there is no second, hand-maintained
+     * stringification to drift out of sync.
      */
-    std::string key() const;
+    std::string key() const { return exp.canonicalLine(); }
 };
 
 /** Outcome of one executed job. */
@@ -63,6 +63,12 @@ struct SimResult
 /** Map a run's event counters onto the scheme's energy breakdown. */
 power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
                                  const power::EventCounters &counters);
+
+/**
+ * Build a job from a spec, resolving the benchmark profile by name.
+ * @throws std::out_of_range for an unknown benchmark.
+ */
+SimJob makeJob(const spec::ExperimentSpec &exp);
 
 /**
  * Execute one job to completion on the calling thread: instantiate the

@@ -42,40 +42,50 @@ SweepRunner::SweepRunner(RunnerOptions opts)
 SweepRunner::~SweepRunner() = default;
 
 SimJob
-SweepRunner::makeJob(const core::SchemeConfig &scheme,
+SweepRunner::makeJob(const spec::ExperimentSpec &exp,
                      const trace::BenchmarkProfile &profile) const
 {
     SimJob j;
-    j.scheme = scheme;
+    j.exp = exp;
+    j.exp.benchmark = profile.name;
+    j.exp.warmupInsts = opts_.warmupInsts;
+    j.exp.measureInsts = opts_.measureInsts;
     j.profile = profile;
-    j.warmupInsts = opts_.warmupInsts;
-    j.measureInsts = opts_.measureInsts;
     return j;
+}
+
+const SimResult &
+SweepRunner::run(const spec::ExperimentSpec &exp,
+                 const trace::BenchmarkProfile &profile)
+{
+    SimJob job = makeJob(exp, profile);
+    return cache_.getOrCompute(job.key(), [&job] {
+        return executeJob(job);
+    });
 }
 
 const SimResult &
 SweepRunner::run(const core::SchemeConfig &scheme,
                  const trace::BenchmarkProfile &profile)
 {
-    SimJob job = makeJob(scheme, profile);
-    return cache_.getOrCompute(job.key(), [&job] {
-        return executeJob(job);
-    });
+    spec::ExperimentSpec exp;
+    exp.processor.scheme = scheme;
+    return run(exp, profile);
 }
 
 void
 SweepRunner::prefetch(const SweepSpec &spec)
 {
     if (jobsResolved_ <= 1 || spec.size() <= 1) {
-        for (const auto &[scheme, profile] : spec.points())
-            run(scheme, profile);
+        for (const auto &[exp, profile] : spec.points())
+            run(exp, profile);
         return;
     }
 
     if (!pool_)
         pool_ = std::make_unique<ThreadPool>(jobsResolved_);
-    for (const auto &[scheme, profile] : spec.points()) {
-        SimJob job = makeJob(scheme, profile);
+    for (const auto &[exp, profile] : spec.points()) {
+        SimJob job = makeJob(exp, profile);
         pool_->submit([this, job = std::move(job)] {
             cache_.getOrCompute(job.key(), [&job] {
                 return executeJob(job);
@@ -91,8 +101,8 @@ SweepRunner::runAll(const SweepSpec &spec)
     prefetch(spec);
     std::vector<const SimResult *> out;
     out.reserve(spec.size());
-    for (const auto &[scheme, profile] : spec.points())
-        out.push_back(&run(scheme, profile));
+    for (const auto &[exp, profile] : spec.points())
+        out.push_back(&run(exp, profile));
     return out;
 }
 

@@ -61,10 +61,15 @@ class SweepRunner
     SweepRunner &operator=(const SweepRunner &) = delete;
 
     /**
-     * Simulate (or recall) one point under this runner's budgets.
+     * Simulate (or recall) one experiment under this runner's budgets
+     * (the spec's own budgets are overridden — the runner owns them).
      * Blocks until ready; executes on the calling thread on a miss.
      * The reference stays valid for the runner's lifetime.
      */
+    const SimResult &run(const spec::ExperimentSpec &exp,
+                         const trace::BenchmarkProfile &profile);
+
+    /** Convenience: default machine + `scheme` on `profile`. */
     const SimResult &run(const core::SchemeConfig &scheme,
                          const trace::BenchmarkProfile &profile);
 
@@ -90,7 +95,7 @@ class SweepRunner
     size_t cacheSize() const { return cache_.size(); }
 
   private:
-    SimJob makeJob(const core::SchemeConfig &scheme,
+    SimJob makeJob(const spec::ExperimentSpec &exp,
                    const trace::BenchmarkProfile &profile) const;
 
     RunnerOptions opts_;

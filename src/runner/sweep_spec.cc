@@ -1,18 +1,32 @@
 /**
  * @file
- * Implementation of runner/sweep_spec.hh (docs/ARCHITECTURE.md §7).
+ * Implementation of runner/sweep_spec.hh (docs/ARCHITECTURE.md §7-§8).
  */
 
 #include "runner/sweep_spec.hh"
+
+#include <set>
+
+#include "spec/presets.hh"
+#include "trace/spec2000.hh"
 
 namespace diq::runner
 {
 
 void
+SweepSpec::add(const spec::ExperimentSpec &exp)
+{
+    points_.emplace_back(exp, trace::specProfile(exp.benchmark));
+}
+
+void
 SweepSpec::add(const core::SchemeConfig &scheme,
                const trace::BenchmarkProfile &profile)
 {
-    points_.emplace_back(scheme, profile);
+    spec::ExperimentSpec exp;
+    exp.processor.scheme = scheme;
+    exp.benchmark = profile.name;
+    points_.emplace_back(exp, profile);
 }
 
 void
@@ -36,6 +50,135 @@ SweepSpec::append(const SweepSpec &other)
 {
     points_.insert(points_.end(), other.points_.begin(),
                    other.points_.end());
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= csv.size()) {
+        auto comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** Expand the bench axis's suite aliases into profile names. */
+std::vector<std::string>
+expandBenchValues(const std::vector<std::string> &values)
+{
+    std::vector<std::string> out;
+    for (const auto &v : values) {
+        if (v == "int" || v == "all")
+            for (const auto &p : trace::specIntProfiles())
+                out.push_back(p.name);
+        if (v == "fp" || v == "all")
+            for (const auto &p : trace::specFpProfiles())
+                out.push_back(p.name);
+        if (v != "int" && v != "fp" && v != "all")
+            out.push_back(v);
+    }
+    return out;
+}
+
+} // namespace
+
+SweepSpec
+SweepSpec::fromText(const std::string &text)
+{
+    // One axis per token: a key and the values it sweeps over.
+    struct Axis
+    {
+        std::string key;
+        std::vector<std::string> values;
+    };
+    std::vector<Axis> axes;
+    std::set<std::string> seen_axes;
+    bool saw_scheme_knob_axis = false;
+
+    for (const std::string &token : spec::tokenizeSpecText(text)) {
+        auto eq = token.find('=');
+        // A bare token is a preset list, i.e. a scheme axis.
+        std::string key =
+            eq == std::string::npos ? "scheme" : token.substr(0, eq);
+        if (eq == 0)
+            throw spec::ParseError("missing key before '=' in token '" +
+                                   token + "'");
+        const spec::KeyInfo *k = spec::findKey(key);
+        // Budgets belong to the runner (--insts/--warmup), not the
+        // grid; accepting them here would sweep an axis that has no
+        // effect on the results.
+        if (k && (k->name == "warmup_insts" ||
+                  k->name == "measure_insts"))
+            throw spec::ParseError(
+                "key '" + key + "' cannot be swept in a grid (the "
+                "runner owns the budgets; use --insts/--warmup)");
+        // One axis per knob: with a repeated key, the last value of
+        // each combination would silently win and the earlier axis
+        // would degenerate into duplicate rows.
+        if (!seen_axes.insert(k ? k->name : key).second)
+            throw spec::ParseError("duplicate axis '" + key +
+                                   "' in grid");
+        std::string csv =
+            eq == std::string::npos ? token : token.substr(eq + 1);
+        std::vector<std::string> values = splitList(csv);
+        if (values.empty())
+            throw spec::ParseError("empty value list for key '" + key +
+                                   "'");
+        // A preset value resets every scheme knob, so it must come
+        // before any scheme-knob axis or it would clobber their
+        // values in every combination (duplicate rows again).
+        if (k && k->name == "scheme") {
+            for (const auto &v : values)
+                if (spec::findPreset(v) && saw_scheme_knob_axis)
+                    throw spec::ParseError(
+                        "preset '" + v + "' must come before scheme "
+                        "knob axes in a grid (a preset resets the "
+                        "whole scheme configuration)");
+        }
+        if (k && k->schemeScope)
+            saw_scheme_knob_axis = true;
+        if (key == "bench" || key == "benchmark")
+            values = expandBenchValues(values);
+        // Dedupe values order-preservingly: repeated values (or
+        // overlapping suite aliases like `fp,all`) would otherwise
+        // degenerate into duplicate grid rows.
+        std::set<std::string> seen_values;
+        std::vector<std::string> unique;
+        for (auto &v : values)
+            if (seen_values.insert(v).second)
+                unique.push_back(std::move(v));
+        axes.push_back({std::move(key), std::move(unique)});
+    }
+
+    // Cross product, leftmost axis outermost. Each combination is
+    // applied to a fresh default spec in token order, so the spec
+    // layer reports unknown keys / bad values / ranges precisely.
+    SweepSpec out;
+    if (axes.empty())
+        return out;
+    std::vector<size_t> idx(axes.size(), 0);
+    while (true) {
+        spec::ExperimentSpec exp;
+        for (size_t a = 0; a < axes.size(); ++a)
+            exp.set(axes[a].key, axes[a].values[idx[a]]);
+        out.add(exp);
+
+        size_t a = axes.size();
+        while (a > 0 && ++idx[a - 1] == axes[a - 1].values.size())
+            idx[--a] = 0;
+        if (a == 0)
+            break;
+    }
+    return out;
 }
 
 } // namespace diq::runner

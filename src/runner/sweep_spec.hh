@@ -1,34 +1,50 @@
 /**
  * @file
- * Declarative sweep grids (docs/ARCHITECTURE.md §7).
+ * Declarative sweep grids (docs/ARCHITECTURE.md §7-§8).
  *
- * A SweepSpec names every (scheme, benchmark) point a figure needs,
- * up front and in presentation order. The runner materializes the
- * points into SimJobs (attaching its instruction budgets), executes
- * them in any order across the pool, and hands results back in spec
- * order — so declaring the grid is what makes parallel output
- * deterministic.
+ * A SweepSpec names every experiment point a figure needs, up front
+ * and in presentation order. Each point is a full
+ * spec::ExperimentSpec plus its resolved benchmark profile; the
+ * runner executes the points in any order across the pool (attaching
+ * its instruction budgets) and hands results back in spec order — so
+ * declaring the grid is what makes parallel output deterministic.
+ *
+ * Grids are also expressible as text (`fromText`): every token is a
+ * spec-layer key whose value may be a comma-separated list, and the
+ * grid is the cross product of all lists, leftmost token outermost:
+ *
+ *   scheme=mb_distr,if_distr bench=swim,gcc chains=2,4,8
+ *
+ * The `bench` axis additionally accepts the suite aliases `int`,
+ * `fp` and `all`, which expand to the corresponding profile lists.
  */
 
 #ifndef DIQ_RUNNER_SWEEP_SPEC_HH
 #define DIQ_RUNNER_SWEEP_SPEC_HH
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/issue_scheme.hh"
+#include "spec/experiment_spec.hh"
 #include "trace/synthetic.hh"
 
 namespace diq::runner
 {
 
-/** Ordered grid of (scheme, benchmark) simulation points. */
+/** Ordered grid of experiment points. */
 class SweepSpec
 {
   public:
-    using Point = std::pair<core::SchemeConfig, trace::BenchmarkProfile>;
+    using Point =
+        std::pair<spec::ExperimentSpec, trace::BenchmarkProfile>;
 
-    /** Append one point. */
+    /** Append one fully specified experiment (profile resolved by
+     *  `exp.benchmark`). @throws std::out_of_range when unknown. */
+    void add(const spec::ExperimentSpec &exp);
+
+    /** Append one point: default machine + `scheme` on `profile`. */
     void add(const core::SchemeConfig &scheme,
              const trace::BenchmarkProfile &profile);
 
@@ -42,6 +58,16 @@ class SweepSpec
 
     /** Merge another spec's points after this one's. */
     void append(const SweepSpec &other);
+
+    /**
+     * Parse the textual grid form (see the file comment). Grids that
+     * would silently degenerate into duplicate rows are rejected:
+     * budget keys (the runner owns the budgets), repeated axis keys,
+     * and preset values placed after a scheme-knob axis (a preset
+     * resets the whole scheme configuration).
+     * @throws spec::ParseError with a precise message.
+     */
+    static SweepSpec fromText(const std::string &text);
 
     const std::vector<Point> &points() const { return points_; }
     size_t size() const { return points_.size(); }

@@ -56,6 +56,9 @@ struct ProcessorConfig
 
     /** Render Table 1 plus the scheme, for bench_table1/README. */
     std::string table1String() const;
+
+    /** Knob-wise equality (the spec layer round-trips on this). */
+    bool operator==(const ProcessorConfig &) const = default;
 };
 
 } // namespace diq::sim

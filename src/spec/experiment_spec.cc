@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Implementation of spec/experiment_spec.hh (docs/ARCHITECTURE.md §8).
+ *
+ * The key registry is the single source of truth: every knob appears
+ * exactly once, with its domain, and toText()/parse()/set() are all
+ * derived from it — so serialization, parsing and documentation
+ * cannot drift apart.
+ */
+
+#include "spec/experiment_spec.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "spec/presets.hh"
+#include "trace/spec2000.hh"
+
+namespace diq::spec
+{
+
+namespace
+{
+
+/** Strict integer parse: the whole token must be one base-10 int. */
+int64_t
+parseIntValue(const std::string &v, const std::string &key)
+{
+    size_t pos = 0;
+    int64_t out = 0;
+    try {
+        out = std::stoll(v, &pos);
+    } catch (...) {
+        pos = 0;
+    }
+    if (pos != v.size() || v.empty())
+        throw ParseError("bad value '" + v + "' for key '" + key +
+                         "' (expected an integer)");
+    return out;
+}
+
+/** The one parse-then-range-check setter every integer key shares. */
+std::function<void(ExperimentSpec &, const std::string &)>
+rangedIntSetter(std::string key, int64_t lo, int64_t hi,
+                std::function<void(ExperimentSpec &, int64_t)> assign)
+{
+    return [key = std::move(key), lo, hi, assign = std::move(assign)](
+               ExperimentSpec &s, const std::string &v) {
+        int64_t x = parseIntValue(v, key);
+        if (x < lo || x > hi)
+            throw ParseError("value " + std::to_string(x) + " for key '" +
+                             key + "' out of range [" +
+                             std::to_string(lo) + ", " +
+                             std::to_string(hi) + "]");
+        assign(s, x);
+    };
+}
+
+template <typename T>
+KeyInfo
+intKey(const char *name, const char *doc, int64_t lo, int64_t hi,
+       T &(*field)(ExperimentSpec &),
+       std::vector<std::string> aliases = {})
+{
+    KeyInfo k;
+    k.name = name;
+    k.aliases = std::move(aliases);
+    k.doc = doc;
+    k.kind = KeyInfo::Kind::Int;
+    k.lo = lo;
+    k.hi = hi;
+    k.get = [field](const ExperimentSpec &s) {
+        return std::to_string(static_cast<int64_t>(
+            field(const_cast<ExperimentSpec &>(s))));
+    };
+    k.set = rangedIntSetter(name, lo, hi,
+                            [field](ExperimentSpec &s, int64_t x) {
+                                field(s) = static_cast<T>(x);
+                            });
+    return k;
+}
+
+KeyInfo
+boolKey(const char *name, const char *doc,
+        bool &(*field)(ExperimentSpec &),
+        std::vector<std::string> aliases = {})
+{
+    KeyInfo k;
+    k.name = name;
+    k.aliases = std::move(aliases);
+    k.doc = doc;
+    k.kind = KeyInfo::Kind::Bool;
+    k.choices = {"0", "1"};
+    k.get = [field](const ExperimentSpec &s) {
+        return field(const_cast<ExperimentSpec &>(s)) ? std::string("1")
+                                                      : std::string("0");
+    };
+    k.set = [field, key = std::string(name)](ExperimentSpec &s,
+                                             const std::string &v) {
+        if (v == "1" || v == "true")
+            field(s) = true;
+        else if (v == "0" || v == "false")
+            field(s) = false;
+        else
+            throw ParseError("bad value '" + v + "' for key '" + key +
+                             "' (expected 0/1/true/false)");
+    };
+    return k;
+}
+
+/** scheme= accepts a kind name or any preset name (whole config). */
+KeyInfo
+schemeKey()
+{
+    using Kind = core::SchemeConfig::Kind;
+    static const std::pair<const char *, Kind> kinds[] = {
+        {"cam", Kind::Cam},
+        {"issue_fifo", Kind::IssueFifo},
+        {"lat_fifo", Kind::LatFifo},
+        {"mixbuff", Kind::MixBuff},
+    };
+
+    KeyInfo k;
+    k.name = "scheme";
+    k.doc = "issue-queue organization: cam, issue_fifo, lat_fifo or "
+            "mixbuff; a preset name (e.g. mb_distr) sets the whole "
+            "scheme configuration";
+    k.kind = KeyInfo::Kind::Choice;
+    for (const auto &[n, kind] : kinds)
+        k.choices.push_back(n);
+    k.get = [](const ExperimentSpec &s) -> std::string {
+        for (const auto &[n, kind] : kinds)
+            if (s.processor.scheme.kind == kind)
+                return n;
+        return "cam";
+    };
+    k.set = [](ExperimentSpec &s, const std::string &v) {
+        for (const auto &[n, kind] : kinds) {
+            if (v == n) {
+                s.processor.scheme.kind = kind;
+                return;
+            }
+        }
+        if (const PresetInfo *p = findPreset(v)) {
+            s.processor.scheme = p->scheme;
+            return;
+        }
+        std::string known;
+        for (const auto &p : presets())
+            known += " " + p.name;
+        throw ParseError("bad value '" + v + "' for key 'scheme' "
+                         "(kinds: cam issue_fifo lat_fifo mixbuff; "
+                         "presets:" + known + ")");
+    };
+    return k;
+}
+
+KeyInfo
+benchKey()
+{
+    KeyInfo k;
+    k.name = "bench";
+    k.aliases = {"benchmark"};
+    k.doc = "synthetic SPEC2000-like benchmark to simulate "
+            "(trace/spec2000.hh)";
+    k.kind = KeyInfo::Kind::Choice;
+    for (const auto &p : trace::allSpecProfiles())
+        k.choices.push_back(p.name);
+    k.get = [](const ExperimentSpec &s) { return s.benchmark; };
+    k.set = [](ExperimentSpec &s, const std::string &v) {
+        for (const auto &p : trace::allSpecProfiles()) {
+            if (p.name == v) {
+                s.benchmark = v;
+                return;
+            }
+        }
+        throw ParseError("bad value '" + v + "' for key 'bench' "
+                         "(unknown benchmark; see `diq list "
+                         "benchmarks`)");
+    };
+    return k;
+}
+
+std::vector<KeyInfo>
+buildRegistry()
+{
+    std::vector<KeyInfo> r;
+
+    // --- Experiment identity -----------------------------------------
+    r.push_back(benchKey());
+    r.push_back(intKey<uint64_t>(
+        "warmup_insts", "instructions run (and discarded) to warm "
+        "caches and predictors", 0, 1'000'000'000'000,
+        +[](ExperimentSpec &s) -> uint64_t & { return s.warmupInsts; },
+        {"warmup"}));
+    r.push_back(intKey<uint64_t>(
+        "measure_insts", "instructions measured after warm-up", 1,
+        1'000'000'000'000,
+        +[](ExperimentSpec &s) -> uint64_t & { return s.measureInsts; },
+        {"insts"}));
+
+    // --- Issue scheme (core::SchemeConfig) ---------------------------
+    const size_t scheme_section_begin = r.size();
+    r.push_back(schemeKey());
+    r.push_back(intKey<int>(
+        "cam_int_entries", "CAM baseline: integer-cluster queue "
+        "entries", 1, 4096,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.camIntEntries;
+        }));
+    r.push_back(intKey<int>(
+        "cam_fp_entries", "CAM baseline: FP-cluster queue entries", 1,
+        4096,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.camFpEntries;
+        }));
+    r.push_back(intKey<int>(
+        "int_queues", "FIFO family: number of integer queues (the A "
+        "of AxB)", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.numIntQueues;
+        }));
+    r.push_back(intKey<int>(
+        "int_queue_size", "FIFO family: entries per integer queue "
+        "(the B of AxB)", 1, 1024,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.intQueueSize;
+        }));
+    r.push_back(intKey<int>(
+        "fp_queues", "FIFO family: number of FP queues (the C of "
+        "CxD)", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.numFpQueues;
+        }));
+    r.push_back(intKey<int>(
+        "fp_queue_size", "FIFO family: entries per FP queue (the D "
+        "of CxD)", 1, 1024,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.fpQueueSize;
+        }));
+    r.push_back(intKey<int>(
+        "chains_per_queue", "MixBUFF chain bound per FP queue; 0 = "
+        "unbounded (§3.2)", 0, 1024,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.scheme.chainsPerQueue;
+        },
+        {"chains"}));
+    r.push_back(boolKey(
+        "distributed_fus", "bind functional units to queues instead "
+        "of a central pool (§3.3)",
+        +[](ExperimentSpec &s) -> bool & {
+            return s.processor.scheme.distributedFus;
+        }));
+    r.push_back(boolKey(
+        "clear_table_on_mispredict", "clear queue rename tables when "
+        "a branch mispredict resolves (§2.2)",
+        +[](ExperimentSpec &s) -> bool & {
+            return s.processor.scheme.clearTableOnMispredict;
+        }));
+    for (size_t i = scheme_section_begin; i < r.size(); ++i)
+        r[i].schemeScope = true;
+
+    // --- Pipeline widths and window (Table 1) ------------------------
+    r.push_back(intKey<int>(
+        "fetch_width", "instructions fetched per cycle", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.fetchWidth;
+        }));
+    r.push_back(intKey<int>(
+        "dispatch_width", "decode/rename/dispatch per cycle", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.dispatchWidth;
+        }));
+    r.push_back(intKey<int>(
+        "commit_width", "instructions committed per cycle", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.commitWidth;
+        }));
+    r.push_back(intKey<int>(
+        "fetch_queue_size", "fetch-queue entries", 1, 4096,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.fetchQueueSize;
+        }));
+    r.push_back(intKey<int>(
+        "rob_size", "reorder-buffer entries", 1, 1 << 20,
+        +[](ExperimentSpec &s) -> int & { return s.processor.robSize; }));
+    r.push_back(intKey<int>(
+        "int_phys_regs", "integer physical registers", 1, 1 << 20,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.numIntPhysRegs;
+        }));
+    r.push_back(intKey<int>(
+        "fp_phys_regs", "FP physical registers", 1, 1 << 20,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.numFpPhysRegs;
+        }));
+    r.push_back(intKey<int>(
+        "frontend_delay", "fetch-to-dispatch cycles (sets the "
+        "mispredict penalty)", 0, 100,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.frontendDelay;
+        }));
+
+    // --- Branch predictor (Table 1) ----------------------------------
+    r.push_back(intKey<int>(
+        "gshare_entries", "gshare predictor entries", 1, 1 << 24,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.gshareEntries;
+        }));
+    r.push_back(intKey<int>(
+        "bimodal_entries", "bimodal predictor entries", 1, 1 << 24,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.bimodalEntries;
+        }));
+    r.push_back(intKey<int>(
+        "selector_entries", "hybrid-selector entries", 1, 1 << 24,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.selectorEntries;
+        }));
+    r.push_back(intKey<int>(
+        "btb_entries", "branch target buffer entries", 1, 1 << 24,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.btbEntries;
+        }));
+    r.push_back(intKey<int>(
+        "btb_assoc", "BTB set associativity", 1, 64,
+        +[](ExperimentSpec &s) -> int & {
+            return s.processor.btbAssoc;
+        }));
+
+    // --- Memory hierarchy (Table 1) ----------------------------------
+    struct CacheKnobs
+    {
+        const char *prefix;
+        const char *what;
+        mem::CacheConfig &(*cache)(ExperimentSpec &);
+    };
+    static const CacheKnobs caches[] = {
+        {"l1i", "L1 instruction cache",
+         +[](ExperimentSpec &s) -> mem::CacheConfig & {
+             return s.processor.memory.l1i;
+         }},
+        {"l1d", "L1 data cache",
+         +[](ExperimentSpec &s) -> mem::CacheConfig & {
+             return s.processor.memory.l1d;
+         }},
+        {"l2", "unified L2 cache",
+         +[](ExperimentSpec &s) -> mem::CacheConfig & {
+             return s.processor.memory.l2;
+         }},
+    };
+    for (const auto &c : caches) {
+        const std::string prefix = c.prefix;
+        const std::string what = c.what;
+        auto cacheIntKey = [&](const char *suffix, const char *knob,
+                               int64_t lo, int64_t hi, auto member) {
+            KeyInfo k;
+            k.name = prefix + "_" + suffix;
+            k.doc = what + std::string(": ") + knob;
+            k.kind = KeyInfo::Kind::Int;
+            k.lo = lo;
+            k.hi = hi;
+            auto cache = c.cache;
+            k.get = [cache, member](const ExperimentSpec &s) {
+                return std::to_string(static_cast<int64_t>(
+                    cache(const_cast<ExperimentSpec &>(s)).*member));
+            };
+            k.set = rangedIntSetter(
+                k.name, lo, hi,
+                [cache, member](ExperimentSpec &s, int64_t x) {
+                    using Member = std::remove_reference_t<
+                        decltype(cache(s).*member)>;
+                    cache(s).*member = static_cast<Member>(x);
+                });
+            r.push_back(std::move(k));
+        };
+        cacheIntKey("size_bytes", "capacity in bytes", 64, 1 << 30,
+                    &mem::CacheConfig::sizeBytes);
+        cacheIntKey("assoc", "set associativity", 1, 64,
+                    &mem::CacheConfig::assoc);
+        cacheIntKey("line_bytes", "line size in bytes", 8, 4096,
+                    &mem::CacheConfig::lineBytes);
+        cacheIntKey("hit_latency", "hit latency in cycles", 1, 1000,
+                    &mem::CacheConfig::hitLatency);
+        cacheIntKey("ports", "R/W ports", 1, 64,
+                    &mem::CacheConfig::ports);
+    }
+    r.push_back(intKey<unsigned>(
+        "mem_first_chunk_latency", "main memory: cycles to the first "
+        "chunk", 1, 100000,
+        +[](ExperimentSpec &s) -> unsigned & {
+            return s.processor.memory.memory.firstChunkLatency;
+        }));
+    r.push_back(intKey<unsigned>(
+        "mem_inter_chunk_latency", "main memory: cycles per "
+        "additional chunk", 0, 100000,
+        +[](ExperimentSpec &s) -> unsigned & {
+            return s.processor.memory.memory.interChunkLatency;
+        }));
+    r.push_back(intKey<unsigned>(
+        "mem_chunk_bytes", "main memory: bus transfer granule", 1,
+        4096,
+        +[](ExperimentSpec &s) -> unsigned & {
+            return s.processor.memory.memory.chunkBytes;
+        }));
+
+    // --- Safety net ---------------------------------------------------
+    r.push_back(intKey<uint64_t>(
+        "max_cycles_per_inst", "hard cycle cap per instruction "
+        "against pathological stalls", 1, 1'000'000'000,
+        +[](ExperimentSpec &s) -> uint64_t & {
+            return s.processor.maxCyclesPerInst;
+        }));
+
+    return r;
+}
+
+} // namespace
+
+const std::vector<KeyInfo> &
+keyRegistry()
+{
+    static const std::vector<KeyInfo> registry = buildRegistry();
+    return registry;
+}
+
+const KeyInfo *
+findKey(const std::string &name)
+{
+    for (const auto &k : keyRegistry()) {
+        if (k.name == name)
+            return &k;
+        for (const auto &a : k.aliases)
+            if (a == name)
+                return &k;
+    }
+    return nullptr;
+}
+
+std::string
+ExperimentSpec::toText() const
+{
+    std::string out;
+    for (const auto &k : keyRegistry()) {
+        out += k.name;
+        out += '=';
+        out += k.get(*this);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+ExperimentSpec::canonicalLine() const
+{
+    std::string out;
+    for (const auto &k : keyRegistry()) {
+        if (!out.empty())
+            out += ' ';
+        out += k.name;
+        out += '=';
+        out += k.get(*this);
+    }
+    return out;
+}
+
+void
+ExperimentSpec::set(const std::string &key, const std::string &value)
+{
+    const KeyInfo *k = findKey(key);
+    if (!k)
+        throw ParseError("unknown key '" + key +
+                         "' (see `diq list keys`)");
+    k->set(*this, value);
+}
+
+std::vector<std::string>
+tokenizeSpecText(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (auto hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream tokens(line);
+        std::string token;
+        while (tokens >> token)
+            out.push_back(token);
+    }
+    return out;
+}
+
+void
+ExperimentSpec::applyText(const std::string &text)
+{
+    for (const std::string &token : tokenizeSpecText(text)) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos) {
+            const PresetInfo *p = findPreset(token);
+            if (!p) {
+                std::string known;
+                for (const auto &pr : presets())
+                    known += " " + pr.name;
+                throw ParseError("unknown preset '" + token +
+                                 "' (known:" + known + ")");
+            }
+            processor.scheme = p->scheme;
+            continue;
+        }
+        if (eq == 0)
+            throw ParseError("missing key before '=' in token '" +
+                             token + "'");
+        set(token.substr(0, eq), token.substr(eq + 1));
+    }
+}
+
+ExperimentSpec
+ExperimentSpec::parse(const std::string &text)
+{
+    ExperimentSpec s;
+    s.applyText(text);
+    return s;
+}
+
+} // namespace diq::spec

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Declarative experiment API: every experiment as a value.
+ *
+ * An ExperimentSpec bundles the full machine configuration
+ * (sim::ProcessorConfig, which embeds the core::SchemeConfig under
+ * study), the benchmark name and the warm-up/measure instruction
+ * budgets — everything `runner::executeJob` needs. Specs serialize to
+ * canonical ordered `key=value` text (`toText()`), parse back with
+ * precise error reporting (`parse()`: unknown key, bad value,
+ * out-of-range), and compare knob-wise (`operator==`), so
+ * `parse(toText(s)) == s` holds for every spec.
+ *
+ * The spec grammar, shared by parse()/applyText() and the grid form
+ * (runner::SweepSpec::fromText) and the `diq` CLI:
+ *
+ *   spec      := token*
+ *   token     := preset-name | key "=" value
+ *   comments  := '#' to end of line
+ *
+ * Tokens are whitespace-separated and apply left to right: a bare
+ * preset name (spec/presets.hh) replaces the whole scheme
+ * configuration, a `key=value` token sets one knob. Example:
+ *
+ *   mb_distr chains_per_queue=4 rob_size=512 bench=swim
+ *
+ * Every `SchemeConfig` and `ProcessorConfig` knob is reachable by
+ * name; the single source of truth is keyRegistry(), which drives
+ * serialization, parsing, `diq list keys` and the round-trip tests.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §8.
+ */
+
+#ifndef DIQ_SPEC_EXPERIMENT_SPEC_HH
+#define DIQ_SPEC_EXPERIMENT_SPEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace diq::spec
+{
+
+/**
+ * Spec-text parse failure. The message pinpoints the offending token:
+ * "unknown key 'xyz'", "bad value 'abc' for key 'rob_size'",
+ * "value 0 for key 'rob_size' out of range [1, 1048576]", ...
+ */
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One experiment as a value: machine x benchmark x budgets. */
+struct ExperimentSpec
+{
+    /** Machine under test; `processor.scheme` is the issue logic. */
+    sim::ProcessorConfig processor{};
+
+    /** Benchmark name from the synthetic suite (trace/spec2000.hh). */
+    std::string benchmark = "swim";
+
+    uint64_t warmupInsts = 30000;
+    uint64_t measureInsts = 120000;
+
+    bool operator==(const ExperimentSpec &) const = default;
+
+    /**
+     * Canonical serialization: one `key=value` line per registry key,
+     * in registry order. parse(toText()) reproduces the spec exactly.
+     */
+    std::string toText() const;
+
+    /**
+     * toText() on a single space-separated line — the canonical cache
+     * key (runner::SimJob::key()) and a valid parse() input.
+     */
+    std::string canonicalLine() const;
+
+    /**
+     * Apply spec text (see the grammar above) on top of this spec.
+     * @throws ParseError on unknown preset/key, bad value, range.
+     */
+    void applyText(const std::string &text);
+
+    /** Set one knob by key name (or alias). @throws ParseError. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Default spec + applyText(text). @throws ParseError. */
+    static ExperimentSpec parse(const std::string &text);
+};
+
+/** Self-describing accessor for one ExperimentSpec knob. */
+struct KeyInfo
+{
+    enum class Kind { Int, Bool, Choice };
+
+    std::string name;                 ///< canonical key name
+    std::vector<std::string> aliases; ///< accepted synonyms
+    std::string doc;                  ///< one-liner for `diq list keys`
+    Kind kind;
+
+    // Valid-value domain (drives range errors and randomized tests).
+    int64_t lo = 0, hi = 0;            ///< Kind::Int inclusive range
+    std::vector<std::string> choices;  ///< Kind::Bool / Kind::Choice
+
+    /** True when the key writes into `processor.scheme` — a preset
+     *  value of the `scheme` key resets every one of these. */
+    bool schemeScope = false;
+
+    std::function<std::string(const ExperimentSpec &)> get;
+    /** @throws ParseError on bad value / out of range. */
+    std::function<void(ExperimentSpec &, const std::string &)> set;
+};
+
+/**
+ * Every knob, in canonical serialization order: benchmark and budgets
+ * first, then the scheme knobs, then the rest of Table 1.
+ */
+const std::vector<KeyInfo> &keyRegistry();
+
+/**
+ * Split spec text into tokens: whitespace-separated, `#` comments to
+ * end of line. The one tokenizer behind applyText() and the grid
+ * form (runner::SweepSpec::fromText), so the grammar cannot diverge.
+ */
+std::vector<std::string> tokenizeSpecText(const std::string &text);
+
+/** Lookup by canonical name or alias; nullptr when unknown. */
+const KeyInfo *findKey(const std::string &name);
+
+} // namespace diq::spec
+
+#endif // DIQ_SPEC_EXPERIMENT_SPEC_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of spec/presets.hh (docs/ARCHITECTURE.md §8).
+ */
+
+#include "spec/presets.hh"
+
+namespace diq::spec
+{
+
+const std::vector<PresetInfo> &
+presets()
+{
+    using core::SchemeConfig;
+    static const std::vector<PresetInfo> table = {
+        {"iq6464",
+         "Baseline: two 64-entry CAM queues, centralized FUs (§4.2)",
+         SchemeConfig::iq6464()},
+        {"unbounded",
+         "Unbounded (256-entry) CAM baseline of the §3 IPC-loss study",
+         SchemeConfig::unbounded()},
+        {"issuefifo_8x8_8x16",
+         "IssueFIFO, 8x8 INT + 8x16 FP queues, centralized FUs (§3)",
+         SchemeConfig::issueFifo(8, 8, 8, 16)},
+        {"latfifo_8x8_8x16",
+         "LatFIFO, 8x8 INT + 8x16 FP queues, centralized FUs (§3.1)",
+         SchemeConfig::latFifo(8, 8, 8, 16)},
+        {"mixbuff_8x8_8x16",
+         "MixBUFF, 8x8 INT + 8x16 FP, unbounded chains, centralized"
+         " FUs (§3.2)",
+         SchemeConfig::mixBuff(8, 8, 8, 16)},
+        {"if_distr",
+         "IF_distr: IssueFIFO_8x8_8x16 with distributed FUs (§4.2)",
+         SchemeConfig::ifDistr()},
+        {"mb_distr",
+         "MB_distr: MixBUFF_8x8_8x16, 8 chains/queue, distributed FUs"
+         " (§4.2, the paper's proposal)",
+         SchemeConfig::mbDistr()},
+    };
+    return table;
+}
+
+const PresetInfo *
+findPreset(const std::string &name)
+{
+    for (const auto &p : presets())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+} // namespace diq::spec

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Named issue-scheme presets, resolvable by string.
+ *
+ * Every configuration the paper names gets one preset here: the CAM
+ * baselines, the plain FIFO-family geometries of the §3 sizing
+ * studies, and the two distributed-FU organizations of §4. Presets
+ * are the vocabulary of the declarative experiment API — a spec like
+ * `mb_distr chains_per_queue=4` starts from a preset and overrides
+ * individual knobs by name (spec/experiment_spec.hh).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §8.
+ */
+
+#ifndef DIQ_SPEC_PRESETS_HH
+#define DIQ_SPEC_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/issue_scheme.hh"
+
+namespace diq::spec
+{
+
+/** One named scheme configuration with its documentation line. */
+struct PresetInfo
+{
+    std::string name;          ///< resolvable string, e.g. "mb_distr"
+    std::string doc;           ///< one-line description for `diq list`
+    core::SchemeConfig scheme; ///< the configuration it resolves to
+};
+
+/** Every named preset, in listing order. */
+const std::vector<PresetInfo> &presets();
+
+/** Lookup by name; nullptr when unknown. */
+const PresetInfo *findPreset(const std::string &name);
+
+} // namespace diq::spec
+
+#endif // DIQ_SPEC_PRESETS_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Golden tests for the `diq` CLI (docs/ARCHITECTURE.md §8), at the
+ * whole-binary level: `diq run` output must match what
+ * runner::executeJob computes in-process for the same spec, `diq
+ * sweep` CSV must match the in-process sweep rendering and be
+ * byte-identical for every worker count, and `diq report` must stay
+ * byte-identical to the legacy `diq_report` alias. POSIX-only, like
+ * the bench smoke suite: binaries are driven through /bin/sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli.hh"
+#include "runner/sweep_runner.hh"
+#include "spec/experiment_spec.hh"
+
+namespace
+{
+
+using namespace diq;
+
+constexpr const char *kTinyBudget = " --insts 2000 --warmup 200";
+
+std::string
+binary(const std::string &name)
+{
+    return std::string(DIQ_BIN_DIR) + "/" + name;
+}
+
+/** Run a shell command, capturing stdout; EXPECTs on the exit code. */
+std::string
+capture(const std::string &cmd, int expect_rc = 0)
+{
+    std::string out;
+    FILE *pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    if (!pipe)
+        return out;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    int rc = pclose(pipe);
+    EXPECT_TRUE(WIFEXITED(rc)) << cmd;
+    EXPECT_EQ(WEXITSTATUS(rc), expect_rc) << cmd;
+    return out;
+}
+
+// --- diq run --------------------------------------------------------
+
+TEST(DiqCli, RunMatchesExecuteJobForTheSameSpec)
+{
+    spec::ExperimentSpec exp =
+        spec::ExperimentSpec::parse("mb_distr bench=swim "
+                                    "warmup_insts=200 "
+                                    "measure_insts=2000");
+    std::string expected = bench::renderRunOutput(
+        exp, runner::executeJob(runner::makeJob(exp)));
+
+    std::string actual = capture("'" + binary("diq") +
+                                 "' run --spec mb_distr --bench swim" +
+                                 kTinyBudget);
+    EXPECT_EQ(actual, expected);
+
+    // The same experiment written as positional spec tokens.
+    std::string positional =
+        capture("'" + binary("diq") +
+                "' run mb_distr bench=swim warmup_insts=200 "
+                "measure_insts=2000");
+    EXPECT_EQ(positional, expected);
+}
+
+TEST(DiqCli, SpecTokensBeatEnvironmentFallbacks)
+{
+    // DIQ_INSTS/DIQ_WARMUP are fallbacks: an explicit budget token in
+    // the spec text must win over them (only a --insts/--warmup flag
+    // outranks the text).
+    std::string out = capture(
+        "DIQ_INSTS=3000 DIQ_WARMUP=300 '" + binary("diq") +
+        "' run mb_distr bench=swim warmup_insts=200 "
+        "measure_insts=2000");
+    EXPECT_NE(out.find("measure_insts=2000"), std::string::npos) << out;
+    EXPECT_NE(out.find("warmup_insts=200"), std::string::npos);
+
+    // Without tokens or flags, the env fallback does apply.
+    std::string env_only =
+        capture("DIQ_INSTS=3000 DIQ_WARMUP=300 '" + binary("diq") +
+                "' run mb_distr bench=swim");
+    EXPECT_NE(env_only.find("measure_insts=3000"), std::string::npos);
+
+    // And an explicit flag outranks both.
+    std::string flagged = capture(
+        "DIQ_INSTS=3000 '" + binary("diq") +
+        "' run mb_distr bench=swim measure_insts=2000 --insts 1500 "
+        "--warmup 150");
+    EXPECT_NE(flagged.find("measure_insts=1500"), std::string::npos);
+}
+
+TEST(DiqCli, RunHonorsPerKeyOverrides)
+{
+    // The override must actually reach the simulation: a chain-starved
+    // MixBUFF cannot behave identically to the 8-chain preset.
+    std::string base = capture("'" + binary("diq") +
+                               "' run mb_distr bench=swim" + kTinyBudget);
+    std::string starved =
+        capture("'" + binary("diq") +
+                "' run mb_distr chains_per_queue=1 bench=swim" +
+                kTinyBudget);
+    EXPECT_NE(base, starved);
+    EXPECT_NE(starved.find("chains_per_queue=1"), std::string::npos);
+}
+
+// --- diq sweep ------------------------------------------------------
+
+TEST(DiqCli, SweepMatchesInProcessSweepAndIsJobCountInvariant)
+{
+    const std::string grid = "scheme=iq6464,mb_distr bench=gcc,swim";
+
+    runner::RunnerOptions opts;
+    opts.warmupInsts = 200;
+    opts.measureInsts = 2000;
+    opts.jobs = 1;
+    runner::SweepRunner r(opts);
+    auto parsed = runner::SweepSpec::fromText(grid);
+    std::string expected =
+        bench::renderSweepCsv(parsed, opts, r.runAll(parsed));
+
+    std::string serial = capture("'" + binary("diq") + "' sweep '" +
+                                 grid + "' --jobs 1" + kTinyBudget);
+    std::string parallel = capture("'" + binary("diq") + "' sweep '" +
+                                   grid + "' --jobs 4" + kTinyBudget);
+    EXPECT_EQ(serial, expected);
+    EXPECT_EQ(parallel, expected);
+}
+
+TEST(DiqCli, SweepSpecColumnReproducesTheRow)
+{
+    // Each CSV row's final `spec` column is a complete experiment:
+    // feeding it back through `diq run --spec` must reproduce the row.
+    std::string csv =
+        capture("'" + binary("diq") +
+                "' sweep 'mb_distr chains=2,4 bench=swim' --jobs 1" +
+                kTinyBudget);
+    std::istringstream lines(csv);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(lines, header));
+    ASSERT_TRUE(std::getline(lines, row));
+
+    // scheme,benchmark,ipc,cycles,committed,energy_pj,spec
+    std::vector<std::string> cells;
+    std::istringstream cellstream(row);
+    std::string cell;
+    while (std::getline(cellstream, cell, ','))
+        cells.push_back(cell);
+    ASSERT_EQ(cells.size(), 7u) << row;
+    const std::string &cycles = cells[3];
+    const std::string &line_spec = cells[6];
+    EXPECT_NE(line_spec.find("chains_per_queue=2"), std::string::npos);
+
+    std::string rerun = capture("'" + binary("diq") + "' run --spec '" +
+                                line_spec + "'");
+    EXPECT_NE(rerun.find(cycles), std::string::npos)
+        << "spec column did not reproduce cycles=" << cycles << ":\n"
+        << rerun;
+}
+
+// --- diq report vs the diq_report alias -----------------------------
+
+TEST(DiqCli, ReportIsByteIdenticalToTheDiqReportAlias)
+{
+    const std::string sub_dir = std::string(DIQ_BIN_DIR) + "/cli_report";
+    const std::string alias_dir =
+        std::string(DIQ_BIN_DIR) + "/cli_report_alias";
+    ASSERT_EQ(std::system(("rm -rf '" + sub_dir + "' '" + alias_dir +
+                           "'")
+                              .c_str()),
+              0);
+
+    // A two-figure subset keeps the smoke fast; both invocations see
+    // identical figure ids, budgets and worker counts.
+    const std::string args = std::string(" table1 fig13 --jobs 2") +
+        kTinyBudget;
+    capture("'" + binary("diq") + "' report" + args + " --outdir '" +
+            sub_dir + "'");
+    capture("'" + binary("diq_report") + "'" + args + " --outdir '" +
+            alias_dir + "'");
+
+    int rc = std::system(
+        ("diff -r '" + sub_dir + "' '" + alias_dir + "' > /dev/null")
+            .c_str());
+    ASSERT_NE(rc, -1);
+    EXPECT_EQ(rc, 0)
+        << "`diq report` and `diq_report` output trees differ";
+}
+
+// --- diq list -------------------------------------------------------
+
+TEST(DiqCli, ListShowsTheWholeVocabulary)
+{
+    std::string out = capture("'" + binary("diq") + "' list");
+    for (const char *needle :
+         {"mb_distr", "iq6464", "swim", "gcc", "rob_size",
+          "chains_per_queue", "clear_table_on_mispredict", "fig08",
+          "table1"})
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+
+    // Scoped listing: only the requested section.
+    std::string keys = capture("'" + binary("diq") + "' list keys");
+    EXPECT_NE(keys.find("rob_size"), std::string::npos);
+    EXPECT_EQ(keys.find("Baseline: two 64-entry"), std::string::npos);
+}
+
+// --- Error paths ----------------------------------------------------
+
+TEST(DiqCli, PreciseErrorsExitNonZero)
+{
+    capture("'" + binary("diq") + "'", 1);
+    capture("'" + binary("diq") + "' frobnicate", 1);
+    capture("'" + binary("diq") + "' run bogus_key=3", 1);
+    capture("'" + binary("diq") + "' run rob_size=0", 1);
+    capture("'" + binary("diq") + "' sweep", 1);
+    capture("'" + binary("diq") + "' list nonsense", 1);
+
+    // Budget flags and env vars go through the same validation as
+    // spec tokens.
+    capture("DIQ_INSTS=-3 '" + binary("diq") +
+            "' run mb_distr bench=swim", 1);
+    capture("DIQ_WARMUP=banana '" + binary("diq") +
+            "' run mb_distr bench=swim", 1);
+    capture("'" + binary("diq") + "' run mb_distr bench=swim"
+            " --insts -3", 1);
+    capture("'" + binary("diq") + "' run mb_distr bench=swim"
+            " --insts 0", 1);
+    capture("'" + binary("diq") + "' run mb_distr bench=swim"
+            " --warmup banana", 1);
+    capture("'" + binary("diq") +
+            "' sweep 'iq6464 chains=2 chains=4 bench=swim'", 1);
+    capture("'" + binary("diq") + "' sweep 'iq6464 bench=swim'"
+            " --insts -3", 1);
+    capture("DIQ_INSTS=banana '" + binary("diq") +
+            "' sweep 'iq6464 bench=swim'", 1);
+
+    // And the message names the offender.
+    std::string msg = capture("'" + binary("diq") +
+                                  "' run bogus_key=3 2>&1 >/dev/null | "
+                                  "cat",
+                              0);
+    EXPECT_NE(msg.find("unknown key 'bogus_key'"), std::string::npos);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "runner/result_cache.hh"
 #include "runner/sweep_runner.hh"
 #include "runner/thread_pool.hh"
+#include "spec/experiment_spec.hh"
 #include "trace/spec2000.hh"
 #include "util/table_printer.hh"
 
@@ -166,32 +168,86 @@ TEST(ThreadPool, ThrowingTaskDoesNotAbortOrWedgeThePool)
 
 // --- SimJob keys ----------------------------------------------------
 
+/**
+ * SimJob::key() is the spec's canonical serialization, so two configs
+ * differing in any single knob must never collide. Exhaustive by
+ * construction: perturb every key in the spec registry one at a time
+ * (this inherently covers chains_per_queue,
+ * clear_table_on_mispredict, the CAM capacities, FU binding, every
+ * Table 1 knob and both budgets) and require all keys distinct.
+ */
+TEST(SimJob, SingleKnobChangesNeverCollide)
+{
+    spec::ExperimentSpec base;
+    base.processor.scheme = core::SchemeConfig::mbDistr();
+    base.benchmark = "swim";
+    runner::SimJob a = runner::makeJob(base);
+
+    std::vector<std::string> keys{a.key()};
+    for (const auto &k : spec::keyRegistry()) {
+        spec::ExperimentSpec mutated = base;
+        // Pick a valid value different from the base's current one.
+        std::string current = k.get(base);
+        std::string changed;
+        if (k.kind == spec::KeyInfo::Kind::Int) {
+            int64_t cur = std::stoll(current);
+            changed = std::to_string(cur > k.lo ? cur - 1 : cur + 1);
+        } else {
+            for (const auto &c : k.choices)
+                if (c != current) {
+                    changed = c;
+                    break;
+                }
+        }
+        ASSERT_FALSE(changed.empty()) << k.name;
+        mutated.set(k.name, changed);
+        ASSERT_NE(mutated, base) << k.name;
+        keys.push_back(runner::makeJob(mutated).key());
+        EXPECT_NE(keys.back(), a.key()) << "key collision on " << k.name;
+    }
+
+    // All perturbed keys are pairwise distinct, too.
+    std::set<std::string> unique(keys.begin(), keys.end());
+    EXPECT_EQ(unique.size(), keys.size());
+}
+
+/** The knobs the old hand-rolled key was prone to drop, explicitly. */
 TEST(SimJob, KeyCoversEveryKnobTheDisplayNameOmits)
 {
-    runner::SimJob a;
-    a.scheme = core::SchemeConfig::mbDistr();
-    a.profile = trace::specProfile("swim");
-    runner::SimJob b = a;
+    spec::ExperimentSpec base;
+    base.processor.scheme = core::SchemeConfig::mbDistr();
+    base.benchmark = "swim";
+    runner::SimJob a = runner::makeJob(base);
 
-    EXPECT_EQ(a.key(), b.key());
-    b.scheme.chainsPerQueue = 2;
-    EXPECT_NE(a.key(), b.key());
+    spec::ExperimentSpec b = base;
+    EXPECT_EQ(a.key(), runner::makeJob(b).key());
+    b.processor.scheme.chainsPerQueue = 2;
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
 
-    b = a;
-    b.scheme.clearTableOnMispredict = false;
-    EXPECT_NE(a.key(), b.key());
+    b = base;
+    b.processor.scheme.clearTableOnMispredict = false;
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
 
-    b = a;
-    b.scheme.distributedFus = !a.scheme.distributedFus;
-    EXPECT_NE(a.key(), b.key());
+    b = base;
+    b.processor.scheme.camIntEntries = 128;
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
 
-    b = a;
+    b = base;
+    b.processor.scheme.camFpEntries = 128;
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
+
+    b = base;
+    b.processor.scheme.distributedFus =
+        !base.processor.scheme.distributedFus;
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
+
+    b = base;
     b.measureInsts += 1;
-    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
 
-    b = a;
-    b.profile = trace::specProfile("gcc");
-    EXPECT_NE(a.key(), b.key());
+    b = base;
+    b.benchmark = "gcc";
+    EXPECT_NE(a.key(), runner::makeJob(b).key());
 }
 
 // --- SweepRunner determinism ---------------------------------------
@@ -248,9 +304,9 @@ TEST(SweepRunner, ParallelAndSerialSweepsAreByteIdentical)
     EXPECT_EQ(csv_serial, csv_parallel);
 
     // Beyond the CSV projection: the raw results agree bit for bit.
-    for (const auto &[scheme, profile] : spec.points()) {
-        const auto &a = serial.run(scheme, profile);
-        const auto &b = parallel.run(scheme, profile);
+    for (const auto &[exp, profile] : spec.points()) {
+        const auto &a = serial.run(exp, profile);
+        const auto &b = parallel.run(exp, profile);
         EXPECT_EQ(a.ipc, b.ipc);
         EXPECT_EQ(a.stats.cycles, b.stats.cycles);
         EXPECT_EQ(a.stats.committed, b.stats.committed);
@@ -266,8 +322,8 @@ TEST(SweepRunner, PrefetchMakesEveryPointACacheHit)
     r.prefetch(spec);
     EXPECT_EQ(r.cacheMisses(), spec.size());
     uint64_t misses_before = r.cacheMisses();
-    for (const auto &[scheme, profile] : spec.points())
-        r.run(scheme, profile);
+    for (const auto &[exp, profile] : spec.points())
+        r.run(exp, profile);
     EXPECT_EQ(r.cacheMisses(), misses_before);
     EXPECT_GE(r.cacheHits(), spec.size());
 }
@@ -295,7 +351,8 @@ TEST(SweepRunner, RunAllPreservesSpecOrder)
     auto results = r.runAll(spec);
     ASSERT_EQ(results.size(), spec.size());
     for (size_t i = 0; i < results.size(); ++i) {
-        EXPECT_EQ(results[i]->scheme, spec.points()[i].first.name());
+        EXPECT_EQ(results[i]->scheme,
+                  spec.points()[i].first.processor.scheme.name());
         EXPECT_EQ(results[i]->benchmark, spec.points()[i].second.name);
     }
 }

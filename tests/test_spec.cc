@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the declarative experiment API (docs/ARCHITECTURE.md §8):
+ * round-trip property tests over every named preset and over
+ * randomized knob assignments, precise parse-error reporting, preset
+ * resolution with per-key overrides, and the textual sweep-grid form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "runner/sweep_spec.hh"
+#include "spec/experiment_spec.hh"
+#include "spec/presets.hh"
+#include "trace/spec2000.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace diq;
+using spec::ExperimentSpec;
+
+// --- Round-trip properties ------------------------------------------
+
+TEST(SpecRoundTrip, DefaultSpecSurvivesToTextParse)
+{
+    ExperimentSpec s;
+    EXPECT_EQ(ExperimentSpec::parse(s.toText()), s);
+    EXPECT_EQ(ExperimentSpec::parse(s.canonicalLine()), s);
+}
+
+TEST(SpecRoundTrip, EveryNamedPresetSurvivesToTextParse)
+{
+    for (const auto &p : spec::presets()) {
+        ExperimentSpec s;
+        s.processor.scheme = p.scheme;
+        EXPECT_EQ(ExperimentSpec::parse(s.toText()), s) << p.name;
+        // The bare preset name parses to the same scheme config.
+        EXPECT_EQ(ExperimentSpec::parse(p.name).processor.scheme,
+                  p.scheme)
+            << p.name;
+    }
+}
+
+/** Draw a valid random value for a key from its declared domain. */
+std::string
+randomValue(const spec::KeyInfo &k, util::Rng &rng)
+{
+    if (k.kind == spec::KeyInfo::Kind::Int)
+        return std::to_string(rng.nextRange(k.lo, k.hi));
+    return k.choices[rng.nextBounded(k.choices.size())];
+}
+
+TEST(SpecRoundTrip, RandomizedKnobAssignmentsSurviveToTextParse)
+{
+    util::Rng rng(util::Rng::hashString("spec-roundtrip"));
+    for (int trial = 0; trial < 100; ++trial) {
+        ExperimentSpec s;
+        for (const auto &k : spec::keyRegistry())
+            if (rng.nextBool(0.5))
+                k.set(s, randomValue(k, rng));
+
+        ExperimentSpec reparsed = ExperimentSpec::parse(s.toText());
+        EXPECT_EQ(reparsed, s) << "trial " << trial << "\n"
+                               << s.toText();
+        EXPECT_EQ(reparsed.canonicalLine(), s.canonicalLine());
+    }
+}
+
+TEST(SpecRoundTrip, EveryKnobIsReachableAndSerialized)
+{
+    // Every ProcessorConfig/SchemeConfig knob is reachable by name:
+    // setting any registry key to a non-default value must change the
+    // canonical serialization (i.e. no write-only or ignored keys).
+    ExperimentSpec base;
+    for (const auto &k : spec::keyRegistry()) {
+        ExperimentSpec s;
+        std::string current = k.get(s);
+        std::string changed;
+        if (k.kind == spec::KeyInfo::Kind::Int) {
+            int64_t cur = std::stoll(current);
+            changed = std::to_string(cur > k.lo ? cur - 1 : cur + 1);
+        } else {
+            for (const auto &c : k.choices)
+                if (c != current)
+                    changed = c;
+        }
+        ASSERT_FALSE(changed.empty()) << k.name;
+        s.set(k.name, changed);
+        EXPECT_NE(s, base) << k.name;
+        EXPECT_NE(s.canonicalLine(), base.canonicalLine()) << k.name;
+        EXPECT_EQ(k.get(s), changed) << k.name;
+    }
+}
+
+TEST(SpecRoundTrip, AliasesResolveToTheSameKey)
+{
+    ExperimentSpec s;
+    s.set("chains", "3");
+    EXPECT_EQ(s.processor.scheme.chainsPerQueue, 3);
+    s.set("insts", "777");
+    EXPECT_EQ(s.measureInsts, 777u);
+    s.set("warmup", "11");
+    EXPECT_EQ(s.warmupInsts, 11u);
+    s.set("benchmark", "gcc");
+    EXPECT_EQ(s.benchmark, "gcc");
+}
+
+// --- Presets and overrides ------------------------------------------
+
+TEST(SpecPresets, PresetWithPerKeyOverrides)
+{
+    ExperimentSpec s =
+        ExperimentSpec::parse("mb_distr chains_per_queue=4 rob_size=512");
+    EXPECT_EQ(s.processor.scheme.kind,
+              core::SchemeConfig::Kind::MixBuff);
+    EXPECT_TRUE(s.processor.scheme.distributedFus);
+    EXPECT_EQ(s.processor.scheme.chainsPerQueue, 4);
+    EXPECT_EQ(s.processor.robSize, 512);
+
+    // Order matters: the preset resets the whole scheme config.
+    ExperimentSpec clobbered =
+        ExperimentSpec::parse("chains_per_queue=4 mb_distr");
+    EXPECT_EQ(clobbered.processor.scheme.chainsPerQueue, 8);
+}
+
+TEST(SpecPresets, SchemeKeyAcceptsKindsAndPresets)
+{
+    EXPECT_EQ(ExperimentSpec::parse("scheme=lat_fifo")
+                  .processor.scheme.kind,
+              core::SchemeConfig::Kind::LatFifo);
+    // A preset name as the value sets the full configuration.
+    ExperimentSpec s = ExperimentSpec::parse("scheme=if_distr");
+    EXPECT_EQ(s.processor.scheme, core::SchemeConfig::ifDistr());
+}
+
+TEST(SpecPresets, MatchTheHardcodedFactories)
+{
+    EXPECT_EQ(spec::findPreset("iq6464")->scheme,
+              core::SchemeConfig::iq6464());
+    EXPECT_EQ(spec::findPreset("unbounded")->scheme,
+              core::SchemeConfig::unbounded());
+    EXPECT_EQ(spec::findPreset("latfifo_8x8_8x16")->scheme,
+              core::SchemeConfig::latFifo(8, 8, 8, 16));
+    EXPECT_EQ(spec::findPreset("if_distr")->scheme,
+              core::SchemeConfig::ifDistr());
+    EXPECT_EQ(spec::findPreset("mb_distr")->scheme,
+              core::SchemeConfig::mbDistr());
+    EXPECT_EQ(spec::findPreset("no_such_preset"), nullptr);
+}
+
+TEST(SpecPresets, CommentsAndBlankLinesIgnored)
+{
+    ExperimentSpec s = ExperimentSpec::parse(
+        "# a comment line\n"
+        "mb_distr   # trailing comment\n"
+        "\n"
+        "rob_size=128\n");
+    EXPECT_EQ(s.processor.scheme, core::SchemeConfig::mbDistr());
+    EXPECT_EQ(s.processor.robSize, 128);
+}
+
+// --- Error reporting ------------------------------------------------
+
+/** EXPECT that parsing `text` throws mentioning `needle`. */
+void
+expectParseError(const std::string &text, const std::string &needle)
+{
+    try {
+        ExperimentSpec::parse(text);
+        FAIL() << "no ParseError for: " << text;
+    } catch (const spec::ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+}
+
+TEST(SpecErrors, UnknownKey)
+{
+    expectParseError("bogus_key=3", "unknown key 'bogus_key'");
+}
+
+TEST(SpecErrors, UnknownPreset)
+{
+    expectParseError("warp_drive", "unknown preset 'warp_drive'");
+}
+
+TEST(SpecErrors, MalformedValues)
+{
+    expectParseError("rob_size=banana", "bad value 'banana'");
+    expectParseError("rob_size=", "bad value ''");
+    expectParseError("rob_size=12x", "bad value '12x'");
+    expectParseError("distributed_fus=maybe", "bad value 'maybe'");
+    expectParseError("scheme=hyperscalar", "bad value 'hyperscalar'");
+    expectParseError("bench=spec2077", "bad value 'spec2077'");
+    expectParseError("=5", "missing key");
+}
+
+TEST(SpecErrors, OutOfRangeGeometry)
+{
+    expectParseError("rob_size=0", "out of range");
+    expectParseError("int_queues=0", "out of range");
+    expectParseError("int_queues=65", "out of range");
+    expectParseError("fp_queue_size=-3", "out of range");
+    expectParseError("cam_int_entries=100000", "out of range");
+    expectParseError("chains_per_queue=-1", "out of range");
+    expectParseError("measure_insts=0", "out of range");
+}
+
+// --- Textual sweep grids --------------------------------------------
+
+TEST(SweepGrid, CrossProductInTokenOrder)
+{
+    auto grid = runner::SweepSpec::fromText(
+        "scheme=mb_distr,if_distr bench=swim,gcc chains=2,4,8");
+    ASSERT_EQ(grid.size(), 12u);
+
+    // Leftmost axis outermost: scheme-major, then bench, then chains.
+    const auto &points = grid.points();
+    EXPECT_EQ(points[0].first.processor.scheme.kind,
+              core::SchemeConfig::Kind::MixBuff);
+    EXPECT_EQ(points[0].second.name, "swim");
+    EXPECT_EQ(points[0].first.processor.scheme.chainsPerQueue, 2);
+    EXPECT_EQ(points[1].first.processor.scheme.chainsPerQueue, 4);
+    EXPECT_EQ(points[2].first.processor.scheme.chainsPerQueue, 8);
+    EXPECT_EQ(points[3].second.name, "gcc");
+    EXPECT_EQ(points[6].first.processor.scheme.kind,
+              core::SchemeConfig::Kind::IssueFifo);
+
+    // All twelve specs are distinct experiments.
+    std::set<std::string> keys;
+    for (const auto &[exp, profile] : points)
+        keys.insert(exp.canonicalLine());
+    EXPECT_EQ(keys.size(), 12u);
+}
+
+TEST(SweepGrid, BenchSuiteAliasesExpand)
+{
+    auto grid = runner::SweepSpec::fromText("iq6464 bench=int");
+    EXPECT_EQ(grid.size(), trace::specIntProfiles().size());
+    auto all = runner::SweepSpec::fromText("iq6464 bench=all");
+    EXPECT_EQ(all.size(), trace::allSpecProfiles().size());
+}
+
+TEST(SweepGrid, AxisValuesAreDeduped)
+{
+    // Overlapping suite aliases and repeated values would otherwise
+    // produce duplicate grid rows.
+    EXPECT_EQ(runner::SweepSpec::fromText("iq6464 bench=fp,all").size(),
+              trace::allSpecProfiles().size());
+    EXPECT_EQ(runner::SweepSpec::fromText("iq6464 bench=swim,fp").size(),
+              trace::specFpProfiles().size());
+    EXPECT_EQ(runner::SweepSpec::fromText("iq6464 chains=2,2,4").size(),
+              2u);
+}
+
+TEST(SweepGrid, ErrorsPropagateWithPreciseMessages)
+{
+    EXPECT_THROW(runner::SweepSpec::fromText("nope=1"),
+                 spec::ParseError);
+    EXPECT_THROW(runner::SweepSpec::fromText("rob_size=0"),
+                 spec::ParseError);
+    EXPECT_THROW(runner::SweepSpec::fromText("bench=nonesuch"),
+                 spec::ParseError);
+    EXPECT_TRUE(runner::SweepSpec::fromText("").empty());
+}
+
+TEST(SweepGrid, DuplicateAxesAreRejectedNotSilentlyOverwritten)
+{
+    // With a repeated key the last token would win in every
+    // combination, degenerating the earlier axis into duplicate rows.
+    for (const char *text :
+         {"iq6464 chains=2,4 chains=8", "scheme=cam scheme=mixbuff",
+          "mb_distr scheme=cam", "bench=swim benchmark=gcc"}) {
+        try {
+            runner::SweepSpec::fromText(text);
+            FAIL() << "no ParseError for: " << text;
+        } catch (const spec::ParseError &e) {
+            EXPECT_NE(std::string(e.what()).find("duplicate axis"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(SweepGrid, PresetAfterSchemeKnobAxisIsRejected)
+{
+    // A preset value resets the whole scheme config, so placed after
+    // a scheme-knob axis it would clobber that axis per combination.
+    for (const char *text :
+         {"chains=2,4 mb_distr bench=swim",
+          "distributed_fus=0,1 scheme=if_distr,iq6464"}) {
+        try {
+            runner::SweepSpec::fromText(text);
+            FAIL() << "no ParseError for: " << text;
+        } catch (const spec::ParseError &e) {
+            EXPECT_NE(std::string(e.what())
+                          .find("must come before scheme knob axes"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+
+    // Preset first, then knob axes: the intended idiom still works,
+    // and non-scheme axes may precede the preset freely.
+    EXPECT_EQ(runner::SweepSpec::fromText("mb_distr chains=2,4").size(),
+              2u);
+    EXPECT_EQ(runner::SweepSpec::fromText("bench=swim,gcc mb_distr")
+                  .size(),
+              2u);
+    // Kind values never clobber sibling knobs, so order is free.
+    EXPECT_EQ(runner::SweepSpec::fromText(
+                  "chains=2,4 scheme=mixbuff,lat_fifo bench=swim")
+                  .size(),
+              4u);
+}
+
+TEST(SweepGrid, BudgetAxesAreRejectedNotSilentlyIgnored)
+{
+    // The runner owns the budgets, so a swept budget axis would
+    // produce duplicate rows that all ran at the same budget.
+    for (const char *text :
+         {"iq6464 insts=1000,50000", "iq6464 measure_insts=1000",
+          "iq6464 warmup=5", "iq6464 warmup_insts=5,10"}) {
+        try {
+            runner::SweepSpec::fromText(text);
+            FAIL() << "no ParseError for: " << text;
+        } catch (const spec::ParseError &e) {
+            EXPECT_NE(std::string(e.what()).find("cannot be swept"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 #include "cli.hh"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -15,6 +16,8 @@
 #include "report.hh"
 #include "runner/sweep_runner.hh"
 #include "spec/presets.hh"
+#include "trace/file_trace.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 #include "util/flags.hh"
 #include "util/table_printer.hh"
@@ -34,15 +37,23 @@ usage(std::ostream &os)
           "      A spec is presets and key=value overrides, e.g.\n"
           "        diq run mb_distr chains_per_queue=4 bench=swim\n"
           "        diq run --spec mb_distr --bench swim\n"
+          "      bench= accepts a benchmark name, scenario:<name>,\n"
+          "      or trace:<path> (replay a recorded .diqt file)\n"
           "      [--bench NAME] [--insts N] [--warmup N]\n"
+          "  record --out FILE [tokens...]   run one experiment while\n"
+          "      recording the consumed workload stream to FILE\n"
+          "      (.diqt); replay it with bench=trace:FILE\n"
+          "      [--spec TEXT] [--bench NAME] [--insts N] [--warmup N]\n"
           "  sweep [--grid TEXT] [tokens...] run a grid, emit CSV\n"
           "      Comma lists sweep, cross product in token order:\n"
           "        diq sweep scheme=mb_distr,if_distr bench=swim,gcc\n"
+          "      bench= also accepts the aliases int, fp, all and\n"
+          "      scenarios (the whole adversarial catalog)\n"
           "      [--jobs N] [--insts N] [--warmup N] [--out FILE]\n"
           "  report [figure-ids...]          reproduce every paper\n"
           "      figure (alias binary: diq_report)\n"
           "      [--outdir DIR] [--jobs N] [--insts N] [--warmup N]\n"
-          "  list [schemes|benchmarks|keys|figures]\n"
+          "  list [schemes|benchmarks|scenarios|keys|figures]\n"
           "      show the named vocabulary with doc strings\n"
           "  help                            this text\n"
           "\n"
@@ -90,6 +101,28 @@ gatherSpecText(const util::Flags &flags, const std::string &flag_name)
     return text;
 }
 
+/**
+ * The one spec-assembly path behind `diq run` and `diq record` (a
+ * recording is exactly the run it archives, by construction).
+ *
+ * Budget precedence: explicit flag > spec token > environment >
+ * default. The env fallbacks seed the spec's defaults *before*
+ * parsing so a `measure_insts=` token in the text beats them, and
+ * every source goes through the validated setters — --insts -3
+ * gets the same out-of-range error a measure_insts=-3 token does.
+ */
+spec::ExperimentSpec
+buildRunExperiment(const util::Flags &flags, const std::string &text)
+{
+    spec::ExperimentSpec exp;
+    applyEnvBudgets(exp);
+    exp.applyText(text);
+    if (flags.has("bench"))
+        exp.set("bench", flags.getString("bench", exp.benchmark));
+    applyFlagBudgets(flags, exp);
+    return exp;
+}
+
 int
 runCmd(const util::Flags &flags)
 {
@@ -100,19 +133,54 @@ runCmd(const util::Flags &flags)
         return 1;
     }
 
-    // Budget precedence: explicit flag > spec token > environment >
-    // default. The env fallbacks seed the spec's defaults *before*
-    // parsing so a `measure_insts=` token in the text beats them, and
-    // every source goes through the validated setters — --insts -3
-    // gets the same out-of-range error a measure_insts=-3 token does.
-    spec::ExperimentSpec exp;
-    applyEnvBudgets(exp);
-    exp.applyText(text);
-    if (flags.has("bench"))
-        exp.set("bench", flags.getString("bench", exp.benchmark));
-    applyFlagBudgets(flags, exp);
-
+    spec::ExperimentSpec exp = buildRunExperiment(flags, text);
     runner::SimResult result = runner::executeJob(runner::makeJob(exp));
+    std::cout << renderRunOutput(exp, result);
+    return 0;
+}
+
+int
+recordCmd(const util::Flags &flags)
+{
+    std::string text = gatherSpecText(flags, "spec");
+    if (text.empty() && !flags.has("bench")) {
+        std::cerr << "error: no spec given (try `diq record iq6464 "
+                     "bench=swim --out swim.diqt`)\n";
+        return 1;
+    }
+    if (!flags.has("out")) {
+        std::cerr << "error: no output path given (--out FILE)\n";
+        return 1;
+    }
+    std::string out_path = flags.getString("out", "");
+
+    spec::ExperimentSpec exp = buildRunExperiment(flags, text);
+
+    // Re-recording a replay is legal, but never onto the file being
+    // read: the ios::trunc open would destroy the input mid-replay.
+    if (exp.benchmark.starts_with(trace::kTracePrefix)) {
+        std::string in_path =
+            exp.benchmark.substr(trace::kTracePrefix.size());
+        std::error_code ec;
+        bool same = in_path == out_path ||
+            std::filesystem::equivalent(in_path, out_path, ec);
+        if (same) {
+            std::cerr << "error: --out '" << out_path << "' is the "
+                         "trace being replayed (recording onto it "
+                         "would destroy the input)\n";
+            return 1;
+        }
+    }
+
+    runner::SimJob job = runner::makeJob(exp);
+    auto live = runner::makeJobWorkload(job);
+    trace::TraceRecorder recorder(*live, out_path);
+    runner::SimResult result = runner::simulateJob(job, recorder);
+    recorder.finalize();
+    std::cerr << "recorded " << recorder.recordedOps()
+              << " micro-ops to " << out_path
+              << " (replay: diq run bench=trace:" << out_path
+              << " ...)\n";
     std::cout << renderRunOutput(exp, result);
     return 0;
 }
@@ -170,6 +238,11 @@ listCmd(const util::Flags &flags)
 {
     std::string topic =
         flags.positional().empty() ? "all" : flags.positional().front();
+    // Bare-flag spellings (`diq list --scenarios`) select a topic too.
+    for (const char *t :
+         {"schemes", "benchmarks", "scenarios", "keys", "figures"})
+        if (flags.has(t))
+            topic = t;
     bool known = false;
 
     if (topic == "all" || topic == "schemes") {
@@ -189,7 +262,20 @@ listCmd(const util::Flags &flags)
         std::cout << "\nbenchmarks (SPECfp-like): ";
         for (const auto &p : trace::specFpProfiles())
             std::cout << " " << p.name;
-        std::cout << "\n(suite aliases in grids: int, fp, all)\n\n";
+        std::cout << "\n(suite aliases in grids: int, fp, all, "
+                     "scenarios)\n\n";
+    }
+    if (topic == "all" || topic == "scenarios") {
+        known = true;
+        std::cout << "scenarios (adversarial stress workloads; "
+                     "`bench=scenario:<name>`):\n";
+        for (const auto &s : trace::scenarioRegistry())
+            std::cout << "  " << s.name << pad(s.name, 14) << s.doc
+                      << "\n";
+        std::cout << "  phased:A+B@N  ad-hoc phase alternation "
+                     "between benchmarks/scenarios every N ops\n"
+                     "(record any workload with `diq record ... --out "
+                     "f.diqt`, replay with `bench=trace:f.diqt`)\n\n";
     }
     if (topic == "all" || topic == "keys") {
         known = true;
@@ -214,7 +300,8 @@ listCmd(const util::Flags &flags)
 
     if (!known) {
         std::cerr << "error: unknown list topic '" << topic
-                  << "' (known: schemes benchmarks keys figures)\n";
+                  << "' (known: schemes benchmarks scenarios keys "
+                     "figures)\n";
         return 1;
     }
     return 0;
@@ -286,6 +373,8 @@ cliMain(int argc, char **argv)
     try {
         if (cmd == "run")
             return runCmd(flags);
+        if (cmd == "record")
+            return recordCmd(flags);
         if (cmd == "sweep")
             return sweepCmd(flags);
         if (cmd == "report")

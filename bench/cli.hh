@@ -6,6 +6,8 @@
  * declarative spec layer (spec/experiment_spec.hh):
  *
  *   diq run    — execute one experiment from a spec string
+ *   diq record — execute one experiment while recording the consumed
+ *                workload stream to a .diqt file (trace/file_trace.hh)
  *   diq sweep  — execute a textual grid (SweepSpec::fromText) and
  *                emit CSV
  *   diq report — the full figure report (bench/report.hh; the

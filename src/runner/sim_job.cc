@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "sim/pipeline.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 
 namespace diq::runner
@@ -47,15 +48,25 @@ makeJob(const spec::ExperimentSpec &exp)
 {
     SimJob j;
     j.exp = exp;
-    j.profile = trace::specProfile(exp.benchmark);
+    j.profile = trace::workloadProfile(exp.benchmark);
     return j;
 }
 
-SimResult
-executeJob(const SimJob &job)
+std::unique_ptr<trace::TraceSource>
+makeJobWorkload(const SimJob &job)
 {
-    auto workload = trace::makeSpecWorkload(job.profile);
-    sim::Cpu cpu(job.exp.processor, *workload);
+    // Plain names go through the profile carried by the job (not a
+    // second registry lookup) so hand-built jobs with tweaked
+    // profiles keep working; tokens resolve through makeWorkload.
+    if (trace::isWorkloadToken(job.exp.benchmark))
+        return trace::makeWorkload(job.exp.benchmark);
+    return trace::makeSpecWorkload(job.profile);
+}
+
+SimResult
+simulateJob(const SimJob &job, trace::TraceSource &workload)
+{
+    sim::Cpu cpu(job.exp.processor, workload);
 
     cpu.run(job.exp.warmupInsts);
     cpu.resetStats();
@@ -69,6 +80,13 @@ executeJob(const SimJob &job)
     r.energy = energyFor(job.exp.processor.scheme,
                          cpu.stats().counters);
     return r;
+}
+
+SimResult
+executeJob(const SimJob &job)
+{
+    auto workload = makeJobWorkload(job);
+    return simulateJob(job, *workload);
 }
 
 } // namespace diq::runner

@@ -14,6 +14,7 @@
 #ifndef DIQ_RUNNER_SIM_JOB_HH
 #define DIQ_RUNNER_SIM_JOB_HH
 
+#include <memory>
 #include <string>
 
 #include "power/energy_model.hh"
@@ -31,7 +32,13 @@ struct SimJob
     /** The experiment; `exp.benchmark` names `profile`. */
     spec::ExperimentSpec exp;
 
-    /** Resolved profile data (profiles are immutable named data). */
+    /**
+     * Resolved profile data for a plain benchmark name (profiles are
+     * immutable named data). For `scenario:`/`trace:` workload tokens
+     * this is a placeholder carrying the token as its name; the
+     * workload itself is instantiated by trace::makeWorkload at
+     * execution time.
+     */
     trace::BenchmarkProfile profile;
 
     /**
@@ -66,9 +73,23 @@ power::EnergyBreakdown energyFor(const core::SchemeConfig &scheme,
 
 /**
  * Build a job from a spec, resolving the benchmark profile by name.
- * @throws std::out_of_range for an unknown benchmark.
+ * `scenario:` tokens are validated here (so grids fail at build time,
+ * not mid-sweep on a worker thread); `trace:` paths are validated
+ * when the file is opened at execution time.
+ * @throws std::out_of_range for an unknown benchmark,
+ *         std::invalid_argument for a bad scenario token.
  */
 SimJob makeJob(const spec::ExperimentSpec &exp);
+
+/**
+ * Instantiate the job's workload: the seeded synthetic generator for
+ * a plain benchmark name, the scenario factory for `scenario:`, the
+ * `.diqt` reader for `trace:`. Exposed so callers can interpose on
+ * the stream (trace::TraceRecorder tees it for `diq record`).
+ * @throws trace::TraceError for an unreadable/malformed trace file,
+ *         std::invalid_argument for a bad scenario token.
+ */
+std::unique_ptr<trace::TraceSource> makeJobWorkload(const SimJob &job);
 
 /**
  * Execute one job to completion on the calling thread: instantiate the
@@ -76,6 +97,13 @@ SimJob makeJob(const spec::ExperimentSpec &exp);
  * Deterministic — depends only on the job descriptor.
  */
 SimResult executeJob(const SimJob &job);
+
+/**
+ * The simulate-and-account core of executeJob over a caller-supplied
+ * workload stream. Byte-identical results for byte-identical streams:
+ * replaying a recorded trace of `workload` reproduces the run.
+ */
+SimResult simulateJob(const SimJob &job, trace::TraceSource &workload);
 
 } // namespace diq::runner
 

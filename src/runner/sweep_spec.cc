@@ -8,6 +8,7 @@
 #include <set>
 
 #include "spec/presets.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 
 namespace diq::runner
@@ -16,7 +17,7 @@ namespace diq::runner
 void
 SweepSpec::add(const spec::ExperimentSpec &exp)
 {
-    points_.emplace_back(exp, trace::specProfile(exp.benchmark));
+    points_.emplace_back(exp, trace::workloadProfile(exp.benchmark));
 }
 
 void
@@ -71,7 +72,7 @@ splitList(const std::string &csv)
     return out;
 }
 
-/** Expand the bench axis's suite aliases into profile names. */
+/** Expand the bench axis's suite aliases into workload names. */
 std::vector<std::string>
 expandBenchValues(const std::vector<std::string> &values)
 {
@@ -83,7 +84,11 @@ expandBenchValues(const std::vector<std::string> &values)
         if (v == "fp" || v == "all")
             for (const auto &p : trace::specFpProfiles())
                 out.push_back(p.name);
-        if (v != "int" && v != "fp" && v != "all")
+        if (v == "scenarios")
+            for (const auto &s : trace::scenarioRegistry())
+                out.push_back(std::string(trace::kScenarioPrefix) +
+                              s.name);
+        if (v != "int" && v != "fp" && v != "all" && v != "scenarios")
             out.push_back(v);
     }
     return out;

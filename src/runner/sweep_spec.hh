@@ -16,7 +16,9 @@
  *   scheme=mb_distr,if_distr bench=swim,gcc chains=2,4,8
  *
  * The `bench` axis additionally accepts the suite aliases `int`,
- * `fp` and `all`, which expand to the corresponding profile lists.
+ * `fp` and `all`, which expand to the corresponding profile lists,
+ * and `scenarios`, which expands to every `scenario:<name>` in the
+ * adversarial stress catalog (trace/scenarios.hh).
  */
 
 #ifndef DIQ_RUNNER_SWEEP_SPEC_HH

@@ -10,10 +10,12 @@
 
 #include "spec/experiment_spec.hh"
 
+#include <cctype>
 #include <sstream>
 #include <utility>
 
 #include "spec/presets.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 
 namespace diq::spec
@@ -161,13 +163,50 @@ benchKey()
     KeyInfo k;
     k.name = "bench";
     k.aliases = {"benchmark"};
-    k.doc = "synthetic SPEC2000-like benchmark to simulate "
-            "(trace/spec2000.hh)";
+    k.doc = "workload to simulate: a SPEC2000-like benchmark "
+            "(trace/spec2000.hh), scenario:<name> from the stress "
+            "catalog, or trace:<path> to replay a recorded .diqt "
+            "file (trace/scenarios.hh)";
     k.kind = KeyInfo::Kind::Choice;
     for (const auto &p : trace::allSpecProfiles())
         k.choices.push_back(p.name);
+    for (const auto &s : trace::scenarioRegistry())
+        k.choices.push_back(std::string(trace::kScenarioPrefix) +
+                            s.name);
     k.get = [](const ExperimentSpec &s) { return s.benchmark; };
     k.set = [](ExperimentSpec &s, const std::string &v) {
+        if (v.starts_with(trace::kScenarioPrefix)) {
+            // Registry names and the phased: form validate cheaply
+            // without instantiating any workload.
+            try {
+                trace::validateScenario(
+                    v.substr(trace::kScenarioPrefix.size()));
+            } catch (const std::invalid_argument &e) {
+                throw ParseError("bad value '" + v +
+                                 "' for key 'bench' (" + e.what() +
+                                 ")");
+            }
+            s.benchmark = v;
+            return;
+        }
+        if (v.starts_with(trace::kTracePrefix)) {
+            // The path is validated when the trace is opened (the
+            // file may be recorded after the spec is written). Only
+            // an empty path is rejected here — plus whitespace, which
+            // could never survive the whitespace-tokenized canonical
+            // serialization (parse(toText(s)) == s must hold).
+            if (v.size() == trace::kTracePrefix.size())
+                throw ParseError("bad value '" + v + "' for key "
+                                 "'bench' (empty trace path)");
+            for (char c : v)
+                if (std::isspace(static_cast<unsigned char>(c)))
+                    throw ParseError(
+                        "bad value '" + v + "' for key 'bench' "
+                        "(trace path contains whitespace, which "
+                        "cannot round-trip through spec text)");
+            s.benchmark = v;
+            return;
+        }
         for (const auto &p : trace::allSpecProfiles()) {
             if (p.name == v) {
                 s.benchmark = v;
@@ -176,7 +215,8 @@ benchKey()
         }
         throw ParseError("bad value '" + v + "' for key 'bench' "
                          "(unknown benchmark; see `diq list "
-                         "benchmarks`)");
+                         "benchmarks`, or use scenario:<name> / "
+                         "trace:<path>)");
     };
     return k;
 }

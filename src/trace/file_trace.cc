@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Implementation of trace/file_trace.hh: the `.diqt` encoder, the
+ * streaming reader and the recording tee (docs/ARCHITECTURE.md §5).
+ */
+
+#include "trace/file_trace.hh"
+
+#include <limits>
+
+namespace diq::trace
+{
+
+namespace
+{
+
+/** Sanity cap on the header's name field; anything longer is treated
+ *  as a corrupt length, not an allocation request. */
+constexpr uint64_t kMaxNameLength = 4096;
+
+/** Zigzag map: small negatives and positives to small unsigneds. */
+uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Unsigned LEB128. */
+void
+writeVarint(std::ostream &os, uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+void
+writeSvarint(std::ostream &os, int64_t v)
+{
+    writeVarint(os, zigzagEncode(v));
+}
+
+void
+writeU16(std::ostream &os, uint16_t v)
+{
+    os.put(static_cast<char>(v & 0xff));
+    os.put(static_cast<char>(v >> 8));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/** Head byte: op class in the low 5 bits, branch-taken in bit 5. */
+constexpr uint8_t kOpClassMask = 0x1f;
+constexpr uint8_t kTakenBit = 0x20;
+static_assert(static_cast<int>(OpClass::NumOpClasses) <=
+                  kOpClassMask + 1,
+              "op classes no longer fit the 5-bit head encoding; "
+              "bump kTraceFormatVersion and widen the field");
+
+/** In-range logical register id or the NoReg sentinel. */
+bool
+validReg(int8_t reg)
+{
+    return reg == NoReg || (reg >= 0 && reg < NumLogicalRegs);
+}
+
+} // namespace
+
+// --- TraceWriter ----------------------------------------------------
+
+TraceWriter::TraceWriter(std::ostream &os, const std::string &name)
+    : os_(os)
+{
+    // The reader treats longer names as a corrupt header; a recording
+    // must never succeed and then fail replay.
+    if (name.size() > kMaxNameLength)
+        throw TraceError("cannot record trace: workload name of " +
+                         std::to_string(name.size()) +
+                         " bytes exceeds the format's cap of " +
+                         std::to_string(kMaxNameLength));
+    os_.write(kTraceMagic, sizeof kTraceMagic);
+    writeU16(os_, kTraceFormatVersion);
+    writeU16(os_, kTraceIsaVersion);
+    writeVarint(os_, name.size());
+    os_.write(name.data(),
+              static_cast<std::streamsize>(name.size()));
+    countPos_ = os_.tellp();
+    writeU64(os_, 0); // back-patched by finalize()
+}
+
+void
+TraceWriter::append(const MicroOp &op)
+{
+    // Enforce the same invariants the reader checks: a recording
+    // must never succeed and then fail replay as "corrupt record"
+    // after the trace has been shipped.
+    if (op.op >= OpClass::NumOpClasses)
+        throw TraceError("cannot record op " + std::to_string(count_) +
+                         ": invalid op class " +
+                         std::to_string(static_cast<int>(op.op)));
+    if (!validReg(op.src1) || !validReg(op.src2) || !validReg(op.dest))
+        throw TraceError("cannot record op " + std::to_string(count_) +
+                         ": register id out of range");
+    if (op.isMem() && op.memSize == 0)
+        throw TraceError("cannot record op " + std::to_string(count_) +
+                         ": mem size 0");
+    if (op.taken && !op.isBranch())
+        throw TraceError("cannot record op " + std::to_string(count_) +
+                         ": taken flag on a non-branch");
+
+    uint8_t head = static_cast<uint8_t>(op.op) & kOpClassMask;
+    if (op.taken)
+        head |= kTakenBit;
+    os_.put(static_cast<char>(head));
+    os_.put(static_cast<char>(op.src1));
+    os_.put(static_cast<char>(op.src2));
+    os_.put(static_cast<char>(op.dest));
+    writeSvarint(os_, static_cast<int64_t>(op.pc - prevPc_));
+    prevPc_ = op.pc;
+    if (op.isMem()) {
+        writeSvarint(os_, static_cast<int64_t>(op.memAddr - prevAddr_));
+        prevAddr_ = op.memAddr;
+        writeVarint(os_, op.memSize);
+    }
+    if (op.isBranch())
+        writeSvarint(os_, static_cast<int64_t>(op.target - op.pc));
+    ++count_;
+}
+
+void
+TraceWriter::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    std::streampos end = os_.tellp();
+    os_.seekp(countPos_);
+    writeU64(os_, count_);
+    os_.seekp(end);
+    os_.flush();
+    if (!os_)
+        throw TraceError("failed to write .diqt trace "
+                         "(stream error while finalizing)");
+}
+
+// --- FileTrace ------------------------------------------------------
+
+void
+FileTrace::fail(const std::string &what) const
+{
+    throw TraceError("bad .diqt trace '" + path_ + "': " + what);
+}
+
+uint8_t
+FileTrace::readByte(const char *what)
+{
+    int c = is_.get();
+    if (c == std::ifstream::traits_type::eof()) {
+        fail(emitted_ == 0 && dataPos_ == std::streampos(0)
+                 ? std::string("truncated header (") + what + ")"
+                 : "truncated record (mid-record EOF in " + std::string(what) +
+                       " at op " + std::to_string(emitted_) + " of " +
+                       std::to_string(opCount_) + ")");
+    }
+    return static_cast<uint8_t>(c);
+}
+
+uint64_t
+FileTrace::readVarint(const char *what)
+{
+    uint64_t out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        uint8_t b = readByte(what);
+        // The 10th byte may only carry bit 64's single payload bit;
+        // anything above would be silently shifted out and misdecode
+        // hostile input instead of erroring.
+        if (shift == 63 && (b & 0x7e))
+            break;
+        out |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return out;
+    }
+    fail(std::string("corrupt varint (") + what + ")");
+}
+
+int64_t
+FileTrace::readSvarint(const char *what)
+{
+    return zigzagDecode(readVarint(what));
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : path_(path), is_(path, std::ios::binary)
+{
+    if (!is_)
+        fail("cannot open file");
+
+    char magic[sizeof kTraceMagic];
+    is_.read(magic, sizeof magic);
+    if (is_.gcount() != static_cast<std::streamsize>(sizeof magic))
+        fail(is_.gcount() == 0 ? "empty file"
+                               : "truncated header (magic)");
+    for (size_t i = 0; i < sizeof magic; ++i)
+        if (magic[i] != kTraceMagic[i])
+            fail("bad magic (not a .diqt trace)");
+
+    uint16_t format = readByte("format version");
+    format |= static_cast<uint16_t>(readByte("format version")) << 8;
+    if (format != kTraceFormatVersion)
+        fail("unsupported format version " + std::to_string(format) +
+             " (this build reads version " +
+             std::to_string(kTraceFormatVersion) + ")");
+
+    uint16_t isa = readByte("ISA version");
+    isa |= static_cast<uint16_t>(readByte("ISA version")) << 8;
+    if (isa != kTraceIsaVersion)
+        fail("ISA version skew: trace was recorded with ISA version " +
+             std::to_string(isa) + ", this build expects " +
+             std::to_string(kTraceIsaVersion));
+
+    uint64_t nameLen = readVarint("name length");
+    if (nameLen > kMaxNameLength)
+        fail("corrupt header (name length " + std::to_string(nameLen) +
+             ")");
+    name_.resize(nameLen);
+    is_.read(name_.data(), static_cast<std::streamsize>(nameLen));
+    if (is_.gcount() != static_cast<std::streamsize>(nameLen))
+        fail("truncated header (name)");
+
+    for (int i = 0; i < 8; ++i)
+        opCount_ |= static_cast<uint64_t>(readByte("op count"))
+                    << (8 * i);
+    if (opCount_ == 0)
+        fail("empty trace (zero micro-ops)");
+
+    dataPos_ = is_.tellg();
+}
+
+bool
+FileTrace::next(MicroOp &out)
+{
+    if (emitted_ >= opCount_)
+        return false;
+
+    uint8_t head = readByte("record head");
+    uint8_t opc = head & kOpClassMask;
+    if (opc >= static_cast<uint8_t>(OpClass::NumOpClasses))
+        fail("corrupt record (op class " + std::to_string(opc) +
+             " at op " + std::to_string(emitted_) + ")");
+
+    out = MicroOp{};
+    out.op = static_cast<OpClass>(opc);
+    out.taken = (head & kTakenBit) != 0;
+    out.src1 = static_cast<int8_t>(readByte("src1"));
+    out.src2 = static_cast<int8_t>(readByte("src2"));
+    out.dest = static_cast<int8_t>(readByte("dest"));
+    if (!validReg(out.src1) || !validReg(out.src2) ||
+        !validReg(out.dest))
+        fail("corrupt record (register id out of range at op " +
+             std::to_string(emitted_) + ")");
+    out.pc = prevPc_ + static_cast<uint64_t>(readSvarint("pc delta"));
+    prevPc_ = out.pc;
+    if (out.isMem()) {
+        out.memAddr = prevAddr_ +
+            static_cast<uint64_t>(readSvarint("mem-addr delta"));
+        prevAddr_ = out.memAddr;
+        uint64_t size = readVarint("mem size");
+        if (size == 0 || size > std::numeric_limits<uint8_t>::max())
+            fail("corrupt record (mem size " + std::to_string(size) +
+                 " at op " + std::to_string(emitted_) + ")");
+        out.memSize = static_cast<uint8_t>(size);
+    }
+    if (out.isBranch()) {
+        out.target = out.pc +
+            static_cast<uint64_t>(readSvarint("target delta"));
+    } else {
+        // Non-branch records never carry a taken flag.
+        if (out.taken)
+            fail("corrupt record (taken flag on non-branch at op " +
+                 std::to_string(emitted_) + ")");
+    }
+
+    ++emitted_;
+    return true;
+}
+
+void
+FileTrace::reset()
+{
+    is_.clear();
+    is_.seekg(dataPos_);
+    emitted_ = 0;
+    prevPc_ = 0;
+    prevAddr_ = 0;
+}
+
+// --- TraceRecorder --------------------------------------------------
+
+TraceRecorder::TraceRecorder(TraceSource &inner, const std::string &path)
+    : inner_(inner), path_(path),
+      os_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!os_)
+        throw TraceError("cannot open '" + path_ +
+                         "' for trace recording");
+    writer_.emplace(os_, inner_.name());
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    // Best effort: a recorder destroyed without finalize() still
+    // leaves a replayable file behind. Errors cannot propagate from a
+    // destructor; explicit finalize() reports them.
+    try {
+        finalize();
+    } catch (const TraceError &) {
+    }
+}
+
+bool
+TraceRecorder::next(MicroOp &out)
+{
+    if (!inner_.next(out))
+        return false;
+    writer_->append(out);
+    return true;
+}
+
+void
+TraceRecorder::restart()
+{
+    // Reopen with truncation rather than seeking to 0: a shorter
+    // post-reset recording must not leave stale record bytes from the
+    // longer pre-reset one behind (the file is the exact byte image
+    // of the recording, so archived traces can be hashed/diffed).
+    os_.close();
+    os_.clear();
+    os_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!os_)
+        throw TraceError("cannot reopen '" + path_ +
+                         "' for trace recording");
+    writer_.emplace(os_, inner_.name());
+}
+
+void
+TraceRecorder::reset()
+{
+    inner_.reset();
+    restart();
+}
+
+void
+TraceRecorder::finalize()
+{
+    writer_->finalize();
+    os_.flush();
+    if (!os_)
+        throw TraceError("failed to write trace '" + path_ + "'");
+}
+
+uint64_t
+TraceRecorder::recordedOps() const
+{
+    return writer_->opCount();
+}
+
+uint64_t
+recordTrace(TraceSource &source, const std::string &path,
+            uint64_t maxOps)
+{
+    TraceRecorder recorder(source, path);
+    MicroOp op;
+    while (recorder.recordedOps() < maxOps && recorder.next(op)) {
+    }
+    recorder.finalize();
+    return recorder.recordedOps();
+}
+
+} // namespace diq::trace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * File-backed traces: the `.diqt` portable workload interchange format.
+ *
+ * Any TraceSource can be recorded to a `.diqt` file and replayed
+ * bit-identically, making workloads first-class artifacts that can be
+ * archived, diffed and shipped between machines independently of the
+ * generator that produced them (docs/ARCHITECTURE.md §5 documents the
+ * byte layout).
+ *
+ * Format summary (version 1, little-endian):
+ *
+ *   header := magic "DIQT" | format-version u16 | isa-version u16
+ *           | name-length varint | name bytes | op-count u64
+ *   record := head u8 | src1 i8 | src2 i8 | dest i8
+ *           | pc-delta svarint
+ *           | [addr-delta svarint | mem-size varint]   (Load/Store)
+ *           | [target-delta svarint]                   (Branch)
+ *
+ * `head` packs the op class (low 5 bits) with the branch-taken flag
+ * (bit 5). varint is unsigned LEB128; svarint is zigzag-coded LEB128.
+ * Program counters advance by 4 or jump short distances and effective
+ * addresses stride, so delta coding keeps records to a few bytes each.
+ * The op count is a fixed-width field so the writer can back-patch it
+ * at finalize time while streaming records.
+ *
+ * Every parsing failure raises TraceError with a message naming the
+ * file and the defect: bad magic, version skew, truncated header,
+ * truncated record, corrupt field, empty trace.
+ */
+
+#ifndef DIQ_TRACE_FILE_TRACE_HH
+#define DIQ_TRACE_FILE_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "trace/isa.hh"
+#include "trace/trace_source.hh"
+
+namespace diq::trace
+{
+
+/** Malformed or unreadable `.diqt` input. The message names the file
+ *  and the precise defect. */
+class TraceError : public std::runtime_error
+{
+  public:
+    explicit TraceError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** File magic: the first four bytes of every `.diqt` file. */
+constexpr char kTraceMagic[4] = {'D', 'I', 'Q', 'T'};
+
+/** Byte-layout revision; bumped on any incompatible encoding change. */
+constexpr uint16_t kTraceFormatVersion = 1;
+
+/**
+ * ISA revision carried in the header, packing every ISA constant the
+ * decoder validates against (op-class count in the high byte, logical
+ * register count in the low byte) — so changing either invalidates
+ * old traces explicitly as "version skew" instead of failing
+ * mid-stream as "corrupt record".
+ */
+constexpr uint16_t kTraceIsaVersion = static_cast<uint16_t>(
+    (static_cast<unsigned>(OpClass::NumOpClasses) << 8) |
+    static_cast<unsigned>(NumLogicalRegs));
+
+/**
+ * Streaming `.diqt` encoder over a seekable ostream. Write order:
+ * construct (emits the header with a zero op count), append() each
+ * op, finalize() (back-patches the true count). The stream must
+ * outlive the writer.
+ */
+class TraceWriter
+{
+  public:
+    /** Emit the header. `name` is the workload's reporting name. */
+    TraceWriter(std::ostream &os, const std::string &name);
+
+    /** Encode one micro-op. */
+    void append(const MicroOp &op);
+
+    /**
+     * Back-patch the header's op count and flush. Idempotent; no
+     * append() may follow. @throws TraceError if the stream failed.
+     */
+    void finalize();
+
+    /** Ops appended so far. */
+    uint64_t opCount() const { return count_; }
+
+  private:
+    std::ostream &os_;
+    std::streampos countPos_;
+    uint64_t count_ = 0;
+    uint64_t prevPc_ = 0;
+    uint64_t prevAddr_ = 0;
+    bool finalized_ = false;
+};
+
+/**
+ * Streaming reader for a `.diqt` file. The header is parsed and
+ * validated at construction; records decode lazily in next(), which
+ * throws TraceError on any mid-stream corruption (so a truncated file
+ * fails loudly at the damaged record, not silently at end-of-stream).
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    /**
+     * Open `path` and validate the header.
+     * @throws TraceError on unreadable file, bad magic, format or ISA
+     *         version skew, truncated/corrupt header, or a zero-op
+     *         (empty) trace.
+     */
+    explicit FileTrace(const std::string &path);
+
+    /** @throws TraceError on a truncated or corrupt record. */
+    bool next(MicroOp &out) override;
+
+    void reset() override;
+
+    /** The recorded workload's reporting name, from the header. */
+    const std::string &name() const override { return name_; }
+
+    /** Total micro-ops in the trace, from the header. */
+    uint64_t opCount() const { return opCount_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+    uint8_t readByte(const char *what);
+    uint64_t readVarint(const char *what);
+    int64_t readSvarint(const char *what);
+
+    std::string path_;
+    std::ifstream is_;
+    std::string name_;
+    uint64_t opCount_ = 0;
+    std::streampos dataPos_;
+
+    // Decode state, mirrored from the writer.
+    uint64_t emitted_ = 0;
+    uint64_t prevPc_ = 0;
+    uint64_t prevAddr_ = 0;
+};
+
+/**
+ * Recording tee: a TraceSource that forwards another source while
+ * writing every op it hands out to a `.diqt` file — so a simulation
+ * driven through the recorder archives exactly the stream it consumed,
+ * and replaying the file reproduces that run bit for bit.
+ *
+ * reset() restarts both the inner source and the recording (the file
+ * is rewound and re-encoded from scratch), preserving the invariant
+ * that the file holds exactly the ops handed out since the last reset.
+ */
+class TraceRecorder : public TraceSource
+{
+  public:
+    /** @throws TraceError when `path` cannot be opened for writing. */
+    TraceRecorder(TraceSource &inner, const std::string &path);
+
+    /** Finalizes the recording if finalize() was not called. */
+    ~TraceRecorder() override;
+
+    bool next(MicroOp &out) override;
+    void reset() override;
+    const std::string &name() const override { return inner_.name(); }
+
+    /** Back-patch the op count and flush. @throws TraceError. */
+    void finalize();
+
+    /** Ops recorded since construction or the last reset(). */
+    uint64_t recordedOps() const;
+
+  private:
+    void restart();
+
+    TraceSource &inner_;
+    std::string path_;
+    std::ofstream os_;
+    std::optional<TraceWriter> writer_; // rebuilt on reset()
+};
+
+/**
+ * Record up to `maxOps` ops of `source` to `path` (stopping early at
+ * end-of-stream) and finalize the file.
+ * @return the number of ops recorded.
+ * @throws TraceError when the file cannot be written.
+ */
+uint64_t recordTrace(TraceSource &source, const std::string &path,
+                     uint64_t maxOps);
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_FILE_TRACE_HH

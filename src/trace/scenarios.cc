@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Implementation of trace/scenarios.hh: the adversarial scenario
+ * catalog and the bench-token resolver (docs/ARCHITECTURE.md §5).
+ *
+ * Scenario profiles must respect the synthetic generator's rotating
+ * register pools (27 integer / 32 FP value registers); every scenario
+ * is constructed by the unit tests, so a pool collision fails loudly
+ * in SyntheticWorkload::validateLayout rather than silently rewiring
+ * the intended dependence graph.
+ */
+
+#include "trace/scenarios.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "trace/file_trace.hh"
+#include "trace/spec2000.hh"
+
+namespace diq::trace
+{
+
+// --- PhasedTrace ----------------------------------------------------
+
+PhasedTrace::PhasedTrace(
+    std::vector<std::unique_ptr<TraceSource>> phases,
+    uint64_t opsPerPhase, std::string name)
+    : phases_(std::move(phases)), opsPerPhase_(opsPerPhase),
+      name_(std::move(name))
+{
+    if (phases_.empty())
+        throw std::invalid_argument("PhasedTrace needs at least one "
+                                    "phase");
+    if (opsPerPhase_ == 0)
+        throw std::invalid_argument("PhasedTrace phase length must be "
+                                    "positive");
+}
+
+bool
+PhasedTrace::next(MicroOp &out)
+{
+    if (inPhase_ == opsPerPhase_) {
+        inPhase_ = 0;
+        cur_ = (cur_ + 1) % phases_.size();
+    }
+    if (!phases_[cur_]->next(out))
+        return false;
+    ++inPhase_;
+    return true;
+}
+
+void
+PhasedTrace::reset()
+{
+    for (auto &p : phases_)
+        p->reset();
+    cur_ = 0;
+    inPhase_ = 0;
+}
+
+// --- Scenario profile builders --------------------------------------
+
+namespace
+{
+
+constexpr uint64_t KB = 1024;
+constexpr uint64_t MB = 1024 * 1024;
+
+/** Workload for a scenario-local profile; the stream seed derives
+ *  from the profile name exactly like the SPEC suite's. */
+std::unique_ptr<TraceSource>
+fromProfile(const BenchmarkProfile &p)
+{
+    return makeSpecWorkload(p);
+}
+
+/**
+ * chain_storm: the whole window is ONE maximal loop-carried
+ * dependence chain. ILP is identically 1, so any issue organization
+ * collapses to a single FIFO's worth of work — steering has nothing
+ * to balance and wakeup is fully serialized.
+ */
+std::unique_ptr<TraceSource>
+makeChainStorm()
+{
+    BenchmarkProfile p;
+    p.name = "chain_storm";
+    p.parChains = 1;
+    p.chainLen = 24;
+    p.crossIterChains = true; // the chain never breaks at iteration
+    p.crossLinkFrac = 0.0;    // ...and never touches a second value
+    p.multFrac = 0.15;
+    p.loadsPerIter = 1;
+    p.storesPerIter = 1;
+    p.footprint = 64 * KB;
+    p.extraBranches = 0;
+    p.innerIters = 256;
+    return fromProfile(p);
+}
+
+/** The narrow half of steer_flip: one long integer chain. */
+BenchmarkProfile
+steerNarrowProfile()
+{
+    BenchmarkProfile p;
+    p.name = "steer_flip.narrow";
+    p.parChains = 1;
+    p.chainLen = 6;
+    p.crossIterChains = true;
+    p.crossLinkFrac = 0.0;
+    p.loadsPerIter = 1;
+    p.storesPerIter = 1;
+    p.footprint = 32 * KB;
+    p.innerIters = 64;
+    return p;
+}
+
+/** The wide half of steer_flip: eight short independent chains. */
+BenchmarkProfile
+steerWideProfile()
+{
+    BenchmarkProfile p;
+    p.name = "steer_flip.wide";
+    p.parChains = 8;
+    p.chainLen = 3;
+    p.crossIterChains = false;
+    p.crossLinkFrac = 0.1;
+    p.loadsPerIter = 2;
+    p.storesPerIter = 1;
+    p.footprint = 32 * KB;
+    p.innerIters = 64;
+    return p;
+}
+
+/**
+ * steer_flip: alternates a 1-wide and an 8-wide integer dependence
+ * graph every 3000 ops. FIFO steering state tuned during one phase is
+ * maximally wrong for the next — a scheme whose rename-table/steering
+ * heuristic adapts slowly thrashes at every boundary.
+ */
+std::unique_ptr<TraceSource>
+makeSteerFlip()
+{
+    std::vector<std::unique_ptr<TraceSource>> phases;
+    phases.push_back(fromProfile(steerNarrowProfile()));
+    phases.push_back(fromProfile(steerWideProfile()));
+    return std::make_unique<PhasedTrace>(std::move(phases), 3000,
+                                         "steer_flip");
+}
+
+/**
+ * lsq_pressure: a serialized pointer chase plus random-address loads
+ * and a store per chain tail over a 32 MB footprint. Load addresses
+ * resolve late and stores pile up with unknown addresses, so the LSQ's
+ * ambiguity tracking, not the issue queue, becomes the bottleneck.
+ */
+std::unique_ptr<TraceSource>
+makeLsqPressure()
+{
+    BenchmarkProfile p;
+    p.name = "lsq_pressure";
+    p.parChains = 2;
+    p.chainLen = 3;
+    p.crossLinkFrac = 0.3;
+    p.pointerChase = true;
+    p.loadsPerIter = 4;
+    p.storesPerIter = 4;
+    p.randomAccessFrac = 1.0;
+    p.footprint = 32 * MB;
+    p.extraBranches = 1;
+    p.branchBias = 0.85;
+    p.innerIters = 48;
+    return fromProfile(p);
+}
+
+/**
+ * branch_churn: six coin-flip branches per short iteration. The
+ * predictor cannot learn them, so the pipeline lives in mispredict
+ * recovery — stressing queue-rename-table clearing (§2.2) and the
+ * schemes' refill behaviour after every flush.
+ */
+std::unique_ptr<TraceSource>
+makeBranchChurn()
+{
+    BenchmarkProfile p;
+    p.name = "branch_churn";
+    p.parChains = 2;
+    p.chainLen = 2;
+    p.crossIterChains = true;
+    p.loadsPerIter = 2;
+    p.storesPerIter = 1;
+    p.footprint = 32 * KB;
+    p.extraBranches = 6;
+    p.branchBias = 0.5;
+    p.innerIters = 16;
+    p.codeBlocks = 4;
+    return fromProfile(p);
+}
+
+/**
+ * icache_walk: 48 distinct copies of the loop body visited two
+ * iterations at a time. The instruction footprint overflows the L1I
+ * and the BTB, so the front-end starves the issue queues — exposing
+ * how each scheme behaves at near-empty occupancy.
+ */
+std::unique_ptr<TraceSource>
+makeIcacheWalk()
+{
+    BenchmarkProfile p;
+    p.name = "icache_walk";
+    p.parChains = 2;
+    p.chainLen = 3;
+    p.crossIterChains = true;
+    p.loadsPerIter = 2;
+    p.storesPerIter = 1;
+    p.footprint = 64 * KB;
+    p.extraBranches = 2;
+    p.branchBias = 0.88;
+    p.innerIters = 2;
+    p.codeBlocks = 48;
+    return fromProfile(p);
+}
+
+/** The dense half of bursty: eight independent 3-op chains. */
+BenchmarkProfile
+burstDenseProfile()
+{
+    BenchmarkProfile p;
+    p.name = "bursty.dense";
+    p.parChains = 8;
+    p.chainLen = 3;
+    p.crossIterChains = false;
+    p.crossLinkFrac = 0.0;
+    p.loadsPerIter = 2;
+    p.storesPerIter = 1;
+    p.footprint = 64 * KB;
+    p.innerIters = 64;
+    return p;
+}
+
+/** The stall half of bursty: a pointer-chasing divide chain. */
+BenchmarkProfile
+burstStallProfile()
+{
+    BenchmarkProfile p;
+    p.name = "bursty.stall";
+    p.parChains = 1;
+    p.chainLen = 2;
+    p.crossIterChains = true;
+    p.crossLinkFrac = 0.0;
+    p.divFrac = 1.0;
+    p.pointerChase = true;
+    p.loadsPerIter = 1;
+    p.storesPerIter = 0;
+    p.footprint = 16 * MB;
+    p.innerIters = 64;
+    return p;
+}
+
+/**
+ * bursty: 1500-op bursts of wide ILP alternating with 1500 ops of a
+ * pointer-chasing divide chain that drains the window. Dispatch
+ * oscillates between full-width and idle, stressing occupancy-driven
+ * policies (chain allocation, FIFO selection) at both extremes.
+ */
+std::unique_ptr<TraceSource>
+makeBursty()
+{
+    std::vector<std::unique_ptr<TraceSource>> phases;
+    phases.push_back(fromProfile(burstDenseProfile()));
+    phases.push_back(fromProfile(burstStallProfile()));
+    return std::make_unique<PhasedTrace>(std::move(phases), 1500,
+                                         "bursty");
+}
+
+/**
+ * div_wall: three loop-carried FP chains that are half divides
+ * (12-cycle latency). The FP mult/div units saturate and issue-time
+ * estimates stretch, stressing the latency-ordered FIFO's insertion
+ * heuristic and MixBUFF's chain-to-buffer mapping under long stalls.
+ */
+std::unique_ptr<TraceSource>
+makeDivWall()
+{
+    BenchmarkProfile p;
+    p.name = "div_wall";
+    p.isFp = true;
+    p.parChains = 3;
+    p.chainLen = 4;
+    p.crossIterChains = true;
+    p.divFrac = 0.5;
+    p.multFrac = 0.25;
+    p.loadsPerIter = 3;
+    p.storesPerIter = 1;
+    p.footprint = 256 * KB;
+    p.innerIters = 64;
+    return fromProfile(p);
+}
+
+/**
+ * mem_thrash: six random-address loads per iteration over 64 MB —
+ * nearly every access misses L2. Load completion times become
+ * unpredictable, invalidating any latency estimate the issue logic
+ * bases its ordering on.
+ */
+std::unique_ptr<TraceSource>
+makeMemThrash()
+{
+    BenchmarkProfile p;
+    p.name = "mem_thrash";
+    p.parChains = 3;
+    p.chainLen = 2;
+    p.loadsPerIter = 6;
+    p.storesPerIter = 2;
+    p.randomAccessFrac = 1.0;
+    p.footprint = 64 * MB;
+    p.extraBranches = 1;
+    p.branchBias = 0.9;
+    p.innerIters = 48;
+    return fromProfile(p);
+}
+
+/**
+ * fp_flood: ten independent FP chains dispatched software-pipelined —
+ * the widest dependence graph the register pools allow. More live
+ * chains than any configuration has FP queues or chain slots, forcing
+ * steering collisions and MixBUFF chain-bound overflow (§3.2).
+ */
+std::unique_ptr<TraceSource>
+makeFpFlood()
+{
+    BenchmarkProfile p;
+    p.name = "fp_flood";
+    p.isFp = true;
+    p.parChains = 10;
+    p.chainLen = 3;
+    p.crossIterChains = false;
+    p.crossLinkFrac = 0.4;
+    p.loadsPerIter = 2;
+    p.storesPerIter = 1;
+    p.footprint = 4 * MB;
+    p.innerIters = 64;
+    return fromProfile(p);
+}
+
+/**
+ * store_storm: eight mostly-random stores per iteration against one
+ * load. Store addresses and data arrive late, so commit-time write
+ * traffic and store-address ambiguity dominate — the mirror image of
+ * lsq_pressure's load-side attack.
+ */
+std::unique_ptr<TraceSource>
+makeStoreStorm()
+{
+    BenchmarkProfile p;
+    p.name = "store_storm";
+    p.parChains = 2;
+    p.chainLen = 3;
+    p.crossIterChains = true;
+    p.loadsPerIter = 1;
+    p.storesPerIter = 8;
+    p.randomAccessFrac = 0.8;
+    p.footprint = 8 * MB;
+    p.innerIters = 48;
+    return fromProfile(p);
+}
+
+const std::vector<ScenarioInfo> &
+registry()
+{
+    static const std::vector<ScenarioInfo> scenarios = {
+        {"chain_storm",
+         "one maximal loop-carried dependence chain: ILP=1, steering "
+         "has nothing to balance, wakeup fully serialized",
+         makeChainStorm},
+        {"steer_flip",
+         "phase-alternating 1-wide vs 8-wide integer DDG every 3000 "
+         "ops: thrashes FIFO steering state at every boundary",
+         makeSteerFlip},
+        {"lsq_pressure",
+         "pointer chase + random loads and stores over 32 MB: LSQ "
+         "address-ambiguity tracking becomes the bottleneck",
+         makeLsqPressure},
+        {"branch_churn",
+         "six 50/50 branches per short iteration: permanent mispredict "
+         "recovery, stresses rename-table clears and refill",
+         makeBranchChurn},
+        {"icache_walk",
+         "48 code blocks x 2 iterations: L1I/BTB overflow starves "
+         "dispatch, schemes run near-empty",
+         makeIcacheWalk},
+        {"bursty",
+         "1500-op wide-ILP bursts alternating with window-draining "
+         "pointer-chased divides: dispatch flips full-width <-> idle",
+         makeBursty},
+        {"div_wall",
+         "loop-carried FP chains, half divides: FP units saturate and "
+         "issue-time estimates stretch under long stalls",
+         makeDivWall},
+        {"mem_thrash",
+         "six random loads per iteration over 64 MB: L2 miss storm "
+         "makes load latencies unpredictable",
+         makeMemThrash},
+        {"fp_flood",
+         "ten independent FP chains, software-pipelined: more live "
+         "chains than queues or chain slots, forces steering "
+         "collisions",
+         makeFpFlood},
+        {"store_storm",
+         "eight late-resolving random stores per load: commit-time "
+         "write traffic and store ambiguity dominate",
+         makeStoreStorm},
+    };
+    return scenarios;
+}
+
+/** Split "a+b+c" on '+'. */
+std::vector<std::string>
+splitParts(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    while (start <= s.size()) {
+        auto plus = s.find('+', start);
+        if (plus == std::string::npos)
+            plus = s.size();
+        out.push_back(s.substr(start, plus - start));
+        start = plus + 1;
+    }
+    return out;
+}
+
+constexpr std::string_view kPhasedPrefix = "phased:";
+
+/** Parsed `phased:A+B[+...]@N` form. */
+struct PhasedSpec
+{
+    std::vector<std::string> parts;
+    uint64_t opsPerPhase = 0;
+};
+
+/** Parse and validate the phased: form (parts stay unresolved). */
+PhasedSpec
+parsePhased(const std::string &name)
+{
+    std::string body = name.substr(kPhasedPrefix.size());
+    auto at = body.rfind('@');
+    if (at == std::string::npos)
+        throw std::invalid_argument(
+            "bad phased scenario '" + name +
+            "': missing '@<ops-per-phase>' "
+            "(expected phased:A+B@N)");
+    std::string countText = body.substr(at + 1);
+    PhasedSpec spec;
+    try {
+        // stoull silently wraps a leading '-' to a huge value, so a
+        // non-digit anywhere (checked via pos and a digit scan) must
+        // reject the token.
+        for (char c : countText)
+            if (c < '0' || c > '9')
+                throw std::invalid_argument("");
+        size_t pos = 0;
+        spec.opsPerPhase = std::stoull(countText, &pos);
+        if (pos != countText.size() || countText.empty())
+            throw std::invalid_argument("");
+    } catch (...) {
+        throw std::invalid_argument(
+            "bad phased scenario '" + name + "': '" + countText +
+            "' is not a valid ops-per-phase count");
+    }
+    if (spec.opsPerPhase == 0)
+        throw std::invalid_argument("bad phased scenario '" + name +
+                                    "': ops-per-phase must be "
+                                    "positive");
+    spec.parts = splitParts(body.substr(0, at));
+    if (spec.parts.size() < 2)
+        throw std::invalid_argument(
+            "bad phased scenario '" + name +
+            "': need at least two '+'-separated phases");
+    for (const auto &part : spec.parts) {
+        if (findScenario(part))
+            continue;
+        bool is_profile = false;
+        for (const auto &p : allSpecProfiles())
+            if (p.name == part)
+                is_profile = true;
+        if (!is_profile)
+            throw std::invalid_argument(
+                "bad phased scenario '" + name + "': unknown phase '" +
+                part + "' (not a benchmark or scenario name)");
+    }
+    return spec;
+}
+
+} // namespace
+
+// --- Registry and resolver ------------------------------------------
+
+const std::vector<ScenarioInfo> &
+scenarioRegistry()
+{
+    return registry();
+}
+
+const ScenarioInfo *
+findScenario(const std::string &name)
+{
+    for (const auto &s : registry())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+validateScenario(const std::string &name)
+{
+    if (findScenario(name))
+        return;
+    if (name.starts_with(kPhasedPrefix)) {
+        parsePhased(name); // throws on malformed syntax
+        return;
+    }
+    std::string known;
+    for (const auto &s : registry())
+        known += " " + s.name;
+    throw std::invalid_argument("unknown scenario '" + name +
+                                "' (known:" + known +
+                                "; or phased:A+B@N)");
+}
+
+std::unique_ptr<TraceSource>
+makeScenario(const std::string &name)
+{
+    if (const ScenarioInfo *s = findScenario(name))
+        return s->make();
+    if (name.starts_with(kPhasedPrefix)) {
+        PhasedSpec spec = parsePhased(name);
+        std::vector<std::unique_ptr<TraceSource>> phases;
+        for (const auto &part : spec.parts) {
+            if (const ScenarioInfo *s = findScenario(part))
+                phases.push_back(s->make());
+            else
+                phases.push_back(makeSpecWorkload(part));
+        }
+        return std::make_unique<PhasedTrace>(
+            std::move(phases), spec.opsPerPhase, name);
+    }
+    validateScenario(name); // throws with the catalog in the message
+    return nullptr;         // unreachable
+}
+
+bool
+isWorkloadToken(const std::string &bench)
+{
+    return bench.starts_with(kScenarioPrefix) ||
+           bench.starts_with(kTracePrefix);
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &bench)
+{
+    if (bench.starts_with(kScenarioPrefix))
+        return makeScenario(bench.substr(kScenarioPrefix.size()));
+    if (bench.starts_with(kTracePrefix))
+        return std::make_unique<FileTrace>(
+            bench.substr(kTracePrefix.size()));
+    return makeSpecWorkload(bench);
+}
+
+BenchmarkProfile
+workloadProfile(const std::string &bench)
+{
+    if (isWorkloadToken(bench)) {
+        // Scenario tokens validate here, so callers assigning
+        // exp.benchmark directly (bypassing the spec setter) still
+        // fail at job/grid-build time, not mid-sweep on a worker.
+        // Trace paths stay lazy: the file may be recorded later.
+        if (bench.starts_with(kScenarioPrefix))
+            validateScenario(bench.substr(kScenarioPrefix.size()));
+        BenchmarkProfile p;
+        p.name = bench;
+        return p;
+    }
+    return specProfile(bench);
+}
+
+} // namespace diq::trace

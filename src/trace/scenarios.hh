@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Adversarial workload scenarios and the workload-token resolver.
+ *
+ * The 26 SPEC2000-like profiles (trace/spec2000.hh) reproduce the
+ * paper's workloads; the scenario registry here deliberately
+ * constructs streams that *break* the distributed schemes' steering
+ * heuristics — maximal dependence chains, phase-alternating DDG
+ * widths, LSQ floods, unpredictable branch storms — so every steering
+ * or sizing change is exercised against the regimes most likely to
+ * expose it (docs/ARCHITECTURE.md §5 catalogs each scenario and the
+ * failure mode it targets).
+ *
+ * Scenarios compose BenchmarkProfiles through two mechanisms:
+ *
+ *  - profile construction: a single SyntheticWorkload whose knobs are
+ *    pushed to an extreme (e.g. `chain_storm` is one maximal
+ *    loop-carried dependence chain);
+ *  - phase switching: PhasedTrace alternates between sub-workloads
+ *    every N instructions (e.g. `steer_flip` flips between a narrow
+ *    and a wide dependence graph to thrash FIFO steering state).
+ *
+ * The spec layer addresses workloads through one string token
+ * (`bench=`), resolved by makeWorkload():
+ *
+ *   <profile>            a SPEC2000-like profile name ("swim")
+ *   scenario:<name>      a registry scenario ("scenario:chain_storm")
+ *   scenario:phased:A+B[+C...]@N
+ *                        ad-hoc phase alternation between profiles or
+ *                        registry scenarios, switching every N ops
+ *   trace:<path>         replay of a recorded .diqt file
+ *                        (trace/file_trace.hh)
+ */
+
+#ifndef DIQ_TRACE_SCENARIOS_HH
+#define DIQ_TRACE_SCENARIOS_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_source.hh"
+
+namespace diq::trace
+{
+
+/**
+ * Alternates between sub-sources every `opsPerPhase` micro-ops,
+ * round-robin. Each phase keeps its own position across re-entry
+ * (like real program phases resuming where they left off), so the
+ * composite stream is deterministic and reset() replays it exactly.
+ * End-of-stream of the active phase ends the composite stream.
+ */
+class PhasedTrace : public TraceSource
+{
+  public:
+    PhasedTrace(std::vector<std::unique_ptr<TraceSource>> phases,
+                uint64_t opsPerPhase, std::string name);
+
+    bool next(MicroOp &out) override;
+    void reset() override;
+    const std::string &name() const override { return name_; }
+
+    size_t phaseCount() const { return phases_.size(); }
+    uint64_t opsPerPhase() const { return opsPerPhase_; }
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> phases_;
+    uint64_t opsPerPhase_;
+    std::string name_;
+    size_t cur_ = 0;
+    uint64_t inPhase_ = 0;
+};
+
+/** One named stress scenario: what it is and what it breaks. */
+struct ScenarioInfo
+{
+    std::string name;
+    /** The steering/sizing failure mode this scenario targets, shown
+     *  by `diq list scenarios`. */
+    std::string doc;
+    std::unique_ptr<TraceSource> (*make)();
+};
+
+/** Every named scenario, in catalog order. */
+const std::vector<ScenarioInfo> &scenarioRegistry();
+
+/** Lookup by name; nullptr when unknown. */
+const ScenarioInfo *findScenario(const std::string &name);
+
+/**
+ * Validate a scenario token (registry name or `phased:` form) without
+ * instantiating workloads — cheap enough for spec parsing.
+ * @throws std::invalid_argument with a precise message.
+ */
+void validateScenario(const std::string &name);
+
+/**
+ * Instantiate a scenario: a registry name, or the dynamic form
+ * `phased:<part>+<part>[+...]@<N>` where each part is a profile or
+ * registry-scenario name and N is the per-phase op count.
+ * @throws std::invalid_argument for unknown names or malformed
+ *         `phased:` syntax.
+ */
+std::unique_ptr<TraceSource> makeScenario(const std::string &name);
+
+/** Workload-token prefixes understood by makeWorkload(). */
+inline constexpr std::string_view kScenarioPrefix = "scenario:";
+inline constexpr std::string_view kTracePrefix = "trace:";
+
+/** True for `scenario:`/`trace:` tokens (vs plain profile names). */
+bool isWorkloadToken(const std::string &bench);
+
+/**
+ * Resolve any bench token to its workload: a profile name through
+ * makeSpecWorkload, `scenario:<name>` through makeScenario,
+ * `trace:<path>` through FileTrace.
+ * @throws std::out_of_range for an unknown profile,
+ *         std::invalid_argument for a bad scenario token,
+ *         TraceError for an unreadable or malformed trace file.
+ */
+std::unique_ptr<TraceSource> makeWorkload(const std::string &bench);
+
+/**
+ * The reporting profile for a bench token: the registry profile for a
+ * plain name, or a placeholder carrying just the token as its name
+ * for `scenario:`/`trace:` workloads (their stream-level character is
+ * not described by profile knobs). Scenario tokens are validated;
+ * trace paths are not (the file may be recorded later).
+ * @throws std::out_of_range for an unknown plain profile name,
+ *         std::invalid_argument for a bad scenario token.
+ */
+BenchmarkProfile workloadProfile(const std::string &bench);
+
+} // namespace diq::trace
+
+#endif // DIQ_TRACE_SCENARIOS_HH

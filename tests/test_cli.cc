@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -172,6 +173,145 @@ TEST(DiqCli, SweepSpecColumnReproducesTheRow)
         << rerun;
 }
 
+// --- diq record / trace replay --------------------------------------
+
+TEST(DiqCli, RecordThenReplayReproducesTheRunByteForByte)
+{
+    const std::string trace_path =
+        std::string(DIQ_BIN_DIR) + "/cli_record.diqt";
+    std::remove(trace_path.c_str());
+
+    // `diq record` doubles as a run: its stdout is the run output.
+    std::string recorded =
+        capture("'" + binary("diq") + "' record mb_distr bench=swim" +
+                kTinyBudget + " --out '" + trace_path + "'");
+    std::string live = capture("'" + binary("diq") +
+                               "' run mb_distr bench=swim" +
+                               kTinyBudget);
+    EXPECT_EQ(recorded, live)
+        << "record must report exactly what run reports";
+
+    // The replay differs from the live run only in the bench token.
+    std::string replay =
+        capture("'" + binary("diq") + "' run mb_distr 'bench=trace:" +
+                trace_path + "'" + kTinyBudget);
+    auto scrub = [&](const std::string &s) {
+        // Drop the lines naming the workload (spec echo + result-table
+        // row) and normalize column padding (the wider trace: name
+        // stretches the benchmark column for every table line).
+        std::string out;
+        std::istringstream lines(s);
+        std::string line;
+        while (std::getline(lines, line)) {
+            std::string norm;
+            bool in_space = false;
+            for (char c : line) {
+                if (c == ' ') {
+                    if (!in_space)
+                        norm += ' ';
+                    in_space = true;
+                } else {
+                    norm += c;
+                    in_space = false;
+                }
+            }
+            if (norm.find("swim") == std::string::npos &&
+                norm.find(trace_path) == std::string::npos &&
+                norm.find("---") == std::string::npos)
+                out += norm + "\n";
+        }
+        return out;
+    };
+    EXPECT_EQ(scrub(replay), scrub(live))
+        << "replayed counters/IPC must match the live run";
+
+    std::remove(trace_path.c_str());
+}
+
+TEST(DiqCli, RecordRequiresAnOutputPath)
+{
+    capture("'" + binary("diq") + "' record mb_distr bench=swim" +
+                kTinyBudget,
+            1);
+}
+
+TEST(DiqCli, RecordRefusesToOverwriteTheTraceBeingReplayed)
+{
+    // `--out` onto the replay input would ios::trunc the file mid-read
+    // and destroy it; re-recording to a *different* path is fine.
+    const std::string path =
+        std::string(DIQ_BIN_DIR) + "/cli_selfrecord.diqt";
+    capture("'" + binary("diq") + "' record mb_distr bench=swim" +
+            kTinyBudget + " --out '" + path + "'");
+    std::string msg =
+        capture("'" + binary("diq") + "' record mb_distr "
+                "'bench=trace:" + path + "'" + kTinyBudget +
+                " --out '" + path + "' 2>&1 >/dev/null | cat");
+    EXPECT_NE(msg.find("destroy the input"), std::string::npos) << msg;
+    capture("'" + binary("diq") + "' record mb_distr 'bench=trace:" +
+                path + "'" + kTinyBudget + " --out '" + path + "'",
+            1);
+    // The input survived and still replays.
+    capture("'" + binary("diq") + "' run mb_distr 'bench=trace:" +
+            path + "'" + kTinyBudget);
+    std::remove(path.c_str());
+}
+
+TEST(DiqCli, ScenarioWorkloadsRunFromTheCli)
+{
+    std::string out =
+        capture("'" + binary("diq") +
+                "' run iq6464 bench=scenario:chain_storm" + kTinyBudget);
+    EXPECT_NE(out.find("bench=scenario:chain_storm"),
+              std::string::npos);
+    std::string phased =
+        capture("'" + binary("diq") +
+                "' run iq6464 'bench=scenario:phased:gcc+swim@500'" +
+                kTinyBudget);
+    EXPECT_NE(phased.find("phased:gcc+swim@500"), std::string::npos);
+}
+
+TEST(DiqCli, MalformedTraceInputsExitNonZeroWithTheMessage)
+{
+    const std::string bad_path =
+        std::string(DIQ_BIN_DIR) + "/cli_bad.diqt";
+
+    // Missing file.
+    capture("'" + binary("diq") +
+                "' run iq6464 bench=trace:/no/such/file.diqt" +
+                kTinyBudget,
+            1);
+    std::string msg =
+        capture("'" + binary("diq") +
+                    "' run iq6464 bench=trace:/no/such/file.diqt" +
+                    kTinyBudget + " 2>&1 >/dev/null | cat",
+                0);
+    EXPECT_NE(msg.find("cannot open file"), std::string::npos) << msg;
+
+    // Not a .diqt file at all.
+    {
+        std::ofstream os(bad_path, std::ios::binary);
+        os << "not a trace\n";
+    }
+    std::string magic =
+        capture("'" + binary("diq") + "' run iq6464 'bench=trace:" +
+                    bad_path + "'" + kTinyBudget +
+                    " 2>&1 >/dev/null | cat",
+                0);
+    EXPECT_NE(magic.find("bad magic"), std::string::npos) << magic;
+    capture("'" + binary("diq") + "' run iq6464 'bench=trace:" +
+                bad_path + "'" + kTinyBudget,
+            1);
+    std::remove(bad_path.c_str());
+
+    // Bad workload tokens die in spec parsing, before any simulation.
+    capture("'" + binary("diq") + "' run bench=scenario:doom3", 1);
+    capture("'" + binary("diq") + "' run bench=trace:", 1);
+    capture("'" + binary("diq") +
+                "' sweep 'iq6464 bench=scenario:doom3'",
+            1);
+}
+
 // --- diq report vs the diq_report alias -----------------------------
 
 TEST(DiqCli, ReportIsByteIdenticalToTheDiqReportAlias)
@@ -209,13 +349,29 @@ TEST(DiqCli, ListShowsTheWholeVocabulary)
     for (const char *needle :
          {"mb_distr", "iq6464", "swim", "gcc", "rob_size",
           "chains_per_queue", "clear_table_on_mispredict", "fig08",
-          "table1"})
+          "table1", "chain_storm", "steer_flip"})
         EXPECT_NE(out.find(needle), std::string::npos) << needle;
 
     // Scoped listing: only the requested section.
     std::string keys = capture("'" + binary("diq") + "' list keys");
     EXPECT_NE(keys.find("rob_size"), std::string::npos);
     EXPECT_EQ(keys.find("Baseline: two 64-entry"), std::string::npos);
+}
+
+TEST(DiqCli, ListScenariosShowsTheCatalog)
+{
+    // Both the positional and the bare-flag spellings work.
+    for (const char *form : {"list scenarios", "list --scenarios"}) {
+        std::string out =
+            capture("'" + binary("diq") + "' " + form);
+        for (const char *needle :
+             {"chain_storm", "steer_flip", "lsq_pressure",
+              "branch_churn", "icache_walk", "bursty", "phased:"})
+            EXPECT_NE(out.find(needle), std::string::npos)
+                << form << ": " << needle;
+        // Scoped: no scheme/figure sections.
+        EXPECT_EQ(out.find("fig08"), std::string::npos) << form;
+    }
 }
 
 // --- Error paths ----------------------------------------------------

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests for the `.diqt` trace format (trace/file_trace.hh): lossless
+ * field-level round-trips, the recording tee, encoding density, and —
+ * crucially — precise errors for every class of malformed input
+ * (truncated header, bad magic, version skew, mid-record EOF, empty
+ * file, empty trace, corrupt fields). The corruption tests byte-edit
+ * real recordings so they track the actual encoder output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/file_trace.hh"
+#include "trace/spec2000.hh"
+#include "trace/trace_source.hh"
+#include "trace_test_util.hh"
+
+namespace
+{
+
+using namespace diq;
+using namespace diq::trace;
+using trace::test::expectSameOp;
+using trace::test::sampleOps;
+using trace::test::tempPath;
+
+/** Write `ops` to a fresh .diqt file and return its path. */
+std::string
+writeTrace(const std::vector<MicroOp> &ops, const std::string &file,
+           const std::string &name = "test")
+{
+    std::string path = tempPath(file);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    TraceWriter w(os, name);
+    for (const auto &op : ops)
+        w.append(op);
+    w.finalize();
+    return path;
+}
+
+/** EXPECT that opening/draining `path` throws mentioning `needle`. */
+void
+expectTraceError(const std::string &path, const std::string &needle)
+{
+    try {
+        FileTrace t(path);
+        MicroOp op;
+        while (t.next(op)) {
+        }
+        FAIL() << "no TraceError for " << path << " (wanted '"
+               << needle << "')";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message '" << e.what() << "' lacks '" << needle << "'";
+        // Every error names the offending file.
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+            << e.what();
+    }
+}
+
+/** The raw bytes of a file. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(is.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(is), {});
+}
+
+std::string
+writeBytes(const std::string &file, const std::string &bytes)
+{
+    std::string path = tempPath(file);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+// --- Round-trips ----------------------------------------------------
+
+TEST(FileTrace, RoundTripPreservesEveryField)
+{
+    // swim exercises FP chains, strided mem and loop branches; gcc
+    // adds data-dependent branches and random addresses.
+    for (const char *bench : {"swim", "gcc", "mcf"}) {
+        auto ops = sampleOps(bench, 5000);
+        std::string path =
+            writeTrace(ops, std::string("rt_") + bench + ".diqt", bench);
+
+        FileTrace t(path);
+        EXPECT_EQ(t.name(), bench);
+        EXPECT_EQ(t.opCount(), ops.size());
+        MicroOp op;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            ASSERT_TRUE(t.next(op)) << i;
+            expectSameOp(ops[i], op, i);
+        }
+        EXPECT_FALSE(t.next(op)) << "stream must end at opCount";
+    }
+}
+
+TEST(FileTrace, DeltaCodingKeepsRecordsDense)
+{
+    // The varint-delta encoding is the point of the format: a raw
+    // MicroOp is 40+ bytes, a .diqt record must average well under 8.
+    auto ops = sampleOps("swim", 10000);
+    std::string path = writeTrace(ops, "dense.diqt", "swim");
+    std::string bytes = slurp(path);
+    EXPECT_LT(bytes.size() / ops.size(), 8u)
+        << bytes.size() << " bytes for " << ops.size() << " ops";
+}
+
+TEST(FileTrace, ResetReplaysTheIdenticalStream)
+{
+    auto ops = sampleOps("gcc", 600);
+    FileTrace t(writeTrace(ops, "reset.diqt"));
+    MicroOp op;
+    for (int i = 0; i < 200; ++i)
+        ASSERT_TRUE(t.next(op));
+    t.reset();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        ASSERT_TRUE(t.next(op)) << i;
+        expectSameOp(ops[i], op, i);
+    }
+    // Reset also works after full exhaustion.
+    EXPECT_FALSE(t.next(op));
+    t.reset();
+    ASSERT_TRUE(t.next(op));
+    expectSameOp(ops[0], op, 0);
+}
+
+// --- TraceRecorder --------------------------------------------------
+
+TEST(TraceRecorder, TeesTransparentlyAndReplaysExactly)
+{
+    auto expected = sampleOps("mgrid", 800);
+    auto live = makeSpecWorkload("mgrid");
+    std::string path = tempPath("tee.diqt");
+    {
+        TraceRecorder rec(*live, path);
+        EXPECT_EQ(rec.name(), "mgrid");
+        MicroOp op;
+        for (size_t i = 0; i < expected.size(); ++i) {
+            ASSERT_TRUE(rec.next(op));
+            expectSameOp(expected[i], op, i); // the tee is transparent
+        }
+        EXPECT_EQ(rec.recordedOps(), expected.size());
+        rec.finalize();
+    }
+    FileTrace t(path);
+    EXPECT_EQ(t.opCount(), expected.size());
+    MicroOp op;
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_TRUE(t.next(op));
+        expectSameOp(expected[i], op, i);
+    }
+}
+
+TEST(TraceRecorder, FinalizesOnDestructionWithoutExplicitCall)
+{
+    auto live = makeSpecWorkload("swim");
+    std::string path = tempPath("raii.diqt");
+    {
+        TraceRecorder rec(*live, path);
+        MicroOp op;
+        for (int i = 0; i < 50; ++i)
+            ASSERT_TRUE(rec.next(op));
+    } // destructor finalizes
+    FileTrace t(path);
+    EXPECT_EQ(t.opCount(), 50u);
+}
+
+TEST(TraceRecorder, ResetRestartsTheRecordingFromScratch)
+{
+    // After a reset, the file must hold exactly the ops handed out
+    // since the reset — not the pre-reset prefix.
+    auto expected = sampleOps("applu", 120);
+    auto live = makeSpecWorkload("applu");
+    std::string path = tempPath("rec_reset.diqt");
+    TraceRecorder rec(*live, path);
+    MicroOp op;
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(rec.next(op));
+    rec.reset();
+    EXPECT_EQ(rec.recordedOps(), 0u);
+    for (int i = 0; i < 120; ++i)
+        ASSERT_TRUE(rec.next(op));
+    rec.finalize();
+
+    FileTrace t(path);
+    ASSERT_EQ(t.opCount(), 120u);
+    for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_TRUE(t.next(op));
+        expectSameOp(expected[i], op, i);
+    }
+}
+
+TEST(TraceRecorder, ResetTruncatesAtTheByteLevel)
+{
+    // A post-reset recording SHORTER than the pre-reset one must not
+    // leave stale record bytes behind: the file is the exact byte
+    // image of the recording, so two recordings of the same prefix
+    // are byte-identical however the recorder got there.
+    auto live = makeSpecWorkload("swim");
+    std::string reset_path = tempPath("trunc_reset.diqt");
+    {
+        TraceRecorder rec(*live, reset_path);
+        MicroOp op;
+        for (int i = 0; i < 500; ++i)
+            ASSERT_TRUE(rec.next(op));
+        rec.reset();
+        for (int i = 0; i < 100; ++i)
+            ASSERT_TRUE(rec.next(op));
+        rec.finalize();
+    }
+    auto fresh = makeSpecWorkload("swim");
+    std::string fresh_path = tempPath("trunc_fresh.diqt");
+    recordTrace(*fresh, fresh_path, 100);
+    EXPECT_EQ(slurp(reset_path), slurp(fresh_path));
+}
+
+TEST(TraceRecorder, UnwritablePathFailsLoudly)
+{
+    auto live = makeSpecWorkload("swim");
+    EXPECT_THROW(TraceRecorder(*live, "/nonexistent-dir/x.diqt"),
+                 TraceError);
+}
+
+TEST(RecordTrace, HelperRecordsAndStopsAtEos)
+{
+    VectorTrace finite(sampleOps("swim", 40), "short");
+    std::string path = tempPath("helper.diqt");
+    EXPECT_EQ(recordTrace(finite, path, 1000), 40u) << "stops at EOS";
+    FileTrace t(path);
+    EXPECT_EQ(t.opCount(), 40u);
+    EXPECT_EQ(t.name(), "short");
+}
+
+// --- Malformed inputs (the sanitizer-fuzzed surface) ----------------
+
+TEST(FileTraceErrors, MissingFile)
+{
+    expectTraceError(tempPath("nope.diqt"), "cannot open file");
+}
+
+TEST(FileTraceErrors, EmptyFile)
+{
+    expectTraceError(writeBytes("empty.diqt", ""), "empty file");
+}
+
+TEST(FileTraceErrors, BadMagic)
+{
+    std::string bytes = slurp(writeTrace(sampleOps("swim", 20),
+                                         "magic_src.diqt"));
+    bytes[0] = 'X';
+    expectTraceError(writeBytes("magic.diqt", bytes), "bad magic");
+    // A non-trace file (e.g. text) is also just bad magic.
+    expectTraceError(writeBytes("text.diqt", "hello world\n"),
+                     "bad magic");
+}
+
+TEST(FileTraceErrors, TruncatedHeader)
+{
+    std::string bytes = slurp(writeTrace(sampleOps("swim", 20),
+                                         "hdr_src.diqt"));
+    // Cut inside the fixed header (magic is 4 bytes, versions 4
+    // more, then name and count).
+    expectTraceError(writeBytes("hdr2.diqt", bytes.substr(0, 2)),
+                     "truncated header");
+    expectTraceError(writeBytes("hdr5.diqt", bytes.substr(0, 5)),
+                     "truncated header");
+    expectTraceError(writeBytes("hdr9.diqt", bytes.substr(0, 9)),
+                     "truncated header");
+    expectTraceError(writeBytes("hdr12.diqt", bytes.substr(0, 12)),
+                     "truncated header");
+}
+
+TEST(FileTraceErrors, FormatVersionSkew)
+{
+    std::string bytes = slurp(writeTrace(sampleOps("swim", 20),
+                                         "fmt_src.diqt"));
+    bytes[4] = 99; // format version low byte
+    expectTraceError(writeBytes("fmt.diqt", bytes),
+                     "unsupported format version 99");
+}
+
+TEST(FileTraceErrors, IsaVersionSkew)
+{
+    std::string bytes = slurp(writeTrace(sampleOps("swim", 20),
+                                         "isa_src.diqt"));
+    bytes[6] = static_cast<char>(kTraceIsaVersion + 1); // ISA low byte
+    expectTraceError(writeBytes("isa.diqt", bytes),
+                     "ISA version skew");
+}
+
+TEST(FileTraceErrors, MidRecordEof)
+{
+    std::string bytes = slurp(writeTrace(sampleOps("swim", 200),
+                                         "eof_src.diqt"));
+    // Chop inside the last records: several cut points so the EOF
+    // lands in different record fields.
+    for (size_t cut : {bytes.size() - 1, bytes.size() - 3,
+                       bytes.size() - 7, bytes.size() - 40}) {
+        expectTraceError(
+            writeBytes("eof_" + std::to_string(cut) + ".diqt",
+                       bytes.substr(0, cut)),
+            "truncated record");
+    }
+}
+
+TEST(FileTraceErrors, HeaderCountBeyondRecordsIsTruncation)
+{
+    // A header op count larger than the records present must read as
+    // truncation, not silent end-of-stream.
+    auto ops = sampleOps("swim", 50);
+    std::string path = tempPath("overcount.diqt");
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        TraceWriter w(os, "overcount");
+        for (size_t i = 0; i + 1 < ops.size(); ++i)
+            w.append(ops[i]);
+        w.finalize();
+    }
+    std::string bytes = slurp(path);
+    // Patch the count (little-endian u64 right after the name) up.
+    size_t countPos = 4 + 2 + 2 + 1 + std::string("overcount").size();
+    bytes[countPos] = 50;
+    expectTraceError(writeBytes("overcount2.diqt", bytes),
+                     "truncated record");
+}
+
+TEST(FileTraceErrors, EmptyTraceIsRejected)
+{
+    std::string path = tempPath("zero.diqt");
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        TraceWriter w(os, "zero");
+        w.finalize(); // no ops appended
+    }
+    expectTraceError(path, "empty trace");
+}
+
+TEST(FileTraceErrors, CorruptOpClass)
+{
+    auto ops = sampleOps("swim", 5);
+    std::string bytes = slurp(writeTrace(ops, "opc_src.diqt", "x"));
+    size_t firstRecord = 4 + 2 + 2 + 1 + 1 + 8;
+    bytes[firstRecord] = 0x1f; // op class 31
+    expectTraceError(writeBytes("opc.diqt", bytes), "op class");
+}
+
+TEST(FileTraceErrors, CorruptRegisterId)
+{
+    auto ops = sampleOps("swim", 5);
+    std::string bytes = slurp(writeTrace(ops, "reg_src.diqt", "x"));
+    size_t firstRecord = 4 + 2 + 2 + 1 + 1 + 8;
+    bytes[firstRecord + 1] = static_cast<char>(100); // src1 = 100
+    expectTraceError(writeBytes("reg.diqt", bytes),
+                     "register id out of range");
+}
+
+TEST(FileTraceErrors, VarintOverflowBitsAreCorruptNotDiscarded)
+{
+    // A 10-byte varint whose final byte carries payload above bit 63
+    // must error, not silently decode to a truncated value.
+    std::string bytes;
+    bytes.append(kTraceMagic, sizeof kTraceMagic);
+    bytes.push_back(static_cast<char>(kTraceFormatVersion & 0xff));
+    bytes.push_back(static_cast<char>(kTraceFormatVersion >> 8));
+    bytes.push_back(static_cast<char>(kTraceIsaVersion & 0xff));
+    bytes.push_back(static_cast<char>(kTraceIsaVersion >> 8));
+    for (int i = 0; i < 9; ++i) // name-length varint, 9 continuations
+        bytes.push_back(static_cast<char>(0x80));
+    bytes.push_back(0x02); // payload bit at shift 64: overflow
+    expectTraceError(writeBytes("varint_ovf.diqt", bytes),
+                     "corrupt varint");
+}
+
+TEST(TraceWriterErrors, RejectsNamesLongerThanTheReaderAccepts)
+{
+    // Reachable from the CLI: a phased: token with enough parts makes
+    // an arbitrarily long workload name. Recording must fail up
+    // front, not succeed and leave an unreplayable file behind.
+    std::ostringstream os;
+    try {
+        TraceWriter w(os, std::string(5000, 'x'));
+        FAIL() << "oversized workload name accepted";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find("exceeds"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceWriterErrors, RejectsOpsTheReaderWouldRejectAsCorrupt)
+{
+    // Writer and reader enforce the same invariants: a recording must
+    // never succeed and then fail replay as "corrupt record".
+    auto tryAppend = [](MicroOp op, const std::string &needle) {
+        std::ostringstream os;
+        TraceWriter w(os, "bad");
+        try {
+            w.append(op);
+            FAIL() << "append accepted an op the reader rejects ("
+                   << needle << ")";
+        } catch (const TraceError &e) {
+            EXPECT_NE(std::string(e.what()).find(needle),
+                      std::string::npos)
+                << e.what();
+        }
+    };
+    MicroOp op;
+
+    op.op = OpClass::NumOpClasses;
+    tryAppend(op, "invalid op class");
+
+    op = MicroOp{};
+    op.op = OpClass::IntAlu;
+    op.src1 = 64; // one past the last logical register
+    tryAppend(op, "register id out of range");
+
+    op = MicroOp{};
+    op.op = OpClass::Load;
+    op.memSize = 0;
+    tryAppend(op, "mem size 0");
+
+    op = MicroOp{};
+    op.op = OpClass::IntAlu;
+    op.taken = true;
+    tryAppend(op, "taken flag on a non-branch");
+}
+
+TEST(FileTraceErrors, AbsurdNameLengthIsCorruptNotAllocation)
+{
+    // Header with a multi-gigabyte name length must error out, not
+    // try to allocate.
+    std::string bytes;
+    bytes.append(kTraceMagic, sizeof kTraceMagic);
+    bytes.push_back(static_cast<char>(kTraceFormatVersion & 0xff));
+    bytes.push_back(static_cast<char>(kTraceFormatVersion >> 8));
+    bytes.push_back(static_cast<char>(kTraceIsaVersion & 0xff));
+    bytes.push_back(static_cast<char>(kTraceIsaVersion >> 8));
+    for (int i = 0; i < 5; ++i) // varint ~34 GB
+        bytes.push_back(static_cast<char>(0xff));
+    bytes.push_back(0x01);
+    expectTraceError(writeBytes("name.diqt", bytes), "name length");
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Record→replay equivalence: simulating from a recorded `.diqt` trace
+ * must produce a counter dump byte-identical to simulating the live
+ * source, for every scheme × workload combination. This is the
+ * contract that makes `.diqt` a portable workload interchange format
+ * — a trace file carries everything the simulation consumes.
+ *
+ * The recording is made exactly the way `diq record` makes it: the
+ * live workload is teed through a TraceRecorder while the full
+ * warm-up + measure run executes, so the file holds precisely the
+ * op stream the simulation consumed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runner/sim_job.hh"
+#include "spec/experiment_spec.hh"
+#include "trace/file_trace.hh"
+#include "trace_test_util.hh"
+
+namespace
+{
+
+using namespace diq;
+using trace::test::tempPath;
+
+/** Full counter dump + headline stats as one comparable string. */
+std::string
+dumpOf(const runner::SimResult &r)
+{
+    return "cycles=" + std::to_string(r.stats.cycles) +
+           " committed=" + std::to_string(r.stats.committed) +
+           " energy=" + std::to_string(r.energy.total()) + "\n" +
+           r.stats.counters.toString();
+}
+
+/**
+ * Run `specText` live while recording, then replay the recording
+ * under the same machine spec; EXPECT byte-identical counter dumps.
+ */
+void
+expectReplayEquivalence(const std::string &specText,
+                        const std::string &traceFile)
+{
+    std::string path = tempPath(traceFile);
+
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(specText);
+    runner::SimJob live_job = runner::makeJob(exp);
+    auto live = runner::makeJobWorkload(live_job);
+    trace::TraceRecorder recorder(*live, path);
+    runner::SimResult live_result =
+        runner::simulateJob(live_job, recorder);
+    recorder.finalize();
+
+    spec::ExperimentSpec replay_exp = exp;
+    replay_exp.set("bench", "trace:" + path);
+    runner::SimResult replay_result =
+        runner::executeJob(runner::makeJob(replay_exp));
+
+    EXPECT_EQ(dumpOf(live_result), dumpOf(replay_result))
+        << specText << " via " << path;
+    EXPECT_EQ(live_result.ipc, replay_result.ipc);
+}
+
+// Three paper configurations over three workload classes (benchmark,
+// scenario, phased composition) — the acceptance matrix.
+
+TEST(RecordReplay, CamBaselineOnSwim)
+{
+    expectReplayEquivalence(
+        "iq6464 bench=swim warmup_insts=500 measure_insts=6000",
+        "replay_iq64_swim.diqt");
+}
+
+TEST(RecordReplay, IssueFifoDistrOnGcc)
+{
+    expectReplayEquivalence(
+        "if_distr bench=gcc warmup_insts=500 measure_insts=6000",
+        "replay_ifdistr_gcc.diqt");
+}
+
+TEST(RecordReplay, MixBuffDistrOnChainStormScenario)
+{
+    expectReplayEquivalence(
+        "mb_distr bench=scenario:chain_storm warmup_insts=500 "
+        "measure_insts=6000",
+        "replay_mbdistr_chainstorm.diqt");
+}
+
+TEST(RecordReplay, LatFifoOnPhasedComposition)
+{
+    expectReplayEquivalence(
+        "latfifo_8x8_8x16 bench=scenario:phased:gcc+swim@2000 "
+        "warmup_insts=500 measure_insts=6000",
+        "replay_latfifo_phased.diqt");
+}
+
+TEST(RecordReplay, ReRecordingAReplayIsIdempotent)
+{
+    // Recording while replaying a trace re-encodes the same stream:
+    // the second-generation file must replay identically too.
+    std::string gen1 = tempPath("gen1.diqt");
+    std::string gen2 = tempPath("gen2.diqt");
+
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+        "mb_distr bench=swim warmup_insts=300 measure_insts=3000");
+    runner::SimJob job = runner::makeJob(exp);
+    auto live = runner::makeJobWorkload(job);
+    trace::TraceRecorder rec1(*live, gen1);
+    runner::SimResult first = runner::simulateJob(job, rec1);
+    rec1.finalize();
+
+    spec::ExperimentSpec exp2 = exp;
+    exp2.set("bench", "trace:" + gen1);
+    runner::SimJob job2 = runner::makeJob(exp2);
+    auto replay = runner::makeJobWorkload(job2);
+    trace::TraceRecorder rec2(*replay, gen2);
+    runner::SimResult second = runner::simulateJob(job2, rec2);
+    rec2.finalize();
+
+    spec::ExperimentSpec exp3 = exp;
+    exp3.set("bench", "trace:" + gen2);
+    runner::SimResult third =
+        runner::executeJob(runner::makeJob(exp3));
+
+    EXPECT_EQ(dumpOf(first), dumpOf(second));
+    EXPECT_EQ(dumpOf(second), dumpOf(third));
+}
+
+} // namespace

@@ -14,6 +14,7 @@
 #include "runner/sweep_spec.hh"
 #include "spec/experiment_spec.hh"
 #include "spec/presets.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 #include "util/rng.hh"
 
@@ -199,6 +200,67 @@ TEST(SpecErrors, MalformedValues)
     expectParseError("=5", "missing key");
 }
 
+// --- Workload tokens (scenario:/trace:) ------------------------------
+
+TEST(SpecWorkloadTokens, ScenarioAndTraceTokensRoundTrip)
+{
+    for (const char *bench :
+         {"scenario:chain_storm", "scenario:bursty",
+          "scenario:phased:gcc+swim@5000", "trace:/tmp/t.diqt"}) {
+        ExperimentSpec s;
+        s.set("bench", bench);
+        EXPECT_EQ(s.benchmark, bench);
+        EXPECT_EQ(ExperimentSpec::parse(s.toText()), s) << bench;
+        EXPECT_EQ(ExperimentSpec::parse(s.canonicalLine()), s) << bench;
+    }
+}
+
+TEST(SpecWorkloadTokens, EveryRegistryScenarioIsABenchChoice)
+{
+    // The bench key's declared domain covers the scenario catalog, so
+    // the randomized round-trip tests and `diq list keys` see them.
+    const spec::KeyInfo *k = spec::findKey("bench");
+    ASSERT_NE(k, nullptr);
+    for (const auto &s : trace::scenarioRegistry()) {
+        std::string token = "scenario:" + s.name;
+        EXPECT_NE(std::find(k->choices.begin(), k->choices.end(),
+                            token),
+                  k->choices.end())
+            << token;
+    }
+}
+
+TEST(SpecWorkloadTokens, BadTokensFailAtParseTimeWithPreciseErrors)
+{
+    expectParseError("bench=scenario:doom3", "unknown scenario");
+    expectParseError("bench=scenario:phased:gcc+swim",
+                     "missing '@");
+    expectParseError("bench=scenario:phased:gcc+swim@0",
+                     "must be positive");
+    expectParseError("bench=scenario:phased:gcc+doom3@100",
+                     "unknown phase 'doom3'");
+    expectParseError("bench=trace:", "empty trace path");
+    // A whitespace path could never survive the whitespace-tokenized
+    // canonical line, so it is rejected at set time rather than
+    // breaking parse(toText(s)) == s later.
+    {
+        ExperimentSpec s;
+        try {
+            s.set("bench", "trace:/tmp/my trace.diqt");
+            FAIL() << "whitespace trace path accepted";
+        } catch (const spec::ParseError &e) {
+            EXPECT_NE(std::string(e.what()).find("whitespace"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    // A trace path is validated when the file is opened, not at
+    // parse time (it may be recorded later) — parsing succeeds.
+    EXPECT_EQ(ExperimentSpec::parse("bench=trace:not/yet.diqt")
+                  .benchmark,
+              "trace:not/yet.diqt");
+}
+
 TEST(SpecErrors, OutOfRangeGeometry)
 {
     expectParseError("rob_size=0", "out of range");
@@ -243,6 +305,29 @@ TEST(SweepGrid, BenchSuiteAliasesExpand)
     EXPECT_EQ(grid.size(), trace::specIntProfiles().size());
     auto all = runner::SweepSpec::fromText("iq6464 bench=all");
     EXPECT_EQ(all.size(), trace::allSpecProfiles().size());
+}
+
+TEST(SweepGrid, ScenarioAxesSweep)
+{
+    // Explicit scenario tokens form a bench axis like any workload.
+    auto grid = runner::SweepSpec::fromText(
+        "scheme=mb_distr,if_distr "
+        "bench=scenario:chain_storm,scenario:bursty,swim");
+    ASSERT_EQ(grid.size(), 6u);
+    EXPECT_EQ(grid.points()[0].second.name, "scenario:chain_storm");
+    EXPECT_EQ(grid.points()[2].second.name, "swim");
+
+    // The `scenarios` alias expands to the whole catalog.
+    auto all = runner::SweepSpec::fromText("iq6464 bench=scenarios");
+    EXPECT_EQ(all.size(), trace::scenarioRegistry().size());
+    for (const auto &[exp, profile] : all.points())
+        EXPECT_EQ(profile.name.rfind("scenario:", 0), 0u)
+            << profile.name;
+
+    // Unknown scenarios are rejected at grid-build time.
+    EXPECT_THROW(
+        runner::SweepSpec::fromText("iq6464 bench=scenario:doom3"),
+        spec::ParseError);
 }
 
 TEST(SweepGrid, AxisValuesAreDeduped)

@@ -7,18 +7,27 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
+#include <type_traits>
+#include <vector>
 
+#include "trace/file_trace.hh"
 #include "trace/isa.hh"
+#include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_source.hh"
+#include "trace_test_util.hh"
 
 namespace
 {
 
 using namespace diq;
 using namespace diq::trace;
+using trace::test::expectSameOp;
+using trace::test::sampleOps;
 
 // --- ISA ---------------------------------------------------------------
 
@@ -92,6 +101,247 @@ TEST(VectorTrace, FiniteAndRepeating)
     VectorTrace loop({a, b}, "loop", /*repeat=*/true);
     for (int i = 0; i < 10; ++i)
         EXPECT_TRUE(loop.next(out));
+}
+
+TEST(VectorTrace, ResetAfterExhaustionReplaysTheFullTrace)
+{
+    // Regression: a non-repeating trace that has returned
+    // end-of-stream must come back to life after reset(), replaying
+    // the identical sequence — and EOS itself must be stable (asking
+    // again keeps returning false without disturbing state).
+    MicroOp a, b, c;
+    a.pc = 4;
+    b.pc = 8;
+    c.pc = 12;
+    VectorTrace t({a, b, c}, "t");
+    MicroOp out;
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_TRUE(t.next(out)) << round;
+        EXPECT_EQ(out.pc, 4u);
+        EXPECT_TRUE(t.next(out));
+        EXPECT_EQ(out.pc, 8u);
+        EXPECT_TRUE(t.next(out));
+        EXPECT_EQ(out.pc, 12u);
+        EXPECT_FALSE(t.next(out));
+        EXPECT_FALSE(t.next(out)) << "EOS must be stable";
+        t.reset();
+    }
+}
+
+TEST(VectorTrace, ResetMidWrapRestartsARepeatingTrace)
+{
+    MicroOp a, b;
+    a.pc = 4;
+    b.pc = 8;
+    VectorTrace loop({a, b}, "loop", /*repeat=*/true);
+    MicroOp out;
+    for (int i = 0; i < 5; ++i) // lands mid-way through a wrap
+        EXPECT_TRUE(loop.next(out));
+    EXPECT_EQ(out.pc, 4u);
+    loop.reset();
+    EXPECT_TRUE(loop.next(out));
+    EXPECT_EQ(out.pc, 4u) << "reset must restart at the first op";
+}
+
+TEST(VectorTrace, EmptyTraceIsStableUnderResetAndRepeat)
+{
+    VectorTrace empty({}, "e");
+    MicroOp out;
+    EXPECT_FALSE(empty.next(out));
+    empty.reset();
+    EXPECT_FALSE(empty.next(out));
+
+    VectorTrace emptyLoop({}, "el", /*repeat=*/true);
+    EXPECT_FALSE(emptyLoop.next(out)) << "empty repeat must not spin";
+}
+
+// --- TraceSource contract: shared across every implementation ------------
+
+/** What a contract test needs: the source plus whatever owns it. */
+struct MadeSource
+{
+    std::unique_ptr<TraceSource> keepAlive; // inner source, if any
+    std::unique_ptr<TraceSource> source;
+    bool finite = false;
+};
+
+template <typename Tag> MadeSource makeSource();
+
+struct VectorFiniteTag {};
+struct VectorRepeatTag {};
+struct SyntheticTag {};
+struct FileTraceTag {};
+struct PhasedTag {};
+struct RecorderTag {};
+struct ScenarioTag {};
+
+template <>
+MadeSource
+makeSource<VectorFiniteTag>()
+{
+    return {nullptr,
+            std::make_unique<VectorTrace>(sampleOps("gcc", 64), "v"),
+            /*finite=*/true};
+}
+
+template <>
+MadeSource
+makeSource<VectorRepeatTag>()
+{
+    return {nullptr,
+            std::make_unique<VectorTrace>(sampleOps("gcc", 16), "vr",
+                                          /*repeat=*/true),
+            /*finite=*/false};
+}
+
+template <>
+MadeSource
+makeSource<SyntheticTag>()
+{
+    return {nullptr, makeSpecWorkload("swim"), /*finite=*/false};
+}
+
+template <>
+MadeSource
+makeSource<FileTraceTag>()
+{
+    std::string path = trace::test::tempPath("contract.diqt");
+    auto live = makeSpecWorkload("mgrid");
+    recordTrace(*live, path, 64);
+    return {nullptr, std::make_unique<FileTrace>(path),
+            /*finite=*/true};
+}
+
+template <>
+MadeSource
+makeSource<PhasedTag>()
+{
+    std::vector<std::unique_ptr<TraceSource>> phases;
+    phases.push_back(makeSpecWorkload("gcc"));
+    phases.push_back(makeSpecWorkload("swim"));
+    return {nullptr,
+            std::make_unique<PhasedTrace>(std::move(phases), 37, "ph"),
+            /*finite=*/false};
+}
+
+template <>
+MadeSource
+makeSource<RecorderTag>()
+{
+    MadeSource m;
+    m.keepAlive = makeSpecWorkload("applu");
+    m.source = std::make_unique<TraceRecorder>(
+        *m.keepAlive, trace::test::tempPath("contract_rec.diqt"));
+    m.finite = false;
+    return m;
+}
+
+template <>
+MadeSource
+makeSource<ScenarioTag>()
+{
+    return {nullptr, makeScenario("steer_flip"), /*finite=*/false};
+}
+
+/** Up to `cap` ops (stops at end-of-stream). */
+std::vector<MicroOp>
+drainUpTo(TraceSource &src, size_t cap)
+{
+    std::vector<MicroOp> ops;
+    MicroOp op;
+    while (ops.size() < cap && src.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+template <typename Tag>
+class TraceSourceContract : public ::testing::Test
+{
+};
+
+using AllTraceSources =
+    ::testing::Types<VectorFiniteTag, VectorRepeatTag, SyntheticTag,
+                     FileTraceTag, PhasedTag, RecorderTag, ScenarioTag>;
+
+class TraceSourceNames
+{
+  public:
+    template <typename T>
+    static std::string
+    GetName(int)
+    {
+        if (std::is_same_v<T, VectorFiniteTag>)
+            return "VectorTrace";
+        if (std::is_same_v<T, VectorRepeatTag>)
+            return "VectorTraceRepeat";
+        if (std::is_same_v<T, SyntheticTag>)
+            return "SyntheticWorkload";
+        if (std::is_same_v<T, FileTraceTag>)
+            return "FileTrace";
+        if (std::is_same_v<T, PhasedTag>)
+            return "PhasedTrace";
+        if (std::is_same_v<T, RecorderTag>)
+            return "TraceRecorder";
+        return "Scenario";
+    }
+};
+
+TYPED_TEST_SUITE(TraceSourceContract, AllTraceSources,
+                 TraceSourceNames);
+
+TYPED_TEST(TraceSourceContract, ResetReplaysTheIdenticalPrefix)
+{
+    MadeSource m = makeSource<TypeParam>();
+    auto first = drainUpTo(*m.source, 150);
+    ASSERT_FALSE(first.empty());
+    m.source->reset();
+    auto second = drainUpTo(*m.source, 150);
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i)
+        expectSameOp(first[i], second[i], i);
+}
+
+TYPED_TEST(TraceSourceContract, ResetAfterPartialDrainRestarts)
+{
+    MadeSource m = makeSource<TypeParam>();
+    auto reference = drainUpTo(*m.source, 40);
+    ASSERT_FALSE(reference.empty());
+    m.source->reset();
+    // Drain an awkward, different prefix length, then reset again.
+    (void)drainUpTo(*m.source, 7);
+    m.source->reset();
+    auto replay = drainUpTo(*m.source, 40);
+    ASSERT_EQ(replay.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i)
+        expectSameOp(reference[i], replay[i], i);
+}
+
+TYPED_TEST(TraceSourceContract, ExhaustionThenResetReplaysInFull)
+{
+    MadeSource m = makeSource<TypeParam>();
+    if (!m.finite)
+        GTEST_SKIP() << "infinite source";
+    auto first = drainUpTo(*m.source, 100000);
+    MicroOp op;
+    EXPECT_FALSE(m.source->next(op));
+    EXPECT_FALSE(m.source->next(op)) << "EOS must be stable";
+    m.source->reset();
+    auto second = drainUpTo(*m.source, 100000);
+    ASSERT_EQ(second.size(), first.size())
+        << "reset after exhaustion must replay the whole trace";
+    for (size_t i = 0; i < first.size(); ++i)
+        expectSameOp(first[i], second[i], i);
+}
+
+TYPED_TEST(TraceSourceContract, NameIsStableAcrossResetAndDraining)
+{
+    MadeSource m = makeSource<TypeParam>();
+    std::string name = m.source->name();
+    EXPECT_FALSE(name.empty());
+    (void)drainUpTo(*m.source, 25);
+    EXPECT_EQ(m.source->name(), name);
+    m.source->reset();
+    EXPECT_EQ(m.source->name(), name);
 }
 
 // --- SyntheticWorkload: per-profile invariants ------------------------------

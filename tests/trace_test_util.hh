@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the trace-layer test suites (test_trace,
+ * test_file_trace, test_replay, test_scenarios): process-unique temp
+ * paths, workload sampling, and the field-by-field MicroOp
+ * comparator. One copy, so a new MicroOp field weakens no suite's
+ * round-trip check silently.
+ */
+
+#ifndef DIQ_TESTS_TRACE_TEST_UTIL_HH
+#define DIQ_TESTS_TRACE_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/isa.hh"
+#include "trace/spec2000.hh"
+
+namespace diq::trace::test
+{
+
+/**
+ * Process-unique temp path: ctest runs every test of a binary as its
+ * own concurrent process, and sibling build trees (Release/Debug/
+ * sanitizer) share /tmp — fixed names would race.
+ */
+inline std::string
+tempPath(const std::string &file)
+{
+    return ::testing::TempDir() + std::to_string(::getpid()) + "_" +
+           file;
+}
+
+/** First `n` ops of a named SPEC-like workload. */
+inline std::vector<MicroOp>
+sampleOps(const std::string &bench, size_t n)
+{
+    auto w = makeSpecWorkload(bench);
+    std::vector<MicroOp> ops(n);
+    for (auto &op : ops)
+        EXPECT_TRUE(w->next(op));
+    return ops;
+}
+
+/** ASSERT that two micro-ops agree on every field. */
+inline void
+expectSameOp(const MicroOp &a, const MicroOp &b, size_t i)
+{
+    ASSERT_EQ(a.pc, b.pc) << "op " << i;
+    ASSERT_EQ(a.op, b.op) << "op " << i;
+    ASSERT_EQ(a.src1, b.src1) << "op " << i;
+    ASSERT_EQ(a.src2, b.src2) << "op " << i;
+    ASSERT_EQ(a.dest, b.dest) << "op " << i;
+    ASSERT_EQ(a.memAddr, b.memAddr) << "op " << i;
+    ASSERT_EQ(a.memSize, b.memSize) << "op " << i;
+    ASSERT_EQ(a.taken, b.taken) << "op " << i;
+    ASSERT_EQ(a.target, b.target) << "op " << i;
+}
+
+} // namespace diq::trace::test
+
+#endif // DIQ_TESTS_TRACE_TEST_UTIL_HH

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "figures.hh"
+#include "fuzz/fuzz_runner.hh"
 #include "report.hh"
 #include "runner/sweep_runner.hh"
 #include "spec/presets.hh"
@@ -53,6 +54,14 @@ usage(std::ostream &os)
           "  report [figure-ids...]          reproduce every paper\n"
           "      figure (alias binary: diq_report)\n"
           "      [--outdir DIR] [--jobs N] [--insts N] [--warmup N]\n"
+          "  fuzz [--seeds A..B] [--shrink]  generative differential\n"
+          "      fuzzing: per seed, run every scheme on the generated\n"
+          "      fuzz:<seed> workload and check cross-scheme\n"
+          "      invariants; violations are auto-shrunk (--shrink) to\n"
+          "      minimal .diqt reproducers. Exit: 0 clean, 2 violations\n"
+          "      [--insts N | --budget N] [--warmup N] [--json FILE]\n"
+          "      [--time-budget SEC] [--schemes a,b,...] [--ipc-slack X]\n"
+          "      [--artifact-dir DIR] [--trace-dir DIR]\n"
           "  list [schemes|benchmarks|scenarios|keys|figures]\n"
           "      show the named vocabulary with doc strings\n"
           "  help                            this text\n"
@@ -233,6 +242,113 @@ sweepCmd(const util::Flags &flags)
     return 0;
 }
 
+/**
+ * Parse a `--seeds` window: "A..B" (inclusive) or a single "N".
+ * @throws std::invalid_argument on malformed input or B < A.
+ */
+std::pair<uint64_t, uint64_t>
+parseSeedWindow(const std::string &text)
+{
+    auto parseOne = [&text](const std::string &part) {
+        if (part.empty() ||
+            part.find_first_not_of("0123456789") != std::string::npos)
+            throw std::invalid_argument(
+                "bad --seeds '" + text +
+                "' (want A..B or a single seed, e.g. 0..99)");
+        return static_cast<uint64_t>(std::stoull(part));
+    };
+    auto dots = text.find("..");
+    if (dots == std::string::npos) {
+        uint64_t s = parseOne(text);
+        return {s, s};
+    }
+    uint64_t begin = parseOne(text.substr(0, dots));
+    uint64_t end = parseOne(text.substr(dots + 2));
+    if (end < begin)
+        throw std::invalid_argument("bad --seeds '" + text +
+                                    "': end before begin");
+    return {begin, end};
+}
+
+int
+fuzzCmd(const util::Flags &flags)
+{
+    fuzz::FuzzOptions opts;
+    auto [begin, end] =
+        parseSeedWindow(flags.getString("seeds", "0..99"));
+    opts.seedBegin = begin;
+    opts.seedEnd = end;
+
+    // --budget is the ISSUE's spelling for the per-run instruction
+    // budget; --insts matches every other subcommand. Flag > env.
+    int64_t insts = flags.has("budget")
+        ? flags.getInt("budget", 3000)
+        : flags.getInt("insts", 3000, "DIQ_INSTS");
+    int64_t warmup = flags.getInt("warmup", 300, "DIQ_WARMUP");
+    if (insts <= 0 || warmup < 0) {
+        std::cerr << "error: budgets must be positive (--insts "
+                  << insts << ", --warmup " << warmup << ")\n";
+        return 1;
+    }
+    opts.measureInsts = static_cast<uint64_t>(insts);
+    opts.warmupInsts = static_cast<uint64_t>(warmup);
+
+    opts.shrink = flags.getBool("shrink", false);
+    opts.timeBudgetSec = flags.getDouble("time-budget", 0.0);
+    opts.ipcSlack = flags.getDouble("ipc-slack", opts.ipcSlack);
+    opts.artifactDir =
+        flags.getString("artifact-dir", opts.artifactDir);
+    opts.traceDir = flags.getString("trace-dir", opts.traceDir);
+    if (flags.has("schemes")) {
+        std::string list = flags.getString("schemes", "");
+        for (size_t at = 0; at < list.size();) {
+            size_t comma = list.find(',', at);
+            if (comma == std::string::npos)
+                comma = list.size();
+            if (comma > at)
+                opts.schemes.push_back(
+                    list.substr(at, comma - at));
+            at = comma + 1;
+        }
+    }
+    opts.progress = &std::cerr;
+
+    std::cerr << "diq fuzz: seeds " << opts.seedBegin << ".."
+              << opts.seedEnd << ", budget " << opts.measureInsts
+              << " insts (+" << opts.warmupInsts
+              << " warm-up) per scheme run"
+              << (opts.shrink ? ", shrinking" : "") << "\n";
+
+    fuzz::FuzzSummary summary = fuzz::runFuzz(opts);
+
+    if (flags.has("json")) {
+        std::string path = flags.getString("json", "");
+        std::ofstream os(path, std::ios::trunc);
+        if (!os) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        os << summary.toJson();
+        std::cerr << "wrote " << path << "\n";
+    }
+
+    std::cout << "fuzz: " << summary.seedsRun << " seed(s), "
+              << summary.violations.size() << " violation(s), "
+              << (summary.timeBudgetHit ? "time budget hit, " : "")
+              << "elapsed "
+              << util::TablePrinter::fmt(summary.elapsedSec, 2)
+              << "s\n";
+    for (const auto &v : summary.violations) {
+        std::cout << "  seed " << v.seed << " [" << v.invariant
+                  << "] scheme " << v.scheme;
+        if (!v.shrunkTracePath.empty())
+            std::cout << " -> " << v.shrunkTracePath << " ("
+                      << v.shrunkOps << " ops)";
+        std::cout << "\n";
+    }
+    return summary.clean() ? 0 : 2;
+}
+
 int
 listCmd(const util::Flags &flags)
 {
@@ -379,6 +495,8 @@ cliMain(int argc, char **argv)
             return sweepCmd(flags);
         if (cmd == "report")
             return reportMain(flags);
+        if (cmd == "fuzz")
+            return fuzzCmd(flags);
         if (cmd == "list")
             return listCmd(flags);
         if (cmd == "help" || cmd == "--help" || cmd == "-h") {

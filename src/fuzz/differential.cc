@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Implementation of fuzz/differential.hh: the cross-scheme invariant
+ * checker of the fuzzing harness (docs/ARCHITECTURE.md §9).
+ */
+
+#include "fuzz/differential.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "power/events.hh"
+#include "trace/scenarios.hh"
+#include "trace/trace_source.hh"
+
+namespace diq::fuzz
+{
+
+namespace
+{
+
+/** A reproducible way to mint fresh workload instances: each scheme
+ *  (and the determinism re-run) must consume its own stream from the
+ *  beginning. */
+using WorkloadFactory =
+    std::function<std::unique_ptr<trace::TraceSource>()>;
+
+spec::ExperimentSpec
+specFor(const std::string &preset, const std::string &bench,
+        uint64_t warmup, uint64_t measure)
+{
+    // Presets are full scheme definitions, so one token is a complete
+    // machine; budgets and benchmark are plain value fields.
+    auto s = spec::ExperimentSpec::parse(preset);
+    s.benchmark = bench;
+    s.warmupInsts = warmup;
+    s.measureInsts = measure;
+    return s;
+}
+
+/** Field-by-field micro-op equality (MicroOp deliberately has no
+ *  operator== — the trace tests compare with diagnostics instead). */
+bool
+sameOp(const trace::MicroOp &a, const trace::MicroOp &b)
+{
+    return a.pc == b.pc && a.op == b.op && a.src1 == b.src1 &&
+           a.src2 == b.src2 && a.dest == b.dest &&
+           a.memAddr == b.memAddr && a.memSize == b.memSize &&
+           a.taken == b.taken && a.target == b.target;
+}
+
+/** Run one (preset, workload) pair, capturing the retired stream. */
+SchemeRun
+runScheme(const std::string &preset, const std::string &bench,
+          const WorkloadFactory &factory, const DiffOptions &opts,
+          std::vector<trace::MicroOp> &retiredOut)
+{
+    runner::SimJob job;
+    job.exp =
+        specFor(preset, bench, opts.warmupInsts, opts.measureInsts);
+    job.profile.name = bench;
+
+    retiredOut.clear();
+    auto workload = factory();
+    auto result = runner::simulateJob(
+        job, *workload,
+        [&retiredOut](const trace::MicroOp &op) {
+            retiredOut.push_back(op);
+        });
+
+    SchemeRun run;
+    run.preset = preset;
+    run.result = result;
+    run.dump = dumpOf(result);
+    run.retiredOps = retiredOut.size();
+    return run;
+}
+
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label)
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    return out;
+}
+
+/** golden_failures/-style artifact: write `text`, remember the path. */
+void
+writeArtifact(DiffReport &report, const DiffOptions &opts,
+              const std::string &file, const std::string &text)
+{
+    if (!opts.writeArtifacts)
+        return;
+    std::filesystem::create_directories(opts.artifactDir);
+    auto path = opts.artifactDir + "/" + file;
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    report.artifacts.push_back(path);
+}
+
+/** On a cross-scheme violation, dump both schemes' counters (and, for
+ *  stream divergence, the first diverging retired-op index with both
+ *  ops) so the failure is diagnosable from CI artifacts alone. */
+void
+writeMismatchArtifacts(DiffReport &report, const DiffOptions &opts,
+                       const Violation &v, const SchemeRun &baseline,
+                       const SchemeRun &scheme)
+{
+    const std::string stem =
+        sanitizeLabel(report.bench) + "." + v.invariant + "." +
+        sanitizeLabel(scheme.preset);
+    writeArtifact(report, opts, stem + ".baseline.txt",
+                  "# preset: " + baseline.preset + "\n" +
+                      baseline.dump);
+    writeArtifact(report, opts, stem + ".scheme.txt",
+                  "# preset: " + scheme.preset + "\n" + scheme.dump);
+    writeArtifact(report, opts, stem + ".violation.txt",
+                  "bench: " + report.bench + "\ninvariant: " +
+                      v.invariant + "\nscheme: " + scheme.preset +
+                      "\ndiverge_index: " +
+                      std::to_string(v.divergeIndex) + "\n" +
+                      v.detail + "\n");
+}
+
+/** The per-run conservation identities over the EventId counter bank
+ *  (reasoning in the header / docs/ARCHITECTURE.md §9). */
+void
+checkConservation(DiffReport &report, const DiffOptions &opts,
+                  const SchemeRun &run)
+{
+    using power::EventId;
+    const auto &st = run.result.stats;
+    const auto &c = st.counters;
+
+    auto violate = [&](const std::string &inv,
+                       const std::string &detail) {
+        Violation v;
+        v.invariant = inv;
+        v.scheme = run.preset;
+        v.detail = detail;
+        report.violations.push_back(v);
+        writeMismatchArtifacts(report, opts, v, run, run);
+    };
+
+    // Issue-width histogram: exactly one bucket increment per cycle.
+    uint64_t bucketSum = 0;
+    uint64_t weightedSum = 0;
+    for (size_t w = 0; w <= 9; ++w) {
+        uint64_t b = c.get(power::issueWidthEvent(w));
+        bucketSum += b;
+        weightedSum += w * b;
+    }
+    if (bucketSum != st.cycles)
+        violate("issue-histogram",
+                "sum(diag.issue_bucket_*) = " +
+                    std::to_string(bucketSum) + " != cycles = " +
+                    std::to_string(st.cycles));
+    // The 9+ bucket undercounts its cycles' true width, so the
+    // weighted sum is a lower bound on issued ops.
+    if (weightedSum > st.issuedOps)
+        violate("issue-histogram",
+                "width-weighted bucket sum " +
+                    std::to_string(weightedSum) +
+                    " exceeds issued ops " +
+                    std::to_string(st.issuedOps));
+
+    // Every issued op drives exactly one FU-class mux.
+    const uint64_t muxSum = c.get(power::ev::MuxIntAlu) +
+                            c.get(power::ev::MuxIntMul) +
+                            c.get(power::ev::MuxFpAlu) +
+                            c.get(power::ev::MuxFpMul);
+    if (muxSum != st.issuedOps)
+        violate("mux-conservation",
+                "sum(mux.*) = " + std::to_string(muxSum) +
+                    " != issued ops = " +
+                    std::to_string(st.issuedOps));
+
+    // Mispredict accounting: bounded by branches (both counted at
+    // fetch, so this holds on any window)...
+    if (st.mispredicts > st.branches)
+        violate("mispredict-bound",
+                "mispredicts " + std::to_string(st.mispredicts) +
+                    " > branches " + std::to_string(st.branches));
+    // ...and on a full-drain run, the execution-time diagnostic
+    // counter agrees with the fetch-time statistic exactly (see
+    // DiffOptions::exhaustive for why not on windowed runs).
+    if (opts.exhaustive &&
+        c.get(EventId::MispredCount) != st.mispredicts)
+        violate("mispredict-bound",
+                "diag.mispred_count = " +
+                    std::to_string(c.get(EventId::MispredCount)) +
+                    " != stats.mispredicts = " +
+                    std::to_string(st.mispredicts));
+
+    // Liveness: the run made progress and the deadlock cap never hit.
+    if (st.deadlocked)
+        violate("liveness", "deadlock watchdog fired");
+    if (st.committed == 0)
+        violate("liveness", "measured region committed 0 instructions");
+}
+
+DiffReport
+runDifferentialImpl(const std::string &bench,
+                    const WorkloadFactory &factory,
+                    const DiffOptions &optsIn)
+{
+    DiffOptions opts = optsIn;
+    if (opts.schemes.empty())
+        opts.schemes = defaultDiffSchemes();
+
+    DiffReport report;
+    report.bench = bench;
+    // References into runs (the baseline) outlive later push_backs.
+    report.runs.reserve(opts.schemes.size() + 1);
+
+    // Baseline first; its retired stream is the reference.
+    std::vector<trace::MicroOp> baselineRetired;
+    report.runs.push_back(runScheme(opts.baseline, bench, factory,
+                                    opts, baselineRetired));
+    const SchemeRun &baseline = report.runs.front();
+    checkConservation(report, opts, baseline);
+
+    // Determinism: a second, fresh simulation of the identical
+    // (scheme, workload, budgets) triple must dump byte-identically.
+    {
+        std::vector<trace::MicroOp> retired2;
+        SchemeRun again = runScheme(opts.baseline, bench, factory,
+                                    opts, retired2);
+        if (again.dump != baseline.dump) {
+            Violation v;
+            v.invariant = "determinism";
+            v.scheme = opts.baseline;
+            v.detail = "re-running the baseline produced a different "
+                       "counter dump";
+            report.violations.push_back(v);
+            writeMismatchArtifacts(report, opts, v, baseline, again);
+        }
+    }
+
+    const double ipcCap =
+        baseline.result.ipc * (1.0 + opts.ipcSlack);
+
+    for (const auto &preset : opts.schemes) {
+        if (preset == opts.baseline)
+            continue;
+        std::vector<trace::MicroOp> retired;
+        report.runs.push_back(
+            runScheme(preset, bench, factory, opts, retired));
+        const SchemeRun &run = report.runs.back();
+        checkConservation(report, opts, run);
+
+        // Retired-stream equality over the common prefix. The tail
+        // lengths legitimately differ: Cpu::run() may overshoot its
+        // commit target by up to commitWidth-1, and the overshoot
+        // depends on the scheme's issue timing.
+        const size_t n =
+            std::min(baselineRetired.size(), retired.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (sameOp(baselineRetired[i], retired[i]))
+                continue;
+            Violation v;
+            v.invariant = "retired-stream";
+            v.scheme = preset;
+            v.divergeIndex = static_cast<long>(i);
+            v.detail = "first divergence at retired-op index " +
+                       std::to_string(i) + "\n  baseline: " +
+                       baselineRetired[i].toString() + "\n  " +
+                       preset + ": " + retired[i].toString();
+            report.violations.push_back(v);
+            writeMismatchArtifacts(report, opts, v, baseline, run);
+            break;
+        }
+
+        // No bounded scheme beats the unbounded baseline.
+        if (run.result.ipc > ipcCap) {
+            Violation v;
+            v.invariant = "ipc-above-baseline";
+            v.scheme = preset;
+            std::ostringstream os;
+            os << "ipc " << run.result.ipc << " > baseline "
+               << baseline.result.ipc << " * (1 + " << opts.ipcSlack
+               << ")";
+            v.detail = os.str();
+            report.violations.push_back(v);
+            writeMismatchArtifacts(report, opts, v, baseline, run);
+        }
+    }
+
+    return report;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+defaultDiffSchemes()
+{
+    static const std::vector<std::string> schemes = {
+        "iq6464",           "issuefifo_8x8_8x16",
+        "latfifo_8x8_8x16", "mixbuff_8x8_8x16",
+        "if_distr",         "mb_distr",
+    };
+    return schemes;
+}
+
+std::string
+dumpOf(const runner::SimResult &r)
+{
+    std::ostringstream os;
+    os << "scheme=" << r.scheme << " cycles=" << r.stats.cycles
+       << " committed=" << r.stats.committed
+       << " issued=" << r.stats.issuedOps << " energy=" << std::fixed
+       << r.energy.total() << "\n"
+       << r.stats.counters.toString();
+    return os.str();
+}
+
+DiffReport
+runDifferential(const std::string &bench, const DiffOptions &opts)
+{
+    return runDifferentialImpl(
+        bench, [&bench] { return trace::makeWorkload(bench); }, opts);
+}
+
+DiffReport
+runDifferentialOnOps(const std::vector<trace::MicroOp> &ops,
+                     const std::string &label, const DiffOptions &opts)
+{
+    DiffOptions o = opts;
+    o.warmupInsts = 0;
+    o.measureInsts = ops.size();
+    o.exhaustive = true;
+    return runDifferentialImpl(
+        label,
+        [&ops, &label] {
+            return std::make_unique<trace::VectorTrace>(ops, label);
+        },
+        o);
+}
+
+} // namespace diq::fuzz

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Differential scheme checking: run every issue-queue organization on
+ * one workload and check cross-scheme invariants, instead of
+ * asserting on fixed outputs.
+ *
+ * The paper's claim is relational — low-complexity distributed queues
+ * *track* an idealized CAM queue — so the natural oracle is another
+ * scheme, not a golden file. For any workload the paper's machine
+ * model can consume, these invariants must hold (the catalog, with
+ * the reasoning for each, is in docs/ARCHITECTURE.md §9):
+ *
+ *  determinism       Two simulations of the same (scheme, workload,
+ *                    budgets) produce byte-identical counter dumps.
+ *                    Everything downstream assumes this; a violation
+ *                    means hidden entropy leaked into the model.
+ *  retired-stream    Every scheme retires the same instruction stream
+ *                    as the unbounded baseline (compared op by op over
+ *                    the common prefix). Issue logic reorders *issue*,
+ *                    never architectural commit; a divergence means an
+ *                    op was dropped, duplicated or reordered at
+ *                    retirement.
+ *  ipc-above-baseline  No bounded scheme beats the unbounded CAM
+ *                    baseline on IPC (beyond a small documented
+ *                    slack): the baseline can issue anything issuable,
+ *                    so a bounded scheme winning means the baseline
+ *                    model lost work somewhere.
+ *  issue-histogram   The issue-width histogram buckets sum to exactly
+ *                    the cycle count (one bucket per cycle), and the
+ *                    width-weighted bucket sum never exceeds the
+ *                    issued-op count — the EventId counter bank's
+ *                    conservation identity for issue accounting.
+ *  mux-conservation  The per-FU-class mux drive events sum to exactly
+ *                    the issued-op count: every issued op is
+ *                    attributed to exactly one FU class in the energy
+ *                    model (energy cannot be created or lost between
+ *                    issue and the Figure 9-11 component breakdown).
+ *  mispredict-bound  Mispredicts never exceed branches; diag.mispred
+ *                    count matches the pipeline's mispredict counter.
+ *  liveness          The run commits work and the deadlock cycle-cap
+ *                    never fires.
+ *
+ * On violation, both schemes' full counter dumps and the first
+ * diverging retired-op index are written under `artifactDir`
+ * (golden_failures/ by convention — the same artifact pattern the
+ * counter-golden suite uses, so CI uploads them uniformly).
+ */
+
+#ifndef DIQ_FUZZ_DIFFERENTIAL_HH
+#define DIQ_FUZZ_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/sim_job.hh"
+#include "trace/isa.hh"
+
+namespace diq::fuzz
+{
+
+/** How to run one differential check. */
+struct DiffOptions
+{
+    /** Scheme presets under test; empty = defaultDiffSchemes(). */
+    std::vector<std::string> schemes;
+
+    /** The reference preset every scheme is compared against. */
+    std::string baseline = "unbounded";
+
+    uint64_t warmupInsts = 300;
+    uint64_t measureInsts = 3000;
+
+    /**
+     * Relative slack on the ipc-above-baseline check. A bounded
+     * scheme can legitimately edge past the unbounded baseline by a
+     * scheduling anomaly: FIFO selection may issue a mispredicted
+     * branch *earlier* than the CAM's oldest-first select, unblocking
+     * fetch sooner. The invariant is "does not *beat* the baseline",
+     * not "is never a hair above it". Default is the empirical
+     * envelope over the 500-seed acceptance window (max observed
+     * anomaly 1.5%) with headroom.
+     */
+    double ipcSlack = 0.02;
+
+    /**
+     * True when every run consumes its whole (finite) stream and
+     * drains the pipeline. Enables the boundary-sensitive identities:
+     * stats.mispredicts counts at fetch time, diag.mispred_count at
+     * execution-complete time, so on a *windowed* run a branch in
+     * flight across the resetStats() boundary (or at the measure-end
+     * stop) legitimately lands in one window but not the other. Only
+     * a full drain makes the two counts comparable.
+     * runDifferentialOnOps sets this; runDifferential cannot.
+     */
+    bool exhaustive = false;
+
+    /** Where violation artifacts go (created on demand). */
+    std::string artifactDir = "golden_failures";
+
+    /** Write artifact files on violation? (Tests usually say no.) */
+    bool writeArtifacts = false;
+};
+
+/** One invariant violation. */
+struct Violation
+{
+    std::string invariant; ///< catalog id, e.g. "retired-stream"
+    std::string scheme;    ///< offending preset name
+    std::string detail;    ///< human-readable specifics
+    /** First diverging retired-op index (retired-stream only). */
+    long divergeIndex = -1;
+};
+
+/** One scheme's executed run within a differential check. */
+struct SchemeRun
+{
+    std::string preset;
+    runner::SimResult result;
+    /** Full comparable dump: headline stats + every non-zero counter. */
+    std::string dump;
+    /** Retired ops captured over the whole run (warm-up + measure). */
+    uint64_t retiredOps = 0;
+};
+
+/** Outcome of one differential check. */
+struct DiffReport
+{
+    std::string bench;             ///< workload label/token
+    std::vector<SchemeRun> runs;   ///< baseline first, then schemes
+    std::vector<Violation> violations;
+    std::vector<std::string> artifacts; ///< files written, if any
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** The presets checked by default: every organization the paper
+ *  evaluates (CAM baseline, FIFO family, both distributed variants). */
+const std::vector<std::string> &defaultDiffSchemes();
+
+/** Headline stats + full counter dump as one comparable string. */
+std::string dumpOf(const runner::SimResult &r);
+
+/**
+ * Run the differential check on a bench token (benchmark name,
+ * `scenario:`, `trace:`, `fuzz:`). Each scheme gets a fresh workload
+ * instantiation, so the token must be reproducible (all are).
+ * @throws whatever workload resolution throws for a bad token.
+ */
+DiffReport runDifferential(const std::string &bench,
+                           const DiffOptions &opts);
+
+/**
+ * Run the differential check on a materialized op vector (the
+ * shrinker's re-check path). Budgets: warm-up 0, measured region =
+ * ops.size() — the whole vector, run to exhaustion.
+ */
+DiffReport runDifferentialOnOps(const std::vector<trace::MicroOp> &ops,
+                                const std::string &label,
+                                const DiffOptions &opts);
+
+} // namespace diq::fuzz
+
+#endif // DIQ_FUZZ_DIFFERENTIAL_HH

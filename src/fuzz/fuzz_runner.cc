@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Implementation of fuzz/fuzz_runner.hh (docs/ARCHITECTURE.md §9).
+ */
+
+#include "fuzz/fuzz_runner.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "fuzz/fuzz_workload.hh"
+#include "fuzz/shrink.hh"
+#include "trace/file_trace.hh"
+
+namespace diq::fuzz
+{
+
+namespace
+{
+
+/** Ops to materialize for the finite replay: enough to cover the
+ *  budgets plus the front-end's fetch-ahead (fetch queue + ROB) and
+ *  the commit-target overshoot, with generous margin. */
+uint64_t
+materializeCount(const FuzzOptions &opts)
+{
+    return opts.warmupInsts + opts.measureInsts + 4096;
+}
+
+std::vector<trace::MicroOp>
+materialize(const std::string &bench, uint64_t count)
+{
+    auto source = makeFuzzWorkload(bench);
+    std::vector<trace::MicroOp> ops;
+    ops.reserve(count);
+    trace::MicroOp op;
+    // fuzz: workloads are infinite; the guard is belt and braces.
+    for (uint64_t i = 0; i < count && source->next(op); ++i)
+        ops.push_back(op);
+    return ops;
+}
+
+std::string
+writeShrunkTrace(const FuzzOptions &opts, uint64_t seed,
+                 const std::vector<trace::MicroOp> &ops)
+{
+    std::filesystem::create_directories(opts.traceDir);
+    const std::string path =
+        opts.traceDir + "/fuzz_" + std::to_string(seed) +
+        "_shrunk.diqt";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw trace::TraceError("cannot open '" + path +
+                                "' for writing");
+    trace::TraceWriter writer(os, "fuzz:" + std::to_string(seed) +
+                                      ":shrunk");
+    for (const auto &op : ops)
+        writer.append(op);
+    writer.finalize();
+    return path;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+FuzzSummary::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed_begin\": " << seedBegin << ",\n";
+    os << "  \"seed_end\": " << seedEnd << ",\n";
+    os << "  \"seeds_run\": " << seedsRun << ",\n";
+    os << "  \"time_budget_hit\": "
+       << (timeBudgetHit ? "true" : "false") << ",\n";
+    os << "  \"warmup_insts\": " << warmupInsts << ",\n";
+    os << "  \"measure_insts\": " << measureInsts << ",\n";
+    os << "  \"baseline\": \"" << jsonEscape(baseline) << "\",\n";
+    os << "  \"schemes\": [";
+    for (size_t i = 0; i < schemes.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(schemes[i]) << '"';
+    os << "],\n";
+    os << "  \"elapsed_sec\": " << elapsedSec << ",\n";
+    os << "  \"clean\": " << (clean() ? "true" : "false") << ",\n";
+    os << "  \"violations\": [";
+    for (size_t i = 0; i < violations.size(); ++i) {
+        const auto &v = violations[i];
+        os << (i ? "," : "") << "\n    {\n";
+        os << "      \"seed\": " << v.seed << ",\n";
+        os << "      \"bench\": \"" << jsonEscape(v.bench) << "\",\n";
+        os << "      \"invariant\": \"" << jsonEscape(v.invariant)
+           << "\",\n";
+        os << "      \"scheme\": \"" << jsonEscape(v.scheme)
+           << "\",\n";
+        os << "      \"diverge_index\": " << v.divergeIndex << ",\n";
+        os << "      \"reproduced\": "
+           << (v.reproduced ? "true" : "false") << ",\n";
+        os << "      \"shrunk_trace\": \""
+           << jsonEscape(v.shrunkTracePath) << "\",\n";
+        os << "      \"shrunk_ops\": " << v.shrunkOps << ",\n";
+        os << "      \"artifacts\": [";
+        for (size_t j = 0; j < v.artifacts.size(); ++j)
+            os << (j ? ", " : "") << '"' << jsonEscape(v.artifacts[j])
+               << '"';
+        os << "],\n";
+        os << "      \"detail\": \"" << jsonEscape(v.detail)
+           << "\"\n    }";
+    }
+    os << (violations.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+FuzzSummary
+runFuzz(const FuzzOptions &opts)
+{
+    if (opts.seedEnd < opts.seedBegin)
+        throw std::invalid_argument(
+            "fuzz seed window is empty: end " +
+            std::to_string(opts.seedEnd) + " < begin " +
+            std::to_string(opts.seedBegin));
+
+    DiffOptions diff;
+    diff.schemes = opts.schemes;
+    diff.warmupInsts = opts.warmupInsts;
+    diff.measureInsts = opts.measureInsts;
+    diff.ipcSlack = opts.ipcSlack;
+    diff.artifactDir = opts.artifactDir;
+    diff.writeArtifacts = opts.writeArtifacts;
+
+    FuzzSummary summary;
+    summary.seedBegin = opts.seedBegin;
+    summary.seedEnd = opts.seedEnd;
+    summary.warmupInsts = opts.warmupInsts;
+    summary.measureInsts = opts.measureInsts;
+    summary.baseline = diff.baseline;
+    summary.schemes =
+        opts.schemes.empty() ? defaultDiffSchemes() : opts.schemes;
+
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    for (uint64_t seed = opts.seedBegin; seed <= opts.seedEnd;
+         ++seed) {
+        if (opts.timeBudgetSec > 0 &&
+            elapsed() > opts.timeBudgetSec) {
+            summary.timeBudgetHit = true;
+            if (opts.progress)
+                *opts.progress
+                    << "fuzz: time budget hit after "
+                    << summary.seedsRun << " seeds\n";
+            break;
+        }
+
+        const std::string bench = "fuzz:" + std::to_string(seed);
+        DiffReport report = runDifferential(bench, diff);
+        ++summary.seedsRun;
+        if (report.ok())
+            continue;
+
+        if (opts.progress)
+            *opts.progress << "fuzz: seed " << seed << ": "
+                           << report.violations.size()
+                           << " violation(s)\n";
+
+        // Shrink once per seed, targeting the union of the seed's
+        // violated invariants: a candidate still fails if it violates
+        // any of them (on any scheme — a shrunk stream may shift the
+        // failure between schemes without becoming less of a bug).
+        std::string shrunkPath;
+        uint64_t shrunkOps = 0;
+        bool reproduced = false;
+        if (opts.shrink) {
+            std::set<std::string> invariants;
+            for (const auto &v : report.violations)
+                invariants.insert(v.invariant);
+
+            DiffOptions replay = diff;
+            replay.writeArtifacts = false;
+            auto stillFails =
+                [&](const std::vector<trace::MicroOp> &candidate) {
+                    auto r = runDifferentialOnOps(candidate, bench,
+                                                  replay);
+                    for (const auto &v : r.violations)
+                        if (invariants.count(v.invariant))
+                            return true;
+                    return false;
+                };
+
+            auto fullOps =
+                materialize(bench, materializeCount(opts));
+            reproduced = stillFails(fullOps);
+            if (reproduced) {
+                ShrinkOptions so;
+                so.maxCandidates = opts.shrinkBudget;
+                auto outcome =
+                    shrinkOps(std::move(fullOps), stillFails, so);
+                shrunkPath =
+                    writeShrunkTrace(opts, seed, outcome.ops);
+                shrunkOps = outcome.ops.size();
+                if (opts.progress)
+                    *opts.progress
+                        << "fuzz: seed " << seed << ": shrunk to "
+                        << shrunkOps << " ops -> " << shrunkPath
+                        << "\n";
+            } else if (opts.progress) {
+                *opts.progress
+                    << "fuzz: seed " << seed
+                    << ": violation did not reproduce on the finite"
+                       " replay; not shrunk\n";
+            }
+        }
+
+        for (const auto &v : report.violations) {
+            FuzzViolationRecord rec;
+            rec.seed = seed;
+            rec.bench = bench;
+            rec.invariant = v.invariant;
+            rec.scheme = v.scheme;
+            rec.detail = v.detail;
+            rec.divergeIndex = v.divergeIndex;
+            rec.reproduced = reproduced;
+            rec.shrunkTracePath = shrunkPath;
+            rec.shrunkOps = shrunkOps;
+            rec.artifacts = report.artifacts;
+            summary.violations.push_back(std::move(rec));
+        }
+    }
+
+    summary.elapsedSec = elapsed();
+    return summary;
+}
+
+} // namespace diq::fuzz

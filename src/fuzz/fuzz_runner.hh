@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The fuzzing campaign driver behind `diq fuzz`: generate a workload
+ * per seed, differential-check every scheme on it, and auto-shrink any
+ * violation to a minimal replayable reproducer
+ * (docs/ARCHITECTURE.md §9).
+ *
+ * Per seed: resolve `fuzz:<seed>` through the workload machinery, run
+ * fuzz::runDifferential over the scheme set, and on violation
+ * optionally (a) materialize the exact op stream, (b) confirm the
+ * violation reproduces on the finite replay, (c) shrink it with
+ * fuzz::shrinkOps, and (d) write the shrunk stream as a `.diqt` trace
+ * — ready to be committed under tests/regression_traces/.
+ *
+ * Determinism contract: runFuzz with the same options produces the
+ * same summary (modulo elapsed wall-clock), and re-running any single
+ * seed reproduces its result byte-identically — the whole pipeline
+ * sits on the explicitly seeded fuzz: generator.
+ */
+
+#ifndef DIQ_FUZZ_FUZZ_RUNNER_HH
+#define DIQ_FUZZ_FUZZ_RUNNER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hh"
+
+namespace diq::fuzz
+{
+
+/** One fuzzing campaign. */
+struct FuzzOptions
+{
+    /** Inclusive seed window; each seed becomes `fuzz:<seed>`. */
+    uint64_t seedBegin = 0;
+    uint64_t seedEnd = 99;
+
+    /** Per-scheme simulation budgets (see DiffOptions). */
+    uint64_t warmupInsts = 300;
+    uint64_t measureInsts = 3000;
+
+    /** Shrink violations to minimal `.diqt` reproducers? */
+    bool shrink = false;
+
+    /** Predicate-evaluation cap per shrink (each one simulates). */
+    size_t shrinkBudget = 600;
+
+    /** Wall-clock cap in seconds; 0 = unlimited. Checked between
+     *  seeds, so one seed may finish past the cap. */
+    double timeBudgetSec = 0;
+
+    /** Scheme presets under test; empty = defaultDiffSchemes(). */
+    std::vector<std::string> schemes;
+
+    /** See DiffOptions::ipcSlack. */
+    double ipcSlack = 0.02;
+
+    /** Violation artifacts (counter dumps, divergence info). */
+    std::string artifactDir = "golden_failures";
+    bool writeArtifacts = true;
+
+    /** Where shrunk reproducer traces are written. */
+    std::string traceDir = "fuzz_traces";
+
+    /** When set, violation lines are streamed here as found. */
+    std::ostream *progress = nullptr;
+};
+
+/** One recorded violation (one Violation of one seed's DiffReport). */
+struct FuzzViolationRecord
+{
+    uint64_t seed = 0;
+    std::string bench;     ///< the fuzz: token
+    std::string invariant; ///< catalog id (differential.hh)
+    std::string scheme;
+    std::string detail;
+    long divergeIndex = -1;
+
+    /** True when the violation reproduced on the materialized finite
+     *  replay of the stream (precondition for trusting the shrink). */
+    bool reproduced = false;
+    /** Shrunk reproducer trace, when shrinking ran and reproduced. */
+    std::string shrunkTracePath;
+    uint64_t shrunkOps = 0;
+
+    /** Artifact files written for this seed's report. */
+    std::vector<std::string> artifacts;
+};
+
+/** Campaign outcome. */
+struct FuzzSummary
+{
+    uint64_t seedBegin = 0;
+    uint64_t seedEnd = 0;
+    uint64_t seedsRun = 0;
+    bool timeBudgetHit = false;
+
+    uint64_t warmupInsts = 0;
+    uint64_t measureInsts = 0;
+    std::string baseline;
+    std::vector<std::string> schemes;
+
+    std::vector<FuzzViolationRecord> violations;
+    double elapsedSec = 0;
+
+    bool clean() const { return violations.empty(); }
+
+    /** Machine-readable summary (the `--json` payload and the CI
+     *  artifact format). */
+    std::string toJson() const;
+};
+
+/** Run the campaign. @throws only on configuration errors (bad
+ *  seed window); per-seed simulation cannot throw for fuzz: tokens. */
+FuzzSummary runFuzz(const FuzzOptions &opts);
+
+} // namespace diq::fuzz
+
+#endif // DIQ_FUZZ_FUZZ_RUNNER_HH

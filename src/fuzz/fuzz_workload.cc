@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Implementation of fuzz/fuzz_workload.hh: the `fuzz:` token parser
+ * and the seeded phase-graph generator (docs/ARCHITECTURE.md §9).
+ */
+
+#include "fuzz/fuzz_workload.hh"
+
+#include <random>
+#include <stdexcept>
+
+#include "trace/scenarios.hh"
+
+namespace diq::fuzz
+{
+
+namespace
+{
+
+constexpr uint64_t KB = 1024;
+constexpr uint64_t MB = 1024 * 1024;
+
+/**
+ * Uniform-ish integer in [0, bound) from raw mt19937_64 output.
+ * Plain modulo reduction: the bias for bound <= a few thousand is
+ * ~2^-52 and irrelevant for workload synthesis, while the arithmetic
+ * is exactly specified — unlike std::uniform_int_distribution, whose
+ * algorithm (and therefore the generated workload) varies by stdlib.
+ */
+uint64_t
+draw(std::mt19937_64 &eng, uint64_t bound)
+{
+    return eng() % bound;
+}
+
+/** Uniform integer in [lo, hi] inclusive. */
+uint64_t
+drawRange(std::mt19937_64 &eng, uint64_t lo, uint64_t hi)
+{
+    return lo + draw(eng, hi - lo + 1);
+}
+
+/** Pick one element of a fixed menu. */
+template <typename T, size_t N>
+T
+pick(std::mt19937_64 &eng, const T (&menu)[N])
+{
+    return menu[draw(eng, N)];
+}
+
+/** Bernoulli with probability num/den, from one raw draw. */
+bool
+chance(std::mt19937_64 &eng, uint64_t num, uint64_t den)
+{
+    return draw(eng, den) < num;
+}
+
+[[noreturn]] void
+badToken(const std::string &token, const std::string &why)
+{
+    throw std::invalid_argument("bad fuzz token '" + token + "': " +
+                                why);
+}
+
+/** Strict decimal uint64 parse; rejects empty/sign/overflow. */
+uint64_t
+parseU64(const std::string &token, const std::string &text,
+         const std::string &what)
+{
+    if (text.empty())
+        badToken(token, "empty " + what);
+    for (char c : text)
+        if (c < '0' || c > '9')
+            badToken(token, "'" + text + "' is not a decimal " + what);
+    try {
+        size_t pos = 0;
+        uint64_t v = std::stoull(text, &pos);
+        if (pos != text.size())
+            badToken(token, "'" + text + "' is not a decimal " + what);
+        return v;
+    } catch (const std::invalid_argument &) {
+        badToken(token, "'" + text + "' is not a decimal " + what);
+    } catch (const std::out_of_range &) {
+        badToken(token, "'" + text + "' overflows a uint64 " + what);
+    }
+}
+
+/**
+ * One phase profile, every knob a raw engine draw. The draw *order*
+ * is part of the `fuzz:` contract: reordering or adding draws changes
+ * what every seed means, so extensions must append new axes after the
+ * existing ones (and bump nothing — old seeds simply gain new
+ * behavior, exactly like regenerating a corpus).
+ */
+trace::BenchmarkProfile
+drawProfile(std::mt19937_64 &eng, const std::string &name)
+{
+    trace::BenchmarkProfile p;
+    p.name = name;
+
+    // Op-class mix and suite type.
+    p.isFp = chance(eng, 1, 2);
+    static const double multMenu[] = {0.0, 0.1, 0.25};
+    static const double divMenu[] = {0.0, 0.1, 0.5};
+    p.multFrac = pick(eng, multMenu);
+    p.divFrac = pick(eng, divMenu);
+
+    // Dependence-graph shape (steer entropy + chain depth). The
+    // parChains*chainLen <= 16 cap keeps the per-body register demand
+    // under the rotating pools (27 INT / 32 FP) for every draw, so
+    // SyntheticWorkload::validateLayout can never reject a plan.
+    p.parChains = static_cast<int>(drawRange(eng, 1, 6));
+    uint64_t maxLen =
+        std::min<uint64_t>(6, 16 / static_cast<uint64_t>(p.parChains));
+    p.chainLen = static_cast<int>(drawRange(eng, 1, maxLen));
+    p.crossIterChains = chance(eng, 1, 2);
+    static const double crossMenu[] = {0.0, 0.1, 0.2, 0.4};
+    p.crossLinkFrac = pick(eng, crossMenu);
+    // Mixed INT/FP codes (eon/mesa-like) with probability 1/4.
+    if (chance(eng, 1, 4))
+        p.fpChains = static_cast<int>(
+            draw(eng, static_cast<uint64_t>(p.parChains) + 1));
+
+    // Memory behaviour (LSQ pressure).
+    p.loadsPerIter = static_cast<int>(draw(eng, 5));
+    p.storesPerIter = static_cast<int>(draw(eng, 5));
+    static const uint64_t footMenu[] = {32 * KB, 256 * KB, 2 * MB,
+                                        16 * MB};
+    p.footprint = pick(eng, footMenu);
+    static const double randMenu[] = {0.0, 0.5, 1.0};
+    p.randomAccessFrac = pick(eng, randMenu);
+    p.pointerChase = chance(eng, 1, 4);
+    static const int strideMenu[] = {8, 16, 64};
+    p.strideBytes = pick(eng, strideMenu);
+
+    // Control behaviour (branch churn + code footprint).
+    p.extraBranches = static_cast<int>(draw(eng, 5));
+    static const double biasMenu[] = {0.5, 0.7, 0.9, 0.98};
+    p.branchBias = pick(eng, biasMenu);
+    static const int iterMenu[] = {8, 16, 64, 256};
+    p.innerIters = pick(eng, iterMenu);
+    static const int blockMenu[] = {1, 2, 8, 32};
+    p.codeBlocks = pick(eng, blockMenu);
+    p.intOverhead = static_cast<int>(drawRange(eng, 1, 3));
+
+    return p;
+}
+
+} // namespace
+
+FuzzSpec
+FuzzSpec::parse(const std::string &token)
+{
+    if (!token.starts_with(kFuzzPrefix))
+        badToken(token, "missing 'fuzz:' prefix");
+    std::string body = token.substr(kFuzzPrefix.size());
+
+    // Split on ':' — seed first, then knobs.
+    std::vector<std::string> parts;
+    std::string::size_type start = 0;
+    while (start <= body.size()) {
+        auto colon = body.find(':', start);
+        if (colon == std::string::npos)
+            colon = body.size();
+        parts.push_back(body.substr(start, colon - start));
+        start = colon + 1;
+    }
+
+    FuzzSpec spec;
+    spec.seed = parseU64(token, parts[0], "seed");
+    bool seen_phases = false, seen_ops = false;
+    for (size_t i = 1; i < parts.size(); ++i) {
+        const std::string &knob = parts[i];
+        auto eq = knob.find('=');
+        if (eq == std::string::npos)
+            badToken(token, "knob '" + knob +
+                     "' is not key=value (known: phases, ops)");
+        std::string key = knob.substr(0, eq);
+        std::string value = knob.substr(eq + 1);
+        if (key == "phases") {
+            if (seen_phases)
+                badToken(token, "duplicate knob 'phases'");
+            seen_phases = true;
+            uint64_t v = parseU64(token, value, "phase count");
+            if (v < 1 || v > static_cast<uint64_t>(kMaxPhases))
+                badToken(token, "phases=" + value + " out of range [1, " +
+                         std::to_string(kMaxPhases) + "]");
+            spec.phases = static_cast<int>(v);
+        } else if (key == "ops") {
+            if (seen_ops)
+                badToken(token, "duplicate knob 'ops'");
+            seen_ops = true;
+            uint64_t v = parseU64(token, value, "ops-per-phase count");
+            if (v < kMinOpsPerPhase || v > kMaxOpsPerPhase)
+                badToken(token, "ops=" + value + " out of range [" +
+                         std::to_string(kMinOpsPerPhase) + ", " +
+                         std::to_string(kMaxOpsPerPhase) + "]");
+            spec.opsPerPhase = v;
+        } else {
+            badToken(token, "unknown knob '" + key +
+                     "' (known: phases, ops)");
+        }
+    }
+    return spec;
+}
+
+std::string
+FuzzSpec::canonical() const
+{
+    std::string s = std::string(kFuzzPrefix) + std::to_string(seed);
+    if (phases > 0)
+        s += ":phases=" + std::to_string(phases);
+    if (opsPerPhase > 0)
+        s += ":ops=" + std::to_string(opsPerPhase);
+    return s;
+}
+
+FuzzPlan
+planFuzz(const FuzzSpec &spec)
+{
+    // The single documented PRNG of the fuzz route (header comment):
+    // every knob below is a raw mt19937_64 draw in a fixed order.
+    std::mt19937_64 eng(spec.seed);
+
+    FuzzPlan plan;
+    plan.spec = spec;
+
+    int phases = spec.phases > 0
+        ? spec.phases
+        : static_cast<int>(drawRange(
+              eng, 1, static_cast<uint64_t>(kMaxDrawnPhases)));
+    plan.opsPerPhase = spec.opsPerPhase > 0
+        ? spec.opsPerPhase
+        : drawRange(eng, kMinDrawnOpsPerPhase, kMaxDrawnOpsPerPhase);
+
+    std::string base = spec.canonical();
+    for (int i = 0; i < phases; ++i) {
+        plan.profiles.push_back(
+            drawProfile(eng, base + "#p" + std::to_string(i)));
+        plan.phaseSeeds.push_back(eng());
+    }
+    return plan;
+}
+
+bool
+isFuzzToken(const std::string &bench)
+{
+    return bench.starts_with(kFuzzPrefix);
+}
+
+void
+validateFuzzToken(const std::string &token)
+{
+    (void)FuzzSpec::parse(token); // throws on any defect
+}
+
+std::unique_ptr<trace::TraceSource>
+makeFuzzWorkload(const std::string &token)
+{
+    FuzzSpec spec = FuzzSpec::parse(token);
+    FuzzPlan plan = planFuzz(spec);
+
+    std::vector<std::unique_ptr<trace::TraceSource>> phases;
+    for (size_t i = 0; i < plan.profiles.size(); ++i)
+        phases.push_back(std::make_unique<trace::SyntheticWorkload>(
+            plan.profiles[i], plan.phaseSeeds[i]));
+
+    if (phases.size() == 1) {
+        // A single-phase graph is the bare stream, but it must still
+        // report the canonical token as its name.
+        class Named : public trace::TraceSource
+        {
+          public:
+            Named(std::unique_ptr<trace::TraceSource> inner,
+                  std::string name)
+                : inner_(std::move(inner)), name_(std::move(name))
+            {
+            }
+            bool next(trace::MicroOp &out) override
+            {
+                return inner_->next(out);
+            }
+            void reset() override { inner_->reset(); }
+            const std::string &name() const override { return name_; }
+
+          private:
+            std::unique_ptr<trace::TraceSource> inner_;
+            std::string name_;
+        };
+        return std::make_unique<Named>(std::move(phases[0]),
+                                       spec.canonical());
+    }
+    return std::make_unique<trace::PhasedTrace>(
+        std::move(phases), plan.opsPerPhase, spec.canonical());
+}
+
+} // namespace diq::fuzz

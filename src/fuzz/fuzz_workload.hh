@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Generative workload space: the `fuzz:` bench token.
+ *
+ * The adversarial scenario catalog (trace/scenarios.hh) is ten
+ * hand-built points in workload space; this module makes the space
+ * *generator-defined*. A `fuzz:<seed>` token names a random but fully
+ * reproducible phase graph over the same stressor axes the scenarios
+ * attack by hand — dependence-chain depth, steering entropy (DDG
+ * width, cross links), LSQ pressure (load/store mix, random addresses,
+ * pointer chasing, footprint), branch churn, op-class mix and phase
+ * lengths — so the differential harness (fuzz/differential.hh) can
+ * search the interaction space instead of asserting on fixed inputs.
+ *
+ * Token grammar (docs/ARCHITECTURE.md §9):
+ *
+ *   fuzz-token := "fuzz:" <seed> (":" <knob>)*
+ *   knob       := "phases=" <1..8> | "ops=" <64..1000000>
+ *
+ * `seed` is a decimal uint64. `phases=` pins the number of phases
+ * (otherwise drawn from the seed in [1, 3]); `ops=` pins the ops per
+ * phase (otherwise drawn in [512, 4096]). Knobs canonicalize in the
+ * order above, so the token round-trips through
+ * spec::ExperimentSpec like every other bench token.
+ *
+ * Determinism contract: every stochastic choice on the fuzz route
+ * flows from ONE documented PRNG, std::mt19937_64 seeded with the
+ * token's seed. Only raw engine draws are used (reduced with explicit
+ * arithmetic in this module) — never std::uniform_*_distribution,
+ * whose outputs are implementation-defined and would make
+ * `fuzz:<seed>` mean different workloads on different stdlibs. The
+ * per-phase stream seeds are themselves engine draws, passed
+ * explicitly to SyntheticWorkload (not derived from profile names),
+ * so the plumbing is seed -> plan -> phase streams with no hidden
+ * entropy source (no rand(), no time, no address-space randomness).
+ */
+
+#ifndef DIQ_FUZZ_FUZZ_WORKLOAD_HH
+#define DIQ_FUZZ_FUZZ_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_source.hh"
+
+namespace diq::fuzz
+{
+
+/** Workload-token prefix understood by trace::makeWorkload(). */
+inline constexpr std::string_view kFuzzPrefix = "fuzz:";
+
+/** Drawn-value bounds, exposed so tests pin the documented ranges. */
+inline constexpr int kMaxDrawnPhases = 3;
+inline constexpr int kMaxPhases = 8;
+inline constexpr uint64_t kMinDrawnOpsPerPhase = 512;
+inline constexpr uint64_t kMaxDrawnOpsPerPhase = 4096;
+inline constexpr uint64_t kMinOpsPerPhase = 64;
+inline constexpr uint64_t kMaxOpsPerPhase = 1'000'000;
+
+/** Parsed form of a `fuzz:` token. */
+struct FuzzSpec
+{
+    uint64_t seed = 0;
+    int phases = 0;           ///< 0 = draw from seed in [1, kMaxDrawnPhases]
+    uint64_t opsPerPhase = 0; ///< 0 = draw from seed in the drawn range
+
+    bool operator==(const FuzzSpec &) const = default;
+
+    /**
+     * Parse a full token ("fuzz:7" or "fuzz:7:phases=2:ops=1000").
+     * @throws std::invalid_argument naming the defective part.
+     */
+    static FuzzSpec parse(const std::string &token);
+
+    /** Canonical token: knobs in grammar order, defaults omitted.
+     *  parse(canonical()) == *this. */
+    std::string canonical() const;
+};
+
+/**
+ * The resolved phase graph for a FuzzSpec: everything the generator
+ * drew, exposed so property tests can assert the documented bounds
+ * without re-deriving the drawing procedure.
+ */
+struct FuzzPlan
+{
+    FuzzSpec spec;
+    uint64_t opsPerPhase = 0;
+    /** One profile per phase, knobs within the bounds documented in
+     *  planFuzz(); profile register demand always fits the synthetic
+     *  generator's rotating pools. */
+    std::vector<trace::BenchmarkProfile> profiles;
+    /** Explicit per-phase stream seeds (raw mt19937_64 draws). */
+    std::vector<uint64_t> phaseSeeds;
+};
+
+/**
+ * Resolve a FuzzSpec to its phase graph deterministically. Knob
+ * ranges (all drawn from std::mt19937_64(seed), see the header
+ * comment): parChains 1..6 with parChains*chainLen <= 16 (so the
+ * rotating register pools can never collide), loads/stores 0..4 per
+ * iteration, extraBranches 0..4, footprint in {32 KB .. 16 MB},
+ * innerIters in {8 .. 256}, codeBlocks in {1 .. 32}.
+ */
+FuzzPlan planFuzz(const FuzzSpec &spec);
+
+/** True for `fuzz:` bench tokens. */
+bool isFuzzToken(const std::string &bench);
+
+/**
+ * Validate a `fuzz:` token cheaply (syntax + knob ranges, no workload
+ * construction) — called at spec-parse and grid-build time.
+ * @throws std::invalid_argument with a precise message.
+ */
+void validateFuzzToken(const std::string &token);
+
+/**
+ * Instantiate the workload for a `fuzz:` token: the planned phase
+ * graph as a PhasedTrace of explicitly-seeded SyntheticWorkloads
+ * (a single-phase plan is the bare workload). The source is infinite
+ * and reset() replays it exactly; its name() is the canonical token.
+ * @throws std::invalid_argument for a malformed token.
+ */
+std::unique_ptr<trace::TraceSource>
+makeFuzzWorkload(const std::string &token);
+
+} // namespace diq::fuzz
+
+#endif // DIQ_FUZZ_FUZZ_WORKLOAD_HH

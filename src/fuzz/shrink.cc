@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Implementation of fuzz/shrink.hh (docs/ARCHITECTURE.md §9).
+ */
+
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace diq::fuzz
+{
+
+namespace
+{
+
+/** Cheapest op class on the same pipe, or the class itself. */
+trace::OpClass
+simplified(trace::OpClass op)
+{
+    using trace::OpClass;
+    switch (op) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return OpClass::IntAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return OpClass::FpAdd;
+      default:
+        return op;
+    }
+}
+
+struct Budget
+{
+    size_t left;
+    bool
+    spend()
+    {
+        if (left == 0)
+            return false;
+        --left;
+        return true;
+    }
+};
+
+/** One chunk-removal sweep; true if anything was deleted. */
+bool
+removalSweep(std::vector<trace::MicroOp> &ops,
+             const ShrinkPredicate &stillFails, Budget &budget)
+{
+    bool progress = false;
+    for (size_t chunk = std::max<size_t>(ops.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+        for (size_t at = 0; at < ops.size();) {
+            const size_t n = std::min(chunk, ops.size() - at);
+            if (n == ops.size()) {
+                // Never offer the empty stream.
+                at += n;
+                continue;
+            }
+            if (!budget.spend())
+                return progress;
+            std::vector<trace::MicroOp> candidate;
+            candidate.reserve(ops.size() - n);
+            candidate.insert(candidate.end(), ops.begin(),
+                             ops.begin() + at);
+            candidate.insert(candidate.end(), ops.begin() + at + n,
+                             ops.end());
+            if (stillFails(candidate)) {
+                ops = std::move(candidate);
+                progress = true;
+                // Re-test the same offset: the next chunk slid in.
+            } else {
+                at += n;
+            }
+        }
+        if (chunk == 1)
+            break;
+    }
+    return progress;
+}
+
+/** One op-simplification sweep; true if anything was rewritten. */
+bool
+simplifySweep(std::vector<trace::MicroOp> &ops,
+              const ShrinkPredicate &stillFails, Budget &budget)
+{
+    // Wholesale first: one candidate often removes every div/mult.
+    std::vector<trace::MicroOp> all = ops;
+    bool any = false;
+    for (auto &op : all) {
+        auto s = simplified(op.op);
+        if (s != op.op) {
+            op.op = s;
+            any = true;
+        }
+    }
+    if (any && budget.spend() && stillFails(all)) {
+        ops = std::move(all);
+        return true;
+    }
+
+    bool progress = false;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        auto s = simplified(ops[i].op);
+        if (s == ops[i].op)
+            continue;
+        if (!budget.spend())
+            return progress;
+        std::vector<trace::MicroOp> candidate = ops;
+        candidate[i].op = s;
+        if (stillFails(candidate)) {
+            ops = std::move(candidate);
+            progress = true;
+        }
+    }
+    return progress;
+}
+
+} // namespace
+
+ShrinkOutcome
+shrinkOps(std::vector<trace::MicroOp> ops,
+          const ShrinkPredicate &stillFails, const ShrinkOptions &opts)
+{
+    ShrinkOutcome out;
+    Budget budget{opts.maxCandidates};
+
+    budget.spend();
+    if (!stillFails(ops)) {
+        out.ops = std::move(ops);
+        out.candidatesTried = opts.maxCandidates - budget.left;
+        return out;
+    }
+
+    bool progress = true;
+    while (progress && budget.left > 0) {
+        ++out.rounds;
+        progress = removalSweep(ops, stillFails, budget);
+        progress |= simplifySweep(ops, stillFails, budget);
+    }
+
+    out.ops = std::move(ops);
+    out.candidatesTried = opts.maxCandidates - budget.left;
+    return out;
+}
+
+} // namespace diq::fuzz

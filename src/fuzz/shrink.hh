@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Greedy trace shrinking: reduce a violating op stream to a minimal
+ * reproducer (docs/ARCHITECTURE.md §9).
+ *
+ * The algorithm is classic greedy delta debugging over the op vector,
+ * specialized with one domain pass:
+ *
+ *   1. Chunk removal. Starting with chunks of half the stream and
+ *      halving down to single ops, repeatedly try deleting each chunk
+ *      and keep any deletion after which the predicate still fails.
+ *      Because workload phases are contiguous runs of ops, large-chunk
+ *      deletion is "drop a phase" and small-chunk deletion is "halve a
+ *      phase" — the generator's structure falls out of plain chunking
+ *      without the shrinker knowing about phases.
+ *   2. Op simplification. Try rewriting expensive op classes to the
+ *      cheapest class on the same pipe (IntMult/IntDiv -> IntAlu,
+ *      FpMult/FpDiv -> FpAdd), first wholesale, then op by op.
+ *      Register operands are kept, so dependences survive and the
+ *      rewritten stream is still a valid workload.
+ *
+ * Both passes repeat until a full sweep makes no progress or the
+ * candidate budget runs out. The predicate is an opaque callback
+ * ("does this stream still violate?"), so the same shrinker serves
+ * the differential harness and the unit tests' planted violations.
+ */
+
+#ifndef DIQ_FUZZ_SHRINK_HH
+#define DIQ_FUZZ_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "trace/isa.hh"
+
+namespace diq::fuzz
+{
+
+/** "Does this candidate stream still exhibit the failure?" Must be
+ *  deterministic; it is called up to `maxCandidates` times. */
+using ShrinkPredicate =
+    std::function<bool(const std::vector<trace::MicroOp> &)>;
+
+struct ShrinkOptions
+{
+    /** Hard cap on predicate evaluations (each one simulates). */
+    size_t maxCandidates = 2000;
+};
+
+struct ShrinkOutcome
+{
+    /** The smallest failing stream found. */
+    std::vector<trace::MicroOp> ops;
+    /** Predicate evaluations spent. */
+    size_t candidatesTried = 0;
+    /** Full sweeps until fixpoint (diagnostic). */
+    size_t rounds = 0;
+};
+
+/**
+ * Shrink `ops` while `stillFails` holds. `stillFails(ops)` must be
+ * true on entry (the caller verifies the violation reproduces on the
+ * materialized stream first); if it is not, the input is returned
+ * unchanged with candidatesTried == 1.
+ */
+ShrinkOutcome shrinkOps(std::vector<trace::MicroOp> ops,
+                        const ShrinkPredicate &stillFails,
+                        const ShrinkOptions &opts = {});
+
+} // namespace diq::fuzz
+
+#endif // DIQ_FUZZ_SHRINK_HH

@@ -66,7 +66,16 @@ makeJobWorkload(const SimJob &job)
 SimResult
 simulateJob(const SimJob &job, trace::TraceSource &workload)
 {
+    return simulateJob(job, workload, sim::Cpu::CommitHook{});
+}
+
+SimResult
+simulateJob(const SimJob &job, trace::TraceSource &workload,
+            const sim::Cpu::CommitHook &onCommit)
+{
     sim::Cpu cpu(job.exp.processor, workload);
+    if (onCommit)
+        cpu.setCommitHook(onCommit);
 
     cpu.run(job.exp.warmupInsts);
     cpu.resetStats();

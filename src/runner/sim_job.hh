@@ -19,6 +19,7 @@
 
 #include "power/energy_model.hh"
 #include "power/metrics.hh"
+#include "sim/pipeline.hh"
 #include "sim/sim_stats.hh"
 #include "spec/experiment_spec.hh"
 #include "trace/synthetic.hh"
@@ -104,6 +105,17 @@ SimResult executeJob(const SimJob &job);
  * replaying a recorded trace of `workload` reproduces the run.
  */
 SimResult simulateJob(const SimJob &job, trace::TraceSource &workload);
+
+/**
+ * simulateJob with a retired-stream observer: `onCommit` sees every
+ * committed micro-op of the whole run (warm-up and measured region)
+ * in commit order. Purely observational — the SimResult is
+ * byte-identical to the unobserved run. The differential fuzz harness
+ * uses this to compare retired streams across schemes
+ * (fuzz/differential.hh).
+ */
+SimResult simulateJob(const SimJob &job, trace::TraceSource &workload,
+                      const sim::Cpu::CommitHook &onCommit);
 
 } // namespace diq::runner
 

@@ -137,6 +137,8 @@ Cpu::commitStage()
                 --portsFree_;
         }
         renamer_.freeAtCommit(*inst);
+        if (commitHook_)
+            commitHook_(inst->op);
         rob_.popFront();
         freeInst(inst);
         ++stats_.committed;

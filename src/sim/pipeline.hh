@@ -17,6 +17,7 @@
 #ifndef DIQ_SIM_PIPELINE_HH
 #define DIQ_SIM_PIPELINE_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,19 @@ class Cpu
      * the warm-up idiom: run(w); resetStats(); run(n).
      */
     void resetStats();
+
+    /** Observer of every committed (retired) micro-op, in order. */
+    using CommitHook = std::function<void(const trace::MicroOp &)>;
+
+    /**
+     * Install an observer called once per committed instruction with
+     * the retired micro-op, in commit (program) order. The retired
+     * stream is the cross-scheme ground truth the differential fuzz
+     * harness compares (src/fuzz/differential.hh); pass an empty
+     * hook to detach. Purely observational: no counter or timing
+     * changes whether a hook is installed or not.
+     */
+    void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
 
     const SimStats &stats() const { return stats_; }
     SimStats &stats() { return stats_; }
@@ -140,6 +154,8 @@ class Cpu
 
     uint64_t cycle_ = 0;
     uint64_t nextSeq_ = 1;
+
+    CommitHook commitHook_;
 
     SimStats stats_;
 };

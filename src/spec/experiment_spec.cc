@@ -14,6 +14,7 @@
 #include <sstream>
 #include <utility>
 
+#include "fuzz/fuzz_workload.hh"
 #include "spec/presets.hh"
 #include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
@@ -165,8 +166,9 @@ benchKey()
     k.aliases = {"benchmark"};
     k.doc = "workload to simulate: a SPEC2000-like benchmark "
             "(trace/spec2000.hh), scenario:<name> from the stress "
-            "catalog, or trace:<path> to replay a recorded .diqt "
-            "file (trace/scenarios.hh)";
+            "catalog, trace:<path> to replay a recorded .diqt file "
+            "(trace/scenarios.hh), or fuzz:<seed>[:phases=N][:ops=N] "
+            "for a generated phase graph (fuzz/fuzz_workload.hh)";
     k.kind = KeyInfo::Kind::Choice;
     for (const auto &p : trace::allSpecProfiles())
         k.choices.push_back(p.name);
@@ -187,6 +189,19 @@ benchKey()
                                  ")");
             }
             s.benchmark = v;
+            return;
+        }
+        if (fuzz::isFuzzToken(v)) {
+            // Parse-and-canonicalize: knobs reorder into grammar
+            // order, so equivalent spellings collapse to one cache
+            // key and parse(toText(s)) == s still holds.
+            try {
+                s.benchmark = fuzz::FuzzSpec::parse(v).canonical();
+            } catch (const std::invalid_argument &e) {
+                throw ParseError("bad value '" + v +
+                                 "' for key 'bench' (" + e.what() +
+                                 ")");
+            }
             return;
         }
         if (v.starts_with(trace::kTracePrefix)) {

@@ -15,6 +15,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fuzz/fuzz_workload.hh"
 #include "trace/file_trace.hh"
 #include "trace/spec2000.hh"
 
@@ -554,7 +555,8 @@ bool
 isWorkloadToken(const std::string &bench)
 {
     return bench.starts_with(kScenarioPrefix) ||
-           bench.starts_with(kTracePrefix);
+           bench.starts_with(kTracePrefix) ||
+           fuzz::isFuzzToken(bench);
 }
 
 std::unique_ptr<TraceSource>
@@ -565,6 +567,8 @@ makeWorkload(const std::string &bench)
     if (bench.starts_with(kTracePrefix))
         return std::make_unique<FileTrace>(
             bench.substr(kTracePrefix.size()));
+    if (fuzz::isFuzzToken(bench))
+        return fuzz::makeFuzzWorkload(bench);
     return makeSpecWorkload(bench);
 }
 
@@ -572,12 +576,14 @@ BenchmarkProfile
 workloadProfile(const std::string &bench)
 {
     if (isWorkloadToken(bench)) {
-        // Scenario tokens validate here, so callers assigning
+        // Scenario and fuzz tokens validate here, so callers assigning
         // exp.benchmark directly (bypassing the spec setter) still
         // fail at job/grid-build time, not mid-sweep on a worker.
         // Trace paths stay lazy: the file may be recorded later.
         if (bench.starts_with(kScenarioPrefix))
             validateScenario(bench.substr(kScenarioPrefix.size()));
+        else if (fuzz::isFuzzToken(bench))
+            fuzz::validateFuzzToken(bench);
         BenchmarkProfile p;
         p.name = bench;
         return p;

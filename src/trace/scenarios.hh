@@ -106,19 +106,21 @@ void validateScenario(const std::string &name);
  */
 std::unique_ptr<TraceSource> makeScenario(const std::string &name);
 
-/** Workload-token prefixes understood by makeWorkload(). */
+/** Workload-token prefixes understood by makeWorkload() (plus
+ *  `fuzz:` — fuzz/fuzz_workload.hh). */
 inline constexpr std::string_view kScenarioPrefix = "scenario:";
 inline constexpr std::string_view kTracePrefix = "trace:";
 
-/** True for `scenario:`/`trace:` tokens (vs plain profile names). */
+/** True for `scenario:`/`trace:`/`fuzz:` tokens (vs profile names). */
 bool isWorkloadToken(const std::string &bench);
 
 /**
  * Resolve any bench token to its workload: a profile name through
  * makeSpecWorkload, `scenario:<name>` through makeScenario,
- * `trace:<path>` through FileTrace.
+ * `trace:<path>` through FileTrace, `fuzz:<seed>[:knobs]` through the
+ * generative phase-graph generator (fuzz/fuzz_workload.hh).
  * @throws std::out_of_range for an unknown profile,
- *         std::invalid_argument for a bad scenario token,
+ *         std::invalid_argument for a bad scenario or fuzz token,
  *         TraceError for an unreadable or malformed trace file.
  */
 std::unique_ptr<TraceSource> makeWorkload(const std::string &bench);

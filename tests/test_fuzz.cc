@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for src/fuzz: the generative fuzz: workload space, the
+ * differential scheme checker, and the trace shrinker
+ * (docs/ARCHITECTURE.md §9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hh"
+#include "fuzz/fuzz_runner.hh"
+#include "fuzz/fuzz_workload.hh"
+#include "fuzz/shrink.hh"
+#include "spec/experiment_spec.hh"
+#include "trace/scenarios.hh"
+#include "trace/trace_source.hh"
+
+namespace
+{
+
+using namespace diq;
+using trace::MicroOp;
+using trace::OpClass;
+
+std::vector<MicroOp>
+drain(trace::TraceSource &src, size_t count)
+{
+    std::vector<MicroOp> ops;
+    MicroOp op;
+    while (ops.size() < count && src.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+bool
+sameOp(const MicroOp &a, const MicroOp &b)
+{
+    return a.pc == b.pc && a.op == b.op && a.src1 == b.src1 &&
+           a.src2 == b.src2 && a.dest == b.dest &&
+           a.memAddr == b.memAddr && a.memSize == b.memSize &&
+           a.taken == b.taken && a.target == b.target;
+}
+
+// --- Token grammar ------------------------------------------------------
+
+TEST(FuzzToken, ParseAndCanonicalRoundTrip)
+{
+    auto s = fuzz::FuzzSpec::parse("fuzz:7");
+    EXPECT_EQ(s.seed, 7u);
+    EXPECT_EQ(s.phases, 0);
+    EXPECT_EQ(s.opsPerPhase, 0u);
+    EXPECT_EQ(s.canonical(), "fuzz:7");
+
+    // Knobs canonicalize into grammar order, whatever order they came.
+    auto k = fuzz::FuzzSpec::parse("fuzz:7:ops=100:phases=2");
+    EXPECT_EQ(k.phases, 2);
+    EXPECT_EQ(k.opsPerPhase, 100u);
+    EXPECT_EQ(k.canonical(), "fuzz:7:phases=2:ops=100");
+    EXPECT_EQ(fuzz::FuzzSpec::parse(k.canonical()), k);
+}
+
+TEST(FuzzToken, RejectsMalformedTokens)
+{
+    for (const char *bad :
+         {"fuzz:", "fuzz:abc", "fuzz:7:", "fuzz:7:phases=",
+          "fuzz:7:phases=0", "fuzz:7:phases=9", "fuzz:7:ops=63",
+          "fuzz:7:ops=1000001", "fuzz:7:bogus=1",
+          "fuzz:7:phases=2:phases=3", "fuzz:-1"})
+        EXPECT_THROW(fuzz::FuzzSpec::parse(bad),
+                     std::invalid_argument)
+            << bad;
+}
+
+TEST(FuzzToken, IsRecognizedAsWorkloadToken)
+{
+    EXPECT_TRUE(fuzz::isFuzzToken("fuzz:0"));
+    EXPECT_FALSE(fuzz::isFuzzToken("swim"));
+    EXPECT_FALSE(fuzz::isFuzzToken("scenario:steer_flip"));
+    EXPECT_TRUE(trace::isWorkloadToken("fuzz:0"));
+}
+
+TEST(FuzzToken, SpecBenchKeyValidatesAndCanonicalizes)
+{
+    spec::ExperimentSpec s;
+    s.set("bench", "fuzz:9:ops=128:phases=2");
+    EXPECT_EQ(s.benchmark, "fuzz:9:phases=2:ops=128");
+
+    // Round-trip through the spec's own serialization.
+    auto again = spec::ExperimentSpec::parse(s.toText());
+    EXPECT_EQ(again.benchmark, s.benchmark);
+    EXPECT_EQ(again.canonicalLine(), s.canonicalLine());
+
+    EXPECT_THROW(s.set("bench", "fuzz:9:phases=99"),
+                 spec::ParseError);
+    EXPECT_THROW(s.set("bench", "fuzz:x"), spec::ParseError);
+}
+
+// --- Phase-graph bounds -------------------------------------------------
+
+TEST(FuzzPlan, RespectsDocumentedBounds)
+{
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        fuzz::FuzzSpec s;
+        s.seed = seed;
+        auto plan = fuzz::planFuzz(s);
+        ASSERT_GE(plan.profiles.size(), 1u) << seed;
+        ASSERT_LE(plan.profiles.size(),
+                  static_cast<size_t>(fuzz::kMaxDrawnPhases))
+            << seed;
+        EXPECT_EQ(plan.profiles.size(), plan.phaseSeeds.size());
+        EXPECT_GE(plan.opsPerPhase, fuzz::kMinDrawnOpsPerPhase);
+        EXPECT_LE(plan.opsPerPhase, fuzz::kMaxDrawnOpsPerPhase);
+        for (const auto &p : plan.profiles) {
+            EXPECT_GE(p.parChains, 1) << seed;
+            EXPECT_LE(p.parChains * p.chainLen, 16) << seed;
+            EXPECT_LE(p.loadsPerIter, 4) << seed;
+            EXPECT_LE(p.storesPerIter, 4) << seed;
+            EXPECT_LE(p.extraBranches, 4) << seed;
+        }
+    }
+}
+
+TEST(FuzzPlan, PinnedKnobsAreHonored)
+{
+    auto plan =
+        fuzz::planFuzz(fuzz::FuzzSpec::parse("fuzz:3:phases=8:ops=64"));
+    EXPECT_EQ(plan.profiles.size(), 8u);
+    EXPECT_EQ(plan.opsPerPhase, 64u);
+}
+
+// --- Determinism --------------------------------------------------------
+
+TEST(FuzzWorkload, HundredSeedsAreReproducible)
+{
+    // The satellite contract: same seed => byte-identical stream, from
+    // a fresh instance and across reset(). 100 seeds, no exceptions.
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        const std::string token = "fuzz:" + std::to_string(seed);
+        auto a = fuzz::makeFuzzWorkload(token);
+        auto b = fuzz::makeFuzzWorkload(token);
+        auto opsA = drain(*a, 512);
+        auto opsB = drain(*b, 512);
+        ASSERT_EQ(opsA.size(), 512u) << token;
+        for (size_t i = 0; i < opsA.size(); ++i)
+            ASSERT_TRUE(sameOp(opsA[i], opsB[i]))
+                << token << " diverges at op " << i;
+
+        a->reset();
+        auto replay = drain(*a, 512);
+        ASSERT_EQ(replay.size(), opsA.size()) << token;
+        for (size_t i = 0; i < opsA.size(); ++i)
+            ASSERT_TRUE(sameOp(opsA[i], replay[i]))
+                << token << " reset replay diverges at op " << i;
+    }
+}
+
+TEST(FuzzWorkload, DistinctSeedsDiverge)
+{
+    // Not a strict requirement of any one pair, but if many seeds
+    // collapse to one stream the generator is broken.
+    std::set<uint64_t> signatures;
+    for (uint64_t seed = 0; seed < 32; ++seed) {
+        auto w =
+            fuzz::makeFuzzWorkload("fuzz:" + std::to_string(seed));
+        auto ops = drain(*w, 64);
+        uint64_t sig = 0;
+        for (const auto &op : ops)
+            sig = sig * 1315423911u + op.pc +
+                  static_cast<uint64_t>(op.op);
+        signatures.insert(sig);
+    }
+    EXPECT_GT(signatures.size(), 16u);
+}
+
+TEST(FuzzWorkload, NameIsCanonicalToken)
+{
+    auto w = fuzz::makeFuzzWorkload("fuzz:5:ops=128:phases=2");
+    EXPECT_EQ(w->name(), "fuzz:5:phases=2:ops=128");
+}
+
+// --- Differential harness ----------------------------------------------
+
+TEST(Differential, CleanSeedPassesAllInvariants)
+{
+    fuzz::DiffOptions opts;
+    opts.warmupInsts = 100;
+    opts.measureInsts = 800;
+    auto report = fuzz::runDifferential("fuzz:1", opts);
+    EXPECT_TRUE(report.ok()) << report.violations.size()
+                             << " violations, first: "
+                             << (report.violations.empty()
+                                     ? ""
+                                     : report.violations[0].detail);
+    // Baseline + six schemes, each with a captured retired stream.
+    ASSERT_EQ(report.runs.size(),
+              fuzz::defaultDiffSchemes().size() + 1);
+    for (const auto &run : report.runs) {
+        EXPECT_GT(run.retiredOps, 0u) << run.preset;
+        EXPECT_FALSE(run.dump.empty()) << run.preset;
+    }
+}
+
+TEST(Differential, ExhaustiveReplayChecksHoldOnMaterializedStream)
+{
+    // The finite-replay path (warm-up 0, run to drain) enables the
+    // boundary-sensitive identities as well — they must all hold on a
+    // healthy stream.
+    auto w = fuzz::makeFuzzWorkload("fuzz:11");
+    auto ops = drain(*w, 1500);
+    fuzz::DiffOptions opts;
+    auto report = fuzz::runDifferentialOnOps(ops, "fuzz:11", opts);
+    EXPECT_TRUE(report.ok())
+        << (report.violations.empty() ? ""
+                                      : report.violations[0].detail);
+}
+
+TEST(Differential, DumpIsByteIdenticalAcrossRuns)
+{
+    fuzz::DiffOptions opts;
+    opts.warmupInsts = 100;
+    opts.measureInsts = 600;
+    auto a = fuzz::runDifferential("fuzz:2", opts);
+    auto b = fuzz::runDifferential("fuzz:2", opts);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i)
+        EXPECT_EQ(a.runs[i].dump, b.runs[i].dump)
+            << a.runs[i].preset;
+}
+
+// --- Shrinker -----------------------------------------------------------
+
+TEST(Shrink, PlantedViolationShrinksToMinimalCore)
+{
+    // Plant a "violation": the stream contains an FpDiv AND a Store.
+    // The minimal reproducer is exactly those two ops; the shrinker
+    // must get close without knowing the structure.
+    auto w = fuzz::makeFuzzWorkload("fuzz:5");
+    auto ops = drain(*w, 2000);
+    auto hasBoth = [](const std::vector<MicroOp> &v) {
+        bool div = false, store = false;
+        for (const auto &op : v) {
+            div |= op.op == OpClass::FpDiv;
+            store |= op.op == OpClass::Store;
+        }
+        return div && store;
+    };
+    // Make sure the planted predicate actually holds on this stream
+    // (seed 5 mixes FP-divide phases and stores; if the generator
+    // changes, pick another seed rather than weakening the test).
+    ASSERT_TRUE(hasBoth(ops));
+
+    fuzz::ShrinkOptions so;
+    so.maxCandidates = 10000; // cheap predicate: let it finish
+    auto outcome = fuzz::shrinkOps(ops, hasBoth, so);
+    EXPECT_TRUE(hasBoth(outcome.ops));
+    EXPECT_LE(outcome.ops.size(), 8u);
+    EXPECT_GE(outcome.ops.size(), 2u);
+}
+
+TEST(Shrink, SimplifiesOpClassesWhenPossible)
+{
+    // A predicate that only cares about the op *count* lets every
+    // division be rewritten to the cheapest class on its pipe.
+    std::vector<MicroOp> ops(6);
+    for (auto &op : ops)
+        op.op = OpClass::IntDiv;
+    auto atLeastFour = [](const std::vector<MicroOp> &v) {
+        return v.size() >= 4;
+    };
+    auto outcome = fuzz::shrinkOps(ops, atLeastFour);
+    ASSERT_EQ(outcome.ops.size(), 4u);
+    for (const auto &op : outcome.ops)
+        EXPECT_EQ(op.op, OpClass::IntAlu);
+}
+
+TEST(Shrink, NonReproducingInputReturnsUnchanged)
+{
+    std::vector<MicroOp> ops(10);
+    auto never = [](const std::vector<MicroOp> &) { return false; };
+    auto outcome = fuzz::shrinkOps(ops, never);
+    EXPECT_EQ(outcome.ops.size(), 10u);
+    EXPECT_EQ(outcome.candidatesTried, 1u);
+}
+
+TEST(Shrink, RespectsCandidateBudget)
+{
+    auto w = fuzz::makeFuzzWorkload("fuzz:17");
+    auto ops = drain(*w, 512);
+    size_t calls = 0;
+    auto counting = [&calls](const std::vector<MicroOp> &) {
+        ++calls;
+        return true; // everything "fails": worst case for the budget
+    };
+    fuzz::ShrinkOptions so;
+    so.maxCandidates = 40;
+    auto outcome = fuzz::shrinkOps(ops, counting, so);
+    EXPECT_LE(calls, 40u);
+    EXPECT_EQ(outcome.candidatesTried, calls);
+    EXPECT_GE(outcome.ops.size(), 1u) << "must never shrink to empty";
+}
+
+// --- Campaign runner ----------------------------------------------------
+
+TEST(FuzzRunner, SmallCampaignIsCleanAndSummarized)
+{
+    fuzz::FuzzOptions opts;
+    opts.seedBegin = 0;
+    opts.seedEnd = 4;
+    opts.warmupInsts = 100;
+    opts.measureInsts = 600;
+    opts.writeArtifacts = false;
+    auto summary = fuzz::runFuzz(opts);
+    EXPECT_EQ(summary.seedsRun, 5u);
+    EXPECT_TRUE(summary.clean());
+    EXPECT_FALSE(summary.timeBudgetHit);
+
+    auto json = summary.toJson();
+    EXPECT_NE(json.find("\"seeds_run\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": []"), std::string::npos);
+}
+
+TEST(FuzzRunner, RejectsEmptySeedWindow)
+{
+    fuzz::FuzzOptions opts;
+    opts.seedBegin = 5;
+    opts.seedEnd = 4;
+    EXPECT_THROW(fuzz::runFuzz(opts), std::invalid_argument);
+}
+
+} // namespace

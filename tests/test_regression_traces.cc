@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Permanent replay tests over the shrunk fuzz reproducers committed
+ * under tests/regression_traces/ (docs/ARCHITECTURE.md §9).
+ *
+ * Each `.diqt` here is the output of the fuzz shrinker: a fuzz:<seed>
+ * stream reduced to a minimal core that pins a property worth keeping
+ * (the shrinker's planted-violation shapes — an FpDiv+Store pair, a
+ * one-op-per-class core, a branch-churn core). The tests replay every
+ * committed trace through the full differential harness:
+ *
+ *   - every scheme must pass the whole invariant catalog on it, and
+ *   - a second replay must be byte-identical, dump for dump.
+ *
+ * To add a trace: shrink a violating stream (`diq fuzz --shrink`
+ * writes fuzz_traces/fuzz_<seed>_shrunk.diqt) and copy it here; the
+ * suite discovers `.diqt` files by scanning the directory, so no code
+ * change is needed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/differential.hh"
+#include "trace/file_trace.hh"
+
+#ifndef DIQ_REGRESSION_TRACE_DIR
+#error "DIQ_REGRESSION_TRACE_DIR must point at tests/regression_traces"
+#endif
+
+namespace
+{
+
+using namespace diq;
+
+std::vector<std::string>
+traceFiles()
+{
+    std::vector<std::string> paths;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             DIQ_REGRESSION_TRACE_DIR))
+        if (entry.path().extension() == ".diqt")
+            paths.push_back(entry.path().string());
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::vector<trace::MicroOp>
+loadOps(const std::string &path)
+{
+    trace::FileTrace file(path);
+    std::vector<trace::MicroOp> ops;
+    trace::MicroOp op;
+    while (file.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TEST(RegressionTraces, DirectoryHoldsTheCommittedReproducers)
+{
+    // The suite must never silently become a no-op: the first shrunk
+    // reproducers are committed, and discovery must see them.
+    EXPECT_GE(traceFiles().size(), 3u);
+}
+
+TEST(RegressionTraces, EveryTraceReplaysDifferentialClean)
+{
+    for (const auto &path : traceFiles()) {
+        SCOPED_TRACE(path);
+        auto ops = loadOps(path);
+        ASSERT_FALSE(ops.empty());
+
+        fuzz::DiffOptions opts;
+        opts.writeArtifacts = false;
+        auto report = fuzz::runDifferentialOnOps(ops, path, opts);
+        EXPECT_TRUE(report.ok())
+            << (report.violations.empty()
+                    ? ""
+                    : report.violations[0].invariant + ": " +
+                          report.violations[0].detail);
+    }
+}
+
+TEST(RegressionTraces, ReplayIsByteIdenticalAcrossRuns)
+{
+    for (const auto &path : traceFiles()) {
+        SCOPED_TRACE(path);
+        auto ops = loadOps(path);
+
+        fuzz::DiffOptions opts;
+        opts.writeArtifacts = false;
+        auto a = fuzz::runDifferentialOnOps(ops, path, opts);
+        auto b = fuzz::runDifferentialOnOps(ops, path, opts);
+        ASSERT_EQ(a.runs.size(), b.runs.size());
+        for (size_t i = 0; i < a.runs.size(); ++i)
+            EXPECT_EQ(a.runs[i].dump, b.runs[i].dump)
+                << a.runs[i].preset;
+    }
+}
+
+} // namespace

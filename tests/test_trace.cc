@@ -174,6 +174,7 @@ struct FileTraceTag {};
 struct PhasedTag {};
 struct RecorderTag {};
 struct ScenarioTag {};
+struct FuzzTag {};
 
 template <>
 MadeSource
@@ -243,6 +244,16 @@ makeSource<ScenarioTag>()
     return {nullptr, makeScenario("steer_flip"), /*finite=*/false};
 }
 
+template <>
+MadeSource
+makeSource<FuzzTag>()
+{
+    // The generated-trace source: a multi-phase seeded fuzz workload
+    // resolved through the same token machinery the spec layer uses.
+    return {nullptr, makeWorkload("fuzz:42:phases=3"),
+            /*finite=*/false};
+}
+
 /** Up to `cap` ops (stops at end-of-stream). */
 std::vector<MicroOp>
 drainUpTo(TraceSource &src, size_t cap)
@@ -261,7 +272,8 @@ class TraceSourceContract : public ::testing::Test
 
 using AllTraceSources =
     ::testing::Types<VectorFiniteTag, VectorRepeatTag, SyntheticTag,
-                     FileTraceTag, PhasedTag, RecorderTag, ScenarioTag>;
+                     FileTraceTag, PhasedTag, RecorderTag, ScenarioTag,
+                     FuzzTag>;
 
 class TraceSourceNames
 {
@@ -282,6 +294,8 @@ class TraceSourceNames
             return "PhasedTrace";
         if (std::is_same_v<T, RecorderTag>)
             return "TraceRecorder";
+        if (std::is_same_v<T, FuzzTag>)
+            return "FuzzWorkload";
         return "Scenario";
     }
 };

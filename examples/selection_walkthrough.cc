@@ -13,6 +13,7 @@
 
 #include <iostream>
 
+#include "core/inst_pool.hh"
 #include "core/mixbuff_issue_scheme.hh"
 #include "core/scoreboard.hh"
 
@@ -37,13 +38,13 @@ codeName(ChainCode c)
 
 struct Walkthrough
 {
+    InstPool pool{64};
     Scoreboard scoreboard{320};
     FuPool fus{FuPoolConfig{}};
     power::EventCounters counters;
     uint64_t cycle = 0;
     MixBuffIssueScheme scheme{SchemeConfig::mixBuff(2, 2, 1, 16, 8)};
-    std::vector<std::unique_ptr<DynInst>> insts;
-    std::vector<DynInst *> tracked;
+    uint64_t nextSeq = 1;
 
     IssueContext
     ctx()
@@ -53,53 +54,54 @@ struct Walkthrough
         c.scoreboard = &scoreboard;
         c.fus = &fus;
         c.counters = &counters;
+        c.pool = &pool;
         return c;
     }
 
-    DynInst *
+    InstIdx
     add(const char *label, trace::OpClass op, int dest, int src)
     {
-        auto inst = std::make_unique<DynInst>();
         trace::MicroOp mop;
         mop.op = op;
         mop.dest = static_cast<int8_t>(dest);
         mop.src1 = static_cast<int8_t>(src);
-        inst->reset(mop, insts.size() + 1);
-        inst->pdest = dest;
-        inst->psrc1 = src;
+        InstIdx idx = pool.alloc(mop, nextSeq++);
+        DynInst &inst = pool.get(idx);
+        inst.pdest = dest;
+        inst.psrc1 = src;
         if (dest >= 0)
             scoreboard.markPending(dest);
         auto c = ctx();
-        scheme.dispatch(inst.get(), c);
-        std::cout << "  dispatch " << label << " (seq " << inst->seq
+        scheme.dispatch(idx, c);
+        std::cout << "  dispatch " << label << " (seq " << inst.seq
                   << ", " << trace::opClassName(op) << ") -> queue "
-                  << inst->queueId << ", chain " << inst->chainId << "\n";
-        tracked.push_back(inst.get());
-        insts.push_back(std::move(inst));
-        return tracked.back();
+                  << inst.queueId << ", chain " << inst.chainId << "\n";
+        return idx;
     }
 
     void
     step()
     {
         ++cycle;
+        scoreboard.syncTo(cycle);
         auto c = ctx();
-        std::vector<DynInst *> out;
+        std::vector<InstIdx> out;
         scheme.issue(c, out);
-        for (auto *inst : out) {
-            if (inst->hasDest()) {
+        for (InstIdx idx : out) {
+            const DynInst &inst = pool.get(idx);
+            if (inst.hasDest()) {
                 scoreboard.setReadyAt(
-                    inst->pdest,
+                    inst.pdest,
                     cycle + static_cast<uint64_t>(
-                                trace::opLatency(inst->op.op)));
+                                trace::opLatency(inst.op.op)));
             }
         }
         std::cout << "cycle " << cycle << ":";
         if (out.empty())
             std::cout << " (no issue)";
-        for (auto *inst : out)
-            std::cout << " ISSUE seq " << inst->seq << " ("
-                      << trace::opClassName(inst->op.op) << ")";
+        for (InstIdx idx : out)
+            std::cout << " ISSUE seq " << pool.get(idx).seq << " ("
+                      << trace::opClassName(pool.get(idx).op.op) << ")";
         std::cout << "\n";
         const auto &fp = scheme.fpCluster();
         for (int chain = 0; chain < 8; ++chain) {
@@ -110,7 +112,7 @@ struct Walkthrough
                       << " -> code " << codeName(MixBuffCluster::codeFor(v))
                       << "\n";
         }
-        if (const DynInst *sel = fp.selectedInst(0)) {
+        if (const DynInst *sel = fp.selectedInst(pool, 0)) {
             std::cout << "    selected for next cycle: seq " << sel->seq
                       << " (oldest among highest-priority codes)\n";
         }

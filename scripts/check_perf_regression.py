@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fail CI when a microbench regresses >10% vs the committed baseline.
+
+Usage: check_perf_regression.py BASELINE.json RUN.json [RUN2.json ...]
+
+BASELINE.json is a committed BENCH_*.json (results[].name /
+items_per_sec_after); RUN*.json are Google Benchmark --benchmark_format=json
+outputs. With several run files, the best throughput per benchmark across
+all of them is used, which shaves single-run scheduler noise.
+
+Shared CI runners differ in absolute speed, so raw items/s cannot be
+compared against a baseline recorded elsewhere. BM_WorkloadGeneration
+exercises only the trace generator — none of the issue-queue structures
+the other benchmarks stress — so it tracks raw host speed. Dividing every
+benchmark by it yields a machine-independent relative throughput, and the
+gate compares those relatives: fail when any benchmark's relative
+throughput drops more than TOLERANCE below the baseline's.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.10
+NORMALIZER = "BM_WorkloadGeneration"
+
+
+def best_throughputs(paths):
+    """Best items_per_second per benchmark name across the run files."""
+    best = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for b in doc.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue  # skip aggregate rows (mean/median/stddev)
+            name = b.get("name", "").split("/")[0]
+            ips = b.get("items_per_second")
+            if not name or ips is None:
+                continue
+            if ips > best.get(name, 0.0):
+                best[name] = ips
+    return best
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+
+    with open(argv[1]) as f:
+        baseline_doc = json.load(f)
+    baseline = {r["name"]: float(r["items_per_sec_after"])
+                for r in baseline_doc["results"]}
+    run = best_throughputs(argv[2:])
+
+    for label, table in (("baseline", baseline), ("run", run)):
+        if NORMALIZER not in table:
+            print(f"error: {label} has no {NORMALIZER} entry")
+            return 2
+
+    failed = False
+    print(f"{'benchmark':<28} {'base rel':>10} {'run rel':>10} {'ratio':>7}")
+    for name in sorted(baseline):
+        if name == NORMALIZER:
+            continue
+        if name not in run:
+            print(f"{name:<28} missing from run output  REGRESSED")
+            failed = True
+            continue
+        base_rel = baseline[name] / baseline[NORMALIZER]
+        run_rel = run[name] / run[NORMALIZER]
+        ratio = run_rel / base_rel
+        verdict = "" if ratio >= 1.0 - TOLERANCE else "  REGRESSED"
+        failed = failed or bool(verdict)
+        print(f"{name:<28} {base_rel:>10.4f} {run_rel:>10.4f} "
+              f"{ratio:>7.3f}{verdict}")
+
+    if failed:
+        print(f"FAIL: normalized throughput regressed more than "
+              f"{TOLERANCE:.0%} vs {argv[1]}")
+        return 1
+    print(f"OK: every benchmark within {TOLERANCE:.0%} of {argv[1]} "
+          f"(normalized)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,11 +1,18 @@
 /**
  * @file
- * Implementation of core/cam_issue_scheme.hh (docs/ARCHITECTURE.md §1).
+ * Implementation of core/cam_issue_scheme.hh (docs/ARCHITECTURE.md §1,
+ * §10). Counter behavior is bit-exact with the entry-walk formulation
+ * it replaced: select requests are raised by ready entries in age
+ * order while grants remain, and armed-cell counts cover exactly the
+ * operands whose register is not ready at the broadcast cycle — wait
+ * bits disarm on the scoreboard's ready-transition hook, which fires
+ * at every point the one-bit ready table gains a bit (the sweeps and
+ * broadcasts all probe at the synced cycle, so hook-maintained wait
+ * bits and probe-on-sweep wait bits are indistinguishable).
  */
 
 #include "core/cam_issue_scheme.hh"
 
-#include <algorithm>
 #include <sstream>
 
 #include "core/mux_counting.hh"
@@ -14,12 +21,26 @@
 namespace diq::core
 {
 
+void
+CamIssueScheme::initCluster(Cluster &cluster, int capacity)
+{
+    cluster.capacity = static_cast<uint32_t>(capacity);
+    cluster.slotInst.assign(cluster.capacity, NoInst);
+    cluster.src1.assign(cluster.capacity, NoPhysReg);
+    cluster.src2.assign(cluster.capacity, NoPhysReg);
+    cluster.valid.resize(cluster.capacity);
+    cluster.wait1.resize(cluster.capacity);
+    cluster.wait2.resize(cluster.capacity);
+    cluster.store.resize(cluster.capacity);
+    cluster.prevSlot.assign(cluster.capacity, NoSlot);
+    cluster.nextSlot.assign(cluster.capacity, NoSlot);
+    cluster.cand.assign(cluster.valid.numWords(), 0);
+}
+
 CamIssueScheme::CamIssueScheme(int int_entries, int fp_entries)
 {
-    intQ_.capacity = static_cast<size_t>(int_entries);
-    fpQ_.capacity = static_cast<size_t>(fp_entries);
-    intQ_.entries.reserve(intQ_.capacity);
-    fpQ_.entries.reserve(fpQ_.capacity);
+    initCluster(intQ_, int_entries);
+    initCluster(fpQ_, fp_entries);
 }
 
 CamIssueScheme::Cluster &
@@ -40,72 +61,185 @@ CamIssueScheme::canDispatch(const DynInst &inst,
 {
     (void)ctx;
     const Cluster &c = clusterFor(inst);
-    return c.entries.size() < c.capacity;
+    return c.count < c.capacity;
 }
 
 void
-CamIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+CamIssueScheme::dispatch(InstIdx idx, IssueContext &ctx)
 {
-    clusterFor(*inst).entries.push_back(inst);
+    const DynInst &inst = ctx.pool->get(idx);
+    Cluster &c = clusterFor(inst);
+    size_t slot = c.valid.findFirstClear(c.capacity);
+    assert(slot < c.capacity && "dispatch into a full cluster");
+    uint32_t s = static_cast<uint32_t>(slot);
+
+    c.slotInst[s] = idx;
+    c.src1[s] = inst.psrc1;
+    c.src2[s] = inst.psrc2;
+    c.valid.set(s);
+    size_t words = c.wait1.numWords();
+    if (c.waiters1.empty()) {
+        size_t regs = static_cast<size_t>(ctx.scoreboard->numRegs());
+        c.waiters1.assign(regs * words, 0);
+        c.waiters2.assign(regs * words, 0);
+    }
+    if (inst.psrc1 != NoPhysReg &&
+        !ctx.scoreboard->isReady(inst.psrc1, ctx.cycle)) {
+        c.wait1.set(s);
+        c.waiters1[static_cast<size_t>(inst.psrc1) * words + s / 64] |=
+            uint64_t(1) << (s % 64);
+    }
+    if (inst.psrc2 != NoPhysReg &&
+        !ctx.scoreboard->isReady(inst.psrc2, ctx.cycle)) {
+        c.wait2.set(s);
+        c.waiters2[static_cast<size_t>(inst.psrc2) * words + s / 64] |=
+            uint64_t(1) << (s % 64);
+    }
+    if (inst.isStore())
+        c.store.set(s);
+
+    // Append as youngest: dispatch is in program order, so the chain
+    // stays sorted by seq without comparisons.
+    c.prevSlot[s] = c.youngestSlot;
+    c.nextSlot[s] = NoSlot;
+    if (c.youngestSlot != NoSlot)
+        c.nextSlot[c.youngestSlot] = s;
+    else
+        c.oldestSlot = s;
+    c.youngestSlot = s;
+    ++c.count;
+
     ctx.counters->inc(power::ev::IqBuffWrites);
 }
 
-uint64_t
-CamIssueScheme::armedCells(const Cluster &cluster,
-                           const IssueContext &ctx) const
+void
+CamIssueScheme::removeSlot(Cluster &c, uint32_t s)
 {
-    uint64_t armed = 0;
-    for (const DynInst *e : cluster.entries) {
-        if (e->psrc1 != NoPhysReg &&
-            !ctx.scoreboard->isReady(e->psrc1, ctx.cycle)) {
-            ++armed;
-        }
-        if (e->psrc2 != NoPhysReg &&
-            !ctx.scoreboard->isReady(e->psrc2, ctx.cycle)) {
-            ++armed;
-        }
+    if (c.prevSlot[s] != NoSlot)
+        c.nextSlot[c.prevSlot[s]] = c.nextSlot[s];
+    else
+        c.oldestSlot = c.nextSlot[s];
+    if (c.nextSlot[s] != NoSlot)
+        c.prevSlot[c.nextSlot[s]] = c.prevSlot[s];
+    else
+        c.youngestSlot = c.prevSlot[s];
+    c.prevSlot[s] = NoSlot;
+    c.nextSlot[s] = NoSlot;
+    c.valid.clear(s);
+    size_t words = c.wait1.numWords();
+    // A store can leave with src2 still armed (data arrives by
+    // commit); scrub its waiter-row bits so a later occupant of this
+    // slot is not disarmed by the old register's transition.
+    if (c.wait1.test(s)) {
+        c.wait1.clear(s);
+        c.waiters1[static_cast<size_t>(c.src1[s]) * words + s / 64] &=
+            ~(uint64_t(1) << (s % 64));
     }
-    return armed;
+    if (c.wait2.test(s)) {
+        c.wait2.clear(s);
+        c.waiters2[static_cast<size_t>(c.src2[s]) * words + s / 64] &=
+            ~(uint64_t(1) << (s % 64));
+    }
+    c.store.clear(s);
+    c.slotInst[s] = NoInst;
+    --c.count;
 }
 
 void
-CamIssueScheme::issueCluster(Cluster &cluster, IssueContext &ctx,
-                             std::vector<DynInst *> &out)
+CamIssueScheme::bindScoreboard(Scoreboard &sb)
 {
-    if (cluster.entries.empty())
+    sb.setReadyHook(&CamIssueScheme::readyTrampoline, this);
+}
+
+void
+CamIssueScheme::readyTrampoline(void *self, int phys_reg)
+{
+    static_cast<CamIssueScheme *>(self)->onRegReady(phys_reg);
+}
+
+void
+CamIssueScheme::onRegReady(int phys_reg)
+{
+    // Disarm every cell waiting on this register: mask its waiter
+    // row out of the wait bits. Readiness is monotone for resident
+    // consumers, so a disarmed cell never re-arms.
+    for (Cluster *c : {&intQ_, &fpQ_}) {
+        if (c->waiters1.empty())
+            continue;
+        size_t words = c->wait1.numWords();
+        uint64_t *row1 =
+            c->waiters1.data() + static_cast<size_t>(phys_reg) * words;
+        uint64_t *row2 =
+            c->waiters2.data() + static_cast<size_t>(phys_reg) * words;
+        for (size_t wi = 0; wi < words; ++wi) {
+            if (row1[wi]) {
+                c->wait1.word(wi) &= ~row1[wi];
+                row1[wi] = 0;
+            }
+            if (row2[wi]) {
+                c->wait2.word(wi) &= ~row2[wi];
+                row2[wi] = 0;
+            }
+        }
+    }
+}
+
+uint64_t
+CamIssueScheme::armedCells(const Cluster &c)
+{
+    // Eager disarming keeps the wait bits exact: every set bit is an
+    // operand whose register is not ready at the current cycle.
+    return c.wait1.count() + c.wait2.count();
+}
+
+void
+CamIssueScheme::issueCluster(Cluster &c, IssueContext &ctx,
+                             std::vector<InstIdx> &out)
+{
+    if (c.count == 0)
+        return;
+
+    // Candidate mask: occupied, source 1 ready, and source 2 either
+    // ready or deferred to commit (stores issue on the address alone).
+    bool any = false;
+    for (size_t wi = 0; wi < c.cand.size(); ++wi) {
+        uint64_t m = c.valid.word(wi) & ~c.wait1.word(wi) &
+                     (~c.wait2.word(wi) | c.store.word(wi));
+        c.cand[wi] = m;
+        any |= m != 0;
+    }
+    if (!any)
         return;
 
     int issued = 0;
-    size_t write_pos = 0;
-    for (size_t i = 0; i < cluster.entries.size(); ++i) {
-        DynInst *inst = cluster.entries[i];
-        bool take = false;
-        if (issued < IssueWidthPerCluster &&
-            ctx.scoreboard->readyToIssue(*inst, ctx.cycle)) {
+    for (uint32_t s = c.oldestSlot;
+         s != NoSlot && issued < IssueWidthPerCluster;) {
+        uint32_t next = c.nextSlot[s];
+        if ((c.cand[s >> 6] >> (s & 63)) & 1) {
             // A ready entry raises its request line whether or not it
             // wins a grant this cycle.
             ctx.counters->inc(power::ev::IqSelectRequests);
-            FuClass fc = fuClassFor(inst->op.op);
+            InstIdx idx = c.slotInst[s];
+            DynInst &inst = ctx.pool->get(idx);
+            FuClass fc = fuClassFor(inst.op.op);
             if (ctx.fus->canIssue(fc, -1, ctx.cycle)) {
                 ctx.fus->markIssued(fc, -1, ctx.cycle,
-                                    FuPool::occupancyFor(inst->op.op));
+                                    FuPool::occupancyFor(inst.op.op));
                 ctx.counters->inc(power::ev::IqBuffReads);
                 countMuxIssue(*ctx.counters, fc);
-                inst->issued = true;
-                inst->issueCycle = ctx.cycle;
-                out.push_back(inst);
+                inst.issued = true;
+                inst.issueCycle = ctx.cycle;
+                out.push_back(idx);
                 ++issued;
-                take = true;
+                removeSlot(c, s);
             }
         }
-        if (!take)
-            cluster.entries[write_pos++] = inst;
+        s = next;
     }
-    cluster.entries.resize(write_pos);
 }
 
 void
-CamIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+CamIssueScheme::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     issueCluster(intQ_, ctx, out);
     issueCluster(fpQ_, ctx, out);
@@ -119,13 +253,14 @@ CamIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
     // queue; every armed (unready) operand cell compares against it.
     // Accounting is batched: one derived per-cluster match count, two
     // bank adds total, instead of per-entry counter traffic.
+    (void)ctx;
     uint64_t broadcasts = 0;
     uint64_t matches = 0;
-    for (const Cluster *c : {&intQ_, &fpQ_}) {
-        if (c->entries.empty())
+    for (Cluster *c : {&intQ_, &fpQ_}) {
+        if (c->count == 0)
             continue;
         ++broadcasts;
-        matches += armedCells(*c, ctx);
+        matches += armedCells(*c);
     }
     if (broadcasts) {
         ctx.counters->add(power::ev::WakeupBroadcasts, broadcasts);
@@ -136,7 +271,109 @@ CamIssueScheme::onWakeup(int phys_reg, IssueContext &ctx)
 size_t
 CamIssueScheme::occupancy() const
 {
-    return intQ_.entries.size() + fpQ_.entries.size();
+    return intQ_.count + fpQ_.count;
+}
+
+std::string
+CamIssueScheme::invariantViolation(const InstPool &pool) const
+{
+    for (const Cluster *c : {&intQ_, &fpQ_}) {
+        const char *which = c == &intQ_ ? "int" : "fp";
+        if (c->valid.count() != c->count) {
+            return std::string("cam ") + which + " valid mask holds " +
+                   std::to_string(c->valid.count()) + " slots, count is " +
+                   std::to_string(c->count);
+        }
+        for (size_t wi = 0; wi < c->valid.numWords(); ++wi) {
+            uint64_t v = c->valid.word(wi);
+            if ((c->wait1.word(wi) & ~v) || (c->wait2.word(wi) & ~v) ||
+                (c->store.word(wi) & ~v)) {
+                return std::string("cam ") + which +
+                       " wait/store bit set on an empty slot (word " +
+                       std::to_string(wi) + ")";
+            }
+        }
+        // Waiter rows must partition the wait bits: each row holds
+        // slots whose cached source is that register, and their union
+        // reproduces the wait masks exactly.
+        if (!c->waiters1.empty()) {
+            size_t words = c->wait1.numWords();
+            size_t regs = c->waiters1.size() / words;
+            for (int which_src = 0; which_src < 2; ++which_src) {
+                const auto &rows =
+                    which_src == 0 ? c->waiters1 : c->waiters2;
+                const auto &wait =
+                    which_src == 0 ? c->wait1 : c->wait2;
+                const auto &src = which_src == 0 ? c->src1 : c->src2;
+                std::vector<uint64_t> uni(words, 0);
+                for (size_t r = 0; r < regs; ++r) {
+                    for (size_t wi = 0; wi < words; ++wi) {
+                        uint64_t row = rows[r * words + wi];
+                        if (row & uni[wi])
+                            return std::string("cam ") + which +
+                                   " slot waits on two registers";
+                        uni[wi] |= row;
+                        while (row) {
+                            size_t s = wi * 64 + static_cast<size_t>(
+                                __builtin_ctzll(row));
+                            row &= row - 1;
+                            if (src[s] != static_cast<int>(r))
+                                return std::string("cam ") + which +
+                                       " waiter row " +
+                                       std::to_string(r) +
+                                       " lists a slot reading another"
+                                       " register";
+                        }
+                    }
+                }
+                for (size_t wi = 0; wi < words; ++wi) {
+                    if (uni[wi] != wait.word(wi))
+                        return std::string("cam ") + which +
+                               " waiter rows do not reproduce the " +
+                               (which_src == 0 ? "src1" : "src2") +
+                               " wait mask";
+                }
+            }
+        }
+        uint32_t walked = 0;
+        uint32_t prev = NoSlot;
+        uint64_t prev_seq = 0;
+        for (uint32_t s = c->oldestSlot; s != NoSlot;
+             s = c->nextSlot[s]) {
+            if (s >= c->capacity)
+                return std::string("cam ") + which +
+                       " age chain holds out-of-range slot";
+            if (!c->valid.test(s))
+                return std::string("cam ") + which +
+                       " age chain holds an empty slot";
+            if (c->prevSlot[s] != prev)
+                return std::string("cam ") + which +
+                       " age-chain back link broken at slot " +
+                       std::to_string(s);
+            InstIdx idx = c->slotInst[s];
+            if (idx == NoInst || !pool.isLive(idx))
+                return std::string("cam ") + which +
+                       " slot holds a dead instruction handle";
+            uint64_t seq = pool.get(idx).seq;
+            if (walked > 0 && prev_seq >= seq)
+                return std::string("cam ") + which +
+                       " age chain not strictly increasing at seq " +
+                       std::to_string(seq);
+            if (++walked > c->count)
+                return std::string("cam ") + which +
+                       " age chain longer than count (cycle?)";
+            prev = s;
+            prev_seq = seq;
+        }
+        if (walked != c->count)
+            return std::string("cam ") + which + " age chain visits " +
+                   std::to_string(walked) + " of " +
+                   std::to_string(c->count) + " entries";
+        if (c->youngestSlot != prev)
+            return std::string("cam ") + which +
+                   " youngest does not terminate the age chain";
+    }
+    return {};
 }
 
 std::string

@@ -9,7 +9,23 @@
  * unready operands (the Folegnani/González power optimization the
  * paper grants the baseline), and the payload RAM is banked 8x8.
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §1.
+ * Storage is a per-cluster slot slab indexed by a bit-parallel state:
+ * `valid` marks occupied slots, `wait1`/`wait2` mark armed (unready)
+ * operand cells, `store` marks entries whose second source is consumed
+ * at commit rather than issue. Wait bits disarm *eagerly*: each
+ * cluster keeps a per-physical-register waiter row (which slots wait
+ * on that register, per operand), and a scoreboard ready-transition
+ * hook (Scoreboard::setReadyHook, wired via bindScoreboard) masks the
+ * row out of the wait bits the moment the register's ready bit is
+ * raised. Readiness probes therefore vanish — the armed-cell count a
+ * wakeup broadcast compares against is a popcount of the wait words —
+ * and a cleared wait bit is permanent because a consumed register
+ * cannot be re-marked pending while its consumer is resident (commit
+ * frees in ROB order and there is no squash path). Oldest-first
+ * select walks an intrusive per-cluster age chain, skipping the walk
+ * entirely when the candidate mask is empty.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1, §10.
  */
 
 #ifndef DIQ_CORE_CAM_ISSUE_SCHEME_HH
@@ -19,6 +35,7 @@
 #include <vector>
 
 #include "core/issue_scheme.hh"
+#include "util/bit_words.hh"
 
 namespace diq::core
 {
@@ -35,31 +52,71 @@ class CamIssueScheme : public IssueScheme
 
     bool canDispatch(const DynInst &inst,
                      const IssueContext &ctx) const override;
-    void dispatch(DynInst *inst, IssueContext &ctx) override;
-    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void dispatch(InstIdx idx, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<InstIdx> &out) override;
     void onWakeup(int phys_reg, IssueContext &ctx) override;
+    void bindScoreboard(Scoreboard &sb) override;
     size_t occupancy() const override;
     std::string name() const override;
+    std::string invariantViolation(const InstPool &pool) const override;
 
-    size_t intOccupancy() const { return intQ_.entries.size(); }
-    size_t fpOccupancy() const { return fpQ_.entries.size(); }
+    size_t intOccupancy() const { return intQ_.count; }
+    size_t fpOccupancy() const { return fpQ_.count; }
 
   private:
+    static constexpr uint32_t NoSlot = 0xFFFFFFFFu;
+
     struct Cluster
     {
-        std::vector<DynInst *> entries; ///< program order (oldest first)
-        size_t capacity = 64;
+        uint32_t capacity = 64;
+        uint32_t count = 0;
+
+        // Slot payload: the handle plus cached source registers so the
+        // wakeup sweeps never touch the DynInst slab.
+        std::vector<InstIdx> slotInst;
+        std::vector<int> src1;
+        std::vector<int> src2;
+
+        util::BitWords valid; ///< slot occupied
+        util::BitWords wait1; ///< armed CAM cell on source 1
+        util::BitWords wait2; ///< armed CAM cell on source 2
+        util::BitWords store; ///< src2 consumed at commit, not issue
+
+        /**
+         * Waiter rows: for physical register r, words at
+         * r * numWords(wait1) in waiters1/waiters2 hold the slots
+         * whose source 1 / source 2 wait bit is armed on r. The
+         * ready-transition hook masks a row out of the wait bits and
+         * zeroes it; rows are allocated on the first dispatch (the
+         * register-file size is only known via the context).
+         */
+        std::vector<uint64_t> waiters1;
+        std::vector<uint64_t> waiters2;
+
+        // Intrusive slot age chain, oldest first.
+        std::vector<uint32_t> prevSlot;
+        std::vector<uint32_t> nextSlot;
+        uint32_t oldestSlot = NoSlot;
+        uint32_t youngestSlot = NoSlot;
+
+        std::vector<uint64_t> cand; ///< per-issue candidate scratch
     };
 
     Cluster &clusterFor(const DynInst &inst);
     const Cluster &clusterFor(const DynInst &inst) const;
 
+    static void initCluster(Cluster &cluster, int capacity);
+    void removeSlot(Cluster &cluster, uint32_t slot);
+
     void issueCluster(Cluster &cluster, IssueContext &ctx,
-                      std::vector<DynInst *> &out);
+                      std::vector<InstIdx> &out);
+
+    /** Scoreboard ready-transition delivery (bindScoreboard). */
+    static void readyTrampoline(void *self, int phys_reg);
+    void onRegReady(int phys_reg);
 
     /** Armed (unready-operand) CAM cells currently in the cluster. */
-    uint64_t armedCells(const Cluster &cluster,
-                        const IssueContext &ctx) const;
+    static uint64_t armedCells(const Cluster &cluster);
 
     Cluster intQ_;
     Cluster fpQ_;

@@ -24,6 +24,18 @@ constexpr uint64_t UnknownCycle = std::numeric_limits<uint64_t>::max();
 constexpr int NoPhysReg = -1;
 
 /**
+ * Instruction handle: an index into the InstPool slab. All inter-stage
+ * plumbing (ROB, LSQ, event ring, scheme entries) carries these 4-byte
+ * indices instead of pointers — the slab is contiguous, so a handle
+ * dereference is one indexed load, and handles survive anything short
+ * of pool destruction (no iterator/pointer-stability hazards).
+ */
+using InstIdx = uint32_t;
+
+/** Sentinel for "no instruction" (null handle). */
+constexpr InstIdx NoInst = 0xFFFFFFFFu;
+
+/**
  * An in-flight instruction: the static micro-op plus renamed operands
  * and per-stage timing state. Owned by the ROB; issue schemes hold
  * non-owning pointers for the dispatch-to-issue window of its life.
@@ -52,6 +64,16 @@ struct DynInst
     // Issue-scheme bookkeeping.
     int queueId = -1;
     int chainId = -1;
+
+    // Intrusive age-chain links, maintained by InstPool: the live
+    // entries form a doubly linked list in strictly increasing seq
+    // (allocation) order, giving the schemes oldest-first traversal
+    // without sorting. NoInst terminates each end.
+    InstIdx agePrev = NoInst;
+    InstIdx ageNext = NoInst;
+
+    /** Monotone LSQ insertion ticket (O(1) entry lookup, sim/lsq.hh). */
+    uint32_t lsqTicket = 0;
 
     // Status flags.
     bool issued = false;

@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of core/fifo_cluster.hh (docs/ARCHITECTURE.md §1).
+ * Implementation of core/fifo_cluster.hh (docs/ARCHITECTURE.md §1,
+ * §10).
  */
 
 #include "core/fifo_cluster.hh"
@@ -15,11 +16,79 @@ namespace diq::core
 
 FifoCluster::FifoCluster(bool fp, int num_queues, int queue_size,
                          bool distributed_fus)
-    : fp_(fp), queueSize_(queue_size), distributedFus_(distributed_fus)
+    : fp_(fp), queueSize_(queue_size), distributedFus_(distributed_fus),
+      slots_(static_cast<size_t>(num_queues) *
+                 static_cast<size_t>(queue_size),
+             NoInst),
+      meta_(slots_.size()),
+      qs_(static_cast<size_t>(num_queues)),
+      nonEmpty_(static_cast<size_t>(num_queues))
 {
-    queues_.reserve(static_cast<size_t>(num_queues));
-    for (int q = 0; q < num_queues; ++q)
-        queues_.emplace_back(static_cast<size_t>(queue_size));
+    heads_.reserve(static_cast<size_t>(num_queues));
+}
+
+void
+FifoCluster::insertHead(int q)
+{
+    uint32_t slot = slotAt(q, 0);
+    HeadEntry h{q, slot, meta_[slot]};
+    headSrcSum_ += h.meta.numSrcs;
+    size_t j = heads_.size();
+    heads_.push_back(h);
+    while (j > 0 && heads_[j - 1].meta.seq > h.meta.seq) {
+        heads_[j] = heads_[j - 1];
+        --j;
+    }
+    heads_[j] = h;
+}
+
+void
+FifoCluster::eraseHead(int q)
+{
+    for (size_t i = 0; i < heads_.size(); ++i) {
+        if (heads_[i].queue == q) {
+            headSrcSum_ -= heads_[i].meta.numSrcs;
+            heads_.erase(heads_.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+    assert(false && "queue has no candidate entry");
+}
+
+void
+FifoCluster::pushBack(int q, InstIdx idx, const DynInst &inst)
+{
+    QState &st = qs_[static_cast<size_t>(q)];
+    assert(st.count < static_cast<uint32_t>(queueSize_));
+    uint32_t slot = slotAt(q, st.count);
+    slots_[slot] = idx;
+    meta_[slot] = SlotMeta::of(inst);
+    ++st.count;
+    st.tailSeq = inst.seq;
+    nonEmpty_.set(static_cast<size_t>(q));
+    ++size_;
+    if (st.count == 1)
+        insertHead(q); // the new entry is the queue's head
+}
+
+InstIdx
+FifoCluster::popFront(int q)
+{
+    QState &st = qs_[static_cast<size_t>(q)];
+    assert(st.count > 0);
+    uint32_t slot = slotAt(q, 0);
+    InstIdx idx = slots_[slot];
+    slots_[slot] = NoInst;
+    eraseHead(q);
+    st.head = st.head + 1 == static_cast<uint32_t>(queueSize_)
+                  ? 0
+                  : st.head + 1;
+    if (--st.count == 0)
+        nonEmpty_.clear(static_cast<size_t>(q));
+    else
+        insertHead(q); // successor becomes the queue's head
+    --size_;
+    return idx;
 }
 
 bool
@@ -29,17 +98,26 @@ FifoCluster::mappingValid(const QueueMapping &m) const
         return false;
     if (m.queue < 0 || m.queue >= numQueues())
         return false;
-    const auto &q = queues_[static_cast<size_t>(m.queue)];
-    return !q.empty() && q.back()->seq == m.producerSeq;
+    const QState &st = qs_[static_cast<size_t>(m.queue)];
+    return st.count > 0 && st.tailSeq == m.producerSeq;
 }
 
 int
 FifoCluster::pickQueue(const DynInst &inst, const QueueRenameTable &table,
                        SteerOutcome *outcome) const
 {
-    auto report = [&](SteerOutcome o) {
+    if (pickSeq_ == inst.seq && inst.seq != 0) {
+        if (outcome)
+            *outcome = pickOutcome_;
+        return pickMemo_;
+    }
+    auto decide = [&](SteerOutcome o, int q) {
+        pickSeq_ = inst.seq;
+        pickOutcome_ = o;
+        pickMemo_ = q;
         if (outcome)
             *outcome = o;
+        return q;
     };
     const QueueMapping &m1 = table.lookup(inst.op.src1);
     const QueueMapping &m2 = table.lookup(inst.op.src2);
@@ -47,40 +125,32 @@ FifoCluster::pickQueue(const DynInst &inst, const QueueRenameTable &table,
     bool v2 = inst.op.src2 != trace::NoReg && mappingValid(m2);
 
     if (v1) {
-        if (!queues_[static_cast<size_t>(m1.queue)].full()) {
-            report(SteerOutcome::JoinSrc1);
-            return m1.queue;
-        }
-        if (!v2) { // "full and only one source operand": stall
-            report(SteerOutcome::StallFull);
-            return -1;
-        }
+        if (!qFull(m1.queue))
+            return decide(SteerOutcome::JoinSrc1, m1.queue);
+        if (!v2) // "full and only one source operand": stall
+            return decide(SteerOutcome::StallFull, -1);
     }
     if (v2) {
-        if (!queues_[static_cast<size_t>(m2.queue)].full()) {
-            report(SteerOutcome::JoinSrc2);
-            return m2.queue;
-        }
-        report(SteerOutcome::StallFull);
-        return -1; // producer queue full: stall
+        if (!qFull(m2.queue))
+            return decide(SteerOutcome::JoinSrc2, m2.queue);
+        return decide(SteerOutcome::StallFull, -1); // producer queue full
     }
 
-    for (int q = 0; q < numQueues(); ++q) {
-        if (queues_[static_cast<size_t>(q)].empty()) {
-            report(SteerOutcome::EmptyFifo);
-            return q;
-        }
-    }
-    report(SteerOutcome::StallNoEmpty);
-    return -1; // no empty FIFO: stall
+    // First empty FIFO = first clear occupancy bit.
+    size_t q = nonEmpty_.findFirstClear(static_cast<size_t>(numQueues()));
+    if (q != util::BitWords::npos)
+        return decide(SteerOutcome::EmptyFifo, static_cast<int>(q));
+    return decide(SteerOutcome::StallNoEmpty, -1); // no empty FIFO
 }
 
 void
-FifoCluster::dispatch(DynInst *inst, QueueRenameTable &table,
+FifoCluster::dispatch(InstIdx idx, QueueRenameTable &table,
                       IssueContext &ctx)
 {
+    DynInst &inst = ctx.pool->get(idx);
     SteerOutcome outcome{};
-    int q = pickQueue(*inst, table, &outcome);
+    int q = pickQueue(inst, table, &outcome);
+    pickSeq_ = 0; // memo consumed; cluster/table state changes below
     // SteerOutcome indexes the contiguous steer.* EventId block.
     static_assert(static_cast<int>(power::EventId::SteerStallNoEmpty) -
                       static_cast<int>(power::EventId::SteerJoinSrc1) ==
@@ -91,80 +161,144 @@ FifoCluster::dispatch(DynInst *inst, QueueRenameTable &table,
         static_cast<int>(outcome)));
     if (q < 0)
         return; // caller must gate on canDispatch
-    queues_[static_cast<size_t>(q)].pushBack(inst);
-    inst->queueId = q;
-    inst->dispatchCycle = ctx.cycle;
+    pushBack(q, idx, inst);
+    inst.queueId = q;
+    inst.dispatchCycle = ctx.cycle;
     ctx.counters->inc(power::ev::FifoWrites);
-    if (inst->hasDest())
-        table.update(inst->op.dest, fp_, q, -1, inst->seq);
+    if (inst.hasDest())
+        table.update(inst.op.dest, fp_, q, -1, inst.seq);
 }
 
 void
-FifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+FifoCluster::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     // Heads check their operands every cycle (paper §2.2), so the
     // ready-table probes are counted before any issue decision.
     // Issue considers heads oldest-first, up to the cluster width.
-    struct Head
-    {
-        int queue;
-        DynInst *inst;
-    };
-    Head heads[64];
-    int num_heads = 0;
-    for (int q = 0; q < numQueues(); ++q) {
-        auto &fifo = queues_[static_cast<size_t>(q)];
-        if (fifo.empty())
-            continue;
-        DynInst *inst = fifo.front();
-        ctx.counters->add(power::ev::RegsReadyReads,
-                          static_cast<uint64_t>(inst->numSrcs()));
-        if (num_heads < 64)
-            heads[num_heads++] = {q, inst};
-    }
-    std::sort(heads, heads + num_heads,
-              [](const Head &a, const Head &b) {
-                  return a.inst->seq < b.inst->seq;
-              });
+    // The gather/probe loop runs off the SlotMeta cache; the DynInst
+    // slab is only touched for instructions that actually issue.
+    pickSeq_ = 0; // issue mutates occupancy: drop any steering memo
+    if (size_ == 0)
+        return;
+    ctx.counters->add(power::ev::RegsReadyReads, headSrcSum_);
 
+    // Pops are deferred past the scan: popFront re-inserts the
+    // successor head, which must not be considered until next cycle,
+    // and deferring keeps the scan a read-only walk of the sorted
+    // list (no per-cycle snapshot copy).
+    int winners[IssueWidthPerCluster];
     int issued = 0;
-    for (int i = 0; i < num_heads && issued < IssueWidthPerCluster; ++i) {
-        DynInst *inst = heads[i].inst;
-        if (!ctx.scoreboard->readyToIssue(*inst, ctx.cycle))
+    for (size_t i = 0;
+         i < heads_.size() && issued < IssueWidthPerCluster; ++i) {
+        const HeadEntry &h = heads_[i];
+        const SlotMeta &m = h.meta;
+        if (!m.readyToIssue(*ctx.scoreboard, ctx.cycle))
             continue;
-        FuClass fc = fuClassFor(inst->op.op);
-        int fu_domain = distributedFus_ ? heads[i].queue : -1;
-        if (!ctx.fus->canIssue(fc, fu_domain, ctx.cycle))
+        int fu_domain = distributedFus_ ? h.queue : -1;
+        if (!ctx.fus->canIssue(m.fu, fu_domain, ctx.cycle))
             continue;
-        ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
-                            FuPool::occupancyFor(inst->op.op));
-        queues_[static_cast<size_t>(heads[i].queue)].popFront();
+        ctx.fus->markIssued(m.fu, fu_domain, ctx.cycle, m.fuOccupancy);
+        InstIdx idx = slots_[h.slot];
         ctx.counters->inc(power::ev::FifoReads);
-        countMuxIssue(*ctx.counters, fc);
-        inst->issued = true;
-        inst->issueCycle = ctx.cycle;
-        out.push_back(inst);
-        ++issued;
+        countMuxIssue(*ctx.counters, m.fu);
+        DynInst &inst = ctx.pool->get(idx);
+        inst.issued = true;
+        inst.issueCycle = ctx.cycle;
+        out.push_back(idx);
+        winners[issued++] = h.queue;
     }
-}
-
-size_t
-FifoCluster::occupancy() const
-{
-    size_t n = 0;
-    for (const auto &q : queues_)
-        n += q.size();
-    return n;
+    for (int i = 0; i < issued; ++i)
+        popFront(winners[i]);
 }
 
 std::vector<const DynInst *>
-FifoCluster::queueContents(int q) const
+FifoCluster::queueContents(const InstPool &pool, int q) const
 {
     std::vector<const DynInst *> v;
-    const auto &fifo = queues_[static_cast<size_t>(q)];
-    for (size_t i = 0; i < fifo.size(); ++i)
-        v.push_back(fifo.at(i));
+    const QState &st = qs_[static_cast<size_t>(q)];
+    for (uint32_t i = 0; i < st.count; ++i)
+        v.push_back(&pool.get(slots_[slotAt(q, i)]));
     return v;
+}
+
+std::string
+FifoCluster::invariantViolation(const InstPool &pool) const
+{
+    const char *which = fp_ ? "fp" : "int";
+    size_t total = 0;
+    for (int q = 0; q < numQueues(); ++q) {
+        const QState &st = qs_[static_cast<size_t>(q)];
+        if (nonEmpty_.test(static_cast<size_t>(q)) != (st.count > 0)) {
+            return std::string("fifo ") + which + " queue " +
+                   std::to_string(q) +
+                   " occupancy bit disagrees with count";
+        }
+        uint64_t prev_seq = 0;
+        for (uint32_t i = 0; i < st.count; ++i) {
+            uint32_t slot = slotAt(q, i);
+            InstIdx idx = slots_[slot];
+            if (idx == NoInst || !pool.isLive(idx))
+                return std::string("fifo ") + which + " queue " +
+                       std::to_string(q) +
+                       " holds a dead instruction handle";
+            uint64_t seq = pool.get(idx).seq;
+            if (meta_[slot].seq != seq)
+                return std::string("fifo ") + which + " queue " +
+                       std::to_string(q) +
+                       " cached slot metadata is stale at seq " +
+                       std::to_string(seq);
+            if (i > 0 && prev_seq >= seq)
+                return std::string("fifo ") + which + " queue " +
+                       std::to_string(q) +
+                       " not in program order at seq " +
+                       std::to_string(seq);
+            prev_seq = seq;
+        }
+        if (st.count > 0 && st.tailSeq != prev_seq)
+            return std::string("fifo ") + which + " queue " +
+                   std::to_string(q) + " cached tail seq is stale";
+        total += st.count;
+    }
+    if (total != size_)
+        return std::string("fifo ") + which +
+               " per-queue counts sum to " + std::to_string(total) +
+               ", running size is " + std::to_string(size_);
+
+    // The persistent candidate list must hold exactly the current head
+    // of every non-empty queue, in seq order, with fresh metadata.
+    std::vector<char> seen(qs_.size(), 0);
+    uint64_t src_sum = 0;
+    uint64_t prev_head_seq = 0;
+    for (size_t i = 0; i < heads_.size(); ++i) {
+        const HeadEntry &h = heads_[i];
+        if (h.queue < 0 || h.queue >= numQueues() ||
+            seen[static_cast<size_t>(h.queue)]++)
+            return std::string("fifo ") + which +
+                   " head list has a duplicate or bogus queue entry";
+        const QState &st = qs_[static_cast<size_t>(h.queue)];
+        if (st.count == 0)
+            return std::string("fifo ") + which + " head list names " +
+                   "empty queue " + std::to_string(h.queue);
+        if (h.slot != slotAt(h.queue, 0) ||
+            h.meta.seq != meta_[h.slot].seq)
+            return std::string("fifo ") + which +
+                   " head list entry for queue " +
+                   std::to_string(h.queue) + " is stale";
+        if (i > 0 && prev_head_seq > h.meta.seq)
+            return std::string("fifo ") + which +
+                   " head list not sorted by seq";
+        prev_head_seq = h.meta.seq;
+        src_sum += h.meta.numSrcs;
+    }
+    for (int q = 0; q < numQueues(); ++q)
+        if (qs_[static_cast<size_t>(q)].count > 0 &&
+            !seen[static_cast<size_t>(q)])
+            return std::string("fifo ") + which + " non-empty queue " +
+                   std::to_string(q) + " missing from the head list";
+    if (src_sum != headSrcSum_)
+        return std::string("fifo ") + which +
+               " cached head source-operand sum is stale";
+    return {};
 }
 
 } // namespace diq::core

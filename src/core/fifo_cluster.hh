@@ -11,10 +11,18 @@
  * Only FIFO heads are considered for issue; they probe the ready-bit
  * table every cycle ("regs_ready" energy) instead of using wakeup.
  *
+ * Storage is one flat InstIdx slab partitioned into per-queue rings
+ * (queue q owns slots [q*queueSize, (q+1)*queueSize)), with a
+ * `nonEmpty` occupancy mask. Issue candidates live in a persistent
+ * seq-sorted head list maintained incrementally on push/pop, sized by
+ * the queue count — the previous fixed heads[64] array silently
+ * dropped queues beyond the 64th from issue consideration
+ * (tests/test_core_schemes.cc pins the fix).
+ *
  * Reused by IssueFIFO (both clusters), LatFIFO (integer cluster) and
  * MixBUFF (integer cluster).
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §1.
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1, §10.
  */
 
 #ifndef DIQ_CORE_FIFO_CLUSTER_HH
@@ -25,7 +33,8 @@
 #include "core/dyn_inst.hh"
 #include "core/issue_scheme.hh"
 #include "core/queue_rename_table.hh"
-#include "util/circular_buffer.hh"
+#include "core/slot_meta.hh"
+#include "util/bit_words.hh"
 
 namespace diq::core
 {
@@ -63,20 +72,75 @@ class FifoCluster
     }
 
     /** Place the instruction and update the rename table. */
-    void dispatch(DynInst *inst, QueueRenameTable &table,
+    void dispatch(InstIdx idx, QueueRenameTable &table,
                   IssueContext &ctx);
 
     /** Heads probe regs_ready and issue when ready (oldest first). */
-    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+    void issue(IssueContext &ctx, std::vector<InstIdx> &out);
 
-    size_t occupancy() const;
-    int numQueues() const { return static_cast<int>(queues_.size()); }
+    size_t occupancy() const { return size_; }
+    int numQueues() const { return static_cast<int>(qs_.size()); }
     int queueSize() const { return queueSize_; }
 
     /** Entries of queue q, oldest first (test introspection). */
-    std::vector<const DynInst *> queueContents(int q) const;
+    std::vector<const DynInst *> queueContents(const InstPool &pool,
+                                               int q) const;
+
+    /** Structural self-check (see IssueScheme::invariantViolation). */
+    std::string invariantViolation(const InstPool &pool) const;
+
+    /** Drop the probe→dispatch steering memo (call when the rename
+     *  table changes outside dispatch, e.g. a mispredict clear). */
+    void dropSteerMemo() const { pickSeq_ = 0; }
 
   private:
+    /** Ring state of one FIFO; its slots live in the shared slab. */
+    struct QState
+    {
+        uint32_t head = 0;  ///< slab offset of the oldest entry
+        uint32_t count = 0;
+        uint64_t tailSeq = 0; ///< seq of the newest entry (count > 0)
+    };
+
+    /**
+     * One FIFO head, kept in a persistent seq-sorted candidate list.
+     * The head set only changes on popFront / push-to-empty, so the
+     * list is maintained incrementally instead of being regathered
+     * from the scattered per-queue slabs every cycle; embedding the
+     * SlotMeta keeps the whole per-cycle probe loop inside this one
+     * compact array.
+     */
+    struct HeadEntry
+    {
+        int queue;
+        uint32_t slot; ///< slab index (meta_/slots_)
+        SlotMeta meta;
+    };
+
+    bool qFull(int q) const
+    {
+        return qs_[static_cast<size_t>(q)].count ==
+               static_cast<uint32_t>(queueSize_);
+    }
+
+    uint32_t slotAt(int q, uint32_t pos) const
+    {
+        const QState &st = qs_[static_cast<size_t>(q)];
+        uint32_t off = st.head + pos;
+        if (off >= static_cast<uint32_t>(queueSize_))
+            off -= static_cast<uint32_t>(queueSize_);
+        return static_cast<uint32_t>(q) *
+                   static_cast<uint32_t>(queueSize_) + off;
+    }
+
+    void pushBack(int q, InstIdx idx, const DynInst &inst);
+    InstIdx popFront(int q);
+
+    /** Insert queue q's current head into the sorted candidate list. */
+    void insertHead(int q);
+    /** Remove queue q's entry from the candidate list. */
+    void eraseHead(int q);
+
     /** True when `m` maps to a queue of this cluster whose tail is
      *  still the mapped producer. */
     bool mappingValid(const QueueMapping &m) const;
@@ -84,7 +148,21 @@ class FifoCluster
     bool fp_;
     int queueSize_;
     bool distributedFus_;
-    std::vector<util::CircularBuffer<DynInst *>> queues_;
+    std::vector<InstIdx> slots_; ///< numQueues*queueSize flat slab
+    std::vector<SlotMeta> meta_; ///< cached issue facts, per slot
+    std::vector<QState> qs_;
+    util::BitWords nonEmpty_; ///< bit q ⟺ queue q holds entries
+    size_t size_ = 0;
+    std::vector<HeadEntry> heads_; ///< seq-sorted, one per non-empty queue
+    uint64_t headSrcSum_ = 0; ///< sum of heads_[i].meta.numSrcs
+
+    /** canDispatch probes and the following dispatch make the same
+     *  steering decision; the memo spares the second table scan. It
+     *  lives only from probe to dispatch: issue() and dispatch() drop
+     *  it before mutating any state the decision depends on. */
+    mutable uint64_t pickSeq_ = 0; ///< 0 = no memo
+    mutable int pickMemo_ = -1;
+    mutable SteerOutcome pickOutcome_ = SteerOutcome::JoinSrc1;
 };
 
 } // namespace diq::core

@@ -31,20 +31,21 @@ FifoIssueScheme::canDispatch(const DynInst &inst,
 }
 
 void
-FifoIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+FifoIssueScheme::dispatch(InstIdx idx, IssueContext &ctx)
 {
+    const DynInst &inst = ctx.pool->get(idx);
     ctx.counters->add(power::ev::QrenameReads,
-                      static_cast<uint64_t>(inst->numSrcs()));
-    if (inst->hasDest())
+                      static_cast<uint64_t>(inst.numSrcs()));
+    if (inst.hasDest())
         ctx.counters->inc(power::ev::QrenameWrites);
-    if (inst->isFpPipe())
-        fp_.dispatch(inst, table_, ctx);
+    if (inst.isFpPipe())
+        fp_.dispatch(idx, table_, ctx);
     else
-        int_.dispatch(inst, table_, ctx);
+        int_.dispatch(idx, table_, ctx);
 }
 
 void
-FifoIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+FifoIssueScheme::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     int_.issue(ctx, out);
     fp_.issue(ctx, out);
@@ -62,14 +63,26 @@ void
 FifoIssueScheme::onBranchMispredict(IssueContext &ctx)
 {
     (void)ctx;
-    if (config_.clearTableOnMispredict)
+    if (config_.clearTableOnMispredict) {
         table_.clear();
+        int_.dropSteerMemo();
+        fp_.dropSteerMemo();
+    }
 }
 
 size_t
 FifoIssueScheme::occupancy() const
 {
     return int_.occupancy() + fp_.occupancy();
+}
+
+std::string
+FifoIssueScheme::invariantViolation(const InstPool &pool) const
+{
+    std::string v = int_.invariantViolation(pool);
+    if (v.empty())
+        v = fp_.invariantViolation(pool);
+    return v;
 }
 
 std::string

@@ -28,12 +28,13 @@ class FifoIssueScheme : public IssueScheme
 
     bool canDispatch(const DynInst &inst,
                      const IssueContext &ctx) const override;
-    void dispatch(DynInst *inst, IssueContext &ctx) override;
-    void issue(IssueContext &ctx, std::vector<DynInst *> &out) override;
+    void dispatch(InstIdx idx, IssueContext &ctx) override;
+    void issue(IssueContext &ctx, std::vector<InstIdx> &out) override;
     void onWakeup(int phys_reg, IssueContext &ctx) override;
     void onBranchMispredict(IssueContext &ctx) override;
     size_t occupancy() const override;
     std::string name() const override;
+    std::string invariantViolation(const InstPool &pool) const override;
 
     const FifoCluster &intCluster() const { return int_; }
     const FifoCluster &fpCluster() const { return fp_; }

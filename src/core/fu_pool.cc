@@ -10,38 +10,6 @@
 namespace diq::core
 {
 
-FuClass
-fuClassFor(trace::OpClass op)
-{
-    using trace::OpClass;
-    switch (op) {
-      case OpClass::IntMult:
-      case OpClass::IntDiv:
-        return FuClass::IntMul;
-      case OpClass::FpAdd:
-        return FuClass::FpAlu;
-      case OpClass::FpMult:
-      case OpClass::FpDiv:
-        return FuClass::FpMul;
-      default:
-        // IntAlu, Load, Store, Branch, Nop: integer ALU / AGU.
-        return FuClass::IntAlu;
-    }
-}
-
-unsigned
-FuPool::occupancyFor(trace::OpClass op)
-{
-    using trace::OpClass;
-    switch (op) {
-      case OpClass::IntDiv:
-      case OpClass::FpDiv:
-        return static_cast<unsigned>(trace::opLatency(op));
-      default:
-        return 1; // fully pipelined
-    }
-}
-
 FuPool::FuPool(const FuPoolConfig &config)
     : config_(config)
 {
@@ -54,70 +22,38 @@ FuPool::FuPool(const FuPoolConfig &config)
         .assign(static_cast<size_t>(config_.fpAlu), 0);
     nextFree_[static_cast<size_t>(FuClass::FpMul)]
         .assign(static_cast<size_t>(config_.fpMul), 0);
-}
 
-void
-FuPool::unitRange(FuClass fc, int queue_id, int &first, int &count) const
-{
-    int total = numUnits(fc);
-    if (!config_.distributed || queue_id < 0) {
-        first = 0;
-        count = total;
-        return;
-    }
-    // Distributed binding: queues share the units of their class
-    // evenly; with fewer units than queues, adjacent queues pair up on
-    // one unit (e.g. 1 mult/div per pair of queues).
-    bool is_int = fc == FuClass::IntAlu || fc == FuClass::IntMul;
-    int queues = is_int ? config_.numIntQueues : config_.numFpQueues;
-    assert(queues > 0);
-    if (queue_id >= queues)
-        queue_id = queue_id % queues;
-    if (total >= queues) {
-        // One or more units per queue.
-        int per = total / queues;
-        first = queue_id * per;
-        count = per;
-    } else {
-        // Several queues share one unit.
-        int share = queues / total;
-        first = queue_id / share;
-        if (first >= total)
-            first = total - 1;
-        count = 1;
-    }
-}
-
-bool
-FuPool::canIssue(FuClass fc, int queue_id, uint64_t cycle) const
-{
-    int first = 0;
-    int count = 0;
-    unitRange(fc, queue_id, first, count);
-    const auto &units = nextFree_[static_cast<size_t>(fc)];
-    for (int u = first; u < first + count; ++u)
-        if (units[static_cast<size_t>(u)] <= cycle)
-            return true;
-    return false;
-}
-
-int
-FuPool::markIssued(FuClass fc, int queue_id, uint64_t cycle,
-                   unsigned occupancy)
-{
-    int first = 0;
-    int count = 0;
-    unitRange(fc, queue_id, first, count);
-    auto &units = nextFree_[static_cast<size_t>(fc)];
-    for (int u = first; u < first + count; ++u) {
-        if (units[static_cast<size_t>(u)] <= cycle) {
-            units[static_cast<size_t>(u)] =
-                cycle + (occupancy == 0 ? 1 : occupancy);
-            return u;
+    // Precompute the distributed unit binding per (class, queue):
+    // queues share the units of their class evenly; with fewer units
+    // than queues, adjacent queues pair up on one unit (e.g. 1
+    // mult/div per pair of queues).
+    ranges_.resize(static_cast<size_t>(FuClass::NumClasses));
+    for (size_t fci = 0; fci < ranges_.size(); ++fci) {
+        FuClass fc = static_cast<FuClass>(fci);
+        int total = numUnits(fc);
+        bool is_int = fc == FuClass::IntAlu || fc == FuClass::IntMul;
+        int queues = is_int ? config_.numIntQueues : config_.numFpQueues;
+        assert(queues > 0);
+        auto &table = ranges_[fci];
+        table.resize(static_cast<size_t>(queues) + 1);
+        table[0] = UnitRange{0, total}; // centralized (queue_id < 0)
+        for (int q = 0; q < queues; ++q) {
+            UnitRange r{0, total};
+            if (config_.distributed) {
+                if (total >= queues) {
+                    int per = total / queues;
+                    r = UnitRange{q * per, per};
+                } else {
+                    int share = queues / total;
+                    int first = q / share;
+                    if (first >= total)
+                        first = total - 1;
+                    r = UnitRange{first, 1};
+                }
+            }
+            table[static_cast<size_t>(q) + 1] = r;
         }
     }
-    assert(false && "markIssued without canIssue");
-    return -1;
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef DIQ_CORE_FU_POOL_HH
 #define DIQ_CORE_FU_POOL_HH
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,8 +33,26 @@ namespace diq::core
 enum class FuClass : uint8_t { IntAlu = 0, IntMul, FpAlu, FpMul, NumClasses };
 
 /** Which unit class executes an op class. Loads/stores/branches use
- *  the integer ALU (address computation / condition evaluation). */
-FuClass fuClassFor(trace::OpClass op);
+ *  the integer ALU (address computation / condition evaluation).
+ *  Inline: probed per dispatched/issued op. */
+constexpr FuClass
+fuClassFor(trace::OpClass op)
+{
+    using trace::OpClass;
+    switch (op) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuClass::IntMul;
+      case OpClass::FpAdd:
+        return FuClass::FpAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuClass::FpMul;
+      default:
+        // IntAlu, Load, Store, Branch, Nop: integer ALU / AGU.
+        return FuClass::IntAlu;
+    }
+}
 
 /** Configuration of the pool. */
 struct FuPoolConfig
@@ -57,19 +76,54 @@ class FuPool
     /**
      * Can an instruction of class `fc`, issuing from queue `queue_id`
      * (-1 for centralized callers), begin execution at `cycle`?
+     * Inline with precomputed unit ranges: probed on every selection.
      */
-    bool canIssue(FuClass fc, int queue_id, uint64_t cycle) const;
+    bool
+    canIssue(FuClass fc, int queue_id, uint64_t cycle) const
+    {
+        const UnitRange r = rangeFor(fc, queue_id);
+        const uint64_t *u =
+            nextFree_[static_cast<size_t>(fc)].data() + r.first;
+        for (int i = 0; i < r.count; ++i)
+            if (u[i] <= cycle)
+                return true;
+        return false;
+    }
 
     /**
      * Reserve a unit. `occupancy` is 1 for pipelined ops and the full
      * latency for unpipelined ones (use occupancyFor()).
      * @return index of the unit used.
      */
-    int markIssued(FuClass fc, int queue_id, uint64_t cycle,
-                   unsigned occupancy);
+    int
+    markIssued(FuClass fc, int queue_id, uint64_t cycle,
+               unsigned occupancy)
+    {
+        const UnitRange r = rangeFor(fc, queue_id);
+        uint64_t *u = nextFree_[static_cast<size_t>(fc)].data() + r.first;
+        for (int i = 0; i < r.count; ++i) {
+            if (u[i] <= cycle) {
+                u[i] = cycle + (occupancy == 0 ? 1 : occupancy);
+                return r.first + i;
+            }
+        }
+        assert(false && "markIssued without canIssue");
+        return -1;
+    }
 
     /** Unit-occupancy in cycles for an op class (divides block). */
-    static unsigned occupancyFor(trace::OpClass op);
+    static constexpr unsigned
+    occupancyFor(trace::OpClass op)
+    {
+        using trace::OpClass;
+        switch (op) {
+          case OpClass::IntDiv:
+          case OpClass::FpDiv:
+            return static_cast<unsigned>(trace::opLatency(op));
+          default:
+            return 1; // fully pipelined
+        }
+    }
 
     /** All units idle again. */
     void reset();
@@ -78,12 +132,33 @@ class FuPool
     const FuPoolConfig &config() const { return config_; }
 
   private:
-    /** Range [first, count) of units of `fc` usable by `queue_id`. */
-    void unitRange(FuClass fc, int queue_id, int &first, int &count) const;
+    /** Units [first, first+count) of one class usable by one queue. */
+    struct UnitRange
+    {
+        int first = 0;
+        int count = 0;
+    };
+
+    /**
+     * Precomputed binding table: ranges_[fc][0] is the centralized
+     * range (queue_id < 0), ranges_[fc][q + 1] the range of queue q.
+     * Computed once at construction so the per-issue probe does no
+     * division.
+     */
+    const UnitRange &
+    rangeFor(FuClass fc, int queue_id) const
+    {
+        const auto &table = ranges_[static_cast<size_t>(fc)];
+        size_t i = static_cast<size_t>(queue_id + 1);
+        if (i >= table.size())
+            i = (i - 1) % (table.size() - 1) + 1; // out-of-range queue
+        return table[i];
+    }
 
     FuPoolConfig config_;
     // nextFree_[class][unit]: first cycle the unit can accept an op.
     std::vector<std::vector<uint64_t>> nextFree_;
+    std::vector<std::vector<UnitRange>> ranges_;
 };
 
 } // namespace diq::core

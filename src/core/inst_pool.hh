@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Dense indexed pool of in-flight instructions.
+ *
+ * One contiguous DynInst slab with an explicit free list (a ring of
+ * slot indices, fl_head/fl_tail/fl_length) replaces per-instruction
+ * heap nodes: allocation and release are O(1) ring operations, every
+ * handle is a uint32_t slab index (core/dyn_inst.hh InstIdx), and the
+ * live entries are threaded onto an intrusive prev/next age chain in
+ * strictly increasing seq order so oldest-first select never sorts.
+ * The layout mirrors the classic issue-queue free-list idiom (see
+ * SNIPPETS.md) and is pinned by tests/test_pool_invariants.cc via
+ * invariantViolation().
+ *
+ * Frees may happen out of order (mispredict squash walks the ROB from
+ * the tail); the age chain unlinks from the middle in O(1) through
+ * the intrusive links. Freed slots re-enter at the ring tail, so slot
+ * reuse is maximally delayed — a stale handle keeps pointing at
+ * recognizably dead state for as long as possible.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §10.
+ */
+
+#ifndef DIQ_CORE_INST_POOL_HH
+#define DIQ_CORE_INST_POOL_HH
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "util/bit_words.hh"
+
+namespace diq::core
+{
+
+/** Slab + free-list + age-chain storage for DynInst. */
+class InstPool
+{
+  public:
+    explicit InstPool(uint32_t capacity)
+        : slab_(capacity), fl_(capacity), live_(capacity),
+          capacity_(capacity)
+    {
+        assert(capacity > 0);
+        reset();
+    }
+
+    /**
+     * Take a free slot, reset it from `mop`/`seq`, and append it to
+     * the age-chain tail. `seq` must exceed every live seq (dispatch
+     * is in program order), which keeps the chain sorted for free.
+     */
+    InstIdx
+    alloc(const trace::MicroOp &mop, uint64_t seq)
+    {
+        assert(flLength_ > 0 && "pool exhausted");
+        InstIdx idx = fl_[flHead_];
+        flHead_ = flHead_ + 1 == capacity_ ? 0 : flHead_ + 1;
+        --flLength_;
+
+        DynInst &inst = slab_[idx];
+        inst.reset(mop, seq);
+        live_.set(idx);
+
+        // Append as youngest.
+        inst.agePrev = youngest_;
+        inst.ageNext = NoInst;
+        if (youngest_ != NoInst)
+            slab_[youngest_].ageNext = idx;
+        else
+            oldest_ = idx;
+        youngest_ = idx;
+        assert(inst.agePrev == NoInst || slab_[inst.agePrev].seq < seq);
+        return idx;
+    }
+
+    /** Unlink from the age chain and return the slot to the ring. */
+    void
+    free(InstIdx idx)
+    {
+        assert(idx < capacity_ && live_.test(idx) && "double free");
+        DynInst &inst = slab_[idx];
+        if (inst.agePrev != NoInst)
+            slab_[inst.agePrev].ageNext = inst.ageNext;
+        else
+            oldest_ = inst.ageNext;
+        if (inst.ageNext != NoInst)
+            slab_[inst.ageNext].agePrev = inst.agePrev;
+        else
+            youngest_ = inst.agePrev;
+        inst.agePrev = NoInst;
+        inst.ageNext = NoInst;
+        live_.clear(idx);
+
+        fl_[flTail_] = idx;
+        flTail_ = flTail_ + 1 == capacity_ ? 0 : flTail_ + 1;
+        ++flLength_;
+    }
+
+    DynInst &
+    get(InstIdx idx)
+    {
+        assert(idx < capacity_);
+        return slab_[idx];
+    }
+
+    const DynInst &
+    get(InstIdx idx) const
+    {
+        assert(idx < capacity_);
+        return slab_[idx];
+    }
+
+    DynInst &operator[](InstIdx idx) { return get(idx); }
+    const DynInst &operator[](InstIdx idx) const { return get(idx); }
+
+    /** Handle of a slab resident (inverse of get; test helpers). */
+    InstIdx
+    indexOf(const DynInst &inst) const
+    {
+        auto off = &inst - slab_.data();
+        assert(off >= 0 && static_cast<uint32_t>(off) < capacity_);
+        return static_cast<InstIdx>(off);
+    }
+
+    uint32_t capacity() const { return capacity_; }
+    uint32_t liveCount() const { return capacity_ - flLength_; }
+    uint32_t freeCount() const { return flLength_; }
+    bool isLive(InstIdx idx) const { return live_.test(idx); }
+
+    /** Oldest/youngest live entry (NoInst when empty). */
+    InstIdx oldest() const { return oldest_; }
+    InstIdx youngest() const { return youngest_; }
+
+    /** Everything free, chain empty. */
+    void
+    reset()
+    {
+        live_.clearAll();
+        for (uint32_t i = 0; i < capacity_; ++i)
+            fl_[i] = i;
+        flHead_ = 0;
+        flTail_ = 0;
+        flLength_ = capacity_;
+        oldest_ = NoInst;
+        youngest_ = NoInst;
+    }
+
+    /**
+     * Structural self-check for the property suite: free-list
+     * conservation (live + free == capacity, free slots distinct and
+     * dead), and the age chain a permutation of the live set in
+     * strictly increasing seq with consistent back links. Returns ""
+     * when every invariant holds, else a description of the first
+     * violation.
+     */
+    std::string
+    invariantViolation() const
+    {
+        // Free-list conservation + no-double-free: walk the ring.
+        util::BitWords seen(capacity_);
+        uint32_t pos = flHead_;
+        for (uint32_t n = 0; n < flLength_; ++n) {
+            InstIdx idx = fl_[pos];
+            if (idx >= capacity_)
+                return "free list holds out-of-range slot " +
+                       std::to_string(idx);
+            if (seen.test(idx))
+                return "slot " + std::to_string(idx) +
+                       " appears twice in the free list";
+            if (live_.test(idx))
+                return "slot " + std::to_string(idx) +
+                       " is both live and on the free list";
+            seen.set(idx);
+            pos = pos + 1 == capacity_ ? 0 : pos + 1;
+        }
+        if (pos != flTail_)
+            return "free-list ring length disagrees with fl_length";
+        if (live_.count() + flLength_ != capacity_)
+            return "allocated + free != capacity (" +
+                   std::to_string(live_.count()) + " + " +
+                   std::to_string(flLength_) + " != " +
+                   std::to_string(capacity_) + ")";
+
+        // Age chain: permutation of the live set, strictly increasing
+        // seq, consistent prev links.
+        uint32_t walked = 0;
+        InstIdx prev = NoInst;
+        for (InstIdx idx = oldest_; idx != NoInst;
+             idx = slab_[idx].ageNext) {
+            if (idx >= capacity_)
+                return "age chain holds out-of-range slot " +
+                       std::to_string(idx);
+            if (!live_.test(idx))
+                return "age chain holds dead slot " +
+                       std::to_string(idx);
+            if (slab_[idx].agePrev != prev)
+                return "age-chain back link broken at slot " +
+                       std::to_string(idx);
+            if (prev != NoInst && slab_[prev].seq >= slab_[idx].seq)
+                return "age chain not strictly increasing at seq " +
+                       std::to_string(slab_[idx].seq);
+            if (++walked > liveCount())
+                return "age chain longer than the live set (cycle?)";
+            prev = idx;
+        }
+        if (walked != liveCount())
+            return "age chain visits " + std::to_string(walked) +
+                   " of " + std::to_string(liveCount()) +
+                   " live entries";
+        if (youngest_ != prev)
+            return "youngest does not terminate the age chain";
+        return {};
+    }
+
+  private:
+    std::vector<DynInst> slab_;
+    std::vector<InstIdx> fl_; ///< free-list ring of slot indices
+    util::BitWords live_;
+    uint32_t capacity_;
+    uint32_t flHead_ = 0;
+    uint32_t flTail_ = 0;
+    uint32_t flLength_ = 0;
+    InstIdx oldest_ = NoInst;
+    InstIdx youngest_ = NoInst;
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_INST_POOL_HH

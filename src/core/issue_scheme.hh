@@ -26,6 +26,7 @@
 
 #include "core/dyn_inst.hh"
 #include "core/fu_pool.hh"
+#include "core/inst_pool.hh"
 #include "core/scoreboard.hh"
 #include "power/event_counters.hh"
 
@@ -39,6 +40,8 @@ struct IssueContext
     Scoreboard *scoreboard = nullptr;
     FuPool *fus = nullptr;
     power::EventCounters *counters = nullptr;
+    /** Slab the InstIdx handles index into (core/inst_pool.hh). */
+    InstPool *pool = nullptr;
 };
 
 /** Per-cluster issue width (Table 1: 8 integer + 8 FP). */
@@ -58,20 +61,28 @@ class IssueScheme
                              const IssueContext &ctx) const = 0;
 
     /** Insert the instruction (must follow a true canDispatch). */
-    virtual void dispatch(DynInst *inst, IssueContext &ctx) = 0;
+    virtual void dispatch(InstIdx idx, IssueContext &ctx) = 0;
 
     /**
      * One issue cycle: append every instruction that begins execution
      * this cycle to `out`. The scheme checks operand readiness and
      * reserves functional units itself.
      */
-    virtual void issue(IssueContext &ctx, std::vector<DynInst *> &out) = 0;
+    virtual void issue(IssueContext &ctx, std::vector<InstIdx> &out) = 0;
 
     /**
      * A destination register's availability was announced (tag
      * broadcast for CAM schemes, ready-bit write for the others).
      */
     virtual void onWakeup(int phys_reg, IssueContext &ctx) = 0;
+
+    /**
+     * Wire the scheme to the machine's scoreboard before the first
+     * dispatch. Schemes that mirror per-register state (the CAM
+     * queue's armed wait cells) subscribe to ready-bit transitions
+     * here; the default organization needs nothing. Idempotent.
+     */
+    virtual void bindScoreboard(Scoreboard &sb) { (void)sb; }
 
     /**
      * A branch mispredict resolved; table-based schemes clear their
@@ -82,6 +93,20 @@ class IssueScheme
 
     /** Instructions currently waiting in the scheme. */
     virtual size_t occupancy() const = 0;
+
+    /**
+     * Structural self-check for the property suite: every resident
+     * handle live in `pool`, per-structure counts consistent, wakeup
+     * masks covering exactly the resident entries. Returns "" when
+     * every invariant holds, else a description of the first
+     * violation. Debug/test path — never called during simulation.
+     */
+    virtual std::string
+    invariantViolation(const InstPool &pool) const
+    {
+        (void)pool;
+        return {};
+    }
 
     /** Organization name, e.g. "MixBUFF_8x8_8x16". */
     virtual std::string name() const = 0;

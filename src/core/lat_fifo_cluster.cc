@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of core/lat_fifo_cluster.hh (docs/ARCHITECTURE.md §1).
+ * Implementation of core/lat_fifo_cluster.hh (docs/ARCHITECTURE.md §1,
+ * §10).
  */
 
 #include "core/lat_fifo_cluster.hh"
@@ -15,109 +16,233 @@ namespace diq::core
 
 LatFifoCluster::LatFifoCluster(int num_queues, int queue_size,
                                bool distributed_fus)
-    : queueSize_(queue_size), distributedFus_(distributed_fus)
+    : queueSize_(queue_size), distributedFus_(distributed_fus),
+      slots_(static_cast<size_t>(num_queues) *
+                 static_cast<size_t>(queue_size),
+             NoInst),
+      meta_(slots_.size()),
+      qs_(static_cast<size_t>(num_queues)),
+      nonEmpty_(static_cast<size_t>(num_queues))
 {
-    queues_.reserve(static_cast<size_t>(num_queues));
-    for (int q = 0; q < num_queues; ++q)
-        queues_.emplace_back(static_cast<size_t>(queue_size));
+    heads_.reserve(static_cast<size_t>(num_queues));
+}
+
+void
+LatFifoCluster::insertHead(int q)
+{
+    uint32_t slot = slotAt(q, 0);
+    HeadEntry h{q, slot, meta_[slot]};
+    headSrcSum_ += h.meta.numSrcs;
+    size_t j = heads_.size();
+    heads_.push_back(h);
+    while (j > 0 && heads_[j - 1].meta.seq > h.meta.seq) {
+        heads_[j] = heads_[j - 1];
+        --j;
+    }
+    heads_[j] = h;
+}
+
+void
+LatFifoCluster::eraseHead(int q)
+{
+    for (size_t i = 0; i < heads_.size(); ++i) {
+        if (heads_[i].queue == q) {
+            headSrcSum_ -= heads_[i].meta.numSrcs;
+            heads_.erase(heads_.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+    assert(false && "queue has no candidate entry");
+}
+
+void
+LatFifoCluster::pushBack(int q, InstIdx idx, const DynInst &inst)
+{
+    QState &st = qs_[static_cast<size_t>(q)];
+    assert(st.count < static_cast<uint32_t>(queueSize_));
+    uint32_t slot = slotAt(q, st.count);
+    slots_[slot] = idx;
+    meta_[slot] = SlotMeta::of(inst);
+    ++st.count;
+    nonEmpty_.set(static_cast<size_t>(q));
+    ++size_;
+    if (st.count == 1)
+        insertHead(q); // the new entry is the queue's head
+}
+
+InstIdx
+LatFifoCluster::popFront(int q)
+{
+    QState &st = qs_[static_cast<size_t>(q)];
+    assert(st.count > 0);
+    uint32_t slot = slotAt(q, 0);
+    InstIdx idx = slots_[slot];
+    slots_[slot] = NoInst;
+    eraseHead(q);
+    st.head = st.head + 1 == static_cast<uint32_t>(queueSize_)
+                  ? 0
+                  : st.head + 1;
+    if (--st.count == 0)
+        nonEmpty_.clear(static_cast<size_t>(q));
+    else
+        insertHead(q); // successor becomes the queue's head
+    --size_;
+    return idx;
 }
 
 int
 LatFifoCluster::pickQueue(uint64_t est_issue) const
 {
+    if (pickValid_ && pickEst_ == est_issue)
+        return pickMemo_;
     // Among non-full, non-empty queues whose tail issues at least one
     // cycle earlier, prefer the latest tail; otherwise an empty queue.
     int best = -1;
     uint64_t best_tail = 0;
     int empty = -1;
     for (int q = 0; q < numQueues(); ++q) {
-        const LatQueue &lq = queues_[static_cast<size_t>(q)];
-        if (lq.fifo.empty()) {
+        const QState &st = qs_[static_cast<size_t>(q)];
+        if (st.count == 0) {
             if (empty < 0)
                 empty = q;
             continue;
         }
-        if (lq.fifo.full())
+        if (st.count == static_cast<uint32_t>(queueSize_))
             continue;
-        if (lq.tailEstIssue + 1 <= est_issue &&
-            (best < 0 || lq.tailEstIssue > best_tail)) {
+        if (st.tailEstIssue + 1 <= est_issue &&
+            (best < 0 || st.tailEstIssue > best_tail)) {
             best = q;
-            best_tail = lq.tailEstIssue;
+            best_tail = st.tailEstIssue;
         }
     }
-    if (best >= 0)
-        return best;
-    return empty;
+    pickValid_ = true;
+    pickEst_ = est_issue;
+    pickMemo_ = best >= 0 ? best : empty;
+    return pickMemo_;
 }
 
 void
-LatFifoCluster::dispatch(DynInst *inst, uint64_t est_issue,
+LatFifoCluster::dispatch(InstIdx idx, uint64_t est_issue,
                          IssueContext &ctx)
 {
     int q = pickQueue(est_issue);
+    pickValid_ = false; // memo consumed; cluster state changes below
     if (q < 0)
         return; // caller gates on canDispatch
-    LatQueue &lq = queues_[static_cast<size_t>(q)];
-    lq.fifo.pushBack(inst);
-    lq.tailEstIssue = est_issue;
-    inst->queueId = q;
-    inst->dispatchCycle = ctx.cycle;
+    DynInst &inst = ctx.pool->get(idx);
+    pushBack(q, idx, inst);
+    qs_[static_cast<size_t>(q)].tailEstIssue = est_issue;
+    inst.queueId = q;
+    inst.dispatchCycle = ctx.cycle;
     ctx.counters->inc(power::ev::FifoWrites);
 }
 
 void
-LatFifoCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+LatFifoCluster::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
-    struct Head
-    {
-        int queue;
-        DynInst *inst;
-    };
-    Head heads[64];
-    int num_heads = 0;
-    for (int q = 0; q < numQueues(); ++q) {
-        auto &fifo = queues_[static_cast<size_t>(q)].fifo;
-        if (fifo.empty())
-            continue;
-        DynInst *inst = fifo.front();
-        ctx.counters->add(power::ev::RegsReadyReads,
-                          static_cast<uint64_t>(inst->numSrcs()));
-        if (num_heads < 64)
-            heads[num_heads++] = {q, inst};
-    }
-    std::sort(heads, heads + num_heads,
-              [](const Head &a, const Head &b) {
-                  return a.inst->seq < b.inst->seq;
-              });
+    // Gather/probe off the SlotMeta cache; only issuing instructions
+    // touch the DynInst slab.
+    pickValid_ = false; // issue mutates occupancy: drop any memo
+    if (size_ == 0)
+        return;
+    ctx.counters->add(power::ev::RegsReadyReads, headSrcSum_);
 
+    // Pops are deferred past the scan: popFront re-inserts the
+    // successor head, which must not be considered until next cycle,
+    // and deferring keeps the scan a read-only walk of the sorted
+    // list (no per-cycle snapshot copy).
+    int winners[IssueWidthPerCluster];
     int issued = 0;
-    for (int i = 0; i < num_heads && issued < IssueWidthPerCluster; ++i) {
-        DynInst *inst = heads[i].inst;
-        if (!ctx.scoreboard->readyToIssue(*inst, ctx.cycle))
+    for (size_t i = 0;
+         i < heads_.size() && issued < IssueWidthPerCluster; ++i) {
+        const HeadEntry &h = heads_[i];
+        const SlotMeta &m = h.meta;
+        if (!m.readyToIssue(*ctx.scoreboard, ctx.cycle))
             continue;
-        FuClass fc = fuClassFor(inst->op.op);
-        int fu_domain = distributedFus_ ? heads[i].queue : -1;
-        if (!ctx.fus->canIssue(fc, fu_domain, ctx.cycle))
+        int fu_domain = distributedFus_ ? h.queue : -1;
+        if (!ctx.fus->canIssue(m.fu, fu_domain, ctx.cycle))
             continue;
-        ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
-                            FuPool::occupancyFor(inst->op.op));
-        queues_[static_cast<size_t>(heads[i].queue)].fifo.popFront();
+        ctx.fus->markIssued(m.fu, fu_domain, ctx.cycle, m.fuOccupancy);
+        InstIdx idx = slots_[h.slot];
         ctx.counters->inc(power::ev::FifoReads);
-        countMuxIssue(*ctx.counters, fc);
-        inst->issued = true;
-        inst->issueCycle = ctx.cycle;
-        out.push_back(inst);
-        ++issued;
+        countMuxIssue(*ctx.counters, m.fu);
+        DynInst &inst = ctx.pool->get(idx);
+        inst.issued = true;
+        inst.issueCycle = ctx.cycle;
+        out.push_back(idx);
+        winners[issued++] = h.queue;
     }
+    for (int i = 0; i < issued; ++i)
+        popFront(winners[i]);
 }
 
-size_t
-LatFifoCluster::occupancy() const
+std::string
+LatFifoCluster::invariantViolation(const InstPool &pool) const
 {
-    size_t n = 0;
-    for (const auto &q : queues_)
-        n += q.fifo.size();
-    return n;
+    size_t total = 0;
+    for (int q = 0; q < numQueues(); ++q) {
+        const QState &st = qs_[static_cast<size_t>(q)];
+        if (nonEmpty_.test(static_cast<size_t>(q)) != (st.count > 0)) {
+            return "latfifo queue " + std::to_string(q) +
+                   " occupancy bit disagrees with count";
+        }
+        uint64_t prev_seq = 0;
+        for (uint32_t i = 0; i < st.count; ++i) {
+            uint32_t slot = slotAt(q, i);
+            InstIdx idx = slots_[slot];
+            if (idx == NoInst || !pool.isLive(idx))
+                return "latfifo queue " + std::to_string(q) +
+                       " holds a dead instruction handle";
+            uint64_t seq = pool.get(idx).seq;
+            if (meta_[slot].seq != seq)
+                return "latfifo queue " + std::to_string(q) +
+                       " cached slot metadata is stale at seq " +
+                       std::to_string(seq);
+            if (i > 0 && prev_seq >= seq)
+                return "latfifo queue " + std::to_string(q) +
+                       " not in program order at seq " +
+                       std::to_string(seq);
+            prev_seq = seq;
+        }
+        total += st.count;
+    }
+    if (total != size_)
+        return "latfifo per-queue counts sum to " +
+               std::to_string(total) + ", running size is " +
+               std::to_string(size_);
+
+    // The persistent candidate list must hold exactly the current head
+    // of every non-empty queue, in seq order, with fresh metadata.
+    std::vector<char> seen(qs_.size(), 0);
+    uint64_t src_sum = 0;
+    uint64_t prev_head_seq = 0;
+    for (size_t i = 0; i < heads_.size(); ++i) {
+        const HeadEntry &h = heads_[i];
+        if (h.queue < 0 || h.queue >= numQueues() ||
+            seen[static_cast<size_t>(h.queue)]++)
+            return "latfifo head list has a duplicate or bogus queue "
+                   "entry";
+        const QState &st = qs_[static_cast<size_t>(h.queue)];
+        if (st.count == 0)
+            return "latfifo head list names empty queue " +
+                   std::to_string(h.queue);
+        if (h.slot != slotAt(h.queue, 0) ||
+            h.meta.seq != meta_[h.slot].seq)
+            return "latfifo head list entry for queue " +
+                   std::to_string(h.queue) + " is stale";
+        if (i > 0 && prev_head_seq > h.meta.seq)
+            return "latfifo head list not sorted by seq";
+        prev_head_seq = h.meta.seq;
+        src_sum += h.meta.numSrcs;
+    }
+    for (int q = 0; q < numQueues(); ++q)
+        if (qs_[static_cast<size_t>(q)].count > 0 &&
+            !seen[static_cast<size_t>(q)])
+            return "latfifo non-empty queue " + std::to_string(q) +
+                   " missing from the head list";
+    if (src_sum != headSrcSum_)
+        return "latfifo cached head source-operand sum is stale";
+    return {};
 }
 
 } // namespace diq::core

@@ -13,7 +13,13 @@
  * younger instructions. Issue still happens from FIFO heads with
  * ready-bit checks.
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §1.
+ * Storage mirrors FifoCluster: a flat InstIdx slab partitioned into
+ * per-queue rings, a `nonEmpty` occupancy mask, and a persistent
+ * seq-sorted head list maintained incrementally on push/pop (the
+ * previous fixed heads[64] array silently dropped queues beyond the
+ * 64th).
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1, §10.
  */
 
 #ifndef DIQ_CORE_LAT_FIFO_CLUSTER_HH
@@ -23,7 +29,8 @@
 
 #include "core/dyn_inst.hh"
 #include "core/issue_scheme.hh"
-#include "util/circular_buffer.hh"
+#include "core/slot_meta.hh"
+#include "util/bit_words.hh"
 
 namespace diq::core
 {
@@ -42,26 +49,72 @@ class LatFifoCluster
         return pickQueue(est_issue) >= 0;
     }
 
-    void dispatch(DynInst *inst, uint64_t est_issue, IssueContext &ctx);
+    void dispatch(InstIdx idx, uint64_t est_issue, IssueContext &ctx);
 
     /** Heads probe regs_ready and issue when ready (oldest first). */
-    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+    void issue(IssueContext &ctx, std::vector<InstIdx> &out);
 
-    size_t occupancy() const;
-    int numQueues() const { return static_cast<int>(queues_.size()); }
+    size_t occupancy() const { return size_; }
+    int numQueues() const { return static_cast<int>(qs_.size()); }
+
+    /** Structural self-check (see IssueScheme::invariantViolation). */
+    std::string invariantViolation(const InstPool &pool) const;
 
   private:
-    struct LatQueue
+    /** Ring state of one FIFO; its slots live in the shared slab. */
+    struct QState
     {
-        util::CircularBuffer<DynInst *> fifo;
+        uint32_t head = 0;
+        uint32_t count = 0;
         uint64_t tailEstIssue = 0;
-
-        explicit LatQueue(size_t cap) : fifo(cap) {}
     };
+
+    /**
+     * One FIFO head, kept in a persistent seq-sorted candidate list
+     * (see FifoCluster::HeadEntry for the rationale).
+     */
+    struct HeadEntry
+    {
+        int queue;
+        uint32_t slot; ///< slab index (meta_/slots_)
+        SlotMeta meta;
+    };
+
+    uint32_t slotAt(int q, uint32_t pos) const
+    {
+        const QState &st = qs_[static_cast<size_t>(q)];
+        uint32_t off = st.head + pos;
+        if (off >= static_cast<uint32_t>(queueSize_))
+            off -= static_cast<uint32_t>(queueSize_);
+        return static_cast<uint32_t>(q) *
+                   static_cast<uint32_t>(queueSize_) + off;
+    }
+
+    void pushBack(int q, InstIdx idx, const DynInst &inst);
+    InstIdx popFront(int q);
+
+    /** Insert queue q's current head into the sorted candidate list. */
+    void insertHead(int q);
+    /** Remove queue q's entry from the candidate list. */
+    void eraseHead(int q);
 
     int queueSize_;
     bool distributedFus_;
-    std::vector<LatQueue> queues_;
+    std::vector<InstIdx> slots_;
+    std::vector<SlotMeta> meta_; ///< cached issue facts, per slot
+    std::vector<QState> qs_;
+    util::BitWords nonEmpty_;
+    size_t size_ = 0;
+    std::vector<HeadEntry> heads_; ///< seq-sorted, one per non-empty queue
+    uint64_t headSrcSum_ = 0; ///< sum of heads_[i].meta.numSrcs
+
+    /** canDispatch probes and the following dispatch make the same
+     *  placement decision; the memo spares the second queue scan. It
+     *  lives only from probe to dispatch: issue() and dispatch() drop
+     *  it before mutating any state the decision depends on. */
+    mutable bool pickValid_ = false;
+    mutable uint64_t pickEst_ = 0;
+    mutable int pickMemo_ = -1;
 };
 
 } // namespace diq::core

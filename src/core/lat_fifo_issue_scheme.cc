@@ -30,24 +30,25 @@ LatFifoIssueScheme::canDispatch(const DynInst &inst,
 }
 
 void
-LatFifoIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+LatFifoIssueScheme::dispatch(InstIdx idx, IssueContext &ctx)
 {
+    const DynInst &inst = ctx.pool->get(idx);
     ctx.counters->add(power::ev::QrenameReads,
-                      static_cast<uint64_t>(inst->numSrcs()));
-    if (inst->hasDest())
+                      static_cast<uint64_t>(inst.numSrcs()));
+    if (inst.hasDest())
         ctx.counters->inc(power::ev::QrenameWrites);
 
     // Every instruction trains the estimator; only FP placement uses
     // the resulting estimate directly.
-    uint64_t est = estimator_.onDispatch(*inst, ctx.cycle);
-    if (inst->isFpPipe())
-        fp_.dispatch(inst, est, ctx);
+    uint64_t est = estimator_.onDispatch(inst, ctx.cycle);
+    if (inst.isFpPipe())
+        fp_.dispatch(idx, est, ctx);
     else
-        int_.dispatch(inst, table_, ctx);
+        int_.dispatch(idx, table_, ctx);
 }
 
 void
-LatFifoIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+LatFifoIssueScheme::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     int_.issue(ctx, out);
     fp_.issue(ctx, out);
@@ -64,14 +65,25 @@ void
 LatFifoIssueScheme::onBranchMispredict(IssueContext &ctx)
 {
     (void)ctx;
-    if (config_.clearTableOnMispredict)
+    if (config_.clearTableOnMispredict) {
         table_.clear();
+        int_.dropSteerMemo();
+    }
 }
 
 size_t
 LatFifoIssueScheme::occupancy() const
 {
     return int_.occupancy() + fp_.occupancy();
+}
+
+std::string
+LatFifoIssueScheme::invariantViolation(const InstPool &pool) const
+{
+    std::string v = int_.invariantViolation(pool);
+    if (v.empty())
+        v = fp_.invariantViolation(pool);
+    return v;
 }
 
 std::string

@@ -1,11 +1,17 @@
 /**
  * @file
- * Implementation of core/mixbuff_cluster.hh (docs/ARCHITECTURE.md §1).
+ * Implementation of core/mixbuff_cluster.hh (docs/ARCHITECTURE.md §1,
+ * §10). Selection semantics are exactly the entry-walk formulation:
+ * within a code class the min-seq occupant wins, so scanning the
+ * class-00 member union first and falling back to class 01 reproduces
+ * the (code, age) minimum; a freed chain is provably memberless (its
+ * last instruction is also its oldest unissued one at the moment it
+ * issues), so stale counters can never nominate ghosts.
  */
 
 #include "core/mixbuff_cluster.hh"
 
-#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "core/mux_counting.hh"
@@ -14,18 +20,65 @@
 namespace diq::core
 {
 
+namespace
+{
+
+constexpr size_t WB = util::BitWords::WordBits;
+
+inline void
+setBit(uint64_t *words, size_t i)
+{
+    words[i / WB] |= uint64_t(1) << (i % WB);
+}
+
+inline void
+clearBit(uint64_t *words, size_t i)
+{
+    words[i / WB] &= ~(uint64_t(1) << (i % WB));
+}
+
+inline bool
+testBit(const uint64_t *words, size_t i)
+{
+    return (words[i / WB] >> (i % WB)) & 1;
+}
+
+inline bool
+anySet(const std::vector<uint64_t> &words)
+{
+    for (uint64_t w : words)
+        if (w)
+            return true;
+    return false;
+}
+
+} // namespace
+
 MixBuffCluster::MixBuffCluster(int num_queues, int queue_size,
                                int chains_per_queue, bool distributed_fus,
                                uint32_t counter_max)
     : queueSize_(queue_size), chainsPerQueue_(chains_per_queue),
-      distributedFus_(distributed_fus), counterMax_(counter_max)
+      distributedFus_(distributed_fus), counterMax_(counter_max),
+      wordsPer_((static_cast<size_t>(queue_size) +
+                 util::BitWords::WordBits - 1) /
+                util::BitWords::WordBits)
 {
     queues_.resize(static_cast<size_t>(num_queues));
     for (auto &q : queues_) {
-        q.entries.reserve(static_cast<size_t>(queue_size));
+        q.slotInst.assign(static_cast<size_t>(queue_size), NoInst);
+        q.slotSeq.assign(static_cast<size_t>(queue_size), 0);
+        q.slotMeta.assign(static_cast<size_t>(queue_size), SlotMeta{});
+        q.slotChain.assign(static_cast<size_t>(queue_size), -1);
+        q.slotLat.assign(static_cast<size_t>(queue_size), 0);
+        q.nextInChain.assign(static_cast<size_t>(queue_size), NoSlot);
+        q.valid.resize(static_cast<size_t>(queue_size));
         int init_chains = chainsPerQueue_ > 0 ? chainsPerQueue_ : 4;
         for (int c = 0; c < init_chains; ++c)
             q.chains.emplace_back(counterMax_);
+        q.busyW.assign((q.chains.size() + util::BitWords::WordBits - 1) /
+                           util::BitWords::WordBits,
+                       0);
+        q.memberW.assign(q.chains.size() * wordsPer_, 0);
     }
 }
 
@@ -59,6 +112,12 @@ std::optional<ChainPlacement>
 MixBuffCluster::pickPlacement(const DynInst &inst,
                               const QueueRenameTable &table) const
 {
+    // canDispatch immediately precedes dispatch for the same
+    // instruction with no intervening cluster mutation, so a
+    // successful placement can be handed straight back.
+    if (placeSeq_ == inst.seq && inst.seq != 0)
+        return placeMemo_;
+
     // 1) Join a producer's chain, first operand first (IssueFIFO-like).
     for (int8_t src : {inst.op.src1, inst.op.src2}) {
         if (src == trace::NoReg)
@@ -67,9 +126,10 @@ MixBuffCluster::pickPlacement(const DynInst &inst,
         if (!chainMappingValid(m))
             continue;
         const Queue &q = queues_[static_cast<size_t>(m.queue)];
-        if (q.entries.size() <
-            static_cast<size_t>(queueSize_)) {
-            return ChainPlacement{m.queue, m.chain, false};
+        if (q.count < static_cast<uint32_t>(queueSize_)) {
+            placeSeq_ = inst.seq;
+            placeMemo_ = ChainPlacement{m.queue, m.chain, false};
+            return placeMemo_;
         }
     }
 
@@ -81,13 +141,15 @@ MixBuffCluster::pickPlacement(const DynInst &inst,
     for (int c = 0; c < max_chains; ++c) {
         for (int q = 0; q < numQueues(); ++q) {
             const Queue &qu = queues_[static_cast<size_t>(q)];
-            if (qu.entries.size() >= static_cast<size_t>(queueSize_))
+            if (qu.count >= static_cast<uint32_t>(queueSize_))
                 continue;
             if (c < static_cast<int>(qu.chains.size()) &&
                 qu.chains[static_cast<size_t>(c)].busy) {
                 continue;
             }
-            return ChainPlacement{q, c, true};
+            placeSeq_ = inst.seq;
+            placeMemo_ = ChainPlacement{q, c, true};
+            return placeMemo_;
         }
     }
     return std::nullopt; // stall dispatch
@@ -104,69 +166,134 @@ MixBuffCluster::chainLatencyFor(const DynInst &inst) const
 }
 
 void
-MixBuffCluster::dispatch(DynInst *inst, QueueRenameTable &table,
+MixBuffCluster::growChains(Queue &q, int chain)
+{
+    while (chain >= static_cast<int>(q.chains.size())) {
+        q.chains.emplace_back(counterMax_); // unbounded growth
+        q.memberW.insert(q.memberW.end(), wordsPer_, 0);
+    }
+    size_t busy_words = (q.chains.size() + util::BitWords::WordBits - 1) /
+                        util::BitWords::WordBits;
+    if (busy_words > q.busyW.size())
+        q.busyW.resize(busy_words, 0);
+}
+
+void
+MixBuffCluster::removeSlot(Queue &q, uint32_t slot, int chain)
+{
+    Chain &c = q.chains[static_cast<size_t>(chain)];
+    // Members of one chain share its code, so the oldest always wins
+    // selection first: removal is always the list head.
+    assert(c.headSlot == slot && "mixbuff issue not from chain head");
+    c.headSlot = q.nextInChain[slot];
+    if (c.headSlot == NoSlot)
+        c.tailSlot = NoSlot;
+    q.nextInChain[slot] = NoSlot;
+    q.valid.clear(slot);
+    memberRow(q, chain)[slot / util::BitWords::WordBits] &=
+        ~(uint64_t(1) << (slot % util::BitWords::WordBits));
+    q.slotInst[slot] = NoInst;
+    --q.count;
+    --size_;
+}
+
+void
+MixBuffCluster::dispatch(InstIdx idx, QueueRenameTable &table,
                          IssueContext &ctx)
 {
-    auto placement = pickPlacement(*inst, table);
+    DynInst &inst = ctx.pool->get(idx);
+    auto placement = pickPlacement(inst, table);
+    placeSeq_ = 0; // memo consumed; cluster state changes below
     if (!placement)
         return; // caller gates on canDispatch
     Queue &q = queues_[static_cast<size_t>(placement->queue)];
-    while (placement->chain >= static_cast<int>(q.chains.size()))
-        q.chains.emplace_back(counterMax_); // unbounded growth
+    growChains(q, placement->chain);
     Chain &c = q.chains[static_cast<size_t>(placement->chain)];
 
     if (placement->newChain) {
         c.busy = true;
+        setBit(q.busyW.data(), static_cast<size_t>(placement->chain));
         c.counter.load(0); // no issued predecessor: "finished" class
     }
-    c.lastSeq = inst->seq;
+    c.lastSeq = inst.seq;
     c.lastIssued = false;
 
-    q.entries.push_back(inst);
-    inst->queueId = placement->queue;
-    inst->chainId = placement->chain;
-    inst->dispatchCycle = ctx.cycle;
+    size_t slot = q.valid.findFirstClear(static_cast<size_t>(queueSize_));
+    assert(slot != util::BitWords::npos && "dispatch into a full queue");
+    q.slotInst[slot] = idx;
+    q.slotSeq[slot] = inst.seq;
+    q.slotMeta[slot] = SlotMeta::of(inst);
+    q.slotChain[slot] = placement->chain;
+    q.slotLat[slot] = chainLatencyFor(inst);
+    q.valid.set(slot);
+    setBit(memberRow(q, placement->chain), slot);
+    // Append as youngest member: dispatch is in program order, so the
+    // chain list stays sorted by seq without comparisons.
+    uint32_t s32 = static_cast<uint32_t>(slot);
+    q.nextInChain[s32] = NoSlot;
+    if (c.tailSlot == NoSlot)
+        c.headSlot = s32;
+    else
+        q.nextInChain[c.tailSlot] = s32;
+    c.tailSlot = s32;
+    ++q.count;
+    ++size_;
+
+    inst.queueId = placement->queue;
+    inst.chainId = placement->chain;
+    inst.dispatchCycle = ctx.cycle;
     ctx.counters->inc(power::ev::BuffWrites);
-    if (inst->hasDest()) {
-        table.update(inst->op.dest, /*fp_cluster=*/true, placement->queue,
-                     placement->chain, inst->seq);
+    if (inst.hasDest()) {
+        table.update(inst.op.dest, /*fp_cluster=*/true, placement->queue,
+                     placement->chain, inst.seq);
     }
 }
 
 void
-MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+MixBuffCluster::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     namespace ev = diq::power::ev;
+    InstPool &pool = *ctx.pool;
+    placeSeq_ = 0; // issue mutates occupancy: drop any placement memo
     for (int qi = 0; qi < numQueues(); ++qi) {
         Queue &q = queues_[static_cast<size_t>(qi)];
         q.justLoadedChain = -1;
 
-        // --- Phase A: try to issue the instruction selected last cycle.
-        if (DynInst *inst = q.selected) {
-            q.selected = nullptr;
-            ctx.counters->add(ev::RegsReadyReads,
-                              static_cast<uint64_t>(inst->numSrcs()));
-            FuClass fc = fuClassFor(inst->op.op);
-            int fu_domain = distributedFus_ ? qi : -1;
-            if (ctx.scoreboard->readyToIssue(*inst, ctx.cycle) &&
-                ctx.fus->canIssue(fc, fu_domain, ctx.cycle)) {
-                ctx.fus->markIssued(fc, fu_domain, ctx.cycle,
-                                    FuPool::occupancyFor(inst->op.op));
-                auto it = std::find(q.entries.begin(), q.entries.end(),
-                                    inst);
-                assert(it != q.entries.end());
-                q.entries.erase(it);
-                ctx.counters->inc(ev::BuffReads);
-                countMuxIssue(*ctx.counters, fc);
-                inst->issued = true;
-                inst->issueCycle = ctx.cycle;
-                out.push_back(inst);
+        // Fast path: a queue with no occupants, no latched selection
+        // and no busy chain has nothing to do this cycle — no issue
+        // try, no sweep (the ChainSweeps gate below would be false),
+        // no candidates. Common for the FP cluster on integer codes.
+        if (q.selectedSlot < 0 && q.count == 0 && !anySet(q.busyW))
+            continue;
 
-                Chain &c =
-                    q.chains[static_cast<size_t>(inst->chainId)];
-                c.counter.load(chainLatencyFor(*inst));
-                q.justLoadedChain = inst->chainId;
-                if (c.lastSeq == inst->seq)
+        // --- Phase A: try to issue the instruction selected last cycle.
+        // The probe runs off the SlotMeta cache; the DynInst slab is
+        // only touched when the instruction actually issues.
+        if (q.selectedSlot >= 0) {
+            uint32_t slot = static_cast<uint32_t>(q.selectedSlot);
+            q.selectedSlot = -1;
+            const SlotMeta &m = q.slotMeta[slot];
+            ctx.counters->add(ev::RegsReadyReads,
+                              static_cast<uint64_t>(m.numSrcs));
+            int fu_domain = distributedFus_ ? qi : -1;
+            if (m.readyToIssue(*ctx.scoreboard, ctx.cycle) &&
+                ctx.fus->canIssue(m.fu, fu_domain, ctx.cycle)) {
+                ctx.fus->markIssued(m.fu, fu_domain, ctx.cycle,
+                                    m.fuOccupancy);
+                InstIdx idx = q.slotInst[slot];
+                int chain = q.slotChain[slot];
+                removeSlot(q, slot, chain);
+                ctx.counters->inc(ev::BuffReads);
+                countMuxIssue(*ctx.counters, m.fu);
+                DynInst &inst = pool.get(idx);
+                inst.issued = true;
+                inst.issueCycle = ctx.cycle;
+                out.push_back(idx);
+
+                Chain &c = q.chains[static_cast<size_t>(chain)];
+                c.counter.load(q.slotLat[slot]);
+                q.justLoadedChain = chain;
+                if (c.lastSeq == m.seq)
                     c.lastIssued = true;
             }
             // On failure the instruction simply stays buffered; its
@@ -174,60 +301,65 @@ MixBuffCluster::issue(IssueContext &ctx, std::vector<DynInst *> &out)
             // to the 01 "delayed" class.
         }
 
-        // --- Phase B: chain latency table sweep (decrement all but the
-        // just-loaded entry; free chains whose work is fully drained).
+        // --- Phases B+C, one sweep over the busy bits.
+        // B: chain latency table tick (decrement all but the
+        // just-loaded entry; free chains whose work is fully drained;
+        // a freed chain is provably memberless — file header — so its
+        // member row needs no clearing).
+        // C: select next cycle's candidate: the minimum of (2-bit
+        // chain code ++ age) over the occupants (Figure 5). Members
+        // of one chain share its code, so a chain's oldest member
+        // (the list head) outranks its siblings: the (code, age)
+        // minimum is the best (code, head seq) over the busy chains —
+        // one compare per chain instead of a sweep per slot. Non-busy
+        // chains own no slots, so the busy bits cover every
+        // candidate, and each chain's classification only depends on
+        // its own just-ticked counter, so C folds into B's walk.
         bool any_busy = false;
-        for (size_t ci = 0; ci < q.chains.size(); ++ci) {
-            Chain &c = q.chains[ci];
-            if (!c.busy)
-                continue;
-            if (static_cast<int>(ci) != q.justLoadedChain)
-                c.counter.tick();
-            if (c.lastIssued && c.counter.zero()) {
-                c.busy = false; // chain drained: identifier reusable
-            } else {
+        int best00 = -1, best01 = -1;
+        uint64_t seq00 = 0, seq01 = 0;
+        for (size_t wi = 0; wi < q.busyW.size(); ++wi) {
+            uint64_t w = q.busyW[wi];
+            while (w) {
+                size_t ci = wi * WB +
+                            static_cast<size_t>(std::countr_zero(w));
+                w &= w - 1;
+                Chain &c = q.chains[ci];
+                if (static_cast<int>(ci) != q.justLoadedChain)
+                    c.counter.tick();
+                if (c.lastIssued && c.counter.zero()) {
+                    // Chain drained: identifier reusable.
+                    c.busy = false;
+                    clearBit(q.busyW.data(), ci);
+                    continue; // memberless: cannot be a candidate
+                }
                 any_busy = true;
+                if (c.headSlot == NoSlot)
+                    continue; // no unissued members: nothing requests
+                ChainCode code = codeFor(c.counter.value());
+                if (code == ChainCode::Busy)
+                    continue; // >= 2 cycles away: not a request
+                uint64_t seq = q.slotSeq[c.headSlot];
+                if (code == ChainCode::FinishesNextCycle) {
+                    if (best00 < 0 || seq < seq00) {
+                        best00 = static_cast<int>(c.headSlot);
+                        seq00 = seq;
+                    }
+                } else if (best01 < 0 || seq < seq01) {
+                    best01 = static_cast<int>(c.headSlot);
+                    seq01 = seq;
+                }
             }
         }
-        if (any_busy || !q.entries.empty())
+        if (any_busy || q.count > 0)
             ctx.counters->inc(ev::ChainSweeps);
-
-        // --- Phase C: select next cycle's candidate: the minimum of
-        // (2-bit chain code ++ age) over the occupants (Figure 5).
-        DynInst *best = nullptr;
-        ChainCode best_code = ChainCode::Busy;
-        uint64_t candidates = 0;
-        for (DynInst *e : q.entries) {
-            ChainCode code = codeFor(
-                q.chains[static_cast<size_t>(e->chainId)]
-                    .counter.value());
-            if (code == ChainCode::Busy)
-                continue; // >= 2 cycles away: not a request
-            ++candidates;
-            if (!best || static_cast<uint8_t>(code) <
-                    static_cast<uint8_t>(best_code) ||
-                (code == best_code && e->seq < best->seq)) {
-                best = e;
-                best_code = code;
-            }
-        }
         // One selection-tree activation per queue with any candidate.
-        if (candidates > 0)
+        if (best00 >= 0 || best01 >= 0) {
             ctx.counters->inc(ev::SelectRequests);
-        if (best) {
-            q.selected = best;
+            q.selectedSlot = best00 >= 0 ? best00 : best01;
             ctx.counters->inc(ev::RegLatches);
         }
     }
-}
-
-size_t
-MixBuffCluster::occupancy() const
-{
-    size_t n = 0;
-    for (const auto &q : queues_)
-        n += q.entries.size();
-    return n;
 }
 
 uint32_t
@@ -249,9 +381,13 @@ MixBuffCluster::chainBusy(int queue, int chain) const
 }
 
 const DynInst *
-MixBuffCluster::selectedInst(int queue) const
+MixBuffCluster::selectedInst(const InstPool &pool, int queue) const
 {
-    return queues_[static_cast<size_t>(queue)].selected;
+    const Queue &q = queues_[static_cast<size_t>(queue)];
+    if (q.selectedSlot < 0)
+        return nullptr;
+    return &pool.get(
+        q.slotInst[static_cast<size_t>(q.selectedSlot)]);
 }
 
 int
@@ -262,6 +398,124 @@ MixBuffCluster::busyChains(int queue) const
     for (const auto &c : q.chains)
         n += c.busy ? 1 : 0;
     return n;
+}
+
+std::string
+MixBuffCluster::invariantViolation(const InstPool &pool) const
+{
+    for (int qi = 0; qi < numQueues(); ++qi) {
+        const Queue &q = queues_[static_cast<size_t>(qi)];
+        if (q.valid.count() != q.count)
+            return "mixbuff queue " + std::to_string(qi) +
+                   " valid mask holds " +
+                   std::to_string(q.valid.count()) +
+                   " slots, count is " + std::to_string(q.count);
+        // Member rows: pairwise disjoint, union == valid, and only
+        // busy chains own slots. The busy bitmask must mirror the
+        // per-chain busy flags it summarises.
+        util::BitWords unionMask(q.valid.size());
+        for (size_t ci = 0; ci < q.chains.size(); ++ci) {
+            if (q.chains[ci].busy != testBit(q.busyW.data(), ci))
+                return "mixbuff queue " + std::to_string(qi) +
+                       " busy bitmask disagrees with chain " +
+                       std::to_string(ci);
+            const uint64_t *mem = memberRow(q, static_cast<int>(ci));
+            uint64_t any = 0;
+            for (size_t wi = 0; wi < wordsPer_; ++wi) {
+                if (unionMask.word(wi) & mem[wi])
+                    return "mixbuff queue " + std::to_string(qi) +
+                           " slot owned by two chains";
+                unionMask.word(wi) |= mem[wi];
+                any |= mem[wi];
+            }
+            if (any && !q.chains[ci].busy)
+                return "mixbuff queue " + std::to_string(qi) +
+                       " freed chain " + std::to_string(ci) +
+                       " still owns slots";
+            // The intrusive member list must walk exactly the member
+            // row, oldest first in strictly increasing seq.
+            const Chain &ch = q.chains[ci];
+            uint32_t walked = 0;
+            uint32_t prev = NoSlot;
+            uint64_t prev_seq = 0;
+            for (uint32_t s = ch.headSlot; s != NoSlot;
+                 s = q.nextInChain[s]) {
+                if (s >= static_cast<uint32_t>(queueSize_))
+                    return "mixbuff queue " + std::to_string(qi) +
+                           " chain list holds out-of-range slot";
+                if (!testBit(mem, s))
+                    return "mixbuff queue " + std::to_string(qi) +
+                           " chain list visits a non-member slot";
+                if (walked > 0 && q.slotSeq[s] <= prev_seq)
+                    return "mixbuff queue " + std::to_string(qi) +
+                           " chain list not strictly increasing in age";
+                prev_seq = q.slotSeq[s];
+                prev = s;
+                if (++walked > q.count)
+                    return "mixbuff queue " + std::to_string(qi) +
+                           " chain list longer than occupancy (cycle?)";
+            }
+            uint32_t owned = 0;
+            for (size_t wi = 0; wi < wordsPer_; ++wi)
+                owned += static_cast<uint32_t>(
+                    std::popcount(mem[wi]));
+            if (walked != owned)
+                return "mixbuff queue " + std::to_string(qi) +
+                       " chain list visits " + std::to_string(walked) +
+                       " of " + std::to_string(owned) + " members";
+            if (ch.tailSlot != prev)
+                return "mixbuff queue " + std::to_string(qi) +
+                       " chain tail does not terminate the list";
+        }
+        if (!(unionMask == q.valid))
+            return "mixbuff queue " + std::to_string(qi) +
+                   " chain membership does not partition the occupants";
+        std::string bad;
+        q.valid.forEachSet([&](size_t s) {
+            if (!bad.empty())
+                return;
+            InstIdx idx = q.slotInst[s];
+            if (idx == NoInst || !pool.isLive(idx)) {
+                bad = "mixbuff queue " + std::to_string(qi) +
+                      " holds a dead instruction handle";
+                return;
+            }
+            const DynInst &inst = pool.get(idx);
+            if (inst.queueId != qi || inst.chainId < 0 ||
+                inst.chainId >= static_cast<int>(q.chains.size()) ||
+                !testBit(memberRow(q, inst.chainId), s)) {
+                bad = "mixbuff queue " + std::to_string(qi) +
+                      " occupant seq " + std::to_string(inst.seq) +
+                      " disagrees with its chain membership";
+                return;
+            }
+            if (q.slotSeq[s] != inst.seq) {
+                bad = "mixbuff queue " + std::to_string(qi) +
+                      " slot age id disagrees with occupant seq " +
+                      std::to_string(inst.seq);
+                return;
+            }
+            if (q.slotMeta[s].seq != inst.seq ||
+                q.slotChain[s] != inst.chainId) {
+                bad = "mixbuff queue " + std::to_string(qi) +
+                      " cached slot metadata is stale at seq " +
+                      std::to_string(inst.seq);
+            }
+        });
+        if (!bad.empty())
+            return bad;
+        if (q.selectedSlot >= 0 &&
+            !q.valid.test(static_cast<size_t>(q.selectedSlot)))
+            return "mixbuff queue " + std::to_string(qi) +
+                   " latched selection points at an empty slot";
+    }
+    size_t total = 0;
+    for (const auto &q : queues_)
+        total += q.count;
+    if (total != size_)
+        return "mixbuff per-queue counts sum to " + std::to_string(total) +
+               ", running size is " + std::to_string(size_);
+    return {};
 }
 
 } // namespace diq::core

@@ -35,7 +35,17 @@
  * chain identifier in the priority order chain0/queue0, chain0/queue1,
  * ..., chain1/queue0, ... which balances busy chains across queues.
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §1.
+ * Storage: each queue is a fixed slot slab (InstIdx handles + a
+ * `valid` occupancy mask) and each chain owns a membership bitmask
+ * over those slots plus an intrusive slot list in dispatch order.
+ * Because members of one chain share the chain's code, the oldest
+ * member always outranks its siblings, so chain members issue
+ * strictly front-to-back and the selection minimum over a code class
+ * is the min-seq *chain head* — a compare per busy chain instead of a
+ * sweep per slot. Issue removal is a couple of bit clears plus a list
+ * head pop instead of a vector erase.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1, §10.
  */
 
 #ifndef DIQ_CORE_MIXBUFF_CLUSTER_HH
@@ -43,11 +53,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/dyn_inst.hh"
 #include "core/issue_scheme.hh"
 #include "core/queue_rename_table.hh"
+#include "core/slot_meta.hh"
+#include "util/bit_words.hh"
 #include "util/saturating_counter.hh"
 
 namespace diq::core
@@ -94,33 +107,40 @@ class MixBuffCluster
         return pickPlacement(inst, table).has_value();
     }
 
-    void dispatch(DynInst *inst, QueueRenameTable &table,
+    void dispatch(InstIdx idx, QueueRenameTable &table,
                   IssueContext &ctx);
 
     /**
      * One cycle: try to issue each queue's latched selection, advance
      * the chain latency tables, then select next cycle's candidates.
      */
-    void issue(IssueContext &ctx, std::vector<DynInst *> &out);
+    void issue(IssueContext &ctx, std::vector<InstIdx> &out);
 
-    size_t occupancy() const;
+    size_t occupancy() const { return size_; }
     int numQueues() const { return static_cast<int>(queues_.size()); }
 
     /** Compress a counter value to its 2-bit code (paper §3.2.1). */
     static ChainCode codeFor(uint32_t counter_value);
 
+    /** Structural self-check (see IssueScheme::invariantViolation). */
+    std::string invariantViolation(const InstPool &pool) const;
+
     // --- Test introspection -------------------------------------------
     uint32_t chainCounter(int queue, int chain) const;
     bool chainBusy(int queue, int chain) const;
-    const DynInst *selectedInst(int queue) const;
+    const DynInst *selectedInst(const InstPool &pool, int queue) const;
     int busyChains(int queue) const;
 
   private:
+    static constexpr uint32_t NoSlot = 0xFFFFFFFFu;
+
     struct Chain
     {
         bool busy = false;
         bool lastIssued = false;  ///< last instruction has issued
         uint64_t lastSeq = 0;     ///< seq of the chain's last instruction
+        uint32_t headSlot = NoSlot; ///< oldest member (next to issue)
+        uint32_t tailSlot = NoSlot; ///< youngest member
         util::SaturatingDownCounter counter;
 
         explicit Chain(uint32_t max) : counter(max) {}
@@ -128,11 +148,42 @@ class MixBuffCluster
 
     struct Queue
     {
-        std::vector<DynInst *> entries;
+        std::vector<InstIdx> slotInst;  ///< queueSize slots
+        std::vector<uint64_t> slotSeq;  ///< occupant age ids (select key)
+        std::vector<SlotMeta> slotMeta; ///< cached issue facts
+        std::vector<int32_t> slotChain; ///< occupant's chain id
+        std::vector<uint32_t> slotLat;  ///< occupant's chain latency
+        /** Next-younger member of the same chain (intrusive list). */
+        std::vector<uint32_t> nextInChain;
+        util::BitWords valid;           ///< slot occupied
+        uint32_t count = 0;
         std::vector<Chain> chains;
-        DynInst *selected = nullptr;
+        /**
+         * Chain occupancy, stored flat for the per-cycle sweeps:
+         * busyW has one bit per chain; memberW holds chain ci's
+         * occupants as `wordsPer_` slot-mask words at ci * wordsPer_.
+         * Only busy chains may own slots, so sweeping the busy bits
+         * visits every member list that can matter.
+         */
+        std::vector<uint64_t> busyW;
+        std::vector<uint64_t> memberW;
+        int selectedSlot = -1;
         int justLoadedChain = -1;
     };
+
+    uint64_t *memberRow(Queue &q, int chain)
+    {
+        return q.memberW.data() +
+               static_cast<size_t>(chain) * wordsPer_;
+    }
+    const uint64_t *memberRow(const Queue &q, int chain) const
+    {
+        return q.memberW.data() +
+               static_cast<size_t>(chain) * wordsPer_;
+    }
+
+    void growChains(Queue &q, int chain);
+    void removeSlot(Queue &q, uint32_t slot, int chain);
 
     bool chainMappingValid(const QueueMapping &m) const;
     unsigned chainLatencyFor(const DynInst &inst) const;
@@ -142,7 +193,12 @@ class MixBuffCluster
     bool distributedFus_;
     uint32_t counterMax_;
     unsigned l1dHitLatency_ = 2;
+    size_t wordsPer_; ///< slot-mask words per chain row
+    size_t size_ = 0; ///< total occupants across queues
     std::vector<Queue> queues_;
+    /** canDispatch → dispatch placement memo (same instruction). */
+    mutable uint64_t placeSeq_ = 0;
+    mutable ChainPlacement placeMemo_;
 };
 
 } // namespace diq::core

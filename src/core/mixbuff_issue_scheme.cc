@@ -31,20 +31,21 @@ MixBuffIssueScheme::canDispatch(const DynInst &inst,
 }
 
 void
-MixBuffIssueScheme::dispatch(DynInst *inst, IssueContext &ctx)
+MixBuffIssueScheme::dispatch(InstIdx idx, IssueContext &ctx)
 {
+    const DynInst &inst = ctx.pool->get(idx);
     ctx.counters->add(power::ev::QrenameReads,
-                      static_cast<uint64_t>(inst->numSrcs()));
-    if (inst->hasDest())
+                      static_cast<uint64_t>(inst.numSrcs()));
+    if (inst.hasDest())
         ctx.counters->inc(power::ev::QrenameWrites);
-    if (inst->isFpPipe())
-        fp_.dispatch(inst, table_, ctx);
+    if (inst.isFpPipe())
+        fp_.dispatch(idx, table_, ctx);
     else
-        int_.dispatch(inst, table_, ctx);
+        int_.dispatch(idx, table_, ctx);
 }
 
 void
-MixBuffIssueScheme::issue(IssueContext &ctx, std::vector<DynInst *> &out)
+MixBuffIssueScheme::issue(IssueContext &ctx, std::vector<InstIdx> &out)
 {
     int_.issue(ctx, out);
     fp_.issue(ctx, out);
@@ -61,14 +62,25 @@ void
 MixBuffIssueScheme::onBranchMispredict(IssueContext &ctx)
 {
     (void)ctx;
-    if (config_.clearTableOnMispredict)
+    if (config_.clearTableOnMispredict) {
         table_.clear();
+        int_.dropSteerMemo();
+    }
 }
 
 size_t
 MixBuffIssueScheme::occupancy() const
 {
     return int_.occupancy() + fp_.occupancy();
+}
+
+std::string
+MixBuffIssueScheme::invariantViolation(const InstPool &pool) const
+{
+    std::string v = int_.invariantViolation(pool);
+    if (v.empty())
+        v = fp_.invariantViolation(pool);
+    return v;
 }
 
 std::string

@@ -1,8 +1,18 @@
 /**
  * @file
- * Implementation of core/scoreboard.hh (docs/ARCHITECTURE.md §1).
- * The per-register accessors are header-inline (hot path); only
- * construction and whole-table reset live here.
+ * Implementation of core/scoreboard.hh (docs/ARCHITECTURE.md §1, §10).
+ * The per-register accessors are header-inline (hot path); the
+ * future-wake ring that keeps the one-bit-per-register ready mask in
+ * step with the ready-cycle array lives here.
+ *
+ * Ring correctness relies on one guard: a slot entry is only a *hint*
+ * that some register was once scheduled to wake at that cycle. The
+ * fire path re-checks ready_[] against the slot's cycle, so stale
+ * entries (the register was re-marked pending or rescheduled since)
+ * fall through harmlessly and the invariant
+ *     readyMask_.test(r) == (ready_[r] <= synced_)
+ * holds after every syncTo — which maskConsistent() lets the property
+ * suite verify wholesale.
  */
 
 #include "core/scoreboard.hh"
@@ -11,8 +21,11 @@ namespace diq::core
 {
 
 Scoreboard::Scoreboard(int num_phys_regs)
-    : ready_(static_cast<size_t>(num_phys_regs), 0)
+    : ready_(static_cast<size_t>(num_phys_regs), 0),
+      readyMask_(static_cast<size_t>(num_phys_regs)),
+      ring_(RingSlots)
 {
+    readyMask_.setAll(); // everything available at cycle 0
 }
 
 void
@@ -20,6 +33,109 @@ Scoreboard::reset()
 {
     for (auto &r : ready_)
         r = 0;
+    readyMask_.setAll();
+    if (hook_) {
+        for (size_t r = 0; r < ready_.size(); ++r)
+            hook_(hookObj_, static_cast<int>(r));
+    }
+    for (auto &slot : ring_)
+        slot.clear();
+    far_.clear();
+}
+
+void
+Scoreboard::scheduleWake(int phys_reg, uint64_t cycle)
+{
+    if (cycle - synced_ < RingSlots)
+        ring_[cycle % RingSlots].push_back(phys_reg);
+    else
+        far_.push_back(phys_reg);
+}
+
+void
+Scoreboard::syncTo(uint64_t cycle)
+{
+    if (cycle <= synced_)
+        return;
+    if (cycle - synced_ >= RingSlots) {
+        rebuild(cycle);
+        return;
+    }
+    for (uint64_t c = synced_ + 1; c <= cycle; ++c) {
+        auto &slot = ring_[c % RingSlots];
+        for (int r : slot) {
+            if (ready_[static_cast<size_t>(r)] <= c) {
+                readyMask_.set(static_cast<size_t>(r));
+                if (hook_)
+                    hook_(hookObj_, r);
+            }
+        }
+        slot.clear();
+    }
+    synced_ = cycle;
+    if (!far_.empty())
+        drainFar();
+}
+
+void
+Scoreboard::drainFar()
+{
+    size_t keep = 0;
+    for (int r : far_) {
+        uint64_t at = ready_[static_cast<size_t>(r)];
+        if (at <= synced_) {
+            readyMask_.set(static_cast<size_t>(r));
+            if (hook_)
+                hook_(hookObj_, r);
+        } else if (at != UnknownCycle && at - synced_ < RingSlots) {
+            ring_[at % RingSlots].push_back(r);
+        } else if (at != UnknownCycle) {
+            far_[keep++] = r; // still beyond the horizon
+        }
+        // UnknownCycle entries are dropped: the register was re-marked
+        // pending; a future setReadyAt re-enqueues it.
+    }
+    far_.resize(keep);
+}
+
+void
+Scoreboard::rebuild(uint64_t cycle)
+{
+    synced_ = cycle;
+    for (auto &slot : ring_)
+        slot.clear();
+    far_.clear();
+    for (size_t r = 0; r < ready_.size(); ++r) {
+        uint64_t at = ready_[r];
+        if (at <= cycle) {
+            readyMask_.set(r);
+            if (hook_)
+                hook_(hookObj_, static_cast<int>(r));
+        } else {
+            readyMask_.clear(r);
+            if (at != UnknownCycle)
+                scheduleWake(static_cast<int>(r), at);
+        }
+    }
+}
+
+std::string
+Scoreboard::maskConsistent() const
+{
+    for (size_t r = 0; r < ready_.size(); ++r) {
+        bool truth = ready_[r] <= synced_;
+        if (readyMask_.test(r) != truth) {
+            return "ready-mask bit " + std::to_string(r) + " is " +
+                   (readyMask_.test(r) ? "set" : "clear") +
+                   " but ready cycle " +
+                   (ready_[r] == UnknownCycle
+                        ? std::string("<pending>")
+                        : std::to_string(ready_[r])) +
+                   " vs synced " + std::to_string(synced_) +
+                   " says otherwise";
+        }
+    }
+    return {};
 }
 
 } // namespace diq::core

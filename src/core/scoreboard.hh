@@ -9,7 +9,19 @@
  * producers can announce their completion at issue time and dependents
  * can issue back-to-back.
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §1.
+ * Two representations coexist:
+ *
+ *  - ready_[] keeps the exact availability cycle per register and is
+ *    the source of truth for every cycle-parameterized query;
+ *  - readyMask_ is the paper's literal one-bit-per-register table, a
+ *    word array holding "available *now*" bits, maintained
+ *    incrementally through a future-wake ring and advanced once per
+ *    cycle by syncTo(). The mask is what the pooled cluster sweeps
+ *    probe (isReadyNow), and maskConsistent() lets the property suite
+ *    (tests/test_pool_invariants.cc) prove the two representations
+ *    never disagree.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §1, §10.
  */
 
 #ifndef DIQ_CORE_SCOREBOARD_HH
@@ -17,9 +29,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "util/bit_words.hh"
 
 namespace diq::core
 {
@@ -33,7 +47,23 @@ namespace diq::core
 class Scoreboard
 {
   public:
+    /**
+     * Ready-transition subscription: fired every time a register's
+     * "available now" mask bit is raised (dispatch-time mirrors like
+     * the CAM queue's armed wait cells disarm on exactly these
+     * events). A plain function pointer + object keeps the common
+     * unsubscribed case a single predictable branch.
+     */
+    using ReadyHook = void (*)(void *obj, int phys_reg);
+
     explicit Scoreboard(int num_phys_regs);
+
+    void
+    setReadyHook(ReadyHook hook, void *obj)
+    {
+        hook_ = hook;
+        hookObj_ = obj;
+    }
 
     /** Register becomes (or is) available at `cycle`. */
     void
@@ -41,6 +71,15 @@ class Scoreboard
     {
         assert(phys_reg >= 0 && phys_reg < numRegs());
         ready_[static_cast<size_t>(phys_reg)] = cycle;
+        if (cycle <= synced_) {
+            readyMask_.set(static_cast<size_t>(phys_reg));
+            if (hook_)
+                hook_(hookObj_, phys_reg);
+        } else {
+            readyMask_.clear(static_cast<size_t>(phys_reg));
+            if (cycle != UnknownCycle)
+                scheduleWake(phys_reg, cycle);
+        }
     }
 
     /** Mark a freshly allocated register as pending (unknown cycle). */
@@ -49,6 +88,7 @@ class Scoreboard
     {
         assert(phys_reg >= 0 && phys_reg < numRegs());
         ready_[static_cast<size_t>(phys_reg)] = UnknownCycle;
+        readyMask_.clear(static_cast<size_t>(phys_reg));
     }
 
     /** True if the register value is available at `cycle`. */
@@ -57,6 +97,17 @@ class Scoreboard
     {
         assert(phys_reg >= 0 && phys_reg < numRegs());
         return ready_[static_cast<size_t>(phys_reg)] <= cycle;
+    }
+
+    /**
+     * Mask probe: available at the last syncTo() cycle? Equivalent to
+     * isReady(reg, syncedCycle()) — the form the word-sweep paths use.
+     */
+    bool
+    isReadyNow(int phys_reg) const
+    {
+        assert(phys_reg >= 0 && phys_reg < numRegs());
+        return readyMask_.test(static_cast<size_t>(phys_reg));
     }
 
     /** Cycle the register becomes available (UnknownCycle if pending). */
@@ -72,6 +123,27 @@ class Scoreboard
     {
         return readyCycle(phys_reg) != UnknownCycle;
     }
+
+    /**
+     * Advance the "now" of the ready mask to `cycle`, firing the
+     * future-wake ring for every cycle crossed. Called once per
+     * machine cycle before any issue logic runs; monotone (earlier
+     * cycles are a no-op).
+     */
+    void syncTo(uint64_t cycle);
+
+    /** The cycle the ready mask currently reflects. */
+    uint64_t syncedCycle() const { return synced_; }
+
+    /** The one-bit-per-register table itself (word sweeps). */
+    const util::BitWords &readyMask() const { return readyMask_; }
+
+    /**
+     * Property-suite check: "" when readyMask_ agrees with ready_[]
+     * at syncedCycle() for every register, else a description of the
+     * first disagreement.
+     */
+    std::string maskConsistent() const;
 
     /** All registers available at cycle 0 (fresh machine state). */
     void reset();
@@ -111,7 +183,23 @@ class Scoreboard
     }
 
   private:
+    /** Future-wake ring span; latencies are far below this, so the
+     *  O(numRegs) rebuild path only runs on artificial cycle jumps. */
+    static constexpr uint64_t RingSlots = 1024;
+
+    void scheduleWake(int phys_reg, uint64_t cycle);
+    void drainFar();
+    void rebuild(uint64_t cycle);
+
     std::vector<uint64_t> ready_;
+    util::BitWords readyMask_; ///< bit r ⟺ ready_[r] <= synced_
+    uint64_t synced_ = 0;
+    ReadyHook hook_ = nullptr; ///< fired on every mask-bit raise
+    void *hookObj_ = nullptr;
+    /** slot c%RingSlots holds regs scheduled to wake at cycle c. */
+    std::vector<std::vector<int>> ring_;
+    /** Wakes scheduled beyond the ring horizon (effectively never). */
+    std::vector<int> far_;
 };
 
 } // namespace diq::core

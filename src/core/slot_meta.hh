@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cached per-slot issue metadata.
+ *
+ * The per-cycle head/selection probes of every scheme need the same
+ * handful of instruction facts: age, physical sources, store-ness and
+ * functional-unit class. Fetching them through the DynInst slab costs
+ * a dependent load per probe on the hottest loop of the simulator;
+ * caching them next to the slot array at dispatch keeps the probe
+ * loop inside the scheme's own cache lines. All fields are immutable
+ * for the instruction's residency, so the cache can never go stale.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §10.
+ */
+
+#ifndef DIQ_CORE_SLOT_META_HH
+#define DIQ_CORE_SLOT_META_HH
+
+#include <cstdint>
+
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/scoreboard.hh"
+
+namespace diq::core
+{
+
+/** Issue-probe facts for one resident instruction. */
+struct SlotMeta
+{
+    uint64_t seq = 0;
+    int32_t src1 = NoPhysReg;
+    int32_t src2 = NoPhysReg;
+    uint8_t numSrcs = 0;
+    uint8_t isStore = 0;
+    FuClass fu = FuClass::IntAlu;
+    uint8_t fuOccupancy = 1;
+
+    static SlotMeta
+    of(const DynInst &inst)
+    {
+        SlotMeta m;
+        m.seq = inst.seq;
+        m.src1 = inst.psrc1;
+        m.src2 = inst.psrc2;
+        m.numSrcs = static_cast<uint8_t>(inst.numSrcs());
+        m.isStore = inst.isStore() ? 1 : 0;
+        m.fu = fuClassFor(inst.op.op);
+        m.fuOccupancy =
+            static_cast<uint8_t>(FuPool::occupancyFor(inst.op.op));
+        return m;
+    }
+
+    /** Scoreboard::readyToIssue over the cached operand registers. */
+    bool
+    readyToIssue(const Scoreboard &sb, uint64_t cycle) const
+    {
+        if (src1 != NoPhysReg && !sb.isReady(src1, cycle))
+            return false;
+        if (isStore)
+            return true;
+        return src2 == NoPhysReg || sb.isReady(src2, cycle);
+    }
+};
+
+} // namespace diq::core
+
+#endif // DIQ_CORE_SLOT_META_HH

@@ -69,7 +69,7 @@ runScheme(const std::string &preset, const std::string &bench,
     auto workload = factory();
     auto result = runner::simulateJob(
         job, *workload,
-        [&retiredOut](const trace::MicroOp &op) {
+        [&retiredOut](core::InstIdx, const trace::MicroOp &op) {
             retiredOut.push_back(op);
         });
 

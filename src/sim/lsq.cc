@@ -1,12 +1,14 @@
 /**
  * @file
- * Implementation of sim/lsq.hh (docs/ARCHITECTURE.md §3).
+ * Implementation of sim/lsq.hh (docs/ARCHITECTURE.md §3, §10).
  *
  * tick() is on the per-cycle hot path; its program-order walks are
  * gated on two occupancy counters (startable loads, unknown store
  * addresses) so the common no-eligible-work cycle costs O(1) instead
- * of O(queue). Entry caches the op class and access granule to avoid
- * re-deriving them from the instruction on every walk.
+ * of O(queue). Entry caches the op class, access granule, address and
+ * store data register to avoid re-deriving them from the instruction
+ * on every walk, and addressReady() resolves its entry by ticket
+ * arithmetic rather than scanning.
  */
 
 #include "sim/lsq.hh"
@@ -22,50 +24,54 @@ LoadStoreQueue::LoadStoreQueue(size_t capacity, unsigned forward_latency)
 }
 
 void
-LoadStoreQueue::insert(core::DynInst *inst)
+LoadStoreQueue::insert(core::InstIdx idx, core::InstPool &pool)
 {
     assert(!queue_.full());
+    core::DynInst &inst = pool.get(idx);
+    inst.lsqTicket = nextTicket_++;
     Entry e;
-    e.inst = inst;
-    e.granule = inst->op.memAddr >> 3;
-    e.isStore = inst->isStore();
-    e.isLoad = inst->isLoad();
+    e.inst = idx;
+    e.granule = inst.op.memAddr >> 3;
+    e.memAddr = inst.op.memAddr;
+    e.dataReg = inst.psrc2;
+    e.isStore = inst.isStore();
+    e.isLoad = inst.isLoad();
     queue_.pushBack(e);
     if (e.isStore)
         ++unknownStoreAddrs_;
 }
 
 void
-LoadStoreQueue::addressReady(core::DynInst *inst)
+LoadStoreQueue::addressReady(core::InstIdx idx,
+                             const core::InstPool &pool)
 {
-    // Entries are few and short-lived; a linear scan from the tail
-    // finds the op quickly (it issued recently).
-    for (size_t i = queue_.size(); i-- > 0;) {
-        Entry &e = queue_.at(i);
-        if (e.inst == inst) {
-            if (!e.addrKnown) {
-                e.addrKnown = true;
-                if (e.isStore)
-                    --unknownStoreAddrs_;
-                else if (e.isLoad && !e.memStarted)
-                    ++startableLoads_;
-            }
-            return;
-        }
+    uint32_t pos = pool.get(idx).lsqTicket - headTicket_;
+    assert(pos < queue_.size() && "addressReady for op not in LSQ");
+    Entry &e = queue_.at(pos);
+    assert(e.inst == idx);
+    if (!e.addrKnown) {
+        e.addrKnown = true;
+        if (e.isStore)
+            --unknownStoreAddrs_;
+        else if (e.isLoad && !e.memStarted)
+            ++startableLoads_;
     }
-    assert(false && "addressReady for op not in LSQ");
 }
 
 void
 LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
-                     const core::Scoreboard &sb, int &ports_free,
-                     std::vector<MemReturn> &out)
+                     const core::Scoreboard &sb, core::InstPool &pool,
+                     int &ports_free, std::vector<MemReturn> &out)
 {
     // Walk from the head; all older stores up to the scan point have
     // known addresses, which is exactly the disambiguation frontier.
     // With no startable load the walk has no observable effect: skip.
     if (startableLoads_ != 0) {
-        for (size_t i = 0; i < queue_.size() && ports_free > 0; ++i) {
+        // `ahead` counts the startable loads not yet visited; once it
+        // reaches zero the rest of the walk cannot start anything.
+        uint64_t ahead = startableLoads_;
+        for (size_t i = 0;
+             i < queue_.size() && ports_free > 0 && ahead > 0; ++i) {
             Entry &e = queue_.at(i);
             if (e.isStore) {
                 if (!e.addrKnown)
@@ -74,6 +80,7 @@ LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
             }
             if (!e.isLoad || e.memStarted || !e.addrKnown)
                 continue;
+            --ahead;
 
             // Forward from the youngest older store to the same granule.
             const Entry *fwd_store = nullptr;
@@ -90,22 +97,22 @@ LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
             if (fwd_store) {
                 // Forwarding needs the store's data operand; until it is
                 // produced the load simply retries.
-                int data_reg = fwd_store->inst->psrc2;
+                int data_reg = fwd_store->dataReg;
                 if (data_reg != core::NoPhysReg &&
                     !sb.isReady(data_reg, cycle)) {
                     continue;
                 }
                 e.memStarted = true;
                 --startableLoads_;
-                e.inst->memStartCycle = cycle;
+                pool.get(e.inst).memStartCycle = cycle;
                 ++forwards_;
                 out.push_back({e.inst, cycle + forwardLatency_, true});
             } else {
                 e.memStarted = true;
                 --startableLoads_;
-                e.inst->memStartCycle = cycle;
+                pool.get(e.inst).memStartCycle = cycle;
                 --ports_free;
-                unsigned latency = mem.loadLatency(e.inst->op.memAddr);
+                unsigned latency = mem.loadLatency(e.memAddr);
                 out.push_back({e.inst, cycle + latency, false});
             }
         }
@@ -132,12 +139,13 @@ LoadStoreQueue::tick(uint64_t cycle, mem::MemoryHierarchy &mem,
 }
 
 bool
-LoadStoreQueue::commit(core::DynInst *inst, mem::MemoryHierarchy &mem)
+LoadStoreQueue::commit(core::InstIdx idx, mem::MemoryHierarchy &mem)
 {
     assert(!queue_.empty());
     Entry e = queue_.popFront();
-    assert(e.inst == inst);
-    (void)inst;
+    ++headTicket_;
+    assert(e.inst == idx);
+    (void)idx;
     // Committed memory ops have started (loads) / resolved their
     // address (stores); keep the summaries right even if not.
     if (e.isStore && !e.addrKnown)
@@ -148,7 +156,7 @@ LoadStoreQueue::commit(core::DynInst *inst, mem::MemoryHierarchy &mem)
         // Write-allocate, write-back; latency is absorbed by the
         // write buffer, but the access perturbs cache state and uses
         // a port.
-        mem.storeLatency(e.inst->op.memAddr);
+        mem.storeLatency(e.memAddr);
         return true;
     }
     return false;
@@ -162,6 +170,7 @@ LoadStoreQueue::clear()
     forwards_ = 0;
     startableLoads_ = 0;
     unknownStoreAddrs_ = 0;
+    headTicket_ = nextTicket_;
 }
 
 } // namespace diq::sim

@@ -9,7 +9,12 @@
  * starts eligible loads subject to the L1D port budget, and performs
  * store writes at commit.
  *
- * Paper ↔ code map: docs/ARCHITECTURE.md §3.
+ * Entries carry InstIdx pool handles. Each memory op is stamped with a
+ * monotone insertion ticket (DynInst::lsqTicket); because entries only
+ * ever leave from the front, `ticket - headTicket` is the op's current
+ * queue position, making addressReady() O(1) instead of a scan.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §3, §10.
  */
 
 #ifndef DIQ_SIM_LSQ_HH
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "core/dyn_inst.hh"
+#include "core/inst_pool.hh"
 #include "core/scoreboard.hh"
 #include "mem/cache.hh"
 #include "util/circular_buffer.hh"
@@ -29,7 +35,7 @@ namespace diq::sim
 /** A load data return produced by LoadStoreQueue::tick. */
 struct MemReturn
 {
-    core::DynInst *inst;
+    core::InstIdx inst;
     uint64_t readyCycle;
     bool forwarded; ///< satisfied by store-to-load forwarding
 };
@@ -47,11 +53,11 @@ class LoadStoreQueue
     bool full() const { return queue_.full(); }
     size_t size() const { return queue_.size(); }
 
-    /** Insert at dispatch (program order). */
-    void insert(core::DynInst *inst);
+    /** Insert at dispatch (program order); stamps the ticket. */
+    void insert(core::InstIdx idx, core::InstPool &pool);
 
     /** The op's effective address became known (issue + AddressLatency). */
-    void addressReady(core::DynInst *inst);
+    void addressReady(core::InstIdx idx, const core::InstPool &pool);
 
     /**
      * Start every eligible load this cycle, bounded by `ports_free`
@@ -60,14 +66,14 @@ class LoadStoreQueue
      * whose data operand is still pending (per `sb`) defers the load.
      */
     void tick(uint64_t cycle, mem::MemoryHierarchy &mem,
-              const core::Scoreboard &sb, int &ports_free,
-              std::vector<MemReturn> &out);
+              const core::Scoreboard &sb, core::InstPool &pool,
+              int &ports_free, std::vector<MemReturn> &out);
 
     /**
-     * Remove the oldest entry (must be `inst`); a store performs its
+     * Remove the oldest entry (must be `idx`); a store performs its
      * cache write here. @return true if a cache port was consumed.
      */
-    bool commit(core::DynInst *inst, mem::MemoryHierarchy &mem);
+    bool commit(core::InstIdx idx, mem::MemoryHierarchy &mem);
 
     /** Loads that had to wait on unknown older store addresses. */
     uint64_t disambiguationStalls() const { return disambStalls_; }
@@ -78,10 +84,12 @@ class LoadStoreQueue
   private:
     struct Entry
     {
-        core::DynInst *inst = nullptr;
+        core::InstIdx inst = core::NoInst;
         uint64_t granule = 0; ///< memAddr >> 3, cached at insert
-        bool isStore = false; ///< cached inst->isStore()
-        bool isLoad = false;  ///< cached inst->isLoad()
+        uint64_t memAddr = 0; ///< cached inst op.memAddr
+        int dataReg = core::NoPhysReg; ///< store data operand (psrc2)
+        bool isStore = false; ///< cached inst isStore()
+        bool isLoad = false;  ///< cached inst isLoad()
         bool addrKnown = false;
         bool memStarted = false;
     };
@@ -90,6 +98,11 @@ class LoadStoreQueue
     unsigned forwardLatency_;
     uint64_t disambStalls_ = 0;
     uint64_t forwards_ = 0;
+
+    /** Ticket of the queue front; entries only leave from the front,
+     *  so position = lsqTicket - headTicket_ (wrap-safe uint32). */
+    uint32_t headTicket_ = 0;
+    uint32_t nextTicket_ = 0;
 
     /**
      * Occupancy summaries that let tick() skip its program-order walks

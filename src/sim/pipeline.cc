@@ -1,10 +1,11 @@
 /**
  * @file
- * Implementation of sim/pipeline.hh (docs/ARCHITECTURE.md §3).
+ * Implementation of sim/pipeline.hh (docs/ARCHITECTURE.md §3, §10).
  */
 
 #include "sim/pipeline.hh"
 
+#include <bit>
 #include <cassert>
 
 namespace diq::sim
@@ -27,12 +28,13 @@ Cpu::Cpu(const ProcessorConfig &config, trace::TraceSource &trace)
       scheme_(core::makeScheme(config.scheme)),
       fetchQueue_(static_cast<size_t>(config.fetchQueueSize)),
       rob_(static_cast<size_t>(config.robSize)),
+      pool_(static_cast<uint32_t>(config.robSize)),
       eventRing_(EventRingSlots)
 {
-    slab_.resize(static_cast<size_t>(config.robSize));
-    freeList_.reserve(slab_.size());
-    for (auto &inst : slab_)
-        freeList_.push_back(&inst);
+    scheme_->bindScoreboard(scoreboard_);
+    unsigned lb = config_.memory.l1i.lineBytes;
+    if (lb > 1 && (lb & (lb - 1)) == 0)
+        fetchLineShift_ = static_cast<unsigned>(std::countr_zero(lb));
     issuedBuf_.reserve(32);
     memReturns_.reserve(32);
     // Slot vectors are cleared, not destroyed, each cycle; reserving
@@ -51,32 +53,25 @@ Cpu::makeContext()
     ctx.scoreboard = &scoreboard_;
     ctx.fus = &fus_;
     ctx.counters = &stats_.counters;
+    ctx.pool = &pool_;
     return ctx;
 }
 
 void
-Cpu::schedule(uint64_t cycle, EventKind kind, core::DynInst *inst)
+Cpu::schedule(uint64_t cycle, EventKind kind, core::InstIdx inst)
 {
     assert(cycle > cycle_ && cycle - cycle_ < EventRingSlots);
     eventRing_[cycle % EventRingSlots].push_back({kind, inst});
 }
 
-core::DynInst *
+core::InstIdx
 Cpu::allocInst(const FetchedOp &f)
 {
-    assert(!freeList_.empty());
-    core::DynInst *inst = freeList_.back();
-    freeList_.pop_back();
-    inst->reset(f.op, f.seq);
-    inst->mispredicted = f.mispredicted;
-    inst->fetchCycle = f.fetchCycle;
-    return inst;
-}
-
-void
-Cpu::freeInst(core::DynInst *inst)
-{
-    freeList_.push_back(inst);
+    core::InstIdx idx = pool_.alloc(f.op, f.seq);
+    core::DynInst &inst = pool_.get(idx);
+    inst.mispredicted = f.mispredicted;
+    inst.fetchCycle = f.fetchCycle;
+    return idx;
 }
 
 uint64_t
@@ -110,6 +105,7 @@ Cpu::stepCycle()
     ++cycle_;
     ++stats_.cycles;
     portsFree_ = static_cast<int>(config_.memory.l1d.ports);
+    scoreboard_.syncTo(cycle_);
 
     commitStage();
     writebackStage();
@@ -120,6 +116,8 @@ Cpu::stepCycle()
 
     stats_.schemeOccupancySum += scheme_->occupancy();
     stats_.robOccupancySum += rob_.size();
+    if (tickHook_)
+        tickHook_(*this);
 }
 
 void
@@ -127,20 +125,21 @@ Cpu::commitStage()
 {
     int n = 0;
     while (n < config_.commitWidth && !rob_.empty()) {
-        core::DynInst *inst = rob_.front();
-        if (!inst->completed)
+        core::InstIdx idx = rob_.front();
+        core::DynInst &inst = pool_.get(idx);
+        if (!inst.completed)
             break;
-        if (inst->isStore() && portsFree_ <= 0)
+        if (inst.isStore() && portsFree_ <= 0)
             break; // the store's cache write needs a port
-        if (inst->op.isMem()) {
-            if (lsq_.commit(inst, mem_))
+        if (inst.op.isMem()) {
+            if (lsq_.commit(idx, mem_))
                 --portsFree_;
         }
-        renamer_.freeAtCommit(*inst);
+        renamer_.freeAtCommit(inst);
         if (commitHook_)
-            commitHook_(inst->op);
+            commitHook_(idx, inst.op);
         rob_.popFront();
-        freeInst(inst);
+        pool_.free(idx);
         ++stats_.committed;
         ++n;
     }
@@ -154,43 +153,43 @@ Cpu::writebackStage()
         return;
     core::IssueContext ctx = makeContext();
     for (const Event &ev : events) {
-        core::DynInst *inst = ev.inst;
+        core::DynInst &inst = pool_.get(ev.inst);
         switch (ev.kind) {
           case EventKind::ExecComplete:
-            inst->completed = true;
-            inst->completeCycle = cycle_;
-            if (inst->hasDest())
-                scheme_->onWakeup(inst->pdest, ctx);
-            if (inst->isBranch() && inst->mispredicted) {
+            inst.completed = true;
+            inst.completeCycle = cycle_;
+            if (inst.hasDest())
+                scheme_->onWakeup(inst.pdest, ctx);
+            if (inst.isBranch() && inst.mispredicted) {
                 // Redirect: the front-end may restart next cycle.
                 fetchBlockedOnBranch_ = false;
                 if (fetchResumeCycle_ < cycle_ + 1)
                     fetchResumeCycle_ = cycle_ + 1;
                 scheme_->onBranchMispredict(ctx);
                 stats_.counters.add(power::EventId::MispredDispWait,
-                                    cycle_ - inst->dispatchCycle);
+                                    cycle_ - inst.dispatchCycle);
                 stats_.counters.add(power::EventId::MispredFetchWait,
-                                    cycle_ - inst->fetchCycle);
+                                    cycle_ - inst.fetchCycle);
                 stats_.counters.inc(power::EventId::MispredCount);
             }
             break;
           case EventKind::AddrReady:
-            inst->addrReadyCycle = cycle_;
-            lsq_.addressReady(inst);
-            if (inst->isStore()) {
+            inst.addrReadyCycle = cycle_;
+            lsq_.addressReady(ev.inst, pool_);
+            if (inst.isStore()) {
                 // Stores are architecturally done once their address
                 // (and data, required at issue) are known; the write
                 // happens at commit.
-                inst->completed = true;
-                inst->completeCycle = cycle_;
+                inst.completed = true;
+                inst.completeCycle = cycle_;
             }
             break;
           case EventKind::DataReturn:
-            inst->completed = true;
-            inst->completeCycle = cycle_;
-            if (inst->hasDest()) {
-                scoreboard_.setReadyAt(inst->pdest, cycle_);
-                scheme_->onWakeup(inst->pdest, ctx);
+            inst.completed = true;
+            inst.completeCycle = cycle_;
+            if (inst.hasDest()) {
+                scoreboard_.setReadyAt(inst.pdest, cycle_);
+                scheme_->onWakeup(inst.pdest, ctx);
             }
             break;
         }
@@ -205,17 +204,18 @@ Cpu::issueStage()
     issuedBuf_.clear();
     scheme_->issue(ctx, issuedBuf_);
     stats_.counters.inc(power::issueWidthEvent(issuedBuf_.size()));
-    for (core::DynInst *inst : issuedBuf_) {
+    for (core::InstIdx idx : issuedBuf_) {
+        core::DynInst &inst = pool_.get(idx);
         ++stats_.issuedOps;
-        if (inst->op.isMem()) {
+        if (inst.op.isMem()) {
             schedule(cycle_ + trace::AddressLatency, EventKind::AddrReady,
-                     inst);
+                     idx);
             continue;
         }
-        unsigned lat = static_cast<unsigned>(trace::opLatency(inst->op.op));
-        if (inst->hasDest())
-            scoreboard_.setReadyAt(inst->pdest, cycle_ + lat);
-        schedule(cycle_ + lat, EventKind::ExecComplete, inst);
+        unsigned lat = static_cast<unsigned>(trace::opLatency(inst.op.op));
+        if (inst.hasDest())
+            scoreboard_.setReadyAt(inst.pdest, cycle_ + lat);
+        schedule(cycle_ + lat, EventKind::ExecComplete, idx);
     }
 }
 
@@ -223,7 +223,7 @@ void
 Cpu::lsqStage()
 {
     memReturns_.clear();
-    lsq_.tick(cycle_, mem_, scoreboard_, portsFree_, memReturns_);
+    lsq_.tick(cycle_, mem_, scoreboard_, pool_, portsFree_, memReturns_);
     for (const MemReturn &r : memReturns_) {
         uint64_t when = r.readyCycle > cycle_ ? r.readyCycle : cycle_ + 1;
         schedule(when, EventKind::DataReturn, r.inst);
@@ -240,17 +240,20 @@ Cpu::dispatchStage()
         FetchedOp &f = fetchQueue_.front();
         if (f.decodeReady > cycle_)
             break;
-        if (rob_.full() || freeList_.empty() || !renamer_.canRename(f.op) ||
+        if (rob_.full() || pool_.freeCount() == 0 ||
+            !renamer_.canRename(f.op) ||
             (f.op.isMem() && lsq_.full())) {
             ++stats_.windowStallCycles;
             break;
         }
 
         // Steering decisions use architectural registers, so the
-        // scheme is consulted before renaming.
-        core::DynInst probe;
-        probe.reset(f.op, f.seq);
-        if (!scheme_->canDispatch(probe, ctx)) {
+        // scheme is consulted before renaming. The probe is a
+        // persistent default-state DynInst: canDispatch is const, so
+        // only the fields it reads (op, seq) need refreshing.
+        dispatchProbe_.op = f.op;
+        dispatchProbe_.seq = f.seq;
+        if (!scheme_->canDispatch(dispatchProbe_, ctx)) {
             if (!counted_scheme_stall) {
                 ++stats_.dispatchStallCycles;
                 counted_scheme_stall = true;
@@ -258,21 +261,22 @@ Cpu::dispatchStage()
             break;
         }
 
-        core::DynInst *inst = allocInst(f);
+        core::InstIdx idx = allocInst(f);
+        core::DynInst &inst = pool_.get(idx);
         fetchQueue_.popFront();
-        renamer_.rename(*inst);
-        if (inst->hasDest())
-            scoreboard_.markPending(inst->pdest);
-        inst->dispatchCycle = cycle_;
-        rob_.pushBack(inst);
-        if (inst->op.isMem()) {
-            lsq_.insert(inst);
-            if (inst->isLoad())
+        renamer_.rename(inst);
+        if (inst.hasDest())
+            scoreboard_.markPending(inst.pdest);
+        inst.dispatchCycle = cycle_;
+        rob_.pushBack(idx);
+        if (inst.op.isMem()) {
+            lsq_.insert(idx, pool_);
+            if (inst.isLoad())
                 ++stats_.loads;
             else
                 ++stats_.stores;
         }
-        scheme_->dispatch(inst, ctx);
+        scheme_->dispatch(idx, ctx);
         ++stats_.dispatched;
         ++n;
     }
@@ -297,8 +301,9 @@ Cpu::fetchStage()
         }
 
         // Instruction cache: one probe per line transition.
-        uint64_t line =
-            pendingOp_.pc / config_.memory.l1i.lineBytes;
+        uint64_t line = fetchLineShift_
+            ? pendingOp_.pc >> fetchLineShift_
+            : pendingOp_.pc / config_.memory.l1i.lineBytes;
         if (line != lastFetchLine_) {
             unsigned lat = mem_.fetchLatency(pendingOp_.pc);
             lastFetchLine_ = line;
@@ -309,12 +314,15 @@ Cpu::fetchStage()
             }
         }
 
-        FetchedOp f;
+        // Build the queue entry in place (the loop condition holds a
+        // free slot); every field is assigned, as emplaceBack requires.
+        FetchedOp &f = *fetchQueue_.emplaceBack();
         f.op = pendingOp_;
         f.seq = nextSeq_++;
         f.fetchCycle = cycle_;
         f.decodeReady = cycle_ +
             static_cast<uint64_t>(config_.frontendDelay);
+        f.mispredicted = false;
         pendingValid_ = false;
 
         bool stop = false;
@@ -332,7 +340,6 @@ Cpu::fetchStage()
             }
         }
 
-        fetchQueue_.pushBack(f);
         ++stats_.fetched;
         ++n;
         if (stop)

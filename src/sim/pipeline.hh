@@ -12,6 +12,10 @@
  * LSQ -> rename/dispatch -> fetch, so values written back in cycle c
  * can feed issues in cycle c, and instructions dispatched in cycle c
  * can issue at c+1 at the earliest.
+ *
+ * In-flight instructions live in one core::InstPool slab sized to the
+ * ROB; the ROB, LSQ, event ring and issue schemes all carry InstIdx
+ * handles into it (docs/ARCHITECTURE.md §10).
  */
 
 #ifndef DIQ_SIM_PIPELINE_HH
@@ -24,6 +28,7 @@
 #include "branch/predictors.hh"
 #include "core/dyn_inst.hh"
 #include "core/fu_pool.hh"
+#include "core/inst_pool.hh"
 #include "core/issue_scheme.hh"
 #include "core/scoreboard.hh"
 #include "mem/cache.hh"
@@ -63,17 +68,30 @@ class Cpu
     void resetStats();
 
     /** Observer of every committed (retired) micro-op, in order. */
-    using CommitHook = std::function<void(const trace::MicroOp &)>;
+    using CommitHook =
+        std::function<void(core::InstIdx, const trace::MicroOp &)>;
 
     /**
      * Install an observer called once per committed instruction with
-     * the retired micro-op, in commit (program) order. The retired
-     * stream is the cross-scheme ground truth the differential fuzz
-     * harness compares (src/fuzz/differential.hh); pass an empty
-     * hook to detach. Purely observational: no counter or timing
-     * changes whether a hook is installed or not.
+     * its pool handle (still live during the call) and the retired
+     * micro-op, in commit (program) order. The retired stream is the
+     * cross-scheme ground truth the differential fuzz harness compares
+     * (src/fuzz/differential.hh); pass an empty hook to detach. Purely
+     * observational: no counter or timing changes whether a hook is
+     * installed or not.
      */
     void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
+
+    /** Observer of complete machine state at the end of each cycle. */
+    using TickHook = std::function<void(const Cpu &)>;
+
+    /**
+     * Install an observer called at the end of every stepCycle with
+     * the whole machine visible — the pool-invariant property suite
+     * hangs its checks here (tests/test_pool_invariants.cc). Purely
+     * observational, like the commit hook.
+     */
+    void setTickHook(TickHook hook) { tickHook_ = std::move(hook); }
 
     const SimStats &stats() const { return stats_; }
     SimStats &stats() { return stats_; }
@@ -81,6 +99,9 @@ class Cpu
     const mem::MemoryHierarchy &memory() const { return mem_; }
     const branch::HybridPredictor &predictor() const { return predictor_; }
     core::IssueScheme &scheme() { return *scheme_; }
+    const core::IssueScheme &scheme() const { return *scheme_; }
+    const core::InstPool &pool() const { return pool_; }
+    const core::Scoreboard &scoreboard() const { return scoreboard_; }
     uint64_t cycle() const { return cycle_; }
 
   private:
@@ -98,7 +119,7 @@ class Cpu
     struct Event
     {
         EventKind kind;
-        core::DynInst *inst;
+        core::InstIdx inst;
     };
 
     static constexpr size_t EventRingSlots = 512;
@@ -111,10 +132,9 @@ class Cpu
     void dispatchStage();
     void fetchStage();
 
-    void schedule(uint64_t cycle, EventKind kind, core::DynInst *inst);
+    void schedule(uint64_t cycle, EventKind kind, core::InstIdx inst);
 
-    core::DynInst *allocInst(const FetchedOp &f);
-    void freeInst(core::DynInst *inst);
+    core::InstIdx allocInst(const FetchedOp &f);
 
     core::IssueContext makeContext();
 
@@ -132,22 +152,26 @@ class Cpu
 
     // Window structures.
     util::CircularBuffer<FetchedOp> fetchQueue_;
-    util::CircularBuffer<core::DynInst *> rob_;
-    std::vector<core::DynInst> slab_;
-    std::vector<core::DynInst *> freeList_;
+    util::CircularBuffer<core::InstIdx> rob_;
+    core::InstPool pool_;
 
     // Event wheel (bounded latencies).
     std::vector<std::vector<Event>> eventRing_;
 
     // Cycle-local scratch.
-    std::vector<core::DynInst *> issuedBuf_;
+    std::vector<core::InstIdx> issuedBuf_;
     std::vector<MemReturn> memReturns_;
+    /** Steering probe for canDispatch; stays in its default state
+     *  apart from op/seq (canDispatch is const). */
+    core::DynInst dispatchProbe_;
     int portsFree_ = 0;
 
     // Front-end state.
     bool fetchBlockedOnBranch_ = false;
     uint64_t fetchResumeCycle_ = 0;
     uint64_t lastFetchLine_ = ~uint64_t{0};
+    /** log2(l1i.lineBytes) when a power of two, else 0 (divide). */
+    unsigned fetchLineShift_ = 0;
     bool pendingValid_ = false;
     trace::MicroOp pendingOp_{};
     bool traceExhausted_ = false;
@@ -156,6 +180,7 @@ class Cpu
     uint64_t nextSeq_ = 1;
 
     CommitHook commitHook_;
+    TickHook tickHook_;
 
     SimStats stats_;
 };

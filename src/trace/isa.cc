@@ -10,48 +10,6 @@
 namespace diq::trace
 {
 
-int
-opLatency(OpClass op)
-{
-    switch (op) {
-      case OpClass::Nop:
-        return 1;
-      case OpClass::IntAlu:
-        return 1;
-      case OpClass::IntMult:
-        return 3;
-      case OpClass::IntDiv:
-        return 20;
-      case OpClass::FpAdd:
-        return 2;
-      case OpClass::FpMult:
-        return 4;
-      case OpClass::FpDiv:
-        return 12;
-      case OpClass::Load:
-        return AddressLatency;
-      case OpClass::Store:
-        return AddressLatency;
-      case OpClass::Branch:
-        return 1;
-      default:
-        return 1;
-    }
-}
-
-bool
-isFpOp(OpClass op)
-{
-    switch (op) {
-      case OpClass::FpAdd:
-      case OpClass::FpMult:
-      case OpClass::FpDiv:
-        return true;
-      default:
-        return false;
-    }
-}
-
 std::string
 opClassName(OpClass op)
 {

@@ -57,20 +57,58 @@ isFpReg(int reg)
     return reg >= FpRegBase && reg < NumLogicalRegs;
 }
 
+/** Cycles to compute a load/store address (paper's AddressLatency). */
+constexpr int AddressLatency = 1;
+
 /**
  * Execution latency of an op class in cycles (Table 1).
  *
  * For loads this is the address-computation latency only; the memory
  * access latency is determined by the cache hierarchy. Branches and
- * stores compute on the integer ALU.
+ * stores compute on the integer ALU. Inline: probed per issued op.
  */
-int opLatency(OpClass op);
-
-/** Cycles to compute a load/store address (paper's AddressLatency). */
-constexpr int AddressLatency = 1;
+constexpr int
+opLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop:
+        return 1;
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMult:
+        return 3;
+      case OpClass::IntDiv:
+        return 20;
+      case OpClass::FpAdd:
+        return 2;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 12;
+      case OpClass::Load:
+        return AddressLatency;
+      case OpClass::Store:
+        return AddressLatency;
+      case OpClass::Branch:
+        return 1;
+      default:
+        return 1;
+    }
+}
 
 /** True for classes executed by the FP cluster (FP queues). */
-bool isFpOp(OpClass op);
+constexpr bool
+isFpOp(OpClass op)
+{
+    switch (op) {
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** True for memory operations (Load or Store). */
 inline bool

@@ -250,6 +250,31 @@ SyntheticWorkload::buildLayout()
     numArrays_ = std::max(1, num_loads + p.storesPerIter);
     arrayBytes_ = std::max<uint64_t>(64, profile_.footprint /
                                      static_cast<uint64_t>(numArrays_));
+    bodyBytes_ = ((body_.size() * 4 + 63) / 64) * 64;
+    stride_ = static_cast<uint64_t>(std::max(1, profile_.strideBytes));
+    arrayWords_ = std::max<uint64_t>(1, arrayBytes_ / 8);
+
+    // Bake everything static into per-slot templates: next() copies
+    // the template and patches only the dynamic fields, and the memop
+    // base-address multiply happens once here instead of per call.
+    protos_.assign(body_.size(), HotSlot{});
+    for (size_t i = 0; i < body_.size(); ++i) {
+        Slot &s = body_[i];
+        s.arrayBase = dataBase_ +
+            static_cast<uint64_t>(s.arrayId) * arrayBytes_;
+        HotSlot &h = protos_[i];
+        h.kind = s.kind;
+        h.randomAddr = s.chase || s.randomAddr;
+        h.arrayBase = s.arrayBase;
+        MicroOp &p = h.proto;
+        p.pc = i * 4; // block-relative; next() adds blockBase_
+        p.op = s.op;
+        p.dest = s.dest;
+        p.src1 = s.src1;
+        p.src2 = s.src2;
+        if (s.kind == SlotKind::CondBranch)
+            p.target = p.pc + 16;
+    }
 }
 
 void
@@ -306,50 +331,32 @@ SyntheticWorkload::reset()
     block_ = 0;
     globalIter_ = 0;
     chasePtr_ = dataBase_;
-}
-
-uint64_t
-SyntheticWorkload::nextAddress(const Slot &slot)
-{
-    uint64_t base = dataBase_ +
-        static_cast<uint64_t>(slot.arrayId) * arrayBytes_;
-    if (slot.chase || slot.randomAddr) {
-        uint64_t words = std::max<uint64_t>(1, arrayBytes_ / 8);
-        return base + rng_.nextBounded(words) * 8;
-    }
-    uint64_t stride = static_cast<uint64_t>(
-        std::max(1, profile_.strideBytes));
-    return base + (globalIter_ * stride) % arrayBytes_;
+    blockBase_ = codeBase_;
+    strideOff_ = 0;
 }
 
 bool
 SyntheticWorkload::next(MicroOp &out)
 {
-    const Slot &s = body_[slotIdx_];
+    const HotSlot &h = protos_[slotIdx_];
 
-    uint64_t body_bytes = ((body_.size() * 4 + 63) / 64) * 64;
-    uint64_t block_base = codeBase_ +
-        static_cast<uint64_t>(block_) * body_bytes;
+    out = h.proto;
+    out.pc += blockBase_;
 
-    out = MicroOp{};
-    out.pc = block_base + slotIdx_ * 4;
-    out.op = s.op;
-    out.dest = s.dest;
-    out.src1 = s.src1;
-    out.src2 = s.src2;
-
-    switch (s.kind) {
+    switch (h.kind) {
       case SlotKind::Load:
       case SlotKind::Store:
-        out.memAddr = nextAddress(s);
+        out.memAddr = h.randomAddr
+            ? h.arrayBase + rng_.nextBounded(arrayWords_) * 8
+            : h.arrayBase + strideOff_;
         break;
       case SlotKind::CondBranch:
         out.taken = rng_.nextBool(profile_.branchBias);
-        out.target = out.pc + 16;
+        out.target += blockBase_;
         break;
       case SlotKind::LoopBranch:
         out.taken = (iter_ + 1) < profile_.innerIters;
-        out.target = block_base;
+        out.target = blockBase_;
         break;
       default:
         break;
@@ -359,10 +366,16 @@ SyntheticWorkload::next(MicroOp &out)
     if (slotIdx_ >= body_.size()) {
         slotIdx_ = 0;
         ++globalIter_;
+        // Incremental (globalIter_ * stride_) % arrayBytes_.
+        strideOff_ += stride_;
+        while (strideOff_ >= arrayBytes_)
+            strideOff_ -= arrayBytes_;
         ++iter_;
         if (iter_ >= profile_.innerIters) {
             iter_ = 0;
             block_ = (block_ + 1) % std::max(1, profile_.codeBlocks);
+            blockBase_ = codeBase_ +
+                static_cast<uint64_t>(block_) * bodyBytes_;
         }
     }
     return true;

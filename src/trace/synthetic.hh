@@ -121,19 +121,36 @@ class SyntheticWorkload : public TraceSource
         int arrayId = 0;      ///< which streaming array (mem slots)
         bool randomAddr = false;
         bool chase = false;   ///< pointer-chasing load
+        uint64_t arrayBase = 0; ///< dataBase_ + arrayId * arrayBytes_
     };
 
     void buildLayout();
     void validateLayout() const;
-    uint64_t nextAddress(const Slot &slot);
 
     BenchmarkProfile profile_;
     uint64_t seed_;
     util::Rng rng_;
 
+    /**
+     * Per-slot emission record: a MicroOp template with
+     * block-relative pc/target plus the few dynamic-field inputs,
+     * packed into one cache line so next() touches a single slab.
+     */
+    struct alignas(64) HotSlot
+    {
+        MicroOp proto;
+        SlotKind kind = SlotKind::Overhead;
+        bool randomAddr = false; ///< chase or random-address memop
+        uint64_t arrayBase = 0;  ///< dataBase_ + arrayId * arrayBytes_
+    };
+
     std::vector<Slot> body_;
+    std::vector<HotSlot> protos_; ///< built from body_ in buildLayout()
     int numArrays_ = 1;
     uint64_t arrayBytes_ = 0;
+    uint64_t arrayWords_ = 1; ///< arrayBytes_ / 8, >= 1
+    uint64_t bodyBytes_ = 0;  ///< body footprint, 64B-aligned
+    uint64_t stride_ = 8;     ///< streaming stride (>= 1)
 
     // Dynamic walking state.
     size_t slotIdx_ = 0;
@@ -141,6 +158,8 @@ class SyntheticWorkload : public TraceSource
     int block_ = 0;        ///< current code block
     uint64_t globalIter_ = 0;
     uint64_t chasePtr_ = 0;
+    uint64_t blockBase_ = codeBase_; ///< codeBase_ + block_ * bodyBytes_
+    uint64_t strideOff_ = 0; ///< (globalIter_ * stride_) % arrayBytes_
 
     static constexpr uint64_t codeBase_ = 0x400000;
     static constexpr uint64_t dataBase_ = 0x10000000;

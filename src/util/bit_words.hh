@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Word-granular bitset for wakeup/select sweeps.
+ *
+ * The issue-queue rework replaced per-entry container walks with
+ * sweeps over uint64_t occupancy/wait masks: a 64-entry cluster is
+ * one word, so "find every armed cell" is a handful of AND/CTZ
+ * instructions instead of sixty-four pointer chases. std::bitset is
+ * not usable here because the widths are runtime parameters (queue
+ * geometry is a config knob) and because the sweeps need direct word
+ * access to combine masks before scanning.
+ *
+ * Paper ↔ code map: docs/ARCHITECTURE.md §10.
+ */
+
+#ifndef DIQ_UTIL_BIT_WORDS_HH
+#define DIQ_UTIL_BIT_WORDS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace diq::util
+{
+
+/** Dynamic bitset stored as 64-bit words, built for mask sweeps. */
+class BitWords
+{
+  public:
+    static constexpr size_t WordBits = 64;
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    BitWords() = default;
+    explicit BitWords(size_t bits) { resize(bits); }
+
+    /** Resize to exactly `bits`, clearing everything. */
+    void
+    resize(size_t bits)
+    {
+        bits_ = bits;
+        w_.assign((bits + WordBits - 1) / WordBits, 0);
+    }
+
+    /** Grow to at least `bits`, preserving existing bits. */
+    void
+    growTo(size_t bits)
+    {
+        if (bits <= bits_)
+            return;
+        bits_ = bits;
+        w_.resize((bits + WordBits - 1) / WordBits, 0);
+    }
+
+    size_t size() const { return bits_; }
+    size_t numWords() const { return w_.size(); }
+
+    void
+    set(size_t i)
+    {
+        assert(i < bits_);
+        w_[i / WordBits] |= uint64_t(1) << (i % WordBits);
+    }
+
+    void
+    clear(size_t i)
+    {
+        assert(i < bits_);
+        w_[i / WordBits] &= ~(uint64_t(1) << (i % WordBits));
+    }
+
+    void
+    assign(size_t i, bool v)
+    {
+        v ? set(i) : clear(i);
+    }
+
+    bool
+    test(size_t i) const
+    {
+        assert(i < bits_);
+        return (w_[i / WordBits] >> (i % WordBits)) & 1;
+    }
+
+    /** Clear every bit, keeping the size. */
+    void
+    clearAll()
+    {
+        for (auto &w : w_)
+            w = 0;
+    }
+
+    /** Set every bit < size() (tail bits of the last word stay 0). */
+    void
+    setAll()
+    {
+        for (auto &w : w_)
+            w = ~uint64_t(0);
+        maskTail();
+    }
+
+    bool
+    any() const
+    {
+        for (uint64_t w : w_)
+            if (w)
+                return true;
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    size_t
+    count() const
+    {
+        size_t n = 0;
+        for (uint64_t w : w_)
+            n += static_cast<size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** Index of the lowest set bit, or npos when empty. */
+    size_t
+    findFirst() const
+    {
+        for (size_t wi = 0; wi < w_.size(); ++wi)
+            if (w_[wi])
+                return wi * WordBits +
+                       static_cast<size_t>(std::countr_zero(w_[wi]));
+        return npos;
+    }
+
+    /**
+     * Index of the lowest *clear* bit in [0, limit), or npos when the
+     * range is fully set (free-slot allocation over occupancy masks).
+     */
+    size_t
+    findFirstClear(size_t limit) const
+    {
+        assert(limit <= bits_);
+        for (size_t wi = 0; wi * WordBits < limit; ++wi) {
+            uint64_t inv = ~w_[wi];
+            if (!inv)
+                continue;
+            size_t i = wi * WordBits +
+                       static_cast<size_t>(std::countr_zero(inv));
+            return i < limit ? i : npos;
+        }
+        return npos;
+    }
+
+    /** Raw word access for mask algebra at the call site. */
+    uint64_t word(size_t wi) const { return w_[wi]; }
+    uint64_t &word(size_t wi) { return w_[wi]; }
+
+    /**
+     * Invoke `fn(index)` for every set bit, lowest first. The word is
+     * snapshotted before scanning, so `fn` may clear bits of `this`
+     * (lazy wait-bit clearing does exactly that).
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (size_t wi = 0; wi < w_.size(); ++wi) {
+            for (uint64_t w = w_[wi]; w; w &= w - 1) {
+                fn(wi * WordBits +
+                   static_cast<size_t>(std::countr_zero(w)));
+            }
+        }
+    }
+
+    bool operator==(const BitWords &) const = default;
+
+  private:
+    /** Zero the bits of the last word beyond size(). */
+    void
+    maskTail()
+    {
+        size_t tail = bits_ % WordBits;
+        if (tail && !w_.empty())
+            w_.back() &= (uint64_t(1) << tail) - 1;
+    }
+
+    std::vector<uint64_t> w_;
+    size_t bits_ = 0;
+};
+
+} // namespace diq::util
+
+#endif // DIQ_UTIL_BIT_WORDS_HH

@@ -7,6 +7,11 @@
  * queues. Indexed access (0 = head/oldest) is provided because several
  * structures scan their occupants (e.g. the LSQ disambiguation walk).
  *
+ * Index arithmetic uses conditional wrap instead of `% capacity_`:
+ * capacities are runtime values (rarely powers of two), so the modulo
+ * compiles to an integer divide on the hottest accessor of the LSQ and
+ * ROB walks; a compare-and-subtract costs one predictable branch.
+ *
  * Paper ↔ code map: docs/ARCHITECTURE.md §2.
  */
 
@@ -43,9 +48,24 @@ class CircularBuffer
     {
         if (full())
             return false;
-        data_[(head_ + size_) % capacity_] = v;
+        data_[wrap(head_ + size_)] = v;
         ++size_;
         return true;
+    }
+
+    /**
+     * Append at the tail in place, returning the slot to fill.
+     * The slot holds the stale value of a previous occupant — the
+     * caller must assign every field. Returns nullptr when full.
+     */
+    T *
+    emplaceBack()
+    {
+        if (full())
+            return nullptr;
+        T *slot = &data_[wrap(head_ + size_)];
+        ++size_;
+        return slot;
     }
 
     /** Remove and return the head (oldest) element. */
@@ -54,7 +74,7 @@ class CircularBuffer
     {
         assert(!empty());
         T v = data_[head_];
-        head_ = (head_ + 1) % capacity_;
+        head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
         --size_;
         return v;
     }
@@ -65,7 +85,7 @@ class CircularBuffer
     {
         assert(!empty());
         --size_;
-        return data_[(head_ + size_) % capacity_];
+        return data_[wrap(head_ + size_)];
     }
 
     const T &front() const { assert(!empty()); return data_[head_]; }
@@ -75,14 +95,14 @@ class CircularBuffer
     back() const
     {
         assert(!empty());
-        return data_[(head_ + size_ - 1) % capacity_];
+        return data_[wrap(head_ + size_ - 1)];
     }
 
     T &
     back()
     {
         assert(!empty());
-        return data_[(head_ + size_ - 1) % capacity_];
+        return data_[wrap(head_ + size_ - 1)];
     }
 
     /** Index 0 is the oldest element. */
@@ -90,14 +110,14 @@ class CircularBuffer
     at(size_t i) const
     {
         assert(i < size_);
-        return data_[(head_ + i) % capacity_];
+        return data_[wrap(head_ + i)];
     }
 
     T &
     at(size_t i)
     {
         assert(i < size_);
-        return data_[(head_ + i) % capacity_];
+        return data_[wrap(head_ + i)];
     }
 
     void
@@ -108,6 +128,14 @@ class CircularBuffer
     }
 
   private:
+    /** head_ < capacity_ and the offset < capacity_, so one subtract
+     *  replaces the modulo. */
+    size_t
+    wrap(size_t i) const
+    {
+        return i >= capacity_ ? i - capacity_ : i;
+    }
+
     std::vector<T> data_;
     size_t capacity_;
     size_t head_ = 0;

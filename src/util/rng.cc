@@ -45,46 +45,6 @@ Rng::hashString(std::string_view s)
     return splitmix64(x);
 }
 
-static inline uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-uint64_t
-Rng::nextBounded(uint64_t bound)
-{
-    // Lemire's multiply-shift rejection method (unbiased).
-    uint64_t x = next();
-    __uint128_t m = static_cast<__uint128_t>(x) * bound;
-    uint64_t l = static_cast<uint64_t>(m);
-    if (l < bound) {
-        uint64_t t = -bound % bound;
-        while (l < t) {
-            x = next();
-            m = static_cast<__uint128_t>(x) * bound;
-            l = static_cast<uint64_t>(m);
-        }
-    }
-    return static_cast<uint64_t>(m >> 64);
-}
-
 int64_t
 Rng::nextRange(int64_t lo, int64_t hi)
 {
@@ -92,22 +52,6 @@ Rng::nextRange(int64_t lo, int64_t hi)
         return lo;
     uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
     return lo + static_cast<int64_t>(nextBounded(span));
-}
-
-double
-Rng::nextDouble()
-{
-    return (next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 uint32_t

@@ -39,20 +39,58 @@ class Rng
     /** Derive a deterministic seed from a string (e.g. benchmark name). */
     static uint64_t hashString(std::string_view s);
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /** Next raw 64-bit value. Inline: drawn on simulation hot paths. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound). bound must be > 0. */
-    uint64_t nextBounded(uint64_t bound);
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method (unbiased).
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        uint64_t l = static_cast<uint64_t>(m);
+        if (l < bound) {
+            uint64_t t = -bound % bound;
+            while (l < t) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
     int64_t nextRange(int64_t lo, int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
 
     /** Bernoulli draw: true with probability p (clamped to [0,1]). */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Geometric-ish draw: number of failures before first success with
@@ -62,6 +100,11 @@ class Rng
 
   private:
     uint64_t s_[4];
+
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
 
     static uint64_t splitmix64(uint64_t &x);
 };

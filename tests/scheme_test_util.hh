@@ -1,16 +1,19 @@
 /**
  * @file
  * Shared helpers for driving issue schemes directly in unit tests:
- * a miniature machine (scoreboard + FU pool + counters) and DynInst
- * factories.
+ * a miniature machine (instruction pool + scoreboard + FU pool +
+ * counters) and DynInst factories. Instructions live in a
+ * core::InstPool, as in the real pipeline; the helpers still hand out
+ * DynInst pointers (stable — the slab never reallocates) so tests can
+ * compare identities.
  */
 
 #ifndef DIQ_TESTS_SCHEME_TEST_UTIL_HH
 #define DIQ_TESTS_SCHEME_TEST_UTIL_HH
 
-#include <memory>
 #include <vector>
 
+#include "core/inst_pool.hh"
 #include "core/issue_scheme.hh"
 
 namespace diq::test
@@ -19,11 +22,11 @@ namespace diq::test
 /** A standalone issue environment for scheme unit tests. */
 struct MiniMachine
 {
+    core::InstPool pool{320};
     core::Scoreboard scoreboard{320};
     core::FuPool fus{core::FuPoolConfig{}};
     power::EventCounters counters;
     uint64_t cycle = 0;
-    std::vector<std::unique_ptr<core::DynInst>> insts;
 
     explicit MiniMachine(core::FuPoolConfig fu_cfg = core::FuPoolConfig{})
         : fus(fu_cfg)
@@ -38,6 +41,7 @@ struct MiniMachine
         c.scoreboard = &scoreboard;
         c.fus = &fus;
         c.counters = &counters;
+        c.pool = &pool;
         return c;
     }
 
@@ -48,40 +52,45 @@ struct MiniMachine
     core::DynInst *
     make(trace::OpClass op, int dest, int src1, int src2, uint64_t seq)
     {
-        auto inst = std::make_unique<core::DynInst>();
         trace::MicroOp mop;
         mop.op = op;
         mop.dest = static_cast<int8_t>(dest);
         mop.src1 = static_cast<int8_t>(src1);
         mop.src2 = static_cast<int8_t>(src2);
         mop.pc = 0x1000 + seq * 4;
-        inst->reset(mop, seq);
-        inst->pdest = dest;
-        inst->psrc1 = src1;
-        inst->psrc2 = src2;
+        core::InstIdx idx = pool.alloc(mop, seq);
+        core::DynInst &inst = pool.get(idx);
+        inst.pdest = dest;
+        inst.psrc1 = src1;
+        inst.psrc2 = src2;
         if (dest >= 0)
             scoreboard.markPending(dest);
-        insts.push_back(std::move(inst));
-        return insts.back().get();
+        return &inst;
     }
 
     /** Advance one cycle and run the scheme's issue stage. */
     std::vector<core::DynInst *>
     step(core::IssueScheme &scheme)
     {
+        scheme.bindScoreboard(scoreboard); // idempotent
         ++cycle;
+        scoreboard.syncTo(cycle);
         auto c = ctx();
-        std::vector<core::DynInst *> out;
-        scheme.issue(c, out);
+        std::vector<core::InstIdx> issued;
+        scheme.issue(c, issued);
         // Model the pipeline's completion scheduling for fixed-latency
         // ops so dependents wake up.
-        for (auto *inst : out) {
-            if (inst->hasDest() && !inst->op.isMem()) {
+        std::vector<core::DynInst *> out;
+        out.reserve(issued.size());
+        for (core::InstIdx idx : issued) {
+            core::DynInst &inst = pool.get(idx);
+            if (inst.hasDest() && !inst.op.isMem()) {
                 scoreboard.setReadyAt(
-                    inst->pdest,
+                    inst.pdest,
                     cycle + static_cast<uint64_t>(
-                                trace::opLatency(inst->op.op)));
+                                trace::opLatency(inst.op.op)));
             }
+            out.push_back(&inst);
         }
         return out;
     }
@@ -90,10 +99,11 @@ struct MiniMachine
     bool
     dispatch(core::IssueScheme &scheme, core::DynInst *inst)
     {
+        scheme.bindScoreboard(scoreboard); // idempotent
         auto c = ctx();
         if (!scheme.canDispatch(*inst, c))
             return false;
-        scheme.dispatch(inst, c);
+        scheme.dispatch(pool.indexOf(*inst), c);
         return true;
     }
 };

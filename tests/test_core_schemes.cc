@@ -232,6 +232,31 @@ TEST(FifoScheme, OnlyHeadsIssue)
         << "ready instruction behind a blocked head cannot issue";
 }
 
+TEST(FifoScheme, QueuesBeyondSixtyFourStillIssue)
+{
+    // Regression: the select stage used to gather queue heads into a
+    // fixed heads[64] array, silently dropping queues 64+ from issue
+    // consideration — instructions steered there were stuck forever.
+    // 70 single-entry queues put the last six ops past that boundary.
+    MiniMachine m;
+    SchemeConfig cfg = SchemeConfig::issueFifo(70, 1, 1, 1);
+    FifoIssueScheme scheme(cfg);
+    for (uint64_t s = 1; s <= 70; ++s)
+        ASSERT_TRUE(
+            m.dispatch(scheme, m.make(OpClass::IntAlu, -1, -1, -1, s)));
+
+    auto first = m.step(scheme);
+    ASSERT_EQ(first.size(), 8u);
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i]->seq, i + 1) << "oldest-first across all queues";
+
+    uint64_t issued = first.size();
+    for (int c = 0; c < 20 && issued < 70; ++c)
+        issued += m.step(scheme).size();
+    EXPECT_EQ(issued, 70u) << "queues past index 63 must reach select";
+    EXPECT_EQ(scheme.occupancy(), 0u);
+}
+
 TEST(FifoScheme, FifoDrainsInOrder)
 {
     MiniMachine m;

@@ -98,6 +98,39 @@ TEST(RecordReplay, LatFifoOnPhasedComposition)
         "replay_latfifo_phased.diqt");
 }
 
+// All four scheme presets over a generated `fuzz:` workload: replay
+// equivalence must hold on generator-defined streams, not just the
+// hand-built profiles above (pool-rework pin).
+
+TEST(RecordReplayFuzz, CamBaseline)
+{
+    expectReplayEquivalence(
+        "iq6464 bench=fuzz:11 warmup_insts=500 measure_insts=6000",
+        "replay_iq64_fuzz11.diqt");
+}
+
+TEST(RecordReplayFuzz, IssueFifoDistr)
+{
+    expectReplayEquivalence(
+        "if_distr bench=fuzz:11 warmup_insts=500 measure_insts=6000",
+        "replay_ifdistr_fuzz11.diqt");
+}
+
+TEST(RecordReplayFuzz, LatFifo)
+{
+    expectReplayEquivalence(
+        "latfifo_8x8_8x16 bench=fuzz:11 warmup_insts=500 "
+        "measure_insts=6000",
+        "replay_latfifo_fuzz11.diqt");
+}
+
+TEST(RecordReplayFuzz, MixBuffDistr)
+{
+    expectReplayEquivalence(
+        "mb_distr bench=fuzz:11 warmup_insts=500 measure_insts=6000",
+        "replay_mbdistr_fuzz11.diqt");
+}
+
 TEST(RecordReplay, ReRecordingAReplayIsIdempotent)
 {
     // Recording while replaying a trace re-encodes the same stream:

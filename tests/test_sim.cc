@@ -89,44 +89,42 @@ struct LsqFixture : ::testing::Test
 {
     mem::MemoryHierarchy mem;
     core::Scoreboard sb{320};
+    core::InstPool pool{64};
     LoadStoreQueue lsq{32};
-    std::vector<std::unique_ptr<core::DynInst>> insts;
 
-    core::DynInst *
+    core::InstIdx
     makeMem(OpClass op_class, uint64_t addr, uint64_t seq,
             int data_reg = core::NoPhysReg)
     {
-        auto inst = std::make_unique<core::DynInst>();
         MicroOp op;
         op.op = op_class;
         op.memAddr = addr;
         op.src1 = 1;
         op.src2 = static_cast<int8_t>(data_reg);
-        inst->reset(op, seq);
-        inst->psrc2 = data_reg;
-        insts.push_back(std::move(inst));
-        return insts.back().get();
+        core::InstIdx idx = pool.alloc(op, seq);
+        pool.get(idx).psrc2 = data_reg;
+        return idx;
     }
 
     std::vector<MemReturn>
     tick(uint64_t cycle, int ports = 4)
     {
         std::vector<MemReturn> out;
-        lsq.tick(cycle, mem, sb, ports, out);
+        lsq.tick(cycle, mem, sb, pool, ports, out);
         return out;
     }
 };
 
 TEST_F(LsqFixture, LoadWaitsForOlderStoreAddress)
 {
-    auto *store = makeMem(OpClass::Store, 0x1000, 1);
-    auto *load = makeMem(OpClass::Load, 0x2000, 2);
-    lsq.insert(store);
-    lsq.insert(load);
-    lsq.addressReady(load);
+    auto store = makeMem(OpClass::Store, 0x1000, 1);
+    auto load = makeMem(OpClass::Load, 0x2000, 2);
+    lsq.insert(store, pool);
+    lsq.insert(load, pool);
+    lsq.addressReady(load, pool);
     EXPECT_TRUE(tick(10).empty())
         << "conservative disambiguation: unknown store blocks";
-    lsq.addressReady(store);
+    lsq.addressReady(store, pool);
     auto out = tick(11);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].inst, load);
@@ -135,12 +133,12 @@ TEST_F(LsqFixture, LoadWaitsForOlderStoreAddress)
 
 TEST_F(LsqFixture, ForwardingFromMatchingStore)
 {
-    auto *store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
-    auto *load = makeMem(OpClass::Load, 0x1004, 2); // same 8B granule
-    lsq.insert(store);
-    lsq.insert(load);
-    lsq.addressReady(store);
-    lsq.addressReady(load);
+    auto store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
+    auto load = makeMem(OpClass::Load, 0x1004, 2); // same 8B granule
+    lsq.insert(store, pool);
+    lsq.insert(load, pool);
+    lsq.addressReady(store, pool);
+    lsq.addressReady(load, pool);
     auto out = tick(10);
     ASSERT_EQ(out.size(), 1u);
     EXPECT_TRUE(out[0].forwarded);
@@ -149,13 +147,13 @@ TEST_F(LsqFixture, ForwardingFromMatchingStore)
 
 TEST_F(LsqFixture, ForwardDefersUntilStoreDataReady)
 {
-    auto *store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
-    auto *load = makeMem(OpClass::Load, 0x1000, 2);
+    auto store = makeMem(OpClass::Store, 0x1000, 1, /*data_reg=*/7);
+    auto load = makeMem(OpClass::Load, 0x1000, 2);
     sb.markPending(7);
-    lsq.insert(store);
-    lsq.insert(load);
-    lsq.addressReady(store);
-    lsq.addressReady(load);
+    lsq.insert(store, pool);
+    lsq.insert(load, pool);
+    lsq.addressReady(store, pool);
+    lsq.addressReady(load, pool);
     EXPECT_TRUE(tick(10).empty()) << "store data still pending";
     sb.setReadyAt(7, 11);
     auto out = tick(11);
@@ -166,9 +164,9 @@ TEST_F(LsqFixture, ForwardDefersUntilStoreDataReady)
 TEST_F(LsqFixture, PortLimitThrottlesLoads)
 {
     for (uint64_t i = 0; i < 6; ++i) {
-        auto *ld = makeMem(OpClass::Load, 0x10000 + i * 4096, i + 1);
-        lsq.insert(ld);
-        lsq.addressReady(ld);
+        auto ld = makeMem(OpClass::Load, 0x10000 + i * 4096, i + 1);
+        lsq.insert(ld, pool);
+        lsq.addressReady(ld, pool);
     }
     EXPECT_EQ(tick(10, /*ports=*/4).size(), 4u);
     EXPECT_EQ(tick(11, /*ports=*/4).size(), 2u);
@@ -176,14 +174,14 @@ TEST_F(LsqFixture, PortLimitThrottlesLoads)
 
 TEST_F(LsqFixture, ForwardsDontConsumePorts)
 {
-    auto *store = makeMem(OpClass::Store, 0x1000, 1, 7);
-    lsq.insert(store);
-    lsq.addressReady(store);
+    auto store = makeMem(OpClass::Store, 0x1000, 1, 7);
+    lsq.insert(store, pool);
+    lsq.addressReady(store, pool);
     for (uint64_t i = 0; i < 5; ++i) {
-        auto *ld = makeMem(OpClass::Load,
+        auto ld = makeMem(OpClass::Load,
                            i == 0 ? 0x1000 : 0x20000 + i * 4096, i + 2);
-        lsq.insert(ld);
-        lsq.addressReady(ld);
+        lsq.insert(ld, pool);
+        lsq.addressReady(ld, pool);
     }
     // 1 forward + 4 cache loads all start with only 4 ports.
     EXPECT_EQ(tick(10, 4).size(), 5u);
@@ -191,15 +189,39 @@ TEST_F(LsqFixture, ForwardsDontConsumePorts)
 
 TEST_F(LsqFixture, CommitStoreWritesCache)
 {
-    auto *store = makeMem(OpClass::Store, 0x3000, 1, 7);
-    lsq.insert(store);
-    lsq.addressReady(store);
+    auto store = makeMem(OpClass::Store, 0x3000, 1, 7);
+    lsq.insert(store, pool);
+    lsq.addressReady(store, pool);
     EXPECT_TRUE(lsq.commit(store, mem));
     EXPECT_TRUE(mem.l1d().probe(0x3000));
 
-    auto *load = makeMem(OpClass::Load, 0x4000, 2);
-    lsq.insert(load);
+    auto load = makeMem(OpClass::Load, 0x4000, 2);
+    lsq.insert(load, pool);
     EXPECT_FALSE(lsq.commit(load, mem)) << "loads don't write at commit";
+}
+
+TEST_F(LsqFixture, AddressReadyResolvesByTicketAfterCommits)
+{
+    // Regression for the ticket-indexed lookup: once older entries have
+    // committed, an op's queue position is lsqTicket - headTicket, not
+    // its insertion index. Deliver addresses out of order after a
+    // commit has shifted the queue.
+    auto s1 = makeMem(OpClass::Store, 0x1000, 1, 7);
+    auto l2 = makeMem(OpClass::Load, 0x2000, 2);
+    auto l3 = makeMem(OpClass::Load, 0x3000, 3);
+    lsq.insert(s1, pool);
+    lsq.insert(l2, pool);
+    lsq.insert(l3, pool);
+    lsq.addressReady(s1, pool);
+    lsq.commit(s1, mem); // head advances under the younger loads
+    lsq.addressReady(l3, pool);
+    auto out = tick(10);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, l3);
+    lsq.addressReady(l2, pool);
+    out = tick(11);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].inst, l2);
 }
 
 // --- Pipeline on hand-built traces ---------------------------------------------

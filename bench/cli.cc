@@ -6,17 +6,22 @@
 
 #include "cli.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "fault/fault_plan.hh"
 #include "figures.hh"
 #include "fuzz/fuzz_runner.hh"
 #include "report.hh"
+#include "runner/supervisor.hh"
 #include "runner/sweep_runner.hh"
 #include "spec/presets.hh"
+#include "store/result_store.hh"
 #include "trace/file_trace.hh"
 #include "trace/scenarios.hh"
 #include "trace/spec2000.hh"
@@ -51,6 +56,21 @@ usage(std::ostream &os)
           "      bench= also accepts the aliases int, fp, all and\n"
           "      scenarios (the whole adversarial catalog)\n"
           "      [--jobs N] [--insts N] [--warmup N] [--out FILE]\n"
+          "      Crash-safe campaigns: --store DIR persists every\n"
+          "      result (checksummed, atomic-rename durable) and\n"
+          "      --resume replays completed points from the store\n"
+          "      after a crash, recomputing only what is missing —\n"
+          "      the final CSV is byte-identical to an uninterrupted\n"
+          "      run. Jobs retry with backoff; a job failing\n"
+          "      --max-attempts times is quarantined (journaled,\n"
+          "      skipped, row marked failed, exit 3).\n"
+          "      [--store DIR] [--resume] [--max-attempts N]\n"
+          "      [--backoff-ms N] [--deadline-ms N] [--fault-plan TEXT]\n"
+          "  cache list|verify|gc            inspect the result store\n"
+          "      list: every entry with its validation status;\n"
+          "      verify: validate + quarantine corrupt entries (exit 1\n"
+          "      if any were found); gc: delete quarantined entries\n"
+          "      and orphan temp files.  [--store DIR]\n"
           "  report [figure-ids...]          reproduce every paper\n"
           "      figure (alias binary: diq_report)\n"
           "      [--outdir DIR] [--jobs N] [--insts N] [--warmup N]\n"
@@ -66,7 +86,11 @@ usage(std::ostream &os)
           "      show the named vocabulary with doc strings\n"
           "  help                            this text\n"
           "\n"
-          "Env fallbacks: DIQ_INSTS, DIQ_WARMUP, DIQ_JOBS, DIQ_OUTDIR\n";
+          "Env fallbacks: DIQ_INSTS, DIQ_WARMUP, DIQ_JOBS, DIQ_OUTDIR,\n"
+          "  DIQ_STORE, DIQ_MAX_ATTEMPTS, DIQ_DEADLINE_MS, DIQ_FAULT_PLAN\n"
+          "Exit codes: 0 ok; 1 runtime failure; 2 fuzz violations;\n"
+          "  3 partial sweep (quarantined jobs); 4 usage/plan/journal\n"
+          "  error; 5 spec or grid parse error; 42 injected crash\n";
 }
 
 /** Spaces to align a name column at `width`. */
@@ -139,13 +163,28 @@ runCmd(const util::Flags &flags)
     if (text.empty() && !flags.has("bench")) {
         std::cerr << "error: no spec given (try `diq run mb_distr "
                      "bench=swim` or `diq list schemes`)\n";
-        return 1;
+        return kExitUsage;
     }
 
     spec::ExperimentSpec exp = buildRunExperiment(flags, text);
-    runner::SimResult result = runner::executeJob(runner::makeJob(exp));
+    runner::SimJob job = runner::makeJob(exp);
+
+    std::string storePath = flags.getString("store", "", "DIQ_STORE");
+    runner::SimResult result;
+    if (!storePath.empty()) {
+        store::ResultStore st(storePath);
+        if (auto hit = st.load(job.key())) {
+            result = std::move(*hit);
+            std::cerr << "store: replayed " << job.key() << "\n";
+        } else {
+            result = runner::executeJob(job);
+            st.save(job.key(), result);
+        }
+    } else {
+        result = runner::executeJob(job);
+    }
     std::cout << renderRunOutput(exp, result);
-    return 0;
+    return kExitOk;
 }
 
 int
@@ -155,11 +194,11 @@ recordCmd(const util::Flags &flags)
     if (text.empty() && !flags.has("bench")) {
         std::cerr << "error: no spec given (try `diq record iq6464 "
                      "bench=swim --out swim.diqt`)\n";
-        return 1;
+        return kExitUsage;
     }
     if (!flags.has("out")) {
         std::cerr << "error: no output path given (--out FILE)\n";
-        return 1;
+        return kExitUsage;
     }
     std::string out_path = flags.getString("out", "");
 
@@ -177,7 +216,7 @@ recordCmd(const util::Flags &flags)
             std::cerr << "error: --out '" << out_path << "' is the "
                          "trace being replayed (recording onto it "
                          "would destroy the input)\n";
-            return 1;
+            return kExitUsage;
         }
     }
 
@@ -191,7 +230,35 @@ recordCmd(const util::Flags &flags)
               << " (replay: diq run bench=trace:" << out_path
               << " ...)\n";
     std::cout << renderRunOutput(exp, result);
-    return 0;
+    return kExitOk;
+}
+
+/**
+ * The campaign identity for a grid under its budgets: a hash over the
+ * effective canonical line of every point, in sweep order, plus the
+ * human-readable shape. `--resume` refuses a journal whose campaign
+ * line differs — a different grid is a different campaign.
+ */
+std::string
+campaignFor(const runner::SweepSpec &grid,
+            const runner::RunnerOptions &opts)
+{
+    std::string lines;
+    for (const auto &[exp, profile] : grid.points()) {
+        spec::ExperimentSpec e = exp;
+        e.benchmark = profile.name;
+        e.warmupInsts = opts.warmupInsts;
+        e.measureInsts = opts.measureInsts;
+        lines += e.canonicalLine();
+        lines += '\n';
+    }
+    char h[32];
+    std::snprintf(h, sizeof h, "h%016llx",
+                  static_cast<unsigned long long>(
+                      store::fnv1a64(lines.data(), lines.size())));
+    return std::string(h) + " points=" + std::to_string(grid.size()) +
+        " insts=" + std::to_string(opts.measureInsts) +
+        " warmup=" + std::to_string(opts.warmupInsts);
 }
 
 int
@@ -201,13 +268,13 @@ sweepCmd(const util::Flags &flags)
     if (text.empty()) {
         std::cerr << "error: no grid given (try `diq sweep "
                      "scheme=iq6464,mb_distr bench=swim,gcc`)\n";
-        return 1;
+        return kExitUsage;
     }
 
     runner::SweepSpec grid = runner::SweepSpec::fromText(text);
     if (grid.empty()) {
         std::cerr << "error: empty grid\n";
-        return 1;
+        return kExitUsage;
     }
 
     // Budgets through the validated setters, like `diq run` (the
@@ -221,25 +288,130 @@ sweepCmd(const util::Flags &flags)
     applyFlagBudgets(flags, budgets);
     opts.warmupInsts = budgets.warmupInsts;
     opts.measureInsts = budgets.measureInsts;
+    opts.policy = runner::JobPolicy::fromFlags(flags);
+
+    fault::FaultPlan faults = flags.has("fault-plan")
+        ? fault::FaultPlan::parse(flags.getString("fault-plan", ""))
+        : fault::FaultPlan::fromEnv();
+    if (!faults.empty())
+        opts.faults = &faults;
+
+    std::string storePath = flags.getString("store", "", "DIQ_STORE");
+    bool resume = flags.getBool("resume", false);
+    if (resume && storePath.empty()) {
+        std::cerr << "error: --resume needs a persistent store "
+                     "(--store DIR or DIQ_STORE)\n";
+        return kExitUsage;
+    }
+
+    std::unique_ptr<store::ResultStore> st;
+    std::unique_ptr<runner::SweepJournal> journal;
+    if (!storePath.empty()) {
+        st = std::make_unique<store::ResultStore>(storePath,
+                                                  opts.faults);
+        opts.store = st.get();
+        std::string campaign = campaignFor(grid, opts);
+        journal = std::make_unique<runner::SweepJournal>(
+            st->root() / "journals" /
+                runner::SweepJournal::fileNameFor(campaign),
+            campaign, resume);
+    }
+
     runner::SweepRunner runner(opts);
     std::cerr << "diq sweep: " << grid.size() << " points over "
               << runner.jobCount() << " worker(s), budget "
               << opts.measureInsts << " insts (+" << opts.warmupInsts
-              << " warm-up)\n";
+              << " warm-up)";
+    if (st) {
+        std::cerr << ", store " << st->root().string();
+        if (resume)
+            std::cerr << " (resume, " << journal->poisoned().size()
+                      << " journaled poison job(s))";
+    }
+    std::cerr << "\n";
 
-    std::string csv = renderSweepCsv(grid, opts, runner.runAll(grid));
+    std::vector<runner::JobOutcome> outcomes =
+        runner.runAllSupervised(grid, journal.get());
+    std::string csv = renderSweepCsv(grid, opts, outcomes);
     std::cout << csv;
     if (flags.has("out")) {
         std::string path = flags.getString("out", "");
         std::ofstream os(path);
         if (!os) {
             std::cerr << "error: cannot write " << path << "\n";
-            return 1;
+            return kExitRuntime;
         }
         os << csv;
         std::cerr << "wrote " << path << "\n";
     }
-    return 0;
+
+    if (st)
+        std::cerr << "store: " << st->hits() << " replayed, "
+                  << st->misses() << " computed, " << st->corrupt()
+                  << " quarantined\n";
+    size_t failed = 0;
+    for (const auto &o : outcomes)
+        failed += o.result == nullptr;
+    if (failed > 0) {
+        std::cerr << "diq sweep: partial — " << failed << " of "
+                  << outcomes.size()
+                  << " point(s) quarantined as poison (see the "
+                     "status column)\n";
+        return kExitPartialSweep;
+    }
+    return kExitOk;
+}
+
+int
+cacheCmd(const util::Flags &flags)
+{
+    std::string verb =
+        flags.positional().empty() ? "" : flags.positional().front();
+    std::string storePath =
+        flags.getString("store", ".diq-store", "DIQ_STORE");
+
+    if (verb == "list") {
+        store::ResultStore st(storePath);
+        auto entries = st.list();
+        util::TablePrinter t({"file", "status", "benchmark", "scheme",
+                              "ipc", "bytes"});
+        for (const auto &e : entries) {
+            bool ok = e.status == store::EntryStatus::Valid;
+            t.addRow({e.file, store::entryStatusName(e.status),
+                      ok ? e.benchmark : "-", ok ? e.scheme : "-",
+                      ok ? util::TablePrinter::fmt(e.ipc, 3) : "-",
+                      std::to_string(e.bytes)});
+        }
+        std::cout << t.render();
+        std::cerr << "store " << st.root().string() << ": "
+                  << entries.size() << " entry file(s)\n";
+        return kExitOk;
+    }
+    if (verb == "verify") {
+        store::ResultStore st(storePath);
+        auto report = st.verify();
+        for (const auto &e : report.entries)
+            if (e.status != store::EntryStatus::Valid)
+                std::cout << "corrupt: " << e.file << " ("
+                          << store::entryStatusName(e.status)
+                          << ") -> quarantined\n";
+        std::cout << "verify: " << report.valid << " valid, "
+                  << report.corrupt << " corrupt\n";
+        return report.corrupt > 0 ? kExitRuntime : kExitOk;
+    }
+    if (verb == "gc") {
+        store::ResultStore st(storePath);
+        auto report = st.gc();
+        std::cout << "gc: removed " << report.quarantined
+                  << " quarantined file(s), " << report.orphanTmp
+                  << " orphan temp file(s), " << report.bytes
+                  << " byte(s)\n";
+        return kExitOk;
+    }
+
+    std::cerr << "error: unknown cache verb '" << verb
+              << "' (known: list verify gc)\n";
+    return kExitUsage;
 }
 
 /**
@@ -274,10 +446,15 @@ int
 fuzzCmd(const util::Flags &flags)
 {
     fuzz::FuzzOptions opts;
-    auto [begin, end] =
-        parseSeedWindow(flags.getString("seeds", "0..99"));
-    opts.seedBegin = begin;
-    opts.seedEnd = end;
+    try {
+        auto [begin, end] =
+            parseSeedWindow(flags.getString("seeds", "0..99"));
+        opts.seedBegin = begin;
+        opts.seedEnd = end;
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUsage;
+    }
 
     // --budget is the ISSUE's spelling for the per-run instruction
     // budget; --insts matches every other subcommand. Flag > env.
@@ -288,7 +465,7 @@ fuzzCmd(const util::Flags &flags)
     if (insts <= 0 || warmup < 0) {
         std::cerr << "error: budgets must be positive (--insts "
                   << insts << ", --warmup " << warmup << ")\n";
-        return 1;
+        return kExitUsage;
     }
     opts.measureInsts = static_cast<uint64_t>(insts);
     opts.warmupInsts = static_cast<uint64_t>(warmup);
@@ -326,7 +503,7 @@ fuzzCmd(const util::Flags &flags)
         std::ofstream os(path, std::ios::trunc);
         if (!os) {
             std::cerr << "error: cannot write " << path << "\n";
-            return 1;
+            return kExitRuntime;
         }
         os << summary.toJson();
         std::cerr << "wrote " << path << "\n";
@@ -346,7 +523,7 @@ fuzzCmd(const util::Flags &flags)
                       << v.shrunkOps << " ops)";
         std::cout << "\n";
     }
-    return summary.clean() ? 0 : 2;
+    return summary.clean() ? kExitOk : kExitFuzzViolations;
 }
 
 int
@@ -418,9 +595,9 @@ listCmd(const util::Flags &flags)
         std::cerr << "error: unknown list topic '" << topic
                   << "' (known: schemes benchmarks scenarios keys "
                      "figures)\n";
-        return 1;
+        return kExitUsage;
     }
-    return 0;
+    return kExitOk;
 }
 
 } // namespace
@@ -452,12 +629,12 @@ renderRunOutput(const spec::ExperimentSpec &exp,
 std::string
 renderSweepCsv(const runner::SweepSpec &grid,
                const runner::RunnerOptions &opts,
-               const std::vector<const runner::SimResult *> &results)
+               const std::vector<runner::JobOutcome> &outcomes)
 {
     util::TablePrinter t({"scheme", "benchmark", "ipc", "cycles",
-                          "committed", "energy_pj", "spec"});
-    for (size_t i = 0; i < results.size(); ++i) {
-        const auto *r = results[i];
+                          "committed", "energy_pj", "status", "spec"});
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const runner::JobOutcome &o = outcomes[i];
         // The effective experiment: the grid point under the runner's
         // budgets — exactly what executed, so the spec column alone
         // reproduces the row.
@@ -465,12 +642,21 @@ renderSweepCsv(const runner::SweepSpec &grid,
         exp.benchmark = grid.points()[i].second.name;
         exp.warmupInsts = opts.warmupInsts;
         exp.measureInsts = opts.measureInsts;
-        t.addRow({r->scheme, r->benchmark,
-                  util::TablePrinter::fmt(r->ipc, 6),
-                  std::to_string(r->stats.cycles),
-                  std::to_string(r->stats.committed),
-                  util::TablePrinter::fmt(r->energy.total(), 3),
-                  exp.canonicalLine()});
+        if (const runner::SimResult *r = o.result) {
+            t.addRow({r->scheme, r->benchmark,
+                      util::TablePrinter::fmt(r->ipc, 6),
+                      std::to_string(r->stats.cycles),
+                      std::to_string(r->stats.committed),
+                      util::TablePrinter::fmt(r->energy.total(), 3),
+                      "ok", exp.canonicalLine()});
+        } else {
+            // Quarantined point: the row stays (one row per grid
+            // point, always), numerics blank, reason in `status` —
+            // already sanitized, so the CSV shape survives.
+            t.addRow({exp.processor.scheme.name(), exp.benchmark, "-",
+                      "-", "-", "-", "failed: " + o.error,
+                      exp.canonicalLine()});
+        }
     }
     return t.renderCsv();
 }
@@ -480,7 +666,7 @@ cliMain(int argc, char **argv)
 {
     if (argc < 2) {
         usage(std::cerr);
-        return 1;
+        return kExitUsage;
     }
     std::string cmd = argv[1];
     // Shift so the subcommand's own flags/positionals parse cleanly.
@@ -493,6 +679,8 @@ cliMain(int argc, char **argv)
             return recordCmd(flags);
         if (cmd == "sweep")
             return sweepCmd(flags);
+        if (cmd == "cache")
+            return cacheCmd(flags);
         if (cmd == "report")
             return reportMain(flags);
         if (cmd == "fuzz")
@@ -501,16 +689,33 @@ cliMain(int argc, char **argv)
             return listCmd(flags);
         if (cmd == "help" || cmd == "--help" || cmd == "-h") {
             usage(std::cout);
-            return 0;
+            return kExitOk;
         }
+    } catch (const spec::ParseError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitBadSpec;
+    } catch (const std::out_of_range &e) {
+        // Unknown benchmark/preset names surface as lookup failures;
+        // they are spec errors, not runtime faults.
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitBadSpec;
+    } catch (const fault::PlanError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUsage;
+    } catch (const runner::JournalError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUsage;
+    } catch (const std::invalid_argument &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitUsage;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return kExitRuntime;
     }
 
     std::cerr << "error: unknown subcommand '" << cmd << "'\n\n";
     usage(std::cerr);
-    return 1;
+    return kExitUsage;
 }
 
 } // namespace diq::bench

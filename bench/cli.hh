@@ -9,7 +9,10 @@
  *   diq record — execute one experiment while recording the consumed
  *                workload stream to a .diqt file (trace/file_trace.hh)
  *   diq sweep  — execute a textual grid (SweepSpec::fromText) and
- *                emit CSV
+ *                emit CSV; with --store the campaign is crash-safe
+ *                and `--resume` replays completed points from disk
+ *   diq cache  — inspect the persistent result store
+ *                (list | verify | gc; store/result_store.hh)
  *   diq report — the full figure report (bench/report.hh; the
  *                `diq_report` binary is a thin alias of this)
  *   diq list   — schemes, benchmarks, spec keys and figures, with
@@ -32,20 +35,47 @@
 namespace diq::bench
 {
 
+/**
+ * The documented exit-code taxonomy (README "Exit codes"). Scripts
+ * and CI branch on these, so they are part of the CLI contract:
+ *
+ *   0  success
+ *   1  runtime failure (I/O error, unexpected exception)
+ *   2  fuzz found invariant violations
+ *   3  sweep completed partially: >= 1 job quarantined as poison
+ *      (the CSV still has one row per point, failed rows marked)
+ *   4  usage error (bad flags, unknown subcommand, bad fault plan,
+ *      journal/campaign mismatch)
+ *   5  spec/grid parse error (spec::ParseError)
+ *
+ * fault::kCrashExitCode (42) is reserved for injected crashes.
+ */
+enum ExitCode : int
+{
+    kExitOk = 0,
+    kExitRuntime = 1,
+    kExitFuzzViolations = 2,
+    kExitPartialSweep = 3,
+    kExitUsage = 4,
+    kExitBadSpec = 5,
+};
+
 /** The exact stdout of `diq run` for a spec and its result. */
 std::string renderRunOutput(const spec::ExperimentSpec &exp,
                             const runner::SimResult &result);
 
 /**
  * The exact CSV of `diq sweep`: one row per grid point in sweep
- * order, with a final `spec` column carrying the point's effective
- * canonical spec (budgets included) — so any row reproduces alone
- * via `diq run --spec "<spec column>"`.
+ * order — including quarantined points, whose numeric cells render
+ * as "-" — with a `status` column (`ok` or `failed: <reason>`) and a
+ * final `spec` column carrying the point's effective canonical spec
+ * (budgets included), so any ok row reproduces alone via
+ * `diq run --spec "<spec column>"`.
  */
 std::string
 renderSweepCsv(const runner::SweepSpec &grid,
                const runner::RunnerOptions &opts,
-               const std::vector<const runner::SimResult *> &results);
+               const std::vector<runner::JobOutcome> &outcomes);
 
 /** Entry point behind main(): argv[1] selects the subcommand. */
 int cliMain(int argc, char **argv);

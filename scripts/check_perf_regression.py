@@ -15,6 +15,13 @@ the other benchmarks stress — so it tracks raw host speed. Dividing every
 benchmark by it yields a machine-independent relative throughput, and the
 gate compares those relatives: fail when any benchmark's relative
 throughput drops more than TOLERANCE below the baseline's.
+
+A missing or malformed BASELINE is a warning, not a failure: the gate
+exists to catch regressions against a known-good record, and when that
+record is absent (fresh branch, renamed file, truncated checkout) the
+right behaviour is to say so and pass rather than block the build on
+infrastructure. Malformed RUN files still fail — they mean the bench
+run itself broke.
 """
 
 import json
@@ -47,16 +54,25 @@ def main(argv):
         print(__doc__.strip().splitlines()[2])
         return 2
 
-    with open(argv[1]) as f:
-        baseline_doc = json.load(f)
-    baseline = {r["name"]: float(r["items_per_sec_after"])
-                for r in baseline_doc["results"]}
-    run = best_throughputs(argv[2:])
+    try:
+        with open(argv[1]) as f:
+            baseline_doc = json.load(f)
+        baseline = {r["name"]: float(r["items_per_sec_after"])
+                    for r in baseline_doc["results"]}
+    except (OSError, json.JSONDecodeError, KeyError, TypeError,
+            ValueError) as e:
+        print(f"warning: baseline {argv[1]} unusable "
+              f"({type(e).__name__}: {e}); skipping perf gate")
+        return 0
+    if NORMALIZER not in baseline:
+        print(f"warning: baseline {argv[1]} has no {NORMALIZER} entry; "
+              f"skipping perf gate")
+        return 0
 
-    for label, table in (("baseline", baseline), ("run", run)):
-        if NORMALIZER not in table:
-            print(f"error: {label} has no {NORMALIZER} entry")
-            return 2
+    run = best_throughputs(argv[2:])
+    if NORMALIZER not in run:
+        print(f"error: run has no {NORMALIZER} entry")
+        return 2
 
     failed = False
     print(f"{'benchmark':<28} {'base rel':>10} {'run rel':>10} {'ratio':>7}")

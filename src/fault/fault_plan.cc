@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Implementation of fault/fault_plan.hh (docs/ARCHITECTURE.md §11).
+ */
+
+#include "fault/fault_plan.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace diq::fault
+{
+
+namespace
+{
+
+/** Strict integer parse for a clause argument. @throws PlanError. */
+int64_t
+parseArg(const std::string &clause, const std::string &text)
+{
+    size_t digits = text.size();
+    if (!text.empty() && text.front() == '-')
+        digits -= 1;
+    if (digits == 0 ||
+        text.find_first_not_of("0123456789", text.front() == '-' ? 1 : 0)
+            != std::string::npos)
+        throw PlanError("bad fault clause '" + clause +
+                        "': argument '" + text + "' is not an integer");
+    try {
+        return std::stoll(text);
+    } catch (const std::exception &) {
+        throw PlanError("bad fault clause '" + clause +
+                        "': argument '" + text + "' out of range");
+    }
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &text)
+{
+    FaultPlan plan;
+    plan.text_ = text;
+
+    size_t at = 0;
+    while (at < text.size()) {
+        size_t start = text.find_first_not_of(" \t\n", at);
+        if (start == std::string::npos)
+            break;
+        size_t end = text.find_first_of(" \t\n", start);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string clause = text.substr(start, end - start);
+        at = end;
+
+        size_t eq = clause.find('=');
+        if (eq == std::string::npos)
+            throw PlanError("bad fault clause '" + clause +
+                            "': want probe=match[:arg]");
+        std::string probe = clause.substr(0, eq);
+        std::string rest = clause.substr(eq + 1);
+        size_t colon = rest.rfind(':');
+        std::string match =
+            colon == std::string::npos ? rest : rest.substr(0, colon);
+        std::string arg =
+            colon == std::string::npos ? "" : rest.substr(colon + 1);
+
+        Rule r;
+        if (probe == "fail_job") {
+            r.probe = Probe::FailJob;
+            if (arg.empty())
+                throw PlanError("bad fault clause '" + clause +
+                                "': fail_job needs a count "
+                                "(fail_job=<match>:<k>)");
+            r.arg = parseArg(clause, arg);
+            if (r.arg < 1)
+                throw PlanError("bad fault clause '" + clause +
+                                "': count must be >= 1");
+        } else if (probe == "delay_job") {
+            r.probe = Probe::DelayJob;
+            if (arg.empty())
+                throw PlanError("bad fault clause '" + clause +
+                                "': delay_job needs milliseconds "
+                                "(delay_job=<match>:<ms>)");
+            r.arg = parseArg(clause, arg);
+            if (r.arg < 1)
+                throw PlanError("bad fault clause '" + clause +
+                                "': delay must be >= 1 ms");
+        } else if (probe == "crash_before_rename" ||
+                   probe == "crash_after_rename") {
+            r.probe = probe == "crash_before_rename"
+                ? Probe::CrashBeforeRename
+                : Probe::CrashAfterRename;
+            r.arg = arg.empty() ? 1 : parseArg(clause, arg);
+            if (r.arg < 1)
+                throw PlanError("bad fault clause '" + clause +
+                                "': crash ordinal must be >= 1");
+        } else if (probe == "corrupt_entry_byte") {
+            r.probe = Probe::CorruptEntryByte;
+            if (arg.empty())
+                throw PlanError("bad fault clause '" + clause +
+                                "': corrupt_entry_byte needs an offset "
+                                "(corrupt_entry_byte=<match>:<off>)");
+            r.arg = parseArg(clause, arg);
+        } else {
+            throw PlanError(
+                "unknown fault probe '" + probe +
+                "' (known: fail_job delay_job crash_before_rename "
+                "crash_after_rename corrupt_entry_byte)");
+        }
+        r.match = match;
+        plan.rules_.push_back(std::move(r));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("DIQ_FAULT_PLAN");
+    return env ? parse(env) : FaultPlan{};
+}
+
+void
+FaultPlan::setCrashHandler(std::function<void(const std::string &)> fn)
+{
+    crashHandler_ = std::move(fn);
+}
+
+void
+FaultPlan::crash(const std::string &what)
+{
+    if (crashHandler_) {
+        crashHandler_(what);
+        return; // handler returned: crash suppressed
+    }
+    // Die like a SIGKILL would: no unwinding, no atexit, no flushing
+    // of anything except this diagnostic — the whole point is that
+    // everything not yet durable is lost.
+    std::cerr << "diq: injected crash: " << what << "\n";
+    std::cerr.flush();
+    std::_Exit(kCrashExitCode);
+}
+
+void
+FaultPlan::atCommit(const std::string &key, CommitPoint point)
+{
+    Probe want = point == CommitPoint::BeforeRename
+        ? Probe::CrashBeforeRename
+        : Probe::CrashAfterRename;
+    std::string what;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Rule &r : rules_) {
+            if (r.probe != want ||
+                key.find(r.match) == std::string::npos)
+                continue;
+            // The rule fires on its nth matching commit, once.
+            if (++r.fired != static_cast<uint64_t>(r.arg))
+                continue;
+            what = (point == CommitPoint::BeforeRename
+                        ? std::string("crash_before_rename")
+                        : std::string("crash_after_rename")) +
+                " at " + key;
+            break;
+        }
+    }
+    if (!what.empty())
+        crash(what); // outside the lock: the handler may throw
+}
+
+std::optional<int64_t>
+FaultPlan::corruptOffset(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rule &r : rules_) {
+        if (r.probe != Probe::CorruptEntryByte ||
+            key.find(r.match) == std::string::npos)
+            continue;
+        return r.arg;
+    }
+    return std::nullopt;
+}
+
+uint64_t
+FaultPlan::jobDelayMs(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (Rule &r : rules_) {
+        if (r.probe != Probe::DelayJob ||
+            key.find(r.match) == std::string::npos)
+            continue;
+        total += static_cast<uint64_t>(r.arg);
+    }
+    return total;
+}
+
+bool
+FaultPlan::shouldFailJob(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Rule &r : rules_) {
+        if (r.probe != Probe::FailJob ||
+            key.find(r.match) == std::string::npos)
+            continue;
+        if (r.fired < static_cast<uint64_t>(r.arg)) {
+            ++r.fired;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace diq::fault

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Deterministic fault injection for the persistence and supervision
+ * layers (docs/ARCHITECTURE.md §11).
+ *
+ * A FaultPlan is a parsed set of probe rules that the result store
+ * and the supervised job runner consult at well-defined probe points.
+ * Every crash, corruption, delay and failure the robustness tests and
+ * CI smokes exercise is spec-driven through this one facility, so a
+ * failing scenario is a reproducible command line, never a race.
+ *
+ * Plan grammar (whitespace-separated clauses; `DIQ_FAULT_PLAN` env or
+ * `--fault-plan` flag):
+ *
+ *   plan   := clause (ws clause)*
+ *   clause := probe "=" [match] [":" arg]
+ *
+ *   fail_job=<match>:<k>            first k attempts of matching jobs
+ *                                   throw (retry/quarantine testing)
+ *   delay_job=<match>:<ms>          matching jobs sleep ms per attempt
+ *                                   (deadline + SIGKILL-window testing)
+ *   crash_before_rename=<match>[:n] nth matching store commit exits the
+ *                                   process before the atomic rename
+ *                                   (torn write: only the temp file
+ *                                   survives)
+ *   crash_after_rename=<match>[:n]  nth matching commit exits right
+ *                                   after the rename (entry durable,
+ *                                   everything else lost)
+ *   corrupt_entry_byte=<match>:<off> XOR 0x01 into byte <off> of the
+ *                                   entry file after commit (negative
+ *                                   offsets count from the end)
+ *
+ * `<match>` is a substring of the job/store key (the canonical spec
+ * line); empty matches every key, e.g. `delay_job=:50`.
+ */
+
+#ifndef DIQ_FAULT_FAULT_PLAN_HH
+#define DIQ_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace diq::fault
+{
+
+/**
+ * Process exit code of an injected crash — distinct from every exit
+ * code in the CLI taxonomy (bench/cli.hh) so harnesses can tell an
+ * injected crash from a real failure.
+ */
+constexpr int kCrashExitCode = 42;
+
+/** Malformed plan text. The message names the offending clause. */
+class PlanError : public std::runtime_error
+{
+  public:
+    explicit PlanError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Where in the store's commit sequence a crash probe fires. */
+enum class CommitPoint { BeforeRename, AfterRename };
+
+/** Parsed, stateful fault plan. Thread-safe: rule trigger counters
+ *  are mutex-guarded, so concurrent workers see each rule fire
+ *  exactly its configured number of times. */
+class FaultPlan
+{
+  public:
+    /** The empty plan: no probe ever fires. */
+    FaultPlan() = default;
+
+    // Movable despite the mutex (a fresh one is default-constructed);
+    // moving a plan that other threads are probing is a caller bug.
+    FaultPlan(FaultPlan &&other) noexcept
+        : text_(std::move(other.text_)),
+          rules_(std::move(other.rules_)),
+          crashHandler_(std::move(other.crashHandler_))
+    {
+    }
+    FaultPlan &
+    operator=(FaultPlan &&other) noexcept
+    {
+        text_ = std::move(other.text_);
+        rules_ = std::move(other.rules_);
+        crashHandler_ = std::move(other.crashHandler_);
+        return *this;
+    }
+
+    /** Parse plan text (see the file comment). @throws PlanError. */
+    static FaultPlan parse(const std::string &text);
+
+    /** Parse `DIQ_FAULT_PLAN` if set, else the empty plan. */
+    static FaultPlan fromEnv();
+
+    /** True when no clause was given (every probe is a no-op). */
+    bool empty() const { return rules_.empty(); }
+
+    /** The plan text this plan was parsed from ("" when empty). */
+    const std::string &text() const { return text_; }
+
+    // --- Probe points -----------------------------------------------
+
+    /**
+     * Store commit probe: called by ResultStore::save immediately
+     * before and after the atomic rename. When a matching crash rule
+     * reaches its trigger count, the crash handler runs (default:
+     * std::_Exit(kCrashExitCode) — the process dies mid-commit like a
+     * SIGKILL would, with no cleanup).
+     */
+    void atCommit(const std::string &key, CommitPoint point);
+
+    /**
+     * Post-commit corruption probe: the byte offset to flip in the
+     * just-committed entry file, or nullopt. Negative offsets count
+     * back from the file's end.
+     */
+    std::optional<int64_t> corruptOffset(const std::string &key);
+
+    /** Per-attempt delay in milliseconds for a job (0 = none). */
+    uint64_t jobDelayMs(const std::string &key);
+
+    /**
+     * True when this attempt of the job must fail (each matching
+     * fail_job rule fires at most its first k consultations per key).
+     */
+    bool shouldFailJob(const std::string &key);
+
+    /**
+     * Replace the crash action — unit tests install a throwing
+     * handler so an "injected crash" unwinds instead of exiting. The
+     * handler receives a description like
+     * "crash_before_rename at <key>". A returning handler is treated
+     * as "crash suppressed" (the commit continues).
+     */
+    void setCrashHandler(std::function<void(const std::string &)> fn);
+
+  private:
+    enum class Probe
+    {
+        CrashBeforeRename,
+        CrashAfterRename,
+        CorruptEntryByte,
+        DelayJob,
+        FailJob,
+    };
+
+    struct Rule
+    {
+        Probe probe;
+        std::string match;  ///< key substring; empty matches all
+        int64_t arg = 0;    ///< k / ms / byte offset / trigger ordinal
+        uint64_t fired = 0; ///< matching consultations so far
+    };
+
+    void crash(const std::string &what);
+
+    std::string text_;
+    std::vector<Rule> rules_;
+    std::function<void(const std::string &)> crashHandler_;
+    std::mutex mu_; ///< guards rules_[i].fired
+};
+
+} // namespace diq::fault
+
+#endif // DIQ_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Implementation of runner/supervisor.hh (docs/ARCHITECTURE.md §11).
+ */
+
+#include "runner/supervisor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "store/result_store.hh"
+
+namespace diq::runner
+{
+
+namespace
+{
+
+/** Collapse an error message to one journal/CSV-safe line. */
+std::string
+sanitizeError(std::string text)
+{
+    for (char &c : text)
+        if (c == '\t' || c == '\n' || c == '\r' || c == ',')
+            c = ' ';
+    return text;
+}
+
+/**
+ * Sleep `ms` in small slices, returning early (false) when `cancel`
+ * is raised. This is how injected delays stay responsive to
+ * deadline-expired attempts being abandoned.
+ */
+bool
+cancellableSleep(uint64_t ms, const std::atomic<bool> &cancel)
+{
+    using namespace std::chrono;
+    auto until = steady_clock::now() + milliseconds(ms);
+    while (steady_clock::now() < until) {
+        if (cancel.load(std::memory_order_relaxed))
+            return false;
+        std::this_thread::sleep_for(milliseconds(1));
+    }
+    return true;
+}
+
+/**
+ * One attempt: fault-plan delay, fault-plan failure, then the real
+ * job. Runs on the caller's thread; cancellation only interrupts the
+ * injected delay (a real simulation is finite and short).
+ */
+SimResult
+runAttempt(const SimJob &job, fault::FaultPlan *faults,
+           const std::atomic<bool> &cancel)
+{
+    if (faults) {
+        const std::string key = job.key();
+        if (uint64_t delay = faults->jobDelayMs(key))
+            if (!cancellableSleep(delay, cancel))
+                throw std::runtime_error("attempt abandoned at deadline");
+        if (faults->shouldFailJob(key))
+            throw std::runtime_error("injected failure (fail_job)");
+    }
+    return executeJob(job);
+}
+
+} // namespace
+
+JobPolicy
+JobPolicy::fromFlags(const util::Flags &flags)
+{
+    JobPolicy p;
+    int64_t attempts =
+        flags.getInt("max-attempts", static_cast<int64_t>(p.maxAttempts),
+                     "DIQ_MAX_ATTEMPTS");
+    if (attempts < 1)
+        throw std::invalid_argument("--max-attempts must be >= 1");
+    p.maxAttempts = static_cast<unsigned>(attempts);
+
+    int64_t backoff = flags.getInt(
+        "backoff-ms", static_cast<int64_t>(p.backoffBaseMs), "");
+    if (backoff < 0)
+        throw std::invalid_argument("--backoff-ms must be >= 0");
+    p.backoffBaseMs = static_cast<uint64_t>(backoff);
+
+    int64_t deadline = flags.getInt(
+        "deadline-ms", static_cast<int64_t>(p.deadlineMs),
+        "DIQ_DEADLINE_MS");
+    if (deadline < 0)
+        throw std::invalid_argument("--deadline-ms must be >= 0");
+    p.deadlineMs = static_cast<uint64_t>(deadline);
+    return p;
+}
+
+JobQuarantined::JobQuarantined(std::string key_, unsigned attempts_,
+                               const std::string &error_)
+    : std::runtime_error("job quarantined after " +
+                         std::to_string(attempts_) + " attempts: " +
+                         key_ + ": " + sanitizeError(error_)),
+      key(std::move(key_)), attempts(attempts_),
+      error(sanitizeError(error_))
+{
+}
+
+Supervised
+superviseJob(const SimJob &job, const JobPolicy &policy,
+             fault::FaultPlan *faults)
+{
+    const unsigned maxAttempts = policy.maxAttempts < 1
+        ? 1u
+        : policy.maxAttempts;
+    std::string lastError = "unknown failure";
+
+    for (unsigned attempt = 1; attempt <= maxAttempts; ++attempt) {
+        if (attempt > 1 && policy.backoffBaseMs > 0) {
+            double factor = policy.backoffFactor <= 0.0
+                ? 1.0
+                : policy.backoffFactor;
+            double ms = static_cast<double>(policy.backoffBaseMs) *
+                std::pow(factor, static_cast<double>(attempt - 2));
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<uint64_t>(ms)));
+        }
+
+        auto cancel = std::make_shared<std::atomic<bool>>(false);
+        try {
+            if (policy.deadlineMs == 0) {
+                return {runAttempt(job, faults, *cancel), attempt};
+            }
+            // Deadline-bounded attempt: run on a worker thread and
+            // abandon it at the deadline. Injected delays observe the
+            // cancel token so the join below is prompt; a real job is
+            // joined to completion before the next attempt (the
+            // deadline bounds waiting, not execution).
+            std::packaged_task<SimResult()> task(
+                [&job, faults, cancel] {
+                    return runAttempt(job, faults, *cancel);
+                });
+            std::future<SimResult> done = task.get_future();
+            std::thread worker(std::move(task));
+            bool timedOut = done.wait_for(std::chrono::milliseconds(
+                                policy.deadlineMs)) !=
+                std::future_status::ready;
+            if (timedOut)
+                cancel->store(true, std::memory_order_relaxed);
+            worker.join();
+            if (timedOut) {
+                lastError = "deadline exceeded (" +
+                    std::to_string(policy.deadlineMs) + " ms)";
+                continue;
+            }
+            return {done.get(), attempt};
+        } catch (const std::exception &e) {
+            lastError = e.what();
+        }
+    }
+    throw JobQuarantined(job.key(), maxAttempts, lastError);
+}
+
+// --- SweepJournal ---------------------------------------------------
+
+namespace
+{
+
+constexpr const char *kJournalHeader = "diq-sweep-journal v1";
+
+/** Split one journal line on tabs. */
+std::vector<std::string>
+splitTabs(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t at = 0;
+    while (true) {
+        size_t tab = line.find('\t', at);
+        if (tab == std::string::npos) {
+            out.push_back(line.substr(at));
+            return out;
+        }
+        out.push_back(line.substr(at, tab - at));
+        at = tab + 1;
+    }
+}
+
+/** Append `line` + '\n' to the journal and push it to stable storage. */
+void
+appendDurably(const std::filesystem::path &path, const std::string &line)
+{
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << line << '\n';
+    out.flush();
+    if (!out)
+        throw JournalError("cannot append to journal " + path.string());
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(std::filesystem::path path,
+                           std::string campaign, bool resume)
+    : path_(std::move(path)), campaign_(std::move(campaign))
+{
+    std::error_code ec;
+    if (path_.has_parent_path())
+        std::filesystem::create_directories(path_.parent_path(), ec);
+
+    bool exists = std::filesystem::exists(path_, ec);
+    if (resume && exists) {
+        std::ifstream in(path_, std::ios::binary);
+        if (!in)
+            throw JournalError("cannot read journal " + path_.string());
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        // A line without its trailing '\n' is a torn append from the
+        // crash window: drop it (the job it described will simply be
+        // re-supervised and re-recorded).
+        size_t complete = content.rfind('\n');
+        content = complete == std::string::npos
+            ? std::string{}
+            : content.substr(0, complete + 1);
+
+        std::istringstream lines(content);
+        std::string line;
+        size_t lineNo = 0;
+        bool sawHeader = false, sawCampaign = false;
+        while (std::getline(lines, line)) {
+            ++lineNo;
+            if (lineNo == 1) {
+                if (line != kJournalHeader)
+                    throw JournalError(
+                        "journal " + path_.string() +
+                        " has an unrecognized header: '" + line + "'");
+                sawHeader = true;
+                continue;
+            }
+            if (lineNo == 2) {
+                if (line.rfind("campaign\t", 0) != 0)
+                    throw JournalError("journal " + path_.string() +
+                                       " is missing its campaign line");
+                std::string recorded = line.substr(9);
+                if (recorded != campaign_)
+                    throw JournalError(
+                        "journal " + path_.string() +
+                        " belongs to a different campaign\n  journal: " +
+                        recorded + "\n  sweep:   " + campaign_);
+                sawCampaign = true;
+                continue;
+            }
+            std::vector<std::string> cells = splitTabs(line);
+            if (cells.size() != 4 || cells[0] != "poison")
+                continue; // unknown record type: skip, stay forward-compatible
+            PoisonRecord rec;
+            try {
+                rec.attempts = static_cast<unsigned>(
+                    std::stoul(cells[1]));
+            } catch (const std::exception &) {
+                continue;
+            }
+            rec.error = cells[3];
+            poisoned_[cells[2]] = std::move(rec);
+        }
+        if (sawHeader && !sawCampaign && lineNo >= 1 && content.size())
+            throw JournalError("journal " + path_.string() +
+                               " is missing its campaign line");
+        if (sawHeader)
+            return; // resumed onto the existing journal
+        // Header itself was torn away: treat as fresh below.
+    }
+
+    // Fresh campaign: (re)create with header + campaign line.
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out << kJournalHeader << '\n'
+        << "campaign\t" << campaign_ << '\n';
+    out.flush();
+    if (!out)
+        throw JournalError("cannot create journal " + path_.string());
+}
+
+void
+SweepJournal::recordPoison(const std::string &key, unsigned attempts,
+                           const std::string &error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] =
+        poisoned_.try_emplace(key,
+                              PoisonRecord{attempts, sanitizeError(error)});
+    if (!inserted)
+        return; // already journaled (e.g. replayed from a resume)
+    appendDurably(path_, "poison\t" + std::to_string(attempts) + '\t' +
+                             key + '\t' + it->second.error);
+}
+
+std::string
+SweepJournal::fileNameFor(const std::string &campaign)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "h%016llx",
+                  static_cast<unsigned long long>(
+                      store::fnv1a64(campaign.data(), campaign.size())));
+    return std::string(buf) + ".journal";
+}
+
+} // namespace diq::runner

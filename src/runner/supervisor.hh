@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Job supervision: retry, backoff, deadlines, poison quarantine and
+ * the sweep campaign journal (docs/ARCHITECTURE.md §11).
+ *
+ * The supervision layer sits between the sweep runner and
+ * executeJob. Every job attempt may be delayed or failed by an
+ * injected fault::FaultPlan (and, in principle, by any transient
+ * runtime failure); the supervisor retries with exponential backoff
+ * up to a policy-bound attempt count, optionally bounding each
+ * attempt with a deadline. A job that exhausts its attempts is
+ * *poison*: it is reported (thrown as JobQuarantined), recorded in
+ * the campaign journal, and skipped — the sweep completes partially
+ * instead of dying, with the failure visible in the CSV and the
+ * exit code (bench/cli.hh taxonomy).
+ *
+ * Job state machine (one box per attempt):
+ *
+ *   PENDING --exec--> OK
+ *      |                ^
+ *      |  fail/timeout  | success on attempt <= maxAttempts
+ *      v                |
+ *   BACKOFF (base*factor^(n-1) ms) --retry--> PENDING
+ *      |
+ *      |  n == maxAttempts
+ *      v
+ *   QUARANTINED (journaled; skipped on --resume)
+ *
+ * The journal is the durable campaign memory `diq sweep --resume`
+ * reads: completed jobs live in the ResultStore (keyed by canonical
+ * spec line), poison jobs live in the journal, so a resumed sweep
+ * recomputes exactly the missing points and renders a CSV
+ * byte-identical to an uninterrupted run.
+ */
+
+#ifndef DIQ_RUNNER_SUPERVISOR_HH
+#define DIQ_RUNNER_SUPERVISOR_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_plan.hh"
+#include "runner/sim_job.hh"
+#include "util/flags.hh"
+
+namespace diq::runner
+{
+
+/** Retry/backoff/deadline bounds for supervised job execution. */
+struct JobPolicy
+{
+    /** Attempts before a job is quarantined as poison (>= 1). */
+    unsigned maxAttempts = 3;
+
+    /** Backoff before retry n (1-based) is base * factor^(n-1). */
+    uint64_t backoffBaseMs = 10;
+    double backoffFactor = 2.0;
+
+    /** Per-attempt wall-clock bound in ms; 0 = unbounded. */
+    uint64_t deadlineMs = 0;
+
+    /**
+     * --max-attempts/--backoff-ms/--deadline-ms with
+     * DIQ_MAX_ATTEMPTS/DIQ_DEADLINE_MS env fallbacks.
+     * @throws std::invalid_argument on out-of-range values.
+     */
+    static JobPolicy fromFlags(const util::Flags &flags);
+};
+
+/**
+ * A poison job: it failed maxAttempts times. `error` is the final
+ * attempt's failure, sanitized to one CSV/journal-safe line.
+ */
+class JobQuarantined : public std::runtime_error
+{
+  public:
+    JobQuarantined(std::string key, unsigned attempts,
+                   const std::string &error);
+
+    const std::string key;
+    const unsigned attempts;
+    const std::string error; ///< sanitized (no tabs/newlines/commas)
+};
+
+/**
+ * Execute one job under the policy: per-attempt fault-plan delay and
+ * failure injection, per-attempt deadline, exponential backoff
+ * between attempts. Returns the result and the attempt count that
+ * succeeded. @throws JobQuarantined after maxAttempts failures.
+ *
+ * Deadline semantics: the attempt runs on a worker thread and is
+ * abandoned at the deadline; injected delays honor cancellation so
+ * the thread is reaped promptly. (A genuinely wedged simulation is
+ * joined before the next attempt starts — the deadline bounds how
+ * long the supervisor *waits*, and turns the overrun into a failed
+ * attempt either way.)
+ */
+struct Supervised
+{
+    SimResult result;
+    unsigned attempts = 1;
+};
+Supervised superviseJob(const SimJob &job, const JobPolicy &policy,
+                        fault::FaultPlan *faults);
+
+/** Journal open/parse failure (campaign mismatch, unwritable path). */
+class JournalError : public std::runtime_error
+{
+  public:
+    explicit JournalError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Append-only, crash-tolerant record of one sweep campaign's poison
+ * jobs. Plain text: a header naming the campaign (the grid text plus
+ * budgets — resume must describe the same sweep), then one
+ * tab-separated `poison` line per quarantined job. Records are
+ * flushed to stable storage as they are appended; a torn final line
+ * (the crash window) is ignored on replay.
+ */
+class SweepJournal
+{
+  public:
+    struct PoisonRecord
+    {
+        unsigned attempts = 0;
+        std::string error;
+    };
+
+    /**
+     * Open the journal at `path`. With `resume` false the file is
+     * recreated (a fresh campaign). With `resume` true an existing
+     * file is parsed — its campaign line must equal `campaign` — and
+     * a missing file starts fresh.
+     * @throws JournalError on campaign mismatch or unwritable path.
+     */
+    SweepJournal(std::filesystem::path path, std::string campaign,
+                 bool resume);
+
+    /** Poison jobs known to this campaign, keyed by canonical line. */
+    const std::map<std::string, PoisonRecord> &poisoned() const
+    {
+        return poisoned_;
+    }
+
+    /** Record one poison job (idempotent per key; thread-safe). */
+    void recordPoison(const std::string &key, unsigned attempts,
+                      const std::string &error);
+
+    const std::filesystem::path &path() const { return path_; }
+
+    /** Journal file name for a campaign string: h<fnv64>.journal. */
+    static std::string fileNameFor(const std::string &campaign);
+
+  private:
+    std::filesystem::path path_;
+    std::string campaign_;
+    std::map<std::string, PoisonRecord> poisoned_;
+    std::mutex mu_;
+};
+
+} // namespace diq::runner
+
+#endif // DIQ_RUNNER_SUPERVISOR_HH

@@ -7,6 +7,8 @@
 
 #include <thread>
 
+#include "store/result_store.hh"
+
 namespace diq::runner
 {
 
@@ -103,6 +105,108 @@ SweepRunner::runAll(const SweepSpec &spec)
     out.reserve(spec.size());
     for (const auto &[exp, profile] : spec.points())
         out.push_back(&run(exp, profile));
+    return out;
+}
+
+SimResult
+SweepRunner::computeSupervised(const SimJob &job)
+{
+    const std::string key = job.key();
+    if (opts_.store) {
+        if (auto hit = opts_.store->load(key)) {
+            std::lock_guard<std::mutex> lock(metaMu_);
+            meta_[key] = {0, true};
+            return std::move(*hit);
+        }
+    }
+    Supervised s = superviseJob(job, opts_.policy, opts_.faults);
+    if (opts_.store)
+        opts_.store->save(key, s.result);
+    {
+        std::lock_guard<std::mutex> lock(metaMu_);
+        meta_[key] = {s.attempts, false};
+    }
+    return std::move(s.result);
+}
+
+std::vector<JobOutcome>
+SweepRunner::runAllSupervised(const SweepSpec &spec,
+                              SweepJournal *journal)
+{
+    auto isPoison = [journal](const std::string &key) {
+        return journal &&
+            journal->poisoned().find(key) != journal->poisoned().end();
+    };
+
+    // Prefetch across the pool. A quarantined job latches its
+    // exception in the cache (the pool swallows it here); the serial
+    // collection pass below turns it into a failed outcome.
+    if (jobsResolved_ > 1 && spec.size() > 1) {
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(jobsResolved_);
+        for (const auto &[exp, profile] : spec.points()) {
+            SimJob job = makeJob(exp, profile);
+            if (isPoison(job.key()))
+                continue;
+            pool_->submit([this, job = std::move(job)] {
+                try {
+                    cache_.getOrCompute(job.key(), [this, &job] {
+                        return computeSupervised(job);
+                    });
+                } catch (const std::exception &) {
+                    // Latched in the cache; reported at collection.
+                }
+            });
+        }
+        pool_->wait();
+    }
+
+    // Collect serially in spec order — the deterministic pass every
+    // worker count funnels through.
+    std::vector<JobOutcome> out;
+    out.reserve(spec.size());
+    for (const auto &[exp, profile] : spec.points()) {
+        SimJob job = makeJob(exp, profile);
+        const std::string key = job.key();
+        JobOutcome o;
+        if (journal) {
+            auto it = journal->poisoned().find(key);
+            if (it != journal->poisoned().end()) {
+                o.attempts = it->second.attempts;
+                o.error = it->second.error;
+                out.push_back(std::move(o));
+                continue;
+            }
+        }
+        try {
+            o.result = &cache_.getOrCompute(key, [this, &job] {
+                return computeSupervised(job);
+            });
+            std::lock_guard<std::mutex> lock(metaMu_);
+            auto it = meta_.find(key);
+            if (it != meta_.end()) {
+                o.attempts = it->second.first;
+                o.fromStore = it->second.second;
+            } else {
+                o.attempts = 1; // plain cache hit from a prior sweep
+            }
+        } catch (const JobQuarantined &q) {
+            o.attempts = q.attempts;
+            o.error = q.error;
+            if (journal)
+                journal->recordPoison(q.key, q.attempts, q.error);
+        } catch (const std::exception &e) {
+            std::string reason = e.what();
+            for (char &c : reason)
+                if (c == '\t' || c == '\n' || c == '\r' || c == ',')
+                    c = ' ';
+            o.attempts = 1;
+            o.error = reason;
+            if (journal)
+                journal->recordPoison(key, 1, reason);
+        }
+        out.push_back(std::move(o));
+    }
     return out;
 }
 

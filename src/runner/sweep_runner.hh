@@ -15,14 +15,24 @@
 #define DIQ_RUNNER_SWEEP_RUNNER_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "runner/result_cache.hh"
 #include "runner/sim_job.hh"
+#include "runner/supervisor.hh"
 #include "runner/sweep_spec.hh"
 #include "runner/thread_pool.hh"
 #include "util/flags.hh"
+
+namespace diq::store
+{
+class ResultStore;
+}
 
 namespace diq::runner
 {
@@ -36,14 +46,40 @@ struct RunnerOptions
     /** Worker threads; 0 = std::thread::hardware_concurrency(). */
     unsigned jobs = 0;
 
+    /** Persistent result store consulted/updated by the supervised
+     *  path (runAllSupervised); nullptr = in-memory only. Must
+     *  outlive the runner. */
+    store::ResultStore *store = nullptr;
+
+    /** Fault-injection plan threaded into supervised attempts; must
+     *  outlive the runner. */
+    fault::FaultPlan *faults = nullptr;
+
+    /** Retry/backoff/deadline bounds for supervised jobs. */
+    JobPolicy policy;
+
     /**
      * Apply --warmup/--insts/--jobs flags with DIQ_WARMUP/DIQ_INSTS/
-     * DIQ_JOBS environment fallbacks.
+     * DIQ_JOBS environment fallbacks. (store/faults/policy are wired
+     * explicitly by the caller, not from flags.)
      */
     static RunnerOptions fromFlags(const util::Flags &flags);
 
     /** `jobs` with the 0 default resolved to the hardware. */
     unsigned resolvedJobs() const;
+};
+
+/**
+ * Per-point outcome of a supervised sweep. `result` is null exactly
+ * when the point failed; `error` then carries the sanitized reason
+ * (already journal/CSV-safe).
+ */
+struct JobOutcome
+{
+    const SimResult *result = nullptr;
+    unsigned attempts = 0; ///< 0 = replayed from the persistent store
+    bool fromStore = false;
+    std::string error;
 };
 
 /**
@@ -85,6 +121,19 @@ class SweepRunner
     /** prefetch() + collect results in spec order. */
     std::vector<const SimResult *> runAll(const SweepSpec &spec);
 
+    /**
+     * Fault-tolerant runAll: every point executes under the options'
+     * supervision policy (store replay → supervised compute → store
+     * save), and a point that exhausts its attempts becomes a failed
+     * JobOutcome instead of aborting the sweep. With a journal, keys
+     * it already records as poison are skipped outright (the
+     * `--resume` path) and newly quarantined jobs are appended to it.
+     * Outcomes are in spec order and byte-deterministic for any
+     * worker count, fresh or resumed.
+     */
+    std::vector<JobOutcome> runAllSupervised(const SweepSpec &spec,
+                                             SweepJournal *journal);
+
     const RunnerOptions &options() const { return opts_; }
 
     /** Worker count actually used by prefetch (>= 1). */
@@ -98,10 +147,18 @@ class SweepRunner
     SimJob makeJob(const spec::ExperimentSpec &exp,
                    const trace::BenchmarkProfile &profile) const;
 
+    /** store load → supervised execute → store save, recording
+     *  attempts/provenance for the outcome. @throws JobQuarantined. */
+    SimResult computeSupervised(const SimJob &job);
+
     RunnerOptions opts_;
     unsigned jobsResolved_;
     ResultCache cache_;
     std::unique_ptr<ThreadPool> pool_; ///< created lazily, only if > 1
+
+    /** key → (attempts, fromStore) for supervised outcomes. */
+    std::map<std::string, std::pair<unsigned, bool>> meta_;
+    std::mutex metaMu_;
 };
 
 } // namespace diq::runner

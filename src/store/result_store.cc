@@ -1,0 +1,599 @@
+/**
+ * @file
+ * Implementation of store/result_store.hh (docs/ARCHITECTURE.md §11).
+ */
+
+#include "store/result_store.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace diq::store
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr char kStoreMagic[4] = {'D', 'I', 'Q', 'R'};
+constexpr uint16_t kStoreFormatVersion = 1;
+
+/** Result schema tag: the event-bank size. Growing power::EventId
+ *  changes the counter payload, so old entries must fail loudly as
+ *  "schema skew", not misdecode. */
+constexpr uint16_t kStoreSchemaVersion =
+    static_cast<uint16_t>(power::NumEvents);
+
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 8 + 8;
+
+/** Hash-collision probe slots per key; far beyond plausible need. */
+constexpr unsigned kMaxProbes = 8;
+
+/** Cap on decoded string/vector lengths: anything larger in an entry
+ *  that passed the checksum is a constructed hostile input, not data. */
+constexpr uint64_t kMaxFieldLength = 1 << 20;
+
+// --- Little-endian primitives ---------------------------------------
+
+void
+putU16(std::string &out, uint16_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>(v >> 8));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.append(s);
+}
+
+void
+putF64(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/** Bounds-checked payload reader; any overrun latches `bad`. */
+struct Reader
+{
+    const char *p;
+    size_t n;
+    size_t at = 0;
+    bool bad = false;
+
+    uint8_t
+    byte()
+    {
+        if (at >= n) {
+            bad = true;
+            return 0;
+        }
+        return static_cast<uint8_t>(p[at++]);
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(byte()) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    varint()
+    {
+        uint64_t out = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            uint8_t b = byte();
+            if (shift == 63 && (b & 0x7e)) {
+                bad = true;
+                return 0;
+            }
+            out |= static_cast<uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return out;
+        }
+        bad = true;
+        return 0;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t len = varint();
+        if (bad || len > kMaxFieldLength || at + len > n) {
+            bad = true;
+            return {};
+        }
+        std::string s(p + at, len);
+        at += len;
+        return s;
+    }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(u64());
+    }
+};
+
+std::string
+hex16(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        s[static_cast<size_t>(i)] = digits[v & 0xf];
+    return s;
+}
+
+/**
+ * Write `data` to `path` and flush it to stable storage before
+ * returning (POSIX fsync; plain stream flush elsewhere).
+ * @throws StoreError on any I/O failure.
+ */
+void
+writeFileDurably(const fs::path &path, const std::string &data)
+{
+#ifndef _WIN32
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw StoreError("cannot create '" + path.string() + "'");
+    size_t done = 0;
+    while (done < data.size()) {
+        ssize_t w = ::write(fd, data.data() + done, data.size() - done);
+        if (w < 0) {
+            ::close(fd);
+            throw StoreError("short write to '" + path.string() + "'");
+        }
+        done += static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        throw StoreError("fsync failed for '" + path.string() + "'");
+    }
+    if (::close(fd) != 0)
+        throw StoreError("close failed for '" + path.string() + "'");
+#else
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+    os.flush();
+    if (!os)
+        throw StoreError("cannot write '" + path.string() + "'");
+#endif
+}
+
+/** Flush a directory's metadata (the rename) to stable storage. */
+void
+fsyncDirectory(const fs::path &dir)
+{
+#ifndef _WIN32
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)dir;
+#endif
+}
+
+/** Whole-file read; nullopt when the file cannot be opened. */
+std::optional<std::string>
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    if (is.bad())
+        return std::nullopt;
+    return bytes;
+}
+
+/** Unique-per-call temp suffix: pid + process-wide counter, so
+ *  concurrent writers (threads or processes) never share a file. */
+std::string
+tmpSuffix()
+{
+    static std::atomic<uint64_t> seq{0};
+#ifndef _WIN32
+    uint64_t pid = static_cast<uint64_t>(::getpid());
+#else
+    uint64_t pid = 0;
+#endif
+    return ".tmp." + std::to_string(pid) + "." +
+        std::to_string(seq.fetch_add(1));
+}
+
+bool
+isTmpFile(const std::string &name)
+{
+    return name.find(".tmp.") != std::string::npos;
+}
+
+} // namespace
+
+// --- Codec ----------------------------------------------------------
+
+uint64_t
+fnv1a64(const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+const char *
+entryStatusName(EntryStatus s)
+{
+    switch (s) {
+      case EntryStatus::Valid:            return "valid";
+      case EntryStatus::Empty:            return "empty";
+      case EntryStatus::BadMagic:         return "bad_magic";
+      case EntryStatus::VersionSkew:      return "version_skew";
+      case EntryStatus::SchemaSkew:       return "schema_skew";
+      case EntryStatus::Truncated:        return "truncated";
+      case EntryStatus::ChecksumMismatch: return "checksum_mismatch";
+      case EntryStatus::CorruptField:     return "corrupt_field";
+      case EntryStatus::TrailingGarbage:  return "trailing_garbage";
+    }
+    return "unknown";
+}
+
+std::string
+encodeEntry(const std::string &key, const runner::SimResult &result)
+{
+    std::string payload;
+    putStr(payload, key);
+    putStr(payload, result.benchmark);
+    putStr(payload, result.scheme);
+    putF64(payload, result.ipc);
+
+    const sim::SimStats &s = result.stats;
+    for (uint64_t v : {s.cycles, s.committed, s.fetched, s.dispatched,
+                       s.issuedOps, s.branches, s.mispredicts, s.loads,
+                       s.stores, s.dispatchStallCycles,
+                       s.windowStallCycles, s.fetchStallCycles,
+                       s.schemeOccupancySum, s.robOccupancySum})
+        putU64(payload, v);
+    payload.push_back(s.deadlocked ? 1 : 0);
+
+    putVarint(payload, power::NumEvents);
+    for (size_t i = 0; i < power::NumEvents; ++i)
+        putU64(payload,
+               s.counters.get(static_cast<power::EventId>(i)));
+
+    putVarint(payload, result.energy.components.size());
+    for (const auto &[name, pj] : result.energy.components) {
+        putStr(payload, name);
+        putF64(payload, pj);
+    }
+
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    out.append(kStoreMagic, sizeof kStoreMagic);
+    putU16(out, kStoreFormatVersion);
+    putU16(out, kStoreSchemaVersion);
+    putU64(out, payload.size());
+    putU64(out, fnv1a64(payload.data(), payload.size()));
+    out.append(payload);
+    return out;
+}
+
+EntryStatus
+decodeEntry(const std::string &bytes, std::string &key,
+            runner::SimResult &result)
+{
+    if (bytes.empty())
+        return EntryStatus::Empty;
+    if (std::memcmp(bytes.data(), kStoreMagic,
+                    std::min(bytes.size(), sizeof kStoreMagic)) != 0)
+        return EntryStatus::BadMagic;
+    if (bytes.size() < kHeaderBytes)
+        return EntryStatus::Truncated;
+
+    Reader h{bytes.data() + 4, bytes.size() - 4};
+    uint16_t format = static_cast<uint16_t>(h.byte());
+    format |= static_cast<uint16_t>(h.byte()) << 8;
+    uint16_t schema = static_cast<uint16_t>(h.byte());
+    schema |= static_cast<uint16_t>(h.byte()) << 8;
+    uint64_t payloadLen = h.u64();
+    uint64_t checksum = h.u64();
+    if (format != kStoreFormatVersion)
+        return EntryStatus::VersionSkew;
+    if (schema != kStoreSchemaVersion)
+        return EntryStatus::SchemaSkew;
+    if (kHeaderBytes + payloadLen > bytes.size())
+        return EntryStatus::Truncated;
+    if (kHeaderBytes + payloadLen < bytes.size())
+        return EntryStatus::TrailingGarbage;
+
+    const char *payload = bytes.data() + kHeaderBytes;
+    if (fnv1a64(payload, payloadLen) != checksum)
+        return EntryStatus::ChecksumMismatch;
+
+    Reader r{payload, static_cast<size_t>(payloadLen)};
+    std::string k = r.str();
+    runner::SimResult out;
+    out.benchmark = r.str();
+    out.scheme = r.str();
+    out.ipc = r.f64();
+
+    sim::SimStats &s = out.stats;
+    for (uint64_t *f : {&s.cycles, &s.committed, &s.fetched,
+                        &s.dispatched, &s.issuedOps, &s.branches,
+                        &s.mispredicts, &s.loads, &s.stores,
+                        &s.dispatchStallCycles, &s.windowStallCycles,
+                        &s.fetchStallCycles, &s.schemeOccupancySum,
+                        &s.robOccupancySum})
+        *f = r.u64();
+    s.deadlocked = r.byte() != 0;
+
+    uint64_t nCounters = r.varint();
+    if (r.bad || nCounters != power::NumEvents)
+        return EntryStatus::CorruptField;
+    for (size_t i = 0; i < power::NumEvents; ++i)
+        s.counters.add(static_cast<power::EventId>(i), r.u64());
+
+    uint64_t nComponents = r.varint();
+    if (r.bad || nComponents > 1024)
+        return EntryStatus::CorruptField;
+    for (uint64_t i = 0; i < nComponents; ++i) {
+        std::string name = r.str();
+        double pj = r.f64();
+        out.energy.components.emplace_back(std::move(name), pj);
+    }
+
+    if (r.bad || r.at != r.n || k.empty())
+        return EntryStatus::CorruptField;
+
+    key = std::move(k);
+    result = std::move(out);
+    return EntryStatus::Valid;
+}
+
+// --- ResultStore ----------------------------------------------------
+
+std::string
+ResultStore::fileNameFor(const std::string &key, unsigned probe)
+{
+    return "h" + hex16(fnv1a64(key.data(), key.size())) + "-" +
+        std::to_string(probe) + ".diqr";
+}
+
+ResultStore::ResultStore(fs::path root, fault::FaultPlan *faults)
+    : root_(std::move(root)), entriesDir_(root_ / "entries"),
+      quarantineDir_(root_ / "quarantine"), faults_(faults)
+{
+    std::error_code ec;
+    fs::create_directories(entriesDir_, ec);
+    if (!ec)
+        fs::create_directories(quarantineDir_, ec);
+    if (ec)
+        throw StoreError("cannot create store at '" + root_.string() +
+                         "': " + ec.message());
+}
+
+fs::path
+ResultStore::entryPath(const std::string &key, unsigned probe) const
+{
+    return entriesDir_ / fileNameFor(key, probe);
+}
+
+void
+ResultStore::quarantine(const fs::path &path, EntryStatus why)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string base =
+        path.filename().string() + "." + entryStatusName(why);
+    std::error_code ec;
+    for (unsigned n = 0; n < 1000; ++n) {
+        fs::path dest = quarantineDir_ /
+            (n == 0 ? base : base + "." + std::to_string(n));
+        if (fs::exists(dest, ec))
+            continue;
+        fs::rename(path, dest, ec);
+        if (!ec) {
+            ++corrupt_;
+            return;
+        }
+    }
+    // Quarantine itself failed (e.g. the file vanished under a
+    // concurrent verify): never serve it; removing is the fallback.
+    fs::remove(path, ec);
+    ++corrupt_;
+}
+
+std::optional<runner::SimResult>
+ResultStore::load(const std::string &key)
+{
+    for (unsigned probe = 0; probe < kMaxProbes; ++probe) {
+        fs::path path = entryPath(key, probe);
+        auto bytes = slurp(path);
+        if (!bytes)
+            continue; // missing slot: keep probing (holes are legal)
+        std::string stored_key;
+        runner::SimResult result;
+        EntryStatus status = decodeEntry(*bytes, stored_key, result);
+        if (status == EntryStatus::Valid) {
+            if (stored_key != key)
+                continue; // hash collision: not our entry
+            ++hits_;
+            return result;
+        }
+        quarantine(path, status);
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+ResultStore::save(const std::string &key,
+                  const runner::SimResult &result)
+{
+    // Pick the slot: first missing file, or the one already holding
+    // this key (overwrite), or a corrupt one (replace it).
+    unsigned slot = kMaxProbes;
+    for (unsigned probe = 0; probe < kMaxProbes; ++probe) {
+        auto bytes = slurp(entryPath(key, probe));
+        if (!bytes) {
+            slot = std::min(slot, probe);
+            continue;
+        }
+        std::string stored_key;
+        runner::SimResult ignored;
+        EntryStatus status = decodeEntry(*bytes, stored_key, ignored);
+        if (status != EntryStatus::Valid || stored_key == key) {
+            slot = probe;
+            break;
+        }
+    }
+    if (slot >= kMaxProbes)
+        throw StoreError("no free entry slot for key '" + key +
+                         "' (" + std::to_string(kMaxProbes) +
+                         " hash collisions?)");
+
+    fs::path final_path = entryPath(key, slot);
+    fs::path tmp_path = entriesDir_ /
+        ("." + final_path.filename().string() + tmpSuffix());
+
+    writeFileDurably(tmp_path, encodeEntry(key, result));
+
+    if (faults_)
+        faults_->atCommit(key, fault::CommitPoint::BeforeRename);
+
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        throw StoreError("cannot commit entry '" +
+                         final_path.string() + "'");
+    }
+    fsyncDirectory(entriesDir_);
+
+    if (faults_) {
+        faults_->atCommit(key, fault::CommitPoint::AfterRename);
+        if (auto off = faults_->corruptOffset(key)) {
+            // Injected post-commit corruption: XOR one byte in place.
+            std::fstream f(final_path, std::ios::binary |
+                               std::ios::in | std::ios::out);
+            auto size = static_cast<int64_t>(
+                fs::file_size(final_path, ec));
+            if (f && size > 0) {
+                int64_t at = *off < 0 ? size + *off : *off;
+                at = std::clamp<int64_t>(at, 0, size - 1);
+                f.seekg(at);
+                char c = static_cast<char>(f.get());
+                f.seekp(at);
+                f.put(static_cast<char>(c ^ 0x01));
+            }
+        }
+    }
+}
+
+std::vector<EntryInfo>
+ResultStore::list() const
+{
+    std::vector<EntryInfo> out;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(entriesDir_, ec)) {
+        std::string name = de.path().filename().string();
+        if (de.path().extension() != ".diqr" || isTmpFile(name))
+            continue;
+        EntryInfo info;
+        info.file = name;
+        info.bytes = fs::file_size(de.path(), ec);
+        auto bytes = slurp(de.path());
+        if (!bytes) {
+            info.status = EntryStatus::Truncated;
+        } else {
+            runner::SimResult r;
+            info.status = decodeEntry(*bytes, info.key, r);
+            if (info.status == EntryStatus::Valid) {
+                info.benchmark = r.benchmark;
+                info.scheme = r.scheme;
+                info.ipc = r.ipc;
+            }
+        }
+        out.push_back(std::move(info));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.file < b.file;
+              });
+    return out;
+}
+
+ResultStore::VerifyReport
+ResultStore::verify()
+{
+    VerifyReport report;
+    report.entries = list();
+    for (const EntryInfo &e : report.entries) {
+        if (e.status == EntryStatus::Valid) {
+            ++report.valid;
+            continue;
+        }
+        ++report.corrupt;
+        quarantine(entriesDir_ / e.file, e.status);
+    }
+    return report;
+}
+
+ResultStore::GcReport
+ResultStore::gc()
+{
+    GcReport report;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(quarantineDir_, ec)) {
+        report.bytes += fs::file_size(de.path(), ec);
+        if (fs::remove(de.path(), ec))
+            ++report.quarantined;
+    }
+    for (const auto &de : fs::directory_iterator(entriesDir_, ec)) {
+        if (!isTmpFile(de.path().filename().string()))
+            continue;
+        report.bytes += fs::file_size(de.path(), ec);
+        if (fs::remove(de.path(), ec))
+            ++report.orphanTmp;
+    }
+    return report;
+}
+
+} // namespace diq::store

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Disk-backed, crash-safe result store (docs/ARCHITECTURE.md §11).
+ *
+ * Persists runner::SimResult values keyed by the experiment's
+ * canonical spec line (spec::ExperimentSpec::canonicalLine — the same
+ * string the in-memory ResultCache keys on), so a warm store survives
+ * the process: re-running a sweep replays completed points from disk
+ * byte-identically instead of recomputing them. This is the storage
+ * substrate the `diq serve` ROADMAP item sits on.
+ *
+ * Durability discipline:
+ *
+ *  - every entry is a single file written via temp file + fsync +
+ *    atomic rename, so a reader never observes a torn entry: a crash
+ *    at any instant leaves either the complete old state or the
+ *    complete new state (plus, at worst, an orphan temp file that
+ *    gc() removes);
+ *  - every entry carries a checksum, a format version and a result
+ *    schema tag, all validated at open time;
+ *  - any validation failure (bad magic, version skew, checksum
+ *    mismatch, truncation, trailing garbage) quarantines the file to
+ *    `<root>/quarantine/` — it is never served, never silently
+ *    deleted, and the caller transparently recomputes.
+ *
+ * Entry format (version 1, little-endian):
+ *
+ *   header  := magic "DIQR" | format-version u16 | schema-version u16
+ *            | payload-length u64 | payload-checksum u64 (FNV-1a 64)
+ *   payload := key str | benchmark str | scheme str | ipc f64bits
+ *            | 14 x u64 stats fields | deadlocked u8
+ *            | counter-count varint | counter u64 ...
+ *            | component-count varint | (name str | f64bits) ...
+ *   str     := length varint | bytes
+ *
+ * Doubles are stored as raw IEEE-754 bit patterns (f64bits), so a
+ * result loaded from the store renders byte-identically to the run
+ * that produced it — the property `diq sweep --resume` relies on. The
+ * schema version packs power::NumEvents, so growing the event bank
+ * invalidates old entries explicitly as "schema skew" instead of
+ * misdecoding them.
+ *
+ * File naming: entries live at `entries/h<fnv64(key)>-<p>.diqr` with
+ * probe suffix p = 0..7 resolving (astronomically unlikely) hash
+ * collisions; the key inside the entry is authoritative.
+ */
+
+#ifndef DIQ_STORE_RESULT_STORE_HH
+#define DIQ_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "runner/sim_job.hh"
+
+namespace diq::store
+{
+
+/** Store-level failure that is NOT entry corruption: unusable root
+ *  directory, unwritable temp file, rename failure. Corrupt entries
+ *  never throw — they quarantine. */
+class StoreError : public std::runtime_error
+{
+  public:
+    explicit StoreError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Outcome of validating one entry file at open time. */
+enum class EntryStatus
+{
+    Valid,
+    Empty,            ///< zero-length file
+    BadMagic,         ///< first bytes are not "DIQR"
+    VersionSkew,      ///< format version != kStoreFormatVersion
+    SchemaSkew,       ///< result schema (event bank) changed
+    Truncated,        ///< file shorter than the declared payload
+    ChecksumMismatch, ///< payload bytes do not hash to the header sum
+    CorruptField,     ///< payload decodes to an impossible value
+    TrailingGarbage,  ///< bytes beyond the declared payload
+};
+
+/** Stable lowercase name, used in quarantine suffixes and reports. */
+const char *entryStatusName(EntryStatus s);
+
+/** One entry as seen by list()/verify(). */
+struct EntryInfo
+{
+    std::string file;   ///< file name under entries/
+    EntryStatus status = EntryStatus::Valid;
+    std::string key;    ///< canonical spec line ("" when unreadable)
+    uintmax_t bytes = 0;
+    std::string benchmark, scheme;
+    double ipc = 0.0;
+};
+
+/**
+ * The disk store. Thread-safe: save/load may race across threads and
+ * processes; atomic rename makes concurrent writers last-wins with
+ * both versions complete.
+ */
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating directories as needed) a store rooted at `root`.
+     * `faults`, when given, is consulted at the commit probe points
+     * (crash-before/after-rename, corrupt-entry-byte); it must
+     * outlive the store.
+     * @throws StoreError when the root cannot be created.
+     */
+    explicit ResultStore(std::filesystem::path root,
+                         fault::FaultPlan *faults = nullptr);
+
+    const std::filesystem::path &root() const { return root_; }
+
+    /**
+     * Look up a result by canonical spec line. A corrupt entry is
+     * quarantined and reported as a miss (the caller recomputes — a
+     * corrupted result is never served). Missing entries are misses.
+     */
+    std::optional<runner::SimResult> load(const std::string &key);
+
+    /**
+     * Persist a result: encode, write `entries/.<name>.tmp.<pid>`,
+     * fsync, atomically rename onto the entry path, fsync the
+     * directory. Overwrites any previous entry for the key.
+     * @throws StoreError on I/O failure.
+     */
+    void save(const std::string &key, const runner::SimResult &result);
+
+    /** Scan entries/ and validate each file (read-only: corrupt
+     *  entries are reported but left in place). Sorted by file name. */
+    std::vector<EntryInfo> list() const;
+
+    struct VerifyReport
+    {
+        size_t valid = 0;
+        size_t corrupt = 0; ///< quarantined by this verify pass
+        std::vector<EntryInfo> entries;
+    };
+
+    /** list() + quarantine every corrupt entry found. */
+    VerifyReport verify();
+
+    struct GcReport
+    {
+        size_t quarantined = 0; ///< quarantine files removed
+        size_t orphanTmp = 0;   ///< abandoned temp files removed
+        uintmax_t bytes = 0;    ///< total bytes reclaimed
+    };
+
+    /** Remove quarantined entries and orphan temp files (the debris
+     *  crashes leave behind). Valid entries are never touched. */
+    GcReport gc();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    /** Entries quarantined by this instance (load + verify). */
+    uint64_t corrupt() const { return corrupt_; }
+
+    /** Entry file name for a key at probe slot `probe` (exposed so
+     *  tests and smokes can corrupt a specific file). */
+    static std::string fileNameFor(const std::string &key,
+                                   unsigned probe);
+
+  private:
+    std::filesystem::path entryPath(const std::string &key,
+                                    unsigned probe) const;
+    void quarantine(const std::filesystem::path &path, EntryStatus why);
+
+    std::filesystem::path root_;
+    std::filesystem::path entriesDir_;
+    std::filesystem::path quarantineDir_;
+    fault::FaultPlan *faults_ = nullptr;
+    std::mutex mu_; ///< serializes quarantine renames
+    uint64_t hits_ = 0, misses_ = 0, corrupt_ = 0;
+};
+
+// --- Entry codec (exposed for the corruption-contract tests) --------
+
+/** Encode key + result into one entry image (header + payload). */
+std::string encodeEntry(const std::string &key,
+                        const runner::SimResult &result);
+
+/**
+ * Validate + decode a whole entry image. On Valid, `key` and `result`
+ * are filled; on anything else they are untouched.
+ */
+EntryStatus decodeEntry(const std::string &bytes, std::string &key,
+                        runner::SimResult &result);
+
+/** FNV-1a 64-bit hash (entry checksums and entry file names). */
+uint64_t fnv1a64(const void *data, size_t n);
+
+} // namespace diq::store
+
+#endif // DIQ_STORE_RESULT_STORE_HH

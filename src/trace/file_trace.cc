@@ -6,7 +6,9 @@
 
 #include "trace/file_trace.hh"
 
+#include <filesystem>
 #include <limits>
+#include <system_error>
 
 namespace diq::trace
 {
@@ -311,11 +313,11 @@ FileTrace::reset()
 // --- TraceRecorder --------------------------------------------------
 
 TraceRecorder::TraceRecorder(TraceSource &inner, const std::string &path)
-    : inner_(inner), path_(path),
-      os_(path, std::ios::binary | std::ios::trunc)
+    : inner_(inner), path_(path), tmpPath_(path + ".tmp"),
+      os_(tmpPath_, std::ios::binary | std::ios::trunc)
 {
     if (!os_)
-        throw TraceError("cannot open '" + path_ +
+        throw TraceError("cannot open '" + tmpPath_ +
                          "' for trace recording");
     writer_.emplace(os_, inner_.name());
 }
@@ -349,11 +351,12 @@ TraceRecorder::restart()
     // of the recording, so archived traces can be hashed/diffed).
     os_.close();
     os_.clear();
-    os_.open(path_, std::ios::binary | std::ios::trunc);
+    os_.open(tmpPath_, std::ios::binary | std::ios::trunc);
     if (!os_)
-        throw TraceError("cannot reopen '" + path_ +
+        throw TraceError("cannot reopen '" + tmpPath_ +
                          "' for trace recording");
     writer_.emplace(os_, inner_.name());
+    committed_ = false;
 }
 
 void
@@ -366,10 +369,21 @@ TraceRecorder::reset()
 void
 TraceRecorder::finalize()
 {
+    if (committed_)
+        return;
     writer_->finalize();
     os_.flush();
+    os_.close();
     if (!os_)
-        throw TraceError("failed to write trace '" + path_ + "'");
+        throw TraceError("failed to write trace '" + tmpPath_ + "'");
+    // Commit point: until this rename, `path_` still holds whatever
+    // recording (if any) existed before this run.
+    std::error_code ec;
+    std::filesystem::rename(tmpPath_, path_, ec);
+    if (ec)
+        throw TraceError("cannot commit trace '" + path_ +
+                         "': " + ec.message());
+    committed_ = true;
 }
 
 uint64_t

@@ -162,21 +162,32 @@ class FileTrace : public TraceSource
  * reset() restarts both the inner source and the recording (the file
  * is rewound and re-encoded from scratch), preserving the invariant
  * that the file holds exactly the ops handed out since the last reset.
+ *
+ * Crash safety: the recording accumulates in `<path>.tmp` and only
+ * finalize() moves it onto `path` by atomic rename — a crash mid-run
+ * leaves any pre-existing recording at `path` untouched, and a
+ * half-written temp file is the only debris. `diq record` therefore
+ * never destroys a good trace with a partial one.
  */
 class TraceRecorder : public TraceSource
 {
   public:
-    /** @throws TraceError when `path` cannot be opened for writing. */
+    /** @throws TraceError when the temp file cannot be opened. */
     TraceRecorder(TraceSource &inner, const std::string &path);
 
-    /** Finalizes the recording if finalize() was not called. */
+    /** Finalizes (commits) the recording if finalize() was not
+     *  called; destructor errors are swallowed. */
     ~TraceRecorder() override;
 
     bool next(MicroOp &out) override;
     void reset() override;
     const std::string &name() const override { return inner_.name(); }
 
-    /** Back-patch the op count and flush. @throws TraceError. */
+    /**
+     * Back-patch the op count, flush, and atomically rename the temp
+     * file onto `path`. Idempotent: a second call after a successful
+     * commit is a no-op. @throws TraceError.
+     */
     void finalize();
 
     /** Ops recorded since construction or the last reset(). */
@@ -187,8 +198,10 @@ class TraceRecorder : public TraceSource
 
     TraceSource &inner_;
     std::string path_;
+    std::string tmpPath_; ///< path_ + ".tmp": where bytes accumulate
     std::ofstream os_;
     std::optional<TraceWriter> writer_; // rebuilt on reset()
+    bool committed_ = false;
 };
 
 /**

@@ -131,8 +131,8 @@ TEST(DiqCli, SweepMatchesInProcessSweepAndIsJobCountInvariant)
     opts.jobs = 1;
     runner::SweepRunner r(opts);
     auto parsed = runner::SweepSpec::fromText(grid);
-    std::string expected =
-        bench::renderSweepCsv(parsed, opts, r.runAll(parsed));
+    std::string expected = bench::renderSweepCsv(
+        parsed, opts, r.runAllSupervised(parsed, nullptr));
 
     std::string serial = capture("'" + binary("diq") + "' sweep '" +
                                  grid + "' --jobs 1" + kTinyBudget);
@@ -155,15 +155,16 @@ TEST(DiqCli, SweepSpecColumnReproducesTheRow)
     ASSERT_TRUE(std::getline(lines, header));
     ASSERT_TRUE(std::getline(lines, row));
 
-    // scheme,benchmark,ipc,cycles,committed,energy_pj,spec
+    // scheme,benchmark,ipc,cycles,committed,energy_pj,status,spec
     std::vector<std::string> cells;
     std::istringstream cellstream(row);
     std::string cell;
     while (std::getline(cellstream, cell, ','))
         cells.push_back(cell);
-    ASSERT_EQ(cells.size(), 7u) << row;
+    ASSERT_EQ(cells.size(), 8u) << row;
     const std::string &cycles = cells[3];
-    const std::string &line_spec = cells[6];
+    EXPECT_EQ(cells[6], "ok") << row;
+    const std::string &line_spec = cells[7];
     EXPECT_NE(line_spec.find("chains_per_queue=2"), std::string::npos);
 
     std::string rerun = capture("'" + binary("diq") + "' run --spec '" +
@@ -171,6 +172,154 @@ TEST(DiqCli, SweepSpecColumnReproducesTheRow)
     EXPECT_NE(rerun.find(cycles), std::string::npos)
         << "spec column did not reproduce cycles=" << cycles << ":\n"
         << rerun;
+}
+
+// --- diq sweep --store / --resume / fault injection -----------------
+
+TEST(DiqCli, RunWithStoreReplaysByteIdenticallyOnTheSecondRun)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/cli_run_store";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+
+    const std::string cmd = "'" + binary("diq") +
+        "' run mb_distr bench=swim" + kTinyBudget + " --store '" + dir +
+        "'";
+    std::string computed = capture(cmd);
+    std::string replayed = capture(cmd);
+    EXPECT_EQ(replayed, computed)
+        << "a store hit must render byte-identically to the run that "
+           "produced it";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+}
+
+TEST(DiqCli, SweepResumesByteIdenticallyAfterAnInjectedCrash)
+{
+    const std::string dir =
+        std::string(DIQ_BIN_DIR) + "/cli_store_crash";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+    const std::string grid = "scheme=iq6464,mb_distr bench=gcc,swim";
+    const std::string base = "'" + binary("diq") + "' sweep '" + grid +
+        "' --jobs 1" + kTinyBudget;
+
+    // The reference CSV of an uninterrupted, storeless sweep.
+    std::string reference = capture(base);
+
+    // The campaign dies deterministically at its 2nd store commit —
+    // fault::kCrashExitCode (42), no cleanup, like a SIGKILL.
+    capture(base + " --store '" + dir +
+                "' --fault-plan 'crash_after_rename=:2'",
+            42);
+
+    // Resume: completed points replay from disk, the rest recompute;
+    // the CSV must be byte-identical to the uninterrupted run.
+    std::string resumed =
+        capture(base + " --store '" + dir + "' --resume");
+    EXPECT_EQ(resumed, reference);
+
+    // The warm store verifies clean and lists only valid entries.
+    std::string verify = capture("'" + binary("diq") +
+                                 "' cache verify --store '" + dir + "'");
+    EXPECT_NE(verify.find("4 valid, 0 corrupt"), std::string::npos)
+        << verify;
+    std::string listed = capture("'" + binary("diq") +
+                                 "' cache list --store '" + dir + "'");
+    EXPECT_NE(listed.find("valid"), std::string::npos) << listed;
+    EXPECT_EQ(listed.find("checksum_mismatch"), std::string::npos)
+        << listed;
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+}
+
+TEST(DiqCli, SweepResumesByteIdenticallyAfterSigkill)
+{
+    const std::string dir =
+        std::string(DIQ_BIN_DIR) + "/cli_store_sigkill";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+    const std::string grid = "scheme=iq6464,mb_distr bench=gcc,swim";
+    const std::string base = "'" + binary("diq") + "' sweep '" + grid +
+        "' --jobs 1" + kTinyBudget;
+
+    std::string reference = capture(base);
+
+    // A real SIGKILL mid-campaign: injected per-job delays hold the
+    // sweep open long enough to die with some (possibly zero, possibly
+    // all) points committed — resume must be byte-identical either
+    // way, so the test tolerates the race by construction.
+    std::string killed = capture(
+        "sh -c \"" + base + " --store '" + dir +
+        "' --fault-plan 'delay_job=:300' & pid=\\$!; sleep 0.5; "
+        "kill -9 \\$pid 2>/dev/null; wait \\$pid; echo rc=\\$?\"");
+    EXPECT_NE(killed.find("rc="), std::string::npos) << killed;
+
+    std::string resumed =
+        capture(base + " --store '" + dir + "' --resume");
+    EXPECT_EQ(resumed, reference);
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+}
+
+TEST(DiqCli, PoisonJobsQuarantineAndTheSweepCompletesPartially)
+{
+    const std::string dir =
+        std::string(DIQ_BIN_DIR) + "/cli_store_poison";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+    const std::string base = "'" + binary("diq") +
+        "' sweep 'scheme=iq6464 bench=gcc,swim' --jobs 1" + kTinyBudget +
+        " --max-attempts 2 --backoff-ms 1";
+
+    // Every attempt of the swim job fails -> poison -> exit 3, and the
+    // CSV still carries one row per grid point with the reason.
+    std::string csv = capture(base + " --store '" + dir +
+                                  "' --fault-plan 'fail_job=swim:9'",
+                              bench::kExitPartialSweep);
+    EXPECT_NE(csv.find("failed: injected failure"), std::string::npos)
+        << csv;
+    EXPECT_NE(csv.find("ok"), std::string::npos) << csv;
+
+    // Resume skips the journaled poison job (no fault plan now — the
+    // job would succeed if retried, but the journal says skip) and the
+    // sweep still reports partial completion.
+    std::string resumed =
+        capture(base + " --store '" + dir + "' --resume",
+                bench::kExitPartialSweep);
+    EXPECT_EQ(resumed, csv)
+        << "a resumed partial sweep must render the same CSV";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+}
+
+TEST(DiqCli, CorruptedEntriesAreDetectedQuarantinedAndRecomputed)
+{
+    const std::string dir =
+        std::string(DIQ_BIN_DIR) + "/cli_store_corrupt";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+    const std::string base = "'" + binary("diq") +
+        "' sweep 'scheme=iq6464 bench=gcc' --jobs 1" + kTinyBudget;
+
+    std::string reference = capture(base);
+
+    // A fresh campaign whose entry is bit-flipped right after its
+    // commit (byte 40 lands in the checksummed payload). The sweep
+    // itself is clean — it rendered from the in-memory result — but
+    // the store now holds a corrupt entry.
+    capture(base + " --store '" + dir +
+            "' --fault-plan 'corrupt_entry_byte=:40'");
+    std::string verify = capture("'" + binary("diq") +
+                                     "' cache verify --store '" + dir +
+                                     "'",
+                                 bench::kExitRuntime);
+    EXPECT_NE(verify.find("corrupt"), std::string::npos) << verify;
+
+    // The quarantined entry is gone from the live store; a resumed
+    // sweep recomputes it and renders identically.
+    std::string resumed =
+        capture(base + " --store '" + dir + "' --resume");
+    EXPECT_EQ(resumed, reference);
+
+    // gc removes the quarantine debris; the store then verifies clean.
+    std::string gc = capture("'" + binary("diq") +
+                             "' cache gc --store '" + dir + "'");
+    EXPECT_NE(gc.find("quarantined"), std::string::npos) << gc;
+    capture("'" + binary("diq") + "' cache verify --store '" + dir +
+            "'");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
 }
 
 // --- diq record / trace replay --------------------------------------
@@ -232,7 +381,7 @@ TEST(DiqCli, RecordRequiresAnOutputPath)
 {
     capture("'" + binary("diq") + "' record mb_distr bench=swim" +
                 kTinyBudget,
-            1);
+            bench::kExitUsage);
 }
 
 TEST(DiqCli, RecordRefusesToOverwriteTheTraceBeingReplayed)
@@ -250,7 +399,7 @@ TEST(DiqCli, RecordRefusesToOverwriteTheTraceBeingReplayed)
     EXPECT_NE(msg.find("destroy the input"), std::string::npos) << msg;
     capture("'" + binary("diq") + "' record mb_distr 'bench=trace:" +
                 path + "'" + kTinyBudget + " --out '" + path + "'",
-            1);
+            bench::kExitUsage);
     // The input survived and still replays.
     capture("'" + binary("diq") + "' run mb_distr 'bench=trace:" +
             path + "'" + kTinyBudget);
@@ -304,12 +453,15 @@ TEST(DiqCli, MalformedTraceInputsExitNonZeroWithTheMessage)
             1);
     std::remove(bad_path.c_str());
 
-    // Bad workload tokens die in spec parsing, before any simulation.
-    capture("'" + binary("diq") + "' run bench=scenario:doom3", 1);
-    capture("'" + binary("diq") + "' run bench=trace:", 1);
+    // Bad workload tokens die in spec parsing, before any simulation
+    // — exit 5 (spec error), unlike the runtime trace failures above.
+    capture("'" + binary("diq") + "' run bench=scenario:doom3",
+            bench::kExitBadSpec);
+    capture("'" + binary("diq") + "' run bench=trace:",
+            bench::kExitBadSpec);
     capture("'" + binary("diq") +
                 "' sweep 'iq6464 bench=scenario:doom3'",
-            1);
+            bench::kExitBadSpec);
 }
 
 // --- diq report vs the diq_report alias -----------------------------
@@ -376,33 +528,52 @@ TEST(DiqCli, ListScenariosShowsTheCatalog)
 
 // --- Error paths ----------------------------------------------------
 
-TEST(DiqCli, PreciseErrorsExitNonZero)
+TEST(DiqCli, ErrorsFollowTheDocumentedExitCodeTaxonomy)
 {
-    capture("'" + binary("diq") + "'", 1);
-    capture("'" + binary("diq") + "' frobnicate", 1);
-    capture("'" + binary("diq") + "' run bogus_key=3", 1);
-    capture("'" + binary("diq") + "' run rob_size=0", 1);
-    capture("'" + binary("diq") + "' sweep", 1);
-    capture("'" + binary("diq") + "' list nonsense", 1);
+    // Usage errors: 4.
+    capture("'" + binary("diq") + "'", bench::kExitUsage);
+    capture("'" + binary("diq") + "' frobnicate", bench::kExitUsage);
+    capture("'" + binary("diq") + "' sweep", bench::kExitUsage);
+    capture("'" + binary("diq") + "' list nonsense", bench::kExitUsage);
+    capture("'" + binary("diq") + "' cache frobnicate",
+            bench::kExitUsage);
+    capture("'" + binary("diq") + "' fuzz --seeds banana",
+            bench::kExitUsage);
+    capture("'" + binary("diq") +
+                "' sweep 'iq6464 bench=swim' --resume",
+            bench::kExitUsage);
+    capture("'" + binary("diq") +
+                "' sweep 'iq6464 bench=swim' --max-attempts 0",
+            bench::kExitUsage);
+    capture("'" + binary("diq") +
+                "' sweep 'iq6464 bench=swim' --fault-plan frobnicate=1",
+            bench::kExitUsage);
+
+    // Spec/grid parse errors: 5.
+    capture("'" + binary("diq") + "' run bogus_key=3",
+            bench::kExitBadSpec);
+    capture("'" + binary("diq") + "' run rob_size=0",
+            bench::kExitBadSpec);
 
     // Budget flags and env vars go through the same validation as
-    // spec tokens.
+    // spec tokens, so they are spec errors too.
     capture("DIQ_INSTS=-3 '" + binary("diq") +
-            "' run mb_distr bench=swim", 1);
+            "' run mb_distr bench=swim", bench::kExitBadSpec);
     capture("DIQ_WARMUP=banana '" + binary("diq") +
-            "' run mb_distr bench=swim", 1);
+            "' run mb_distr bench=swim", bench::kExitBadSpec);
     capture("'" + binary("diq") + "' run mb_distr bench=swim"
-            " --insts -3", 1);
+            " --insts -3", bench::kExitBadSpec);
     capture("'" + binary("diq") + "' run mb_distr bench=swim"
-            " --insts 0", 1);
+            " --insts 0", bench::kExitBadSpec);
     capture("'" + binary("diq") + "' run mb_distr bench=swim"
-            " --warmup banana", 1);
+            " --warmup banana", bench::kExitBadSpec);
     capture("'" + binary("diq") +
-            "' sweep 'iq6464 chains=2 chains=4 bench=swim'", 1);
+            "' sweep 'iq6464 chains=2 chains=4 bench=swim'",
+            bench::kExitBadSpec);
     capture("'" + binary("diq") + "' sweep 'iq6464 bench=swim'"
-            " --insts -3", 1);
+            " --insts -3", bench::kExitBadSpec);
     capture("DIQ_INSTS=banana '" + binary("diq") +
-            "' sweep 'iq6464 bench=swim'", 1);
+            "' sweep 'iq6464 bench=swim'", bench::kExitBadSpec);
 
     // And the message names the offender.
     std::string msg = capture("'" + binary("diq") +

@@ -232,6 +232,39 @@ TEST(TraceRecorder, UnwritablePathFailsLoudly)
                  TraceError);
 }
 
+TEST(TraceRecorder, RecordingIsInvisibleUntilFinalize)
+{
+    // Crash-safety contract: the recorder accumulates in `<path>.tmp`
+    // and only finalize (explicit or via the destructor) publishes
+    // `<path>` by atomic rename. A crash mid-recording must leave any
+    // previous file at the path byte-for-byte intact.
+    std::string path = tempPath("invisible.diqt");
+    {
+        auto first = makeSpecWorkload("swim");
+        recordTrace(*first, path, 60);
+    }
+    std::string original = slurp(path);
+
+    auto live = makeSpecWorkload("gcc");
+    {
+        TraceRecorder rec(*live, path);
+        MicroOp op;
+        for (int i = 0; i < 200; ++i)
+            ASSERT_TRUE(rec.next(op));
+        // Mid-recording: the old file is untouched, the work-in-
+        // progress lives next to it under the .tmp suffix.
+        EXPECT_EQ(slurp(path), original);
+        EXPECT_TRUE(std::ifstream(path + ".tmp").good());
+        rec.finalize();
+    }
+    EXPECT_NE(slurp(path), original) << "finalize published the rerecording";
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+        << "commit must consume the temp file";
+    FileTrace t(path);
+    EXPECT_EQ(t.opCount(), 200u);
+    EXPECT_EQ(t.name(), "gcc");
+}
+
 TEST(RecordTrace, HelperRecordsAndStopsAtEos)
 {
     VectorTrace finite(sampleOps("swim", 40), "short");

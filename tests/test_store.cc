@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Tests for the crash-safe persistence and supervision layers
+ * (docs/ARCHITECTURE.md §11): the entry codec, the corruption
+ * contract (every mutilated entry is detected, quarantined and
+ * transparently recomputed — never served), the fault-plan grammar
+ * and crash probes, the retry/backoff/deadline supervisor, and the
+ * sweep campaign journal behind `diq sweep --resume`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "runner/sim_job.hh"
+#include "runner/supervisor.hh"
+#include "runner/sweep_runner.hh"
+#include "runner/sweep_spec.hh"
+#include "spec/experiment_spec.hh"
+#include "store/result_store.hh"
+
+namespace
+{
+
+using namespace diq;
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test, removed by the fixture. */
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+            (std::string("diq_store_") + info->name());
+        fs::remove_all(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path dir_;
+};
+
+/** A result with distinctive values in every serialized field. */
+runner::SimResult
+sampleResult()
+{
+    runner::SimResult r;
+    r.benchmark = "swim";
+    r.scheme = "MB_distr";
+    r.ipc = 3.14159265358979; // non-trivial mantissa: bit-exactness
+    r.stats.cycles = 123456;
+    r.stats.committed = 654321;
+    r.stats.fetched = 700000;
+    r.stats.dispatched = 690000;
+    r.stats.issuedOps = 660000;
+    r.stats.branches = 12345;
+    r.stats.mispredicts = 678;
+    r.stats.loads = 22222;
+    r.stats.stores = 11111;
+    r.stats.dispatchStallCycles = 1000;
+    r.stats.windowStallCycles = 2000;
+    r.stats.fetchStallCycles = 3000;
+    r.stats.schemeOccupancySum = 444444;
+    r.stats.robOccupancySum = 555555;
+    r.stats.deadlocked = false;
+    r.stats.counters.add(power::EventId::WakeupBroadcasts, 42);
+    r.stats.counters.add(power::EventId::QrenameReads, 7);
+    r.energy.components = {{"wakeup", 1.25},
+                           {"select", 0.0625},
+                           {"payload", 1e-7}};
+    return r;
+}
+
+void
+expectEqualResults(const runner::SimResult &a, const runner::SimResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.ipc, b.ipc); // doubles travel as bit patterns
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.committed, b.stats.committed);
+    EXPECT_EQ(a.stats.fetched, b.stats.fetched);
+    EXPECT_EQ(a.stats.dispatched, b.stats.dispatched);
+    EXPECT_EQ(a.stats.issuedOps, b.stats.issuedOps);
+    EXPECT_EQ(a.stats.branches, b.stats.branches);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_EQ(a.stats.loads, b.stats.loads);
+    EXPECT_EQ(a.stats.stores, b.stats.stores);
+    EXPECT_EQ(a.stats.dispatchStallCycles, b.stats.dispatchStallCycles);
+    EXPECT_EQ(a.stats.windowStallCycles, b.stats.windowStallCycles);
+    EXPECT_EQ(a.stats.fetchStallCycles, b.stats.fetchStallCycles);
+    EXPECT_EQ(a.stats.schemeOccupancySum, b.stats.schemeOccupancySum);
+    EXPECT_EQ(a.stats.robOccupancySum, b.stats.robOccupancySum);
+    EXPECT_EQ(a.stats.deadlocked, b.stats.deadlocked);
+    EXPECT_TRUE(a.stats.counters == b.stats.counters);
+    EXPECT_EQ(a.energy.components, b.energy.components);
+}
+
+/** A small, fast real job for the supervisor tests. */
+runner::SimJob
+tinyJob(const std::string &bench = "swim")
+{
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+        "scheme=iq6464 bench=" + bench +
+        " warmup_insts=100 measure_insts=500");
+    return runner::makeJob(exp);
+}
+
+// --- Entry codec ----------------------------------------------------
+
+TEST_F(StoreTest, CodecRoundTripsEveryFieldBitExactly)
+{
+    runner::SimResult in = sampleResult();
+    std::string bytes = store::encodeEntry("some key=1 bench=swim", in);
+
+    std::string key;
+    runner::SimResult out;
+    ASSERT_EQ(store::decodeEntry(bytes, key, out),
+              store::EntryStatus::Valid);
+    EXPECT_EQ(key, "some key=1 bench=swim");
+    expectEqualResults(out, in);
+}
+
+TEST_F(StoreTest, SaveThenLoadAcrossInstancesIsAHit)
+{
+    runner::SimResult in = sampleResult();
+    const std::string key = "scheme=mb_distr bench=swim";
+    {
+        store::ResultStore st(dir_);
+        st.save(key, in);
+    }
+    store::ResultStore st(dir_);
+    auto hit = st.load(key);
+    ASSERT_TRUE(hit.has_value());
+    expectEqualResults(*hit, in);
+    EXPECT_EQ(st.hits(), 1u);
+    EXPECT_EQ(st.misses(), 0u);
+    EXPECT_FALSE(st.load("scheme=other bench=gcc").has_value());
+    EXPECT_EQ(st.misses(), 1u);
+}
+
+TEST_F(StoreTest, SaveOverwritesThePreviousEntryForTheKey)
+{
+    store::ResultStore st(dir_);
+    runner::SimResult first = sampleResult();
+    st.save("k", first);
+    runner::SimResult second = sampleResult();
+    second.ipc = 1.5;
+    second.stats.cycles = 99;
+    st.save("k", second);
+    auto hit = st.load("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->ipc, 1.5);
+    EXPECT_EQ(hit->stats.cycles, 99u);
+    EXPECT_EQ(st.list().size(), 1u);
+}
+
+TEST_F(StoreTest, ExecutedJobRoundTripsThroughTheStoreBitExactly)
+{
+    // The property `diq sweep --resume` rests on: a stored real result
+    // re-renders exactly like the run that produced it.
+    runner::SimJob job = tinyJob();
+    runner::SimResult computed = runner::executeJob(job);
+    store::ResultStore st(dir_);
+    st.save(job.key(), computed);
+    auto loaded = st.load(job.key());
+    ASSERT_TRUE(loaded.has_value());
+    expectEqualResults(*loaded, computed);
+}
+
+// --- Corruption contract --------------------------------------------
+
+struct Mutation
+{
+    const char *name;
+    store::EntryStatus expected;
+    std::function<void(std::string &)> apply; ///< mutate entry bytes
+};
+
+TEST_F(StoreTest, EveryCorruptionIsDetectedQuarantinedAndRecomputed)
+{
+    const std::vector<Mutation> mutations = {
+        {"zero_length", store::EntryStatus::Empty,
+         [](std::string &b) { b.clear(); }},
+        {"bad_magic", store::EntryStatus::BadMagic,
+         [](std::string &b) { b[0] ^= 0x01; }},
+        {"version_skew", store::EntryStatus::VersionSkew,
+         [](std::string &b) { b[4] ^= 0x01; }},
+        {"schema_skew", store::EntryStatus::SchemaSkew,
+         [](std::string &b) { b[6] ^= 0x01; }},
+        {"truncated_header", store::EntryStatus::Truncated,
+         [](std::string &b) { b.resize(10); }},
+        {"truncated_payload", store::EntryStatus::Truncated,
+         [](std::string &b) { b.resize(b.size() - 5); }},
+        {"payload_bit_flip", store::EntryStatus::ChecksumMismatch,
+         [](std::string &b) { b[b.size() / 2] ^= 0x40; }},
+        {"checksum_field_flip", store::EntryStatus::ChecksumMismatch,
+         [](std::string &b) { b[16] ^= 0x01; }},
+        {"trailing_garbage", store::EntryStatus::TrailingGarbage,
+         [](std::string &b) { b += "extra"; }},
+    };
+
+    for (const Mutation &m : mutations) {
+        SCOPED_TRACE(m.name);
+        fs::path root = dir_ / m.name;
+        const std::string key = "scheme=iq6464 bench=gcc";
+        runner::SimResult in = sampleResult();
+
+        std::string bytes = store::encodeEntry(key, in);
+        m.apply(bytes);
+
+        // The codec classifies the damage precisely...
+        std::string decodedKey;
+        runner::SimResult decoded;
+        EXPECT_EQ(store::decodeEntry(bytes, decodedKey, decoded),
+                  m.expected);
+
+        // ...and the store never serves it: the load is a miss, the
+        // file moves to quarantine/ with the reason in its name.
+        store::ResultStore st(root);
+        fs::path entry =
+            root / "entries" / store::ResultStore::fileNameFor(key, 0);
+        {
+            std::ofstream os(entry, std::ios::binary | std::ios::trunc);
+            os.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+        }
+        EXPECT_FALSE(st.load(key).has_value());
+        EXPECT_EQ(st.corrupt(), 1u);
+        EXPECT_FALSE(fs::exists(entry));
+        bool quarantined = false;
+        for (const auto &de :
+             fs::directory_iterator(root / "quarantine")) {
+            std::string name = de.path().filename().string();
+            if (name.find(store::entryStatusName(m.expected)) !=
+                std::string::npos)
+                quarantined = true;
+        }
+        EXPECT_TRUE(quarantined)
+            << "no quarantine file names the reason";
+
+        // Transparent recompute: a fresh save+load works again.
+        st.save(key, in);
+        auto hit = st.load(key);
+        ASSERT_TRUE(hit.has_value());
+        expectEqualResults(*hit, in);
+    }
+}
+
+TEST_F(StoreTest, VerifyQuarantinesCorruptEntriesAndReportsCounts)
+{
+    store::ResultStore st(dir_);
+    runner::SimResult r = sampleResult();
+    st.save("key one", r);
+    st.save("key two", r);
+    st.save("key three", r);
+
+    // Flip one payload byte of "key two" on disk.
+    fs::path victim = dir_ / "entries" /
+        store::ResultStore::fileNameFor("key two", 0);
+    {
+        std::fstream f(victim,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<int64_t>(f.tellg());
+        f.seekg(size / 2);
+        char c = static_cast<char>(f.get());
+        f.seekp(size / 2);
+        f.put(static_cast<char>(c ^ 0x10));
+    }
+
+    auto report = st.verify();
+    EXPECT_EQ(report.valid, 2u);
+    EXPECT_EQ(report.corrupt, 1u);
+    EXPECT_FALSE(fs::exists(victim));
+
+    // A second verify is clean, and the untouched keys still load.
+    auto clean = st.verify();
+    EXPECT_EQ(clean.valid, 2u);
+    EXPECT_EQ(clean.corrupt, 0u);
+    EXPECT_TRUE(st.load("key one").has_value());
+    EXPECT_TRUE(st.load("key three").has_value());
+    EXPECT_FALSE(st.load("key two").has_value());
+}
+
+TEST_F(StoreTest, GcRemovesQuarantineAndOrphanTempDebris)
+{
+    store::ResultStore st(dir_);
+    st.save("k", sampleResult());
+
+    // Manufacture debris: a quarantined file and an orphan temp.
+    {
+        std::ofstream(dir_ / "quarantine" / "h00-0.diqr.bad_magic")
+            << "junk";
+        std::ofstream(dir_ / "entries" / ".h00-0.diqr.tmp.1234.5")
+            << "torn";
+    }
+    auto report = st.gc();
+    EXPECT_EQ(report.quarantined, 1u);
+    EXPECT_EQ(report.orphanTmp, 1u);
+    EXPECT_GT(report.bytes, 0u);
+    EXPECT_TRUE(st.load("k").has_value()) << "gc touched a valid entry";
+
+    auto again = st.gc();
+    EXPECT_EQ(again.quarantined + again.orphanTmp, 0u);
+}
+
+// --- FaultPlan ------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesEveryProbeAndRejectsMalformedClauses)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse(
+        "fail_job=swim:2 delay_job=:50 crash_before_rename=gcc "
+        "crash_after_rename=:3 corrupt_entry_byte=swim:-4");
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(plan.shouldFailJob("bench=swim x"));
+    EXPECT_TRUE(plan.shouldFailJob("bench=swim x"));
+    EXPECT_FALSE(plan.shouldFailJob("bench=swim x")) << "k=2 exhausted";
+    EXPECT_FALSE(plan.shouldFailJob("bench=gcc"));
+    EXPECT_EQ(plan.jobDelayMs("anything"), 50u);
+    ASSERT_TRUE(plan.corruptOffset("bench=swim").has_value());
+    EXPECT_EQ(*plan.corruptOffset("bench=swim"), -4);
+    EXPECT_FALSE(plan.corruptOffset("bench=gcc").has_value());
+
+    EXPECT_TRUE(fault::FaultPlan::parse("").empty());
+    EXPECT_TRUE(fault::FaultPlan{}.empty());
+
+    for (const char *bad :
+         {"frobnicate=1", "fail_job=swim", "fail_job=swim:0",
+          "fail_job=swim:banana", "delay_job=x", "delay_job=x:0",
+          "corrupt_entry_byte=x", "crash_before_rename=x:0", "noequals"})
+        EXPECT_THROW(fault::FaultPlan::parse(bad), fault::PlanError)
+            << bad;
+}
+
+/** Thrown by test crash handlers so an injected crash unwinds
+ *  instead of calling std::_Exit. */
+struct InjectedCrash
+{
+    std::string what;
+};
+
+TEST_F(StoreTest, CrashBeforeRenameLeavesNoEntryOnlyTempDebris)
+{
+    fault::FaultPlan plan =
+        fault::FaultPlan::parse("crash_before_rename=");
+    plan.setCrashHandler([](const std::string &what) {
+        throw InjectedCrash{what};
+    });
+
+    store::ResultStore st(dir_, &plan);
+    EXPECT_THROW(st.save("k", sampleResult()), InjectedCrash);
+    EXPECT_FALSE(st.load("k").has_value())
+        << "a pre-rename crash must not publish an entry";
+
+    // The torn temp file is the only debris, and gc reclaims it.
+    auto report = st.gc();
+    EXPECT_GE(report.orphanTmp, 1u);
+}
+
+TEST_F(StoreTest, CrashAfterRenameLeavesADurableValidEntry)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse("crash_after_rename=");
+    plan.setCrashHandler(
+        [](const std::string &what) { throw InjectedCrash{what}; });
+
+    runner::SimResult in = sampleResult();
+    {
+        store::ResultStore st(dir_, &plan);
+        EXPECT_THROW(st.save("k", in), InjectedCrash);
+    }
+    // A new process (instance) sees the committed entry, intact.
+    store::ResultStore st(dir_);
+    auto hit = st.load("k");
+    ASSERT_TRUE(hit.has_value());
+    expectEqualResults(*hit, in);
+}
+
+TEST_F(StoreTest, CorruptEntryByteProbeFlipsTheCommittedFile)
+{
+    fault::FaultPlan plan =
+        fault::FaultPlan::parse("corrupt_entry_byte=:30");
+    store::ResultStore st(dir_, &plan);
+    st.save("k", sampleResult());
+    EXPECT_FALSE(st.load("k").has_value())
+        << "the post-commit flip must be caught by the checksum";
+    EXPECT_EQ(st.corrupt(), 1u);
+}
+
+// --- Supervisor -----------------------------------------------------
+
+runner::JobPolicy
+fastPolicy(unsigned maxAttempts)
+{
+    runner::JobPolicy p;
+    p.maxAttempts = maxAttempts;
+    p.backoffBaseMs = 1;
+    return p;
+}
+
+TEST(SupervisorTest, RetriesPastInjectedFailuresAndCountsAttempts)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse("fail_job=swim:2");
+    runner::Supervised s =
+        runner::superviseJob(tinyJob(), fastPolicy(3), &plan);
+    EXPECT_EQ(s.attempts, 3u) << "two injected failures, then success";
+    EXPECT_EQ(s.result.benchmark, "swim");
+    EXPECT_GT(s.result.stats.cycles, 0u);
+}
+
+TEST(SupervisorTest, ExhaustedAttemptsQuarantineWithSanitizedError)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse("fail_job=swim:99");
+    try {
+        runner::superviseJob(tinyJob(), fastPolicy(2), &plan);
+        FAIL() << "expected JobQuarantined";
+    } catch (const runner::JobQuarantined &q) {
+        EXPECT_EQ(q.attempts, 2u);
+        EXPECT_NE(q.error.find("injected failure"), std::string::npos);
+        EXPECT_EQ(q.error.find(','), std::string::npos)
+            << "error text must be CSV-safe";
+        EXPECT_EQ(q.key, tinyJob().key());
+    }
+}
+
+TEST(SupervisorTest, DeadlineTurnsASlowJobIntoQuarantine)
+{
+    fault::FaultPlan plan = fault::FaultPlan::parse("delay_job=:200");
+    runner::JobPolicy policy = fastPolicy(2);
+    policy.deadlineMs = 20;
+    try {
+        runner::superviseJob(tinyJob(), policy, &plan);
+        FAIL() << "expected JobQuarantined";
+    } catch (const runner::JobQuarantined &q) {
+        EXPECT_NE(q.error.find("deadline exceeded"), std::string::npos)
+            << q.error;
+    }
+
+    // The same delayed job is fine without a deadline.
+    fault::FaultPlan slow = fault::FaultPlan::parse("delay_job=:30");
+    runner::Supervised s =
+        runner::superviseJob(tinyJob(), fastPolicy(1), &slow);
+    EXPECT_EQ(s.attempts, 1u);
+}
+
+TEST(SupervisorTest, PolicyFromFlagsValidatesItsRanges)
+{
+    const char *argv0[] = {"x"};
+    runner::JobPolicy defaults =
+        runner::JobPolicy::fromFlags(util::Flags(1, argv0));
+    EXPECT_EQ(defaults.maxAttempts, 3u);
+    EXPECT_EQ(defaults.deadlineMs, 0u);
+
+    const char *bad[] = {"x", "--max-attempts", "0"};
+    EXPECT_THROW(runner::JobPolicy::fromFlags(util::Flags(3, bad)),
+                 std::invalid_argument);
+    const char *negd[] = {"x", "--deadline-ms", "-5"};
+    EXPECT_THROW(runner::JobPolicy::fromFlags(util::Flags(3, negd)),
+                 std::invalid_argument);
+}
+
+// --- SweepJournal ---------------------------------------------------
+
+TEST_F(StoreTest, JournalRecordsPoisonAcrossReopenAndDeduplicates)
+{
+    fs::path path = dir_ / "journals" / "t.journal";
+    fs::create_directories(path.parent_path());
+    {
+        runner::SweepJournal j(path, "campaign-a", false);
+        EXPECT_TRUE(j.poisoned().empty());
+        j.recordPoison("key1", 3, "boom,\twith\nnoise");
+        j.recordPoison("key1", 5, "duplicate ignored");
+        j.recordPoison("key2", 2, "other");
+    }
+    runner::SweepJournal j(path, "campaign-a", true);
+    ASSERT_EQ(j.poisoned().size(), 2u);
+    const auto &rec = j.poisoned().at("key1");
+    EXPECT_EQ(rec.attempts, 3u);
+    EXPECT_EQ(rec.error, "boom  with noise")
+        << "journaled error must be sanitized";
+}
+
+TEST_F(StoreTest, JournalRejectsADifferentCampaign)
+{
+    fs::create_directories(dir_);
+    fs::path path = dir_ / "j.journal";
+    { runner::SweepJournal j(path, "campaign-a", false); }
+    EXPECT_THROW(runner::SweepJournal(path, "campaign-b", true),
+                 runner::JournalError);
+    // Without --resume the journal is simply recreated.
+    runner::SweepJournal fresh(path, "campaign-b", false);
+    EXPECT_TRUE(fresh.poisoned().empty());
+}
+
+TEST_F(StoreTest, JournalIgnoresATornFinalLine)
+{
+    fs::create_directories(dir_);
+    fs::path path = dir_ / "j.journal";
+    {
+        runner::SweepJournal j(path, "c", false);
+        j.recordPoison("whole", 1, "complete record");
+    }
+    {
+        // A crash mid-append: the last line has no newline.
+        std::ofstream os(path, std::ios::app | std::ios::binary);
+        os << "poison\t9\ttorn-key\ttorn";
+    }
+    runner::SweepJournal j(path, "c", true);
+    EXPECT_EQ(j.poisoned().size(), 1u);
+    EXPECT_TRUE(j.poisoned().count("whole"));
+    EXPECT_FALSE(j.poisoned().count("torn-key"));
+}
+
+// --- Supervised sweep + store, in process ---------------------------
+
+TEST_F(StoreTest, SupervisedSweepReplaysFromStoreByteIdentically)
+{
+    auto grid =
+        runner::SweepSpec::fromText("scheme=iq6464,mb_distr bench=gcc");
+    runner::RunnerOptions opts;
+    opts.warmupInsts = 100;
+    opts.measureInsts = 500;
+    opts.jobs = 1;
+
+    std::vector<runner::SimResult> computed;
+    {
+        store::ResultStore st(dir_);
+        runner::RunnerOptions o = opts;
+        o.store = &st;
+        runner::SweepRunner r(o);
+        for (const auto &out : r.runAllSupervised(grid, nullptr)) {
+            ASSERT_NE(out.result, nullptr);
+            EXPECT_FALSE(out.fromStore);
+            computed.push_back(*out.result);
+        }
+        EXPECT_EQ(st.misses(), grid.size());
+    }
+    {
+        store::ResultStore st(dir_);
+        runner::RunnerOptions o = opts;
+        o.store = &st;
+        runner::SweepRunner r(o);
+        auto outcomes = r.runAllSupervised(grid, nullptr);
+        ASSERT_EQ(outcomes.size(), computed.size());
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            ASSERT_NE(outcomes[i].result, nullptr);
+            EXPECT_TRUE(outcomes[i].fromStore);
+            expectEqualResults(*outcomes[i].result, computed[i]);
+        }
+        EXPECT_EQ(st.hits(), grid.size());
+    }
+}
+
+TEST_F(StoreTest, SupervisedSweepSkipsJournaledPoisonOnResume)
+{
+    auto grid =
+        runner::SweepSpec::fromText("scheme=iq6464 bench=gcc,swim");
+    runner::RunnerOptions opts;
+    opts.warmupInsts = 100;
+    opts.measureInsts = 500;
+    opts.jobs = 1;
+    opts.policy = fastPolicy(2);
+
+    fs::create_directories(dir_);
+    fs::path jpath = dir_ / "j.journal";
+    {
+        fault::FaultPlan plan =
+            fault::FaultPlan::parse("fail_job=swim:99");
+        store::ResultStore st(dir_);
+        runner::RunnerOptions o = opts;
+        o.store = &st;
+        o.faults = &plan;
+        runner::SweepJournal journal(jpath, "c", false);
+        runner::SweepRunner r(o);
+        auto outcomes = r.runAllSupervised(grid, &journal);
+        ASSERT_EQ(outcomes.size(), 2u);
+        EXPECT_NE(outcomes[0].result, nullptr) << "gcc point succeeds";
+        EXPECT_EQ(outcomes[1].result, nullptr) << "swim point poisons";
+        EXPECT_EQ(outcomes[1].attempts, 2u);
+        EXPECT_EQ(journal.poisoned().size(), 1u);
+    }
+    {
+        // Resume without any fault plan: the poison job would succeed
+        // now, but the journal says skip — determinism over optimism.
+        store::ResultStore st(dir_);
+        runner::RunnerOptions o = opts;
+        o.store = &st;
+        runner::SweepJournal journal(jpath, "c", true);
+        runner::SweepRunner r(o);
+        auto outcomes = r.runAllSupervised(grid, &journal);
+        ASSERT_EQ(outcomes.size(), 2u);
+        EXPECT_NE(outcomes[0].result, nullptr);
+        EXPECT_TRUE(outcomes[0].fromStore);
+        EXPECT_EQ(outcomes[1].result, nullptr);
+        EXPECT_EQ(outcomes[1].attempts, 2u)
+            << "journaled attempt count replays";
+    }
+}
+
+} // namespace

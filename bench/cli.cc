@@ -6,12 +6,15 @@
 
 #include "cli.hh"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "fault/fault_plan.hh"
@@ -20,6 +23,8 @@
 #include "report.hh"
 #include "runner/supervisor.hh"
 #include "runner/sweep_runner.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "spec/presets.hh"
 #include "store/result_store.hh"
 #include "trace/file_trace.hh"
@@ -66,11 +71,31 @@ usage(std::ostream &os)
           "      skipped, row marked failed, exit 3).\n"
           "      [--store DIR] [--resume] [--max-attempts N]\n"
           "      [--backoff-ms N] [--deadline-ms N] [--fault-plan TEXT]\n"
-          "  cache list|verify|gc            inspect the result store\n"
+          "  cache list|verify|gc|stats      inspect the result store\n"
           "      list: every entry with its validation status;\n"
           "      verify: validate + quarantine corrupt entries (exit 1\n"
           "      if any were found); gc: delete quarantined entries\n"
-          "      and orphan temp files.  [--store DIR]\n"
+          "      and orphan temp files; stats: entry/byte/quarantine\n"
+          "      counts (with --socket, also a live server's hit/miss/\n"
+          "      dedupe/reject counters).  [--store DIR] [--socket PATH]\n"
+          "  serve --socket PATH             long-running result server\n"
+          "      Owns the store (exclusive LOCK) and a worker pool;\n"
+          "      clients submit grids over the Unix-domain socket.\n"
+          "      Identical in-flight requests dedupe onto one\n"
+          "      computation, warm keys stream from the store without\n"
+          "      touching a worker, and a full backlog rejects with\n"
+          "      `busy` (client exits 6). Campaigns are journaled:\n"
+          "      a killed server resumes open sweeps on restart.\n"
+          "      [--store DIR] [--jobs N] [--pending-max N]\n"
+          "      [--max-attempts N] [--backoff-ms N] [--deadline-ms N]\n"
+          "      [--fault-plan TEXT]\n"
+          "  submit --socket PATH [--grid TEXT] [tokens...]\n"
+          "      send a grid to a running server, stream per-point\n"
+          "      rows back, and render exactly the CSV `diq sweep`\n"
+          "      would (byte-identical, including --resume replays)\n"
+          "      [--insts N] [--warmup N] [--out FILE]\n"
+          "  status --socket PATH            live server counters\n"
+          "  shutdown --socket PATH          stop a running server\n"
           "  report [figure-ids...]          reproduce every paper\n"
           "      figure (alias binary: diq_report)\n"
           "      [--outdir DIR] [--jobs N] [--insts N] [--warmup N]\n"
@@ -87,10 +112,12 @@ usage(std::ostream &os)
           "  help                            this text\n"
           "\n"
           "Env fallbacks: DIQ_INSTS, DIQ_WARMUP, DIQ_JOBS, DIQ_OUTDIR,\n"
-          "  DIQ_STORE, DIQ_MAX_ATTEMPTS, DIQ_DEADLINE_MS, DIQ_FAULT_PLAN\n"
+          "  DIQ_STORE, DIQ_SOCKET, DIQ_MAX_ATTEMPTS, DIQ_DEADLINE_MS,\n"
+          "  DIQ_FAULT_PLAN\n"
           "Exit codes: 0 ok; 1 runtime failure; 2 fuzz violations;\n"
           "  3 partial sweep (quarantined jobs); 4 usage/plan/journal\n"
-          "  error; 5 spec or grid parse error; 42 injected crash\n";
+          "  error; 5 spec or grid parse error; 6 server busy;\n"
+          "  42 injected crash\n";
 }
 
 /** Spaces to align a name column at `width`. */
@@ -172,6 +199,9 @@ runCmd(const util::Flags &flags)
     std::string storePath = flags.getString("store", "", "DIQ_STORE");
     runner::SimResult result;
     if (!storePath.empty()) {
+        // Writers are exclusive: a concurrent server or sweep on the
+        // same store holds LOCK and we must not interleave with it.
+        store::StoreLock lock(storePath);
         store::ResultStore st(storePath);
         if (auto hit = st.load(job.key())) {
             result = std::move(*hit);
@@ -304,9 +334,11 @@ sweepCmd(const util::Flags &flags)
         return kExitUsage;
     }
 
+    std::optional<store::StoreLock> lock;
     std::unique_ptr<store::ResultStore> st;
     std::unique_ptr<runner::SweepJournal> journal;
     if (!storePath.empty()) {
+        lock.emplace(storePath); // exclusive writer (see StoreLock)
         st = std::make_unique<store::ResultStore>(storePath,
                                                   opts.faults);
         opts.store = st.get();
@@ -387,7 +419,34 @@ cacheCmd(const util::Flags &flags)
                   << entries.size() << " entry file(s)\n";
         return kExitOk;
     }
+    if (verb == "stats") {
+        // Lock-free shared read, like `list`: entry files are only
+        // ever observed whole (atomic-rename commit), so sizing the
+        // store is safe alongside a live server.
+        store::ResultStore st(storePath);
+        auto s = st.stats();
+        std::cout << "store=" << st.root().string() << "\n"
+                  << "entries=" << s.entries << "\n"
+                  << "entry_bytes=" << s.entryBytes << "\n"
+                  << "quarantined=" << s.quarantined << "\n"
+                  << "quarantine_bytes=" << s.quarantineBytes << "\n"
+                  << "orphan_tmp=" << s.orphanTmp << "\n";
+        long holder = store::StoreLock::holderPid(storePath);
+        if (holder != 0)
+            std::cout << "lock_holder_pid=" << holder << "\n";
+        std::string socketPath =
+            flags.getString("socket", "", "DIQ_SOCKET");
+        if (!socketPath.empty()) {
+            // Live counters straight from the server (hits, misses,
+            // dedupe attaches, busy rejects, ...).
+            serve::ServeClient client(socketPath);
+            for (const auto &[k, v] : client.status())
+                std::cout << "server." << k << "=" << v << "\n";
+        }
+        return kExitOk;
+    }
     if (verb == "verify") {
+        store::StoreLock lock(storePath); // quarantines = writes
         store::ResultStore st(storePath);
         auto report = st.verify();
         for (const auto &e : report.entries)
@@ -400,6 +459,7 @@ cacheCmd(const util::Flags &flags)
         return report.corrupt > 0 ? kExitRuntime : kExitOk;
     }
     if (verb == "gc") {
+        store::StoreLock lock(storePath); // deletes files
         store::ResultStore st(storePath);
         auto report = st.gc();
         std::cout << "gc: removed " << report.quarantined
@@ -410,8 +470,190 @@ cacheCmd(const util::Flags &flags)
     }
 
     std::cerr << "error: unknown cache verb '" << verb
-              << "' (known: list verify gc)\n";
+              << "' (known: list verify gc stats)\n";
     return kExitUsage;
+}
+
+/** The server being run by serveCmd, for the signal handlers. */
+std::atomic<serve::Server *> gServer{nullptr};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    // requestStop is async-signal-safe: an atomic store plus
+    // shutdown(2) on the listen socket.
+    if (serve::Server *s = gServer.load(std::memory_order_relaxed))
+        s->requestStop();
+}
+
+int
+serveCmd(const util::Flags &flags)
+{
+    std::string socketPath =
+        flags.getString("socket", "", "DIQ_SOCKET");
+    if (socketPath.empty()) {
+        std::cerr << "error: no socket path given (--socket PATH or "
+                     "DIQ_SOCKET)\n";
+        return kExitUsage;
+    }
+
+    serve::ServerOptions o;
+    o.socketPath = socketPath;
+    o.storeDir = flags.getString("store", ".diq-store", "DIQ_STORE");
+    int64_t jobs = flags.getInt("jobs", 0, "DIQ_JOBS");
+    o.workers = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
+    int64_t pendingMax = flags.getInt("pending-max", 64);
+    if (pendingMax < 1) {
+        std::cerr << "error: --pending-max must be >= 1 (got "
+                  << pendingMax << ")\n";
+        return kExitUsage;
+    }
+    o.pendingMax = static_cast<size_t>(pendingMax);
+    o.policy = runner::JobPolicy::fromFlags(flags);
+    fault::FaultPlan faults = flags.has("fault-plan")
+        ? fault::FaultPlan::parse(flags.getString("fault-plan", ""))
+        : fault::FaultPlan::fromEnv();
+    if (!faults.empty())
+        o.faults = &faults;
+    o.log = &std::cerr;
+
+    serve::Server server(std::move(o));
+    gServer.store(&server, std::memory_order_relaxed);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    std::cerr << "diq serve: listening on " << socketPath << ", store "
+              << server.store().root().string() << ", "
+              << server.dispatcher().workerCount()
+              << " worker(s), backlog limit "
+              << server.options().pendingMax;
+    if (server.recoveredCampaigns() > 0)
+        std::cerr << " (recovered " << server.recoveredCampaigns()
+                  << " journaled campaign(s))";
+    std::cerr << "\n";
+
+    server.run();
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    gServer.store(nullptr, std::memory_order_relaxed);
+    std::cerr << "diq serve: stopped\n";
+    return kExitOk;
+}
+
+int
+submitCmd(const util::Flags &flags)
+{
+    std::string socketPath =
+        flags.getString("socket", "", "DIQ_SOCKET");
+    if (socketPath.empty()) {
+        std::cerr << "error: no socket path given (--socket PATH or "
+                     "DIQ_SOCKET)\n";
+        return kExitUsage;
+    }
+    std::string text = gatherSpecText(flags, "grid");
+    if (text.empty()) {
+        std::cerr << "error: no grid given (try `diq submit --socket "
+                  << socketPath << " scheme=iq6464 bench=swim`)\n";
+        return kExitUsage;
+    }
+
+    // Parse the grid locally too: bad grids fail fast with the usual
+    // exit 5, and the parsed points are what the CSV renders from —
+    // the same path `diq sweep` takes, which is what makes the output
+    // byte-identical.
+    runner::SweepSpec grid = runner::SweepSpec::fromText(text);
+    if (grid.empty()) {
+        std::cerr << "error: empty grid\n";
+        return kExitUsage;
+    }
+    runner::RunnerOptions opts;
+    spec::ExperimentSpec budgets;
+    applyEnvBudgets(budgets);
+    applyFlagBudgets(flags, budgets);
+    opts.warmupInsts = budgets.warmupInsts;
+    opts.measureInsts = budgets.measureInsts;
+
+    serve::ServeClient client(socketPath);
+    std::cerr << "diq submit: " << grid.size()
+              << " point(s) to server pid " << client.serverPid()
+              << " on " << socketPath << ", budget "
+              << opts.measureInsts << " insts (+" << opts.warmupInsts
+              << " warm-up)\n";
+
+    // Rows stream back in completion order; reassemble spec order by
+    // index. `results` never reallocates, so outcome pointers hold.
+    std::vector<runner::SimResult> results(grid.size());
+    std::vector<runner::JobOutcome> outcomes(grid.size());
+    serve::SubmitSummary summary = client.submit(
+        opts.warmupInsts, opts.measureInsts, text,
+        [&](const serve::RowOutcome &row) {
+            if (row.index >= grid.size())
+                throw serve::ClientError(
+                    "server sent row " + std::to_string(row.index) +
+                    " for a " + std::to_string(grid.size()) +
+                    "-point grid");
+            runner::JobOutcome &o = outcomes[row.index];
+            o.attempts = row.attempts;
+            if (row.result) {
+                results[row.index] = *row.result;
+                o.result = &results[row.index];
+            } else {
+                o.error = row.error;
+            }
+        });
+
+    std::string csv = renderSweepCsv(grid, opts, outcomes);
+    std::cout << csv;
+    if (flags.has("out")) {
+        std::string path = flags.getString("out", "");
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return kExitRuntime;
+        }
+        os << csv;
+        std::cerr << "wrote " << path << "\n";
+    }
+
+    std::cerr << "diq submit: " << summary.storeHits
+              << " store hit(s), " << summary.attached
+              << " attached, " << summary.computed << " computed, "
+              << summary.failed << " failed\n";
+    return summary.failed > 0 ? kExitPartialSweep : kExitOk;
+}
+
+int
+statusCmd(const util::Flags &flags)
+{
+    std::string socketPath =
+        flags.getString("socket", "", "DIQ_SOCKET");
+    if (socketPath.empty()) {
+        std::cerr << "error: no socket path given (--socket PATH or "
+                     "DIQ_SOCKET)\n";
+        return kExitUsage;
+    }
+    serve::ServeClient client(socketPath);
+    for (const auto &[k, v] : client.status())
+        std::cout << k << "=" << v << "\n";
+    return kExitOk;
+}
+
+int
+shutdownCmd(const util::Flags &flags)
+{
+    std::string socketPath =
+        flags.getString("socket", "", "DIQ_SOCKET");
+    if (socketPath.empty()) {
+        std::cerr << "error: no socket path given (--socket PATH or "
+                     "DIQ_SOCKET)\n";
+        return kExitUsage;
+    }
+    serve::ServeClient client(socketPath);
+    long pid = client.serverPid();
+    client.shutdown();
+    std::cerr << "diq shutdown: server pid " << pid << " stopping\n";
+    return kExitOk;
 }
 
 /**
@@ -681,6 +923,14 @@ cliMain(int argc, char **argv)
             return sweepCmd(flags);
         if (cmd == "cache")
             return cacheCmd(flags);
+        if (cmd == "serve")
+            return serveCmd(flags);
+        if (cmd == "submit")
+            return submitCmd(flags);
+        if (cmd == "status")
+            return statusCmd(flags);
+        if (cmd == "shutdown")
+            return shutdownCmd(flags);
         if (cmd == "report")
             return reportMain(flags);
         if (cmd == "fuzz")
@@ -699,6 +949,9 @@ cliMain(int argc, char **argv)
         // they are spec errors, not runtime faults.
         std::cerr << "error: " << e.what() << "\n";
         return kExitBadSpec;
+    } catch (const serve::ServerBusy &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitServerBusy;
     } catch (const fault::PlanError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitUsage;

@@ -12,7 +12,14 @@
  *                emit CSV; with --store the campaign is crash-safe
  *                and `--resume` replays completed points from disk
  *   diq cache  — inspect the persistent result store
- *                (list | verify | gc; store/result_store.hh)
+ *                (list | verify | gc | stats; store/result_store.hh)
+ *   diq serve  — long-running daemon owning one store + worker pool,
+ *                serving grid requests over a Unix-domain socket
+ *                (serve/server.hh)
+ *   diq submit — send a grid to a running server, stream rows back,
+ *                render the same CSV `diq sweep` would
+ *   diq status — live server/dispatcher/store counters
+ *   diq shutdown — ask a running server to stop
  *   diq report — the full figure report (bench/report.hh; the
  *                `diq_report` binary is a thin alias of this)
  *   diq list   — schemes, benchmarks, spec keys and figures, with
@@ -47,6 +54,8 @@ namespace diq::bench
  *   4  usage error (bad flags, unknown subcommand, bad fault plan,
  *      journal/campaign mismatch)
  *   5  spec/grid parse error (spec::ParseError)
+ *   6  server busy: `diq submit` was rejected at admission control
+ *      (the serve backlog is full) — nothing ran, retry later
  *
  * fault::kCrashExitCode (42) is reserved for injected crashes.
  */
@@ -58,6 +67,7 @@ enum ExitCode : int
     kExitPartialSweep = 3,
     kExitUsage = 4,
     kExitBadSpec = 5,
+    kExitServerBusy = 6,
 };
 
 /** The exact stdout of `diq run` for a spec and its result. */

@@ -74,7 +74,71 @@ runAttempt(const SimJob &job, fault::FaultPlan *faults,
     return executeJob(job);
 }
 
+/**
+ * Threads abandoned by deadline-expired attempts, parked here until
+ * drainSupervisor() joins them. A function-local static (not a
+ * namespace-scope global) so the registry outlives every translation
+ * unit that may drain during static teardown.
+ */
+struct AbandonedThreads
+{
+    std::mutex mu;
+    std::vector<std::thread> threads;
+
+    /** Process exit with threads still parked (nobody called
+     *  drainSupervisor): join them here — abandoned attempts hold
+     *  their job by value and always terminate, and destroying a
+     *  joinable std::thread would terminate() the process. */
+    ~AbandonedThreads()
+    {
+        for (std::thread &t : threads)
+            if (t.joinable())
+                t.join();
+    }
+};
+
+AbandonedThreads &
+reaper()
+{
+    static AbandonedThreads r;
+    return r;
+}
+
+void
+abandonThread(std::thread t)
+{
+    std::lock_guard<std::mutex> lock(reaper().mu);
+    reaper().threads.push_back(std::move(t));
+}
+
 } // namespace
+
+void
+drainSupervisor()
+{
+    // Joining outside the lock lets an abandoned attempt that itself
+    // reaches a deadline park a new thread without deadlocking; loop
+    // until a pass finds the registry empty.
+    while (true) {
+        std::vector<std::thread> victims;
+        {
+            std::lock_guard<std::mutex> lock(reaper().mu);
+            victims.swap(reaper().threads);
+        }
+        if (victims.empty())
+            return;
+        for (std::thread &t : victims)
+            if (t.joinable())
+                t.join();
+    }
+}
+
+size_t
+abandonedThreadCount()
+{
+    std::lock_guard<std::mutex> lock(reaper().mu);
+    return reaper().threads.size();
+}
 
 JobPolicy
 JobPolicy::fromFlags(const util::Flags &flags)
@@ -138,12 +202,14 @@ superviseJob(const SimJob &job, const JobPolicy &policy,
                 return {runAttempt(job, faults, *cancel), attempt};
             }
             // Deadline-bounded attempt: run on a worker thread and
-            // abandon it at the deadline. Injected delays observe the
-            // cancel token so the join below is prompt; a real job is
-            // joined to completion before the next attempt (the
-            // deadline bounds waiting, not execution).
+            // truly abandon it at the deadline — the thread is parked
+            // on the reaper (joined by drainSupervisor()) and the
+            // next attempt starts immediately, so the deadline bounds
+            // the supervisor's wait, not the overrun. The task copies
+            // the job: an abandoned attempt may outlive this call and
+            // must not dangle into the caller's descriptor.
             std::packaged_task<SimResult()> task(
-                [&job, faults, cancel] {
+                [job, faults, cancel] {
                     return runAttempt(job, faults, *cancel);
                 });
             std::future<SimResult> done = task.get_future();
@@ -151,14 +217,14 @@ superviseJob(const SimJob &job, const JobPolicy &policy,
             bool timedOut = done.wait_for(std::chrono::milliseconds(
                                 policy.deadlineMs)) !=
                 std::future_status::ready;
-            if (timedOut)
-                cancel->store(true, std::memory_order_relaxed);
-            worker.join();
             if (timedOut) {
+                cancel->store(true, std::memory_order_relaxed);
+                abandonThread(std::move(worker));
                 lastError = "deadline exceeded (" +
                     std::to_string(policy.deadlineMs) + " ms)";
                 continue;
             }
+            worker.join();
             return {done.get(), attempt};
         } catch (const std::exception &e) {
             lastError = e.what();

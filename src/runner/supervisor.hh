@@ -93,11 +93,14 @@ class JobQuarantined : public std::runtime_error
  * succeeded. @throws JobQuarantined after maxAttempts failures.
  *
  * Deadline semantics: the attempt runs on a worker thread and is
- * abandoned at the deadline; injected delays honor cancellation so
- * the thread is reaped promptly. (A genuinely wedged simulation is
- * joined before the next attempt starts — the deadline bounds how
- * long the supervisor *waits*, and turns the overrun into a failed
- * attempt either way.)
+ * abandoned at the deadline — the next attempt (or the quarantine)
+ * proceeds immediately, and the overrunning thread is parked on a
+ * process-wide reaper. Injected delays honor cancellation so parked
+ * threads unwind promptly; a genuinely wedged attempt unwinds when
+ * its simulation finishes. Every abandoned thread is joined by
+ * drainSupervisor(), which long-lived callers (SweepRunner teardown,
+ * the serve dispatcher's shutdown path) invoke so repeated deadline
+ * hits never accumulate live threads past the owner's lifetime.
  */
 struct Supervised
 {
@@ -106,6 +109,20 @@ struct Supervised
 };
 Supervised superviseJob(const SimJob &job, const JobPolicy &policy,
                         fault::FaultPlan *faults);
+
+/**
+ * Join every worker thread abandoned by a deadline-expired attempt.
+ * Blocks until each has unwound (prompt for injected delays, bounded
+ * by the simulation for real overruns). Idempotent and thread-safe;
+ * callers that supervised jobs with a nonzero deadline must drain
+ * before tearing down state those attempts may still reference
+ * (fault plans, stores) — SweepRunner's destructor and the serve
+ * dispatcher's shutdown do this.
+ */
+void drainSupervisor();
+
+/** Threads currently parked on the reaper (tests/diagnostics). */
+size_t abandonedThreadCount();
 
 /** Journal open/parse failure (campaign mismatch, unwritable path). */
 class JournalError : public std::runtime_error

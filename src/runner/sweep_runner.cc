@@ -41,7 +41,13 @@ SweepRunner::SweepRunner(RunnerOptions opts)
 {
 }
 
-SweepRunner::~SweepRunner() = default;
+SweepRunner::~SweepRunner()
+{
+    // Deadline-expired supervised attempts park their threads on the
+    // supervisor reaper; join them before the fault plan / store the
+    // attempts may still reference can be torn down by our owner.
+    drainSupervisor();
+}
 
 SimJob
 SweepRunner::makeJob(const spec::ExperimentSpec &exp,

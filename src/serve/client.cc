@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Implementation of serve/client.hh (docs/ARCHITECTURE.md §12).
+ */
+
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "store/result_store.hh"
+
+namespace diq::serve
+{
+
+namespace
+{
+
+/** Parse the numeric value of one `k=v` protocol field; 0 on junk
+ *  (counters are best-effort diagnostics, not control flow). */
+uint64_t
+kvValue(const std::string &field)
+{
+    size_t eq = field.find('=');
+    if (eq == std::string::npos)
+        return 0;
+    try {
+        return std::stoull(field.substr(eq + 1));
+    } catch (const std::exception &) {
+        return 0;
+    }
+}
+
+uint64_t
+parseCount(const std::string &text)
+{
+    try {
+        return std::stoull(text);
+    } catch (const std::exception &) {
+        return 0;
+    }
+}
+
+} // namespace
+
+ServeClient::ServeClient(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.empty() || socketPath.size() >= sizeof addr.sun_path)
+        throw ClientError("bad socket path '" + socketPath + "'");
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        throw ClientError(std::string("cannot create socket: ") +
+                          std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ClientError("cannot connect to '" + socketPath +
+                          "': " + std::strerror(e) +
+                          " (is `diq serve` running?)");
+    }
+
+    try {
+        writeFrame(fd_, helloLine());
+        std::string reply = readReply("hello");
+        std::vector<std::string> f = splitFields(reply, 4);
+        if (f[0] != "ok")
+            throw ClientError("server rejected handshake: " +
+                              (f[0] == "error" && f.size() > 1
+                                   ? f[1]
+                                   : reply));
+        if (f.size() >= 4)
+            serverPid_ = static_cast<long>(parseCount(f[3]));
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+ServeClient::readReply(const char *context)
+{
+    try {
+        auto frame = readFrame(fd_);
+        if (!frame)
+            throw ClientError(std::string("server closed the "
+                                          "connection during ") +
+                              context);
+        return *frame;
+    } catch (const ProtocolError &e) {
+        throw ClientError(std::string(e.what()) + " (during " +
+                          context + ")");
+    }
+}
+
+SubmitSummary
+ServeClient::submit(uint64_t warmup, uint64_t insts,
+                    const std::string &grid, const RowHandler &onRow)
+{
+    writeFrame(fd_, "submit\t" + std::to_string(warmup) + "\t" +
+                        std::to_string(insts) + "\t" + grid);
+
+    while (true) {
+        std::string reply = readReply("submit");
+        std::vector<std::string> head = splitFields(reply, 2);
+        const std::string &verb = head[0];
+
+        if (verb == "row") {
+            // Final field is the raw entry image (may contain tabs).
+            std::vector<std::string> f = splitFields(reply, 3);
+            if (f.size() != 3)
+                throw ClientError("malformed row frame");
+            RowOutcome row;
+            row.index = static_cast<size_t>(parseCount(f[1]));
+            runner::SimResult result;
+            if (store::decodeEntry(f[2], row.key, result) !=
+                store::EntryStatus::Valid)
+                throw ClientError(
+                    "row " + f[1] +
+                    " failed entry validation in transit");
+            row.result = std::move(result);
+            if (onRow)
+                onRow(row);
+        } else if (verb == "failrow") {
+            std::vector<std::string> f = splitFields(reply, 4);
+            if (f.size() != 4)
+                throw ClientError("malformed failrow frame");
+            RowOutcome row;
+            row.index = static_cast<size_t>(parseCount(f[1]));
+            row.attempts = static_cast<unsigned>(parseCount(f[2]));
+            row.error = f[3];
+            if (onRow)
+                onRow(row);
+        } else if (verb == "done") {
+            std::vector<std::string> f = splitFields(reply, 8);
+            SubmitSummary s;
+            if (f.size() >= 2)
+                s.points = static_cast<size_t>(parseCount(f[1]));
+            for (size_t i = 2; i < f.size(); ++i) {
+                if (f[i].rfind("store_hits=", 0) == 0)
+                    s.storeHits = kvValue(f[i]);
+                else if (f[i].rfind("attached=", 0) == 0)
+                    s.attached = kvValue(f[i]);
+                else if (f[i].rfind("computed=", 0) == 0)
+                    s.computed = kvValue(f[i]);
+                else if (f[i].rfind("failed=", 0) == 0)
+                    s.failed = kvValue(f[i]);
+            }
+            return s;
+        } else if (verb == "busy") {
+            std::vector<std::string> f = splitFields(reply, 3);
+            throw ServerBusy(
+                f.size() > 1 ? parseCount(f[1]) : 0,
+                f.size() > 2 ? parseCount(f[2]) : 0);
+        } else if (verb == "error") {
+            throw ClientError("server error: " +
+                              (head.size() > 1 ? head[1] : reply));
+        } else {
+            throw ClientError("unexpected frame '" + verb +
+                              "' during submit");
+        }
+    }
+}
+
+std::vector<std::pair<std::string, std::string>>
+ServeClient::status()
+{
+    writeFrame(fd_, "status");
+    std::string reply = readReply("status");
+    std::vector<std::string> f = splitFields(reply, 64);
+    if (f.empty() || f[0] != "stats")
+        throw ClientError("unexpected status reply: " + reply);
+    std::vector<std::pair<std::string, std::string>> out;
+    for (size_t i = 1; i < f.size(); ++i) {
+        size_t eq = f[i].find('=');
+        if (eq == std::string::npos)
+            continue;
+        out.emplace_back(f[i].substr(0, eq), f[i].substr(eq + 1));
+    }
+    return out;
+}
+
+void
+ServeClient::shutdown()
+{
+    writeFrame(fd_, "shutdown");
+    std::string reply = readReply("shutdown");
+    if (reply != "bye")
+        throw ClientError("unexpected shutdown reply: " + reply);
+}
+
+bool
+ServeClient::ping(const std::string &socketPath)
+{
+    try {
+        ServeClient probe(socketPath);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace diq::serve

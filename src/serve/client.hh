@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Client side of the `diq serve` protocol (docs/ARCHITECTURE.md §12).
+ *
+ * A thin synchronous connection used by the `diq submit`, `diq
+ * status` and `diq shutdown` verbs (and by tests): connect to the
+ * server's Unix-domain socket, complete the versioned hello
+ * handshake, then issue requests. submit() streams per-row results to
+ * a callback as the server completes them — the caller re-renders the
+ * CSV locally from the decoded entries, which is what makes
+ * server-side output byte-identical to serverless `diq sweep`.
+ */
+
+#ifndef DIQ_SERVE_CLIENT_HH
+#define DIQ_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/sim_job.hh"
+
+namespace diq::serve
+{
+
+/** Connection/protocol failure talking to a server: no listener,
+ *  handshake reject, torn stream, malformed frame. */
+class ClientError : public std::runtime_error
+{
+  public:
+    explicit ClientError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** The server rejected the submit at admission control (backlog
+ *  full). Maps to the documented `server_busy` exit code. */
+class ServerBusy : public ClientError
+{
+  public:
+    ServerBusy(size_t pending, size_t limit)
+        : ClientError("server busy: " + std::to_string(pending) +
+                      " job(s) pending (limit " +
+                      std::to_string(limit) + "); retry later"),
+          pending(pending), limit(limit)
+    {
+    }
+
+    size_t pending;
+    size_t limit;
+};
+
+/** One streamed result row. `result` is engaged on success; on
+ *  failure `error` carries the server's sanitized reason. */
+struct RowOutcome
+{
+    size_t index = 0; ///< position in the submitted grid (spec order)
+    std::string key;  ///< canonical spec line (empty on failure)
+    std::optional<runner::SimResult> result;
+    unsigned attempts = 0; ///< supervision attempts (failed rows)
+    std::string error;
+};
+
+/** The server's per-request accounting from its `done` frame. */
+struct SubmitSummary
+{
+    size_t points = 0;
+    uint64_t storeHits = 0; ///< rows served from the warm store
+    uint64_t attached = 0;  ///< rows deduped onto another client's job
+    uint64_t computed = 0;  ///< rows computed for this request
+    uint64_t failed = 0;    ///< rows whose job exhausted its policy
+};
+
+/**
+ * One connected, handshaken client session. Not thread-safe: one
+ * request at a time per connection (open more connections to overlap,
+ * which is exactly what the concurrency tests do).
+ */
+class ServeClient
+{
+  public:
+    /** Connect + hello. @throws ClientError when nothing listens on
+     *  `socketPath` or the server speaks another version. */
+    explicit ServeClient(const std::string &socketPath);
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Called once per grid point, in completion (not spec) order. */
+    using RowHandler = std::function<void(const RowOutcome &)>;
+
+    /**
+     * Submit one grid and stream its rows into `onRow` until the
+     * server's `done` frame.
+     * @throws ServerBusy on an admission-control reject, ClientError
+     *         on a server-reported error (e.g. grid parse failure) or
+     *         a torn connection.
+     */
+    SubmitSummary submit(uint64_t warmup, uint64_t insts,
+                         const std::string &grid,
+                         const RowHandler &onRow);
+
+    /** Server+dispatcher+store counters, in the server's key order. */
+    std::vector<std::pair<std::string, std::string>> status();
+
+    /** Ask the server to stop (waits for its `bye`). */
+    void shutdown();
+
+    /** Pid the server reported in its hello reply. */
+    long serverPid() const { return serverPid_; }
+
+    /** True iff a live, version-compatible server answers on the
+     *  socket (connect + handshake, then disconnect). */
+    static bool ping(const std::string &socketPath);
+
+  private:
+    std::string readReply(const char *context);
+
+    int fd_ = -1;
+    long serverPid_ = 0;
+};
+
+} // namespace diq::serve
+
+#endif // DIQ_SERVE_CLIENT_HH

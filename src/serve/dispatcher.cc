@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Implementation of serve/dispatcher.hh (docs/ARCHITECTURE.md §12).
+ *
+ * Lock order: the dispatcher lock `mu_` may be held while taking a
+ * worker's mailbox lock (assign), never the other way around —
+ * workers take `mu_` only after releasing their own.
+ */
+
+#include "serve/dispatcher.hh"
+
+#include "store/result_store.hh"
+
+namespace diq::serve
+{
+
+namespace
+{
+
+/** Collapse an error to one CSV/journal-safe line (the same rule
+ *  the supervisor applies to quarantine reasons). */
+std::string
+sanitizeError(std::string text)
+{
+    for (char &c : text)
+        if (c == '\t' || c == '\n' || c == '\r' || c == ',')
+            c = ' ';
+    return text;
+}
+
+} // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions opts) : opts_(opts)
+{
+    unsigned n = opts_.workers;
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    for (unsigned i = 0; i < n; ++i)
+        workers_[i]->thread = std::thread([this, i] { workerLoop(i); });
+}
+
+Dispatcher::~Dispatcher()
+{
+    shutdown();
+}
+
+Admission
+Dispatcher::submit(const runner::SimJob &job, Callback cb)
+{
+    const std::string key = job.key();
+
+    // Dedupe first: a computation already in flight is strictly
+    // better than even a store probe (its result is coming, and it
+    // will have saved to the store before we are woken).
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed)) {
+            ++counters_.rejectedBusy;
+            return Admission::Busy;
+        }
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            it->second->waiters.push_back(std::move(cb));
+            ++counters_.dedupeAttached;
+            return Admission::Attached;
+        }
+    }
+
+    // Store-first: warm keys stream back on the submitting thread
+    // without touching a worker. (Disk I/O outside the lock.)
+    if (opts_.store) {
+        if (auto hit = opts_.store->load(key)) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.storeHits;
+            }
+            JobReply reply;
+            reply.key = key;
+            reply.fromStore = true;
+            reply.result = std::move(*hit);
+            if (cb)
+                cb(reply);
+            return Admission::StoreHit;
+        }
+    }
+
+    FlightPtr flight = std::make_shared<Flight>();
+    flight->job = job;
+    flight->waiters.push_back(std::move(cb));
+
+    unsigned target = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed)) {
+            ++counters_.rejectedBusy;
+            return Admission::Busy;
+        }
+        auto [it, inserted] = inflight_.try_emplace(key, flight);
+        if (!inserted) {
+            // Raced with an identical submit between the two lock
+            // sections: attach to the winner's flight.
+            it->second->waiters.push_back(
+                std::move(flight->waiters.front()));
+            ++counters_.dedupeAttached;
+            return Admission::Attached;
+        }
+        if (!idle_.empty()) {
+            target = idle_.back();
+            idle_.pop_back();
+            ++counters_.dispatchedIdle;
+        } else if (pending_.size() < opts_.pendingMax) {
+            pending_.push_back(flight);
+            ++counters_.queued;
+            return Admission::Queued;
+        } else {
+            inflight_.erase(key);
+            ++counters_.rejectedBusy;
+            return Admission::Busy;
+        }
+    }
+    assign(target, std::move(flight));
+    return Admission::Dispatched;
+}
+
+void
+Dispatcher::assign(unsigned id, FlightPtr flight)
+{
+    Worker &w = *workers_[id];
+    {
+        std::lock_guard<std::mutex> lock(w.mu);
+        w.assigned = std::move(flight);
+    }
+    w.cv.notify_one();
+}
+
+void
+Dispatcher::runFlight(const FlightPtr &flight)
+{
+    JobReply reply;
+    reply.key = flight->job.key();
+    try {
+        runner::Supervised s = runner::superviseJob(
+            flight->job, opts_.policy, opts_.faults);
+        reply.attempts = s.attempts;
+        reply.result = std::move(s.result);
+    } catch (const runner::JobQuarantined &q) {
+        reply.attempts = q.attempts;
+        reply.error = q.error;
+    } catch (const std::exception &e) {
+        reply.attempts = 1;
+        reply.error = sanitizeError(e.what());
+    }
+
+    // Persist before waking waiters, so any resubmission arriving
+    // after the flight leaves the dedupe table finds a warm store.
+    // A store that cannot persist (disk full) does not fail the job:
+    // the computed result is still delivered.
+    if (reply.result && opts_.store) {
+        try {
+            opts_.store->save(reply.key, *reply.result);
+        } catch (const store::StoreError &) {
+        }
+    }
+
+    std::vector<Callback> waiters;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_.erase(reply.key);
+        waiters = std::move(flight->waiters);
+        if (reply.result)
+            ++counters_.computed;
+        else
+            ++counters_.quarantined;
+    }
+    for (Callback &cb : waiters)
+        if (cb)
+            cb(reply);
+}
+
+void
+Dispatcher::workerLoop(unsigned id)
+{
+    Worker &me = *workers_[id];
+
+    while (true) {
+        // Drain the backlog (oldest first) before registering idle —
+        // the JIQ rule that keeps the pending queue short whenever
+        // any worker is free. Checking pending first also covers the
+        // startup window: a job queued before this worker ever
+        // registered is picked up here, not stranded.
+        FlightPtr flight;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            if (!pending_.empty()) {
+                flight = pending_.front();
+                pending_.pop_front();
+            } else {
+                idle_.push_back(id);
+            }
+        }
+        if (flight) {
+            runFlight(flight);
+            continue;
+        }
+
+        // Registered idle: wait for a direct hand-off.
+        {
+            std::unique_lock<std::mutex> lock(me.mu);
+            me.cv.wait(lock, [&] {
+                return me.assigned != nullptr ||
+                    stop_.load(std::memory_order_relaxed);
+            });
+            flight = std::move(me.assigned);
+            me.assigned = nullptr;
+        }
+        if (!flight)
+            return; // stopping, nothing assigned
+        runFlight(flight);
+    }
+}
+
+void
+Dispatcher::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.exchange(true, std::memory_order_relaxed))
+            return; // already shut down
+        idle_.clear();
+    }
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->cv.notify_all();
+    }
+    for (auto &w : workers_)
+        if (w->thread.joinable())
+            w->thread.join();
+
+    // Flights the workers never reached (still pending, or assigned
+    // in the closing race): fail their waiters explicitly rather
+    // than leaving them waiting forever.
+    std::map<std::string, FlightPtr> leftover;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        leftover.swap(inflight_);
+        pending_.clear();
+    }
+    for (auto &w : workers_) {
+        std::lock_guard<std::mutex> lock(w->mu);
+        if (w->assigned) {
+            leftover.try_emplace(w->assigned->job.key(), w->assigned);
+            w->assigned = nullptr;
+        }
+    }
+    for (auto &[key, flight] : leftover) {
+        JobReply reply;
+        reply.key = key;
+        reply.error = "dispatcher shutting down";
+        for (Callback &cb : flight->waiters)
+            if (cb)
+                cb(reply);
+    }
+
+    // Deadline-abandoned attempt threads park on the supervisor
+    // reaper; join them before our owner tears down the fault plan
+    // and store they may still reference.
+    runner::drainSupervisor();
+}
+
+DispatchCounters
+Dispatcher::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+size_t
+Dispatcher::pendingCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+}
+
+size_t
+Dispatcher::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+}
+
+size_t
+Dispatcher::inFlightCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_.size();
+}
+
+} // namespace diq::serve

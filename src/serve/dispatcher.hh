@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Join-the-idle-queue job dispatcher for `diq serve`
+ * (docs/ARCHITECTURE.md §12).
+ *
+ * The dispatcher owns the server's worker pool and assigns jobs the
+ * way "Distributed Join-the-Idle-Queue for Low Latency Cloud
+ * Services" (PAPERS.md) assigns requests: workers that finish their
+ * work *register on an idle list*, and an arriving job is handed
+ * directly to one registered idle worker's private mailbox — never
+ * broadcast to a shared queue that every worker polls. Only when no
+ * worker is idle does a job wait, on a *bounded* pending backlog; a
+ * worker that completes drains the backlog (oldest first) before
+ * re-registering idle. A full backlog is an admission-control
+ * reject: the caller gets `Admission::Busy` and nothing is queued,
+ * so overload sheds load at the door instead of growing latency
+ * without bound.
+ *
+ * Job flow for one submitted spec (key = canonical spec line):
+ *
+ *             submit(job, cb)
+ *                  |
+ *         in-flight for key? --yes--> attach cb (dedupe: one
+ *                  |                  computation, every waiter
+ *                  no                 gets the result)
+ *                  |
+ *         store has key? ----yes----> cb(result) immediately
+ *                  |                  (store-first: warm requests
+ *                  no                 never touch a worker)
+ *                  |
+ *         idle worker? ------yes----> hand to its mailbox (JIQ)
+ *                  |
+ *         backlog space? ----yes----> append to pending
+ *                  |
+ *                  no --------------> Admission::Busy
+ *
+ * Every computed job runs through runner::superviseJob under the
+ * configured retry/deadline/poison policy and is saved to the store
+ * before its waiters are woken, so a concurrent resubmission of the
+ * same key after completion is a store hit, never a recompute.
+ */
+
+#ifndef DIQ_SERVE_DISPATCHER_HH
+#define DIQ_SERVE_DISPATCHER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/sim_job.hh"
+#include "runner/supervisor.hh"
+
+namespace diq::store
+{
+class ResultStore;
+}
+
+namespace diq::serve
+{
+
+/** Pool shape and job policy for a dispatcher. */
+struct DispatcherOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned workers = 0;
+
+    /** Bounded backlog; a submit that finds it full is rejected. */
+    size_t pendingMax = 64;
+
+    /** Retry/backoff/deadline bounds for each computed job. */
+    runner::JobPolicy policy;
+
+    /** Persistent store consulted before dispatch and updated after
+     *  compute; nullptr = compute-only. Must outlive the dispatcher. */
+    store::ResultStore *store = nullptr;
+
+    /** Fault injection threaded into supervised attempts; must
+     *  outlive the dispatcher. */
+    fault::FaultPlan *faults = nullptr;
+};
+
+/** How a submit was admitted (the server's per-request accounting). */
+enum class Admission
+{
+    StoreHit,   ///< served from the store, callback already ran
+    Attached,   ///< joined an identical in-flight computation
+    Dispatched, ///< handed directly to an idle worker (JIQ)
+    Queued,     ///< no idle worker; appended to the bounded backlog
+    Busy,       ///< backlog full: admission-control reject
+};
+
+/** Monotonic dispatcher counters (exposed via `diq cache stats`). */
+struct DispatchCounters
+{
+    uint64_t storeHits = 0;      ///< submits served from the store
+    uint64_t computed = 0;       ///< jobs computed by a worker
+    uint64_t dedupeAttached = 0; ///< submits that joined a flight
+    uint64_t rejectedBusy = 0;   ///< admission-control rejects
+    uint64_t dispatchedIdle = 0; ///< jobs handed straight to a worker
+    uint64_t queued = 0;         ///< jobs that waited in the backlog
+    uint64_t quarantined = 0;    ///< jobs that exhausted their policy
+};
+
+/** Terminal outcome of one submitted job, delivered to every waiter.
+ *  `result` is engaged exactly when the job succeeded. */
+struct JobReply
+{
+    std::string key;
+    std::optional<runner::SimResult> result;
+    unsigned attempts = 0; ///< 0 = served from the store
+    bool fromStore = false;
+    std::string error; ///< sanitized one-liner when !result
+};
+
+/**
+ * The worker pool + idle list + dedupe table + bounded backlog.
+ * Thread-safe: submit() may be called from any number of connection
+ * threads concurrently.
+ */
+class Dispatcher
+{
+  public:
+    /** Invoked exactly once per submit with the job's outcome — on
+     *  the submitting thread for store hits, on a worker thread
+     *  otherwise. Must not block for long and must not re-enter
+     *  submit() (enqueue and return, as the server's sinks do). */
+    using Callback = std::function<void(const JobReply &)>;
+
+    explicit Dispatcher(DispatcherOptions opts);
+
+    /** shutdown() if still running. */
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /**
+     * Admit one job (see the flow diagram above). On Busy the
+     * callback is never invoked; on StoreHit it already ran when
+     * submit returns; otherwise it runs later on a worker thread.
+     */
+    Admission submit(const runner::SimJob &job, Callback cb);
+
+    /**
+     * Finish the running jobs, fail every queued flight with a
+     * "dispatcher shutting down" reply, join the workers, and drain
+     * the supervisor reaper. Idempotent.
+     */
+    void shutdown();
+
+    DispatchCounters counters() const;
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+    size_t pendingCount() const;
+    size_t idleCount() const;
+    size_t inFlightCount() const;
+
+  private:
+    /** One deduped computation: the job plus everyone waiting on it. */
+    struct Flight
+    {
+        runner::SimJob job;
+        std::vector<Callback> waiters;
+    };
+    using FlightPtr = std::shared_ptr<Flight>;
+
+    /** A worker's private mailbox: JIQ hands a flight directly here. */
+    struct Worker
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        FlightPtr assigned;
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned id);
+    void runFlight(const FlightPtr &flight);
+    void assign(unsigned id, FlightPtr flight);
+
+    DispatcherOptions opts_;
+
+    mutable std::mutex mu_; ///< idle_/pending_/inflight_/counters_
+    std::vector<unsigned> idle_;   ///< registered idle workers (LIFO)
+    std::deque<FlightPtr> pending_;
+    std::map<std::string, FlightPtr> inflight_;
+    DispatchCounters counters_;
+    std::atomic<bool> stop_{false};
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+} // namespace diq::serve
+
+#endif // DIQ_SERVE_DISPATCHER_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Implementation of serve/protocol.hh (docs/ARCHITECTURE.md §12).
+ */
+
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace diq::serve
+{
+
+namespace
+{
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+/** send() the whole buffer, retrying on EINTR and partial writes. */
+void
+sendAll(int fd, const char *data, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        ssize_t w = ::send(fd, data + done, n - done, kSendFlags);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("socket write failed: ") +
+                                std::strerror(errno));
+        }
+        done += static_cast<size_t>(w);
+    }
+}
+
+/**
+ * recv() exactly `n` bytes. Returns false on EOF before the first
+ * byte (clean close); throws on EOF mid-buffer or error.
+ */
+bool
+recvAll(int fd, char *data, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        ssize_t r = ::recv(fd, data + done, n - done, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("socket read failed: ") +
+                                std::strerror(errno));
+        }
+        if (r == 0) {
+            if (done == 0)
+                return false;
+            throw ProtocolError("connection closed mid-frame (" +
+                                std::to_string(done) + " of " +
+                                std::to_string(n) + " bytes)");
+        }
+        done += static_cast<size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw ProtocolError("frame too large to send (" +
+                            std::to_string(payload.size()) + " bytes)");
+    char prefix[4];
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    sendAll(fd, prefix, sizeof prefix);
+    sendAll(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string>
+readFrame(int fd)
+{
+    char prefix[4];
+    if (!recvAll(fd, prefix, sizeof prefix))
+        return std::nullopt;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(prefix[i]))
+            << (8 * i);
+    if (len > kMaxFrameBytes)
+        throw ProtocolError("oversized frame announced (" +
+                            std::to_string(len) + " bytes; max " +
+                            std::to_string(kMaxFrameBytes) + ")");
+    std::string payload(len, '\0');
+    if (len > 0 && !recvAll(fd, payload.data(), len))
+        throw ProtocolError("connection closed before frame payload");
+    return payload;
+}
+
+std::vector<std::string>
+splitFields(const std::string &payload, size_t maxFields)
+{
+    std::vector<std::string> out;
+    size_t at = 0;
+    while (out.size() + 1 < maxFields) {
+        size_t tab = payload.find('\t', at);
+        if (tab == std::string::npos)
+            break;
+        out.push_back(payload.substr(at, tab - at));
+        at = tab + 1;
+    }
+    out.push_back(payload.substr(at));
+    return out;
+}
+
+std::string
+helloLine()
+{
+    return std::string("hello\t") + kProtocolName + "\t" +
+        std::to_string(kProtocolVersion);
+}
+
+std::string
+helloOkLine()
+{
+    return std::string("ok\t") + kProtocolName + "\t" +
+        std::to_string(kProtocolVersion) + "\t" +
+        std::to_string(static_cast<long>(::getpid()));
+}
+
+std::string
+checkHello(const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 4);
+    if (f.size() < 3 || f[0] != "hello" || f[1] != kProtocolName)
+        return "error\tnot a " + std::string(kProtocolName) +
+            " hello (is the peer a diq client?)";
+    if (f[2] != std::to_string(kProtocolVersion))
+        return "error\tprotocol version mismatch: client speaks " +
+            f[2] + ", server speaks " +
+            std::to_string(kProtocolVersion) +
+            " (rebuild the older side)";
+    return {};
+}
+
+} // namespace diq::serve

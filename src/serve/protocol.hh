@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Wire protocol for the `diq serve` service (docs/ARCHITECTURE.md
+ * §12).
+ *
+ * Transport: a Unix-domain stream socket carrying length-prefixed
+ * frames. Every frame is
+ *
+ *   length u32 (little-endian) | payload bytes
+ *
+ * and every payload is a line of tab-separated fields whose first
+ * field is the verb. The final field of a frame may contain arbitrary
+ * bytes (the `row` frame carries a binary store-codec entry image),
+ * which is why framing is length-prefixed rather than
+ * newline-delimited: the length is authoritative, the payload is
+ * opaque.
+ *
+ * Session shape (client side initiates every exchange):
+ *
+ *   -> hello  diq-serve <version>
+ *   <- ok     diq-serve <version> <server-pid>      (or `error ...`)
+ *
+ *   -> submit <warmup> <insts> <grid text>
+ *   <- row    <index> <entry bytes>     } streamed per point, in
+ *   <- failrow <index> <attempts> <err> } completion order
+ *   <- done   <points> store_hits=N computed=N attached=N failed=N
+ *      (or `busy <pending> <limit>` — admission reject, nothing ran
+ *       beyond the points already admitted; or `error <message>`)
+ *
+ *   -> status
+ *   <- stats  k=v ...                   (dispatcher + store counters)
+ *
+ *   -> shutdown
+ *   <- bye
+ *
+ * The version in the hello must equal kProtocolVersion exactly; the
+ * server rejects a mismatch with an `error` frame before anything
+ * else, so a stale client never half-parses a newer stream.
+ */
+
+#ifndef DIQ_SERVE_PROTOCOL_HH
+#define DIQ_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diq::serve
+{
+
+/** Bumped on any incompatible frame-layout or vocabulary change. */
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Protocol family name exchanged in the hello. */
+constexpr const char *kProtocolName = "diq-serve";
+
+/** Upper bound on one frame; larger lengths are a torn/hostile
+ *  stream, not data (a row frame is ~1 KiB). */
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/** Torn frame, oversized length, handshake mismatch, socket error. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    explicit ProtocolError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Write one frame (length prefix + payload) to a connected socket,
+ * looping over partial writes; SIGPIPE is suppressed (a vanished
+ * peer surfaces as a ProtocolError, not a signal).
+ */
+void writeFrame(int fd, std::string_view payload);
+
+/**
+ * Read one frame. Returns the payload; std::nullopt on a clean EOF
+ * at a frame boundary (the peer closed between frames).
+ * @throws ProtocolError on mid-frame EOF, oversize length or error.
+ */
+std::optional<std::string> readFrame(int fd);
+
+/**
+ * Split a payload on '\t' into at most `maxFields` fields: the last
+ * field receives the unsplit remainder, so binary tails (the row
+ * frame's entry image) pass through intact.
+ */
+std::vector<std::string> splitFields(const std::string &payload,
+                                     size_t maxFields);
+
+/** The client-side hello line for this build. */
+std::string helloLine();
+
+/** The server's ok-reply to a hello. */
+std::string helloOkLine();
+
+/**
+ * Validate a hello payload against this build's name + version.
+ * Returns an empty string when compatible, else the (complete)
+ * `error ...` payload to send back.
+ */
+std::string checkHello(const std::string &payload);
+
+} // namespace diq::serve
+
+#endif // DIQ_SERVE_PROTOCOL_HH

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Implementation of serve/server.hh (docs/ARCHITECTURE.md §12).
+ */
+
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "runner/sweep_spec.hh"
+#include "serve/protocol.hh"
+
+namespace diq::serve
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr const char *kServeJournalHeader = "diq-serve-journal v1";
+
+std::string
+hexId(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "h%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One submit request's reply funnel: worker threads push, the
+ *  connection thread pops and writes frames. Shared-ptr-held so
+ *  late callbacks outlive an aborted request harmlessly. */
+struct ReplySink
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<size_t, JobReply>> ready;
+
+    void
+    push(size_t index, const JobReply &reply)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ready.emplace_back(index, reply);
+        }
+        cv.notify_one();
+    }
+
+    std::pair<size_t, JobReply>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return !ready.empty(); });
+        auto out = std::move(ready.front());
+        ready.pop_front();
+        return out;
+    }
+};
+
+/** Parse one u64 protocol field. @throws ServeError on junk. */
+uint64_t
+parseU64Field(const std::string &text, const char *what)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        throw ServeError(std::string("bad ") + what + " field '" +
+                         text + "'");
+    return std::stoull(text);
+}
+
+} // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts))
+{
+    if (opts_.socketPath.empty())
+        throw ServeError("no socket path given");
+
+    // Writers are exclusive per store: the lock is what lets the
+    // dispatcher assume nobody else interleaves entry commits.
+    lock_.emplace(opts_.storeDir);
+    store_ = std::make_unique<store::ResultStore>(opts_.storeDir,
+                                                  opts_.faults);
+
+    DispatcherOptions d;
+    d.workers = opts_.workers;
+    d.pendingMax = opts_.pendingMax;
+    d.policy = opts_.policy;
+    d.store = store_.get();
+    d.faults = opts_.faults;
+    dispatcher_ = std::make_unique<Dispatcher>(d);
+
+    journalPath_ = store_->root() / "serve.journal";
+    recoverJournal();
+
+    // Bind the socket. A leftover path from a SIGKILLed server is
+    // unlinked once we prove nothing answers on it.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof addr.sun_path)
+        throw ServeError("socket path too long: '" + opts_.socketPath +
+                         "' (" + std::to_string(sizeof addr.sun_path - 1) +
+                         " byte max)");
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    std::error_code ec;
+    if (fs::exists(opts_.socketPath, ec)) {
+        int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (probe >= 0) {
+            bool alive = ::connect(probe,
+                                   reinterpret_cast<sockaddr *>(&addr),
+                                   sizeof addr) == 0;
+            ::close(probe);
+            if (alive)
+                throw ServeError("a server is already listening on '" +
+                                 opts_.socketPath + "'");
+        }
+        fs::remove(opts_.socketPath, ec);
+    }
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        throw ServeError(std::string("cannot create socket: ") +
+                         std::strerror(errno));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        int e = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ServeError("cannot bind '" + opts_.socketPath +
+                         "': " + std::strerror(e));
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        int e = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw ServeError("cannot listen on '" + opts_.socketPath +
+                         "': " + std::strerror(e));
+    }
+}
+
+Server::~Server()
+{
+    requestStop();
+
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (dispatcher_)
+        dispatcher_->shutdown();
+    for (std::thread &t : connThreads_)
+        if (t.joinable())
+            t.join();
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    std::error_code ec;
+    fs::remove(opts_.socketPath, ec);
+}
+
+void
+Server::requestStop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR); // async-signal-safe wake-up
+}
+
+void
+Server::log(const std::string &line)
+{
+    if (opts_.log)
+        *opts_.log << "diq serve: " << line << "\n" << std::flush;
+}
+
+void
+Server::run()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd p{listenFd_, POLLIN, 0};
+        int n = ::poll(&p, 1, 200);
+        if (n < 0 && errno != EINTR)
+            break;
+        if (n <= 0 || !(p.revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue; // racing shutdown() or transient error
+        std::lock_guard<std::mutex> lock(connMu_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    try {
+        auto hello = readFrame(fd);
+        if (!hello) {
+            // Peer connected and left (a liveness probe): fine.
+        } else {
+            std::string reject = checkHello(*hello);
+            if (!reject.empty()) {
+                writeFrame(fd, reject);
+            } else {
+                writeFrame(fd, helloOkLine());
+                while (auto frame = readFrame(fd)) {
+                    std::string verb =
+                        splitFields(*frame, 2).front();
+                    if (verb == "submit") {
+                        handleSubmit(fd, *frame);
+                    } else if (verb == "status") {
+                        handleStatus(fd);
+                    } else if (verb == "shutdown") {
+                        writeFrame(fd, "bye");
+                        log("shutdown requested by client");
+                        requestStop();
+                        break;
+                    } else {
+                        writeFrame(fd, "error\tunknown verb '" + verb +
+                                           "'");
+                    }
+                }
+            }
+        }
+    } catch (const std::exception &) {
+        // Torn connection or write-after-close during shutdown: the
+        // peer is gone either way; nothing left to report to it.
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(connMu_);
+        for (size_t i = 0; i < connFds_.size(); ++i)
+            if (connFds_[i] == fd) {
+                connFds_.erase(connFds_.begin() +
+                               static_cast<long>(i));
+                break;
+            }
+    }
+    ::close(fd);
+}
+
+std::string
+Server::campaignId(uint64_t warmup, uint64_t insts,
+                   const std::string &grid) const
+{
+    std::string line = std::to_string(warmup) + "|" +
+        std::to_string(insts) + "|" + grid;
+    return hexId(store::fnv1a64(line.data(), line.size()));
+}
+
+void
+Server::journalAppend(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(journalMu_);
+    std::ofstream out(journalPath_, std::ios::app | std::ios::binary);
+    out << line << '\n';
+    out.flush();
+}
+
+void
+Server::handleSubmit(int fd, const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 4);
+    if (f.size() != 4) {
+        writeFrame(fd, "error\tmalformed submit frame");
+        return;
+    }
+
+    runner::SweepSpec grid;
+    uint64_t warmup = 0, insts = 0;
+    std::string gridText = f[3];
+    try {
+        warmup = parseU64Field(f[1], "warmup");
+        insts = parseU64Field(f[2], "insts");
+        if (insts == 0)
+            throw ServeError("insts must be positive");
+        grid = runner::SweepSpec::fromText(gridText);
+        if (grid.empty())
+            throw ServeError("empty grid");
+    } catch (const std::exception &e) {
+        std::string reason = e.what();
+        for (char &c : reason)
+            if (c == '\t' || c == '\n' || c == '\r')
+                c = ' ';
+        writeFrame(fd, "error\t" + reason);
+        return;
+    }
+
+    // Journal the campaign before the first dispatch: a server killed
+    // from here on replays it at next startup.
+    const std::string id = campaignId(warmup, insts, gridText);
+    journalAppend("begin\t" + id + "\t" + std::to_string(warmup) +
+                  "\t" + std::to_string(insts) + "\t" + gridText);
+    log("submit " + id + ": " + std::to_string(grid.size()) +
+        " point(s), grid \"" + gridText + "\"");
+
+    auto sink = std::make_shared<ReplySink>();
+    size_t admitted = 0, storeHits = 0, attached = 0;
+    std::vector<Admission> admissions;
+    admissions.reserve(grid.size());
+    bool rejected = false;
+    for (size_t i = 0; i < grid.size() && !rejected; ++i) {
+        const auto &[exp, profile] = grid.points()[i];
+        runner::SimJob job;
+        job.exp = exp;
+        job.exp.benchmark = profile.name;
+        job.exp.warmupInsts = warmup;
+        job.exp.measureInsts = insts;
+        job.profile = profile;
+
+        Admission a = dispatcher_->submit(
+            job, [sink, i](const JobReply &reply) {
+                sink->push(i, reply);
+            });
+        switch (a) {
+          case Admission::Busy:
+            // Admission-control reject: report and abandon the
+            // request. Points already admitted keep running and land
+            // in the store; the open journal entry re-drives the
+            // campaign at next startup if we die first.
+            writeFrame(fd, "busy\t" +
+                               std::to_string(
+                                   dispatcher_->pendingCount()) +
+                               "\t" +
+                               std::to_string(opts_.pendingMax));
+            rejected = true;
+            continue;
+          case Admission::StoreHit:
+            ++storeHits;
+            break;
+          case Admission::Attached:
+            ++attached;
+            break;
+          case Admission::Dispatched:
+          case Admission::Queued:
+            break;
+        }
+        admissions.push_back(a);
+        ++admitted;
+    }
+    if (rejected)
+        return;
+
+    // Stream rows back in completion order; the client reassembles
+    // spec order from the index.
+    size_t computed = 0, failed = 0;
+    for (size_t received = 0; received < admitted; ++received) {
+        auto [index, reply] = sink->pop();
+        if (reply.result) {
+            if (!reply.fromStore &&
+                admissions[index] != Admission::Attached)
+                ++computed;
+            writeFrame(fd, "row\t" + std::to_string(index) + "\t" +
+                               store::encodeEntry(reply.key,
+                                                  *reply.result));
+        } else {
+            ++failed;
+            writeFrame(fd, "failrow\t" + std::to_string(index) +
+                               "\t" +
+                               std::to_string(reply.attempts) + "\t" +
+                               reply.error);
+        }
+    }
+
+    journalAppend("end\t" + id);
+    writeFrame(fd, "done\t" + std::to_string(admitted) +
+                       "\tstore_hits=" + std::to_string(storeHits) +
+                       "\tattached=" + std::to_string(attached) +
+                       "\tcomputed=" + std::to_string(computed) +
+                       "\tfailed=" + std::to_string(failed));
+    log("submit " + id + " done: " + std::to_string(storeHits) +
+        " store hit(s), " + std::to_string(attached) +
+        " attached, " + std::to_string(computed) + " computed, " +
+        std::to_string(failed) + " failed");
+}
+
+void
+Server::handleStatus(int fd)
+{
+    DispatchCounters c = dispatcher_->counters();
+    store::ResultStore::Stats s = store_->stats();
+    std::ostringstream os;
+    os << "stats"
+       << "\tpid=" << static_cast<long>(::getpid())
+       << "\tworkers=" << dispatcher_->workerCount()
+       << "\tidle=" << dispatcher_->idleCount()
+       << "\tpending=" << dispatcher_->pendingCount()
+       << "\tpending_max=" << opts_.pendingMax
+       << "\tinflight=" << dispatcher_->inFlightCount()
+       << "\tstore_hits=" << c.storeHits
+       << "\tcomputed=" << c.computed
+       << "\tdedupe_attached=" << c.dedupeAttached
+       << "\trejected_busy=" << c.rejectedBusy
+       << "\tdispatched_idle=" << c.dispatchedIdle
+       << "\tqueued=" << c.queued
+       << "\tquarantined=" << c.quarantined
+       << "\tstore_entries=" << s.entries
+       << "\tstore_bytes=" << s.entryBytes
+       << "\tstore_quarantined=" << s.quarantined
+       << "\trecovered_campaigns=" << recovered_;
+    writeFrame(fd, os.str());
+}
+
+void
+Server::recoverJournal()
+{
+    std::ifstream in(journalPath_, std::ios::binary);
+    if (!in)
+        return; // fresh store: nothing journaled yet
+
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    // Drop a torn final line (the crash window): its campaign simply
+    // stays open and is recovered like any other.
+    size_t complete = content.rfind('\n');
+    content = complete == std::string::npos
+        ? std::string{}
+        : content.substr(0, complete + 1);
+
+    struct Campaign
+    {
+        uint64_t warmup = 0, insts = 0;
+        std::string grid;
+        long open = 0; ///< begin count minus end count
+    };
+    std::map<std::string, Campaign> campaigns;
+    std::istringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::vector<std::string> f = splitFields(line, 5);
+        if (f[0] == "begin" && f.size() == 5) {
+            try {
+                Campaign &c = campaigns[f[1]];
+                c.warmup = parseU64Field(f[2], "warmup");
+                c.insts = parseU64Field(f[3], "insts");
+                c.grid = f[4];
+                ++c.open;
+            } catch (const std::exception &) {
+                // Garbled record: skip (forward compatibility).
+            }
+        } else if (f[0] == "end" && f.size() >= 2) {
+            auto it = campaigns.find(f[1]);
+            if (it != campaigns.end())
+                --it->second.open;
+        }
+    }
+
+    for (const auto &[id, c] : campaigns) {
+        if (c.open <= 0 || c.insts == 0)
+            continue;
+        try {
+            runner::SweepSpec grid =
+                runner::SweepSpec::fromText(c.grid);
+            log("recovering campaign " + id + " (" +
+                std::to_string(grid.size()) + " point(s), grid \"" +
+                c.grid + "\")");
+            auto sink = std::make_shared<ReplySink>();
+            size_t n = 0;
+            for (const auto &[exp, profile] : grid.points()) {
+                runner::SimJob job;
+                job.exp = exp;
+                job.exp.benchmark = profile.name;
+                job.exp.warmupInsts = c.warmup;
+                job.exp.measureInsts = c.insts;
+                job.profile = profile;
+                // Recovery bypasses admission control: the backlog
+                // bound protects interactive latency, and nobody is
+                // waiting on these rows. Submit points one at a time,
+                // waiting whenever the pool would reject.
+                while (dispatcher_->submit(
+                           job,
+                           [sink](const JobReply &reply) {
+                               sink->push(0, reply);
+                           }) == Admission::Busy) {
+                    sink->pop();
+                    ++n; // consumed one outstanding completion
+                }
+            }
+            for (size_t done = n; done < grid.size(); ++done)
+                sink->pop();
+            ++recovered_;
+        } catch (const std::exception &e) {
+            log("cannot recover campaign " + id + ": " + e.what());
+        }
+    }
+
+    // Every campaign is now closed: compact the journal to its
+    // header so it does not grow across restarts.
+    std::lock_guard<std::mutex> lock(journalMu_);
+    std::ofstream out(journalPath_, std::ios::trunc | std::ios::binary);
+    out << kServeJournalHeader << '\n';
+    out.flush();
+}
+
+} // namespace diq::serve

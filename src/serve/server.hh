@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The `diq serve` daemon (docs/ARCHITECTURE.md §12).
+ *
+ * A long-running process that owns one persistent result store
+ * (exclusively, via store::StoreLock) and one JIQ Dispatcher, and
+ * serves spec/grid requests from any number of concurrent clients
+ * over a Unix-domain socket speaking serve/protocol.hh. Each
+ * connection is handled on its own thread; per-point results stream
+ * back to the client as they complete, identical in-flight requests
+ * from different clients attach to one computation, warm keys are
+ * served straight from the store, and a full backlog is rejected
+ * with a `busy` frame (admission control).
+ *
+ * Campaign durability: every accepted submit is journaled
+ * (`<store>/serve.journal`) before any job is dispatched and marked
+ * done after its last row. A server that dies mid-campaign (SIGKILL
+ * included) replays the open campaigns through the dispatcher at
+ * next startup — completed points are store hits, missing points are
+ * recomputed — so a resubmitting client finds a warm store, and the
+ * campaign's CSV is byte-identical to an uninterrupted run.
+ */
+
+#ifndef DIQ_SERVE_SERVER_HH
+#define DIQ_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_plan.hh"
+#include "runner/supervisor.hh"
+#include "serve/dispatcher.hh"
+#include "store/result_store.hh"
+
+namespace diq::serve
+{
+
+/** Configuration for one server instance. */
+struct ServerOptions
+{
+    /** Unix-domain socket path to listen on. */
+    std::string socketPath;
+
+    /** Persistent store root (locked exclusively for the server's
+     *  lifetime). */
+    std::string storeDir = ".diq-store";
+
+    /** Dispatcher worker threads; 0 = hardware concurrency. */
+    unsigned workers = 0;
+
+    /** Bounded backlog; a submit finding it full is rejected. */
+    size_t pendingMax = 64;
+
+    /** Supervision policy for every computed job. */
+    runner::JobPolicy policy;
+
+    /** Fault injection (tests/smokes); must outlive the server. */
+    fault::FaultPlan *faults = nullptr;
+
+    /** Progress log (stderr in the CLI); nullptr = silent. */
+    std::ostream *log = nullptr;
+};
+
+/** Server startup failure: socket in use, unbindable path, lock held
+ *  by a live process (store::StoreError passes through unchanged). */
+class ServeError : public std::runtime_error
+{
+  public:
+    explicit ServeError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * The daemon. Constructing acquires the store lock, binds the
+ * socket, and synchronously recovers journaled open campaigns;
+ * run() then accepts clients until requestStop().
+ */
+class Server
+{
+  public:
+    /** @throws ServeError / store::StoreError on an unusable socket
+     *  path, a live lock holder, or an unusable store. */
+    explicit Server(ServerOptions opts);
+
+    /** Stops and joins everything still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Accept-and-serve loop; returns after requestStop(). */
+    void run();
+
+    /**
+     * Ask the accept loop to exit and connections to wind down.
+     * Callable from any thread and from a signal handler (it only
+     * touches an atomic and shuts down the listen socket).
+     */
+    void requestStop();
+
+    const ServerOptions &options() const { return opts_; }
+    Dispatcher &dispatcher() { return *dispatcher_; }
+    store::ResultStore &store() { return *store_; }
+
+    /** Campaigns replayed by startup recovery (for logs/tests). */
+    size_t recoveredCampaigns() const { return recovered_; }
+
+  private:
+    void handleConnection(int fd);
+    void handleSubmit(int fd, const std::string &payload);
+    void handleStatus(int fd);
+    void recoverJournal();
+    void journalAppend(const std::string &line);
+    std::string campaignId(uint64_t warmup, uint64_t insts,
+                           const std::string &grid) const;
+    void log(const std::string &line);
+
+    ServerOptions opts_;
+    std::optional<store::StoreLock> lock_;
+    std::unique_ptr<store::ResultStore> store_;
+    std::unique_ptr<Dispatcher> dispatcher_;
+
+    std::filesystem::path journalPath_;
+    std::mutex journalMu_;
+
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    std::mutex connMu_;
+    std::vector<int> connFds_;
+    std::vector<std::thread> connThreads_;
+
+    size_t recovered_ = 0;
+};
+
+} // namespace diq::serve
+
+#endif // DIQ_SERVE_SERVER_HH

@@ -13,6 +13,8 @@
 #include <system_error>
 
 #ifndef _WIN32
+#include <cerrno>
+#include <csignal>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
@@ -388,6 +390,120 @@ decodeEntry(const std::string &bytes, std::string &key,
     return EntryStatus::Valid;
 }
 
+// --- StoreLock ------------------------------------------------------
+
+namespace
+{
+
+/** True when `pid` names a process that is still alive (or one we
+ *  lack permission to signal — alive either way). A zombie counts as
+ *  dead: a SIGKILLed lock holder whose parent never reaps it would
+ *  otherwise pin the lock forever. */
+bool
+pidAlive(long pid)
+{
+#ifndef _WIN32
+    if (pid <= 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno != EPERM)
+        return false;
+#ifdef __linux__
+    // kill(pid, 0) succeeds on zombies; check the /proc state field.
+    // Field 3 of /proc/<pid>/stat follows the parenthesised comm,
+    // which may itself contain spaces or parens — scan past the LAST
+    // ')' rather than tokenising from the front.
+    std::ifstream stat("/proc/" + std::to_string(pid) + "/stat");
+    std::string line;
+    if (stat && std::getline(stat, line)) {
+        size_t close = line.rfind(')');
+        if (close != std::string::npos) {
+            size_t state = line.find_first_not_of(' ', close + 1);
+            if (state != std::string::npos && line[state] == 'Z')
+                return false;
+        }
+    }
+#endif
+    return true;
+#else
+    (void)pid;
+    return false;
+#endif
+}
+
+} // namespace
+
+long
+StoreLock::holderPid(const fs::path &root)
+{
+    auto bytes = slurp(root / "LOCK");
+    if (!bytes)
+        return 0;
+    try {
+        return std::stol(*bytes);
+    } catch (const std::exception &) {
+        return 0;
+    }
+}
+
+StoreLock::StoreLock(const fs::path &root) : path_(root / "LOCK")
+{
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        throw StoreError("cannot create store at '" + root.string() +
+                         "': " + ec.message());
+#ifndef _WIN32
+    // Bounded retry: each pass either acquires the lock, proves a
+    // live holder, or removes one stale file. Two writers racing for
+    // a stale lock both unlink-and-retry; O_EXCL arbitrates.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+        if (fd >= 0) {
+            std::string pid = std::to_string(::getpid()) + "\n";
+            ssize_t w = ::write(fd, pid.data(), pid.size());
+            ::fsync(fd);
+            ::close(fd);
+            if (w != static_cast<ssize_t>(pid.size())) {
+                ::unlink(path_.c_str());
+                throw StoreError("cannot write store lock '" +
+                                 path_.string() + "'");
+            }
+            owned_ = true;
+            return;
+        }
+        if (errno != EEXIST)
+            throw StoreError("cannot create store lock '" +
+                             path_.string() + "'");
+        long holder = holderPid(root);
+        if (pidAlive(holder))
+            throw StoreError(
+                "store '" + root.string() +
+                "' is locked by running process " +
+                std::to_string(holder) +
+                " (a diq serve/sweep writer; stop it or use another "
+                "--store)");
+        // Stale (holder dead or LOCK garbled): take over.
+        ::unlink(path_.c_str());
+    }
+    throw StoreError("cannot acquire store lock '" + path_.string() +
+                     "' (livelocked on stale-lock takeover)");
+#else
+    // Non-POSIX fallback: no pid liveness probe; best-effort marker.
+    std::ofstream os(path_, std::ios::trunc);
+    os << 0 << "\n";
+    owned_ = static_cast<bool>(os);
+#endif
+}
+
+StoreLock::~StoreLock()
+{
+    if (!owned_)
+        return;
+    std::error_code ec;
+    fs::remove(path_, ec);
+}
+
 // --- ResultStore ----------------------------------------------------
 
 std::string
@@ -574,6 +690,29 @@ ResultStore::verify()
         quarantine(entriesDir_ / e.file, e.status);
     }
     return report;
+}
+
+ResultStore::Stats
+ResultStore::stats() const
+{
+    Stats s;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(entriesDir_, ec)) {
+        std::string name = de.path().filename().string();
+        if (isTmpFile(name)) {
+            ++s.orphanTmp;
+            continue;
+        }
+        if (de.path().extension() != ".diqr")
+            continue;
+        ++s.entries;
+        s.entryBytes += fs::file_size(de.path(), ec);
+    }
+    for (const auto &de : fs::directory_iterator(quarantineDir_, ec)) {
+        ++s.quarantined;
+        s.quarantineBytes += fs::file_size(de.path(), ec);
+    }
+    return s;
 }
 
 ResultStore::GcReport

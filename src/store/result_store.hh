@@ -91,6 +91,38 @@ enum class EntryStatus
 /** Stable lowercase name, used in quarantine suffixes and reports. */
 const char *entryStatusName(EntryStatus s);
 
+/**
+ * Exclusive writer lock on a store directory: `<root>/LOCK`, created
+ * with O_CREAT|O_EXCL and holding the owner's pid, so one server and
+ * a concurrent `diq sweep --store` on the same directory cannot
+ * interleave temp-file commits. A LOCK whose recorded pid is no
+ * longer alive (a SIGKILLed owner) is stale and taken over. RAII:
+ * the destructor releases the lock. Readers (`diq cache list|stats`)
+ * take a lock-free shared read path — entry files are only ever
+ * observed whole thanks to the atomic-rename commit; mutating verbs
+ * (`diq cache verify|gc`) and every writer take this lock.
+ */
+class StoreLock
+{
+  public:
+    /** Acquire or throw StoreError naming the live holder pid. The
+     *  root directory is created when missing. */
+    explicit StoreLock(const std::filesystem::path &root);
+    ~StoreLock();
+
+    StoreLock(const StoreLock &) = delete;
+    StoreLock &operator=(const StoreLock &) = delete;
+
+    const std::filesystem::path &path() const { return path_; }
+
+    /** Pid recorded in an existing LOCK; 0 when absent or garbled. */
+    static long holderPid(const std::filesystem::path &root);
+
+  private:
+    std::filesystem::path path_;
+    bool owned_ = false;
+};
+
 /** One entry as seen by list()/verify(). */
 struct EntryInfo
 {
@@ -161,6 +193,18 @@ class ResultStore
     /** Remove quarantined entries and orphan temp files (the debris
      *  crashes leave behind). Valid entries are never touched. */
     GcReport gc();
+
+    struct Stats
+    {
+        size_t entries = 0;        ///< committed entry files
+        uintmax_t entryBytes = 0;
+        size_t quarantined = 0;    ///< files under quarantine/
+        uintmax_t quarantineBytes = 0;
+        size_t orphanTmp = 0;      ///< abandoned temp files
+    };
+
+    /** Size the store on disk (read-only; `diq cache stats`). */
+    Stats stats() const;
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }

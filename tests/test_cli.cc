@@ -528,6 +528,250 @@ TEST(DiqCli, ListScenariosShowsTheCatalog)
 
 // --- Error paths ----------------------------------------------------
 
+// --- diq serve / submit / status / shutdown -------------------------
+
+/** Strip trailing newlines (shell command substitutions). */
+std::string
+chomp(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r'))
+        s.pop_back();
+    return s;
+}
+
+/**
+ * Launch `diq serve` detached and block until it answers on the
+ * socket (`diq status` polls the full connect + handshake path).
+ * Returns the server's pid.
+ */
+std::string
+startServe(const std::string &sock, const std::string &dir,
+           const std::string &extra = "")
+{
+    std::string pid =
+        chomp(capture("'" + binary("diq") + "' serve --socket '" +
+                      sock + "' --store '" + dir + "' " + extra +
+                      " >/dev/null 2>&1 & echo $!"));
+    EXPECT_FALSE(pid.empty());
+    std::string ready = capture(
+        "n=0; until '" + binary("diq") + "' status --socket '" + sock +
+        "' >/dev/null 2>&1; do n=$((n+1)); "
+        "[ $n -ge 100 ] && { echo DOWN; exit 0; }; sleep 0.1; done; "
+        "echo UP");
+    EXPECT_NE(ready.find("UP"), std::string::npos)
+        << "server did not come up on " << sock;
+    return pid;
+}
+
+/** One live-counter value out of `diq status` output (k=v lines). */
+std::string
+statusValue(const std::string &statusOut, const std::string &key)
+{
+    std::istringstream lines(statusOut);
+    std::string line;
+    while (std::getline(lines, line))
+        if (line.rfind(key + "=", 0) == 0)
+            return line.substr(key.size() + 1);
+    return "";
+}
+
+TEST(DiqServe, SubmitColdThenWarmMatchesServerlessSweepByteForByte)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/srv_store_a";
+    const std::string sock = std::string(DIQ_BIN_DIR) + "/srv_a.sock";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+    const std::string grid = "scheme=iq6464,mb_distr bench=gcc,swim";
+
+    // The reference: a serverless sweep of the same grid and budgets.
+    std::string reference = capture("'" + binary("diq") + "' sweep '" +
+                                    grid + "' --jobs 1" + kTinyBudget);
+
+    startServe(sock, dir, "--jobs 2");
+
+    // Cold submit: the server computes every point; the client's CSV
+    // must be byte-identical to the serverless run.
+    std::string cold = capture("'" + binary("diq") +
+                               "' submit --socket '" + sock + "' '" +
+                               grid + "'" + kTinyBudget);
+    EXPECT_EQ(cold, reference);
+
+    // Warm resubmit: pure store hits, zero new compute.
+    std::string warm = capture("'" + binary("diq") +
+                               "' submit --socket '" + sock + "' '" +
+                               grid + "'" + kTinyBudget);
+    EXPECT_EQ(warm, reference);
+
+    std::string status = capture("'" + binary("diq") +
+                                 "' status --socket '" + sock + "'");
+    EXPECT_EQ(statusValue(status, "computed"), "4") << status;
+    EXPECT_EQ(statusValue(status, "store_hits"), "4") << status;
+    EXPECT_EQ(statusValue(status, "store_entries"), "4") << status;
+
+    // `diq cache stats` sees the same store offline (shared read) and
+    // the live counters through the socket.
+    std::string stats = capture("'" + binary("diq") +
+                                "' cache stats --store '" + dir +
+                                "' --socket '" + sock + "'");
+    EXPECT_EQ(statusValue(stats, "entries"), "4") << stats;
+    EXPECT_EQ(statusValue(stats, "server.computed"), "4") << stats;
+    EXPECT_NE(statusValue(stats, "lock_holder_pid"), "") << stats;
+
+    capture("'" + binary("diq") + "' shutdown --socket '" + sock + "'");
+    // The socket stops answering once the server exits.
+    capture("n=0; while '" + binary("diq") + "' status --socket '" +
+            sock + "' >/dev/null 2>&1; do n=$((n+1)); "
+            "[ $n -ge 100 ] && exit 0; sleep 0.1; done; echo GONE");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+}
+
+TEST(DiqServe, ConcurrentClientsOnOneGridComputeEachPointOnce)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/srv_store_b";
+    const std::string sock = std::string(DIQ_BIN_DIR) + "/srv_b.sock";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+    // The acceptance grid: 8 points, two clients at once.
+    const std::string grid =
+        "scheme=iq6464,mb_distr bench=gcc,swim,mcf,equake";
+    const std::string outA = dir + "-a.csv";
+    const std::string outB = dir + "-b.csv";
+
+    std::string reference = capture("'" + binary("diq") + "' sweep '" +
+                                    grid + "' --jobs 2" + kTinyBudget);
+
+    startServe(sock, dir, "--jobs 4");
+    std::string submitBase = "'" + binary("diq") + "' submit --socket '" +
+        sock + "' '" + grid + "'" + kTinyBudget;
+    capture(submitBase + " --out '" + outA + "' >/dev/null 2>&1 & "
+            "p1=$!; " + submitBase + " --out '" + outB +
+            "' >/dev/null 2>&1 & p2=$!; wait $p1 && wait $p2 && "
+            "echo BOTH_OK");
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    EXPECT_EQ(slurp(outA), reference);
+    EXPECT_EQ(slurp(outB), reference);
+
+    // 16 submitted points, at most 8 simulations: overlapping work
+    // was served by the store or attached to the in-flight twin.
+    std::string status = capture("'" + binary("diq") +
+                                 "' status --socket '" + sock + "'");
+    EXPECT_EQ(statusValue(status, "computed"), "8") << status;
+
+    capture("'" + binary("diq") + "' shutdown --socket '" + sock + "'");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "' '" +
+                           outA + "' '" + outB + "'")
+                              .c_str()),
+              0);
+}
+
+TEST(DiqServe, FullBacklogRejectsSubmitWithTheBusyExitCode)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/srv_store_c";
+    const std::string sock = std::string(DIQ_BIN_DIR) + "/srv_c.sock";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+
+    // One worker, backlog of one, slow jobs: the 4-point grid cannot
+    // be admitted and must be rejected with the documented exit 6.
+    startServe(sock, dir,
+               "--jobs 1 --pending-max 1 "
+               "--fault-plan 'delay_job=:400'");
+    capture("'" + binary("diq") + "' submit --socket '" + sock +
+                "' 'scheme=iq6464 bench=gcc,swim,mcf,equake'" +
+                kTinyBudget,
+            bench::kExitServerBusy);
+
+    capture("'" + binary("diq") + "' shutdown --socket '" + sock + "'");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+}
+
+TEST(DiqServe, ServerHoldsTheStoreLockAgainstConcurrentWriters)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/srv_store_d";
+    const std::string sock = std::string(DIQ_BIN_DIR) + "/srv_d.sock";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+    startServe(sock, dir);
+
+    // A concurrent writer on the same store is refused (exit 1, the
+    // StoreError names the live holder)...
+    capture("'" + binary("diq") +
+                "' sweep 'scheme=iq6464 bench=gcc' --store '" + dir +
+                "'" + kTinyBudget,
+            bench::kExitRuntime);
+    // ...as is a second server...
+    capture("'" + binary("diq") + "' serve --socket '" + sock +
+                ".2' --store '" + dir + "'",
+            bench::kExitRuntime);
+    // ...while the lock-free shared readers still work.
+    capture("'" + binary("diq") + "' cache stats --store '" + dir + "'");
+    capture("'" + binary("diq") + "' cache list --store '" + dir + "'");
+
+    capture("'" + binary("diq") + "' shutdown --socket '" + sock + "'");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+}
+
+TEST(DiqServe, SigkilledServerRecoversTheCampaignAndResubmitMatches)
+{
+    const std::string dir = std::string(DIQ_BIN_DIR) + "/srv_store_e";
+    const std::string sock = std::string(DIQ_BIN_DIR) + "/srv_e.sock";
+    const std::string refCsv = dir + "-ref.csv";
+    const std::string outCsv = dir + "-out.csv";
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "'").c_str()),
+              0);
+    const std::string grid = "scheme=iq6464,mb_distr bench=gcc,swim";
+
+    std::string reference = capture("'" + binary("diq") + "' sweep '" +
+                                    grid + "' --jobs 1" + kTinyBudget +
+                                    " --out '" + refCsv + "'");
+
+    // A slow server, SIGKILLed mid-campaign: one worker at 500 ms per
+    // job cannot finish 4 points before the kill lands at 0.7 s, so
+    // the journal holds a `begin` with no `end` and the store holds a
+    // prefix of the points.
+    std::string pid = startServe(sock, dir,
+                                 "--jobs 1 "
+                                 "--fault-plan 'delay_job=:500'");
+    capture("'" + binary("diq") + "' submit --socket '" + sock +
+            "' '" + grid + "'" + kTinyBudget +
+            " >/dev/null 2>&1 & sleep 0.7; kill -9 " + pid +
+            "; echo KILLED");
+
+    // Restart on the same store: startup recovery replays the open
+    // campaign (completed points are store hits, the rest compute),
+    // so a resubmitting client finds a fully warm store.
+    startServe(sock, dir);
+    std::string resubmitted = capture(
+        "'" + binary("diq") + "' submit --socket '" + sock + "' '" +
+        grid + "'" + kTinyBudget + " --out '" + outCsv + "'");
+    EXPECT_EQ(resubmitted, reference);
+    std::string cmp =
+        capture("cmp '" + refCsv + "' '" + outCsv + "' && echo SAME");
+    EXPECT_NE(cmp.find("SAME"), std::string::npos)
+        << "CSV must be cmp-identical to the serverless sweep";
+
+    std::string status = capture("'" + binary("diq") +
+                                 "' status --socket '" + sock + "'");
+    EXPECT_EQ(statusValue(status, "recovered_campaigns"), "1")
+        << status;
+    EXPECT_EQ(statusValue(status, "store_entries"), "4") << status;
+
+    capture("'" + binary("diq") + "' shutdown --socket '" + sock + "'");
+    ASSERT_EQ(std::system(("rm -rf '" + dir + "' '" + sock + "' '" +
+                           refCsv + "' '" + outCsv + "'")
+                              .c_str()),
+              0);
+}
+
 TEST(DiqCli, ErrorsFollowTheDocumentedExitCodeTaxonomy)
 {
     // Usage errors: 4.
@@ -537,6 +781,16 @@ TEST(DiqCli, ErrorsFollowTheDocumentedExitCodeTaxonomy)
     capture("'" + binary("diq") + "' list nonsense", bench::kExitUsage);
     capture("'" + binary("diq") + "' cache frobnicate",
             bench::kExitUsage);
+    capture("'" + binary("diq") + "' serve", bench::kExitUsage);
+    capture("'" + binary("diq") + "' submit 'iq6464 bench=swim'",
+            bench::kExitUsage);
+    capture("'" + binary("diq") + "' status", bench::kExitUsage);
+    capture("'" + binary("diq") + "' shutdown", bench::kExitUsage);
+
+    // Runtime errors: 1 (no server listening on the socket).
+    capture("'" + binary("diq") +
+                "' status --socket /tmp/diq-no-such-server.sock",
+            bench::kExitRuntime);
     capture("'" + binary("diq") + "' fuzz --seeds banana",
             bench::kExitUsage);
     capture("'" + binary("diq") +

@@ -1,0 +1,607 @@
+/**
+ * @file
+ * Tests for the `diq serve` subsystem (docs/ARCHITECTURE.md §12):
+ * the length-prefixed frame protocol, the join-the-idle-queue
+ * dispatcher (store-first serving, in-flight dedupe, bounded-backlog
+ * admission control, exactly-once compute under concurrency), and
+ * the server + client pair end to end over a real Unix-domain socket
+ * — including concurrent clients, warm resubmission, version
+ * rejection, the shutdown verb, and crash-recovery of journaled
+ * campaigns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fault/fault_plan.hh"
+#include "runner/sim_job.hh"
+#include "runner/sweep_spec.hh"
+#include "serve/client.hh"
+#include "serve/dispatcher.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "spec/experiment_spec.hh"
+#include "store/result_store.hh"
+
+namespace
+{
+
+using namespace diq;
+namespace fs = std::filesystem;
+
+constexpr uint64_t kWarmup = 200;
+constexpr uint64_t kInsts = 2000;
+
+/** A job under the tiny test budgets, from spec text. */
+runner::SimJob
+jobFor(const std::string &text)
+{
+    spec::ExperimentSpec exp;
+    exp.applyText(text);
+    exp.warmupInsts = kWarmup;
+    exp.measureInsts = kInsts;
+    return runner::makeJob(exp);
+}
+
+/** Spin until `n` workers have registered on the idle list (makes
+ *  admission outcomes deterministic in the dispatcher tests). */
+void
+awaitIdle(serve::Dispatcher &d, size_t n)
+{
+    while (d.idleCount() < n)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+/** Blocks until the expected number of replies arrived. */
+struct ReplyCollector
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<serve::JobReply> replies;
+
+    serve::Dispatcher::Callback
+    callback()
+    {
+        return [this](const serve::JobReply &r) {
+            std::lock_guard<std::mutex> lock(mu);
+            replies.push_back(r);
+            cv.notify_all();
+        };
+    }
+
+    void
+    await(size_t n)
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return replies.size() >= n; });
+    }
+};
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) /
+            (std::string("diq_serve_") + info->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        // sun_path is ~108 bytes; keep the socket name short.
+        socket_ = (dir_ / "s.sock").string();
+        ASSERT_LT(socket_.size(), size_t{100}) << socket_;
+    }
+
+    void
+    TearDown() override
+    {
+        stopServer();
+        fs::remove_all(dir_);
+    }
+
+    serve::ServerOptions
+    baseOptions()
+    {
+        serve::ServerOptions o;
+        o.socketPath = socket_;
+        o.storeDir = (dir_ / "store").string();
+        o.workers = 2;
+        return o;
+    }
+
+    void
+    startServer(serve::ServerOptions o)
+    {
+        server_ = std::make_unique<serve::Server>(std::move(o));
+        thread_ = std::thread([this] { server_->run(); });
+    }
+
+    void
+    stopServer()
+    {
+        if (server_)
+            server_->requestStop();
+        if (thread_.joinable())
+            thread_.join();
+        server_.reset();
+    }
+
+    fs::path dir_;
+    std::string socket_;
+    std::unique_ptr<serve::Server> server_;
+    std::thread thread_;
+};
+
+// --- Protocol -------------------------------------------------------
+
+TEST(ServeProtocol, SplitFieldsKeepsBinaryTailIntact)
+{
+    std::string payload = "row\t3\tAB\tCD\x00X";
+    payload += '\t'; // tabs and NULs inside the final field survive
+    auto f = serve::splitFields(payload, 3);
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], "row");
+    EXPECT_EQ(f[1], "3");
+    EXPECT_EQ(f[2], payload.substr(6));
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    std::string payload("binary\t\0\x7f payload", 17);
+    serve::writeFrame(fds[0], payload);
+    auto got = serve::readFrame(fds[1]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+
+    // Empty frames are legal.
+    serve::writeFrame(fds[0], "");
+    got = serve::readFrame(fds[1]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->empty());
+
+    // Clean close at a frame boundary is EOF, not an error.
+    ::close(fds[0]);
+    EXPECT_FALSE(serve::readFrame(fds[1]).has_value());
+    ::close(fds[1]);
+}
+
+TEST(ServeProtocol, TornFrameThrows)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // A length prefix announcing 100 bytes, then close: mid-frame EOF.
+    char prefix[4] = {100, 0, 0, 0};
+    ASSERT_EQ(::send(fds[0], prefix, 4, 0), 4);
+    ::close(fds[0]);
+    EXPECT_THROW(serve::readFrame(fds[1]), serve::ProtocolError);
+    ::close(fds[1]);
+}
+
+TEST(ServeProtocol, HelloHandshakeAcceptsAndRejects)
+{
+    EXPECT_TRUE(serve::checkHello(serve::helloLine()).empty());
+
+    std::string mismatch = serve::checkHello("hello\tdiq-serve\t999");
+    EXPECT_NE(mismatch.find("version mismatch"), std::string::npos)
+        << mismatch;
+
+    std::string alien = serve::checkHello("GET / HTTP/1.1");
+    EXPECT_EQ(alien.rfind("error\t", 0), 0u) << alien;
+}
+
+// --- Dispatcher -----------------------------------------------------
+
+TEST_F(ServeTest, DispatcherServesWarmKeyFromStoreWithoutWorker)
+{
+    runner::SimJob job = jobFor("iq6464 bench=swim");
+    store::ResultStore st((dir_ / "store").string());
+    st.save(job.key(), runner::executeJob(job));
+
+    serve::DispatcherOptions o;
+    o.workers = 1;
+    o.store = &st;
+    serve::Dispatcher d(o);
+
+    ReplyCollector got;
+    EXPECT_EQ(d.submit(job, got.callback()),
+              serve::Admission::StoreHit);
+    // StoreHit callbacks run synchronously on the submitting thread.
+    ASSERT_EQ(got.replies.size(), 1u);
+    EXPECT_TRUE(got.replies[0].fromStore);
+    ASSERT_TRUE(got.replies[0].result.has_value());
+    EXPECT_EQ(got.replies[0].attempts, 0u);
+
+    auto c = d.counters();
+    EXPECT_EQ(c.storeHits, 1u);
+    EXPECT_EQ(c.computed, 0u);
+    d.shutdown();
+}
+
+TEST_F(ServeTest, DispatcherDedupesIdenticalInFlightSubmits)
+{
+    // One worker, and every job sleeps, so the backlog is observable.
+    fault::FaultPlan slow = fault::FaultPlan::parse("delay_job=:100");
+    serve::DispatcherOptions o;
+    o.workers = 1;
+    o.faults = &slow;
+    serve::Dispatcher d(o);
+
+    runner::SimJob a = jobFor("iq6464 bench=swim");
+    runner::SimJob b = jobFor("iq6464 bench=gcc");
+
+    ReplyCollector got;
+    serve::Admission first = d.submit(a, got.callback());
+    EXPECT_TRUE(first == serve::Admission::Dispatched ||
+                first == serve::Admission::Queued);
+    serve::Admission second = d.submit(b, got.callback());
+    // b waits behind a (or on the second... there is only 1 worker).
+    EXPECT_TRUE(second == serve::Admission::Dispatched ||
+                second == serve::Admission::Queued);
+    // An identical submit while b is in flight attaches — it never
+    // computes twice.
+    EXPECT_EQ(d.submit(b, got.callback()), serve::Admission::Attached);
+
+    got.await(3);
+    d.shutdown();
+
+    auto c = d.counters();
+    EXPECT_EQ(c.computed, 2u);
+    EXPECT_EQ(c.dedupeAttached, 1u);
+
+    // Both waiters on b saw the same result object values.
+    std::vector<const serve::JobReply *> bs;
+    for (const auto &r : got.replies)
+        if (r.key == b.key())
+            bs.push_back(&r);
+    ASSERT_EQ(bs.size(), 2u);
+    ASSERT_TRUE(bs[0]->result && bs[1]->result);
+    EXPECT_EQ(bs[0]->result->ipc, bs[1]->result->ipc);
+    EXPECT_EQ(bs[0]->result->stats.cycles, bs[1]->result->stats.cycles);
+}
+
+TEST_F(ServeTest, DispatcherRejectsWhenBacklogFull)
+{
+    fault::FaultPlan slow = fault::FaultPlan::parse("delay_job=:200");
+    serve::DispatcherOptions o;
+    o.workers = 1;
+    o.pendingMax = 1;
+    o.faults = &slow;
+    serve::Dispatcher d(o);
+    awaitIdle(d, 1);
+
+    ReplyCollector got;
+    EXPECT_EQ(d.submit(jobFor("iq6464 bench=swim"), got.callback()),
+              serve::Admission::Dispatched);
+    EXPECT_EQ(d.submit(jobFor("iq6464 bench=gcc"), got.callback()),
+              serve::Admission::Queued);
+    EXPECT_EQ(d.submit(jobFor("iq6464 bench=mcf"), got.callback()),
+              serve::Admission::Busy);
+
+    got.await(2); // the rejected submit's callback never runs
+    d.shutdown();
+    auto c = d.counters();
+    EXPECT_EQ(c.rejectedBusy, 1u);
+    EXPECT_EQ(c.computed, 2u);
+    EXPECT_EQ(got.replies.size(), 2u);
+}
+
+TEST_F(ServeTest, DispatcherComputesEachKeyOnceUnderConcurrency)
+{
+    serve::DispatcherOptions o;
+    o.workers = 4;
+    serve::Dispatcher d(o);
+
+    runner::SimJob job = jobFor("mb_distr bench=swim");
+    constexpr int kThreads = 8;
+    ReplyCollector got;
+    std::vector<std::thread> threads;
+    std::atomic<int> busy{0};
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&] {
+            if (d.submit(job, got.callback()) ==
+                serve::Admission::Busy)
+                busy.fetch_add(1);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    got.await(static_cast<size_t>(kThreads) -
+              static_cast<size_t>(busy.load()));
+    d.shutdown();
+
+    auto c = d.counters();
+    EXPECT_EQ(busy.load(), 0);
+    EXPECT_EQ(c.computed + c.storeHits, 1u)
+        << "identical concurrent submits must compute exactly once";
+    EXPECT_EQ(c.dedupeAttached + c.computed + c.storeHits,
+              static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(ServeTest, DispatcherShutdownFailsUnreachedFlights)
+{
+    fault::FaultPlan slow = fault::FaultPlan::parse("delay_job=:500");
+    serve::DispatcherOptions o;
+    o.workers = 1;
+    o.pendingMax = 8;
+    o.faults = &slow;
+    serve::Dispatcher d(o);
+
+    ReplyCollector got;
+    d.submit(jobFor("iq6464 bench=swim"), got.callback());
+    d.submit(jobFor("iq6464 bench=gcc"), got.callback());
+    d.submit(jobFor("iq6464 bench=mcf"), got.callback());
+    d.shutdown();
+
+    // Every waiter got a terminal reply: computed or an explicit
+    // shutdown failure — never silence.
+    EXPECT_EQ(got.replies.size(), 3u);
+    for (const auto &r : got.replies) {
+        if (!r.result) {
+            EXPECT_NE(r.error.find("shutting down"),
+                      std::string::npos);
+        }
+    }
+}
+
+// --- Server + client end to end -------------------------------------
+
+TEST_F(ServeTest, SubmitComputesColdThenServesWarmFromStore)
+{
+    startServer(baseOptions());
+    const std::string grid = "scheme=iq6464,mb_distr bench=swim,gcc";
+
+    serve::ServeClient cold(socket_);
+    std::vector<serve::RowOutcome> rows;
+    serve::SubmitSummary s1 = cold.submit(
+        kWarmup, kInsts, grid,
+        [&](const serve::RowOutcome &r) { rows.push_back(r); });
+    EXPECT_EQ(s1.points, 4u);
+    EXPECT_EQ(s1.computed, 4u);
+    EXPECT_EQ(s1.storeHits, 0u);
+    EXPECT_EQ(s1.failed, 0u);
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto &r : rows)
+        EXPECT_TRUE(r.result.has_value()) << r.error;
+
+    // Same grid again: pure store hits, no new compute.
+    serve::ServeClient warm(socket_);
+    serve::SubmitSummary s2 =
+        warm.submit(kWarmup, kInsts, grid, nullptr);
+    EXPECT_EQ(s2.storeHits, 4u);
+    EXPECT_EQ(s2.computed, 0u);
+    EXPECT_EQ(server_->dispatcher().counters().computed, 4u);
+}
+
+TEST_F(ServeTest, RowsDecodeToTheResultsAServerlessRunComputes)
+{
+    startServer(baseOptions());
+    const std::string grid = "scheme=iq6464 bench=swim,gcc";
+
+    serve::ServeClient client(socket_);
+    std::vector<serve::RowOutcome> rows(2);
+    client.submit(kWarmup, kInsts, grid,
+                  [&](const serve::RowOutcome &r) {
+                      ASSERT_LT(r.index, rows.size());
+                      rows[r.index] = r;
+                  });
+
+    runner::SweepSpec spec = runner::SweepSpec::fromText(grid);
+    for (size_t i = 0; i < spec.size(); ++i) {
+        runner::SimJob job;
+        job.exp = spec.points()[i].first;
+        job.exp.benchmark = spec.points()[i].second.name;
+        job.exp.warmupInsts = kWarmup;
+        job.exp.measureInsts = kInsts;
+        job.profile = spec.points()[i].second;
+
+        runner::SimResult local = runner::executeJob(job);
+        ASSERT_TRUE(rows[i].result.has_value());
+        EXPECT_EQ(rows[i].key, job.key());
+        // Bit-exact equality — the f64 codec round-trips exactly, so
+        // a served row renders byte-identically to a local run.
+        EXPECT_EQ(rows[i].result->ipc, local.ipc);
+        EXPECT_EQ(rows[i].result->stats.cycles, local.stats.cycles);
+        EXPECT_EQ(rows[i].result->stats.committed,
+                  local.stats.committed);
+        EXPECT_EQ(rows[i].result->energy.total(),
+                  local.energy.total());
+    }
+}
+
+TEST_F(ServeTest, ConcurrentClientsOnOneGridComputeEachPointOnce)
+{
+    serve::ServerOptions o = baseOptions();
+    o.workers = 4;
+    startServer(std::move(o));
+    // The acceptance grid: 8 points, submitted by two clients at once.
+    const std::string grid =
+        "scheme=iq6464,mb_distr bench=swim,gcc,mcf,equake";
+
+    auto runClient = [&](std::vector<double> &ipcs,
+                         serve::SubmitSummary &summary) {
+        serve::ServeClient client(socket_);
+        ipcs.assign(8, 0.0);
+        summary = client.submit(kWarmup, kInsts, grid,
+                                [&](const serve::RowOutcome &r) {
+                                    ASSERT_TRUE(r.result) << r.error;
+                                    ASSERT_LT(r.index, ipcs.size());
+                                    ipcs[r.index] = r.result->ipc;
+                                });
+    };
+
+    std::vector<double> ipcsA, ipcsB;
+    serve::SubmitSummary sa, sb;
+    std::thread ta([&] { runClient(ipcsA, sa); });
+    std::thread tb([&] { runClient(ipcsB, sb); });
+    ta.join();
+    tb.join();
+
+    // ≤ 8 simulations for 16 submitted points: every overlap was a
+    // store hit or a dedupe attach, never a second compute.
+    EXPECT_EQ(server_->dispatcher().counters().computed, 8u);
+    EXPECT_EQ(sa.points, 8u);
+    EXPECT_EQ(sb.points, 8u);
+    EXPECT_EQ(sa.failed + sb.failed, 0u);
+    // Identical rows for both clients.
+    EXPECT_EQ(ipcsA, ipcsB);
+}
+
+TEST_F(ServeTest, BadGridGetsErrorFrameAndConnectionSurvives)
+{
+    startServer(baseOptions());
+    serve::ServeClient client(socket_);
+    EXPECT_THROW(
+        client.submit(kWarmup, kInsts, "no_such_key=1", nullptr),
+        serve::ClientError);
+    // The error was request-scoped: the same connection still serves.
+    EXPECT_NO_THROW(client.status());
+}
+
+TEST_F(ServeTest, StatusReportsCountersAndStoreSize)
+{
+    startServer(baseOptions());
+    serve::ServeClient client(socket_);
+    client.submit(kWarmup, kInsts, "scheme=iq6464 bench=swim",
+                  nullptr);
+
+    auto pairs = client.status();
+    std::map<std::string, std::string> kv(pairs.begin(), pairs.end());
+    EXPECT_EQ(kv.at("computed"), "1");
+    EXPECT_EQ(kv.at("store_entries"), "1");
+    EXPECT_EQ(kv.at("workers"), "2");
+    EXPECT_EQ(kv.at("rejected_busy"), "0");
+    EXPECT_EQ(kv.at("pid"),
+              std::to_string(static_cast<long>(::getpid())));
+}
+
+TEST_F(ServeTest, WrongProtocolVersionIsRejected)
+{
+    startServer(baseOptions());
+
+    // Raw client speaking a future protocol version.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s",
+                  socket_.c_str());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    serve::writeFrame(fd, "hello\tdiq-serve\t999");
+    auto reply = serve::readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("version mismatch"), std::string::npos)
+        << *reply;
+    ::close(fd);
+
+    // And the typed client sees it as a handshake failure.
+    EXPECT_TRUE(serve::ServeClient::ping(socket_));
+}
+
+TEST_F(ServeTest, ShutdownVerbStopsTheServer)
+{
+    startServer(baseOptions());
+    {
+        serve::ServeClient client(socket_);
+        client.shutdown();
+    }
+    thread_.join(); // run() returns without requestStop() from us
+    server_.reset();
+    EXPECT_FALSE(serve::ServeClient::ping(socket_));
+}
+
+TEST_F(ServeTest, SecondServerOnTheSameStoreIsRefused)
+{
+    startServer(baseOptions());
+    serve::ServerOptions o = baseOptions();
+    o.socketPath = (dir_ / "s2.sock").string();
+    EXPECT_THROW(serve::Server second(std::move(o)),
+                 store::StoreError);
+}
+
+TEST_F(ServeTest, BusyServerRejectsSubmitWithTypedError)
+{
+    fault::FaultPlan slow = fault::FaultPlan::parse("delay_job=:300");
+    serve::ServerOptions o = baseOptions();
+    o.workers = 1;
+    o.pendingMax = 1;
+    o.faults = &slow;
+    startServer(std::move(o));
+
+    serve::ServeClient client(socket_);
+    try {
+        client.submit(kWarmup, kInsts,
+                      "scheme=iq6464 bench=swim,gcc,mcf,equake",
+                      nullptr);
+        FAIL() << "expected ServerBusy";
+    } catch (const serve::ServerBusy &e) {
+        EXPECT_EQ(e.limit, 1u);
+    }
+
+    // The fault plan must outlive the server (ServerOptions::faults
+    // is borrowed): stop before `slow` leaves scope, not in TearDown.
+    stopServer();
+}
+
+TEST_F(ServeTest, KilledServerRecoversJournaledCampaignOnRestart)
+{
+    const std::string grid = "scheme=iq6464 bench=swim,gcc";
+    const fs::path storeDir = dir_ / "store";
+
+    // Simulate a server that journaled `begin` and was then SIGKILLed
+    // before finishing: the journal has no matching `end`, and the
+    // store holds only one of the two points.
+    {
+        store::ResultStore st(storeDir);
+        runner::SimJob done = jobFor("iq6464 bench=swim");
+        st.save(done.key(), runner::executeJob(done));
+        std::ofstream journal(storeDir / "serve.journal");
+        journal << "diq-serve-journal v1\n"
+                << "begin\thdeadbeef\t" << kWarmup << "\t" << kInsts
+                << "\t" << grid << "\n";
+    }
+
+    startServer(baseOptions());
+    EXPECT_EQ(server_->recoveredCampaigns(), 1u);
+    // Recovery completed the campaign: both points are in the store,
+    // and only the missing one was computed.
+    EXPECT_EQ(server_->store().stats().entries, 2u);
+    auto c = server_->dispatcher().counters();
+    EXPECT_EQ(c.computed, 1u);
+    EXPECT_EQ(c.storeHits, 1u);
+
+    // A resubmitting client finds a fully warm store.
+    serve::ServeClient client(socket_);
+    serve::SubmitSummary s =
+        client.submit(kWarmup, kInsts, grid, nullptr);
+    EXPECT_EQ(s.storeHits, 2u);
+    EXPECT_EQ(s.computed, 0u);
+
+    // The journal was compacted: recovered campaigns do not replay
+    // again on the next restart.
+    stopServer();
+    startServer(baseOptions());
+    EXPECT_EQ(server_->recoveredCampaigns(), 0u);
+}
+
+} // namespace

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "fault/fault_plan.hh"
 #include "runner/sim_job.hh"
 #include "runner/supervisor.hh"
@@ -452,6 +454,107 @@ TEST(SupervisorTest, DeadlineTurnsASlowJobIntoQuarantine)
     runner::Supervised s =
         runner::superviseJob(tinyJob(), fastPolicy(1), &slow);
     EXPECT_EQ(s.attempts, 1u);
+}
+
+TEST(SupervisorTest, DeadlineAbandonedThreadsAreDrainedCleanly)
+{
+    // A deadline-expired attempt is truly abandoned: superviseJob
+    // returns (quarantine) while the overrunning worker thread parks
+    // on the process-wide reaper, and drainSupervisor joins it.
+    fault::FaultPlan plan = fault::FaultPlan::parse("delay_job=:500");
+    runner::JobPolicy policy = fastPolicy(1);
+    policy.deadlineMs = 20;
+    EXPECT_THROW(runner::superviseJob(tinyJob(), policy, &plan),
+                 runner::JobQuarantined);
+    // The injected delay honors cancellation, so the abandoned thread
+    // unwinds promptly — but it may still be parked right now.
+    runner::drainSupervisor();
+    EXPECT_EQ(runner::abandonedThreadCount(), 0u);
+    // Idempotent with nothing parked.
+    runner::drainSupervisor();
+    EXPECT_EQ(runner::abandonedThreadCount(), 0u);
+}
+
+TEST_F(StoreTest, StoreLockIsExclusiveWhileHeldAndReleasedAfter)
+{
+    {
+        store::StoreLock first(dir_);
+        EXPECT_TRUE(fs::exists(dir_ / "LOCK"));
+        EXPECT_EQ(store::StoreLock::holderPid(dir_),
+                  static_cast<long>(::getpid()));
+        try {
+            store::StoreLock second(dir_);
+            FAIL() << "expected StoreError: lock is held";
+        } catch (const store::StoreError &e) {
+            EXPECT_NE(std::string(e.what()).find(
+                          std::to_string(::getpid())),
+                      std::string::npos)
+                << "error must name the live holder: " << e.what();
+        }
+    }
+    // RAII release: a later writer acquires without contention.
+    EXPECT_FALSE(fs::exists(dir_ / "LOCK"));
+    EXPECT_NO_THROW(store::StoreLock third(dir_));
+}
+
+TEST_F(StoreTest, StaleLockFromADeadPidIsTakenOver)
+{
+    fs::create_directories(dir_);
+    {
+        // A plausible-but-dead pid: the maximum pid namespace value
+        // is far below this, so kill() reports ESRCH.
+        std::ofstream lock(dir_ / "LOCK");
+        lock << 999999999 << "\n";
+    }
+    EXPECT_EQ(store::StoreLock::holderPid(dir_), 999999999L);
+    // A SIGKILLed writer's lock must not wedge the store forever.
+    store::StoreLock takeover(dir_);
+    EXPECT_EQ(store::StoreLock::holderPid(dir_),
+              static_cast<long>(::getpid()));
+}
+
+TEST_F(StoreTest, GarbledLockFileIsTreatedAsStale)
+{
+    fs::create_directories(dir_);
+    {
+        std::ofstream lock(dir_ / "LOCK");
+        lock << "not a pid";
+    }
+    EXPECT_EQ(store::StoreLock::holderPid(dir_), 0L);
+    EXPECT_NO_THROW(store::StoreLock takeover(dir_));
+}
+
+TEST_F(StoreTest, StatsSizesEntriesQuarantineAndOrphans)
+{
+    store::ResultStore st(dir_);
+    auto empty = st.stats();
+    EXPECT_EQ(empty.entries, 0u);
+    EXPECT_EQ(empty.quarantined, 0u);
+
+    runner::SimResult r = sampleResult();
+    st.save("k1", r);
+    st.save("k2", r);
+    // One corrupt entry (quarantined on load) and one orphan temp.
+    st.save("k3", r);
+    fs::path k3 = dir_ / "entries" / store::ResultStore::fileNameFor("k3", 0);
+    {
+        std::fstream f(k3, std::ios::in | std::ios::out |
+                               std::ios::binary);
+        f.seekp(6);
+        f.put('\xff');
+    }
+    EXPECT_FALSE(st.load("k3").has_value());
+    {
+        std::ofstream tmp(dir_ / "entries" / ".orphan.tmp.123");
+        tmp << "debris";
+    }
+
+    auto s = st.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_GT(s.entryBytes, 0u);
+    EXPECT_EQ(s.quarantined, 1u);
+    EXPECT_GT(s.quarantineBytes, 0u);
+    EXPECT_EQ(s.orphanTmp, 1u);
 }
 
 TEST(SupervisorTest, PolicyFromFlagsValidatesItsRanges)

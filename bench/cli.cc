@@ -16,7 +16,10 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 
+#include "ckpt/interval.hh"
+#include "ckpt/snapshot.hh"
 #include "fault/fault_plan.hh"
 #include "figures.hh"
 #include "fuzz/fuzz_runner.hh"
@@ -25,6 +28,7 @@
 #include "runner/sweep_runner.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "sim/pipeline.hh"
 #include "spec/presets.hh"
 #include "store/result_store.hh"
 #include "trace/file_trace.hh"
@@ -51,6 +55,17 @@ usage(std::ostream &os)
           "      bench= accepts a benchmark name, scenario:<name>,\n"
           "      or trace:<path> (replay a recorded .diqt file)\n"
           "      [--bench NAME] [--insts N] [--warmup N]\n"
+          "      Interval simulation (docs/CHECKPOINTS.md): shard the\n"
+          "      measured region into N chunks and run them on a\n"
+          "      worker pool. --interval-mode exact (default) saves a\n"
+          "      snapshot set on the first run and replays it in\n"
+          "      parallel afterwards, counter-dump byte-identical to\n"
+          "      the monolithic run; warmup seeds every interval by\n"
+          "      functional fast-forward + `interval_warmup` detailed\n"
+          "      instructions — fully parallel at once, small\n"
+          "      documented error. --intervals > 1 bypasses --store.\n"
+          "      [--intervals N] [--jobs N] [--interval-mode MODE]\n"
+          "      [--ckpt-dir DIR]\n"
           "  record --out FILE [tokens...]   run one experiment while\n"
           "      recording the consumed workload stream to FILE\n"
           "      (.diqt); replay it with bench=trace:FILE\n"
@@ -107,13 +122,24 @@ usage(std::ostream &os)
           "      [--insts N | --budget N] [--warmup N] [--json FILE]\n"
           "      [--time-budget SEC] [--schemes a,b,...] [--ipc-slack X]\n"
           "      [--artifact-dir DIR] [--trace-dir DIR]\n"
+          "  ckpt save|info|restore          machine-state snapshots\n"
+          "      save --out FILE [tokens...]: run warm-up (and\n"
+          "      --at N measured instructions), then write a\n"
+          "      versioned, checksummed snapshot of the full machine\n"
+          "      state (format: docs/CHECKPOINTS.md)\n"
+          "      [--spec TEXT] [--bench NAME] [--insts N] [--warmup N]\n"
+          "      info FILE...: validate + print snapshot metadata\n"
+          "      restore FILE [--insts N]: rebuild the machine and\n"
+          "      run N more instructions (default: the remainder of\n"
+          "      the snapshot's measure budget) — counter-dump\n"
+          "      byte-identical to the uninterrupted run\n"
           "  list [schemes|benchmarks|scenarios|keys|figures]\n"
           "      show the named vocabulary with doc strings\n"
           "  help                            this text\n"
           "\n"
           "Env fallbacks: DIQ_INSTS, DIQ_WARMUP, DIQ_JOBS, DIQ_OUTDIR,\n"
-          "  DIQ_STORE, DIQ_SOCKET, DIQ_MAX_ATTEMPTS, DIQ_DEADLINE_MS,\n"
-          "  DIQ_FAULT_PLAN\n"
+          "  DIQ_STORE, DIQ_SOCKET, DIQ_CKPT_DIR, DIQ_MAX_ATTEMPTS,\n"
+          "  DIQ_DEADLINE_MS, DIQ_FAULT_PLAN\n"
           "Exit codes: 0 ok; 1 runtime failure; 2 fuzz violations;\n"
           "  3 partial sweep (quarantined jobs); 4 usage/plan/journal\n"
           "  error; 5 spec or grid parse error; 6 server busy;\n"
@@ -194,6 +220,46 @@ runCmd(const util::Flags &flags)
     }
 
     spec::ExperimentSpec exp = buildRunExperiment(flags, text);
+    if (flags.has("intervals"))
+        exp.set("intervals", flags.getString("intervals", ""));
+
+    if (exp.intervals > 1) {
+        std::string modeName =
+            flags.getString("interval-mode", "exact");
+        ckpt::IntervalMode mode;
+        if (modeName == "exact") {
+            mode = ckpt::IntervalMode::Exact;
+        } else if (modeName == "warmup") {
+            mode = ckpt::IntervalMode::Warmup;
+        } else {
+            std::cerr << "error: unknown --interval-mode '" << modeName
+                      << "' (exact|warmup)\n";
+            return kExitUsage;
+        }
+        int64_t jobsFlag = flags.getInt("jobs", 0, "DIQ_JOBS");
+        unsigned jobs = jobsFlag > 0
+                            ? static_cast<unsigned>(jobsFlag)
+                            : std::thread::hardware_concurrency();
+        std::string ckptDir =
+            flags.getString("ckpt-dir", ".diq-ckpt", "DIQ_CKPT_DIR");
+        // The result store is bypassed here: a warmup-mode result is
+        // approximate and must not be cached under the exact key, and
+        // in exact mode the snapshot set is itself the reusable
+        // artifact.
+        ckpt::IntervalOutcome out = ckpt::runIntervals(
+            exp, exp.intervals, jobs, mode, ckptDir);
+        std::cerr << "intervals: " << out.intervals << " ("
+                  << (mode == ckpt::IntervalMode::Exact ? "exact"
+                                                        : "warmup")
+                  << (out.mode == ckpt::IntervalMode::Exact
+                          ? (out.replayed ? ", parallel replay"
+                                          : ", serial saving pass")
+                          : "")
+                  << "), jobs " << jobs << "\n";
+        std::cout << renderRunOutput(exp, out.result);
+        return kExitOk;
+    }
+
     runner::SimJob job = runner::makeJob(exp);
 
     std::string storePath = flags.getString("store", "", "DIQ_STORE");
@@ -215,6 +281,128 @@ runCmd(const util::Flags &flags)
     }
     std::cout << renderRunOutput(exp, result);
     return kExitOk;
+}
+
+/** Result assembly for a restored machine (mirrors executeJob). */
+runner::SimResult
+resultFor(const spec::ExperimentSpec &exp, const sim::Cpu &cpu)
+{
+    runner::SimJob job = runner::makeJob(exp);
+    runner::SimResult r;
+    r.benchmark = job.profile.name;
+    r.scheme = exp.processor.scheme.name();
+    r.stats = cpu.stats();
+    r.ipc = r.stats.ipc();
+    r.energy = runner::energyFor(exp.processor.scheme,
+                                 r.stats.counters);
+    return r;
+}
+
+int
+ckptCmd(const util::Flags &flags)
+{
+    const auto &pos = flags.positional();
+    std::string verb = pos.empty() ? "" : pos.front();
+
+    if (verb == "save") {
+        if (!flags.has("out")) {
+            std::cerr << "error: no output path given (--out FILE)\n";
+            return kExitUsage;
+        }
+        // Spec text = --spec plus the positional tokens after the verb.
+        std::string text = flags.getString("spec", "");
+        for (size_t i = 1; i < pos.size(); ++i) {
+            if (!text.empty())
+                text += ' ';
+            text += pos[i];
+        }
+        if (text.empty() && !flags.has("bench")) {
+            std::cerr << "error: no spec given (try `diq ckpt save "
+                         "mb_distr bench=swim --out swim.diqs`)\n";
+            return kExitUsage;
+        }
+        spec::ExperimentSpec exp = buildRunExperiment(flags, text);
+        runner::SimJob job = runner::makeJob(exp);
+        auto workload = runner::makeJobWorkload(job);
+        sim::Cpu cpu(exp.processor, *workload);
+        cpu.run(exp.warmupInsts);
+        cpu.resetStats();
+        int64_t at = flags.getInt("at", 0);
+        if (at > 0)
+            cpu.run(static_cast<uint64_t>(at));
+        std::filesystem::path out = flags.getString("out", "");
+        ckpt::saveSnapshot(out, exp.canonicalLine(), cpu);
+        ckpt::SnapshotInfo info = ckpt::snapshotInfo(out);
+        std::cerr << "snapshot " << out.string() << ": cycle "
+                  << info.cycle << ", committed " << info.committed
+                  << ", " << info.payloadBytes << " payload byte(s)\n";
+        return kExitOk;
+    }
+
+    if (verb == "info") {
+        if (pos.size() < 2) {
+            std::cerr << "error: no snapshot file given "
+                         "(diq ckpt info FILE...)\n";
+            return kExitUsage;
+        }
+        util::TablePrinter t({"file", "status", "cycle", "committed",
+                              "trace-ops", "payload-bytes", "spec"});
+        bool all_valid = true;
+        for (size_t i = 1; i < pos.size(); ++i) {
+            std::string bytes;
+            try {
+                bytes = ckpt::readSnapshotFile(pos[i]);
+            } catch (const ckpt::SnapshotError &) {
+                t.addRow({pos[i], "unreadable", "-", "-", "-", "-",
+                          "-"});
+                all_valid = false;
+                continue;
+            }
+            ckpt::SnapshotInfo info;
+            store::EntryStatus st =
+                ckpt::decodeSnapshotInfo(bytes, info);
+            if (st != store::EntryStatus::Valid) {
+                t.addRow({pos[i], store::entryStatusName(st), "-", "-",
+                          "-", "-", "-"});
+                all_valid = false;
+                continue;
+            }
+            t.addRow({pos[i], "valid", std::to_string(info.cycle),
+                      std::to_string(info.committed),
+                      std::to_string(info.opsConsumed),
+                      std::to_string(info.payloadBytes),
+                      info.specLine});
+        }
+        std::cout << t.render();
+        return all_valid ? kExitOk : kExitRuntime;
+    }
+
+    if (verb == "restore") {
+        if (pos.size() != 2) {
+            std::cerr << "error: exactly one snapshot file expected "
+                         "(diq ckpt restore FILE [--insts N])\n";
+            return kExitUsage;
+        }
+        ckpt::RestoredRun run = ckpt::restoreRun(pos[1]);
+        uint64_t remaining =
+            run.exp.measureInsts > run.info.committed
+                ? run.exp.measureInsts - run.info.committed
+                : 0;
+        int64_t insts = flags.getInt("insts", 0);
+        uint64_t n =
+            insts > 0 ? static_cast<uint64_t>(insts) : remaining;
+        run.cpu->run(n);
+        std::cerr << "restored " << pos[1] << " at cycle "
+                  << run.info.cycle << ", ran " << n
+                  << " instruction(s)\n";
+        std::cout << renderRunOutput(run.exp, resultFor(run.exp,
+                                                        *run.cpu));
+        return kExitOk;
+    }
+
+    std::cerr << "error: unknown ckpt verb '" << verb
+              << "' (save|info|restore)\n";
+    return kExitUsage;
 }
 
 int
@@ -919,6 +1107,8 @@ cliMain(int argc, char **argv)
             return runCmd(flags);
         if (cmd == "record")
             return recordCmd(flags);
+        if (cmd == "ckpt")
+            return ckptCmd(flags);
         if (cmd == "sweep")
             return sweepCmd(flags);
         if (cmd == "cache")
@@ -952,6 +1142,11 @@ cliMain(int argc, char **argv)
     } catch (const serve::ServerBusy &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitServerBusy;
+    } catch (const ckpt::SnapshotError &e) {
+        // Damage-classified snapshot failures are runtime faults; the
+        // class is already in the message (store taxonomy).
+        std::cerr << "error: " << e.what() << "\n";
+        return kExitRuntime;
     } catch (const fault::PlanError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return kExitUsage;

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Docs lint: broken intra-repo links + undocumented CLI surface.
+
+Usage (from the repo root, after a build):
+
+    python3 scripts/check_docs.py --diq build/diq
+
+Two checks, both hard CI failures:
+
+ 1. Every relative markdown link in the repo's .md files must resolve
+    to an existing file, and a `#fragment` pointing into a markdown
+    file must match one of its headings (GitHub-style slugs).
+ 2. Every `diq` CLI verb (parsed from `diq help`) and every spec key
+    (parsed from `diq list keys`) must be mentioned in README.md or
+    docs/ARCHITECTURE.md — new surface area ships documented or not
+    at all.
+
+Run without --diq (e.g. pre-build) to get the link check alone.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+MD_FILES = [
+    "README.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/RESULTS.md",
+    "docs/CHECKPOINTS.md",
+    "docs/OPERATIONS.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[*`]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path):
+    with open(md_path, encoding="utf-8") as f:
+        content = f.read()
+    slugs = set()
+    counts = {}
+    for heading in HEADING_RE.findall(content):
+        slug = github_slug(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(root, errors):
+    for md in MD_FILES:
+        path = os.path.join(root, md)
+        if not os.path.exists(path):
+            errors.append(f"{md}: listed in check_docs.py but missing")
+            continue
+        with open(path, encoding="utf-8") as f:
+            content = f.read()
+        # Ignore links inside fenced code blocks.
+        content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+        for target in LINK_RE.findall(content):
+            if re.match(r"^[a-z]+:", target):  # http:, mailto:, ...
+                continue
+            file_part, _, frag = target.partition("#")
+            if file_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{md}: broken link -> {target}")
+                    continue
+            else:
+                dest = path
+            if frag and dest.endswith(".md") and os.path.exists(dest):
+                if frag not in anchors_of(dest):
+                    errors.append(
+                        f"{md}: dead anchor -> {target} "
+                        f"(no heading slugs to '{frag}')")
+
+
+def documented_text(root):
+    text = ""
+    for md in ("README.md", "docs/ARCHITECTURE.md"):
+        with open(os.path.join(root, md), encoding="utf-8") as f:
+            text += f.read()
+    return text
+
+
+def check_cli_surface(root, diq, errors):
+    docs = documented_text(root)
+
+    help_out = subprocess.run([diq, "help"], capture_output=True,
+                              text=True).stdout
+    verbs = re.findall(r"^  ([a-z]+)\b", help_out, re.MULTILINE)
+    if not verbs:
+        errors.append("could not parse any verbs from `diq help`")
+    for verb in sorted(set(verbs)):
+        if not re.search(r"\b" + re.escape(verb) + r"\b", docs):
+            errors.append(
+                f"CLI verb '{verb}' (diq help) is not mentioned in "
+                "README.md or docs/ARCHITECTURE.md")
+
+    keys_out = subprocess.run([diq, "list", "keys"],
+                              capture_output=True, text=True).stdout
+    keys = [
+        line.split()[0]
+        for line in keys_out.splitlines()
+        if line and not line.startswith(("-", "spec", "key"))
+        and re.match(r"^[a-z][a-z0-9_]*\s", line)
+    ]
+    if not keys:
+        errors.append("could not parse any keys from `diq list keys`")
+    for key in keys:
+        if not re.search(r"\b" + re.escape(key) + r"\b", docs):
+            errors.append(
+                f"spec key '{key}' (diq list keys) is not mentioned "
+                "in README.md or docs/ARCHITECTURE.md")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--diq", default=None,
+                    help="path to the diq binary (enables CLI checks)")
+    ap.add_argument("--root", default=".")
+    args = ap.parse_args()
+
+    errors = []
+    check_links(args.root, errors)
+    if args.diq:
+        check_cli_surface(args.root, args.diq, errors)
+
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}", file=sys.stderr)
+        print(f"check_docs: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    n = len(MD_FILES)
+    print(f"check_docs: OK ({n} files, links"
+          f"{' + CLI surface' if args.diq else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

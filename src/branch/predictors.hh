@@ -17,6 +17,11 @@
 
 #include "util/saturating_counter.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::branch
 {
 
@@ -39,6 +44,9 @@ class BimodalPredictor
 
     size_t numEntries() const { return table_.size(); }
 
+    /** Snapshot codec hook (src/ckpt). */
+    void serialize(ckpt::Archive &ar);
+
   private:
     size_t index(uint64_t pc) const;
     std::vector<util::SaturatingCounter> table_;
@@ -55,6 +63,9 @@ class GsharePredictor
 
     size_t numEntries() const { return table_.size(); }
     unsigned historyBits() const { return historyBits_; }
+
+    /** Snapshot codec hook (src/ckpt). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     size_t index(uint64_t pc, uint64_t history) const;
@@ -79,6 +90,9 @@ class Btb
 
     size_t numSets() const { return sets_.size(); }
     unsigned assoc() const { return assoc_; }
+
+    /** Snapshot codec hook (src/ckpt). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     struct Entry
@@ -142,6 +156,10 @@ class HybridPredictor
     /** Direction-only accuracy counters. */
     uint64_t lookups() const { return lookups_; }
     uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Snapshot codec hook (src/ckpt): all component tables, the
+     *  history register and the accuracy counters. */
+    void serialize(ckpt::Archive &ar);
 
   private:
     GsharePredictor gshare_;

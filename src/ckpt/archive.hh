@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Bidirectional byte codec for simulation-state snapshots
+ * (docs/CHECKPOINTS.md, docs/ARCHITECTURE.md §13).
+ *
+ * One Archive object drives both directions of the snapshot codec: in
+ * Save mode every call appends the field's little-endian encoding to
+ * an internal byte string; in Load mode the same call sequence decodes
+ * the fields back into the referenced objects. Each stateful simulator
+ * class implements a single `serialize(ckpt::Archive &)` member that
+ * lists its fields once, so the two directions cannot drift — a
+ * mis-ordered or missing field breaks the restore-then-run
+ * byte-identity tests immediately rather than corrupting state
+ * silently.
+ *
+ * Encoding: all integers widen to a fixed 8-byte little-endian
+ * two's-complement word (snapshots are machine state, not bulk data;
+ * uniformity beats varint compactness here), bools are one byte
+ * validated to 0/1, doubles are raw IEEE-754 bit patterns, strings and
+ * vectors carry a u64 length prefix. Load-side validation is strict:
+ * any underflow, range violation or impossible value throws
+ * ArchiveError, which the snapshot layer maps to the store's
+ * CorruptField damage class (store::EntryStatus).
+ */
+
+#ifndef DIQ_CKPT_ARCHIVE_HH
+#define DIQ_CKPT_ARCHIVE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/bit_words.hh"
+#include "util/circular_buffer.hh"
+#include "util/saturating_counter.hh"
+
+namespace diq::ckpt
+{
+
+/** Load-side decode failure: underflow or an impossible value. The
+ *  snapshot layer reports it as EntryStatus::CorruptField. */
+class ArchiveError : public std::runtime_error
+{
+  public:
+    explicit ArchiveError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Two-mode field codec; see the file comment. */
+class Archive
+{
+  public:
+    /** An empty Save-mode archive; fields append to bytes(). */
+    static Archive forSave() { return Archive(true, {}); }
+
+    /** A Load-mode archive decoding from `payload`. */
+    static Archive
+    forLoad(std::string payload)
+    {
+        return Archive(false, std::move(payload));
+    }
+
+    bool saving() const { return save_; }
+    bool loading() const { return !save_; }
+
+    /** Encoded payload (Save mode). */
+    const std::string &bytes() const { return buf_; }
+
+    /** True when Load mode consumed the payload exactly. */
+    bool exhausted() const { return pos_ == buf_.size(); }
+
+    /** Any integral field, widened to a u64 two's-complement word.
+     *  Load validates that the decoded value round-trips into T. */
+    template <typename T>
+    void
+    integer(T &v)
+    {
+        static_assert(std::is_integral_v<T> && !std::is_same_v<T, bool>);
+        if (save_) {
+            putWord(static_cast<uint64_t>(static_cast<int64_t>(v)));
+        } else {
+            uint64_t w = takeWord();
+            T decoded = static_cast<T>(w);
+            if (static_cast<uint64_t>(static_cast<int64_t>(decoded)) != w)
+                throw ArchiveError("integer field out of range for its "
+                                   "type");
+            v = decoded;
+        }
+    }
+
+    void
+    boolean(bool &v)
+    {
+        if (save_) {
+            putWordNarrow(v ? 1 : 0);
+        } else {
+            uint64_t w = takeWordNarrow();
+            if (w > 1)
+                throw ArchiveError("boolean field holds " +
+                                   std::to_string(w));
+            v = w != 0;
+        }
+    }
+
+    /** Raw IEEE-754 bit pattern: a loaded double renders
+     *  byte-identically to the saved one. */
+    void
+    f64(double &v)
+    {
+        uint64_t bits;
+        if (save_) {
+            std::memcpy(&bits, &v, sizeof bits);
+            putWord(bits);
+        } else {
+            bits = takeWord();
+            std::memcpy(&v, &bits, sizeof v);
+        }
+    }
+
+    void
+    str(std::string &s, uint64_t max_len = 1u << 20)
+    {
+        if (save_) {
+            putWord(s.size());
+            buf_.append(s);
+        } else {
+            uint64_t n = takeWord();
+            if (n > max_len)
+                throw ArchiveError("string length " + std::to_string(n) +
+                                   " exceeds limit");
+            need(n);
+            s.assign(buf_, pos_, static_cast<size_t>(n));
+            pos_ += static_cast<size_t>(n);
+        }
+    }
+
+    /**
+     * Integral vector whose size is fixed by the machine geometry:
+     * Load requires the stored count to match v.size() exactly
+     * (a mismatch means the snapshot was built for another config).
+     */
+    template <typename T>
+    void
+    intVecExact(std::vector<T> &v)
+    {
+        uint64_t n = v.size();
+        integer(n);
+        if (loading() && n != v.size())
+            throw ArchiveError("fixed-size vector count mismatch: "
+                               "stored " + std::to_string(n) +
+                               ", expected " + std::to_string(v.size()));
+        for (auto &e : v)
+            integer(e);
+    }
+
+    /** Integral vector of variable size (lazily allocated structures);
+     *  Load resizes, bounded by `max_elems`. */
+    template <typename T>
+    void
+    intVecResize(std::vector<T> &v, uint64_t max_elems = 1u << 26)
+    {
+        uint64_t n = v.size();
+        integer(n);
+        if (loading()) {
+            if (n > max_elems)
+                throw ArchiveError("vector count " + std::to_string(n) +
+                                   " exceeds limit");
+            v.assign(static_cast<size_t>(n), T{});
+        }
+        for (auto &e : v)
+            integer(e);
+    }
+
+    /** Variable-size vector of arbitrary element type; `elem(ar, e)`
+     *  serializes one element. Load resizes (default-constructing). */
+    template <typename T, typename Fn>
+    void
+    vec(std::vector<T> &v, Fn elem, uint64_t max_elems = 1u << 26)
+    {
+        uint64_t n = v.size();
+        integer(n);
+        if (loading()) {
+            if (n > max_elems)
+                throw ArchiveError("vector count " + std::to_string(n) +
+                                   " exceeds limit");
+            v.assign(static_cast<size_t>(n), T{});
+        }
+        for (auto &e : v)
+            elem(*this, e);
+    }
+
+    /** BitWords whose bit count is fixed by the machine geometry. */
+    void
+    bits(util::BitWords &b)
+    {
+        uint64_t n = b.size();
+        integer(n);
+        if (loading() && n != b.size())
+            throw ArchiveError("bitset size mismatch: stored " +
+                               std::to_string(n) + ", expected " +
+                               std::to_string(b.size()));
+        for (size_t wi = 0; wi < b.numWords(); ++wi)
+            integer(b.word(wi));
+    }
+
+    /**
+     * CircularBuffer contents, oldest first; `elem(ar, e)` serializes
+     * one element. Load clears and re-pushes, which re-bases the ring
+     * at slot 0 — behaviorally identical, since every access is
+     * FIFO-relative and the head position is not observable.
+     */
+    template <typename T, typename Fn>
+    void
+    ring(util::CircularBuffer<T> &q, Fn elem)
+    {
+        uint64_t n = q.size();
+        integer(n);
+        if (save_) {
+            for (size_t i = 0; i < q.size(); ++i)
+                elem(*this, q.at(i));
+        } else {
+            if (n > q.capacity())
+                throw ArchiveError("ring holds " + std::to_string(n) +
+                                   " entries, capacity " +
+                                   std::to_string(q.capacity()));
+            q.clear();
+            for (uint64_t i = 0; i < n; ++i) {
+                T e{};
+                elem(*this, e);
+                q.pushBack(e);
+            }
+        }
+    }
+
+    /** Saturating up/down counter: value only (max is construction-
+     *  time geometry); Load validates value <= max. */
+    void
+    sat(util::SaturatingCounter &c)
+    {
+        uint64_t v = c.value();
+        integer(v);
+        if (loading()) {
+            if (v > c.max())
+                throw ArchiveError("saturating counter value above max");
+            c.reset(static_cast<uint16_t>(v));
+        }
+    }
+
+    void
+    satDown(util::SaturatingDownCounter &c)
+    {
+        uint64_t v = c.value();
+        integer(v);
+        if (loading()) {
+            if (v > c.max())
+                throw ArchiveError("down counter value above max");
+            c.load(static_cast<uint32_t>(v));
+        }
+    }
+
+    /** Enum field via its underlying integer, validated < `limit`. */
+    template <typename E>
+    void
+    enumv(E &e, uint64_t limit)
+    {
+        static_assert(std::is_enum_v<E>);
+        auto u = static_cast<uint64_t>(
+            static_cast<std::underlying_type_t<E>>(e));
+        integer(u);
+        if (loading()) {
+            if (u >= limit)
+                throw ArchiveError("enum value " + std::to_string(u) +
+                                   " out of range");
+            e = static_cast<E>(u);
+        }
+    }
+
+  private:
+    Archive(bool save, std::string buf)
+        : save_(save), buf_(std::move(buf))
+    {
+    }
+
+    void
+    need(uint64_t n)
+    {
+        if (buf_.size() - pos_ < n)
+            throw ArchiveError("payload underflow");
+    }
+
+    void
+    putWord(uint64_t w)
+    {
+        char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<char>((w >> (8 * i)) & 0xFF);
+        buf_.append(b, 8);
+    }
+
+    uint64_t
+    takeWord()
+    {
+        need(8);
+        uint64_t w = 0;
+        for (int i = 0; i < 8; ++i)
+            w |= static_cast<uint64_t>(
+                     static_cast<unsigned char>(buf_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return w;
+    }
+
+    /** Single-byte encodings for the dense bool fields. */
+    void
+    putWordNarrow(uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    uint64_t
+    takeWordNarrow()
+    {
+        need(1);
+        return static_cast<unsigned char>(buf_[pos_++]);
+    }
+
+    bool save_;
+    std::string buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace diq::ckpt
+
+#endif // DIQ_CKPT_ARCHIVE_HH

@@ -1,0 +1,268 @@
+/** @file Interval runner: exact and warmup-seeded (ckpt/interval.hh). */
+
+#include "ckpt/interval.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ckpt/snapshot.hh"
+#include "runner/thread_pool.hh"
+#include "sim/pipeline.hh"
+#include "store/result_store.hh"
+#include "trace/trace_source.hh"
+
+namespace fs = std::filesystem;
+
+namespace diq::ckpt
+{
+namespace
+{
+
+/** Field-wise accumulation for warmup-mode stitching. Every counter
+ *  in SimStats is a sum over the measured region, so per-interval
+ *  deltas add; deadlock is sticky. */
+void
+addStats(sim::SimStats &into, const sim::SimStats &delta)
+{
+    into.cycles += delta.cycles;
+    into.committed += delta.committed;
+    into.fetched += delta.fetched;
+    into.dispatched += delta.dispatched;
+    into.issuedOps += delta.issuedOps;
+    into.branches += delta.branches;
+    into.mispredicts += delta.mispredicts;
+    into.loads += delta.loads;
+    into.stores += delta.stores;
+    into.dispatchStallCycles += delta.dispatchStallCycles;
+    into.windowStallCycles += delta.windowStallCycles;
+    into.fetchStallCycles += delta.fetchStallCycles;
+    into.schemeOccupancySum += delta.schemeOccupancySum;
+    into.robOccupancySum += delta.robOccupancySum;
+    into.deadlocked = into.deadlocked || delta.deadlocked;
+    for (size_t i = 0; i < power::NumEvents; ++i) {
+        auto id = static_cast<power::EventId>(i);
+        into.counters.add(id, delta.counters.get(id));
+    }
+}
+
+std::string
+hex64(uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4)
+        s[static_cast<size_t>(i)] = digits[v & 0xf];
+    return s;
+}
+
+runner::SimResult
+finishResult(const runner::SimJob &job, const sim::SimStats &stats)
+{
+    runner::SimResult r;
+    r.benchmark = job.profile.name;
+    r.scheme = job.exp.processor.scheme.name();
+    r.stats = stats;
+    r.ipc = stats.ipc();
+    r.energy = runner::energyFor(job.exp.processor.scheme,
+                                 stats.counters);
+    return r;
+}
+
+/** First error captured across workers, if any (the pool swallows
+ *  escaping exceptions, so workers must record their own). */
+void
+rethrowFirst(const std::vector<std::string> &errors)
+{
+    for (size_t i = 0; i < errors.size(); ++i)
+        if (!errors[i].empty())
+            throw std::runtime_error("interval " + std::to_string(i) +
+                                     ": " + errors[i]);
+}
+
+} // namespace
+
+IntervalPlan
+planIntervals(uint64_t measure_insts, unsigned n)
+{
+    if (n == 0)
+        n = 1;
+    // Never plan an empty chunk: fall back to fewer intervals.
+    if (measure_insts < n)
+        n = measure_insts ? static_cast<unsigned>(measure_insts) : 1;
+    IntervalPlan plan;
+    uint64_t base = measure_insts / n;
+    uint64_t extra = measure_insts % n;
+    uint64_t at = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        uint64_t size = base + (i < extra ? 1 : 0);
+        plan.starts.push_back(at);
+        plan.sizes.push_back(size);
+        at += size;
+    }
+    return plan;
+}
+
+std::string
+snapshotFileName(const std::string &spec_key, unsigned n, unsigned i)
+{
+    std::string tagged =
+        spec_key + "#intervals=" + std::to_string(n);
+    return "ck-" +
+           hex64(store::fnv1a64(tagged.data(), tagged.size())) + "-" +
+           std::to_string(i) + ".diqs";
+}
+
+IntervalOutcome
+runIntervals(const spec::ExperimentSpec &exp, unsigned intervals,
+             unsigned jobs, IntervalMode mode, const fs::path &ckpt_dir)
+{
+    runner::SimJob job = runner::makeJob(exp);
+    const std::string key = exp.canonicalLine();
+    IntervalPlan plan = planIntervals(exp.measureInsts, intervals);
+    const unsigned n = static_cast<unsigned>(plan.sizes.size());
+
+    IntervalOutcome out;
+    out.intervals = n;
+    out.mode = mode;
+    out.intervalCycles.assign(n, 0);
+
+    // Absolute committed-instruction target of chunk i within the
+    // measured region. Chunks run to absolute targets, not relative
+    // amounts: the commit stage can overshoot a target by up to
+    // commit-width-1 instructions in the final cycle, and relative
+    // amounts would accumulate that overshoot — absolute targets make
+    // the chunked pass stop stepping on exactly the cycle the
+    // monolithic run does, which is what makes exact mode exact.
+    auto chunkEnd = [&](unsigned i) {
+        return i + 1 < n ? plan.starts[i + 1] : exp.measureInsts;
+    };
+    auto runChunkTo = [](sim::Cpu &cpu, uint64_t target) {
+        uint64_t at = cpu.stats().committed;
+        return cpu.run(target > at ? target - at : 0);
+    };
+
+    if (mode == IntervalMode::Exact) {
+        // Probe for a complete, matching snapshot set. `committed` at
+        // an interval head overshoots starts[i] by at most the commit
+        // width, so accept anything short of the chunk's own end.
+        std::vector<std::string> images(n);
+        bool have_all = true;
+        for (unsigned i = 0; i < n && have_all; ++i) {
+            fs::path p = ckpt_dir / snapshotFileName(key, n, i);
+            std::error_code ec;
+            if (!fs::exists(p, ec)) {
+                have_all = false;
+                break;
+            }
+            images[i] = readSnapshotFile(p);
+            SnapshotInfo info;
+            if (decodeSnapshotInfo(images[i], info) !=
+                    store::EntryStatus::Valid ||
+                info.specLine != key ||
+                info.committed < plan.starts[i] ||
+                info.committed >= chunkEnd(i))
+                have_all = false;
+        }
+
+        if (!have_all) {
+            // Serial saving pass — this IS the monolithic run, with a
+            // snapshot captured at each interval head along the way.
+            auto workload = runner::makeJobWorkload(job);
+            sim::Cpu cpu(exp.processor, *workload);
+            cpu.run(exp.warmupInsts);
+            cpu.resetStats();
+            for (unsigned i = 0; i < n; ++i) {
+                saveSnapshot(ckpt_dir / snapshotFileName(key, n, i),
+                             key, cpu);
+                out.intervalCycles[i] = runChunkTo(cpu, chunkEnd(i));
+            }
+            out.result = finishResult(job, cpu.stats());
+            out.replayed = false;
+            return out;
+        }
+
+        // Parallel replay: interval i restores snapshot i and re-runs
+        // its chunk — the same run(chunk) calls on the same machine
+        // states as the saving pass, so interval n-1 ends with the
+        // monolithic run's exact counters.
+        std::vector<std::string> end_images(n);
+        std::vector<sim::SimStats> final_stats(1);
+        std::vector<std::string> errors(n);
+        {
+            runner::ThreadPool pool(jobs ? jobs : 1);
+            for (unsigned i = 0; i < n; ++i) {
+                pool.submit([&, i] {
+                    try {
+                        RestoredRun run =
+                            restoreRunFromImage(images[i]);
+                        out.intervalCycles[i] =
+                            runChunkTo(*run.cpu, chunkEnd(i));
+                        if (i + 1 < n)
+                            end_images[i] =
+                                encodeSnapshot(key, *run.cpu);
+                        else
+                            final_stats[0] = run.cpu->stats();
+                    } catch (const std::exception &e) {
+                        errors[i] = e.what();
+                    }
+                });
+            }
+            pool.wait();
+        }
+        rethrowFirst(errors);
+
+        // Boundary cross-check: each interior interval must end in
+        // exactly the machine state the next snapshot recorded.
+        for (unsigned i = 0; i + 1 < n; ++i) {
+            if (end_images[i] != images[i + 1])
+                throw std::runtime_error(
+                    "interval " + std::to_string(i) +
+                    " end state diverges from snapshot " +
+                    std::to_string(i + 1) +
+                    " (non-deterministic replay?)");
+        }
+
+        out.result = finishResult(job, final_stats[0]);
+        out.replayed = true;
+        return out;
+    }
+
+    // Warmup-seeded: fully parallel cold start. Interval i's head
+    // sits head_i committed instructions into the trace; fast-forward
+    // functionally to within `interval_warmup` of it, run that
+    // remainder in detail, reset counters, measure the chunk.
+    std::vector<sim::SimStats> deltas(n);
+    std::vector<std::string> errors(n);
+    const uint64_t w = exp.intervalWarmup;
+    {
+        runner::ThreadPool pool(jobs ? jobs : 1);
+        for (unsigned i = 0; i < n; ++i) {
+            pool.submit([&, i] {
+                try {
+                    auto workload = runner::makeJobWorkload(job);
+                    sim::Cpu cpu(exp.processor, *workload);
+                    uint64_t head = exp.warmupInsts + plan.starts[i];
+                    uint64_t ffwd = head > w ? head - w : 0;
+                    cpu.functionalAdvance(ffwd);
+                    cpu.run(head - ffwd);
+                    cpu.resetStats();
+                    out.intervalCycles[i] = cpu.run(plan.sizes[i]);
+                    deltas[i] = cpu.stats();
+                } catch (const std::exception &e) {
+                    errors[i] = e.what();
+                }
+            });
+        }
+        pool.wait();
+    }
+    rethrowFirst(errors);
+
+    sim::SimStats stitched;
+    for (const auto &d : deltas)
+        addStats(stitched, d);
+    out.result = finishResult(job, stitched);
+    out.replayed = false;
+    return out;
+}
+
+} // namespace diq::ckpt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Interval simulation of one experiment: shard the measured region
+ * into N intervals and run them in parallel on the sweep runner's
+ * ThreadPool (docs/CHECKPOINTS.md, docs/ARCHITECTURE.md §13).
+ *
+ * Two seeding modes:
+ *
+ *  - Exact (checkpoint-seeded). A serial pass runs warm-up, resets
+ *    the counters, and saves a snapshot at the head of each interval
+ *    before simulating it — the pass IS the monolithic run, so its
+ *    result is exact by construction, and the snapshot set is the
+ *    reusable artifact. When the set already exists for this spec and
+ *    interval count, the serial pass is skipped entirely: every
+ *    interval restores its snapshot and re-runs its chunk in
+ *    parallel. The replay performs the same run(chunk) calls on the
+ *    same machine states, so the final interval's counters are
+ *    byte-identical to the monolithic run (pinned by
+ *    tests/test_ckpt.cc for N in {1,2,4,8}); each interior interval's
+ *    end state is additionally cross-checked byte-for-byte against
+ *    the next interval's snapshot.
+ *
+ *  - Warmup (functionally seeded). Every interval starts from a
+ *    fresh machine: functional fast-forward to near the interval head
+ *    (branch predictor + caches warm at trace-decode speed,
+ *    sim::Cpu::functionalAdvance), a short detailed warm-up of
+ *    `interval_warmup` instructions, counter reset, then the measured
+ *    chunk. Per-interval stats stitch by summation. No serial pass
+ *    and no snapshot files — fully parallel from a cold start — at
+ *    the cost of a small warm-up error, measured per scheme in
+ *    docs/CHECKPOINTS.md.
+ */
+
+#ifndef DIQ_CKPT_INTERVAL_HH
+#define DIQ_CKPT_INTERVAL_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "runner/sim_job.hh"
+#include "spec/experiment_spec.hh"
+
+namespace diq::ckpt
+{
+
+/** How interval heads get their machine state. */
+enum class IntervalMode
+{
+    Exact,  ///< checkpoint-seeded: bit-exact, needs a snapshot set
+    Warmup, ///< functionally seeded: parallel cold start, small error
+};
+
+/** Outcome of an interval run. */
+struct IntervalOutcome
+{
+    runner::SimResult result; ///< stitched whole-run result
+    unsigned intervals = 1;
+    IntervalMode mode = IntervalMode::Exact;
+    /** Exact mode: the parallel replay path ran (a complete snapshot
+     *  set existed); false means the serial saving pass ran. */
+    bool replayed = false;
+    /** Cycles simulated per interval (load-balance diagnostics). */
+    std::vector<uint64_t> intervalCycles;
+};
+
+/** Interval head positions: committed-instruction offsets of each
+ *  chunk within the measured region. chunk i spans
+ *  [starts[i], starts[i] + sizes[i]); sizes sum to measure_insts. */
+struct IntervalPlan
+{
+    std::vector<uint64_t> starts;
+    std::vector<uint64_t> sizes;
+};
+
+/** Split `measure_insts` into `n` near-equal chunks (earlier chunks
+ *  absorb the remainder; every chunk nonempty when n <= measure). */
+IntervalPlan planIntervals(uint64_t measure_insts, unsigned n);
+
+/** Snapshot file name of interval `i` for a spec key (the name hash
+ *  covers the canonical line AND the interval count, so changing
+ *  either never resurrects a stale set). */
+std::string snapshotFileName(const std::string &spec_key, unsigned n,
+                             unsigned i);
+
+/**
+ * Run `exp` split into `intervals` chunks with `jobs` worker threads.
+ * Exact mode uses (and populates) `ckpt_dir` for the snapshot set;
+ * Warmup mode ignores it. intervals == 0 is clamped to 1; a plan
+ * whose chunks would be empty falls back to fewer intervals.
+ * @throws SnapshotError, spec errors, std::runtime_error on a failed
+ *         boundary cross-check.
+ */
+IntervalOutcome runIntervals(const spec::ExperimentSpec &exp,
+                             unsigned intervals, unsigned jobs,
+                             IntervalMode mode,
+                             const std::filesystem::path &ckpt_dir);
+
+} // namespace diq::ckpt
+
+#endif // DIQ_CKPT_INTERVAL_HH

@@ -1,0 +1,347 @@
+/** @file Snapshot image codec + durable file I/O (ckpt/snapshot.hh). */
+
+#include "ckpt/snapshot.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include <atomic>
+
+#include "ckpt/archive.hh"
+#include "runner/sim_job.hh"
+#include "sim/pipeline.hh"
+#include "trace/trace_source.hh"
+
+namespace fs = std::filesystem;
+
+namespace diq::ckpt
+{
+namespace
+{
+
+constexpr char kMagic[4] = {'D', 'I', 'Q', 'S'};
+constexpr size_t kHeaderBytes = 4 + 2 + 2 + 8 + 8;
+
+void
+put16(std::string &s, uint16_t v)
+{
+    s.push_back(static_cast<char>(v & 0xFF));
+    s.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void
+put64(std::string &s, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint16_t
+get16(const std::string &s, size_t at)
+{
+    return static_cast<uint16_t>(
+        static_cast<unsigned char>(s[at]) |
+        (static_cast<unsigned char>(s[at + 1]) << 8));
+}
+
+uint64_t
+get64(const std::string &s, size_t at)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<unsigned char>(s[at + i]))
+             << (8 * i);
+    return v;
+}
+
+/**
+ * Header validation shared by the info and full-restore paths. On
+ * Valid, `payload` points into `bytes` (offset kHeaderBytes).
+ */
+store::EntryStatus
+validateHeader(const std::string &bytes, uint64_t &payload_len)
+{
+    using store::EntryStatus;
+    if (bytes.empty())
+        return EntryStatus::Empty;
+    if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return EntryStatus::BadMagic;
+    if (bytes.size() < kHeaderBytes)
+        return EntryStatus::Truncated;
+    if (get16(bytes, 4) != kSnapshotFormatVersion)
+        return EntryStatus::VersionSkew;
+    if (get16(bytes, 6) != snapshotSchemaVersion())
+        return EntryStatus::SchemaSkew;
+    payload_len = get64(bytes, 8);
+    if (bytes.size() < kHeaderBytes + payload_len)
+        return EntryStatus::Truncated;
+    if (bytes.size() > kHeaderBytes + payload_len)
+        return EntryStatus::TrailingGarbage;
+    uint64_t sum =
+        store::fnv1a64(bytes.data() + kHeaderBytes,
+                       static_cast<size_t>(payload_len));
+    if (sum != get64(bytes, 16))
+        return EntryStatus::ChecksumMismatch;
+    return EntryStatus::Valid;
+}
+
+/** Decode the metadata fields at the front of a validated payload. */
+store::EntryStatus
+decodeMeta(Archive &ar, SnapshotInfo &info)
+{
+    try {
+        ar.str(info.specLine);
+        ar.integer(info.opsConsumed);
+        ar.integer(info.cycle);
+        ar.integer(info.committed);
+    } catch (const ArchiveError &) {
+        return store::EntryStatus::CorruptField;
+    }
+    return store::EntryStatus::Valid;
+}
+
+/** Same temp-suffix scheme as the store: pid + process-wide counter,
+ *  so concurrent writers never share a temp file. */
+std::string
+tmpSuffix()
+{
+    static std::atomic<uint64_t> seq{0};
+#ifndef _WIN32
+    uint64_t pid = static_cast<uint64_t>(::getpid());
+#else
+    uint64_t pid = 0;
+#endif
+    return ".tmp." + std::to_string(pid) + "." +
+           std::to_string(seq.fetch_add(1));
+}
+
+void
+writeFileDurably(const fs::path &path, const std::string &data)
+{
+#ifndef _WIN32
+    int fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        throw SnapshotError(store::EntryStatus::Valid,
+                            "cannot create '" + path.string() + "'");
+    size_t done = 0;
+    while (done < data.size()) {
+        ssize_t w = ::write(fd, data.data() + done, data.size() - done);
+        if (w < 0) {
+            ::close(fd);
+            throw SnapshotError(store::EntryStatus::Valid,
+                                "short write to '" + path.string() +
+                                    "'");
+        }
+        done += static_cast<size_t>(w);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        throw SnapshotError(store::EntryStatus::Valid,
+                            "fsync failed for '" + path.string() + "'");
+    }
+    if (::close(fd) != 0)
+        throw SnapshotError(store::EntryStatus::Valid,
+                            "close failed for '" + path.string() + "'");
+#else
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(data.data(), static_cast<std::streamsize>(data.size()));
+    os.flush();
+    if (!os)
+        throw SnapshotError(store::EntryStatus::Valid,
+                            "cannot write '" + path.string() + "'");
+#endif
+}
+
+void
+fsyncDirectory(const fs::path &dir)
+{
+#ifndef _WIN32
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)dir;
+#endif
+}
+
+} // namespace
+
+uint16_t
+snapshotSchemaVersion()
+{
+    return static_cast<uint16_t>(power::NumEvents);
+}
+
+std::string
+encodeSnapshot(const std::string &spec_line, sim::Cpu &cpu)
+{
+    Archive ar = Archive::forSave();
+    std::string line = spec_line;
+    ar.str(line);
+    uint64_t ops = cpu.opsConsumed();
+    uint64_t cycle = cpu.cycle();
+    uint64_t committed = cpu.stats().committed;
+    ar.integer(ops);
+    ar.integer(cycle);
+    ar.integer(committed);
+    cpu.serialize(ar);
+
+    const std::string &payload = ar.bytes();
+    std::string image;
+    image.reserve(kHeaderBytes + payload.size());
+    image.append(kMagic, 4);
+    put16(image, kSnapshotFormatVersion);
+    put16(image, snapshotSchemaVersion());
+    put64(image, payload.size());
+    put64(image, store::fnv1a64(payload.data(), payload.size()));
+    image.append(payload);
+    return image;
+}
+
+store::EntryStatus
+decodeSnapshotInfo(const std::string &bytes, SnapshotInfo &info)
+{
+    uint64_t payload_len = 0;
+    store::EntryStatus st = validateHeader(bytes, payload_len);
+    if (st != store::EntryStatus::Valid)
+        return st;
+    Archive ar = Archive::forLoad(bytes.substr(kHeaderBytes));
+    SnapshotInfo decoded;
+    decoded.payloadBytes = payload_len;
+    st = decodeMeta(ar, decoded);
+    if (st != store::EntryStatus::Valid)
+        return st;
+    info = std::move(decoded);
+    return store::EntryStatus::Valid;
+}
+
+store::EntryStatus
+decodeSnapshotInto(const std::string &bytes, sim::Cpu &cpu,
+                   SnapshotInfo &info)
+{
+    uint64_t payload_len = 0;
+    store::EntryStatus st = validateHeader(bytes, payload_len);
+    if (st != store::EntryStatus::Valid)
+        return st;
+    Archive ar = Archive::forLoad(bytes.substr(kHeaderBytes));
+    SnapshotInfo decoded;
+    decoded.payloadBytes = payload_len;
+    st = decodeMeta(ar, decoded);
+    if (st != store::EntryStatus::Valid)
+        return st;
+    try {
+        cpu.serialize(ar);
+    } catch (const ArchiveError &) {
+        return store::EntryStatus::CorruptField;
+    }
+    // A checksum-valid payload with leftover bytes means the encoder
+    // and decoder disagree on the machine geometry — a corrupt (or
+    // wrong-config) snapshot, not file-level trailing garbage.
+    if (!ar.exhausted())
+        return store::EntryStatus::CorruptField;
+    info = std::move(decoded);
+    return store::EntryStatus::Valid;
+}
+
+void
+writeSnapshotFile(const fs::path &path, const std::string &bytes)
+{
+    fs::path dir = path.parent_path();
+    if (!dir.empty()) {
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+    }
+    fs::path tmp = (dir.empty() ? fs::path(".") : dir) /
+                   ("." + path.filename().string() + tmpSuffix());
+    writeFileDurably(tmp, bytes);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        throw SnapshotError(store::EntryStatus::Valid,
+                            "cannot commit snapshot '" + path.string() +
+                                "'");
+    }
+    fsyncDirectory(dir.empty() ? fs::path(".") : dir);
+}
+
+std::string
+readSnapshotFile(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SnapshotError(store::EntryStatus::Empty,
+                            "cannot open snapshot '" + path.string() +
+                                "'");
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return std::move(ss).str();
+}
+
+void
+saveSnapshot(const fs::path &path, const std::string &spec_line,
+             sim::Cpu &cpu)
+{
+    writeSnapshotFile(path, encodeSnapshot(spec_line, cpu));
+}
+
+SnapshotInfo
+snapshotInfo(const fs::path &path)
+{
+    std::string bytes = readSnapshotFile(path);
+    SnapshotInfo info;
+    store::EntryStatus st = decodeSnapshotInfo(bytes, info);
+    if (st != store::EntryStatus::Valid)
+        throw SnapshotError(st, "snapshot '" + path.string() + "': " +
+                                    store::entryStatusName(st));
+    return info;
+}
+
+RestoredRun
+restoreRunFromImage(const std::string &bytes)
+{
+    // Metadata first: the spec line names the machine to build.
+    SnapshotInfo info;
+    store::EntryStatus st = decodeSnapshotInfo(bytes, info);
+    if (st != store::EntryStatus::Valid)
+        throw SnapshotError(st, std::string("snapshot image: ") +
+                                    store::entryStatusName(st));
+
+    RestoredRun run;
+    run.exp = spec::ExperimentSpec::parse(info.specLine);
+    runner::SimJob job = runner::makeJob(run.exp);
+    run.workload = runner::makeJobWorkload(job);
+    run.cpu = std::make_unique<sim::Cpu>(run.exp.processor,
+                                         *run.workload);
+    st = decodeSnapshotInto(bytes, *run.cpu, run.info);
+    if (st != store::EntryStatus::Valid)
+        throw SnapshotError(st, std::string("snapshot image: ") +
+                                    store::entryStatusName(st));
+    // Fast-forward the fresh deterministic workload to the cursor:
+    // the machine's buffered pending op travels in the snapshot, so
+    // the source itself must stand exactly at opsConsumed.
+    run.workload->skip(run.info.opsConsumed);
+    return run;
+}
+
+RestoredRun
+restoreRun(const fs::path &path)
+{
+    try {
+        return restoreRunFromImage(readSnapshotFile(path));
+    } catch (const SnapshotError &e) {
+        throw SnapshotError(e.status(), "snapshot '" + path.string() +
+                                            "': " + e.what());
+    }
+}
+
+} // namespace diq::ckpt

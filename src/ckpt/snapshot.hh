@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Versioned, checksummed full-machine snapshots (docs/CHECKPOINTS.md,
+ * docs/ARCHITECTURE.md §13).
+ *
+ * A snapshot is one file holding the complete persistent state of a
+ * sim::Cpu mid-run — pipeline windows, pool, scoreboard, renamer, LSQ,
+ * issue scheme, predictor, caches, FU pool, stats/counters — plus the
+ * experiment's canonical spec line and the trace cursor (ops consumed
+ * from the deterministic workload). Restoring builds the identical
+ * machine, decodes the state and fast-forwards a fresh workload by the
+ * cursor; from there, run(n) is counter-dump byte-identical to the
+ * uninterrupted run (pinned by tests/test_ckpt.cc).
+ *
+ * File format (version 1, little-endian), mirroring the result store's
+ * entry format (src/store/result_store.hh):
+ *
+ *   header  := magic "DIQS" | format-version u16 | schema-version u16
+ *            | payload-length u64 | payload-checksum u64 (FNV-1a 64)
+ *   payload := spec-line str | ops-consumed u64 | cycle u64
+ *            | committed u64 | machine state (ckpt::Archive encoding,
+ *              field order = sim::Cpu::serialize)
+ *
+ * The schema version packs power::NumEvents, so growing the event bank
+ * invalidates old snapshots explicitly as "schema skew" rather than
+ * misdecoding them. Damage classification reuses store::EntryStatus
+ * verbatim — torn writes, bad magic, version/schema skew, checksum
+ * mismatches and impossible field values map to the same taxonomy the
+ * store's corruption-contract tests pin.
+ *
+ * Durability discipline for writes: temp file + fsync + atomic rename
+ * + directory fsync, identical to the store — a reader never observes
+ * a torn snapshot.
+ */
+
+#ifndef DIQ_CKPT_SNAPSHOT_HH
+#define DIQ_CKPT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "spec/experiment_spec.hh"
+#include "store/result_store.hh"
+
+namespace diq::trace
+{
+class TraceSource;
+}
+namespace diq::sim
+{
+class Cpu;
+}
+
+namespace diq::ckpt
+{
+
+/** Bump on any change to the header or payload layout. */
+constexpr uint16_t kSnapshotFormatVersion = 1;
+
+/** Schema tag: payload layout parameters that can drift (the event
+ *  bank size); skew is reported, never misdecoded. */
+uint16_t snapshotSchemaVersion();
+
+/** Snapshot failure with its damage class (save-side errors use
+ *  Valid + a message, e.g. unwritable directory). */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    SnapshotError(store::EntryStatus status, const std::string &what)
+        : std::runtime_error(what), status_(status)
+    {
+    }
+
+    store::EntryStatus status() const { return status_; }
+
+  private:
+    store::EntryStatus status_;
+};
+
+/** Header + metadata of a snapshot (`diq ckpt info`). */
+struct SnapshotInfo
+{
+    std::string specLine;     ///< canonical experiment spec line
+    uint64_t opsConsumed = 0; ///< trace cursor
+    uint64_t cycle = 0;       ///< machine cycle at capture
+    uint64_t committed = 0;   ///< committed instructions at capture
+    uint64_t payloadBytes = 0;
+};
+
+// --- Image codec (exposed for the damage-class tests) ---------------
+
+/** Encode the complete snapshot image (header + payload) for a
+ *  machine mid-run under `spec_line`. */
+std::string encodeSnapshot(const std::string &spec_line, sim::Cpu &cpu);
+
+/**
+ * Validate a whole image and decode its metadata (not the machine
+ * state). On Valid, `info` is filled; otherwise untouched.
+ */
+store::EntryStatus decodeSnapshotInfo(const std::string &bytes,
+                                      SnapshotInfo &info);
+
+/**
+ * Validate + decode a whole image into `cpu`, which must be
+ * constructed from the ProcessorConfig named by the snapshot's spec
+ * line. Does NOT touch the trace cursor — callers advance the
+ * workload by info.opsConsumed (restoreRun does all of this).
+ * On anything but Valid the machine may be partially overwritten and
+ * must be discarded.
+ */
+store::EntryStatus decodeSnapshotInto(const std::string &bytes,
+                                      sim::Cpu &cpu, SnapshotInfo &info);
+
+// --- File I/O -------------------------------------------------------
+
+/** Durable write: temp + fsync + atomic rename + directory fsync.
+ *  @throws SnapshotError (status Valid) on I/O failure. */
+void writeSnapshotFile(const std::filesystem::path &path,
+                       const std::string &bytes);
+
+/** Read a whole snapshot file.
+ *  @throws SnapshotError (status Empty) when absent/unreadable. */
+std::string readSnapshotFile(const std::filesystem::path &path);
+
+/** encodeSnapshot + writeSnapshotFile. */
+void saveSnapshot(const std::filesystem::path &path,
+                  const std::string &spec_line, sim::Cpu &cpu);
+
+/** readSnapshotFile + decodeSnapshotInfo; @throws SnapshotError with
+ *  the damage class on anything but Valid. */
+SnapshotInfo snapshotInfo(const std::filesystem::path &path);
+
+// --- Whole-run restore ----------------------------------------------
+
+/**
+ * A machine rebuilt from a snapshot, ready to run(): the parsed spec,
+ * the recreated workload (already fast-forwarded by the trace
+ * cursor) and the restored Cpu (which references the workload —
+ * keep both alive together).
+ */
+struct RestoredRun
+{
+    spec::ExperimentSpec exp;
+    SnapshotInfo info;
+    std::unique_ptr<trace::TraceSource> workload;
+    std::unique_ptr<sim::Cpu> cpu;
+};
+
+/** Decode an in-memory image into a freshly built machine. @throws
+ *  SnapshotError with the damage class, spec::ParseError for an
+ *  unparsable embedded spec line. */
+RestoredRun restoreRunFromImage(const std::string &bytes);
+
+/** readSnapshotFile + restoreRunFromImage. */
+RestoredRun restoreRun(const std::filesystem::path &path);
+
+} // namespace diq::ckpt
+
+#endif // DIQ_CKPT_SNAPSHOT_HH

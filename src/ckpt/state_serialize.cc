@@ -1,0 +1,579 @@
+/**
+ * @file
+ * The one translation unit that knows the byte order of every
+ * stateful simulator class: all `serialize(ckpt::Archive &)` member
+ * definitions live here, next to each other, so the full-machine
+ * field inventory can be reviewed in one place
+ * (docs/CHECKPOINTS.md, docs/ARCHITECTURE.md §13).
+ *
+ * Ground rules, shared by every serializer below:
+ *
+ *  - Persistent state only. Anything recomputed before its next read
+ *    (per-cycle scratch buffers, port budgets, probe→dispatch
+ *    steering memos) is excluded; memos are *dropped* on Load, which
+ *    is behaviorally identical because issue()/dispatch() invalidate
+ *    them before they could be consumed.
+ *  - Order matters and is observable: the free-list ring, the rename
+ *    free stacks and the age chains are serialized in storage order,
+ *    because future allocations replay from them.
+ *  - Geometry is never stored, only checked: a Load target must be
+ *    constructed from the identical configuration (the snapshot
+ *    header pins the canonical spec line), and fixed-size containers
+ *    verify their stored counts against the live sizes.
+ */
+
+#include <stdexcept>
+
+#include "branch/predictors.hh"
+#include "ckpt/archive.hh"
+#include "core/cam_issue_scheme.hh"
+#include "core/fifo_cluster.hh"
+#include "core/fifo_issue_scheme.hh"
+#include "core/fu_pool.hh"
+#include "core/inst_pool.hh"
+#include "core/issue_time_estimator.hh"
+#include "core/lat_fifo_cluster.hh"
+#include "core/lat_fifo_issue_scheme.hh"
+#include "core/mixbuff_cluster.hh"
+#include "core/mixbuff_issue_scheme.hh"
+#include "core/queue_rename_table.hh"
+#include "core/scoreboard.hh"
+#include "core/slot_meta.hh"
+#include "mem/cache.hh"
+#include "power/event_counters.hh"
+#include "sim/lsq.hh"
+#include "sim/pipeline.hh"
+#include "sim/rename.hh"
+#include "sim/sim_stats.hh"
+#include "trace/isa.hh"
+
+namespace diq
+{
+namespace
+{
+
+using ckpt::Archive;
+using ckpt::ArchiveError;
+
+/** Fixed-size vector of arbitrary elements: count checked, elements
+ *  serialized in place (no default construction required). */
+template <typename T, typename Fn>
+void
+fixedVec(Archive &ar, std::vector<T> &v, Fn fn)
+{
+    uint64_t n = v.size();
+    ar.integer(n);
+    if (ar.loading() && n != v.size())
+        throw ArchiveError("fixed vector count mismatch: stored " +
+                           std::to_string(n) + ", expected " +
+                           std::to_string(v.size()));
+    for (auto &e : v)
+        fn(ar, e);
+}
+
+void
+microOp(Archive &ar, trace::MicroOp &op)
+{
+    ar.integer(op.pc);
+    ar.enumv(op.op,
+             static_cast<uint64_t>(trace::OpClass::NumOpClasses));
+    ar.integer(op.src1);
+    ar.integer(op.src2);
+    ar.integer(op.dest);
+    ar.integer(op.memAddr);
+    ar.integer(op.memSize);
+    ar.boolean(op.taken);
+    ar.integer(op.target);
+}
+
+void
+dynInst(Archive &ar, core::DynInst &inst)
+{
+    microOp(ar, inst.op);
+    ar.integer(inst.seq);
+    ar.integer(inst.psrc1);
+    ar.integer(inst.psrc2);
+    ar.integer(inst.pdest);
+    ar.integer(inst.poldDest);
+    ar.integer(inst.fetchCycle);
+    ar.integer(inst.dispatchCycle);
+    ar.integer(inst.issueCycle);
+    ar.integer(inst.completeCycle);
+    ar.integer(inst.addrReadyCycle);
+    ar.integer(inst.memStartCycle);
+    ar.integer(inst.queueId);
+    ar.integer(inst.chainId);
+    ar.integer(inst.agePrev);
+    ar.integer(inst.ageNext);
+    ar.integer(inst.lsqTicket);
+    ar.boolean(inst.issued);
+    ar.boolean(inst.completed);
+    ar.boolean(inst.mispredicted);
+}
+
+void
+slotMeta(Archive &ar, core::SlotMeta &m)
+{
+    ar.integer(m.seq);
+    ar.integer(m.src1);
+    ar.integer(m.src2);
+    ar.integer(m.numSrcs);
+    ar.integer(m.isStore);
+    ar.enumv(m.fu, static_cast<uint64_t>(core::FuClass::NumClasses));
+    ar.integer(m.fuOccupancy);
+}
+
+void
+eventCounters(Archive &ar, power::EventCounters &c)
+{
+    uint64_t n = power::NumEvents;
+    ar.integer(n);
+    if (ar.loading()) {
+        if (n != power::NumEvents)
+            throw ArchiveError("event bank size mismatch: stored " +
+                               std::to_string(n));
+        c.clear();
+    }
+    for (size_t i = 0; i < power::NumEvents; ++i) {
+        auto id = static_cast<power::EventId>(i);
+        uint64_t v = c.get(id);
+        ar.integer(v);
+        if (ar.loading())
+            c.add(id, v);
+    }
+}
+
+void
+simStats(Archive &ar, sim::SimStats &s)
+{
+    ar.integer(s.cycles);
+    ar.integer(s.committed);
+    ar.integer(s.fetched);
+    ar.integer(s.dispatched);
+    ar.integer(s.issuedOps);
+    ar.integer(s.branches);
+    ar.integer(s.mispredicts);
+    ar.integer(s.loads);
+    ar.integer(s.stores);
+    ar.integer(s.dispatchStallCycles);
+    ar.integer(s.windowStallCycles);
+    ar.integer(s.fetchStallCycles);
+    ar.integer(s.schemeOccupancySum);
+    ar.integer(s.robOccupancySum);
+    ar.boolean(s.deadlocked);
+    eventCounters(ar, s.counters);
+}
+
+} // namespace
+
+// --- core::InstPool --------------------------------------------------
+
+namespace core
+{
+
+void
+InstPool::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, slab_, dynInst);
+    ar.intVecExact(fl_);
+    ar.integer(flHead_);
+    ar.integer(flTail_);
+    ar.integer(flLength_);
+    ar.bits(live_);
+    ar.integer(oldest_);
+    ar.integer(youngest_);
+    if (ar.loading() &&
+        (flHead_ >= capacity_ || flTail_ >= capacity_ ||
+         flLength_ > capacity_))
+        throw ArchiveError("inst pool free-list cursor out of range");
+}
+
+// --- core::Scoreboard ------------------------------------------------
+
+void
+Scoreboard::serialize(ckpt::Archive &ar)
+{
+    ar.intVecExact(ready_);
+    ar.bits(readyMask_);
+    ar.integer(synced_);
+    uint64_t slots = ring_.size();
+    ar.integer(slots);
+    if (ar.loading() && slots != ring_.size())
+        throw ArchiveError("scoreboard wake-ring size mismatch");
+    for (auto &slot : ring_)
+        ar.intVecResize(slot, static_cast<uint64_t>(numRegs()));
+    ar.intVecResize(far_, static_cast<uint64_t>(numRegs()));
+}
+
+// --- core::FuPool ----------------------------------------------------
+
+void
+FuPool::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, nextFree_,
+             [](Archive &a, std::vector<uint64_t> &units) {
+                 a.intVecExact(units);
+             });
+}
+
+// --- core::QueueRenameTable ------------------------------------------
+
+void
+QueueRenameTable::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, table_, [](Archive &a, QueueMapping &m) {
+        a.boolean(m.valid);
+        a.boolean(m.fpCluster);
+        a.integer(m.queue);
+        a.integer(m.chain);
+        a.integer(m.producerSeq);
+    });
+}
+
+// --- core::IssueTimeEstimator ----------------------------------------
+
+void
+IssueTimeEstimator::serialize(ckpt::Archive &ar)
+{
+    for (auto &c : destCycle_)
+        ar.integer(c);
+    ar.integer(allStoreAddr_);
+}
+
+// --- core::CamIssueScheme --------------------------------------------
+
+void
+CamIssueScheme::serialize(ckpt::Archive &ar)
+{
+    auto doCluster = [&](Cluster &c) {
+        ar.integer(c.count);
+        ar.intVecExact(c.slotInst);
+        ar.intVecExact(c.src1);
+        ar.intVecExact(c.src2);
+        ar.bits(c.valid);
+        ar.bits(c.wait1);
+        ar.bits(c.wait2);
+        ar.bits(c.store);
+        // Lazily allocated on the first dispatch: size travels along.
+        ar.intVecResize(c.waiters1);
+        ar.intVecResize(c.waiters2);
+        ar.intVecExact(c.prevSlot);
+        ar.intVecExact(c.nextSlot);
+        ar.integer(c.oldestSlot);
+        ar.integer(c.youngestSlot);
+        if (ar.loading() && c.count > c.capacity)
+            throw ArchiveError("CAM cluster count above capacity");
+    };
+    doCluster(intQ_);
+    doCluster(fpQ_);
+}
+
+// --- core::FifoCluster -----------------------------------------------
+
+void
+FifoCluster::serialize(ckpt::Archive &ar)
+{
+    ar.intVecExact(slots_);
+    fixedVec(ar, meta_, slotMeta);
+    fixedVec(ar, qs_, [](Archive &a, QState &q) {
+        a.integer(q.head);
+        a.integer(q.count);
+        a.integer(q.tailSeq);
+    });
+    ar.bits(nonEmpty_);
+    ar.integer(size_);
+    ar.vec(
+        heads_,
+        [](Archive &a, HeadEntry &h) {
+            a.integer(h.queue);
+            a.integer(h.slot);
+            slotMeta(a, h.meta);
+        },
+        qs_.size());
+    ar.integer(headSrcSum_);
+    if (ar.loading()) {
+        pickSeq_ = 0; // steering memo: probe-scoped, never restored
+        pickMemo_ = -1;
+    }
+}
+
+// --- core::LatFifoCluster --------------------------------------------
+
+void
+LatFifoCluster::serialize(ckpt::Archive &ar)
+{
+    ar.intVecExact(slots_);
+    fixedVec(ar, meta_, slotMeta);
+    fixedVec(ar, qs_, [](Archive &a, QState &q) {
+        a.integer(q.head);
+        a.integer(q.count);
+        a.integer(q.tailEstIssue);
+    });
+    ar.bits(nonEmpty_);
+    ar.integer(size_);
+    ar.vec(
+        heads_,
+        [](Archive &a, HeadEntry &h) {
+            a.integer(h.queue);
+            a.integer(h.slot);
+            slotMeta(a, h.meta);
+        },
+        qs_.size());
+    ar.integer(headSrcSum_);
+    if (ar.loading()) {
+        pickValid_ = false; // placement memo: probe-scoped
+        pickMemo_ = -1;
+    }
+}
+
+// --- core::MixBuffCluster --------------------------------------------
+
+void
+MixBuffCluster::serialize(ckpt::Archive &ar)
+{
+    ar.integer(size_);
+    fixedVec(ar, queues_, [&](Archive &a, Queue &q) {
+        a.intVecExact(q.slotInst);
+        a.intVecExact(q.slotSeq);
+        fixedVec(a, q.slotMeta, slotMeta);
+        a.intVecExact(q.slotChain);
+        a.intVecExact(q.slotLat);
+        a.intVecExact(q.nextInChain);
+        a.bits(q.valid);
+        a.integer(q.count);
+
+        // The chain table may have grown past its construction size
+        // (chainsPerQueue == 0 is unbounded); rebuild it on Load.
+        uint64_t nchains = q.chains.size();
+        a.integer(nchains);
+        if (a.loading()) {
+            if (nchains > (1u << 20))
+                throw ArchiveError("chain table count exceeds limit");
+            q.chains.clear();
+            q.chains.reserve(static_cast<size_t>(nchains));
+            for (uint64_t i = 0; i < nchains; ++i)
+                q.chains.emplace_back(counterMax_);
+        }
+        for (auto &c : q.chains) {
+            a.boolean(c.busy);
+            a.boolean(c.lastIssued);
+            a.integer(c.lastSeq);
+            a.integer(c.headSlot);
+            a.integer(c.tailSlot);
+            a.satDown(c.counter);
+        }
+        a.intVecResize(q.busyW);
+        a.intVecResize(q.memberW);
+        a.integer(q.selectedSlot);
+        a.integer(q.justLoadedChain);
+        if (a.loading() &&
+            q.memberW.size() != nchains * wordsPer_)
+            throw ArchiveError("chain membership mask size mismatch");
+    });
+    if (ar.loading())
+        placeSeq_ = 0; // placement memo: probe-scoped
+}
+
+// --- whole-scheme serializers ----------------------------------------
+
+void
+FifoIssueScheme::serialize(ckpt::Archive &ar)
+{
+    int_.serialize(ar);
+    fp_.serialize(ar);
+    table_.serialize(ar);
+}
+
+void
+LatFifoIssueScheme::serialize(ckpt::Archive &ar)
+{
+    int_.serialize(ar);
+    fp_.serialize(ar);
+    table_.serialize(ar);
+    estimator_.serialize(ar);
+}
+
+void
+MixBuffIssueScheme::serialize(ckpt::Archive &ar)
+{
+    int_.serialize(ar);
+    fp_.serialize(ar);
+    table_.serialize(ar);
+}
+
+} // namespace core
+
+// --- branch predictors -----------------------------------------------
+
+namespace branch
+{
+
+void
+BimodalPredictor::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, table_,
+             [](Archive &a, util::SaturatingCounter &c) { a.sat(c); });
+}
+
+void
+GsharePredictor::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, table_,
+             [](Archive &a, util::SaturatingCounter &c) { a.sat(c); });
+}
+
+void
+Btb::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, sets_, [](Archive &a, std::vector<Entry> &set) {
+        fixedVec(a, set, [](Archive &b, Entry &e) {
+            b.boolean(e.valid);
+            b.integer(e.tag);
+            b.integer(e.target);
+            b.integer(e.lru);
+        });
+    });
+    ar.integer(lruClock_);
+}
+
+void
+HybridPredictor::serialize(ckpt::Archive &ar)
+{
+    gshare_.serialize(ar);
+    bimodal_.serialize(ar);
+    fixedVec(ar, selector_,
+             [](Archive &a, util::SaturatingCounter &c) { a.sat(c); });
+    btb_.serialize(ar);
+    ar.integer(history_);
+    ar.integer(lookups_);
+    ar.integer(mispredicts_);
+}
+
+} // namespace branch
+
+// --- mem caches ------------------------------------------------------
+
+namespace mem
+{
+
+void
+Cache::serialize(ckpt::Archive &ar)
+{
+    fixedVec(ar, lines_, [](Archive &a, Line &l) {
+        a.boolean(l.valid);
+        a.boolean(l.dirty);
+        a.integer(l.tag);
+        a.integer(l.lru);
+    });
+    ar.integer(lruClock_);
+    ar.integer(accesses_);
+    ar.integer(misses_);
+    ar.integer(writebacks_);
+}
+
+void
+MemoryHierarchy::serialize(ckpt::Archive &ar)
+{
+    l1i_.serialize(ar);
+    l1d_.serialize(ar);
+    l2_.serialize(ar);
+}
+
+} // namespace mem
+
+// --- sim: renamer, LSQ, the whole Cpu --------------------------------
+
+namespace sim
+{
+
+void
+RegisterRenamer::serialize(ckpt::Archive &ar)
+{
+    ar.intVecExact(map_);
+    // Free lists are LIFO stacks of variable depth; order replays
+    // into future allocations, so they serialize element-exact.
+    ar.intVecResize(freeInt_,
+                    static_cast<uint64_t>(numIntPhys_));
+    ar.intVecResize(freeFp_, static_cast<uint64_t>(numFpPhys_));
+}
+
+void
+LoadStoreQueue::serialize(ckpt::Archive &ar)
+{
+    ar.ring(queue_, [](Archive &a, Entry &e) {
+        a.integer(e.inst);
+        a.integer(e.granule);
+        a.integer(e.memAddr);
+        a.integer(e.dataReg);
+        a.boolean(e.isStore);
+        a.boolean(e.isLoad);
+        a.boolean(e.addrKnown);
+        a.boolean(e.memStarted);
+    });
+    ar.integer(disambStalls_);
+    ar.integer(forwards_);
+    ar.integer(headTicket_);
+    ar.integer(nextTicket_);
+    ar.integer(startableLoads_);
+    ar.integer(unknownStoreAddrs_);
+}
+
+void
+Cpu::serialize(ckpt::Archive &ar)
+{
+    // Clocks and cursors.
+    ar.integer(cycle_);
+    ar.integer(nextSeq_);
+    ar.integer(opsConsumed_);
+
+    // Front-end state.
+    ar.boolean(fetchBlockedOnBranch_);
+    ar.integer(fetchResumeCycle_);
+    ar.integer(lastFetchLine_);
+    ar.boolean(pendingValid_);
+    microOp(ar, pendingOp_);
+    ar.boolean(traceExhausted_);
+
+    // Measurement counters (the dump the byte-identity tests pin).
+    simStats(ar, stats_);
+
+    // Window structures.
+    ar.ring(fetchQueue_, [](Archive &a, FetchedOp &f) {
+        microOp(a, f.op);
+        a.integer(f.seq);
+        a.integer(f.fetchCycle);
+        a.integer(f.decodeReady);
+        a.boolean(f.mispredicted);
+    });
+    ar.ring(rob_, [](Archive &a, core::InstIdx &idx) {
+        a.integer(idx);
+    });
+    pool_.serialize(ar);
+
+    // Event wheel: slot c%512 holds the events due at cycle c.
+    uint64_t slots = eventRing_.size();
+    ar.integer(slots);
+    if (ar.loading() && slots != eventRing_.size())
+        throw ckpt::ArchiveError("event ring size mismatch");
+    for (auto &slot : eventRing_) {
+        ar.vec(
+            slot,
+            [](Archive &a, Event &ev) {
+                a.enumv(ev.kind, 3);
+                a.integer(ev.inst);
+            },
+            static_cast<uint64_t>(config_.robSize) * 4);
+    }
+
+    // Substrates.
+    predictor_.serialize(ar);
+    mem_.serialize(ar);
+    fus_.serialize(ar);
+    scoreboard_.serialize(ar);
+    renamer_.serialize(ar);
+    lsq_.serialize(ar);
+    scheme_->serialize(ar);
+}
+
+} // namespace sim
+} // namespace diq

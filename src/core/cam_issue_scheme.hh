@@ -59,6 +59,7 @@ class CamIssueScheme : public IssueScheme
     size_t occupancy() const override;
     std::string name() const override;
     std::string invariantViolation(const InstPool &pool) const override;
+    void serialize(ckpt::Archive &ar) override;
 
     size_t intOccupancy() const { return intQ_.count; }
     size_t fpOccupancy() const { return fpQ_.count; }

@@ -93,6 +93,11 @@ class FifoCluster
      *  table changes outside dispatch, e.g. a mispredict clear). */
     void dropSteerMemo() const { pickSeq_ = 0; }
 
+    /** Snapshot codec hook (src/ckpt): slab, ring states, occupancy
+     *  mask and the sorted head list; the steering memo is dropped on
+     *  Load (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
+
   private:
     /** Ring state of one FIFO; its slots live in the shared slab. */
     struct QState

@@ -35,6 +35,7 @@ class FifoIssueScheme : public IssueScheme
     size_t occupancy() const override;
     std::string name() const override;
     std::string invariantViolation(const InstPool &pool) const override;
+    void serialize(ckpt::Archive &ar) override;
 
     const FifoCluster &intCluster() const { return int_; }
     const FifoCluster &fpCluster() const { return fp_; }

@@ -26,6 +26,11 @@
 
 #include "trace/isa.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -130,6 +135,10 @@ class FuPool
 
     int numUnits(FuClass fc) const;
     const FuPoolConfig &config() const { return config_; }
+
+    /** Snapshot codec hook (src/ckpt): per-unit next-free cycles
+     *  (the binding table is config-derived and not stored). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     /** Units [first, first+count) of one class usable by one queue. */

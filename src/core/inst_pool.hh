@@ -32,6 +32,11 @@
 #include "core/dyn_inst.hh"
 #include "util/bit_words.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -214,6 +219,12 @@ class InstPool
             return "youngest does not terminate the age chain";
         return {};
     }
+
+    /** Snapshot codec hook (src/ckpt): the whole slab, the free-list
+     *  ring *in order* (freed slots re-enter at the tail, so ring
+     *  order determines future allocation order), the live mask and
+     *  the age-chain endpoints (defined in ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     std::vector<DynInst> slab_;

@@ -30,6 +30,11 @@
 #include "core/scoreboard.hh"
 #include "power/event_counters.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -107,6 +112,17 @@ class IssueScheme
         (void)pool;
         return {};
     }
+
+    /**
+     * Snapshot codec hook (src/ckpt): serialize (Save) or overwrite
+     * (Load) every field that influences future cycles — resident
+     * entries, wakeup/wait masks, age chains, rename tables, chain
+     * tables. Probe→dispatch steering memos are dropped on Load
+     * instead of stored: they are consumed or invalidated before the
+     * next cycle's issue() either way. Load requires an instance
+     * built from the identical SchemeConfig.
+     */
+    virtual void serialize(ckpt::Archive &ar) = 0;
 
     /** Organization name, e.g. "MixBUFF_8x8_8x16". */
     virtual std::string name() const = 0;

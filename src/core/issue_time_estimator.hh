@@ -28,6 +28,11 @@
 
 #include "core/dyn_inst.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -54,6 +59,9 @@ class IssueTimeEstimator
 
     /** Estimated total latency of an op (loads: addr + L1 hit). */
     unsigned estimatedLatency(trace::OpClass op) const;
+
+    /** Snapshot codec hook (src/ckpt). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     unsigned l1dHitLatency_;

@@ -60,6 +60,10 @@ class LatFifoCluster
     /** Structural self-check (see IssueScheme::invariantViolation). */
     std::string invariantViolation(const InstPool &pool) const;
 
+    /** Snapshot codec hook (src/ckpt); the placement memo is dropped
+     *  on Load (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
+
   private:
     /** Ring state of one FIFO; its slots live in the shared slab. */
     struct QState

@@ -37,6 +37,7 @@ class LatFifoIssueScheme : public IssueScheme
     size_t occupancy() const override;
     std::string name() const override;
     std::string invariantViolation(const InstPool &pool) const override;
+    void serialize(ckpt::Archive &ar) override;
 
     const IssueTimeEstimator &estimator() const { return estimator_; }
     const LatFifoCluster &fpCluster() const { return fp_; }

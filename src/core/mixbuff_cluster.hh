@@ -125,6 +125,12 @@ class MixBuffCluster
     /** Structural self-check (see IssueScheme::invariantViolation). */
     std::string invariantViolation(const InstPool &pool) const;
 
+    /** Snapshot codec hook (src/ckpt): per-queue slot slabs, chain
+     *  tables (which may have grown past the construction size when
+     *  chainsPerQueue == 0) and the flat busy/membership masks; the
+     *  placement memo is dropped on Load (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
+
     // --- Test introspection -------------------------------------------
     uint32_t chainCounter(int queue, int chain) const;
     bool chainBusy(int queue, int chain) const;

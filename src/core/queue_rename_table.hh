@@ -26,6 +26,11 @@
 
 #include "trace/isa.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -77,6 +82,9 @@ class QueueRenameTable
         for (auto &e : table_)
             e = QueueMapping{};
     }
+
+    /** Snapshot codec hook (src/ckpt). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     std::vector<QueueMapping> table_;

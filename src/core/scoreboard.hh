@@ -35,6 +35,11 @@
 #include "core/dyn_inst.hh"
 #include "util/bit_words.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::core
 {
 
@@ -147,6 +152,11 @@ class Scoreboard
 
     /** All registers available at cycle 0 (fresh machine state). */
     void reset();
+
+    /** Snapshot codec hook (src/ckpt): ready cycles, mask, synced
+     *  cycle, wake ring and far list. The ready hook is wiring, not
+     *  state — it stays bound (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
 
     int numRegs() const { return static_cast<int>(ready_.size()); }
 

@@ -20,6 +20,11 @@
 #include <string>
 #include <vector>
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::mem
 {
 
@@ -71,6 +76,10 @@ class Cache
     {
         return accesses_ ? static_cast<double>(misses_) / accesses_ : 0.0;
     }
+
+    /** Snapshot codec hook (src/ckpt): tag array, LRU clock and
+     *  access counters (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     struct Line
@@ -144,6 +153,9 @@ class MemoryHierarchy
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }
     const Config &config() const { return config_; }
+
+    /** Snapshot codec hook (src/ckpt): all three cache levels. */
+    void serialize(ckpt::Archive &ar);
 
   private:
     unsigned dataAccess(uint64_t addr, bool is_write);

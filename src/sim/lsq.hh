@@ -29,6 +29,11 @@
 #include "mem/cache.hh"
 #include "util/circular_buffer.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::sim
 {
 
@@ -80,6 +85,10 @@ class LoadStoreQueue
     uint64_t forwards() const { return forwards_; }
 
     void clear();
+
+    /** Snapshot codec hook (src/ckpt): queue entries oldest-first,
+     *  tickets and occupancy summaries (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     struct Entry

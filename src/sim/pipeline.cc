@@ -92,6 +92,40 @@ Cpu::run(uint64_t num_insts)
 }
 
 void
+Cpu::functionalAdvance(uint64_t num_ops)
+{
+    trace::MicroOp op;
+    for (uint64_t i = 0; i < num_ops; ++i) {
+        if (pendingValid_) {
+            op = pendingOp_;
+            pendingValid_ = false;
+        } else if (trace_.next(op)) {
+            ++opsConsumed_;
+        } else {
+            traceExhausted_ = true;
+            break;
+        }
+
+        // Warm the I-cache once per line transition, mirroring the
+        // detailed fetch stage's probe pattern.
+        uint64_t line = fetchLineShift_
+            ? op.pc >> fetchLineShift_
+            : op.pc / config_.memory.l1i.lineBytes;
+        if (line != lastFetchLine_) {
+            mem_.fetchLatency(op.pc);
+            lastFetchLine_ = line;
+        }
+
+        if (op.isBranch())
+            predictor_.predictAndUpdate(op.pc, op.taken, op.target);
+        else if (op.isLoad())
+            mem_.loadLatency(op.memAddr);
+        else if (op.isStore())
+            mem_.storeLatency(op.memAddr);
+    }
+}
+
+void
 Cpu::resetStats()
 {
     uint64_t keep_committed = 0; // measurement region starts fresh
@@ -297,6 +331,7 @@ Cpu::fetchStage()
                 traceExhausted_ = true;
                 break;
             }
+            ++opsConsumed_;
             pendingValid_ = true;
         }
 

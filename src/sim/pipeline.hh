@@ -39,6 +39,11 @@
 #include "trace/trace_source.hh"
 #include "util/circular_buffer.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::sim
 {
 
@@ -92,6 +97,39 @@ class Cpu
      * observational, like the commit hook.
      */
     void setTickHook(TickHook hook) { tickHook_ = std::move(hook); }
+
+    /**
+     * Consume `num_ops` trace ops *functionally*: no cycles pass and
+     * no pipeline state forms, but the branch predictor trains on
+     * every branch and the caches are touched by every fetch line and
+     * memory access — SMARTS-style functional warming. Used by the
+     * warmup-seeded interval runner (src/ckpt/interval.hh) to
+     * fast-forward to an interval head at trace-decode speed. Must be
+     * called on a fresh machine (nothing in flight). Stops early if
+     * the trace ends.
+     */
+    void functionalAdvance(uint64_t num_ops);
+
+    /**
+     * Serialize (Save mode) or overwrite (Load mode) the complete
+     * persistent machine state — every structure that influences
+     * future cycles: pipeline windows, pool, scoreboard, renamer,
+     * LSQ, scheme, predictor, caches, FU pool, stats/counters and the
+     * front-end cursor. Cycle-local scratch (issue buffers, steering
+     * memos) is excluded: it is provably dead across stepCycle
+     * boundaries. Restore-then-run is counter-dump byte-identical to
+     * an uninterrupted run (pinned by tests/test_ckpt.cc); see
+     * docs/CHECKPOINTS.md. Load requires a Cpu constructed from the
+     * identical ProcessorConfig.
+     */
+    void serialize(ckpt::Archive &ar);
+
+    /**
+     * Trace ops consumed from the source so far (including a buffered
+     * pending op not yet fetched) — the snapshot's trace cursor:
+     * restore re-creates the workload and skips this many ops.
+     */
+    uint64_t opsConsumed() const { return opsConsumed_; }
 
     const SimStats &stats() const { return stats_; }
     SimStats &stats() { return stats_; }
@@ -178,6 +216,8 @@ class Cpu
 
     uint64_t cycle_ = 0;
     uint64_t nextSeq_ = 1;
+    /** Ops pulled from trace_ (fetch + functionalAdvance). */
+    uint64_t opsConsumed_ = 0;
 
     CommitHook commitHook_;
     TickHook tickHook_;

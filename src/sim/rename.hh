@@ -18,6 +18,11 @@
 #include "core/dyn_inst.hh"
 #include "trace/isa.hh"
 
+namespace diq::ckpt
+{
+class Archive;
+}
+
 namespace diq::sim
 {
 
@@ -53,6 +58,10 @@ class RegisterRenamer
 
     /** Restore the boot mapping and full free lists. */
     void reset();
+
+    /** Snapshot codec hook (src/ckpt): map table + both free stacks
+     *  in LIFO order (ckpt/state_serialize.cc). */
+    void serialize(ckpt::Archive &ar);
 
   private:
     int numIntPhys_;

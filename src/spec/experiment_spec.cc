@@ -253,6 +253,19 @@ buildRegistry()
         1'000'000'000'000,
         +[](ExperimentSpec &s) -> uint64_t & { return s.measureInsts; },
         {"insts"}));
+    r.push_back(intKey<uint32_t>(
+        "intervals", "intervals the measured region is split into for "
+        "parallel interval simulation (1 = monolithic; "
+        "docs/CHECKPOINTS.md)", 1, 1'000'000,
+        +[](ExperimentSpec &s) -> uint32_t & { return s.intervals; }));
+    r.push_back(intKey<uint64_t>(
+        "interval_warmup", "detailed warm-up instructions at each "
+        "interval head in warmup-seeded interval mode "
+        "(docs/CHECKPOINTS.md)", 0, 1'000'000'000,
+        +[](ExperimentSpec &s) -> uint64_t & {
+            return s.intervalWarmup;
+        },
+        {"iwarmup"}));
 
     // --- Issue scheme (core::SchemeConfig) ---------------------------
     const size_t scheme_section_begin = r.size();

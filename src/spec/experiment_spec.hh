@@ -71,6 +71,14 @@ struct ExperimentSpec
     uint64_t warmupInsts = 30000;
     uint64_t measureInsts = 120000;
 
+    /** Interval count for `diq run --intervals` / ckpt::runIntervals
+     *  (1 = monolithic; docs/CHECKPOINTS.md). */
+    uint32_t intervals = 1;
+
+    /** Detailed warm-up instructions at each interval head in the
+     *  warmup-seeded interval mode (docs/CHECKPOINTS.md). */
+    uint64_t intervalWarmup = 2000;
+
     bool operator==(const ExperimentSpec &) const = default;
 
     /**

@@ -35,6 +35,24 @@ class TraceSource
     /** Restart the stream from the beginning (same deterministic run). */
     virtual void reset() = 0;
 
+    /**
+     * Discard the next `n` ops (stopping early at end-of-stream).
+     * Because every source is deterministic (reset() replays the same
+     * stream), a fresh source plus skip(n) lands exactly where a
+     * consumed source stood after n next() calls — the contract the
+     * snapshot trace cursor relies on (src/ckpt/snapshot.hh). The
+     * default consumes ops one by one; sources with cheaper random
+     * access may override.
+     */
+    virtual void
+    skip(uint64_t n)
+    {
+        MicroOp scratch;
+        while (n-- > 0)
+            if (!next(scratch))
+                return;
+    }
+
     /** Workload name for reporting. */
     virtual const std::string &name() const = 0;
 };

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Checkpoint contract tests (src/ckpt, docs/CHECKPOINTS.md):
+ *
+ *  - Archive primitive round-trips and bounds checks.
+ *  - Restore-then-run counter-dump byte-identity against the
+ *    uninterrupted run, for all four scheme families on fuzz:7 — the
+ *    property that makes exact interval simulation exact.
+ *  - Damage classification: every torn/corrupt snapshot shape maps to
+ *    the store's EntryStatus taxonomy, never to a misdecode.
+ *  - planIntervals arithmetic and runIntervals equivalence: exact
+ *    mode (serial pass AND parallel replay) is byte-identical to the
+ *    monolithic run for N in {1, 2, 4, 8}; warmup mode lands within
+ *    the documented tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "ckpt/archive.hh"
+#include "ckpt/interval.hh"
+#include "ckpt/snapshot.hh"
+#include "runner/sim_job.hh"
+#include "sim/pipeline.hh"
+#include "spec/experiment_spec.hh"
+#include "store/result_store.hh"
+#include "trace_test_util.hh"
+
+namespace
+{
+
+using namespace diq;
+using store::EntryStatus;
+using trace::test::tempPath;
+
+/** Full counter dump + headline stats as one comparable string (the
+ *  same shape test_replay.cc pins for record→replay). */
+std::string
+dumpOf(const sim::SimStats &s, const core::SchemeConfig &scheme)
+{
+    return "cycles=" + std::to_string(s.cycles) +
+           " committed=" + std::to_string(s.committed) + " energy=" +
+           std::to_string(runner::energyFor(scheme, s.counters).total()) +
+           "\n" + s.counters.toString();
+}
+
+std::string
+dumpOf(const runner::SimResult &r)
+{
+    return "cycles=" + std::to_string(r.stats.cycles) +
+           " committed=" + std::to_string(r.stats.committed) +
+           " energy=" + std::to_string(r.energy.total()) + "\n" +
+           r.stats.counters.toString();
+}
+
+/** Run to an absolute committed target within the measured region. */
+void
+runTo(sim::Cpu &cpu, uint64_t target)
+{
+    uint64_t at = cpu.stats().committed;
+    cpu.run(target > at ? target - at : 0);
+}
+
+// --- Archive primitives ---------------------------------------------
+
+TEST(Archive, IntegerBoolDoubleStringRoundTrip)
+{
+    ckpt::Archive save = ckpt::Archive::forSave();
+    uint64_t a = 0xDEADBEEFCAFEF00Dull;
+    int32_t b = -12345;
+    bool c = true;
+    double d = 3.25;
+    std::string s = "mb_distr bench=swim";
+    save.integer(a);
+    save.integer(b);
+    save.boolean(c);
+    save.f64(d);
+    save.str(s);
+
+    ckpt::Archive load = ckpt::Archive::forLoad(save.bytes());
+    uint64_t a2 = 0;
+    int32_t b2 = 0;
+    bool c2 = false;
+    double d2 = 0;
+    std::string s2;
+    load.integer(a2);
+    load.integer(b2);
+    load.boolean(c2);
+    load.f64(d2);
+    load.str(s2);
+    EXPECT_EQ(a, a2);
+    EXPECT_EQ(b, b2);
+    EXPECT_EQ(c, c2);
+    EXPECT_EQ(d, d2);
+    EXPECT_EQ(s, s2);
+    EXPECT_TRUE(load.exhausted());
+}
+
+TEST(Archive, TruncatedInputThrows)
+{
+    ckpt::Archive save = ckpt::Archive::forSave();
+    uint64_t v = 42;
+    save.integer(v);
+    std::string bytes = save.bytes();
+    ckpt::Archive load =
+        ckpt::Archive::forLoad(bytes.substr(0, bytes.size() - 1));
+    uint64_t out = 0;
+    EXPECT_THROW(load.integer(out), ckpt::ArchiveError);
+}
+
+TEST(Archive, VectorRoundTripAndRing)
+{
+    ckpt::Archive save = ckpt::Archive::forSave();
+    std::vector<int32_t> xs = {-1, 0, 7, 1 << 20};
+    std::vector<uint64_t> grow = {9, 8, 7};
+    save.intVecExact(xs);
+    save.intVecResize(grow, 100);
+
+    ckpt::Archive load = ckpt::Archive::forLoad(save.bytes());
+    std::vector<int32_t> xs2(4);
+    std::vector<uint64_t> grow2;
+    load.intVecExact(xs2);
+    load.intVecResize(grow2, 100);
+    EXPECT_EQ(xs, xs2);
+    EXPECT_EQ(grow, grow2);
+    EXPECT_TRUE(load.exhausted());
+}
+
+// --- Restore-then-run byte-identity, all four scheme families -------
+
+/**
+ * Warm up, run 3/8 of the measured region, snapshot, finish the run
+ * uninterrupted; then restore the snapshot into a fresh machine and
+ * finish from there. Both finishes must dump byte-identically, and
+ * the uninterrupted finish must match executeJob's monolithic run.
+ */
+void
+expectRestoreIdentity(const std::string &specText)
+{
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(specText);
+    runner::SimJob job = runner::makeJob(exp);
+
+    auto workload = runner::makeJobWorkload(job);
+    sim::Cpu cpu(exp.processor, *workload);
+    cpu.run(exp.warmupInsts);
+    cpu.resetStats();
+    runTo(cpu, exp.measureInsts * 3 / 8);
+    std::string image = ckpt::encodeSnapshot(exp.canonicalLine(), cpu);
+    runTo(cpu, exp.measureInsts);
+    std::string uninterrupted = dumpOf(cpu.stats(), exp.processor.scheme);
+
+    // The chunked pass above is the monolithic run: absolute targets.
+    runner::SimResult mono = runner::executeJob(job);
+    EXPECT_EQ(uninterrupted, dumpOf(mono)) << specText;
+
+    ckpt::RestoredRun restored = ckpt::restoreRunFromImage(image);
+    EXPECT_EQ(restored.info.specLine, exp.canonicalLine());
+    runTo(*restored.cpu, exp.measureInsts);
+    EXPECT_EQ(uninterrupted,
+              dumpOf(restored.cpu->stats(), exp.processor.scheme))
+        << specText;
+}
+
+TEST(SnapshotRestore, CamBaselineFuzz7)
+{
+    expectRestoreIdentity(
+        "iq6464 bench=fuzz:7 warmup_insts=2000 measure_insts=8000");
+}
+
+TEST(SnapshotRestore, IssueFifoDistrFuzz7)
+{
+    expectRestoreIdentity(
+        "if_distr bench=fuzz:7 warmup_insts=2000 measure_insts=8000");
+}
+
+TEST(SnapshotRestore, LatFifoFuzz7)
+{
+    expectRestoreIdentity("latfifo_8x8_8x16 bench=fuzz:7 "
+                          "warmup_insts=2000 measure_insts=8000");
+}
+
+TEST(SnapshotRestore, MixBuffDistrFuzz7)
+{
+    expectRestoreIdentity(
+        "mb_distr bench=fuzz:7 warmup_insts=2000 measure_insts=8000");
+}
+
+// --- Damage classification ------------------------------------------
+
+class SnapshotDamage : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+            "iq6464 bench=fuzz:7 warmup_insts=500 measure_insts=2000");
+        job_ = runner::makeJob(exp);
+        workload_ = runner::makeJobWorkload(job_);
+        cpu_ = std::make_unique<sim::Cpu>(exp.processor, *workload_);
+        cpu_->run(exp.warmupInsts);
+        cpu_->resetStats();
+        image_ = ckpt::encodeSnapshot(exp.canonicalLine(), *cpu_);
+    }
+
+    EntryStatus statusOf(const std::string &bytes)
+    {
+        ckpt::SnapshotInfo info;
+        return ckpt::decodeSnapshotInfo(bytes, info);
+    }
+
+    EntryStatus restoreStatusOf(const std::string &bytes)
+    {
+        try {
+            ckpt::restoreRunFromImage(bytes);
+            return EntryStatus::Valid;
+        } catch (const ckpt::SnapshotError &e) {
+            return e.status();
+        }
+    }
+
+    /** Recompute the header checksum over a (tampered) payload. */
+    std::string resealed(std::string bytes)
+    {
+        uint64_t sum =
+            store::fnv1a64(bytes.data() + 24, bytes.size() - 24);
+        for (int i = 0; i < 8; ++i)
+            bytes[16 + static_cast<size_t>(i)] =
+                static_cast<char>((sum >> (8 * i)) & 0xFF);
+        return bytes;
+    }
+
+    runner::SimJob job_;
+    std::unique_ptr<trace::TraceSource> workload_;
+    std::unique_ptr<sim::Cpu> cpu_;
+    std::string image_;
+};
+
+TEST_F(SnapshotDamage, IntactImageIsValidAndRestores)
+{
+    EXPECT_EQ(statusOf(image_), EntryStatus::Valid);
+    EXPECT_EQ(restoreStatusOf(image_), EntryStatus::Valid);
+}
+
+TEST_F(SnapshotDamage, EmptyImage)
+{
+    EXPECT_EQ(statusOf(""), EntryStatus::Empty);
+}
+
+TEST_F(SnapshotDamage, BadMagic)
+{
+    std::string bytes = image_;
+    bytes[0] = 'X';
+    EXPECT_EQ(statusOf(bytes), EntryStatus::BadMagic);
+}
+
+TEST_F(SnapshotDamage, TruncatedHeader)
+{
+    EXPECT_EQ(statusOf(image_.substr(0, 10)), EntryStatus::Truncated);
+}
+
+TEST_F(SnapshotDamage, TruncatedPayload)
+{
+    EXPECT_EQ(statusOf(image_.substr(0, image_.size() - 1)),
+              EntryStatus::Truncated);
+}
+
+TEST_F(SnapshotDamage, VersionSkew)
+{
+    std::string bytes = image_;
+    bytes[4] = static_cast<char>(ckpt::kSnapshotFormatVersion + 1);
+    EXPECT_EQ(statusOf(bytes), EntryStatus::VersionSkew);
+}
+
+TEST_F(SnapshotDamage, SchemaSkew)
+{
+    std::string bytes = image_;
+    bytes[6] = static_cast<char>(
+        (ckpt::snapshotSchemaVersion() + 1) & 0xFF);
+    bytes[7] = static_cast<char>(
+        ((ckpt::snapshotSchemaVersion() + 1) >> 8) & 0xFF);
+    EXPECT_EQ(statusOf(bytes), EntryStatus::SchemaSkew);
+}
+
+TEST_F(SnapshotDamage, TrailingGarbage)
+{
+    EXPECT_EQ(statusOf(image_ + "zz"), EntryStatus::TrailingGarbage);
+}
+
+TEST_F(SnapshotDamage, BitFlipInPayloadIsChecksumMismatch)
+{
+    std::string bytes = image_;
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    EXPECT_EQ(statusOf(bytes), EntryStatus::ChecksumMismatch);
+}
+
+TEST_F(SnapshotDamage, ResealedImpossibleFieldIsCorruptField)
+{
+    // Blow up the spec-line length prefix (first payload field), then
+    // recompute the checksum so only field validation can object.
+    std::string bytes = image_;
+    bytes[24 + 3] = '\x7F';
+    bytes = resealed(bytes);
+    EXPECT_EQ(statusOf(bytes), EntryStatus::CorruptField);
+    EXPECT_EQ(restoreStatusOf(bytes), EntryStatus::CorruptField);
+}
+
+TEST_F(SnapshotDamage, ResealedShortPayloadIsCorruptField)
+{
+    // Drop the payload's tail and fix up length + checksum: metadata
+    // still decodes, the machine state runs out of bytes.
+    std::string bytes = image_.substr(0, image_.size() - 200);
+    uint64_t len = bytes.size() - 24;
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + static_cast<size_t>(i)] =
+            static_cast<char>((len >> (8 * i)) & 0xFF);
+    bytes = resealed(bytes);
+    EXPECT_EQ(statusOf(bytes), EntryStatus::Valid)
+        << "metadata alone still decodes";
+    EXPECT_EQ(restoreStatusOf(bytes), EntryStatus::CorruptField);
+}
+
+TEST_F(SnapshotDamage, ResealedOversizedPayloadIsCorruptField)
+{
+    // Extra checksummed bytes after a full decode: geometry mismatch,
+    // not trailing garbage (which is unchecksummed file tail).
+    std::string bytes = image_ + std::string(16, '\x00');
+    uint64_t len = bytes.size() - 24;
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + static_cast<size_t>(i)] =
+            static_cast<char>((len >> (8 * i)) & 0xFF);
+    bytes = resealed(bytes);
+    EXPECT_EQ(restoreStatusOf(bytes), EntryStatus::CorruptField);
+}
+
+TEST_F(SnapshotDamage, SnapshotInfoThrowsWithStatusOnTornFile)
+{
+    std::string path = tempPath("torn.diqs");
+    std::ofstream os(path, std::ios::binary);
+    os.write(image_.data(),
+             static_cast<std::streamsize>(image_.size() / 3));
+    os.close();
+    try {
+        ckpt::snapshotInfo(path);
+        FAIL() << "torn snapshot accepted";
+    } catch (const ckpt::SnapshotError &e) {
+        EXPECT_EQ(e.status(), EntryStatus::Truncated);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST_F(SnapshotDamage, FileRoundTripLeavesNoTempFiles)
+{
+    std::filesystem::path dir = tempPath("ckpt_dir");
+    std::filesystem::path p = dir / "snap.diqs";
+    ckpt::writeSnapshotFile(p, image_);
+    EXPECT_EQ(ckpt::readSnapshotFile(p), image_);
+    size_t entries = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u) << "temp files must not survive a commit";
+    std::filesystem::remove_all(dir);
+}
+
+// --- Interval planning ----------------------------------------------
+
+TEST(IntervalPlan, SplitsExactlyAndFrontLoadsRemainder)
+{
+    ckpt::IntervalPlan p = ckpt::planIntervals(10, 4);
+    EXPECT_EQ(p.sizes, (std::vector<uint64_t>{3, 3, 2, 2}));
+    EXPECT_EQ(p.starts, (std::vector<uint64_t>{0, 3, 6, 8}));
+}
+
+TEST(IntervalPlan, ClampsDegenerateCounts)
+{
+    EXPECT_EQ(ckpt::planIntervals(100, 0).sizes.size(), 1u);
+    EXPECT_EQ(ckpt::planIntervals(3, 8).sizes.size(), 3u);
+    EXPECT_EQ(ckpt::planIntervals(0, 8).sizes.size(), 1u);
+}
+
+TEST(IntervalPlan, FileNamesSeparateSpecAndShape)
+{
+    std::string a = ckpt::snapshotFileName("spec-a", 4, 0);
+    EXPECT_NE(a, ckpt::snapshotFileName("spec-b", 4, 0));
+    EXPECT_NE(a, ckpt::snapshotFileName("spec-a", 8, 0));
+    EXPECT_NE(a, ckpt::snapshotFileName("spec-a", 4, 1));
+}
+
+// --- Interval runner equivalence ------------------------------------
+
+TEST(IntervalRun, ExactModeIsByteIdenticalForEveryShardCount)
+{
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+        "mb_distr bench=fuzz:7 warmup_insts=1000 measure_insts=6000");
+    std::string mono = dumpOf(runner::executeJob(runner::makeJob(exp)));
+
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        std::filesystem::path dir =
+            tempPath("ival_" + std::to_string(n));
+        exp.intervals = n;
+
+        // First call: no snapshot set yet — the serial saving pass.
+        ckpt::IntervalOutcome first = ckpt::runIntervals(
+            exp, n, 2, ckpt::IntervalMode::Exact, dir);
+        EXPECT_FALSE(first.replayed);
+        EXPECT_EQ(first.intervals, n);
+        EXPECT_EQ(dumpOf(first.result), mono) << "serial, N=" << n;
+
+        // Second call: complete set on disk — the parallel replay.
+        ckpt::IntervalOutcome second = ckpt::runIntervals(
+            exp, n, 4, ckpt::IntervalMode::Exact, dir);
+        EXPECT_TRUE(second.replayed);
+        EXPECT_EQ(dumpOf(second.result), mono) << "replay, N=" << n;
+        EXPECT_EQ(second.intervalCycles, first.intervalCycles);
+
+        std::filesystem::remove_all(dir);
+    }
+}
+
+TEST(IntervalRun, ReplayRejectsForeignSnapshotSets)
+{
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+        "iq6464 bench=fuzz:7 warmup_insts=500 measure_insts=4000");
+    std::filesystem::path dir = tempPath("ival_foreign");
+    ckpt::runIntervals(exp, 2, 2, ckpt::IntervalMode::Exact, dir);
+
+    // A different machine must not pick up this set: its key differs,
+    // so it runs its own serial pass rather than replaying.
+    spec::ExperimentSpec other = spec::ExperimentSpec::parse(
+        "mb_distr bench=fuzz:7 warmup_insts=500 measure_insts=4000");
+    ckpt::IntervalOutcome out = ckpt::runIntervals(
+        other, 2, 2, ckpt::IntervalMode::Exact, dir);
+    EXPECT_FALSE(out.replayed);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(IntervalRun, WarmupModeLandsWithinDocumentedTolerance)
+{
+    spec::ExperimentSpec exp = spec::ExperimentSpec::parse(
+        "mb_distr bench=fuzz:7 warmup_insts=1000 measure_insts=6000 "
+        "interval_warmup=2000");
+    runner::SimResult mono = runner::executeJob(runner::makeJob(exp));
+
+    ckpt::IntervalOutcome out = ckpt::runIntervals(
+        exp, 4, 4, ckpt::IntervalMode::Warmup, ".");
+    // Stitched committed covers the whole measured region (plus at
+    // most commit-width overshoot per interval).
+    EXPECT_GE(out.result.stats.committed, exp.measureInsts);
+    EXPECT_LT(out.result.stats.committed, exp.measureInsts + 4 * 64);
+    // IPC within the documented warmup-seeding tolerance.
+    EXPECT_NEAR(out.result.ipc, mono.ipc, mono.ipc * 0.05)
+        << "warmup-seeded IPC drifted beyond 5% of monolithic";
+}
+
+} // namespace
